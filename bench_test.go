@@ -1,0 +1,736 @@
+// Package hesgx_test holds the top-level benchmark suite: one testing.B
+// benchmark per table and figure of the paper's evaluation (Tables I–V,
+// Figs. 3–6, 8), plus ablations for the design choices DESIGN.md calls out.
+// The cmd/hesgx-bench harness produces the full sweeps and the paper-format
+// tables; these benches give single-point numbers under `go test -bench`.
+package hesgx_test
+
+import (
+	mrand "math/rand/v2"
+	"sync"
+	"testing"
+
+	"hesgx/internal/core"
+	"hesgx/internal/cryptonets"
+	"hesgx/internal/encoding"
+	"hesgx/internal/he"
+	"hesgx/internal/nn"
+	"hesgx/internal/ring"
+	"hesgx/internal/sgx"
+)
+
+// fixture lazily builds the shared crypto material the benches use.
+type fixture struct {
+	params he.Parameters
+	sk     *he.SecretKey
+	pk     *he.PublicKey
+	ek     *he.EvaluationKeys
+	enc    *he.Encryptor
+	dec    *he.Decryptor
+	eval   *he.Evaluator
+	scalar *encoding.ScalarEncoder
+
+	calSvc  *core.EnclaveService // calibrated SGX costs
+	zeroSvc *core.EnclaveService // FakeSGX
+}
+
+var (
+	fxOnce sync.Once
+	fx     *fixture
+	fxErr  error
+)
+
+func getFixture(b *testing.B) *fixture {
+	b.Helper()
+	fxOnce.Do(func() {
+		fxErr = func() error {
+			params, err := he.DefaultParameters(1024, 4) // the paper's §V-A setup
+			if err != nil {
+				return err
+			}
+			kg, err := he.NewKeyGenerator(params, ring.NewSeededSource(1))
+			if err != nil {
+				return err
+			}
+			sk, pk := kg.GenKeyPair()
+			enc, err := he.NewEncryptor(pk, ring.NewSeededSource(2))
+			if err != nil {
+				return err
+			}
+			dec, err := he.NewDecryptor(sk)
+			if err != nil {
+				return err
+			}
+			eval, err := he.NewEvaluator(params)
+			if err != nil {
+				return err
+			}
+			scalar, err := encoding.NewScalarEncoder(params)
+			if err != nil {
+				return err
+			}
+			cal, err := sgx.NewPlatform(sgx.Calibrated(), sgx.WithJitterSeed(3))
+			if err != nil {
+				return err
+			}
+			zero, err := sgx.NewPlatform(sgx.ZeroCost(), sgx.WithJitterSeed(4))
+			if err != nil {
+				return err
+			}
+			calSvc, err := core.NewEnclaveService(cal, params, core.WithKeySource(ring.NewSeededSource(5)))
+			if err != nil {
+				return err
+			}
+			zeroSvc, err := core.NewEnclaveService(zero, params, core.WithKeySource(ring.NewSeededSource(6)))
+			if err != nil {
+				return err
+			}
+			fx = &fixture{
+				params: params, sk: sk, pk: pk, ek: kg.GenEvaluationKeys(sk),
+				enc: enc, dec: dec, eval: eval, scalar: scalar,
+				calSvc: calSvc, zeroSvc: zeroSvc,
+			}
+			return nil
+		}()
+	})
+	if fxErr != nil {
+		b.Fatal(fxErr)
+	}
+	return fx
+}
+
+// encryptBatchUnder encrypts count scalars under an enclave service's key.
+func encryptBatchUnder(b *testing.B, svc *core.EnclaveService, count int) []*he.Ciphertext {
+	b.Helper()
+	enc, err := he.NewEncryptor(svc.PublicKey(), ring.NewSeededSource(7))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cts := make([]*he.Ciphertext, count)
+	for i := range cts {
+		if cts[i], err = enc.EncryptScalar(uint64(i % 4)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return cts
+}
+
+// --- Table I ---
+
+func BenchmarkTable1KeyGenOutsideSGX(b *testing.B) {
+	f := getFixture(b)
+	src := ring.NewSeededSource(10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kg, err := he.NewKeyGenerator(f.params, src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		kg.GenKeyPair()
+	}
+}
+
+func BenchmarkTable1KeyGenInsideSGX(b *testing.B) {
+	f := getFixture(b)
+	platform, err := sgx.NewPlatform(sgx.Calibrated(), sgx.WithJitterSeed(11))
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := ring.NewSeededSource(12)
+	enclave, err := platform.Launch(sgx.Definition{
+		Name:    "bench-keygen",
+		Version: "1",
+		ECalls: map[string]sgx.ECallFunc{
+			"keygen": func(ctx *sgx.Context, _ []byte) ([]byte, error) {
+				ctx.Touch(f.params.N * 8 * 4)
+				kg, err := he.NewKeyGenerator(f.params, src)
+				if err != nil {
+					return nil, err
+				}
+				kg.GenKeyPair()
+				return nil, nil
+			},
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := enclave.ECall("keygen", nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Table II ---
+
+func BenchmarkTable2ImageEncrypt(b *testing.B) {
+	f := getFixture(b)
+	encdr, err := encoding.NewIntegerEncoder(f.params)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for p := 0; p < 28*28; p++ {
+			pt, err := encdr.Encode(int64(p % 4))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := f.enc.Encrypt(pt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// --- Table III ---
+
+func BenchmarkTable3ResultDecrypt(b *testing.B) {
+	f := getFixture(b)
+	cts := make([]*he.Ciphertext, 10) // 10 class scores for one image
+	for i := range cts {
+		ct, err := f.enc.EncryptScalar(uint64(i % 4))
+		if err != nil {
+			b.Fatal(err)
+		}
+		cts[i] = ct
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, ct := range cts {
+			if _, err := f.dec.Decrypt(ct); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// --- Table IV ---
+
+func BenchmarkTable4EncodeEncryptOutside(b *testing.B) {
+	f := getFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.enc.EncryptScalar(3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable4DecodeDecryptOutside(b *testing.B) {
+	f := getFixture(b)
+	ct, err := f.enc.EncryptScalar(3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.dec.Decrypt(ct); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable4RefreshInsideSGX(b *testing.B) {
+	// One in-enclave decrypt+encrypt round trip (the inside-SGX analogue).
+	f := getFixture(b)
+	cts := encryptBatchUnder(b, f.calSvc, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.calSvc.Refresh(cts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Table V ---
+
+func BenchmarkTable5Relinearize(b *testing.B) {
+	f := getFixture(b)
+	a, _ := f.enc.EncryptScalar(3)
+	c, _ := f.enc.EncryptScalar(2)
+	prod, err := f.eval.Mul(a, c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.eval.Relinearize(prod, f.ek); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable5SGXRefreshSolo(b *testing.B) {
+	f := getFixture(b)
+	cts := encryptBatchUnder(b, f.calSvc, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.calSvc.Refresh(cts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable5SGXRefreshBatched(b *testing.B) {
+	// Amortized per-ciphertext cost with a batch of 10 per ECALL.
+	f := getFixture(b)
+	cts := encryptBatchUnder(b, f.calSvc, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.calSvc.Refresh(cts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Fig. 3 ---
+
+func BenchmarkFig3WeightEncoding(b *testing.B) {
+	f := getFixture(b)
+	const weights = 286 // 11 kernels of 5x5 + bias
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for w := 0; w < weights; w++ {
+			if _, err := f.eval.PrepareOperand(f.scalar.Encode(int64(w%7 - 3))); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// --- Fig. 4 ---
+
+func benchmarkHEConv(b *testing.B, k int) {
+	f := getFixture(b)
+	const size = 28
+	cts := make([]*he.Ciphertext, size*size)
+	for i := range cts {
+		ct, err := f.enc.EncryptScalar(uint64(i % 4))
+		if err != nil {
+			b.Fatal(err)
+		}
+		cts[i] = ct
+	}
+	ops := make([]*he.PlainOperand, k*k)
+	for i := range ops {
+		op, err := f.eval.PrepareOperand(f.scalar.Encode(int64(i%5 - 2)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		ops[i] = op
+	}
+	out := size - k + 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for oy := 0; oy < out; oy++ {
+			for ox := 0; ox < out; ox++ {
+				var acc *he.Ciphertext
+				for ky := 0; ky < k; ky++ {
+					for kx := 0; kx < k; kx++ {
+						term, err := f.eval.MulPlainOperand(cts[(oy+ky)*size+ox+kx], ops[ky*k+kx])
+						if err != nil {
+							b.Fatal(err)
+						}
+						if acc == nil {
+							acc = term
+						} else if acc, err = f.eval.Add(acc, term); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkFig4HEConvKernel5(b *testing.B)  { benchmarkHEConv(b, 5) }
+func BenchmarkFig4HEConvKernel14(b *testing.B) { benchmarkHEConv(b, 14) }
+
+// --- Fig. 5 ---
+
+func BenchmarkFig5EncryptSigmoid(b *testing.B) {
+	// The HE approximation path: square + relinearize per value (8×8 map).
+	f := getFixture(b)
+	cts := make([]*he.Ciphertext, 64)
+	for i := range cts {
+		ct, err := f.enc.EncryptScalar(uint64(i % 4))
+		if err != nil {
+			b.Fatal(err)
+		}
+		cts[i] = ct
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, ct := range cts {
+			sq, err := f.eval.Square(ct)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := f.eval.Relinearize(sq, f.ek); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkFig5SGXSigmoid(b *testing.B) {
+	f := getFixture(b)
+	cts := encryptBatchUnder(b, f.calSvc, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.calSvc.Sigmoid(cts, 2, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5FakeSGXSigmoid(b *testing.B) {
+	f := getFixture(b)
+	cts := encryptBatchUnder(b, f.zeroSvc, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.zeroSvc.Sigmoid(cts, 2, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Fig. 6 ---
+
+func benchmarkPool(b *testing.B, svc *core.EnclaveService, window int, div bool) {
+	f := getFixture(b)
+	const size = 24
+	cts := encryptBatchUnder(b, svc, size*size)
+	out := size / window
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if div {
+			sums := make([]*he.Ciphertext, out*out)
+			for oy := 0; oy < out; oy++ {
+				for ox := 0; ox < out; ox++ {
+					var acc *he.Ciphertext
+					var err error
+					for ky := 0; ky < window; ky++ {
+						for kx := 0; kx < window; kx++ {
+							ct := cts[(oy*window+ky)*size+ox*window+kx]
+							if acc == nil {
+								acc = ct
+							} else if acc, err = f.eval.Add(acc, ct); err != nil {
+								b.Fatal(err)
+							}
+						}
+					}
+					sums[oy*out+ox] = acc
+				}
+			}
+			if _, err := svc.PoolDivide(sums, uint64(window*window)); err != nil {
+				b.Fatal(err)
+			}
+		} else {
+			if _, err := svc.PoolFull(cts, 1, size, size, window); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkFig6SGXDivWindow2(b *testing.B)      { benchmarkPool(b, getFixture(b).calSvc, 2, true) }
+func BenchmarkFig6SGXDivWindow6(b *testing.B)      { benchmarkPool(b, getFixture(b).calSvc, 6, true) }
+func BenchmarkFig6SGXPoolWindow2(b *testing.B)     { benchmarkPool(b, getFixture(b).calSvc, 2, false) }
+func BenchmarkFig6SGXPoolWindow6(b *testing.B)     { benchmarkPool(b, getFixture(b).calSvc, 6, false) }
+func BenchmarkFig6FakeSGXDivWindow2(b *testing.B)  { benchmarkPool(b, getFixture(b).zeroSvc, 2, true) }
+func BenchmarkFig6FakeSGXPoolWindow2(b *testing.B) { benchmarkPool(b, getFixture(b).zeroSvc, 2, false) }
+
+// --- Fig. 8 (reduced geometry; the harness runs the full 28×28) ---
+
+// fig8Fixture holds the end-to-end pipelines at a reduced 12×12 geometry.
+type fig8Fixture struct {
+	img        *nn.Tensor
+	hybridCI   *core.CipherImage
+	hybrid     *core.HybridEngine
+	baseline   *cryptonets.Engine
+	baselineCI *cryptonets.CipherImage
+}
+
+var (
+	fig8Once sync.Once
+	fig8     *fig8Fixture
+	fig8Err  error
+)
+
+func getFig8(b *testing.B) *fig8Fixture {
+	b.Helper()
+	fig8Once.Do(func() {
+		fig8Err = func() error {
+			rng := mrand.New(mrand.NewPCG(9, 9))
+			img := nn.NewTensor(1, 12, 12)
+			for i := range img.Data {
+				img.Data[i] = rng.Float64()
+			}
+			hybridModel := nn.NewNetwork(
+				nn.NewConv2D(1, 3, 3, 1, rng),
+				nn.NewActivation(nn.Sigmoid),
+				nn.NewPool2D(nn.MeanPool, 2),
+				&nn.Flatten{},
+				nn.NewFullyConnected(3*5*5, 10, rng),
+			)
+			baseModel := nn.NewNetwork(
+				nn.NewConv2D(1, 3, 3, 1, rng),
+				nn.NewActivation(nn.Square),
+				nn.NewPool2D(nn.SumPool, 2),
+				&nn.Flatten{},
+				nn.NewFullyConnected(3*5*5, 10, rng),
+			)
+			params, err := he.DefaultParameters(2048, 1<<25)
+			if err != nil {
+				return err
+			}
+			platform, err := sgx.NewPlatform(sgx.Calibrated(), sgx.WithJitterSeed(13))
+			if err != nil {
+				return err
+			}
+			svc, err := core.NewEnclaveService(platform, params, core.WithKeySource(ring.NewSeededSource(14)))
+			if err != nil {
+				return err
+			}
+			engine, err := core.NewHybridEngine(svc, hybridModel, core.DefaultConfig())
+			if err != nil {
+				return err
+			}
+			if err := engine.EncodeWeights(); err != nil {
+				return err
+			}
+			client, err := core.NewClient()
+			if err != nil {
+				return err
+			}
+			payload, err := svc.ProvisionKeys(client.ECDHPublicKey())
+			if err != nil {
+				return err
+			}
+			if err := client.InstallProvisionPayload(payload); err != nil {
+				return err
+			}
+			hybridCI, err := client.EncryptImage(img, core.DefaultConfig().PixelScale)
+			if err != nil {
+				return err
+			}
+
+			cfg := cryptonets.DefaultConfig()
+			cfg.N = 2048
+			cfg.QBits = 56
+			kb, ek, err := cryptonets.GenerateKeys(cfg, ring.NewSeededSource(15))
+			if err != nil {
+				return err
+			}
+			baseline, err := cryptonets.NewEngine(baseModel, cfg, ek)
+			if err != nil {
+				return err
+			}
+			baselineCI, err := kb.EncryptImage(img, cfg.PixelScale, ring.NewSeededSource(16))
+			if err != nil {
+				return err
+			}
+			fig8 = &fig8Fixture{
+				img: img, hybridCI: hybridCI, hybrid: engine,
+				baseline: baseline, baselineCI: baselineCI,
+			}
+			return nil
+		}()
+	})
+	if fig8Err != nil {
+		b.Fatal(fig8Err)
+	}
+	return fig8
+}
+
+func BenchmarkFig8HybridEndToEnd(b *testing.B) {
+	f8 := getFig8(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f8.hybrid.Infer(f8.hybridCI); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig8PureHEPerModulus(b *testing.B) {
+	f8 := getFig8(b)
+	ci := f8.baselineCI
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f8.baseline.InferModulus(0, ci.CTs[0], ci.Channels, ci.Height, ci.Width); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablations ---
+
+// BenchmarkAblationMulSchoolbook vs MulNTTCRT: the exact tensor step of
+// ciphertext multiplication, reference vs fast path.
+func BenchmarkAblationMulSchoolbook(b *testing.B) {
+	f := getFixture(b)
+	slow, err := he.NewEvaluator(f.params, he.WithSchoolbookTensor())
+	if err != nil {
+		b.Fatal(err)
+	}
+	x, _ := f.enc.EncryptScalar(2)
+	y, _ := f.enc.EncryptScalar(3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := slow.Mul(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationMulNTTCRT(b *testing.B) {
+	f := getFixture(b)
+	x, _ := f.enc.EncryptScalar(2)
+	y, _ := f.enc.EncryptScalar(3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.eval.Mul(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationRelinBase compares relinearization decomposition bases
+// (speed vs noise tradeoff).
+func benchmarkRelinBase(b *testing.B, baseBits int) {
+	params, err := he.NewParameters(1024, mustPrime(b, 46, 1024), 4, baseBits)
+	if err != nil {
+		b.Fatal(err)
+	}
+	kg, err := he.NewKeyGenerator(params, ring.NewSeededSource(20))
+	if err != nil {
+		b.Fatal(err)
+	}
+	sk, pk := kg.GenKeyPair()
+	ek := kg.GenEvaluationKeys(sk)
+	enc, err := he.NewEncryptor(pk, ring.NewSeededSource(21))
+	if err != nil {
+		b.Fatal(err)
+	}
+	eval, err := he.NewEvaluator(params)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x, _ := enc.EncryptScalar(2)
+	y, _ := enc.EncryptScalar(3)
+	prod, err := eval.Mul(x, y)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.Relinearize(prod, ek); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationRelinBaseW16(b *testing.B) { benchmarkRelinBase(b, 16) }
+func BenchmarkAblationRelinBaseW2(b *testing.B)  { benchmarkRelinBase(b, 2) }
+
+// BenchmarkAblationScalarVsTruePlainMul compares the constant-coefficient
+// fast path against the full C×P product for weight multiplication.
+func BenchmarkAblationWeightMulScalar(b *testing.B) {
+	f := getFixture(b)
+	ct, _ := f.enc.EncryptScalar(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.eval.MulScalar(ct, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationWeightMulTrueCxP(b *testing.B) {
+	f := getFixture(b)
+	ct, _ := f.enc.EncryptScalar(2)
+	op, err := f.eval.PrepareOperand(f.scalar.Encode(3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.eval.MulPlainOperand(ct, op); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func mustPrime(b *testing.B, bits, n int) uint64 {
+	b.Helper()
+	q, err := ring.GenerateNTTPrime(bits, n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return q
+}
+
+// BenchmarkSIMDBatchInference measures the §VIII extension: one SIMD engine
+// pass carrying 64 images in CRT slots.
+func BenchmarkSIMDBatchInference64(b *testing.B) {
+	params, err := core.DefaultSIMDParameters()
+	if err != nil {
+		b.Fatal(err)
+	}
+	platform, err := sgx.NewPlatform(sgx.ZeroCost(), sgx.WithJitterSeed(30))
+	if err != nil {
+		b.Fatal(err)
+	}
+	svc, err := core.NewEnclaveService(platform, params, core.WithKeySource(ring.NewSeededSource(31)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := mrand.New(mrand.NewPCG(32, 33))
+	model := nn.NewNetwork(
+		nn.NewConv2D(1, 3, 3, 1, rng),
+		nn.NewActivation(nn.Sigmoid),
+		nn.NewPool2D(nn.MeanPool, 2),
+		&nn.Flatten{},
+		nn.NewFullyConnected(3*5*5, 10, rng),
+	)
+	cfg := core.DefaultConfig()
+	cfg.SIMD = true
+	engine, err := core.NewHybridEngine(svc, model, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	client, err := core.NewClient()
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload, err := svc.ProvisionKeys(client.ECDHPublicKey())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := client.InstallProvisionPayload(payload); err != nil {
+		b.Fatal(err)
+	}
+	imgs := make([]*nn.Tensor, 64)
+	for i := range imgs {
+		im := nn.NewTensor(1, 12, 12)
+		for j := range im.Data {
+			im.Data[j] = rng.Float64()
+		}
+		imgs[i] = im
+	}
+	ci, err := client.EncryptImageBatch(imgs, cfg.PixelScale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.Infer(ci); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+// Command hesgx-bench regenerates the paper's evaluation tables and
+// figures (Tables I–V, Figs. 3–6 and 8, and the Table VI model schedule).
+//
+// Usage:
+//
+//	hesgx-bench [flags] <experiment>...
+//	hesgx-bench all            # every table and figure
+//	hesgx-bench table1 fig4    # a subset
+//
+// Flags:
+//
+//	-reps N        measurement repetitions (default 30; paper used 1000)
+//	-batch N       batch size (default 10, as in the paper)
+//	-quick         shrink workloads for a fast smoke run
+//	-seed N        deterministic seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"hesgx/internal/bench"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	reps := flag.Int("reps", 0, "measurement repetitions (0 = per-experiment default)")
+	batch := flag.Int("batch", 10, "batch size (paper: 10)")
+	quick := flag.Bool("quick", false, "shrink workloads for a fast run")
+	seed := flag.Uint64("seed", 42, "deterministic seed")
+	flag.Parse()
+
+	opts := bench.DefaultOptions(os.Stdout)
+	opts.Reps = *reps
+	opts.BatchSize = *batch
+	opts.Quick = *quick
+	opts.Seed = *seed
+
+	experiments := map[string]func() error{
+		"table1": opts.RunTable1,
+		"table2": opts.RunTable2,
+		"table3": opts.RunTable3,
+		"table4": opts.RunTable4,
+		"table5": opts.RunTable5,
+		"model":  opts.RunModel,
+		"fig3":   opts.RunFig3,
+		"fig4":   opts.RunFig4,
+		"fig5":   opts.RunFig5,
+		"fig6":   opts.RunFig6,
+		"fig8":   opts.RunFig8,
+		"simd":   opts.RunSIMD,
+	}
+	order := []string{"table1", "table2", "table3", "table4", "table5", "model", "fig3", "fig4", "fig5", "fig6", "fig8", "simd"}
+
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintf(os.Stderr, "usage: hesgx-bench [flags] <experiment>...\navailable: all %v\n", order)
+		return 2
+	}
+	if len(args) == 1 && args[0] == "all" {
+		args = order
+	}
+	for _, name := range args {
+		fn, ok := experiments[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; available: all %v\n", name, order)
+			return 2
+		}
+		start := time.Now()
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", name, err)
+			return 1
+		}
+		fmt.Printf("\n[%s completed in %s]\n", name, time.Since(start).Round(time.Millisecond))
+	}
+	return 0
+}

@@ -1,0 +1,78 @@
+// Command hesgx-client is the smart-device side of the §VII case study: it
+// attests the edge server's enclave, receives the HE keys over the attested
+// channel, encrypts a synthetic digit image, and requests inference.
+//
+// Usage:
+//
+//	hesgx-client -addr localhost:7700 [-digit 7] [-count 3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	mrand "math/rand/v2"
+	"os"
+	"time"
+
+	"hesgx/internal/attest"
+	"hesgx/internal/dataset"
+	"hesgx/internal/wire"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	addr := flag.String("addr", "localhost:7700", "edge server address")
+	digit := flag.Int("digit", -1, "digit to query (-1 = random)")
+	count := flag.Int("count", 1, "number of queries")
+	seed := flag.Uint64("seed", uint64(time.Now().UnixNano()), "image randomness seed")
+	flag.Parse()
+
+	verifier := attest.NewService()
+	client, err := wire.Dial(*addr, verifier)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dial: %v\n", err)
+		return 1
+	}
+	defer client.Close()
+
+	// Demo trust bootstrap (trust-on-first-use); production pins these.
+	if err := client.FetchTrustBundle(); err != nil {
+		fmt.Fprintf(os.Stderr, "trust bundle: %v\n", err)
+		return 1
+	}
+	start := time.Now()
+	if err := client.Attest(); err != nil {
+		fmt.Fprintf(os.Stderr, "attestation: %v\n", err)
+		return 1
+	}
+	fmt.Printf("attested enclave and received HE keys in %s (%s)\n",
+		time.Since(start).Round(time.Millisecond), client.Params())
+
+	rng := mrand.New(mrand.NewPCG(*seed, *seed^0xc11e47))
+	correct := 0
+	for i := 0; i < *count; i++ {
+		d := *digit
+		if d < 0 {
+			d = rng.IntN(dataset.Classes)
+		}
+		img := dataset.RenderDigit(d, rng)
+		qStart := time.Now()
+		pred, err := client.Predict(img, 255)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "inference: %v\n", err)
+			return 1
+		}
+		ok := ""
+		if pred == d {
+			correct++
+			ok = " ✓"
+		}
+		fmt.Printf("query %d: true digit %d -> predicted %d%s (%s)\n",
+			i+1, d, pred, ok, time.Since(qStart).Round(time.Millisecond))
+	}
+	fmt.Printf("%d/%d correct\n", correct, *count)
+	return 0
+}

@@ -1,0 +1,101 @@
+// Command hesgx-server runs the CAV edge server of §VII: it launches the
+// (simulated) SGX inference enclave, generates HE keys inside it, loads the
+// trained CNN, and serves attestation and encrypted-inference requests over
+// TCP.
+//
+// Usage:
+//
+//	hesgx-server -model model.bin [-addr :7700] [-calibrated]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"hesgx/internal/core"
+	"hesgx/internal/nn"
+	"hesgx/internal/sgx"
+	"hesgx/internal/wire"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	addr := flag.String("addr", ":7700", "listen address")
+	modelPath := flag.String("model", "model.bin", "trained model path")
+	calibrated := flag.Bool("calibrated", false, "inject calibrated SGX costs (default: zero-cost simulation)")
+	flag.Parse()
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+
+	model, err := nn.LoadFile(*modelPath)
+	if err != nil {
+		logger.Error("loading model", "err", err)
+		return 1
+	}
+
+	cost := sgx.ZeroCost()
+	if *calibrated {
+		cost = sgx.Calibrated()
+	}
+	platform, err := sgx.NewPlatform(cost)
+	if err != nil {
+		logger.Error("creating platform", "err", err)
+		return 1
+	}
+	params, err := core.DefaultHybridParameters()
+	if err != nil {
+		logger.Error("parameters", "err", err)
+		return 1
+	}
+	svc, err := core.NewEnclaveService(platform, params)
+	if err != nil {
+		logger.Error("launching enclave", "err", err)
+		return 1
+	}
+	engine, err := core.NewHybridEngine(svc, model, core.DefaultConfig())
+	if err != nil {
+		logger.Error("planning engine", "err", err)
+		return 1
+	}
+	logger.Info("encoding model weights into the homomorphic plaintext space",
+		"weights", engine.EncodedWeightCount())
+	if err := engine.EncodeWeights(); err != nil {
+		logger.Error("encoding weights", "err", err)
+		return 1
+	}
+
+	srv, err := wire.NewServer(svc, engine, logger)
+	if err != nil {
+		logger.Error("creating server", "err", err)
+		return 1
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Error("listening", "addr", *addr, "err", err)
+		return 1
+	}
+	m := svc.Enclave().Measurement()
+	logger.Info("edge server ready",
+		"addr", ln.Addr().String(),
+		"enclave", svc.Enclave().Name(),
+		"measurement", fmt.Sprintf("%x", m[:8]),
+		"params", params.String(),
+	)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := srv.Serve(ctx, ln); err != nil {
+		logger.Error("serving", "err", err)
+		return 1
+	}
+	logger.Info("shut down cleanly")
+	return 0
+}

@@ -1,0 +1,73 @@
+// Command hesgx-train trains the Fig. 7 CNN on the synthetic
+// handwritten-digit corpus and saves the model for the edge server.
+//
+// Usage:
+//
+//	hesgx-train -out model.bin [-samples 2000] [-epochs 10] [-lr 0.15]
+//	hesgx-train -out model.bin -arch cryptonets   # Square/SumPool variant
+package main
+
+import (
+	"flag"
+	"fmt"
+	mrand "math/rand/v2"
+	"os"
+
+	"hesgx/internal/dataset"
+	"hesgx/internal/nn"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	out := flag.String("out", "model.bin", "output model path")
+	samples := flag.Int("samples", 2000, "synthetic dataset size")
+	epochs := flag.Int("epochs", 10, "training epochs")
+	lr := flag.Float64("lr", 0.15, "learning rate")
+	batch := flag.Int("batch", 16, "minibatch size")
+	arch := flag.String("arch", "paper", "architecture: paper (Sigmoid/MeanPool) or cryptonets (Square/SumPool)")
+	seed := flag.Uint64("seed", 1, "random seed")
+	flag.Parse()
+
+	rng := mrand.New(mrand.NewPCG(*seed, *seed^0x7a31))
+	var net *nn.Network
+	switch *arch {
+	case "paper":
+		net = nn.PaperCNN(rng)
+	case "cryptonets":
+		net = nn.CryptoNetsCNN(rng)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown architecture %q\n", *arch)
+		return 2
+	}
+
+	data := dataset.Generate(*samples, *seed+100)
+	train, test := data.Split(0.9)
+	fmt.Printf("training %s CNN on %d synthetic digits (%d held out)\n", *arch, train.Len(), test.Len())
+
+	trainer := &nn.SGD{LR: *lr, BatchSize: *batch}
+	examples := train.Examples()
+	for epoch := 1; epoch <= *epochs; epoch++ {
+		nn.Shuffle(examples, rng)
+		loss, err := trainer.TrainEpoch(net, examples)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "epoch %d: %v\n", epoch, err)
+			return 1
+		}
+		acc, err := nn.Accuracy(net, test.Examples())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "evaluating: %v\n", err)
+			return 1
+		}
+		fmt.Printf("epoch %2d: loss %.4f, test accuracy %.1f%%\n", epoch, loss, acc*100)
+	}
+
+	if err := net.SaveFile(*out); err != nil {
+		fmt.Fprintf(os.Stderr, "saving model: %v\n", err)
+		return 1
+	}
+	fmt.Printf("model saved to %s\n", *out)
+	return 0
+}

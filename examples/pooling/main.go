@@ -1,0 +1,90 @@
+// Pooling strategies (§VI-D): SGXDiv computes the window sums
+// homomorphically and asks the enclave only for the division, while SGXPool
+// ships the whole feature map inside. This example measures both across
+// window sizes and shows the crossover rule the framework applies
+// automatically (SGXPool below window 3, SGXDiv from 3 up).
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"hesgx/internal/core"
+	"hesgx/internal/he"
+	"hesgx/internal/ring"
+	"hesgx/internal/sgx"
+)
+
+func main() {
+	params, err := he.DefaultParameters(1024, 1<<20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	platform, err := sgx.NewPlatform(sgx.Calibrated())
+	if err != nil {
+		log.Fatal(err)
+	}
+	svc, err := core.NewEnclaveService(platform, params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eval, err := he.NewEvaluator(params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc, err := he.NewEncryptor(svc.PublicKey(), ring.NewCryptoSource())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const size = 24
+	cts := make([]*he.Ciphertext, size*size)
+	for i := range cts {
+		if cts[i], err = enc.EncryptScalar(uint64(i % 7)); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	fmt.Printf("%-8s %-12s %-12s %-12s\n", "window", "SGXDiv", "SGXPool", "auto choice")
+	for _, k := range []int{2, 3, 4, 6, 8, 12} {
+		out := size / k
+
+		divStart := time.Now()
+		sums := make([]*he.Ciphertext, out*out)
+		for oy := 0; oy < out; oy++ {
+			for ox := 0; ox < out; ox++ {
+				var acc *he.Ciphertext
+				for ky := 0; ky < k; ky++ {
+					for kx := 0; kx < k; kx++ {
+						ct := cts[(oy*k+ky)*size+ox*k+kx]
+						if acc == nil {
+							acc = ct
+						} else if acc, err = eval.Add(acc, ct); err != nil {
+							log.Fatal(err)
+						}
+					}
+				}
+				sums[oy*out+ox] = acc
+			}
+		}
+		if _, err := svc.PoolDivide(sums, uint64(k*k)); err != nil {
+			log.Fatal(err)
+		}
+		divTime := time.Since(divStart)
+
+		poolStart := time.Now()
+		if _, err := svc.PoolFull(cts, 1, size, size, k); err != nil {
+			log.Fatal(err)
+		}
+		poolTime := time.Since(poolStart)
+
+		choice := "SGXDiv"
+		if core.ChoosePoolStrategy(k) == core.PoolSGXPool {
+			choice = "SGXPool"
+		}
+		fmt.Printf("%-8d %-12s %-12s %-12s\n", k,
+			divTime.Round(time.Millisecond), poolTime.Round(time.Millisecond), choice)
+	}
+	fmt.Printf("\ncrossover rule: SGXPool when window < %d, SGXDiv otherwise (§VI-D)\n", core.PoolCrossoverWindow)
+}

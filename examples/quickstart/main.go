@@ -1,0 +1,91 @@
+// Quickstart: the FV homomorphic-encryption core in five minutes —
+// parameter selection, key generation, encryption, homomorphic add /
+// multiply / relinearize, and the noise budget that governs it all.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hesgx/internal/encoding"
+	"hesgx/internal/he"
+	"hesgx/internal/ring"
+)
+
+func main() {
+	// 1. Parameters: the SEAL-style chooser picks the coefficient modulus
+	// for a ring degree; the plaintext modulus is the application's.
+	params, err := he.DefaultParameters(1024, 257)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("parameters:", params)
+
+	// 2. Keys. Use ring.NewCryptoSource() for real deployments.
+	kg, err := he.NewKeyGenerator(params, ring.NewCryptoSource())
+	if err != nil {
+		log.Fatal(err)
+	}
+	sk, pk := kg.GenKeyPair()
+	evk := kg.GenEvaluationKeys(sk)
+
+	enc, err := he.NewEncryptor(pk, ring.NewCryptoSource())
+	if err != nil {
+		log.Fatal(err)
+	}
+	dec, err := he.NewDecryptor(sk)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eval, err := he.NewEvaluator(params)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Encrypt two integers with the scalar encoder.
+	codec, err := encoding.NewScalarEncoder(params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctA, err := enc.Encrypt(codec.Encode(7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctB, err := enc.Encrypt(codec.Encode(-3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	budget, _ := dec.NoiseBudget(ctA)
+	fmt.Printf("fresh ciphertext noise budget: %.1f bits\n", budget)
+
+	// 4. Homomorphic arithmetic.
+	sum, err := eval.Add(ctA, ctB)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ptSum, _ := dec.Decrypt(sum)
+	fmt.Println("7 + (-3) =", codec.Decode(ptSum))
+
+	prod, err := eval.Mul(ctA, ctB)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("ciphertext size after multiply:", prod.Size())
+	prod, err = eval.Relinearize(prod, evk)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("ciphertext size after relinearize:", prod.Size())
+	ptProd, _ := dec.Decrypt(prod)
+	fmt.Println("7 * (-3) =", codec.Decode(ptProd))
+	budget, _ = dec.NoiseBudget(prod)
+	fmt.Printf("noise budget after multiply+relinearize: %.1f bits\n", budget)
+
+	// 5. Plaintext multiplication is much cheaper and quieter.
+	scaled, err := eval.MulPlain(ctA, codec.Encode(6))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ptScaled, _ := dec.Decrypt(scaled)
+	fmt.Println("7 * 6 (plaintext operand) =", codec.Decode(ptScaled))
+}

@@ -1,0 +1,3 @@
+module hesgx
+
+go 1.22

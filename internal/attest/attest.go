@@ -1,0 +1,215 @@
+// Package attest implements the remote-attestation flow of §IV-A: the
+// enclave proves its identity to a remote user through a signed quote, and
+// the quote's user-data field carries the freshly generated homomorphic
+// keys — so SGX plays the role of the trusted third party that pure-HE
+// deployments need for key distribution (Fig. 1 vs Fig. 2 of the paper).
+//
+// The structure mirrors Intel DCAP: a platform-held attestation key signs
+// (measurement, user data, challenge nonce); a verification service —
+// standing in for the Intel provisioning/attestation infrastructure — holds
+// the registered platform keys and the expected enclave measurements, and
+// accepts or rejects quotes.
+package attest
+
+import (
+	"bytes"
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"hesgx/internal/sgx"
+)
+
+// Static errors callers can match with errors.Is.
+var (
+	ErrUnknownPlatform  = errors.New("attest: quote not signed by any registered platform")
+	ErrUntrustedMeasure = errors.New("attest: enclave measurement not trusted")
+	ErrNonceMismatch    = errors.New("attest: quote nonce does not match challenge")
+	ErrMalformedQuote   = errors.New("attest: malformed quote")
+	ErrSignatureInvalid = errors.New("attest: quote signature invalid")
+)
+
+// Quote is the attestation evidence: the enclave's measurement, caller
+// user data (here: serialized HE key material), the verifier's challenge
+// nonce, and the platform signature over all of it.
+type Quote struct {
+	Measurement [32]byte
+	Nonce       [32]byte
+	UserData    []byte
+	Signature   []byte
+}
+
+// quoteDigest hashes the signed portion of a quote.
+func quoteDigest(measurement, nonce [32]byte, userData []byte) [32]byte {
+	h := sha256.New()
+	h.Write([]byte("hesgx/attest/quote/v1"))
+	h.Write(measurement[:])
+	h.Write(nonce[:])
+	var l [8]byte
+	binary.LittleEndian.PutUint64(l[:], uint64(len(userData)))
+	h.Write(l[:])
+	h.Write(userData)
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// GenerateQuote produces a quote for the enclave binding userData and the
+// verifier-supplied nonce, signed by the hosting platform's attestation key
+// (the quoting-enclave role).
+func GenerateQuote(e *sgx.Enclave, nonce [32]byte, userData []byte) (*Quote, error) {
+	if e == nil {
+		return nil, fmt.Errorf("attest: nil enclave")
+	}
+	m := e.Measurement()
+	digest := quoteDigest(m, nonce, userData)
+	sig, err := e.Platform().SignQuoteDigest(digest)
+	if err != nil {
+		return nil, fmt.Errorf("attest: signing quote: %w", err)
+	}
+	return &Quote{
+		Measurement: m,
+		Nonce:       nonce,
+		UserData:    bytes.Clone(userData),
+		Signature:   sig,
+	}, nil
+}
+
+// NewNonce returns a fresh random challenge.
+func NewNonce() ([32]byte, error) {
+	var n [32]byte
+	if _, err := io.ReadFull(rand.Reader, n[:]); err != nil {
+		return n, fmt.Errorf("attest: generating nonce: %w", err)
+	}
+	return n, nil
+}
+
+// Service verifies quotes. It stands in for the Intel attestation
+// infrastructure: platforms are enrolled with their attestation public
+// keys, and relying parties declare which enclave measurements they trust.
+// Safe for concurrent use.
+type Service struct {
+	mu           sync.RWMutex
+	platformKeys []*ecdsa.PublicKey
+	measurements map[[32]byte]bool
+}
+
+// NewService returns an empty verification service.
+func NewService() *Service {
+	return &Service{measurements: make(map[[32]byte]bool)}
+}
+
+// RegisterPlatform enrolls a platform attestation public key.
+func (s *Service) RegisterPlatform(pub *ecdsa.PublicKey) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.platformKeys = append(s.platformKeys, pub)
+}
+
+// TrustMeasurement marks an enclave measurement as expected. Quotes from
+// other measurements are rejected even when the platform signature is good.
+func (s *Service) TrustMeasurement(m [32]byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.measurements[m] = true
+}
+
+// Verify checks a quote against the expected nonce: signature by a
+// registered platform, trusted measurement, nonce freshness.
+func (s *Service) Verify(q *Quote, expectedNonce [32]byte) error {
+	if q == nil || len(q.Signature) == 0 {
+		return ErrMalformedQuote
+	}
+	if q.Nonce != expectedNonce {
+		return ErrNonceMismatch
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if !s.measurements[q.Measurement] {
+		return ErrUntrustedMeasure
+	}
+	digest := quoteDigest(q.Measurement, q.Nonce, q.UserData)
+	for _, pub := range s.platformKeys {
+		if ecdsa.VerifyASN1(pub, digest[:], q.Signature) {
+			return nil
+		}
+	}
+	if len(s.platformKeys) == 0 {
+		return ErrUnknownPlatform
+	}
+	return ErrSignatureInvalid
+}
+
+// Marshal serializes a quote for the wire.
+func (q *Quote) Marshal() ([]byte, error) {
+	var buf bytes.Buffer
+	buf.Write(q.Measurement[:])
+	buf.Write(q.Nonce[:])
+	var l [4]byte
+	binary.LittleEndian.PutUint32(l[:], uint32(len(q.UserData)))
+	buf.Write(l[:])
+	buf.Write(q.UserData)
+	binary.LittleEndian.PutUint32(l[:], uint32(len(q.Signature)))
+	buf.Write(l[:])
+	buf.Write(q.Signature)
+	return buf.Bytes(), nil
+}
+
+// maxQuoteField bounds deserialized field sizes against hostile input.
+const maxQuoteField = 64 << 20
+
+// UnmarshalQuote parses a quote serialized by Marshal.
+func UnmarshalQuote(b []byte) (*Quote, error) {
+	r := bytes.NewReader(b)
+	q := &Quote{}
+	if _, err := io.ReadFull(r, q.Measurement[:]); err != nil {
+		return nil, fmt.Errorf("%w: measurement: %v", ErrMalformedQuote, err)
+	}
+	if _, err := io.ReadFull(r, q.Nonce[:]); err != nil {
+		return nil, fmt.Errorf("%w: nonce: %v", ErrMalformedQuote, err)
+	}
+	readField := func(name string) ([]byte, error) {
+		var l [4]byte
+		if _, err := io.ReadFull(r, l[:]); err != nil {
+			return nil, fmt.Errorf("%w: %s length: %v", ErrMalformedQuote, name, err)
+		}
+		n := binary.LittleEndian.Uint32(l[:])
+		if n > maxQuoteField {
+			return nil, fmt.Errorf("%w: %s too large (%d)", ErrMalformedQuote, name, n)
+		}
+		out := make([]byte, n)
+		if _, err := io.ReadFull(r, out); err != nil {
+			return nil, fmt.Errorf("%w: %s body: %v", ErrMalformedQuote, name, err)
+		}
+		return out, nil
+	}
+	var err error
+	if q.UserData, err = readField("user data"); err != nil {
+		return nil, err
+	}
+	if q.Signature, err = readField("signature"); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// MarshalPublicKey encodes a platform attestation public key
+// (uncompressed P-256 point) for enrollment over the wire.
+func MarshalPublicKey(pub *ecdsa.PublicKey) []byte {
+	return elliptic.Marshal(elliptic.P256(), pub.X, pub.Y)
+}
+
+// UnmarshalPublicKey reverses MarshalPublicKey.
+func UnmarshalPublicKey(b []byte) (*ecdsa.PublicKey, error) {
+	x, y := elliptic.Unmarshal(elliptic.P256(), b)
+	if x == nil {
+		return nil, fmt.Errorf("attest: invalid public key encoding")
+	}
+	return &ecdsa.PublicKey{Curve: elliptic.P256(), X: x, Y: y}, nil
+}

@@ -1,0 +1,194 @@
+package attest
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"hesgx/internal/sgx"
+)
+
+func testEnclave(t *testing.T) *sgx.Enclave {
+	t.Helper()
+	p, err := sgx.NewPlatform(sgx.ZeroCost(), sgx.WithJitterSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := p.Launch(sgx.Definition{
+		Name:    "keyvault",
+		Version: "1.0",
+		ECalls: map[string]sgx.ECallFunc{
+			"noop": func(*sgx.Context, []byte) ([]byte, error) { return nil, nil },
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestQuoteVerifyHappyPath(t *testing.T) {
+	e := testEnclave(t)
+	nonce, err := NewNonce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	userData := []byte("serialized HE public key")
+	q, err := GenerateQuote(e, nonce, userData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := NewService()
+	svc.RegisterPlatform(e.Platform().AttestationPublicKey())
+	svc.TrustMeasurement(e.Measurement())
+	if err := svc.Verify(q, nonce); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if !bytes.Equal(q.UserData, userData) {
+		t.Fatal("user data not carried through")
+	}
+}
+
+func TestVerifyRejectsWrongNonce(t *testing.T) {
+	e := testEnclave(t)
+	nonce, _ := NewNonce()
+	q, _ := GenerateQuote(e, nonce, nil)
+	svc := NewService()
+	svc.RegisterPlatform(e.Platform().AttestationPublicKey())
+	svc.TrustMeasurement(e.Measurement())
+	other, _ := NewNonce()
+	if err := svc.Verify(q, other); !errors.Is(err, ErrNonceMismatch) {
+		t.Fatalf("got %v, want nonce mismatch", err)
+	}
+}
+
+func TestVerifyRejectsUntrustedMeasurement(t *testing.T) {
+	e := testEnclave(t)
+	nonce, _ := NewNonce()
+	q, _ := GenerateQuote(e, nonce, nil)
+	svc := NewService()
+	svc.RegisterPlatform(e.Platform().AttestationPublicKey())
+	// measurement deliberately not trusted
+	if err := svc.Verify(q, nonce); !errors.Is(err, ErrUntrustedMeasure) {
+		t.Fatalf("got %v, want untrusted measurement", err)
+	}
+}
+
+func TestVerifyRejectsUnregisteredPlatform(t *testing.T) {
+	e := testEnclave(t)
+	nonce, _ := NewNonce()
+	q, _ := GenerateQuote(e, nonce, nil)
+	svc := NewService()
+	svc.TrustMeasurement(e.Measurement())
+	if err := svc.Verify(q, nonce); !errors.Is(err, ErrUnknownPlatform) {
+		t.Fatalf("got %v, want unknown platform", err)
+	}
+}
+
+func TestVerifyRejectsForeignPlatformSignature(t *testing.T) {
+	e := testEnclave(t)
+	foreign := testEnclave(t) // different platform, same definition
+	nonce, _ := NewNonce()
+	q, _ := GenerateQuote(e, nonce, nil)
+	svc := NewService()
+	svc.RegisterPlatform(foreign.Platform().AttestationPublicKey())
+	svc.TrustMeasurement(e.Measurement())
+	if err := svc.Verify(q, nonce); !errors.Is(err, ErrSignatureInvalid) {
+		t.Fatalf("got %v, want signature invalid", err)
+	}
+}
+
+func TestVerifyRejectsTamperedUserData(t *testing.T) {
+	e := testEnclave(t)
+	nonce, _ := NewNonce()
+	q, _ := GenerateQuote(e, nonce, []byte("legit key material"))
+	svc := NewService()
+	svc.RegisterPlatform(e.Platform().AttestationPublicKey())
+	svc.TrustMeasurement(e.Measurement())
+
+	q.UserData[0] ^= 0xFF // MITM swaps the delivered key
+	if err := svc.Verify(q, nonce); !errors.Is(err, ErrSignatureInvalid) {
+		t.Fatalf("got %v, want signature invalid after tamper", err)
+	}
+}
+
+func TestVerifyRejectsTamperedMeasurement(t *testing.T) {
+	e := testEnclave(t)
+	nonce, _ := NewNonce()
+	q, _ := GenerateQuote(e, nonce, nil)
+	svc := NewService()
+	svc.RegisterPlatform(e.Platform().AttestationPublicKey())
+	svc.TrustMeasurement(e.Measurement())
+	q.Measurement[0] ^= 1
+	err := svc.Verify(q, nonce)
+	if err == nil {
+		t.Fatal("tampered measurement accepted")
+	}
+}
+
+func TestVerifyMalformed(t *testing.T) {
+	svc := NewService()
+	var nonce [32]byte
+	if err := svc.Verify(nil, nonce); !errors.Is(err, ErrMalformedQuote) {
+		t.Fatalf("nil quote: %v", err)
+	}
+	if err := svc.Verify(&Quote{}, nonce); !errors.Is(err, ErrMalformedQuote) {
+		t.Fatalf("empty quote: %v", err)
+	}
+}
+
+func TestQuoteSerializationRoundTrip(t *testing.T) {
+	e := testEnclave(t)
+	nonce, _ := NewNonce()
+	q, _ := GenerateQuote(e, nonce, []byte("payload"))
+	b, err := q.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalQuote(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Measurement != q.Measurement || got.Nonce != q.Nonce ||
+		!bytes.Equal(got.UserData, q.UserData) || !bytes.Equal(got.Signature, q.Signature) {
+		t.Fatal("quote roundtrip mismatch")
+	}
+	// The roundtripped quote still verifies.
+	svc := NewService()
+	svc.RegisterPlatform(e.Platform().AttestationPublicKey())
+	svc.TrustMeasurement(e.Measurement())
+	if err := svc.Verify(got, nonce); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnmarshalQuoteRejectsGarbage(t *testing.T) {
+	if _, err := UnmarshalQuote([]byte("short")); err == nil {
+		t.Fatal("short quote accepted")
+	}
+	// Hostile length field.
+	b := make([]byte, 32+32+4)
+	b[64] = 0xFF
+	b[65] = 0xFF
+	b[66] = 0xFF
+	b[67] = 0xFF
+	if _, err := UnmarshalQuote(b); err == nil {
+		t.Fatal("hostile length accepted")
+	}
+}
+
+func TestPublicKeyRoundTrip(t *testing.T) {
+	e := testEnclave(t)
+	pub := e.Platform().AttestationPublicKey()
+	b := MarshalPublicKey(pub)
+	got, err := UnmarshalPublicKey(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.X.Cmp(pub.X) != 0 || got.Y.Cmp(pub.Y) != 0 {
+		t.Fatal("public key roundtrip mismatch")
+	}
+	if _, err := UnmarshalPublicKey([]byte{1, 2, 3}); err == nil {
+		t.Fatal("garbage key accepted")
+	}
+}

@@ -1,0 +1,59 @@
+package attest
+
+import (
+	"testing"
+
+	"hesgx/internal/sgx"
+)
+
+// FuzzUnmarshalQuote: hostile quote bytes must produce errors, never
+// panics, and any parsed quote must re-marshal consistently.
+func FuzzUnmarshalQuote(f *testing.F) {
+	platform, err := sgx.NewPlatform(sgx.ZeroCost(), sgx.WithJitterSeed(1))
+	if err != nil {
+		f.Fatal(err)
+	}
+	enclave, err := platform.Launch(sgx.Definition{
+		Name:    "fuzz",
+		Version: "1",
+		ECalls: map[string]sgx.ECallFunc{
+			"noop": func(*sgx.Context, []byte) ([]byte, error) { return nil, nil },
+		},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	nonce, err := NewNonce()
+	if err != nil {
+		f.Fatal(err)
+	}
+	q, err := GenerateQuote(enclave, nonce, []byte("key material"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	valid, err := q.Marshal()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:40])
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := UnmarshalQuote(data)
+		if err != nil {
+			return
+		}
+		again, err := got.Marshal()
+		if err != nil {
+			t.Fatalf("parsed quote cannot re-marshal: %v", err)
+		}
+		back, err := UnmarshalQuote(again)
+		if err != nil {
+			t.Fatalf("re-marshalled quote rejected: %v", err)
+		}
+		if back.Measurement != got.Measurement || back.Nonce != got.Nonce {
+			t.Fatal("quote does not round-trip")
+		}
+	})
+}

@@ -1,0 +1,82 @@
+// Package bench implements the paper's measurement methodology (§V-B):
+// each exported Run* function regenerates one table or figure of the
+// evaluation section, printing the same rows/series the paper reports.
+// Absolute numbers differ from the paper's Xeon E3-1225v6 + SEAL 2.1
+// testbed; the harness is built to reproduce the *shape* — who wins, by
+// what factor, where crossovers fall (see EXPERIMENTS.md).
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"hesgx/internal/ring"
+	"hesgx/internal/sgx"
+	"hesgx/internal/stats"
+)
+
+// Options tunes all experiments.
+type Options struct {
+	// Reps is the number of measurement repetitions (the paper used 1000
+	// for the micro tables; the default trades precision for runtime).
+	Reps int
+	// BatchSize is the number of images processed per batch (paper: 10).
+	BatchSize int
+	// Quick shrinks workloads (smaller images, fewer sweep points) so the
+	// full suite runs in CI time.
+	Quick bool
+	// Seed makes runs deterministic.
+	Seed uint64
+	// Out receives the formatted results.
+	Out io.Writer
+}
+
+// DefaultOptions mirrors the paper's setup with reduced repetitions.
+func DefaultOptions(out io.Writer) Options {
+	return Options{Reps: 30, BatchSize: 10, Seed: 42, Out: out}
+}
+
+func (o Options) reps(def int) int {
+	if o.Reps > 0 {
+		return o.Reps
+	}
+	return def
+}
+
+func (o Options) printf(format string, args ...any) {
+	fmt.Fprintf(o.Out, format, args...)
+}
+
+func (o Options) section(title string) {
+	fmt.Fprintf(o.Out, "\n## %s\n\n", title)
+}
+
+// row prints a markdown table row of a summary in milliseconds.
+func (o Options) summaryRow(label string, s stats.Summary) {
+	o.printf("| %s | %.3f | %.3f | [%.3f, %.3f] |\n", label, s.Mean, s.Std, s.CILow, s.CIHigh)
+}
+
+// calibratedPlatform builds the SGX platform used for "inside SGX"
+// measurements.
+func calibratedPlatform(seed uint64) (*sgx.Platform, error) {
+	return sgx.NewPlatform(sgx.Calibrated(), sgx.WithJitterSeed(seed))
+}
+
+// zeroPlatform builds the platform used for "FakeSGX" measurements: the
+// same code path with no SGX costs, i.e. running outside the enclave.
+func zeroPlatform(seed uint64) (*sgx.Platform, error) {
+	return sgx.NewPlatform(sgx.ZeroCost(), sgx.WithJitterSeed(seed))
+}
+
+// timeIt measures a single execution in milliseconds.
+func timeIt(fn func()) float64 {
+	start := time.Now()
+	fn()
+	return float64(time.Since(start).Microseconds()) / 1000.0
+}
+
+// benchSource returns the deterministic randomness for an experiment.
+func (o Options) source(offset uint64) ring.Source {
+	return ring.NewSeededSource(o.Seed + offset)
+}

@@ -1,0 +1,131 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"hesgx/internal/he"
+	"hesgx/internal/ring"
+	"hesgx/internal/stats"
+)
+
+// quickOpts builds fast options writing into a buffer.
+func quickOpts(buf *bytes.Buffer) Options {
+	o := DefaultOptions(buf)
+	o.Quick = true
+	o.Reps = 3
+	o.BatchSize = 2
+	return o
+}
+
+func TestMicroTablesProduceOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench smoke tests skipped in short mode")
+	}
+	var buf bytes.Buffer
+	o := quickOpts(&buf)
+	runs := []struct {
+		name string
+		fn   func() error
+		want string
+	}{
+		{"table1", o.RunTable1, "Inside SGX"},
+		{"table3", o.RunTable3, "ms/image"},
+		{"table4", o.RunTable4, "SGX tax"},
+		{"table5", o.RunTable5, "Relinearization"},
+		{"model", o.RunModel, "Fully Connected"},
+	}
+	for _, r := range runs {
+		t.Run(r.name, func(t *testing.T) {
+			buf.Reset()
+			if err := r.fn(); err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(buf.String(), r.want) {
+				t.Fatalf("output missing %q:\n%s", r.want, buf.String())
+			}
+		})
+	}
+}
+
+func TestTable1ShapeInsideSlower(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench smoke tests skipped in short mode")
+	}
+	// Measure directly and compare medians, which are robust against the
+	// occasional scheduler outlier that makes means flaky in CI.
+	params, err := paperMicroParams()
+	if err != nil {
+		t.Fatal(err)
+	}
+	platform, err := calibratedPlatform(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	me, err := newMicroEnclave(platform, params, ring.NewSeededSource(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const reps = 15
+	inside := make([]float64, 0, reps)
+	for i := 0; i < reps; i++ {
+		inside = append(inside, timeIt(func() {
+			if _, err := me.enclave.ECall(ecallGenerateKey, nil); err != nil {
+				t.Fatal(err)
+			}
+		}))
+	}
+	src := ring.NewSeededSource(3)
+	outside := make([]float64, 0, reps)
+	for i := 0; i < reps; i++ {
+		outside = append(outside, timeIt(func() {
+			kg, err := he.NewKeyGenerator(params, src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			kg.GenKeyPair()
+		}))
+	}
+	in, out := stats.Median(inside), stats.Median(outside)
+	if in <= out {
+		t.Fatalf("median inside %.3f ms <= outside %.3f ms; calibrated enclave must be slower", in, out)
+	}
+}
+
+func TestFig3Fig5ProduceSeries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench smoke tests skipped in short mode")
+	}
+	var buf bytes.Buffer
+	o := quickOpts(&buf)
+	if err := o.RunFig3(); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "\n| "); got < 6 {
+		t.Fatalf("fig3 produced only %d rows:\n%s", got, buf.String())
+	}
+	buf.Reset()
+	if err := o.RunFig5(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "EncryptSigmoid") {
+		t.Fatalf("fig5 output malformed:\n%s", buf.String())
+	}
+}
+
+func TestFig6ProducesCrossoverColumns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench smoke tests skipped in short mode")
+	}
+	var buf bytes.Buffer
+	o := quickOpts(&buf)
+	if err := o.RunFig6(); err != nil {
+		t.Fatal(err)
+	}
+	for _, col := range []string{"EncryptedSum", "SGXDivide", "SGXPool", "FakeSGXPool"} {
+		if !strings.Contains(buf.String(), col) {
+			t.Fatalf("fig6 missing column %q", col)
+		}
+	}
+}

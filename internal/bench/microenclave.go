@@ -1,0 +1,129 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+
+	"hesgx/internal/he"
+	"hesgx/internal/ring"
+	"hesgx/internal/sgx"
+)
+
+// microEnclave reproduces the paper's measurement enclave: the same FV
+// routines callable inside the enclave so Tables I and IV can compare the
+// two execution environments with "the only difference [being] the
+// execution environment".
+type microEnclave struct {
+	enclave *sgx.Enclave
+	params  he.Parameters
+}
+
+// micro-enclave ECALL names.
+const (
+	ecallGenerateKey   = "ecall_generate_key"
+	ecallEncodeEncrypt = "ecall_encode_encrypt"
+	ecallDecodeDecrypt = "ecall_decode_decrypt"
+	ecallDecreaseNoise = "ecall_DecreaseNoise" // the paper's noise-refresh entry point
+)
+
+// newMicroEnclave launches the measurement enclave with key material for
+// the encrypt/decrypt/refresh entry points.
+func newMicroEnclave(p *sgx.Platform, params he.Parameters, src ring.Source) (*microEnclave, error) {
+	kg, err := he.NewKeyGenerator(params, src)
+	if err != nil {
+		return nil, err
+	}
+	sk, pk := kg.GenKeyPair()
+	dec, err := he.NewDecryptor(sk)
+	if err != nil {
+		return nil, err
+	}
+	enc, err := he.NewEncryptor(pk, src)
+	if err != nil {
+		return nil, err
+	}
+	keygenSrc := src
+
+	touch := func(ctx *sgx.Context) { ctx.Touch(params.N * 8 * 4) }
+
+	def := sgx.Definition{
+		Name:    "hesgx-bench-enclave",
+		Version: "1.0.0",
+		ECalls: map[string]sgx.ECallFunc{
+			// Key generation with the same parameters and procedure as
+			// outside; the timing difference is pure environment (Table I).
+			ecallGenerateKey: func(ctx *sgx.Context, _ []byte) ([]byte, error) {
+				touch(ctx)
+				kg2, err := he.NewKeyGenerator(params, keygenSrc)
+				if err != nil {
+					return nil, err
+				}
+				sk2, pk2 := kg2.GenKeyPair()
+				_ = sk2
+				_ = pk2
+				return nil, nil
+			},
+			// Encode+encrypt one scalar (Table IV row 1).
+			ecallEncodeEncrypt: func(ctx *sgx.Context, in []byte) ([]byte, error) {
+				touch(ctx)
+				if len(in) < 8 {
+					return nil, fmt.Errorf("missing value")
+				}
+				v := uint64(in[0]) % params.T
+				ct, err := enc.EncryptScalar(v)
+				if err != nil {
+					return nil, err
+				}
+				var buf bytes.Buffer
+				if err := ct.Write(&buf); err != nil {
+					return nil, err
+				}
+				return buf.Bytes(), nil
+			},
+			// Decrypt+decode one ciphertext (Table IV row 2).
+			ecallDecodeDecrypt: func(ctx *sgx.Context, in []byte) ([]byte, error) {
+				touch(ctx)
+				ct, err := he.UnmarshalCiphertext(in, params)
+				if err != nil {
+					return nil, err
+				}
+				pt, err := dec.Decrypt(ct)
+				if err != nil {
+					return nil, err
+				}
+				return []byte{byte(pt.Poly.Coeffs[0])}, nil
+			},
+			// Decrypt + re-encrypt a batch: the SGX substitute for
+			// relinearization (Table V).
+			ecallDecreaseNoise: func(ctx *sgx.Context, in []byte) ([]byte, error) {
+				touch(ctx)
+				r := bytes.NewReader(in)
+				var out bytes.Buffer
+				for r.Len() > 0 {
+					ct, err := he.ReadCiphertext(r, params)
+					if err != nil {
+						return nil, err
+					}
+					ctx.Touch(params.N * 8 * 2)
+					pt, err := dec.Decrypt(ct)
+					if err != nil {
+						return nil, err
+					}
+					fresh, err := enc.Encrypt(pt)
+					if err != nil {
+						return nil, err
+					}
+					if err := fresh.Write(&out); err != nil {
+						return nil, err
+					}
+				}
+				return out.Bytes(), nil
+			},
+		},
+	}
+	e, err := p.Launch(def)
+	if err != nil {
+		return nil, err
+	}
+	return &microEnclave{enclave: e, params: params}, nil
+}

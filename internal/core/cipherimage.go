@@ -1,0 +1,74 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+
+	"hesgx/internal/he"
+)
+
+// MarshalCipherImage serializes a cipher image for the wire.
+func MarshalCipherImage(im *CipherImage) ([]byte, error) {
+	if im == nil {
+		return nil, fmt.Errorf("core: nil cipher image")
+	}
+	var buf bytes.Buffer
+	writeU32(&buf, uint32(im.Channels))
+	writeU32(&buf, uint32(im.Height))
+	writeU32(&buf, uint32(im.Width))
+	writeU64(&buf, im.Scale)
+	batch, err := encodeCiphertextBatch(im.CTs)
+	if err != nil {
+		return nil, err
+	}
+	buf.Write(batch)
+	return buf.Bytes(), nil
+}
+
+// UnmarshalCipherImage reverses MarshalCipherImage, validating geometry.
+func UnmarshalCipherImage(b []byte, params he.Parameters) (*CipherImage, error) {
+	r := bytes.NewReader(b)
+	im := &CipherImage{}
+	var dims [3]uint32
+	for i := range dims {
+		v, err := readU32(r)
+		if err != nil {
+			return nil, fmt.Errorf("core: cipher image dims: %w", err)
+		}
+		dims[i] = v
+	}
+	scale, err := readU64(r)
+	if err != nil {
+		return nil, fmt.Errorf("core: cipher image scale: %w", err)
+	}
+	im.Channels, im.Height, im.Width = int(dims[0]), int(dims[1]), int(dims[2])
+	im.Scale = scale
+	if im.Channels <= 0 || im.Height <= 0 || im.Width <= 0 ||
+		im.Channels > 1<<10 || im.Height > 1<<14 || im.Width > 1<<14 {
+		return nil, fmt.Errorf("core: implausible cipher image geometry %dx%dx%d", im.Channels, im.Height, im.Width)
+	}
+	rest := make([]byte, r.Len())
+	if _, err := r.Read(rest); err != nil {
+		return nil, err
+	}
+	cts, err := decodeCiphertextBatch(rest, params)
+	if err != nil {
+		return nil, err
+	}
+	if len(cts) != im.Channels*im.Height*im.Width {
+		return nil, fmt.Errorf("core: cipher image has %d ciphertexts for geometry %dx%dx%d",
+			len(cts), im.Channels, im.Height, im.Width)
+	}
+	im.CTs = cts
+	return im, nil
+}
+
+// MarshalCiphertextBatch serializes a ciphertext slice (wire helper).
+func MarshalCiphertextBatch(cts []*he.Ciphertext) ([]byte, error) {
+	return encodeCiphertextBatch(cts)
+}
+
+// UnmarshalCiphertextBatch reverses MarshalCiphertextBatch.
+func UnmarshalCiphertextBatch(b []byte, params he.Parameters) ([]*he.Ciphertext, error) {
+	return decodeCiphertextBatch(b, params)
+}

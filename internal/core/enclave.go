@@ -1,0 +1,568 @@
+package core
+
+import (
+	"bytes"
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/ecdh"
+	"crypto/rand"
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+
+	"hesgx/internal/encoding"
+	"hesgx/internal/he"
+	"hesgx/internal/ring"
+	"hesgx/internal/sgx"
+)
+
+// lockedSource serializes access to a randomness source so concurrent
+// ECALLs can share it safely.
+type lockedSource struct {
+	mu  sync.Mutex
+	src ring.Source
+}
+
+func (l *lockedSource) Uint64() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.src.Uint64()
+}
+
+// ECALL names exported by the inference enclave.
+const (
+	ECallProvision  = "provision"
+	ECallSigmoid    = "sigmoid"
+	ECallActivation = "activation"
+	ECallPoolDivide = "pool_divide"
+	ECallPoolFull   = "pool_full"
+	ECallPoolMax    = "pool_max"
+	ECallRefresh    = "refresh"
+)
+
+// EnclaveName identifies the inference enclave; it feeds the measurement.
+const EnclaveName = "hesgx-inference-enclave"
+
+// EnclaveVersion feeds the measurement; bump on trusted-code changes.
+const EnclaveVersion = "1.0.0"
+
+// EnclaveService hosts the trusted half of the framework on an SGX
+// platform: FV key generation and custody, key provisioning via ECDH for
+// attestation-protected delivery, and the decrypt–compute–re-encrypt ECALLs
+// for non-polynomial layers (§IV-D) and noise refresh (§IV-E).
+//
+// The untrusted server code only ever sees ciphertexts and the public key;
+// the secret key lives inside the enclave state.
+type EnclaveService struct {
+	params  he.Parameters
+	enclave *sgx.Enclave
+
+	// trusted state (conceptually inside the enclave)
+	state *enclaveState
+}
+
+// enclaveState is the data held inside the enclave. The FV keys rest as
+// serialized blobs (as they would in sealed storage); every ECALL loads and
+// re-derives working key objects, the behavior behind the paper's Table V
+// observation that batching lets "the encryption and decryption keys ...
+// be loaded once" per boundary crossing.
+type enclaveState struct {
+	params he.Parameters
+	// skBytes/pkBytes are the at-rest serialized keys.
+	skBytes []byte
+	pkBytes []byte
+	// keyBlob is the serialized key material delivered to users.
+	keyBlob []byte
+	// src feeds re-encryption randomness.
+	src ring.Source
+	// actKind selects the activation computed by ECallActivation.
+	actKind int
+	// cachedPK is retained only to answer the untrusted PublicKey()
+	// accessor; trusted code paths load from pkBytes.
+	cachedPK *he.PublicKey
+
+	// batchOnce lazily builds the slot codec for SIMD requests; batchErr
+	// records an unsupported plaintext modulus.
+	batchOnce sync.Once
+	batchEnc  *encoding.BatchEncoder
+	batchErr  error
+}
+
+// slotCodec returns the CRT slot encoder for SIMD requests.
+func (st *enclaveState) slotCodec() (*encoding.BatchEncoder, error) {
+	st.batchOnce.Do(func() {
+		st.batchEnc, st.batchErr = encoding.NewBatchEncoder(st.params)
+	})
+	return st.batchEnc, st.batchErr
+}
+
+// loadedKeys are the working key objects an ECALL derives from the at-rest
+// blobs on entry.
+type loadedKeys struct {
+	dec *he.Decryptor
+	enc *he.Encryptor
+}
+
+// loadKeys deserializes and re-derives the FV keys, charging the enclave
+// for the very real work (parse + NTT precomputation) every boundary
+// crossing pays.
+func (st *enclaveState) loadKeys(ctx *sgx.Context) (*loadedKeys, error) {
+	ctx.Touch(len(st.skBytes) + len(st.pkBytes))
+	sk, err := he.UnmarshalSecretKey(st.skBytes)
+	if err != nil {
+		return nil, fmt.Errorf("loading secret key: %w", err)
+	}
+	pk, err := he.UnmarshalPublicKey(st.pkBytes)
+	if err != nil {
+		return nil, fmt.Errorf("loading public key: %w", err)
+	}
+	dec, err := he.NewDecryptor(sk)
+	if err != nil {
+		return nil, err
+	}
+	enc, err := he.NewEncryptor(pk, st.src)
+	if err != nil {
+		return nil, err
+	}
+	return &loadedKeys{dec: dec, enc: enc}, nil
+}
+
+// ServiceOption customizes enclave service construction.
+type ServiceOption func(*serviceConfig)
+
+type serviceConfig struct {
+	keySource ring.Source
+}
+
+// WithKeySource overrides the randomness used for FV key generation and
+// re-encryption inside the enclave (tests use a seeded source).
+func WithKeySource(src ring.Source) ServiceOption {
+	return func(c *serviceConfig) { c.keySource = src }
+}
+
+// NewEnclaveService launches the inference enclave on platform and
+// generates the FV key material inside it.
+func NewEnclaveService(platform *sgx.Platform, params he.Parameters, opts ...ServiceOption) (*EnclaveService, error) {
+	if !params.Valid() {
+		return nil, fmt.Errorf("core: invalid parameters")
+	}
+	cfg := serviceConfig{keySource: ring.NewCryptoSource()}
+	for _, o := range opts {
+		o(&cfg)
+	}
+
+	state := &enclaveState{params: params, src: &lockedSource{src: cfg.keySource}}
+	kg, err := he.NewKeyGenerator(params, cfg.keySource)
+	if err != nil {
+		return nil, fmt.Errorf("core: enclave key generator: %w", err)
+	}
+	sk, pk := kg.GenKeyPair()
+	state.cachedPK = pk
+	if state.skBytes, err = he.MarshalSecretKey(sk); err != nil {
+		return nil, err
+	}
+	if state.pkBytes, err = he.MarshalPublicKey(pk); err != nil {
+		return nil, err
+	}
+
+	var blob bytes.Buffer
+	if err := he.WriteParameters(&blob, params); err != nil {
+		return nil, err
+	}
+	if err := he.WriteSecretKey(&blob, sk); err != nil {
+		return nil, err
+	}
+	if err := he.WritePublicKey(&blob, pk); err != nil {
+		return nil, err
+	}
+	state.keyBlob = blob.Bytes()
+
+	enclave, err := platform.Launch(sgx.Definition{
+		Name:    EnclaveName,
+		Version: EnclaveVersion,
+		ECalls: map[string]sgx.ECallFunc{
+			ECallProvision:  state.provision,
+			ECallSigmoid:    state.sigmoid,
+			ECallActivation: state.activation,
+			ECallPoolDivide: state.poolDivide,
+			ECallPoolFull:   state.poolFull,
+			ECallPoolMax:    state.poolMax,
+			ECallRefresh:    state.refresh,
+		},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: launching enclave: %w", err)
+	}
+	return &EnclaveService{params: params, enclave: enclave, state: state}, nil
+}
+
+// Params returns the FV parameter set the enclave generated keys for.
+func (s *EnclaveService) Params() he.Parameters { return s.params }
+
+// Enclave exposes the underlying enclave (for attestation quoting).
+func (s *EnclaveService) Enclave() *sgx.Enclave { return s.enclave }
+
+// PublicKey returns the HE public key. The public key is not secret; the
+// untrusted server may use it (e.g. for transparent re-encryption tests),
+// while users receive it through the attested channel.
+func (s *EnclaveService) PublicKey() *he.PublicKey { return s.state.cachedPK }
+
+// SetActivation selects the activation function computed by the generic
+// activation ECALL (default Sigmoid). Values follow nn.ActKind.
+func (s *EnclaveService) SetActivation(kind int) { s.state.actKind = kind }
+
+// touchKeys accounts the enclave-resident key material against the EPC.
+func (st *enclaveState) touchKeys(ctx *sgx.Context) {
+	ctx.Touch(st.params.N * 8 * 4) // sk, pk (2 polys), scratch
+}
+
+// provision answers a key-delivery request: input is the user's ephemeral
+// ECDH public key (P-256, uncompressed). The enclave derives a shared
+// secret, encrypts the FV key blob under it, and returns
+// enclavePub || nonce || ciphertext — which the server embeds, untouched,
+// in an attestation quote's user-data field. Only the requesting user can
+// decrypt, and the quote signature proves the payload came from this
+// enclave (§IV-A without any external trusted third party).
+func (st *enclaveState) provision(ctx *sgx.Context, input []byte) ([]byte, error) {
+	st.touchKeys(ctx)
+	curve := ecdh.P256()
+	userPub, err := curve.NewPublicKey(input)
+	if err != nil {
+		return nil, fmt.Errorf("invalid user ECDH key: %w", err)
+	}
+	eph, err := curve.GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("generating enclave ECDH key: %w", err)
+	}
+	shared, err := eph.ECDH(userPub)
+	if err != nil {
+		return nil, fmt.Errorf("ECDH agreement: %w", err)
+	}
+	key := sha256.Sum256(append([]byte("hesgx/core/provision/v1"), shared...))
+	block, err := aes.NewCipher(key[:])
+	if err != nil {
+		return nil, err
+	}
+	gcm, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, err
+	}
+	nonce := make([]byte, gcm.NonceSize())
+	if _, err := io.ReadFull(rand.Reader, nonce); err != nil {
+		return nil, err
+	}
+	sealed := gcm.Seal(nil, nonce, st.keyBlob, nil)
+
+	var out bytes.Buffer
+	ephPub := eph.PublicKey().Bytes()
+	writeU32(&out, uint32(len(ephPub)))
+	out.Write(ephPub)
+	writeU32(&out, uint32(len(nonce)))
+	out.Write(nonce)
+	writeU32(&out, uint32(len(sealed)))
+	out.Write(sealed)
+	ctx.Touch(len(st.keyBlob) * 2)
+	return out.Bytes(), nil
+}
+
+// decryptVectors decrypts a batch into centered value vectors. In scalar
+// mode each ciphertext yields one value (its constant coefficient); in
+// SIMD mode each yields its full slot vector (§VIII).
+func (st *enclaveState) decryptVectors(ctx *sgx.Context, keys *loadedKeys, payload []byte, simd bool) ([][]int64, error) {
+	cts, err := decodeCiphertextBatch(payload, st.params)
+	if err != nil {
+		return nil, err
+	}
+	var codec *encoding.BatchEncoder
+	if simd {
+		if codec, err = st.slotCodec(); err != nil {
+			return nil, fmt.Errorf("SIMD request: %w", err)
+		}
+	}
+	t := st.params.T
+	out := make([][]int64, len(cts))
+	for i, ct := range cts {
+		pt, err := keys.dec.Decrypt(ct)
+		if err != nil {
+			return nil, fmt.Errorf("decrypting batch element %d: %w", i, err)
+		}
+		if simd {
+			slots, err := codec.Decode(pt)
+			if err != nil {
+				return nil, fmt.Errorf("decoding slots of element %d: %w", i, err)
+			}
+			out[i] = slots
+		} else {
+			c := pt.Poly.Coeffs[0]
+			v := int64(c)
+			if c > t/2 {
+				v = int64(c) - int64(t)
+			}
+			out[i] = []int64{v}
+		}
+		ctx.Touch(st.params.N * 8 * 2)
+	}
+	return out, nil
+}
+
+// encryptVectors re-encrypts value vectors as fresh ciphertexts, matching
+// the mode of decryptVectors.
+func (st *enclaveState) encryptVectors(ctx *sgx.Context, keys *loadedKeys, vecs [][]int64, simd bool) ([]byte, error) {
+	var codec *encoding.BatchEncoder
+	if simd {
+		var err error
+		if codec, err = st.slotCodec(); err != nil {
+			return nil, fmt.Errorf("SIMD request: %w", err)
+		}
+	}
+	t := int64(st.params.T)
+	cts := make([]*he.Ciphertext, len(vecs))
+	for i, vec := range vecs {
+		var ct *he.Ciphertext
+		var err error
+		if simd {
+			pt, encodeErr := codec.Encode(vec)
+			if encodeErr != nil {
+				return nil, encodeErr
+			}
+			ct, err = keys.enc.Encrypt(pt)
+		} else {
+			r := vec[0] % t
+			if r < 0 {
+				r += t
+			}
+			ct, err = keys.enc.EncryptScalar(uint64(r))
+		}
+		if err != nil {
+			return nil, fmt.Errorf("re-encrypting element %d: %w", i, err)
+		}
+		cts[i] = ct
+		ctx.Touch(st.params.N * 8 * 2)
+	}
+	return encodeCiphertextBatch(cts)
+}
+
+// applyActivationVectors maps applyActivation across value vectors.
+func applyActivationVectors(kind int, vecs [][]int64, inScale, outScale float64) {
+	for _, vec := range vecs {
+		applyActivation(kind, vec, inScale, outScale)
+	}
+}
+
+// applyActivation is the trusted non-linearity: dequantize, evaluate,
+// requantize. kind values match nn.ActKind (1=Sigmoid .. 5=Square).
+func applyActivation(kind int, vals []int64, inScale, outScale float64) {
+	for i, v := range vals {
+		x := float64(v) / inScale
+		var y float64
+		switch kind {
+		case 2: // ReLU
+			y = math.Max(0, x)
+		case 3: // Tanh
+			y = math.Tanh(x)
+		case 4: // LeakyReLU
+			if x < 0 {
+				y = 0.01 * x
+			} else {
+				y = x
+			}
+		case 5: // Square
+			y = x * x
+		default: // Sigmoid
+			y = 1 / (1 + math.Exp(-x))
+		}
+		vals[i] = int64(math.Round(y * outScale))
+	}
+}
+
+// sigmoid is the §IV-D plaintext computation for the activation layer:
+// decrypt, exact Sigmoid on dequantized values, requantize, re-encrypt.
+func (st *enclaveState) sigmoid(ctx *sgx.Context, input []byte) ([]byte, error) {
+	st.touchKeys(ctx)
+	keys, err := st.loadKeys(ctx)
+	if err != nil {
+		return nil, err
+	}
+	req, err := unmarshalNonlinearRequest(input)
+	if err != nil {
+		return nil, err
+	}
+	vecs, err := st.decryptVectors(ctx, keys, req.CTs, req.SIMD != 0)
+	if err != nil {
+		return nil, err
+	}
+	applyActivationVectors(1, vecs, float64(req.InScale), float64(req.OutScale))
+	return st.encryptVectors(ctx, keys, vecs, req.SIMD != 0)
+}
+
+// activation generalizes sigmoid to the enclave's configured activation,
+// demonstrating §VI-C's point that SGX evaluates diverse activations
+// (ReLU, Tanh, ...) without approximation.
+func (st *enclaveState) activation(ctx *sgx.Context, input []byte) ([]byte, error) {
+	st.touchKeys(ctx)
+	keys, err := st.loadKeys(ctx)
+	if err != nil {
+		return nil, err
+	}
+	req, err := unmarshalNonlinearRequest(input)
+	if err != nil {
+		return nil, err
+	}
+	vecs, err := st.decryptVectors(ctx, keys, req.CTs, req.SIMD != 0)
+	if err != nil {
+		return nil, err
+	}
+	kind := st.actKind
+	if kind == 0 {
+		kind = 1
+	}
+	applyActivationVectors(kind, vecs, float64(req.InScale), float64(req.OutScale))
+	return st.encryptVectors(ctx, keys, vecs, req.SIMD != 0)
+}
+
+// poolDivide implements the second half of the SGXDiv strategy (§VI-D):
+// the window sums arrive already computed homomorphically outside; the
+// enclave performs only the non-linear division.
+func (st *enclaveState) poolDivide(ctx *sgx.Context, input []byte) ([]byte, error) {
+	st.touchKeys(ctx)
+	keys, err := st.loadKeys(ctx)
+	if err != nil {
+		return nil, err
+	}
+	req, err := unmarshalNonlinearRequest(input)
+	if err != nil {
+		return nil, err
+	}
+	if req.Divisor == 0 {
+		return nil, fmt.Errorf("pool divide with zero divisor")
+	}
+	vecs, err := st.decryptVectors(ctx, keys, req.CTs, req.SIMD != 0)
+	if err != nil {
+		return nil, err
+	}
+	d := int64(req.Divisor)
+	for _, vec := range vecs {
+		for i, v := range vec {
+			vec[i] = divRound(v, d)
+		}
+	}
+	return st.encryptVectors(ctx, keys, vecs, req.SIMD != 0)
+}
+
+// divRound divides with round-half-away-from-zero.
+func divRound(v, d int64) int64 {
+	if v >= 0 {
+		return (v + d/2) / d
+	}
+	return -((-v + d/2) / d)
+}
+
+// poolFull implements the SGXPool strategy (§VI-D): the whole feature map
+// enters the enclave, which computes mean pooling (sum and divide) in
+// plaintext and re-encrypts the smaller map.
+func (st *enclaveState) poolFull(ctx *sgx.Context, input []byte) ([]byte, error) {
+	return st.poolKind(ctx, input, false)
+}
+
+// poolMax is max pooling, which HE cannot express at all (§VI-D's closing
+// observation: max-pooling is only possible via SGX in this framework).
+func (st *enclaveState) poolMax(ctx *sgx.Context, input []byte) ([]byte, error) {
+	return st.poolKind(ctx, input, true)
+}
+
+func (st *enclaveState) poolKind(ctx *sgx.Context, input []byte, usesMax bool) ([]byte, error) {
+	st.touchKeys(ctx)
+	keys, err := st.loadKeys(ctx)
+	if err != nil {
+		return nil, err
+	}
+	req, err := unmarshalNonlinearRequest(input)
+	if err != nil {
+		return nil, err
+	}
+	w, h, c, k := int(req.Width), int(req.Height), int(req.Channels), int(req.Window)
+	if w <= 0 || h <= 0 || c <= 0 || k <= 0 {
+		return nil, fmt.Errorf("pool geometry %dx%dx%d window %d invalid", c, h, w, k)
+	}
+	if h%k != 0 || w%k != 0 {
+		return nil, fmt.Errorf("pool window %d does not divide %dx%d", k, h, w)
+	}
+	vecs, err := st.decryptVectors(ctx, keys, req.CTs, req.SIMD != 0)
+	if err != nil {
+		return nil, err
+	}
+	if len(vecs) != c*h*w {
+		return nil, fmt.Errorf("pool batch %d != %d*%d*%d", len(vecs), c, h, w)
+	}
+	width := 1
+	if len(vecs) > 0 {
+		width = len(vecs[0])
+	}
+	oh, ow := h/k, w/k
+	out := make([][]int64, c*oh*ow)
+	for i := range out {
+		out[i] = make([]int64, width)
+	}
+	area := int64(k * k)
+	for ch := 0; ch < c; ch++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				dst := out[(ch*oh+oy)*ow+ox]
+				for s := 0; s < width; s++ {
+					if usesMax {
+						best := vecs[(ch*h+oy*k)*w+ox*k][s]
+						for ky := 0; ky < k; ky++ {
+							for kx := 0; kx < k; kx++ {
+								if v := vecs[(ch*h+oy*k+ky)*w+ox*k+kx][s]; v > best {
+									best = v
+								}
+							}
+						}
+						dst[s] = best
+					} else {
+						var sum int64
+						for ky := 0; ky < k; ky++ {
+							for kx := 0; kx < k; kx++ {
+								sum += vecs[(ch*h+oy*k+ky)*w+ox*k+kx][s]
+							}
+						}
+						dst[s] = divRound(sum, area)
+					}
+				}
+			}
+		}
+	}
+	return st.encryptVectors(ctx, keys, out, req.SIMD != 0)
+}
+
+// refresh decrypts and immediately re-encrypts the full plaintext
+// polynomial, removing accumulated noise without relinearization keys
+// (§IV-E). Size-3 ciphertexts collapse back to size 2, so refresh also
+// substitutes for relinearization.
+func (st *enclaveState) refresh(ctx *sgx.Context, input []byte) ([]byte, error) {
+	st.touchKeys(ctx)
+	keys, err := st.loadKeys(ctx)
+	if err != nil {
+		return nil, err
+	}
+	cts, err := decodeCiphertextBatch(input, st.params)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*he.Ciphertext, len(cts))
+	for i, ct := range cts {
+		pt, err := keys.dec.Decrypt(ct)
+		if err != nil {
+			return nil, fmt.Errorf("refresh decrypt %d: %w", i, err)
+		}
+		fresh, err := keys.enc.Encrypt(pt)
+		if err != nil {
+			return nil, fmt.Errorf("refresh re-encrypt %d: %w", i, err)
+		}
+		out[i] = fresh
+		ctx.Touch(st.params.N * 8 * 4)
+	}
+	return encodeCiphertextBatch(out)
+}

@@ -1,0 +1,515 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"hesgx/internal/encoding"
+	"hesgx/internal/he"
+	"hesgx/internal/nn"
+)
+
+// PoolStrategy selects where pooling happens (§VI-D).
+type PoolStrategy int
+
+// Pooling strategies.
+const (
+	// PoolAuto applies the paper's crossover rule: SGXPool for windows
+	// smaller than PoolCrossoverWindow, SGXDiv otherwise.
+	PoolAuto PoolStrategy = iota + 1
+	// PoolSGXDiv computes window sums homomorphically outside the enclave
+	// and only divides inside ("SGXDiv").
+	PoolSGXDiv
+	// PoolSGXPool sends the whole feature map into the enclave ("SGXPool").
+	PoolSGXPool
+)
+
+// PoolCrossoverWindow is the window size at which SGXDiv overtakes SGXPool
+// in §VI-D: "choose SGXPool when the window size is less than 3 and select
+// SGXDiv when it is larger".
+const PoolCrossoverWindow = 3
+
+// ChoosePoolStrategy applies the crossover rule to a window size.
+func ChoosePoolStrategy(window int) PoolStrategy {
+	if window < PoolCrossoverWindow {
+		return PoolSGXPool
+	}
+	return PoolSGXDiv
+}
+
+// Config tunes the hybrid engine's fixed-point pipeline.
+type Config struct {
+	// PixelScale quantizes input pixels in [0, 1] (255 recovers the
+	// MNIST grey levels of §VII).
+	PixelScale uint64
+	// WeightScale quantizes model weights.
+	WeightScale uint64
+	// ActScale is the fixed-point scale of enclave-computed activations.
+	ActScale uint64
+	// Pool selects the pooling strategy.
+	Pool PoolStrategy
+	// SingleECalls switches activation calls to one ECALL per value — the
+	// EncryptSGX(single) control group of Fig. 8.
+	SingleECalls bool
+	// TruePlainMul forces full polynomial ciphertext×plaintext products
+	// for weight multiplications, as the paper's SEAL-encoder pipeline
+	// does. When false, the engine uses the mathematically identical
+	// constant-coefficient fast path. Benchmarks that quantify C×P costs
+	// set this; tests and services keep the fast path.
+	TruePlainMul bool
+	// SIMD runs the pipeline over slot-packed ciphertexts: one engine pass
+	// processes a whole batch of images (§VIII). Requires a
+	// batching-capable plaintext modulus (prime t ≡ 1 mod 2n) and images
+	// encrypted with Client.EncryptImageBatch.
+	SIMD bool
+	// Workers parallelizes the homomorphic linear layers across goroutines:
+	// 0 or 1 = sequential (keeps timings comparable to the paper's
+	// single-threaded SEAL runs), -1 = one per CPU, n > 1 = exactly n.
+	// Enclave calls remain batched and sequential either way.
+	Workers int
+}
+
+// DefaultConfig returns scales tuned for the Fig. 7 CNN at the n=2048
+// parameter tier. The fully connected layer homomorphically sums 864
+// weighted fresh ciphertexts, so the scales are sized to keep even the
+// worst-case (coherently aligned) noise below the decryption threshold
+// q/(2t): with t = 2^25, WeightScale 32 and ActScale 256 the FC segment
+// retains > 4 bits of budget in the worst case while the integer pipeline
+// stays exact (max |value| = 864 * 48 * 256 < t/2).
+func DefaultConfig() Config {
+	return Config{
+		PixelScale:  255,
+		WeightScale: 32,
+		ActScale:    256,
+		Pool:        PoolAuto,
+	}
+}
+
+// planStep is one scheduled stage of the hybrid pipeline.
+type planStep struct {
+	kind stepKind
+
+	conv *nn.QuantizedConv
+	fc   *nn.QuantizedFC
+	// prepared weight operands (lazily built by EncodeWeights)
+	convOps []*he.PlainOperand // indexed like conv.W
+	fcOps   []*he.PlainOperand
+	// biasScaled holds biases pre-encoded as plaintexts.
+	convBias []*he.Plaintext
+	fcBias   []*he.Plaintext
+
+	act    nn.ActKind
+	window int
+	pool   nn.PoolKind
+}
+
+type stepKind int
+
+const (
+	stepConv stepKind = iota + 1
+	stepAct
+	stepPool
+	stepFC
+	stepFlatten
+)
+
+// HybridEngine is the edge server's inference engine (§IV): it executes
+// linear layers homomorphically and routes non-polynomial layers through
+// the enclave service.
+type HybridEngine struct {
+	cfg    Config
+	params he.Parameters
+	eval   *he.Evaluator
+	scalar *encoding.ScalarEncoder
+	svc    *EnclaveService
+
+	steps   []*planStep
+	encoded bool
+
+	// outScale is the fixed-point scale of the final logits.
+	outScale float64
+}
+
+// NewHybridEngine plans the hybrid execution of model. The model's layers
+// must be drawn from {Conv2D, Activation, Pool2D, Flatten, FullyConnected}.
+// Weight quantization happens here; homomorphic weight encoding happens in
+// EncodeWeights (so Fig. 3 can time it separately).
+func NewHybridEngine(svc *EnclaveService, model *nn.Network, cfg Config) (*HybridEngine, error) {
+	if svc == nil {
+		return nil, fmt.Errorf("core: nil enclave service")
+	}
+	if cfg.PixelScale == 0 || cfg.WeightScale == 0 || cfg.ActScale == 0 {
+		return nil, fmt.Errorf("core: config scales must be non-zero")
+	}
+	if cfg.Pool == 0 {
+		cfg.Pool = PoolAuto
+	}
+	params := svc.Params()
+	eval, err := he.NewEvaluator(params)
+	if err != nil {
+		return nil, err
+	}
+	scalar, err := encoding.NewScalarEncoder(params)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.SIMD {
+		if _, err := encoding.NewBatchEncoder(params); err != nil {
+			return nil, fmt.Errorf("core: SIMD engine: %w", err)
+		}
+	}
+	e := &HybridEngine{cfg: cfg, params: params, eval: eval, scalar: scalar, svc: svc}
+
+	// Plan steps and track the fixed-point scale and worst-case magnitude
+	// through the pipeline to validate exactness against t.
+	scale := float64(cfg.PixelScale)
+	maxMag := int64(cfg.PixelScale)
+	tHalf := int64(params.T / 2)
+	for i, l := range model.Layers {
+		switch v := l.(type) {
+		case *nn.Conv2D:
+			q, err := nn.QuantizeConv(v, float64(cfg.WeightScale), scale)
+			if err != nil {
+				return nil, err
+			}
+			e.steps = append(e.steps, &planStep{kind: stepConv, conv: q})
+			maxMag = q.MaxOutputMagnitude(maxMag)
+			scale *= float64(cfg.WeightScale)
+		case *nn.FullyConnected:
+			q, err := nn.QuantizeFC(v, float64(cfg.WeightScale), scale)
+			if err != nil {
+				return nil, err
+			}
+			e.steps = append(e.steps, &planStep{kind: stepFC, fc: q})
+			maxMag = q.MaxOutputMagnitude(maxMag)
+			scale *= float64(cfg.WeightScale)
+		case *nn.Activation:
+			e.steps = append(e.steps, &planStep{kind: stepAct, act: v.Kind})
+			switch v.Kind {
+			case nn.Sigmoid, nn.Tanh:
+				maxMag = int64(cfg.ActScale)
+			default:
+				// Non-squashing activations preserve magnitude up to
+				// rescaling.
+				maxMag = int64(math.Ceil(float64(maxMag) / scale * float64(cfg.ActScale)))
+			}
+			scale = float64(cfg.ActScale)
+		case *nn.Pool2D:
+			if v.Kind == nn.SumPool {
+				return nil, fmt.Errorf("core: layer %d: the hybrid engine computes true mean pooling; SumPool belongs to the pure-HE baseline", i)
+			}
+			e.steps = append(e.steps, &planStep{kind: stepPool, window: v.K, pool: v.Kind})
+			if v.Kind != nn.MaxPool {
+				// mean pooling divides by the window area inside the
+				// enclave, keeping scale; the window sum's transient
+				// magnitude is checked during SGXDiv planning below.
+				transient := maxMag * int64(v.K*v.K)
+				if e.poolStrategyFor(v) == PoolSGXDiv && transient >= tHalf {
+					return nil, fmt.Errorf("core: layer %d: SGXDiv window sum magnitude %d exceeds t/2 = %d", i, transient, tHalf)
+				}
+			}
+		case *nn.Flatten:
+			e.steps = append(e.steps, &planStep{kind: stepFlatten})
+		default:
+			return nil, fmt.Errorf("core: unsupported layer %T at %d", l, i)
+		}
+		if maxMag >= tHalf {
+			return nil, fmt.Errorf("core: layer %d (%s): worst-case magnitude %d exceeds t/2 = %d; lower the scales or raise t",
+				i, l.Name(), maxMag, tHalf)
+		}
+	}
+	e.outScale = scale
+	return e, nil
+}
+
+func (e *HybridEngine) poolStrategyFor(p *nn.Pool2D) PoolStrategy {
+	if p.Kind == nn.MaxPool {
+		return PoolSGXPool // max pooling can only run inside the enclave
+	}
+	switch e.cfg.Pool {
+	case PoolSGXDiv:
+		return PoolSGXDiv
+	case PoolSGXPool:
+		return PoolSGXPool
+	default:
+		return ChoosePoolStrategy(p.K)
+	}
+}
+
+// OutScale returns the fixed-point scale of the logits Infer produces.
+func (e *HybridEngine) OutScale() float64 { return e.outScale }
+
+// EncodeWeights encodes every quantized weight and bias into the
+// homomorphic plaintext space — the §IV-B preparation step Fig. 3 measures.
+// It is idempotent; Infer calls it on first use.
+func (e *HybridEngine) EncodeWeights() error {
+	if e.encoded {
+		return nil
+	}
+	for _, s := range e.steps {
+		switch s.kind {
+		case stepConv:
+			if err := e.encodeConvStep(s); err != nil {
+				return err
+			}
+		case stepFC:
+			if err := e.encodeFCStep(s); err != nil {
+				return err
+			}
+		}
+	}
+	e.encoded = true
+	return nil
+}
+
+// EncodedWeightCount returns how many weight and bias values EncodeWeights
+// processes, the x-axis of Fig. 3.
+func (e *HybridEngine) EncodedWeightCount() int {
+	total := 0
+	for _, s := range e.steps {
+		switch s.kind {
+		case stepConv:
+			total += len(s.conv.W) + len(s.conv.B)
+		case stepFC:
+			total += len(s.fc.W) + len(s.fc.B)
+		}
+	}
+	return total
+}
+
+func (e *HybridEngine) encodeConvStep(s *planStep) error {
+	if e.cfg.TruePlainMul {
+		s.convOps = make([]*he.PlainOperand, len(s.conv.W))
+		for i, w := range s.conv.W {
+			op, err := e.eval.PrepareOperand(e.scalar.Encode(w))
+			if err != nil {
+				return fmt.Errorf("core: encoding conv weight %d: %w", i, err)
+			}
+			s.convOps[i] = op
+		}
+	}
+	s.convBias = make([]*he.Plaintext, len(s.conv.B))
+	for i, b := range s.conv.B {
+		s.convBias[i] = e.scalar.Encode(b)
+	}
+	return nil
+}
+
+func (e *HybridEngine) encodeFCStep(s *planStep) error {
+	if e.cfg.TruePlainMul {
+		s.fcOps = make([]*he.PlainOperand, len(s.fc.W))
+		for i, w := range s.fc.W {
+			op, err := e.eval.PrepareOperand(e.scalar.Encode(w))
+			if err != nil {
+				return fmt.Errorf("core: encoding fc weight %d: %w", i, err)
+			}
+			s.fcOps[i] = op
+		}
+	}
+	s.fcBias = make([]*he.Plaintext, len(s.fc.B))
+	for i, b := range s.fc.B {
+		s.fcBias[i] = e.scalar.Encode(b)
+	}
+	return nil
+}
+
+// InferenceResult carries the encrypted logits and their fixed-point scale.
+type InferenceResult struct {
+	Logits   []*he.Ciphertext
+	OutScale float64
+}
+
+// Infer runs the hybrid pipeline over an encrypted image.
+func (e *HybridEngine) Infer(img *CipherImage) (*InferenceResult, error) {
+	if img == nil || len(img.CTs) == 0 {
+		return nil, fmt.Errorf("core: empty cipher image")
+	}
+	if img.Scale != e.cfg.PixelScale {
+		return nil, fmt.Errorf("core: image scale %d != engine pixel scale %d", img.Scale, e.cfg.PixelScale)
+	}
+	if err := e.EncodeWeights(); err != nil {
+		return nil, err
+	}
+	cts := img.CTs
+	c, h, w := img.Channels, img.Height, img.Width
+	scale := float64(e.cfg.PixelScale)
+
+	for i, s := range e.steps {
+		var err error
+		switch s.kind {
+		case stepConv:
+			cts, c, h, w, err = e.runConvParallel(s, cts, c, h, w, e.effectiveWorkers())
+			scale *= float64(e.cfg.WeightScale)
+		case stepAct:
+			cts, err = e.runActivation(s, cts, uint64(scale))
+			scale = float64(e.cfg.ActScale)
+		case stepPool:
+			cts, h, w, err = e.runPool(s, cts, c, h, w)
+		case stepFlatten:
+			// No-op on the flat ciphertext slice.
+		case stepFC:
+			cts, err = e.runFCParallel(s, cts, e.effectiveWorkers())
+			scale *= float64(e.cfg.WeightScale)
+			c, h, w = len(cts), 1, 1
+		}
+		if err != nil {
+			return nil, fmt.Errorf("core: step %d: %w", i, err)
+		}
+	}
+	return &InferenceResult{Logits: cts, OutScale: scale}, nil
+}
+
+// mulWeight multiplies a ciphertext by quantized weight index idx of step s
+// (conv or fc), using either the true C×P path or the scalar fast path.
+func (e *HybridEngine) mulWeight(ct *he.Ciphertext, ops []*he.PlainOperand, weights []int64, idx int) (*he.Ciphertext, error) {
+	if e.cfg.TruePlainMul {
+		return e.eval.MulPlainOperand(ct, ops[idx])
+	}
+	return e.eval.MulScalar(ct, e.scalar.EncodeValue(weights[idx]))
+}
+
+func (e *HybridEngine) runActivation(s *planStep, in []*he.Ciphertext, inScale uint64) ([]*he.Ciphertext, error) {
+	switch {
+	case e.cfg.SingleECalls:
+		return e.svc.SigmoidSingle(in, inScale, e.cfg.ActScale)
+	case s.act == nn.Sigmoid && e.cfg.SIMD:
+		return e.svc.SigmoidSIMD(in, inScale, e.cfg.ActScale)
+	case s.act == nn.Sigmoid:
+		return e.svc.Sigmoid(in, inScale, e.cfg.ActScale)
+	case e.cfg.SIMD:
+		e.svc.SetActivation(int(s.act))
+		return e.svc.ActivationSIMD(in, inScale, e.cfg.ActScale)
+	default:
+		e.svc.SetActivation(int(s.act))
+		return e.svc.Activation(in, inScale, e.cfg.ActScale)
+	}
+}
+
+func (e *HybridEngine) runPool(s *planStep, in []*he.Ciphertext, c, h, w int) ([]*he.Ciphertext, int, int, error) {
+	if len(in) != c*h*w {
+		return nil, 0, 0, fmt.Errorf("pool input %d cts != %d*%d*%d", len(in), c, h, w)
+	}
+	k := s.window
+	if h%k != 0 || w%k != 0 {
+		return nil, 0, 0, fmt.Errorf("pool window %d does not divide %dx%d", k, h, w)
+	}
+	oh, ow := h/k, w/k
+	if s.pool == nn.MaxPool {
+		if e.cfg.SIMD {
+			out, err := e.svc.PoolMaxSIMD(in, c, h, w, k)
+			return out, oh, ow, err
+		}
+		out, err := e.svc.PoolMax(in, c, h, w, k)
+		return out, oh, ow, err
+	}
+	switch e.poolStrategyFor(&nn.Pool2D{Kind: s.pool, K: k}) {
+	case PoolSGXPool:
+		if e.cfg.SIMD {
+			out, err := e.svc.PoolFullSIMD(in, c, h, w, k)
+			return out, oh, ow, err
+		}
+		out, err := e.svc.PoolFull(in, c, h, w, k)
+		return out, oh, ow, err
+	default: // PoolSGXDiv: homomorphic window sums, enclave division.
+		sums := make([]*he.Ciphertext, c*oh*ow)
+		for ch := 0; ch < c; ch++ {
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					var acc *he.Ciphertext
+					var err error
+					for ky := 0; ky < k; ky++ {
+						for kx := 0; kx < k; kx++ {
+							ct := in[(ch*h+oy*k+ky)*w+ox*k+kx]
+							if acc == nil {
+								acc = ct
+							} else if acc, err = e.eval.Add(acc, ct); err != nil {
+								return nil, 0, 0, err
+							}
+						}
+					}
+					sums[(ch*oh+oy)*ow+ox] = acc
+				}
+			}
+		}
+		if e.cfg.SIMD {
+			out, err := e.svc.PoolDivideSIMD(sums, uint64(k*k))
+			return out, oh, ow, err
+		}
+		out, err := e.svc.PoolDivide(sums, uint64(k*k))
+		return out, oh, ow, err
+	}
+}
+
+// ReferenceForward runs the identical integer pipeline in plaintext — the
+// oracle the encrypted pipeline must match bit-for-bit (the §VII-B accuracy
+// claim). It reuses the same quantized weights and the same enclave
+// arithmetic (rounded division, float activation, requantization).
+func (e *HybridEngine) ReferenceForward(img *nn.Tensor) ([]int64, error) {
+	vals := nn.QuantizeImage(img, float64(e.cfg.PixelScale))
+	c, h, w := img.Shape[0], img.Shape[1], img.Shape[2]
+	scale := float64(e.cfg.PixelScale)
+	for i, s := range e.steps {
+		switch s.kind {
+		case stepConv:
+			out, oh, ow, err := s.conv.Forward(vals, h, w)
+			if err != nil {
+				return nil, fmt.Errorf("core: reference step %d: %w", i, err)
+			}
+			vals, c, h, w = out, s.conv.OutC, oh, ow
+			scale *= float64(e.cfg.WeightScale)
+		case stepAct:
+			applyActivation(int(s.act), vals, scale, float64(e.cfg.ActScale))
+			scale = float64(e.cfg.ActScale)
+		case stepPool:
+			out, err := referencePool(vals, c, h, w, s.window, s.pool)
+			if err != nil {
+				return nil, fmt.Errorf("core: reference step %d: %w", i, err)
+			}
+			vals, h, w = out, h/s.window, w/s.window
+		case stepFlatten:
+		case stepFC:
+			out, err := s.fc.Forward(vals)
+			if err != nil {
+				return nil, fmt.Errorf("core: reference step %d: %w", i, err)
+			}
+			vals = out
+			scale *= float64(e.cfg.WeightScale)
+			c, h, w = len(vals), 1, 1
+		}
+	}
+	return vals, nil
+}
+
+func referencePool(vals []int64, c, h, w, k int, kind nn.PoolKind) ([]int64, error) {
+	if h%k != 0 || w%k != 0 {
+		return nil, fmt.Errorf("pool window %d does not divide %dx%d", k, h, w)
+	}
+	oh, ow := h/k, w/k
+	out := make([]int64, c*oh*ow)
+	for ch := 0; ch < c; ch++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				if kind == nn.MaxPool {
+					best := vals[(ch*h+oy*k)*w+ox*k]
+					for ky := 0; ky < k; ky++ {
+						for kx := 0; kx < k; kx++ {
+							if v := vals[(ch*h+oy*k+ky)*w+ox*k+kx]; v > best {
+								best = v
+							}
+						}
+					}
+					out[(ch*oh+oy)*ow+ox] = best
+				} else {
+					var sum int64
+					for ky := 0; ky < k; ky++ {
+						for kx := 0; kx < k; kx++ {
+							sum += vals[(ch*h+oy*k+ky)*w+ox*k+kx]
+						}
+					}
+					out[(ch*oh+oy)*ow+ox] = divRound(sum, int64(k*k))
+				}
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	mrand "math/rand/v2"
+	"testing"
+
+	"hesgx/internal/he"
+	"hesgx/internal/nn"
+)
+
+// TestLowLiftParametersEnableNegativeActivations is the regression test for
+// the FV plain-lift noise term: with an arbitrary coefficient modulus,
+// r_t(q) = q mod t can be nearly t, and every plaintext-space wrap (which
+// negative values, stored as t-|x|, cause constantly) adds that much noise —
+// enough to corrupt the fully connected sum after a ReLU-family activation.
+// The low-lift chooser (q ≡ 1 mod t) makes the term 1.
+func TestLowLiftParametersEnableNegativeActivations(t *testing.T) {
+	params, err := DefaultHybridParameters()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lift := params.PlainLift(); lift != 1 {
+		t.Fatalf("default hybrid parameters have plain lift %d, want 1", lift)
+	}
+	svc := testService(t, params)
+	client := testClient(t, svc)
+	rng := mrand.New(mrand.NewPCG(5, 6))
+	img := nn.NewTensor(1, 12, 12)
+	for i := range img.Data {
+		img.Data[i] = rng.Float64()
+	}
+	// LeakyReLU keeps negative values flowing into the FC layer — the
+	// worst case for wrap noise.
+	model := nn.NewNetwork(
+		nn.NewConv2D(1, 3, 3, 1, rng),
+		nn.NewActivation(nn.LeakyReLU),
+		nn.NewPool2D(nn.MeanPool, 2),
+		&nn.Flatten{},
+		nn.NewFullyConnected(3*5*5, 4, rng),
+	)
+	cfg := DefaultConfig()
+	engine, err := NewHybridEngine(svc, model, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci, err := client.EncryptImage(img, cfg.PixelScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := engine.Infer(ci)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := client.DecryptValues(res.Logits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := engine.ReferenceForward(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("logit %d: encrypted %d != reference %d", i, got[i], want[i])
+		}
+	}
+	budget, err := client.NoiseBudget(res.Logits[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if budget < 10 {
+		t.Fatalf("final budget %.1f; low-lift parameters should leave >10 bits", budget)
+	}
+}
+
+func TestDefaultParametersLowLiftProperty(t *testing.T) {
+	for _, tc := range []struct {
+		n int
+		t uint64
+	}{
+		{1024, 1 << 18}, {2048, 1 << 25}, {2048, 40961},
+	} {
+		p, err := he.DefaultParametersLowLift(tc.n, tc.t)
+		if err != nil {
+			t.Fatalf("n=%d t=%d: %v", tc.n, tc.t, err)
+		}
+		if p.PlainLift() != 1 {
+			t.Fatalf("n=%d t=%d: plain lift %d", tc.n, tc.t, p.PlainLift())
+		}
+		if p.Q%uint64(2*tc.n) != 1 {
+			t.Fatalf("n=%d t=%d: q not NTT friendly", tc.n, tc.t)
+		}
+	}
+}

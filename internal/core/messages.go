@@ -1,0 +1,158 @@
+// Package core implements the paper's contribution: the hybrid
+// privacy-preserving CNN inference framework of §IV. Linear layers
+// (convolution, fully connected) run homomorphically outside the enclave on
+// FV ciphertexts with pre-encoded integer weights; non-polynomial layers
+// (Sigmoid, pooling) cross into the (simulated) SGX enclave, which decrypts,
+// computes exactly in plaintext, and re-encrypts — eliminating polynomial
+// approximation error and refreshing ciphertext noise as a side effect.
+// The enclave also generates and distributes the HE keys through remote
+// attestation (§IV-A), replacing the trusted third party of pure-HE designs.
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+
+	"hesgx/internal/he"
+)
+
+// Boundary message codecs: ECALL payloads cross the enclave boundary as
+// bytes, exactly like EDL-marshalled buffers in the SGX SDK.
+
+// writeU32/readU32 are little-endian framing helpers.
+func writeU32(buf *bytes.Buffer, v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	buf.Write(b[:])
+}
+
+func readU32(r *bytes.Reader) (uint32, error) {
+	var b [4]byte
+	if _, err := r.Read(b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b[:]), nil
+}
+
+func writeU64(buf *bytes.Buffer, v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	buf.Write(b[:])
+}
+
+func readU64(r *bytes.Reader) (uint64, error) {
+	var b [8]byte
+	if _, err := r.Read(b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b[:]), nil
+}
+
+// maxBatchCiphertexts bounds deserialized batch sizes.
+const maxBatchCiphertexts = 1 << 20
+
+// encodeCiphertextBatch serializes a batch of ciphertexts.
+func encodeCiphertextBatch(cts []*he.Ciphertext) ([]byte, error) {
+	var buf bytes.Buffer
+	writeU32(&buf, uint32(len(cts)))
+	for i, ct := range cts {
+		if ct == nil {
+			return nil, fmt.Errorf("core: nil ciphertext %d in batch", i)
+		}
+		if err := ct.Write(&buf); err != nil {
+			return nil, fmt.Errorf("core: encoding batch element %d: %w", i, err)
+		}
+	}
+	return buf.Bytes(), nil
+}
+
+// decodeCiphertextBatch reverses encodeCiphertextBatch, validating against
+// params.
+func decodeCiphertextBatch(b []byte, params he.Parameters) ([]*he.Ciphertext, error) {
+	r := bytes.NewReader(b)
+	n, err := readU32(r)
+	if err != nil {
+		return nil, fmt.Errorf("core: batch length: %w", err)
+	}
+	if n > maxBatchCiphertexts {
+		return nil, fmt.Errorf("core: implausible batch size %d", n)
+	}
+	out := make([]*he.Ciphertext, n)
+	for i := range out {
+		ct, err := he.ReadCiphertext(r, params)
+		if err != nil {
+			return nil, fmt.Errorf("core: decoding batch element %d: %w", i, err)
+		}
+		out[i] = ct
+	}
+	return out, nil
+}
+
+// nonlinearRequest is the payload for enclave non-linear layer calls:
+// the ciphertext batch plus the fixed-point scales needed to dequantize
+// inputs and requantize outputs.
+type nonlinearRequest struct {
+	// InScale is the fixed-point scale of the incoming integers.
+	InScale uint64
+	// OutScale is the fixed-point scale the enclave re-encrypts at.
+	OutScale uint64
+	// Divisor divides decrypted values before the non-linearity (used by
+	// pooling division; 1 otherwise).
+	Divisor uint64
+	// Width/Height/Channels describe feature-map geometry for pooling calls.
+	Width, Height, Channels uint32
+	// Window is the pooling window size for pooling calls.
+	Window uint32
+	// SIMD selects slot-packed operation: the enclave decodes every CRT
+	// slot of each ciphertext instead of the constant coefficient (§VIII).
+	SIMD uint32
+	CTs  []byte
+}
+
+func (m *nonlinearRequest) marshal() []byte {
+	var buf bytes.Buffer
+	writeU64(&buf, m.InScale)
+	writeU64(&buf, m.OutScale)
+	writeU64(&buf, m.Divisor)
+	writeU32(&buf, m.Width)
+	writeU32(&buf, m.Height)
+	writeU32(&buf, m.Channels)
+	writeU32(&buf, m.Window)
+	writeU32(&buf, m.SIMD)
+	writeU32(&buf, uint32(len(m.CTs)))
+	buf.Write(m.CTs)
+	return buf.Bytes()
+}
+
+func unmarshalNonlinearRequest(b []byte) (*nonlinearRequest, error) {
+	r := bytes.NewReader(b)
+	m := &nonlinearRequest{}
+	var err error
+	if m.InScale, err = readU64(r); err != nil {
+		return nil, fmt.Errorf("core: request in-scale: %w", err)
+	}
+	if m.OutScale, err = readU64(r); err != nil {
+		return nil, fmt.Errorf("core: request out-scale: %w", err)
+	}
+	if m.Divisor, err = readU64(r); err != nil {
+		return nil, fmt.Errorf("core: request divisor: %w", err)
+	}
+	for _, dst := range []*uint32{&m.Width, &m.Height, &m.Channels, &m.Window, &m.SIMD} {
+		if *dst, err = readU32(r); err != nil {
+			return nil, fmt.Errorf("core: request geometry: %w", err)
+		}
+	}
+	n, err := readU32(r)
+	if err != nil {
+		return nil, fmt.Errorf("core: request payload length: %w", err)
+	}
+	if int(n) != r.Len() {
+		return nil, fmt.Errorf("core: request payload length %d != %d remaining", n, r.Len())
+	}
+	m.CTs = make([]byte, n)
+	if _, err := r.Read(m.CTs); err != nil {
+		return nil, fmt.Errorf("core: request payload: %w", err)
+	}
+	return m, nil
+}

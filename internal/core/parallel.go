@@ -1,0 +1,192 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"hesgx/internal/he"
+)
+
+// Parallel execution of the homomorphic linear layers. The FV evaluator is
+// safe for concurrent use and every output position of a convolution or
+// fully connected layer is independent, so the engine shards output
+// positions across a worker pool. Enclave calls stay batched and
+// sequential: boundary crossings are the expensive resource the framework
+// already amortizes (§IV-D).
+
+// Workers in Config selects the parallelism of linear layers: 0 or 1 means
+// sequential (the default, and what the timing experiments use so figures
+// stay comparable to the paper's single-threaded SEAL runs).
+
+// parallelFor runs fn(i) for i in [0, n) on up to workers goroutines and
+// returns the first error.
+func parallelFor(n, workers int, fn func(i int) error) error {
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if err := fn(i); err != nil {
+					errOnce.Do(func() { firstErr = err })
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return firstErr
+}
+
+// effectiveWorkers resolves the configured worker count.
+func (e *HybridEngine) effectiveWorkers() int {
+	if e.cfg.Workers < 0 {
+		return runtime.NumCPU()
+	}
+	return e.cfg.Workers
+}
+
+// convOutput computes one output position of a convolution step.
+func (e *HybridEngine) convOutput(s *planStep, in []*he.Ciphertext, h, w, o, oy, ox int) (*he.Ciphertext, error) {
+	q := s.conv
+	var acc *he.Ciphertext
+	for i := 0; i < q.InC; i++ {
+		for ky := 0; ky < q.K; ky++ {
+			iy := oy*q.Stride + ky
+			for kx := 0; kx < q.K; kx++ {
+				wIdx := ((o*q.InC+i)*q.K+ky)*q.K + kx
+				if q.W[wIdx] == 0 && !e.cfg.TruePlainMul {
+					continue
+				}
+				ct := in[(i*h+iy)*w+ox*q.Stride+kx]
+				var err error
+				switch {
+				case acc == nil:
+					acc, err = e.mulWeight(ct, s.convOps, q.W, wIdx)
+				case e.cfg.TruePlainMul:
+					var term *he.Ciphertext
+					if term, err = e.mulWeight(ct, s.convOps, q.W, wIdx); err == nil {
+						acc, err = e.eval.Add(acc, term)
+					}
+				default:
+					err = e.eval.MulScalarAddInto(acc, ct, e.scalar.EncodeValue(q.W[wIdx]))
+				}
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	var err error
+	if acc == nil {
+		if acc, err = e.eval.MulScalar(in[0], 0); err != nil {
+			return nil, err
+		}
+	}
+	if acc, err = e.eval.AddPlain(acc, s.convBias[o]); err != nil {
+		return nil, err
+	}
+	return acc, nil
+}
+
+// runConvParallel shards convolution output positions across workers.
+func (e *HybridEngine) runConvParallel(s *planStep, in []*he.Ciphertext, c, h, w, workers int) ([]*he.Ciphertext, int, int, int, error) {
+	q := s.conv
+	if c != q.InC || len(in) != c*h*w {
+		return nil, 0, 0, 0, fmt.Errorf("conv input %d cts (%dx%dx%d), want inC=%d", len(in), c, h, w, q.InC)
+	}
+	oh, ow := q.OutSize(h), q.OutSize(w)
+	out := make([]*he.Ciphertext, q.OutC*oh*ow)
+	err := parallelFor(len(out), workers, func(idx int) error {
+		o := idx / (oh * ow)
+		rest := idx % (oh * ow)
+		oy, ox := rest/ow, rest%ow
+		ct, err := e.convOutput(s, in, h, w, o, oy, ox)
+		if err != nil {
+			return err
+		}
+		out[idx] = ct
+		return nil
+	})
+	if err != nil {
+		return nil, 0, 0, 0, err
+	}
+	return out, q.OutC, oh, ow, nil
+}
+
+// fcOutput computes one logit of a fully connected step.
+func (e *HybridEngine) fcOutput(s *planStep, in []*he.Ciphertext, o int) (*he.Ciphertext, error) {
+	q := s.fc
+	var acc *he.Ciphertext
+	var err error
+	for i, ct := range in {
+		wIdx := o*q.In + i
+		if q.W[wIdx] == 0 && !e.cfg.TruePlainMul {
+			continue
+		}
+		switch {
+		case acc == nil:
+			acc, err = e.mulWeight(ct, s.fcOps, q.W, wIdx)
+		case e.cfg.TruePlainMul:
+			var term *he.Ciphertext
+			if term, err = e.mulWeight(ct, s.fcOps, q.W, wIdx); err == nil {
+				acc, err = e.eval.Add(acc, term)
+			}
+		default:
+			err = e.eval.MulScalarAddInto(acc, ct, e.scalar.EncodeValue(q.W[wIdx]))
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	if acc == nil {
+		if acc, err = e.eval.MulScalar(in[0], 0); err != nil {
+			return nil, err
+		}
+	}
+	if acc, err = e.eval.AddPlain(acc, s.fcBias[o]); err != nil {
+		return nil, err
+	}
+	return acc, nil
+}
+
+// runFCParallel shards fully connected outputs across workers.
+func (e *HybridEngine) runFCParallel(s *planStep, in []*he.Ciphertext, workers int) ([]*he.Ciphertext, error) {
+	q := s.fc
+	if len(in) != q.In {
+		return nil, fmt.Errorf("fc input %d cts, want %d", len(in), q.In)
+	}
+	out := make([]*he.Ciphertext, q.Out)
+	err := parallelFor(q.Out, workers, func(o int) error {
+		ct, err := e.fcOutput(s, in, o)
+		if err != nil {
+			return err
+		}
+		out[o] = ct
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

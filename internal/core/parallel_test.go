@@ -1,0 +1,99 @@
+package core
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestParallelForSequentialAndParallel(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 8} {
+		var sum atomic.Int64
+		if err := parallelFor(100, workers, func(i int) error {
+			sum.Add(int64(i))
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if got := sum.Load(); got != 4950 {
+			t.Fatalf("workers=%d sum=%d", workers, got)
+		}
+	}
+}
+
+func TestParallelForPropagatesError(t *testing.T) {
+	sentinel := errors.New("boom")
+	err := parallelFor(50, 4, func(i int) error {
+		if i == 17 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("got %v", err)
+	}
+	// Sequential path too.
+	err = parallelFor(50, 1, func(i int) error {
+		if i == 3 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("sequential got %v", err)
+	}
+}
+
+func TestParallelEngineMatchesSequential(t *testing.T) {
+	params := testParams(t)
+	svc := testService(t, params)
+	client := testClient(t, svc)
+	model := tinyCNN(81)
+	img := tinyImage(81)
+
+	run := func(workers int) []int64 {
+		cfg := testConfig()
+		cfg.Workers = workers
+		engine, err := NewHybridEngine(svc, model, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ci, err := client.EncryptImage(img, cfg.PixelScale)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := engine.Infer(ci)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := client.DecryptValues(res.Logits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	seq := run(1)
+	par := run(4)
+	auto := run(-1)
+	for i := range seq {
+		if par[i] != seq[i] || auto[i] != seq[i] {
+			t.Fatalf("logit %d: sequential %d, workers=4 %d, workers=-1 %d", i, seq[i], par[i], auto[i])
+		}
+	}
+	// And the parallel result still matches the plaintext reference.
+	cfg := testConfig()
+	cfg.Workers = 4
+	engine, err := NewHybridEngine(svc, model, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := engine.ReferenceForward(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if par[i] != want[i] {
+			t.Fatalf("parallel logit %d: %d != reference %d", i, par[i], want[i])
+		}
+	}
+}

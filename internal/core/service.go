@@ -1,0 +1,138 @@
+package core
+
+import (
+	"fmt"
+
+	"hesgx/internal/he"
+)
+
+// Server-side (untrusted) wrappers over the enclave's ECALLs. These run in
+// the edge server process and only ever handle ciphertext bytes.
+
+// Sigmoid sends a batch through the enclave Sigmoid path: each ciphertext
+// holds one quantized value at inScale; results come back quantized at
+// outScale under fresh encryptions.
+func (s *EnclaveService) Sigmoid(cts []*he.Ciphertext, inScale, outScale uint64) ([]*he.Ciphertext, error) {
+	return s.nonlinearCall(ECallSigmoid, cts, &nonlinearRequest{InScale: inScale, OutScale: outScale, Divisor: 1})
+}
+
+// SigmoidSIMD is Sigmoid over slot-packed ciphertexts: the enclave applies
+// the activation to every CRT slot (§VIII batching).
+func (s *EnclaveService) SigmoidSIMD(cts []*he.Ciphertext, inScale, outScale uint64) ([]*he.Ciphertext, error) {
+	return s.nonlinearCall(ECallSigmoid, cts, &nonlinearRequest{InScale: inScale, OutScale: outScale, Divisor: 1, SIMD: 1})
+}
+
+// Activation is Sigmoid generalized to the enclave's configured activation.
+func (s *EnclaveService) Activation(cts []*he.Ciphertext, inScale, outScale uint64) ([]*he.Ciphertext, error) {
+	return s.nonlinearCall(ECallActivation, cts, &nonlinearRequest{InScale: inScale, OutScale: outScale, Divisor: 1})
+}
+
+// ActivationSIMD is Activation over slot-packed ciphertexts.
+func (s *EnclaveService) ActivationSIMD(cts []*he.Ciphertext, inScale, outScale uint64) ([]*he.Ciphertext, error) {
+	return s.nonlinearCall(ECallActivation, cts, &nonlinearRequest{InScale: inScale, OutScale: outScale, Divisor: 1, SIMD: 1})
+}
+
+// SigmoidSingle sends each ciphertext through its own ECALL — the
+// EncryptSGX(single) control of Fig. 8, demonstrating why per-datum
+// boundary crossings are catastrophic.
+func (s *EnclaveService) SigmoidSingle(cts []*he.Ciphertext, inScale, outScale uint64) ([]*he.Ciphertext, error) {
+	out := make([]*he.Ciphertext, len(cts))
+	for i, ct := range cts {
+		res, err := s.Sigmoid([]*he.Ciphertext{ct}, inScale, outScale)
+		if err != nil {
+			return nil, fmt.Errorf("core: single-value sigmoid %d: %w", i, err)
+		}
+		out[i] = res[0]
+	}
+	return out, nil
+}
+
+// PoolDivide completes the SGXDiv pooling strategy: the ciphertexts are
+// homomorphically computed window sums; the enclave divides by divisor
+// (window area) and re-encrypts.
+func (s *EnclaveService) PoolDivide(cts []*he.Ciphertext, divisor uint64) ([]*he.Ciphertext, error) {
+	if divisor == 0 {
+		return nil, fmt.Errorf("core: pool divide by zero")
+	}
+	return s.nonlinearCall(ECallPoolDivide, cts, &nonlinearRequest{InScale: 1, OutScale: 1, Divisor: divisor})
+}
+
+// PoolDivideSIMD is PoolDivide over slot-packed ciphertexts.
+func (s *EnclaveService) PoolDivideSIMD(cts []*he.Ciphertext, divisor uint64) ([]*he.Ciphertext, error) {
+	if divisor == 0 {
+		return nil, fmt.Errorf("core: pool divide by zero")
+	}
+	return s.nonlinearCall(ECallPoolDivide, cts, &nonlinearRequest{InScale: 1, OutScale: 1, Divisor: divisor, SIMD: 1})
+}
+
+// PoolFull runs the SGXPool strategy: the full feature map [channels,
+// height, width] (flattened, one value per ciphertext) enters the enclave,
+// which mean-pools with the given window. simd selects slot-packed mode.
+func (s *EnclaveService) PoolFull(cts []*he.Ciphertext, channels, height, width, window int) ([]*he.Ciphertext, error) {
+	return s.poolGeom(ECallPoolFull, cts, channels, height, width, window, false)
+}
+
+// PoolFullSIMD is PoolFull over slot-packed ciphertexts.
+func (s *EnclaveService) PoolFullSIMD(cts []*he.Ciphertext, channels, height, width, window int) ([]*he.Ciphertext, error) {
+	return s.poolGeom(ECallPoolFull, cts, channels, height, width, window, true)
+}
+
+// PoolMax runs max pooling inside the enclave (not expressible under HE).
+func (s *EnclaveService) PoolMax(cts []*he.Ciphertext, channels, height, width, window int) ([]*he.Ciphertext, error) {
+	return s.poolGeom(ECallPoolMax, cts, channels, height, width, window, false)
+}
+
+// PoolMaxSIMD is PoolMax over slot-packed ciphertexts.
+func (s *EnclaveService) PoolMaxSIMD(cts []*he.Ciphertext, channels, height, width, window int) ([]*he.Ciphertext, error) {
+	return s.poolGeom(ECallPoolMax, cts, channels, height, width, window, true)
+}
+
+func (s *EnclaveService) poolGeom(name string, cts []*he.Ciphertext, channels, height, width, window int, simd bool) ([]*he.Ciphertext, error) {
+	req := &nonlinearRequest{
+		InScale: 1, OutScale: 1, Divisor: 1,
+		Channels: uint32(channels), Height: uint32(height), Width: uint32(width), Window: uint32(window),
+	}
+	if simd {
+		req.SIMD = 1
+	}
+	return s.nonlinearCall(name, cts, req)
+}
+
+// Refresh decrypts and re-encrypts a batch inside the enclave, resetting
+// noise — the framework's substitute for relinearization (Table V).
+func (s *EnclaveService) Refresh(cts []*he.Ciphertext) ([]*he.Ciphertext, error) {
+	payload, err := encodeCiphertextBatch(cts)
+	if err != nil {
+		return nil, err
+	}
+	out, err := s.enclave.ECall(ECallRefresh, payload)
+	if err != nil {
+		return nil, err
+	}
+	return decodeCiphertextBatch(out, s.params)
+}
+
+func (s *EnclaveService) nonlinearCall(name string, cts []*he.Ciphertext, req *nonlinearRequest) ([]*he.Ciphertext, error) {
+	payload, err := encodeCiphertextBatch(cts)
+	if err != nil {
+		return nil, err
+	}
+	req.CTs = payload
+	out, err := s.enclave.ECall(name, req.marshal())
+	if err != nil {
+		return nil, err
+	}
+	return decodeCiphertextBatch(out, s.params)
+}
+
+// ProvisionKeys performs the server side of key delivery: it forwards the
+// user's ephemeral ECDH public key into the enclave and returns the opaque
+// provisioning payload for embedding in an attestation quote. The server
+// cannot read the keys inside.
+func (s *EnclaveService) ProvisionKeys(userECDHPub []byte) ([]byte, error) {
+	out, err := s.enclave.ECall(ECallProvision, userECDHPub)
+	if err != nil {
+		return nil, fmt.Errorf("core: provisioning keys: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,413 @@
+package cryptonets
+
+import (
+	"fmt"
+	"math/big"
+
+	"hesgx/internal/encoding"
+	"hesgx/internal/he"
+	"hesgx/internal/nn"
+)
+
+// stepKind enumerates pipeline stages.
+type stepKind int
+
+const (
+	stepConv stepKind = iota + 1
+	stepSquare
+	stepSumPool
+	stepFC
+	stepFlatten
+)
+
+// planStep is one stage of the pure-HE pipeline.
+type planStep struct {
+	kind   stepKind
+	conv   *nn.QuantizedConv
+	fc     *nn.QuantizedFC
+	window int
+}
+
+// Engine runs CryptoNets-style inference: all layers homomorphic, one pass
+// per CRT modulus. The supported layer sequence is Conv2D, Square
+// activation, SumPool, Flatten, FullyConnected.
+type Engine struct {
+	cfg    Config
+	params []he.Parameters
+	evals  []*he.Evaluator
+	scals  []*encoding.ScalarEncoder
+	eks    []*he.EvaluationKeys
+	steps  []*planStep
+	// maxRef bounds the exact output magnitude, for CRT range validation.
+	maxRef *big.Int
+}
+
+// NewEngine plans the baseline execution of model with the server-side
+// evaluation keys.
+func NewEngine(model *nn.Network, cfg Config, evalKeys *EvalKeys) (*Engine, error) {
+	if evalKeys == nil || len(evalKeys.EKs) != len(cfg.Moduli) {
+		return nil, fmt.Errorf("cryptonets: evaluation keys missing or mismatched")
+	}
+	params := evalKeys.Params
+	e := &Engine{cfg: cfg, params: params, eks: evalKeys.EKs}
+	for _, p := range params {
+		ev, err := he.NewEvaluator(p)
+		if err != nil {
+			return nil, err
+		}
+		sc, err := encoding.NewScalarEncoder(p)
+		if err != nil {
+			return nil, err
+		}
+		e.evals = append(e.evals, ev)
+		e.scals = append(e.scals, sc)
+	}
+
+	maxMag := new(big.Int).SetUint64(cfg.PixelScale)
+	// scale tracks the fixed-point scale of the integer activations so
+	// biases land on the right scale at each layer.
+	scale := float64(cfg.PixelScale)
+	for i, l := range model.Layers {
+		switch v := l.(type) {
+		case *nn.Conv2D:
+			q, err := nn.QuantizeConv(v, float64(cfg.WeightScale), scale)
+			if err != nil {
+				return nil, err
+			}
+			e.steps = append(e.steps, &planStep{kind: stepConv, conv: q})
+			maxMag = bigConvBound(q, maxMag)
+			scale *= float64(cfg.WeightScale)
+		case *nn.Activation:
+			if v.Kind != nn.Square {
+				return nil, fmt.Errorf("cryptonets: layer %d: pure HE supports only the Square activation, got %s (use the hybrid engine for %s)", i, v.Kind, v.Kind)
+			}
+			e.steps = append(e.steps, &planStep{kind: stepSquare})
+			maxMag.Mul(maxMag, maxMag)
+			scale *= scale
+		case *nn.Pool2D:
+			if v.Kind != nn.SumPool {
+				return nil, fmt.Errorf("cryptonets: layer %d: pure HE supports only the scaled mean-pool (SumPool), got %s", i, v.Kind)
+			}
+			e.steps = append(e.steps, &planStep{kind: stepSumPool, window: v.K})
+			maxMag.Mul(maxMag, big.NewInt(int64(v.K*v.K)))
+		case *nn.Flatten:
+			e.steps = append(e.steps, &planStep{kind: stepFlatten})
+		case *nn.FullyConnected:
+			q, err := nn.QuantizeFC(v, float64(cfg.WeightScale), scale)
+			if err != nil {
+				return nil, err
+			}
+			e.steps = append(e.steps, &planStep{kind: stepFC, fc: q})
+			maxMag = bigFCBound(q, maxMag)
+			scale *= float64(cfg.WeightScale)
+		default:
+			return nil, fmt.Errorf("cryptonets: unsupported layer %T at %d", l, i)
+		}
+	}
+	e.maxRef = maxMag
+	// Exact CRT recovery requires 2*maxRef < prod(moduli).
+	doubled := new(big.Int).Lsh(maxMag, 1)
+	if doubled.Cmp(cfg.CRTRange()) >= 0 {
+		return nil, fmt.Errorf("cryptonets: worst-case output magnitude %v exceeds CRT range %v; add moduli or lower scales",
+			maxMag, cfg.CRTRange())
+	}
+	// The int64 reference pipeline must not overflow.
+	if maxMag.BitLen() > 62 {
+		return nil, fmt.Errorf("cryptonets: worst-case magnitude needs %d bits; lower the scales", maxMag.BitLen())
+	}
+	return e, nil
+}
+
+func bigConvBound(q *nn.QuantizedConv, maxIn *big.Int) *big.Int {
+	worst := new(big.Int)
+	for o := 0; o < q.OutC; o++ {
+		sum := new(big.Int).SetInt64(absInt64(q.B[o]))
+		for i := 0; i < q.InC; i++ {
+			for ky := 0; ky < q.K; ky++ {
+				for kx := 0; kx < q.K; kx++ {
+					term := new(big.Int).SetInt64(absInt64(q.WAt(o, i, ky, kx)))
+					term.Mul(term, maxIn)
+					sum.Add(sum, term)
+				}
+			}
+		}
+		if sum.Cmp(worst) > 0 {
+			worst = sum
+		}
+	}
+	return worst
+}
+
+func bigFCBound(q *nn.QuantizedFC, maxIn *big.Int) *big.Int {
+	worst := new(big.Int)
+	for o := 0; o < q.Out; o++ {
+		sum := new(big.Int).SetInt64(absInt64(q.B[o]))
+		for _, w := range q.W[o*q.In : (o+1)*q.In] {
+			term := new(big.Int).SetInt64(absInt64(w))
+			term.Mul(term, maxIn)
+			sum.Add(sum, term)
+		}
+		if sum.Cmp(worst) > 0 {
+			worst = sum
+		}
+	}
+	return worst
+}
+
+func absInt64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Infer runs the full pure-HE pipeline over every modulus instance,
+// returning per-modulus encrypted logits for the client's DecryptCRT.
+func (e *Engine) Infer(img *CipherImage) ([][]*he.Ciphertext, error) {
+	if img == nil {
+		return nil, fmt.Errorf("cryptonets: nil cipher image")
+	}
+	if len(img.CTs) != len(e.params) {
+		return nil, fmt.Errorf("cryptonets: image encrypted under %d moduli, engine has %d", len(img.CTs), len(e.params))
+	}
+	out := make([][]*he.Ciphertext, len(e.params))
+	for m := range e.params {
+		logits, err := e.inferModulus(m, img.CTs[m], img.Channels, img.Height, img.Width)
+		if err != nil {
+			return nil, fmt.Errorf("cryptonets: modulus %d (t=%d): %w", m, e.params[m].T, err)
+		}
+		out[m] = logits
+	}
+	return out, nil
+}
+
+// InferModulus runs one modulus instance (exposed for benchmarking a
+// single pass).
+func (e *Engine) InferModulus(m int, cts []*he.Ciphertext, c, h, w int) ([]*he.Ciphertext, error) {
+	return e.inferModulus(m, cts, c, h, w)
+}
+
+func (e *Engine) inferModulus(m int, in []*he.Ciphertext, c, h, w int) ([]*he.Ciphertext, error) {
+	cts := in
+	var err error
+	for i, s := range e.steps {
+		switch s.kind {
+		case stepConv:
+			cts, c, h, w, err = e.runConv(m, s, cts, c, h, w)
+		case stepSquare:
+			cts, err = e.runSquare(m, cts)
+		case stepSumPool:
+			cts, h, w, err = e.runSumPool(m, s, cts, c, h, w)
+		case stepFlatten:
+			// no-op on the flat slice
+		case stepFC:
+			cts, err = e.runFC(m, s, cts)
+			c, h, w = len(cts), 1, 1
+		}
+		if err != nil {
+			return nil, fmt.Errorf("step %d: %w", i, err)
+		}
+	}
+	return cts, nil
+}
+
+func (e *Engine) mulWeight(m int, ct *he.Ciphertext, w int64) (*he.Ciphertext, error) {
+	if e.cfg.TruePlainMul {
+		return e.evals[m].MulPlain(ct, e.scals[m].Encode(w))
+	}
+	return e.evals[m].MulScalar(ct, e.scals[m].EncodeValue(w))
+}
+
+func (e *Engine) runConv(m int, s *planStep, in []*he.Ciphertext, c, h, w int) ([]*he.Ciphertext, int, int, int, error) {
+	q := s.conv
+	if c != q.InC || len(in) != c*h*w {
+		return nil, 0, 0, 0, fmt.Errorf("conv input %d cts (%dx%dx%d), want inC=%d", len(in), c, h, w, q.InC)
+	}
+	oh, ow := q.OutSize(h), q.OutSize(w)
+	out := make([]*he.Ciphertext, q.OutC*oh*ow)
+	eval := e.evals[m]
+	for o := 0; o < q.OutC; o++ {
+		biasPt := e.scals[m].Encode(q.B[o])
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				var acc *he.Ciphertext
+				for i := 0; i < q.InC; i++ {
+					for ky := 0; ky < q.K; ky++ {
+						iy := oy*q.Stride + ky
+						for kx := 0; kx < q.K; kx++ {
+							wv := q.WAt(o, i, ky, kx)
+							if wv == 0 && !e.cfg.TruePlainMul {
+								continue
+							}
+							ct := in[(i*h+iy)*w+ox*q.Stride+kx]
+							var err error
+							switch {
+							case acc == nil:
+								acc, err = e.mulWeight(m, ct, wv)
+							case e.cfg.TruePlainMul:
+								var term *he.Ciphertext
+								if term, err = e.mulWeight(m, ct, wv); err == nil {
+									acc, err = eval.Add(acc, term)
+								}
+							default:
+								err = eval.MulScalarAddInto(acc, ct, e.scals[m].EncodeValue(wv))
+							}
+							if err != nil {
+								return nil, 0, 0, 0, err
+							}
+						}
+					}
+				}
+				var err error
+				if acc == nil {
+					if acc, err = eval.MulScalar(in[0], 0); err != nil {
+						return nil, 0, 0, 0, err
+					}
+				}
+				if acc, err = eval.AddPlain(acc, biasPt); err != nil {
+					return nil, 0, 0, 0, err
+				}
+				out[(o*oh+oy)*ow+ox] = acc
+			}
+		}
+	}
+	return out, q.OutC, oh, ow, nil
+}
+
+// runSquare is the polynomial activation: ct×ct followed by
+// relinearization, the EncryptSigmoid path of Fig. 5.
+func (e *Engine) runSquare(m int, in []*he.Ciphertext) ([]*he.Ciphertext, error) {
+	eval := e.evals[m]
+	out := make([]*he.Ciphertext, len(in))
+	for i, ct := range in {
+		sq, err := eval.Square(ct)
+		if err != nil {
+			return nil, fmt.Errorf("square %d: %w", i, err)
+		}
+		if out[i], err = eval.Relinearize(sq, e.eks[m]); err != nil {
+			return nil, fmt.Errorf("relinearize %d: %w", i, err)
+		}
+	}
+	return out, nil
+}
+
+func (e *Engine) runSumPool(m int, s *planStep, in []*he.Ciphertext, c, h, w int) ([]*he.Ciphertext, int, int, error) {
+	k := s.window
+	if h%k != 0 || w%k != 0 {
+		return nil, 0, 0, fmt.Errorf("pool window %d does not divide %dx%d", k, h, w)
+	}
+	oh, ow := h/k, w/k
+	out := make([]*he.Ciphertext, c*oh*ow)
+	eval := e.evals[m]
+	for ch := 0; ch < c; ch++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				var acc *he.Ciphertext
+				var err error
+				for ky := 0; ky < k; ky++ {
+					for kx := 0; kx < k; kx++ {
+						ct := in[(ch*h+oy*k+ky)*w+ox*k+kx]
+						if acc == nil {
+							acc = ct
+						} else if acc, err = eval.Add(acc, ct); err != nil {
+							return nil, 0, 0, err
+						}
+					}
+				}
+				out[(ch*oh+oy)*ow+ox] = acc
+			}
+		}
+	}
+	return out, oh, ow, nil
+}
+
+func (e *Engine) runFC(m int, s *planStep, in []*he.Ciphertext) ([]*he.Ciphertext, error) {
+	q := s.fc
+	if len(in) != q.In {
+		return nil, fmt.Errorf("fc input %d cts, want %d", len(in), q.In)
+	}
+	eval := e.evals[m]
+	out := make([]*he.Ciphertext, q.Out)
+	for o := 0; o < q.Out; o++ {
+		var acc *he.Ciphertext
+		var err error
+		for i, ct := range in {
+			wv := q.W[o*q.In+i]
+			if wv == 0 && !e.cfg.TruePlainMul {
+				continue
+			}
+			switch {
+			case acc == nil:
+				acc, err = e.mulWeight(m, ct, wv)
+			case e.cfg.TruePlainMul:
+				var term *he.Ciphertext
+				if term, err = e.mulWeight(m, ct, wv); err == nil {
+					acc, err = eval.Add(acc, term)
+				}
+			default:
+				err = eval.MulScalarAddInto(acc, ct, e.scals[m].EncodeValue(wv))
+			}
+			if err != nil {
+				return nil, err
+			}
+		}
+		if acc == nil {
+			if acc, err = eval.MulScalar(in[0], 0); err != nil {
+				return nil, err
+			}
+		}
+		if acc, err = eval.AddPlain(acc, e.scals[m].Encode(q.B[o])); err != nil {
+			return nil, err
+		}
+		out[o] = acc
+	}
+	return out, nil
+}
+
+// ReferenceForward runs the exact integer pipeline in plaintext; encrypted
+// results must CRT-reconstruct to exactly these values.
+func (e *Engine) ReferenceForward(img *nn.Tensor) ([]int64, error) {
+	vals := nn.QuantizeImage(img, float64(e.cfg.PixelScale))
+	c, h, w := img.Shape[0], img.Shape[1], img.Shape[2]
+	for i, s := range e.steps {
+		switch s.kind {
+		case stepConv:
+			out, oh, ow, err := s.conv.Forward(vals, h, w)
+			if err != nil {
+				return nil, fmt.Errorf("cryptonets: reference step %d: %w", i, err)
+			}
+			vals, c, h, w = out, s.conv.OutC, oh, ow
+		case stepSquare:
+			for j, v := range vals {
+				vals[j] = v * v
+			}
+		case stepSumPool:
+			k := s.window
+			oh, ow := h/k, w/k
+			out := make([]int64, c*oh*ow)
+			for ch := 0; ch < c; ch++ {
+				for oy := 0; oy < oh; oy++ {
+					for ox := 0; ox < ow; ox++ {
+						var sum int64
+						for ky := 0; ky < k; ky++ {
+							for kx := 0; kx < k; kx++ {
+								sum += vals[(ch*h+oy*k+ky)*w+ox*k+kx]
+							}
+						}
+						out[(ch*oh+oy)*ow+ox] = sum
+					}
+				}
+			}
+			vals, h, w = out, oh, ow
+		case stepFlatten:
+		case stepFC:
+			out, err := s.fc.Forward(vals)
+			if err != nil {
+				return nil, fmt.Errorf("cryptonets: reference step %d: %w", i, err)
+			}
+			vals = out
+			c, h, w = len(vals), 1, 1
+		}
+	}
+	return vals, nil
+}

@@ -1,0 +1,229 @@
+// Package dataset procedurally generates an MNIST-like corpus of 28×28
+// grayscale handwritten-digit images. The real MNIST download is not
+// available offline; the paper's measurements depend only on tensor shapes
+// (28×28 inputs through the Fig. 7 CNN), and its accuracy claim — encrypted
+// predictions match plaintext predictions — is a numerical-exactness
+// property verified against this corpus instead. Digits are rendered as
+// seven-segment-style strokes with random translation, thickness, skew,
+// intensity, and pixel noise, then smoothed, giving a task a small CNN
+// learns to high accuracy.
+package dataset
+
+import (
+	"fmt"
+	"math"
+	mrand "math/rand/v2"
+
+	"hesgx/internal/nn"
+)
+
+// Image dimensions, matching MNIST.
+const (
+	Width  = 28
+	Height = 28
+	// Classes is the number of digit classes.
+	Classes = 10
+)
+
+// segment identifiers for the seven-segment skeleton.
+const (
+	segTop = iota
+	segTopRight
+	segBottomRight
+	segBottom
+	segBottomLeft
+	segTopLeft
+	segMiddle
+	numSegments
+)
+
+// digitSegments maps each digit to its lit segments.
+var digitSegments = [Classes][]int{
+	0: {segTop, segTopRight, segBottomRight, segBottom, segBottomLeft, segTopLeft},
+	1: {segTopRight, segBottomRight},
+	2: {segTop, segTopRight, segMiddle, segBottomLeft, segBottom},
+	3: {segTop, segTopRight, segMiddle, segBottomRight, segBottom},
+	4: {segTopLeft, segMiddle, segTopRight, segBottomRight},
+	5: {segTop, segTopLeft, segMiddle, segBottomRight, segBottom},
+	6: {segTop, segTopLeft, segBottomLeft, segBottom, segBottomRight, segMiddle},
+	7: {segTop, segTopRight, segBottomRight},
+	8: {segTop, segTopRight, segBottomRight, segBottom, segBottomLeft, segTopLeft, segMiddle},
+	9: {segTop, segTopRight, segBottomRight, segBottom, segTopLeft, segMiddle},
+}
+
+// point is a 2D coordinate in canvas space.
+type point struct{ x, y float64 }
+
+// segmentEndpoints returns the skeleton line for a segment within a digit
+// box of the given bounds.
+func segmentEndpoints(seg int, left, top, right, bottom, mid float64) (point, point) {
+	switch seg {
+	case segTop:
+		return point{left, top}, point{right, top}
+	case segTopRight:
+		return point{right, top}, point{right, mid}
+	case segBottomRight:
+		return point{right, mid}, point{right, bottom}
+	case segBottom:
+		return point{left, bottom}, point{right, bottom}
+	case segBottomLeft:
+		return point{left, mid}, point{left, bottom}
+	case segTopLeft:
+		return point{left, top}, point{left, mid}
+	case segMiddle:
+		return point{left, mid}, point{right, mid}
+	default:
+		panic(fmt.Sprintf("dataset: bad segment %d", seg))
+	}
+}
+
+// Dataset is a labeled image corpus.
+type Dataset struct {
+	Images []*nn.Tensor // each [1, 28, 28], values in [0, 1]
+	Labels []int
+}
+
+// Len returns the number of examples.
+func (d *Dataset) Len() int { return len(d.Images) }
+
+// Examples adapts the dataset to the trainer's format.
+func (d *Dataset) Examples() []nn.Example {
+	out := make([]nn.Example, d.Len())
+	for i := range out {
+		out[i] = nn.Example{Input: d.Images[i], Label: d.Labels[i]}
+	}
+	return out
+}
+
+// Split partitions the dataset into a training prefix and test suffix.
+func (d *Dataset) Split(trainFrac float64) (train, test *Dataset) {
+	n := int(float64(d.Len()) * trainFrac)
+	if n < 0 {
+		n = 0
+	}
+	if n > d.Len() {
+		n = d.Len()
+	}
+	return &Dataset{Images: d.Images[:n], Labels: d.Labels[:n]},
+		&Dataset{Images: d.Images[n:], Labels: d.Labels[n:]}
+}
+
+// Generate renders n images with balanced random labels, deterministically
+// for a given seed.
+func Generate(n int, seed uint64) *Dataset {
+	rng := mrand.New(mrand.NewPCG(seed, seed^0x5eed))
+	d := &Dataset{
+		Images: make([]*nn.Tensor, 0, n),
+		Labels: make([]int, 0, n),
+	}
+	for i := 0; i < n; i++ {
+		label := rng.IntN(Classes)
+		d.Images = append(d.Images, RenderDigit(label, rng))
+		d.Labels = append(d.Labels, label)
+	}
+	return d
+}
+
+// RenderDigit draws one digit with random nuisance parameters.
+func RenderDigit(digit int, rng *mrand.Rand) *nn.Tensor {
+	if digit < 0 || digit >= Classes {
+		panic(fmt.Sprintf("dataset: digit %d out of range", digit))
+	}
+	canvas := make([]float64, Width*Height)
+
+	// Random digit box: translated and slightly resized.
+	cx := 14 + (rng.Float64()*4 - 2)
+	cy := 14 + (rng.Float64()*4 - 2)
+	halfW := 5 + rng.Float64()*2
+	halfH := 8 + rng.Float64()*1.5
+	skew := (rng.Float64() - 0.5) * 0.35 // horizontal shear per unit y
+	thickness := 1.1 + rng.Float64()*0.9
+	intensity := 0.75 + rng.Float64()*0.25
+
+	left, right := cx-halfW, cx+halfW
+	top, bottom := cy-halfH, cy+halfH
+	mid := cy + (rng.Float64()-0.5)*1.5
+
+	for _, seg := range digitSegments[digit] {
+		a, b := segmentEndpoints(seg, left, top, right, bottom, mid)
+		drawLine(canvas, a, b, cy, skew, thickness, intensity)
+	}
+
+	smooth(canvas)
+	addNoise(canvas, rng, 0.03)
+
+	img := nn.NewTensor(1, Height, Width)
+	copy(img.Data, canvas)
+	return img
+}
+
+// drawLine stamps a thick anti-aliased line into the canvas, applying the
+// shear around centerY.
+func drawLine(canvas []float64, a, b point, centerY, skew, thickness, intensity float64) {
+	steps := int(math.Hypot(b.x-a.x, b.y-a.y)*2) + 2
+	for s := 0; s <= steps; s++ {
+		t := float64(s) / float64(steps)
+		x := a.x + (b.x-a.x)*t
+		y := a.y + (b.y-a.y)*t
+		x += (y - centerY) * skew
+		stamp(canvas, x, y, thickness, intensity)
+	}
+}
+
+// stamp deposits a soft disc of the given radius.
+func stamp(canvas []float64, x, y, radius, intensity float64) {
+	r := int(radius) + 1
+	xi, yi := int(x), int(y)
+	for dy := -r; dy <= r; dy++ {
+		for dx := -r; dx <= r; dx++ {
+			px, py := xi+dx, yi+dy
+			if px < 0 || px >= Width || py < 0 || py >= Height {
+				continue
+			}
+			dist := math.Hypot(float64(px)-x, float64(py)-y)
+			if dist > radius {
+				continue
+			}
+			v := intensity * (1 - 0.3*dist/radius)
+			idx := py*Width + px
+			if v > canvas[idx] {
+				canvas[idx] = v
+			}
+		}
+	}
+}
+
+// smooth applies a single 3×3 box blur pass.
+func smooth(canvas []float64) {
+	src := make([]float64, len(canvas))
+	copy(src, canvas)
+	for y := 0; y < Height; y++ {
+		for x := 0; x < Width; x++ {
+			sum, cnt := 0.0, 0.0
+			for dy := -1; dy <= 1; dy++ {
+				for dx := -1; dx <= 1; dx++ {
+					px, py := x+dx, y+dy
+					if px < 0 || px >= Width || py < 0 || py >= Height {
+						continue
+					}
+					sum += src[py*Width+px]
+					cnt++
+				}
+			}
+			canvas[y*Width+x] = sum / cnt
+		}
+	}
+}
+
+// addNoise perturbs pixels with uniform noise and clamps to [0, 1].
+func addNoise(canvas []float64, rng *mrand.Rand, amp float64) {
+	for i := range canvas {
+		canvas[i] += (rng.Float64() - 0.5) * 2 * amp
+		if canvas[i] < 0 {
+			canvas[i] = 0
+		}
+		if canvas[i] > 1 {
+			canvas[i] = 1
+		}
+	}
+}

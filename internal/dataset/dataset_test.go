@@ -1,0 +1,139 @@
+package dataset
+
+import (
+	mrand "math/rand/v2"
+	"testing"
+
+	"hesgx/internal/nn"
+)
+
+func TestGenerateShapesAndRanges(t *testing.T) {
+	d := Generate(50, 1)
+	if d.Len() != 50 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	for i, img := range d.Images {
+		if img.Shape[0] != 1 || img.Shape[1] != Height || img.Shape[2] != Width {
+			t.Fatalf("image %d shape %v", i, img.Shape)
+		}
+		for _, v := range img.Data {
+			if v < 0 || v > 1 {
+				t.Fatalf("image %d pixel %g out of [0,1]", i, v)
+			}
+		}
+		if d.Labels[i] < 0 || d.Labels[i] >= Classes {
+			t.Fatalf("label %d out of range", d.Labels[i])
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(10, 42)
+	b := Generate(10, 42)
+	for i := range a.Images {
+		if a.Labels[i] != b.Labels[i] {
+			t.Fatal("labels differ for same seed")
+		}
+		for j := range a.Images[i].Data {
+			if a.Images[i].Data[j] != b.Images[i].Data[j] {
+				t.Fatal("pixels differ for same seed")
+			}
+		}
+	}
+	c := Generate(10, 43)
+	same := true
+	for j := range a.Images[0].Data {
+		if a.Images[0].Data[j] != c.Images[0].Data[j] {
+			same = false
+			break
+		}
+	}
+	if same && a.Labels[0] == c.Labels[0] {
+		t.Fatal("different seeds produced identical first image")
+	}
+}
+
+func TestImagesNonTrivial(t *testing.T) {
+	d := Generate(20, 7)
+	for i, img := range d.Images {
+		lit := 0
+		for _, v := range img.Data {
+			if v > 0.2 {
+				lit++
+			}
+		}
+		if lit < 20 {
+			t.Fatalf("image %d has only %d lit pixels", i, lit)
+		}
+		if lit > len(img.Data)*3/4 {
+			t.Fatalf("image %d is mostly lit (%d)", i, lit)
+		}
+	}
+}
+
+func TestDigitsAreDistinguishable(t *testing.T) {
+	// Mean images of different digits should differ substantially.
+	rng := mrand.New(mrand.NewPCG(5, 6))
+	meanOf := func(digit int) []float64 {
+		acc := make([]float64, Width*Height)
+		const reps = 10
+		for r := 0; r < reps; r++ {
+			img := RenderDigit(digit, rng)
+			for i, v := range img.Data {
+				acc[i] += v / reps
+			}
+		}
+		return acc
+	}
+	m1 := meanOf(1)
+	m8 := meanOf(8)
+	diff := 0.0
+	for i := range m1 {
+		d := m1[i] - m8[i]
+		diff += d * d
+	}
+	if diff < 1 {
+		t.Fatalf("digits 1 and 8 mean images nearly identical (L2^2 = %g)", diff)
+	}
+}
+
+func TestSplit(t *testing.T) {
+	d := Generate(100, 3)
+	train, test := d.Split(0.8)
+	if train.Len() != 80 || test.Len() != 20 {
+		t.Fatalf("split sizes %d/%d", train.Len(), test.Len())
+	}
+	ex := train.Examples()
+	if len(ex) != 80 || ex[0].Input != train.Images[0] || ex[0].Label != train.Labels[0] {
+		t.Fatal("Examples adapter wrong")
+	}
+	all, none := d.Split(2.0)
+	if all.Len() != 100 || none.Len() != 0 {
+		t.Fatal("clamping failed")
+	}
+}
+
+func TestCNNLearnsSyntheticDigits(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test skipped in short mode")
+	}
+	data := Generate(600, 99)
+	train, test := data.Split(0.8)
+	r := mrand.New(mrand.NewPCG(17, 18))
+	net := nn.PaperCNN(r)
+	trainer := &nn.SGD{LR: 0.15, BatchSize: 16}
+	examples := train.Examples()
+	for epoch := 0; epoch < 6; epoch++ {
+		nn.Shuffle(examples, r)
+		if _, err := trainer.TrainEpoch(net, examples); err != nil {
+			t.Fatal(err)
+		}
+	}
+	acc, err := nn.Accuracy(net, test.Examples())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.8 {
+		t.Fatalf("test accuracy %.2f too low for synthetic digits", acc)
+	}
+}

@@ -1,0 +1,85 @@
+package encoding
+
+import (
+	"fmt"
+
+	"hesgx/internal/he"
+	"hesgx/internal/ring"
+)
+
+// BatchEncoder packs n independent Z_t values ("slots") into one plaintext
+// using the CRT factorization of x^n+1 mod t, which exists when t is a
+// prime ≡ 1 (mod 2n). Homomorphic addition and multiplication then act
+// slot-wise (SIMD), the batching §VIII of the paper credits with
+// thousands-fold throughput gains.
+type BatchEncoder struct {
+	params he.Parameters
+	// slotRing is Z_t[x]/(x^n+1) with its own NTT; encoding is an inverse
+	// transform, decoding a forward transform.
+	slotRing *ring.Ring
+}
+
+// NewBatchEncoder builds a batch encoder. It fails if the plaintext modulus
+// does not support batching.
+func NewBatchEncoder(params he.Parameters) (*BatchEncoder, error) {
+	if !params.Valid() {
+		return nil, fmt.Errorf("encoding: invalid parameters")
+	}
+	t := params.T
+	if t%uint64(2*params.N) != 1 {
+		return nil, fmt.Errorf("encoding: plaintext modulus %d is not ≡ 1 mod %d; batching unsupported", t, 2*params.N)
+	}
+	if !ring.IsPrime(t) {
+		return nil, fmt.Errorf("encoding: plaintext modulus %d is not prime; batching unsupported", t)
+	}
+	sr, err := ring.NewRing(params.N, t)
+	if err != nil {
+		return nil, fmt.Errorf("encoding: building slot ring: %w", err)
+	}
+	return &BatchEncoder{params: params, slotRing: sr}, nil
+}
+
+// SlotCount returns the number of independent slots (the ring degree).
+func (e *BatchEncoder) SlotCount() int { return e.params.N }
+
+// Encode packs values (len <= SlotCount, remaining slots zero) into a
+// plaintext. Values are reduced mod t; negative values wrap.
+func (e *BatchEncoder) Encode(values []int64) (*he.Plaintext, error) {
+	if len(values) > e.params.N {
+		return nil, fmt.Errorf("encoding: %d values exceed %d slots", len(values), e.params.N)
+	}
+	pt := he.NewPlaintext(e.params)
+	t := int64(e.params.T)
+	for i, v := range values {
+		r := v % t
+		if r < 0 {
+			r += t
+		}
+		pt.Poly.Coeffs[i] = uint64(r)
+	}
+	// Slots are NTT-domain values; the plaintext polynomial is their
+	// inverse transform.
+	e.slotRing.INTT(pt.Poly)
+	return pt, nil
+}
+
+// Decode unpacks a plaintext into its slot values, centered in
+// (-t/2, t/2].
+func (e *BatchEncoder) Decode(pt *he.Plaintext) ([]int64, error) {
+	if err := pt.Validate(); err != nil {
+		return nil, fmt.Errorf("encoding: batch decode: %w", err)
+	}
+	p := pt.Poly.Copy()
+	e.slotRing.NTT(p)
+	out := make([]int64, e.params.N)
+	for i, c := range p.Coeffs {
+		out[i] = e.slotRing.Mod.Centered(c)
+	}
+	return out, nil
+}
+
+// BatchingPlaintextModulus returns a prime t ≡ 1 mod 2n of the requested
+// bit length, suitable for NewBatchEncoder.
+func BatchingPlaintextModulus(n, bitLen int) (uint64, error) {
+	return ring.GenerateNTTPrime(bitLen, n)
+}

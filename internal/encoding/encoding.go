@@ -1,0 +1,245 @@
+// Package encoding maps application values (integers, fixed-point reals,
+// SIMD vectors) into FV plaintext polynomials and back, mirroring the
+// encoder family of SEAL 2.1 that the paper's implementation used: an
+// IntegerEncoder (binary expansion), a FractionalEncoder (integer and
+// fractional parts split across the polynomial), a ScalarEncoder (constant
+// coefficient, the exact mod-t path the inference engines use), and a
+// BatchEncoder (CRT/SIMD slots, §VIII's throughput discussion).
+package encoding
+
+import (
+	"fmt"
+	"math"
+
+	"hesgx/internal/he"
+)
+
+// IntegerEncoder encodes signed integers as binary-expansion polynomials:
+// v = Σ b_i 2^i becomes Σ b_i x^i, with negative values encoded by negating
+// each coefficient mod t. Homomorphic addition and multiplication then act
+// on the encoded integers as long as coefficients never wrap mod t.
+type IntegerEncoder struct {
+	params he.Parameters
+}
+
+// NewIntegerEncoder builds an integer encoder for the parameter set.
+func NewIntegerEncoder(params he.Parameters) (*IntegerEncoder, error) {
+	if !params.Valid() {
+		return nil, fmt.Errorf("encoding: invalid parameters")
+	}
+	return &IntegerEncoder{params: params}, nil
+}
+
+// Encode converts v into a plaintext polynomial.
+func (e *IntegerEncoder) Encode(v int64) (*he.Plaintext, error) {
+	pt := he.NewPlaintext(e.params)
+	neg := v < 0
+	u := uint64(v)
+	if neg {
+		u = uint64(-v)
+	}
+	if bitsLen(u) > e.params.N {
+		return nil, fmt.Errorf("encoding: integer %d needs more than %d coefficients", v, e.params.N)
+	}
+	t := e.params.T
+	for i := 0; u != 0; i++ {
+		if u&1 == 1 {
+			if neg {
+				pt.Poly.Coeffs[i] = t - 1
+			} else {
+				pt.Poly.Coeffs[i] = 1
+			}
+		}
+		u >>= 1
+	}
+	return pt, nil
+}
+
+// Decode evaluates the polynomial at x=2 with centered coefficients,
+// recovering the integer as long as no coefficient wrapped mod t and the
+// result fits in an int64.
+func (e *IntegerEncoder) Decode(pt *he.Plaintext) (int64, error) {
+	if err := pt.Validate(); err != nil {
+		return 0, fmt.Errorf("encoding: decode: %w", err)
+	}
+	t := e.params.T
+	half := t / 2
+	var acc int64
+	// Horner evaluation from the top coefficient down.
+	for i := len(pt.Poly.Coeffs) - 1; i >= 0; i-- {
+		c := pt.Poly.Coeffs[i]
+		var signed int64
+		if c > half {
+			signed = int64(c) - int64(t)
+		} else {
+			signed = int64(c)
+		}
+		next := acc*2 + signed
+		if acc > 0 && next < acc && i > 0 {
+			return 0, fmt.Errorf("encoding: decoded value overflows int64")
+		}
+		acc = next
+	}
+	return acc, nil
+}
+
+func bitsLen(u uint64) int {
+	n := 0
+	for u != 0 {
+		n++
+		u >>= 1
+	}
+	return n
+}
+
+// ScalarEncoder places a value mod t in the constant coefficient. It is the
+// exact arithmetic path the inference engines use: all homomorphic sums and
+// products stay in the constant coefficient, and correctness is plain
+// modular arithmetic (no digit-carry headroom to manage).
+type ScalarEncoder struct {
+	params he.Parameters
+}
+
+// NewScalarEncoder builds a scalar encoder.
+func NewScalarEncoder(params he.Parameters) (*ScalarEncoder, error) {
+	if !params.Valid() {
+		return nil, fmt.Errorf("encoding: invalid parameters")
+	}
+	return &ScalarEncoder{params: params}, nil
+}
+
+// T returns the plaintext modulus values are reduced by.
+func (e *ScalarEncoder) T() uint64 { return e.params.T }
+
+// Encode maps a signed integer into [0, t) in the constant coefficient.
+func (e *ScalarEncoder) Encode(v int64) *he.Plaintext {
+	pt := he.NewPlaintext(e.params)
+	pt.Poly.Coeffs[0] = e.EncodeValue(v)
+	return pt
+}
+
+// EncodeValue reduces v into [0, t).
+func (e *ScalarEncoder) EncodeValue(v int64) uint64 {
+	t := int64(e.params.T)
+	r := v % t
+	if r < 0 {
+		r += t
+	}
+	return uint64(r)
+}
+
+// Decode returns the centered value of the constant coefficient; values
+// above t/2 are interpreted as negative.
+func (e *ScalarEncoder) Decode(pt *he.Plaintext) int64 {
+	return e.DecodeValue(pt.Poly.Coeffs[0])
+}
+
+// DecodeValue centers a residue in [0, t).
+func (e *ScalarEncoder) DecodeValue(c uint64) int64 {
+	t := e.params.T
+	if c > t/2 {
+		return int64(c) - int64(t)
+	}
+	return int64(c)
+}
+
+// FractionalEncoder encodes fixed-point reals the way SEAL 2.1's fractional
+// encoder did: the integer part occupies the low coefficients in binary, and
+// fractional bits b_1..b_k (of 1/2, 1/4, ...) occupy the top coefficients
+// with negated sign, exploiting x^n ≡ -1 so that x^(n-i) acts as -x^(-i).
+type FractionalEncoder struct {
+	params       he.Parameters
+	fractionBits int
+	integerBits  int
+}
+
+// NewFractionalEncoder builds a fractional encoder devoting fractionBits
+// top coefficients to the fraction and integerBits low coefficients to the
+// integer part.
+func NewFractionalEncoder(params he.Parameters, integerBits, fractionBits int) (*FractionalEncoder, error) {
+	if !params.Valid() {
+		return nil, fmt.Errorf("encoding: invalid parameters")
+	}
+	if integerBits < 1 || fractionBits < 1 || integerBits+fractionBits > params.N {
+		return nil, fmt.Errorf("encoding: integer bits %d + fraction bits %d must fit in degree %d",
+			integerBits, fractionBits, params.N)
+	}
+	return &FractionalEncoder{params: params, integerBits: integerBits, fractionBits: fractionBits}, nil
+}
+
+// Encode converts v to a fixed-point plaintext. Precision beyond
+// fractionBits binary digits is truncated toward zero.
+func (e *FractionalEncoder) Encode(v float64) (*he.Plaintext, error) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return nil, fmt.Errorf("encoding: cannot encode %v", v)
+	}
+	limit := math.Exp2(float64(e.integerBits))
+	if math.Abs(v) >= limit {
+		return nil, fmt.Errorf("encoding: |%g| exceeds integer capacity 2^%d", v, e.integerBits)
+	}
+	pt := he.NewPlaintext(e.params)
+	t := e.params.T
+	neg := v < 0
+	av := math.Abs(v)
+	ip, fp := math.Modf(av)
+	// Integer part: binary in low coefficients.
+	u := uint64(ip)
+	for i := 0; u != 0; i++ {
+		if u&1 == 1 {
+			if neg {
+				pt.Poly.Coeffs[i] = t - 1
+			} else {
+				pt.Poly.Coeffs[i] = 1
+			}
+		}
+		u >>= 1
+	}
+	// Fractional part: bit i (weight 2^-i) goes to coefficient n-i with
+	// negated sign.
+	n := e.params.N
+	for i := 1; i <= e.fractionBits; i++ {
+		fp *= 2
+		if fp >= 1 {
+			fp -= 1
+			if neg {
+				pt.Poly.Coeffs[n-i] = 1
+			} else {
+				pt.Poly.Coeffs[n-i] = t - 1
+			}
+		}
+	}
+	return pt, nil
+}
+
+// Decode recovers the fixed-point value, interpreting all n coefficients so
+// that products of encodings (whose digits spread) still decode correctly.
+func (e *FractionalEncoder) Decode(pt *he.Plaintext) (float64, error) {
+	if err := pt.Validate(); err != nil {
+		return 0, fmt.Errorf("encoding: decode: %w", err)
+	}
+	t := e.params.T
+	half := t / 2
+	n := e.params.N
+	// Coefficients near the top are fractional digits (negated); the split
+	// point places fraction digits in the top quarter, which is ample for
+	// single multiplications of properly ranged values.
+	split := n - n/4
+	var value float64
+	for i, c := range pt.Poly.Coeffs {
+		if c == 0 {
+			continue
+		}
+		var signed float64
+		if c > half {
+			signed = float64(int64(c) - int64(t))
+		} else {
+			signed = float64(c)
+		}
+		if i >= split {
+			value -= signed * math.Exp2(float64(i-n))
+		} else {
+			value += signed * math.Exp2(float64(i))
+		}
+	}
+	return value, nil
+}

@@ -1,0 +1,371 @@
+package encoding
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hesgx/internal/he"
+	"hesgx/internal/ring"
+)
+
+func testParams(t testing.TB, plainMod uint64) he.Parameters {
+	return testParamsN(t, 1024, 46, plainMod)
+}
+
+func testParamsN(t testing.TB, n, qBits int, plainMod uint64) he.Parameters {
+	t.Helper()
+	q, err := ring.GenerateNTTPrime(qBits, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := he.NewParameters(n, q, plainMod, he.DefaultDecompositionBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+type cryptoContext struct {
+	params he.Parameters
+	enc    *he.Encryptor
+	dec    *he.Decryptor
+	eval   *he.Evaluator
+}
+
+func newCryptoContext(t testing.TB, params he.Parameters, seed uint64) *cryptoContext {
+	t.Helper()
+	kg, err := he.NewKeyGenerator(params, ring.NewSeededSource(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk, pk := kg.GenKeyPair()
+	enc, err := he.NewEncryptor(pk, ring.NewSeededSource(seed+1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := he.NewDecryptor(sk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eval, err := he.NewEvaluator(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &cryptoContext{params: params, enc: enc, dec: dec, eval: eval}
+}
+
+func TestIntegerEncoderRoundTrip(t *testing.T) {
+	params := testParams(t, 257)
+	e, err := NewIntegerEncoder(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []int64{0, 1, -1, 2, 127, -128, 1 << 20, -(1 << 20), 123456789, -987654321} {
+		pt, err := e.Encode(v)
+		if err != nil {
+			t.Fatalf("Encode(%d): %v", v, err)
+		}
+		got, err := e.Decode(pt)
+		if err != nil {
+			t.Fatalf("Decode(%d): %v", v, err)
+		}
+		if got != v {
+			t.Fatalf("roundtrip %d -> %d", v, got)
+		}
+	}
+}
+
+func TestIntegerEncoderQuick(t *testing.T) {
+	params := testParams(t, 257)
+	e, _ := NewIntegerEncoder(params)
+	f := func(v int32) bool {
+		pt, err := e.Encode(int64(v))
+		if err != nil {
+			return false
+		}
+		got, err := e.Decode(pt)
+		return err == nil && got == int64(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntegerEncoderHomomorphicAdd(t *testing.T) {
+	params := testParams(t, 257)
+	cc := newCryptoContext(t, params, 7)
+	e, _ := NewIntegerEncoder(params)
+	// Binary digit coefficients stay below t=257 for a few additions.
+	pa, _ := e.Encode(100)
+	pb, _ := e.Encode(37)
+	cta, _ := cc.enc.Encrypt(pa)
+	ctb, _ := cc.enc.Encrypt(pb)
+	sum, err := cc.eval.Add(cta, ctb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dt, err := cc.dec.Decrypt(sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.Decode(dt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 137 {
+		t.Fatalf("100+37 = %d", got)
+	}
+}
+
+func TestIntegerEncoderHomomorphicMul(t *testing.T) {
+	params := testParams(t, 257)
+	cc := newCryptoContext(t, params, 8)
+	e, _ := NewIntegerEncoder(params)
+	pa, _ := e.Encode(12)
+	pb, _ := e.Encode(-5)
+	cta, _ := cc.enc.Encrypt(pa)
+	ctb, _ := cc.enc.Encrypt(pb)
+	prod, err := cc.eval.Mul(cta, ctb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dt, err := cc.dec.Decrypt(prod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.Decode(dt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != -60 {
+		t.Fatalf("12*-5 = %d", got)
+	}
+}
+
+func TestScalarEncoderRoundTrip(t *testing.T) {
+	params := testParams(t, 65537)
+	e, err := NewScalarEncoder(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []int64{0, 1, -1, 32768, -32768, 100, -200} {
+		pt := e.Encode(v)
+		if got := e.Decode(pt); got != v {
+			t.Fatalf("roundtrip %d -> %d", v, got)
+		}
+	}
+}
+
+func TestScalarEncoderModularWrap(t *testing.T) {
+	params := testParams(t, 257)
+	e, _ := NewScalarEncoder(params)
+	// 300 mod 257 = 43
+	if got := e.EncodeValue(300); got != 43 {
+		t.Fatalf("EncodeValue(300) = %d", got)
+	}
+	if got := e.EncodeValue(-1); got != 256 {
+		t.Fatalf("EncodeValue(-1) = %d", got)
+	}
+	if got := e.DecodeValue(256); got != -1 {
+		t.Fatalf("DecodeValue(256) = %d", got)
+	}
+}
+
+func TestScalarEncoderHomomorphic(t *testing.T) {
+	params := testParams(t, 65537)
+	cc := newCryptoContext(t, params, 9)
+	e, _ := NewScalarEncoder(params)
+	cta, _ := cc.enc.Encrypt(e.Encode(-40))
+	pb := e.Encode(25)
+	prod, err := cc.eval.MulPlain(cta, pb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dt, err := cc.dec.Decrypt(prod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Decode(dt); got != -1000 {
+		t.Fatalf("-40*25 = %d", got)
+	}
+}
+
+func TestFractionalEncoderRoundTrip(t *testing.T) {
+	params := testParams(t, 65537)
+	e, err := NewFractionalEncoder(params, 10, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{0, 1, -1, 0.5, -0.5, 3.141592, -2.71828, 511.25, -511.75} {
+		pt, err := e.Encode(v)
+		if err != nil {
+			t.Fatalf("Encode(%g): %v", v, err)
+		}
+		got, err := e.Decode(pt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-v) > 1e-5 {
+			t.Fatalf("roundtrip %g -> %g", v, got)
+		}
+	}
+}
+
+func TestFractionalEncoderRejectsBadInput(t *testing.T) {
+	params := testParams(t, 65537)
+	e, _ := NewFractionalEncoder(params, 10, 20)
+	for _, v := range []float64{math.NaN(), math.Inf(1), 2000} {
+		if _, err := e.Encode(v); err == nil {
+			t.Fatalf("Encode(%g) should fail", v)
+		}
+	}
+	if _, err := NewFractionalEncoder(params, 900, 100); err != nil {
+		t.Fatal("900+100 coefficients fit in 1024")
+	}
+	if _, err := NewFractionalEncoder(params, 1020, 100); err == nil {
+		t.Fatal("overflowing split should fail")
+	}
+}
+
+func TestFractionalEncoderHomomorphicMul(t *testing.T) {
+	params := testParams(t, 65537)
+	cc := newCryptoContext(t, params, 10)
+	e, _ := NewFractionalEncoder(params, 8, 16)
+	pa, _ := e.Encode(1.5)
+	pb, _ := e.Encode(-2.25)
+	cta, _ := cc.enc.Encrypt(pa)
+	prod, err := cc.eval.MulPlain(cta, pb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dt, err := cc.dec.Decrypt(prod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.Decode(dt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-(-3.375)) > 1e-4 {
+		t.Fatalf("1.5 * -2.25 = %g", got)
+	}
+}
+
+func TestBatchEncoderRoundTrip(t *testing.T) {
+	params := testParams(t, 40961) // 40961 ≡ 1 mod 2048, prime
+	e, err := NewBatchEncoder(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.SlotCount() != 1024 {
+		t.Fatalf("SlotCount = %d", e.SlotCount())
+	}
+	values := make([]int64, e.SlotCount())
+	for i := range values {
+		values[i] = int64(i) - 512
+	}
+	pt, err := e.Encode(values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.Decode(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range values {
+		if got[i] != values[i] {
+			t.Fatalf("slot %d: %d != %d", i, got[i], values[i])
+		}
+	}
+}
+
+func TestBatchEncoderSIMDOperations(t *testing.T) {
+	// Multiplication with a batching modulus t=40961 needs the n=2048
+	// parameter tier for noise headroom (40961 ≡ 1 mod 4096 as well).
+	params := testParamsN(t, 2048, 56, 40961)
+	cc := newCryptoContext(t, params, 11)
+	e, _ := NewBatchEncoder(params)
+	a := []int64{1, 2, 3, 4, 5, -6, 7, 0}
+	b := []int64{10, 20, 30, 40, 50, 60, -70, 5}
+	pa, _ := e.Encode(a)
+	pb, _ := e.Encode(b)
+	cta, _ := cc.enc.Encrypt(pa)
+
+	t.Run("slotwise add plain", func(t *testing.T) {
+		sum, err := cc.eval.AddPlain(cta, pb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dt, _ := cc.dec.Decrypt(sum)
+		got, err := e.Decode(dt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a {
+			if got[i] != a[i]+b[i] {
+				t.Fatalf("slot %d: %d + %d = %d", i, a[i], b[i], got[i])
+			}
+		}
+	})
+
+	t.Run("slotwise mul plain", func(t *testing.T) {
+		prod, err := cc.eval.MulPlain(cta, pb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dt, _ := cc.dec.Decrypt(prod)
+		got, err := e.Decode(dt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a {
+			if got[i] != a[i]*b[i] {
+				t.Fatalf("slot %d: %d * %d = %d", i, a[i], b[i], got[i])
+			}
+		}
+	})
+
+	t.Run("slotwise ct mul", func(t *testing.T) {
+		ctb, _ := cc.enc.Encrypt(pb)
+		prod, err := cc.eval.Mul(cta, ctb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dt, _ := cc.dec.Decrypt(prod)
+		got, err := e.Decode(dt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a {
+			if got[i] != a[i]*b[i] {
+				t.Fatalf("slot %d: %d * %d = %d", i, a[i], b[i], got[i])
+			}
+		}
+	})
+}
+
+func TestBatchEncoderRejectsUnsupportedModulus(t *testing.T) {
+	params := testParams(t, 257) // 257 mod 2048 != 1
+	if _, err := NewBatchEncoder(params); err == nil {
+		t.Fatal("non-batching modulus accepted")
+	}
+}
+
+func TestBatchEncoderRejectsTooManyValues(t *testing.T) {
+	params := testParams(t, 40961)
+	e, _ := NewBatchEncoder(params)
+	if _, err := e.Encode(make([]int64, params.N+1)); err == nil {
+		t.Fatal("oversized batch accepted")
+	}
+}
+
+func TestBatchingPlaintextModulus(t *testing.T) {
+	tm, err := BatchingPlaintextModulus(1024, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tm%2048 != 1 || !ring.IsPrime(tm) {
+		t.Fatalf("bad batching modulus %d", tm)
+	}
+}

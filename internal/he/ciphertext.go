@@ -1,0 +1,143 @@
+package he
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"hesgx/internal/ring"
+)
+
+// Plaintext is a polynomial with coefficients in [0, T), produced by an
+// encoder (see internal/encoding) or directly for raw scalar work.
+type Plaintext struct {
+	Params Parameters
+	Poly   ring.Poly
+}
+
+// NewPlaintext allocates a zero plaintext.
+func NewPlaintext(params Parameters) *Plaintext {
+	return &Plaintext{Params: params, Poly: params.Ring().NewPoly()}
+}
+
+// Copy deep-copies the plaintext.
+func (p *Plaintext) Copy() *Plaintext {
+	return &Plaintext{Params: p.Params, Poly: p.Poly.Copy()}
+}
+
+// Validate checks coefficient ranges against the plaintext modulus.
+func (p *Plaintext) Validate() error {
+	if len(p.Poly.Coeffs) != p.Params.N {
+		return fmt.Errorf("he: plaintext degree %d, want %d", len(p.Poly.Coeffs), p.Params.N)
+	}
+	for i, c := range p.Poly.Coeffs {
+		if c >= p.Params.T {
+			return fmt.Errorf("he: plaintext coefficient %d = %d >= t = %d", i, c, p.Params.T)
+		}
+	}
+	return nil
+}
+
+// Ciphertext is an FV ciphertext of size 2 (fresh) or 3 (after an
+// unrelinearized multiplication). Polys are kept in coefficient domain.
+type Ciphertext struct {
+	Params Parameters
+	Polys  []ring.Poly
+}
+
+// NewCiphertext allocates a zero ciphertext of the given size (2 or 3).
+func NewCiphertext(params Parameters, size int) *Ciphertext {
+	polys := make([]ring.Poly, size)
+	for i := range polys {
+		polys[i] = params.Ring().NewPoly()
+	}
+	return &Ciphertext{Params: params, Polys: polys}
+}
+
+// Size returns the number of polynomial components.
+func (ct *Ciphertext) Size() int { return len(ct.Polys) }
+
+// Copy deep-copies the ciphertext.
+func (ct *Ciphertext) Copy() *Ciphertext {
+	polys := make([]ring.Poly, len(ct.Polys))
+	for i := range polys {
+		polys[i] = ct.Polys[i].Copy()
+	}
+	return &Ciphertext{Params: ct.Params, Polys: polys}
+}
+
+// Validate checks structural well-formedness of a (possibly deserialized)
+// ciphertext before it is used.
+func (ct *Ciphertext) Validate() error {
+	if n := len(ct.Polys); n < 2 || n > 3 {
+		return fmt.Errorf("he: ciphertext size %d, want 2 or 3", n)
+	}
+	r := ct.Params.Ring()
+	for i, p := range ct.Polys {
+		if err := r.ValidatePoly(p); err != nil {
+			return fmt.Errorf("he: ciphertext component %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// ciphertextMagic guards serialized ciphertext framing.
+const ciphertextMagic = uint32(0xC17E57F1)
+
+// Write serializes the ciphertext. The parameter set is identified by
+// (N, Q, T) so the receiver can reject mismatched parameters.
+func (ct *Ciphertext) Write(w io.Writer) error {
+	hdr := []any{
+		ciphertextMagic,
+		uint32(ct.Params.N),
+		ct.Params.Q,
+		ct.Params.T,
+		uint32(len(ct.Polys)),
+	}
+	for _, v := range hdr {
+		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+			return fmt.Errorf("he: write ciphertext header: %w", err)
+		}
+	}
+	for _, p := range ct.Polys {
+		if err := ring.WritePoly(w, p); err != nil {
+			return fmt.Errorf("he: write ciphertext poly: %w", err)
+		}
+	}
+	return nil
+}
+
+// ReadCiphertext deserializes a ciphertext and validates it against params.
+func ReadCiphertext(r io.Reader, params Parameters) (*Ciphertext, error) {
+	var (
+		magic, n, size uint32
+		q, t           uint64
+	)
+	for _, v := range []any{&magic, &n, &q, &t, &size} {
+		if err := binary.Read(r, binary.LittleEndian, v); err != nil {
+			return nil, fmt.Errorf("he: read ciphertext header: %w", err)
+		}
+	}
+	if magic != ciphertextMagic {
+		return nil, fmt.Errorf("he: bad ciphertext magic %#x", magic)
+	}
+	if int(n) != params.N || q != params.Q || t != params.T {
+		return nil, fmt.Errorf("he: ciphertext parameters (n=%d q=%d t=%d) do not match (n=%d q=%d t=%d)",
+			n, q, t, params.N, params.Q, params.T)
+	}
+	if size < 2 || size > 3 {
+		return nil, fmt.Errorf("he: ciphertext size %d out of range", size)
+	}
+	ct := &Ciphertext{Params: params, Polys: make([]ring.Poly, size)}
+	for i := range ct.Polys {
+		p, err := ring.ReadPoly(r)
+		if err != nil {
+			return nil, fmt.Errorf("he: read ciphertext poly %d: %w", i, err)
+		}
+		ct.Polys[i] = p
+	}
+	if err := ct.Validate(); err != nil {
+		return nil, err
+	}
+	return ct, nil
+}

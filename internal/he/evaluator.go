@@ -1,0 +1,398 @@
+package he
+
+import (
+	"fmt"
+
+	"hesgx/internal/ring"
+	"hesgx/internal/u128"
+)
+
+// Evaluator performs homomorphic operations on FV ciphertexts. It is
+// immutable after construction and safe for concurrent use.
+type Evaluator struct {
+	params Parameters
+	// tensor accelerates the exact integer convolution of Mul/Square via
+	// NTT-CRT; nil forces the O(n^2) schoolbook reference path.
+	tensor *ring.TensorMultiplier
+}
+
+// EvaluatorOption customizes evaluator construction.
+type EvaluatorOption func(*evaluatorConfig)
+
+type evaluatorConfig struct {
+	schoolbook bool
+}
+
+// WithSchoolbookTensor forces the O(n^2) schoolbook path for ciphertext
+// multiplication — the reference implementation, kept for ablation
+// benchmarks and cross-checking.
+func WithSchoolbookTensor() EvaluatorOption {
+	return func(c *evaluatorConfig) { c.schoolbook = true }
+}
+
+// NewEvaluator builds an evaluator for the parameter set.
+func NewEvaluator(params Parameters, opts ...EvaluatorOption) (*Evaluator, error) {
+	if !params.Valid() {
+		return nil, fmt.Errorf("he: invalid parameters")
+	}
+	cfg := evaluatorConfig{}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	ev := &Evaluator{params: params}
+	if !cfg.schoolbook {
+		tm, err := ring.NewTensorMultiplier(params.N)
+		if err != nil {
+			return nil, fmt.Errorf("he: tensor multiplier: %w", err)
+		}
+		ev.tensor = tm
+	}
+	return ev, nil
+}
+
+// tensorConvolve computes the exact negacyclic convolution of centered
+// operands via the fast path when available.
+func (ev *Evaluator) tensorConvolve(a, b []int64) ([]u128.Int128, error) {
+	if ev.tensor != nil {
+		return ev.tensor.MulExact(a, b)
+	}
+	return ring.NegacyclicConvolveInt(a, b), nil
+}
+
+func (ev *Evaluator) check(cts ...*Ciphertext) error {
+	for _, ct := range cts {
+		if ct == nil {
+			return fmt.Errorf("he: nil ciphertext")
+		}
+		if !ct.Params.Equal(ev.params) {
+			return fmt.Errorf("he: ciphertext parameter mismatch")
+		}
+	}
+	return nil
+}
+
+// Add returns ct0 + ct1 (the Add algorithm in §II-B), extended
+// componentwise to size-3 ciphertexts.
+func (ev *Evaluator) Add(ct0, ct1 *Ciphertext) (*Ciphertext, error) {
+	if err := ev.check(ct0, ct1); err != nil {
+		return nil, err
+	}
+	r := ev.params.Ring()
+	size := max(ct0.Size(), ct1.Size())
+	out := NewCiphertext(ev.params, size)
+	for i := 0; i < size; i++ {
+		switch {
+		case i < ct0.Size() && i < ct1.Size():
+			r.Add(ct0.Polys[i], ct1.Polys[i], out.Polys[i])
+		case i < ct0.Size():
+			ct0.Polys[i].CopyTo(out.Polys[i])
+		default:
+			ct1.Polys[i].CopyTo(out.Polys[i])
+		}
+	}
+	return out, nil
+}
+
+// Sub returns ct0 - ct1.
+func (ev *Evaluator) Sub(ct0, ct1 *Ciphertext) (*Ciphertext, error) {
+	neg, err := ev.Neg(ct1)
+	if err != nil {
+		return nil, err
+	}
+	return ev.Add(ct0, neg)
+}
+
+// Neg returns -ct.
+func (ev *Evaluator) Neg(ct *Ciphertext) (*Ciphertext, error) {
+	if err := ev.check(ct); err != nil {
+		return nil, err
+	}
+	r := ev.params.Ring()
+	out := NewCiphertext(ev.params, ct.Size())
+	for i := range ct.Polys {
+		r.Neg(ct.Polys[i], out.Polys[i])
+	}
+	return out, nil
+}
+
+// AddPlain returns ct + pt: the plaintext is scaled by Δ and added to c0.
+func (ev *Evaluator) AddPlain(ct *Ciphertext, pt *Plaintext) (*Ciphertext, error) {
+	if err := ev.check(ct); err != nil {
+		return nil, err
+	}
+	if err := pt.Validate(); err != nil {
+		return nil, fmt.Errorf("he: add plain: %w", err)
+	}
+	r := ev.params.Ring()
+	out := ct.Copy()
+	dm := r.NewPoly()
+	r.MulScalar(pt.Poly, ev.params.Delta(), dm)
+	r.Add(out.Polys[0], dm, out.Polys[0])
+	return out, nil
+}
+
+// SubPlain returns ct - pt.
+func (ev *Evaluator) SubPlain(ct *Ciphertext, pt *Plaintext) (*Ciphertext, error) {
+	if err := ev.check(ct); err != nil {
+		return nil, err
+	}
+	if err := pt.Validate(); err != nil {
+		return nil, fmt.Errorf("he: sub plain: %w", err)
+	}
+	r := ev.params.Ring()
+	out := ct.Copy()
+	dm := r.NewPoly()
+	r.MulScalar(pt.Poly, ev.params.Delta(), dm)
+	r.Sub(out.Polys[0], dm, out.Polys[0])
+	return out, nil
+}
+
+// liftPlain maps a plaintext into R_q with the noise-minimizing centered
+// lift and returns it in NTT domain.
+func (ev *Evaluator) liftPlain(pt *Plaintext) ring.Poly {
+	r := ev.params.Ring()
+	lifted := r.NewPoly()
+	for i, c := range pt.Poly.Coeffs {
+		lifted.Coeffs[i] = ev.params.LiftCentered(c)
+	}
+	r.NTT(lifted)
+	return lifted
+}
+
+// MulPlain returns ct * pt (ciphertext × plaintext, the C×P operation the
+// paper counts in Fig. 4). The plaintext is lifted centered into R_q.
+func (ev *Evaluator) MulPlain(ct *Ciphertext, pt *Plaintext) (*Ciphertext, error) {
+	if err := ev.check(ct); err != nil {
+		return nil, err
+	}
+	if err := pt.Validate(); err != nil {
+		return nil, fmt.Errorf("he: mul plain: %w", err)
+	}
+	return ev.mulPlainNTT(ct, ev.liftPlain(pt))
+}
+
+// PlainOperand is a plaintext pre-lifted into NTT form, for repeated
+// multiplication against many ciphertexts (encoded model weights).
+type PlainOperand struct {
+	Params Parameters
+	NTT    ring.Poly
+}
+
+// PrepareOperand lifts and transforms pt once; MulPlainOperand then skips
+// that work on every use.
+func (ev *Evaluator) PrepareOperand(pt *Plaintext) (*PlainOperand, error) {
+	if err := pt.Validate(); err != nil {
+		return nil, fmt.Errorf("he: prepare operand: %w", err)
+	}
+	return &PlainOperand{Params: ev.params, NTT: ev.liftPlain(pt)}, nil
+}
+
+// MulPlainOperand multiplies ct by a prepared plaintext operand.
+func (ev *Evaluator) MulPlainOperand(ct *Ciphertext, op *PlainOperand) (*Ciphertext, error) {
+	if err := ev.check(ct); err != nil {
+		return nil, err
+	}
+	if !op.Params.Equal(ev.params) {
+		return nil, fmt.Errorf("he: operand parameter mismatch")
+	}
+	return ev.mulPlainNTT(ct, op.NTT)
+}
+
+func (ev *Evaluator) mulPlainNTT(ct *Ciphertext, mNTT ring.Poly) (*Ciphertext, error) {
+	r := ev.params.Ring()
+	out := NewCiphertext(ev.params, ct.Size())
+	for i := range ct.Polys {
+		r.MulNTTLazy(ct.Polys[i], mNTT, out.Polys[i])
+	}
+	return out, nil
+}
+
+// Mul returns the size-3 tensor product of two size-2 ciphertexts (the
+// Multiply algorithm in §II-B): each output component is
+// round(t/q * (c_i ⊛ d_j)) with exact integer convolution. Relinearize (or
+// an enclave refresh) reduces the result back to size 2.
+func (ev *Evaluator) Mul(ct0, ct1 *Ciphertext) (*Ciphertext, error) {
+	if err := ev.check(ct0, ct1); err != nil {
+		return nil, err
+	}
+	if ct0.Size() != 2 || ct1.Size() != 2 {
+		return nil, fmt.Errorf("he: Mul requires size-2 ciphertexts (relinearize first); got %d and %d", ct0.Size(), ct1.Size())
+	}
+	r := ev.params.Ring()
+	t := ev.params.T
+	q := ev.params.Q
+
+	c0 := r.Centered(ct0.Polys[0])
+	c1 := r.Centered(ct0.Polys[1])
+	d0 := r.Centered(ct1.Polys[0])
+	d1 := r.Centered(ct1.Polys[1])
+
+	out := NewCiphertext(ev.params, 3)
+	// out0 = round(t/q * c0*d0)
+	v00, err := ev.tensorConvolve(c0, d0)
+	if err != nil {
+		return nil, err
+	}
+	// out1 = round(t/q * (c0*d1 + c1*d0)) — sum the exact convolutions
+	// before scaling so rounding happens once.
+	x, err := ev.tensorConvolve(c0, d1)
+	if err != nil {
+		return nil, err
+	}
+	y, err := ev.tensorConvolve(c1, d0)
+	if err != nil {
+		return nil, err
+	}
+	// out2 = round(t/q * c1*d1)
+	v11, err := ev.tensorConvolve(c1, d1)
+	if err != nil {
+		return nil, err
+	}
+	for k := range v00 {
+		out.Polys[0].Coeffs[k] = v00[k].ScaleRoundMod(t, q, q)
+		out.Polys[1].Coeffs[k] = x[k].Add(y[k]).ScaleRoundMod(t, q, q)
+		out.Polys[2].Coeffs[k] = v11[k].ScaleRoundMod(t, q, q)
+	}
+	return out, nil
+}
+
+// Square returns ct*ct, saving one convolution versus Mul.
+func (ev *Evaluator) Square(ct *Ciphertext) (*Ciphertext, error) {
+	if err := ev.check(ct); err != nil {
+		return nil, err
+	}
+	if ct.Size() != 2 {
+		return nil, fmt.Errorf("he: Square requires a size-2 ciphertext")
+	}
+	r := ev.params.Ring()
+	t := ev.params.T
+	q := ev.params.Q
+	c0 := r.Centered(ct.Polys[0])
+	c1 := r.Centered(ct.Polys[1])
+	out := NewCiphertext(ev.params, 3)
+	v00, err := ev.tensorConvolve(c0, c0)
+	if err != nil {
+		return nil, err
+	}
+	cross, err := ev.tensorConvolve(c0, c1)
+	if err != nil {
+		return nil, err
+	}
+	v11, err := ev.tensorConvolve(c1, c1)
+	if err != nil {
+		return nil, err
+	}
+	for k := range v00 {
+		out.Polys[0].Coeffs[k] = v00[k].ScaleRoundMod(t, q, q)
+		out.Polys[1].Coeffs[k] = cross[k].Add(cross[k]).ScaleRoundMod(t, q, q)
+		out.Polys[2].Coeffs[k] = v11[k].ScaleRoundMod(t, q, q)
+	}
+	return out, nil
+}
+
+// Relinearize reduces a size-3 ciphertext to size 2 using evaluation keys:
+// c2 is decomposed in base w and folded through the keys, trading ciphertext
+// size for a small additive noise term. Size-2 inputs pass through unchanged.
+func (ev *Evaluator) Relinearize(ct *Ciphertext, ek *EvaluationKeys) (*Ciphertext, error) {
+	if err := ev.check(ct); err != nil {
+		return nil, err
+	}
+	if ct.Size() == 2 {
+		return ct.Copy(), nil
+	}
+	if ek == nil || !ek.Params.Equal(ev.params) {
+		return nil, fmt.Errorf("he: missing or mismatched evaluation keys")
+	}
+	r := ev.params.Ring()
+	digits := ev.params.DecompDigits()
+	if len(ek.K0) < digits {
+		return nil, fmt.Errorf("he: evaluation keys have %d digits, need %d", len(ek.K0), digits)
+	}
+	out := NewCiphertext(ev.params, 2)
+	ct.Polys[0].CopyTo(out.Polys[0])
+	ct.Polys[1].CopyTo(out.Polys[1])
+
+	// Decompose c2 into base-w digits: c2 = sum_i digit_i * w^i.
+	mask := (uint64(1) << uint(ev.params.DecompBaseBits)) - 1
+	shift := uint(ev.params.DecompBaseBits)
+	digitPoly := r.NewPoly()
+	acc0 := r.NewPoly()
+	acc1 := r.NewPoly()
+	scratch := r.NewPoly()
+	for i := 0; i < digits; i++ {
+		for j, c := range ct.Polys[2].Coeffs {
+			digitPoly.Coeffs[j] = (c >> (uint(i) * shift)) & mask
+		}
+		dNTT := digitPoly.Copy()
+		r.NTT(dNTT)
+		r.MulCoeffs(dNTT, ek.K0[i], scratch)
+		r.Add(acc0, scratch, acc0)
+		r.MulCoeffs(dNTT, ek.K1[i], scratch)
+		r.Add(acc1, scratch, acc1)
+	}
+	r.INTT(acc0)
+	r.INTT(acc1)
+	r.Add(out.Polys[0], acc0, out.Polys[0])
+	r.Add(out.Polys[1], acc1, out.Polys[1])
+	return out, nil
+}
+
+// MulRelin multiplies and immediately relinearizes, the common composition
+// in pure-HE inference.
+func (ev *Evaluator) MulRelin(ct0, ct1 *Ciphertext, ek *EvaluationKeys) (*Ciphertext, error) {
+	prod, err := ev.Mul(ct0, ct1)
+	if err != nil {
+		return nil, err
+	}
+	return ev.Relinearize(prod, ek)
+}
+
+// AddMany sums a non-empty slice of ciphertexts.
+func (ev *Evaluator) AddMany(cts []*Ciphertext) (*Ciphertext, error) {
+	if len(cts) == 0 {
+		return nil, fmt.Errorf("he: AddMany of empty slice")
+	}
+	acc := cts[0].Copy()
+	var err error
+	for _, ct := range cts[1:] {
+		acc, err = ev.Add(acc, ct)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return acc, nil
+}
+
+// MulScalar multiplies a ciphertext by a small integer constant (mod T) by
+// scaling every component; this is cheaper than MulPlain for scalars.
+func (ev *Evaluator) MulScalar(ct *Ciphertext, k uint64) (*Ciphertext, error) {
+	if err := ev.check(ct); err != nil {
+		return nil, err
+	}
+	r := ev.params.Ring()
+	lifted := ev.params.LiftCentered(k % ev.params.T)
+	out := NewCiphertext(ev.params, ct.Size())
+	for i := range ct.Polys {
+		r.MulScalar(ct.Polys[i], lifted, out.Polys[i])
+	}
+	return out, nil
+}
+
+// MulScalarAddInto computes acc += k*ct in place — the fused
+// multiply-accumulate the inference engines use for weighted sums, which
+// avoids allocating a ciphertext per term. acc and ct must have the same
+// size.
+func (ev *Evaluator) MulScalarAddInto(acc, ct *Ciphertext, k uint64) error {
+	if err := ev.check(acc, ct); err != nil {
+		return err
+	}
+	if acc.Size() != ct.Size() {
+		return fmt.Errorf("he: MulScalarAddInto size mismatch %d vs %d", acc.Size(), ct.Size())
+	}
+	r := ev.params.Ring()
+	lifted := ev.params.LiftCentered(k % ev.params.T)
+	for i := range ct.Polys {
+		r.MulScalarAdd(ct.Polys[i], lifted, acc.Polys[i])
+	}
+	return nil
+}

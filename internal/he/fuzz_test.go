@@ -1,0 +1,117 @@
+package he
+
+import (
+	"bytes"
+	"testing"
+
+	"hesgx/internal/ring"
+)
+
+// Fuzz targets for the deserialization attack surface: hostile bytes from
+// the network must produce errors, never panics or out-of-range structures.
+
+func fuzzParams(t *testing.F) Parameters {
+	t.Helper()
+	q, err := ring.GenerateNTTPrime(46, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewParameters(1024, q, 257, DefaultDecompositionBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func FuzzUnmarshalCiphertext(f *testing.F) {
+	params := fuzzParams(f)
+	kg, err := NewKeyGenerator(params, ring.NewSeededSource(1))
+	if err != nil {
+		f.Fatal(err)
+	}
+	_, pk := kg.GenKeyPair()
+	enc, err := NewEncryptor(pk, ring.NewSeededSource(2))
+	if err != nil {
+		f.Fatal(err)
+	}
+	ct, err := enc.EncryptScalar(42)
+	if err != nil {
+		f.Fatal(err)
+	}
+	valid, err := MarshalCiphertext(ct)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add(valid[:17])
+	mutated := bytes.Clone(valid)
+	mutated[30] ^= 0xFF
+	f.Add(mutated)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := UnmarshalCiphertext(data, params)
+		if err != nil {
+			return
+		}
+		// Anything accepted must be structurally valid.
+		if verr := got.Validate(); verr != nil {
+			t.Fatalf("accepted ciphertext fails validation: %v", verr)
+		}
+	})
+}
+
+func FuzzReadSecretKey(f *testing.F) {
+	params := fuzzParams(f)
+	kg, err := NewKeyGenerator(params, ring.NewSeededSource(3))
+	if err != nil {
+		f.Fatal(err)
+	}
+	sk := kg.GenSecretKey()
+	valid, err := MarshalSecretKey(sk)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:9])
+	f.Add([]byte("FVSKgarbage"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := UnmarshalSecretKey(data)
+		if err != nil {
+			return
+		}
+		if err := got.Params.Ring().ValidatePoly(got.S); err != nil {
+			t.Fatalf("accepted secret key fails validation: %v", err)
+		}
+	})
+}
+
+func FuzzReadPublicKey(f *testing.F) {
+	params := fuzzParams(f)
+	kg, err := NewKeyGenerator(params, ring.NewSeededSource(4))
+	if err != nil {
+		f.Fatal(err)
+	}
+	_, pk := kg.GenKeyPair()
+	valid, err := MarshalPublicKey(pk)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := UnmarshalPublicKey(data)
+		if err != nil {
+			return
+		}
+		r := got.Params.Ring()
+		if err := r.ValidatePoly(got.P0); err != nil {
+			t.Fatalf("accepted public key p0 invalid: %v", err)
+		}
+		if err := r.ValidatePoly(got.P1); err != nil {
+			t.Fatalf("accepted public key p1 invalid: %v", err)
+		}
+	})
+}

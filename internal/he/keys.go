@@ -1,0 +1,132 @@
+package he
+
+import (
+	"fmt"
+
+	"hesgx/internal/ring"
+)
+
+// SecretKey is an FV secret key: a ternary polynomial s.
+type SecretKey struct {
+	Params Parameters
+	S      ring.Poly
+	// sNTT caches the NTT form of S for decryption.
+	sNTT ring.Poly
+	// s2NTT caches the NTT form of s^2 for decrypting size-3 ciphertexts.
+	s2NTT ring.Poly
+}
+
+// PublicKey is an FV public key (p0, p1) = ([-(a s + e)]_q, a).
+type PublicKey struct {
+	Params Parameters
+	P0     ring.Poly
+	P1     ring.Poly
+}
+
+// EvaluationKeys hold the relinearization keys produced by
+// EvaluationKeyGen(sk, w): for each base-w digit i, a pair
+// ([-(a_i s + e_i) + w^i s^2]_q, a_i), stored in NTT form for fast use.
+type EvaluationKeys struct {
+	Params Parameters
+	// K0[i], K1[i] are the two components of digit i, NTT domain.
+	K0 []ring.Poly
+	K1 []ring.Poly
+}
+
+// KeyGenerator derives FV key material from a randomness source.
+type KeyGenerator struct {
+	params  Parameters
+	sampler *ring.Sampler
+}
+
+// NewKeyGenerator returns a generator drawing from src; pass
+// ring.NewCryptoSource() for real keys.
+func NewKeyGenerator(params Parameters, src ring.Source) (*KeyGenerator, error) {
+	if !params.Valid() {
+		return nil, fmt.Errorf("he: invalid parameters")
+	}
+	return &KeyGenerator{
+		params:  params,
+		sampler: ring.NewSampler(params.Ring(), src),
+	}, nil
+}
+
+// GenSecretKey samples a fresh ternary secret key (SecretKeyGen in §II-B).
+func (kg *KeyGenerator) GenSecretKey() *SecretKey {
+	r := kg.params.Ring()
+	s := r.NewPoly()
+	kg.sampler.Ternary(s)
+	sk := &SecretKey{Params: kg.params, S: s}
+	sk.precompute()
+	return sk
+}
+
+func (sk *SecretKey) precompute() {
+	r := sk.Params.Ring()
+	sk.sNTT = sk.S.Copy()
+	r.NTT(sk.sNTT)
+	sk.s2NTT = r.NewPoly()
+	r.MulCoeffs(sk.sNTT, sk.sNTT, sk.s2NTT)
+}
+
+// GenPublicKey derives a public key from sk (PublicKeyGen in §II-B).
+func (kg *KeyGenerator) GenPublicKey(sk *SecretKey) *PublicKey {
+	r := kg.params.Ring()
+	a := r.NewPoly()
+	e := r.NewPoly()
+	kg.sampler.Uniform(a)
+	kg.sampler.Gaussian(e)
+	// p0 = -(a*s + e)
+	p0 := r.NewPoly()
+	r.MulNTT(a, sk.S, p0)
+	r.Add(p0, e, p0)
+	r.Neg(p0, p0)
+	return &PublicKey{Params: kg.params, P0: p0, P1: a}
+}
+
+// GenKeyPair samples a secret key and its public key together.
+func (kg *KeyGenerator) GenKeyPair() (*SecretKey, *PublicKey) {
+	sk := kg.GenSecretKey()
+	return sk, kg.GenPublicKey(sk)
+}
+
+// GenEvaluationKeys produces relinearization keys for sk
+// (EvaluationKeyGen(sk, w) in §II-B).
+func (kg *KeyGenerator) GenEvaluationKeys(sk *SecretKey) *EvaluationKeys {
+	params := kg.params
+	r := params.Ring()
+	digits := params.DecompDigits()
+	ek := &EvaluationKeys{
+		Params: params,
+		K0:     make([]ring.Poly, digits),
+		K1:     make([]ring.Poly, digits),
+	}
+	// s^2 in coefficient domain.
+	s2 := r.NewPoly()
+	r.MulNTT(sk.S, sk.S, s2)
+	// w^i mod q, accumulated.
+	wPow := uint64(1)
+	w := uint64(1) << uint(params.DecompBaseBits)
+	for i := 0; i < digits; i++ {
+		a := r.NewPoly()
+		e := r.NewPoly()
+		kg.sampler.Uniform(a)
+		kg.sampler.Gaussian(e)
+		// k0 = -(a*s + e) + w^i * s^2
+		k0 := r.NewPoly()
+		r.MulNTT(a, sk.S, k0)
+		r.Add(k0, e, k0)
+		r.Neg(k0, k0)
+		scaled := r.NewPoly()
+		r.MulScalar(s2, wPow, scaled)
+		r.Add(k0, scaled, k0)
+		// Store both halves in NTT domain: relinearization multiplies them
+		// by ciphertext digits repeatedly.
+		r.NTT(k0)
+		r.NTT(a)
+		ek.K0[i] = k0
+		ek.K1[i] = a
+		wPow = r.Mod.Mul(wPow, w%r.Mod.Q)
+	}
+	return ek
+}

@@ -1,0 +1,129 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// ActKind selects the activation function (§II-A4). Square is the
+// polynomial stand-in CryptoNets uses when the true non-polynomial
+// functions cannot be evaluated under HE.
+type ActKind int
+
+// Activation variants.
+const (
+	Sigmoid ActKind = iota + 1
+	ReLU
+	Tanh
+	LeakyReLU
+	Square
+)
+
+func (k ActKind) String() string {
+	switch k {
+	case Sigmoid:
+		return "sigmoid"
+	case ReLU:
+		return "relu"
+	case Tanh:
+		return "tanh"
+	case LeakyReLU:
+		return "leaky_relu"
+	case Square:
+		return "square"
+	default:
+		return fmt.Sprintf("ActKind(%d)", int(k))
+	}
+}
+
+// leakySlope is the negative-side slope of LeakyReLU.
+const leakySlope = 0.01
+
+// Apply evaluates the activation on a scalar.
+func (k ActKind) Apply(x float64) float64 {
+	switch k {
+	case Sigmoid:
+		return 1 / (1 + math.Exp(-x))
+	case ReLU:
+		return math.Max(0, x)
+	case Tanh:
+		return math.Tanh(x)
+	case LeakyReLU:
+		if x < 0 {
+			return leakySlope * x
+		}
+		return x
+	case Square:
+		return x * x
+	default:
+		panic(fmt.Sprintf("nn: unknown activation %d", int(k)))
+	}
+}
+
+// derivativeFromIO computes d(act)/dx given the input x and output y, which
+// avoids recomputing transcendentals where the output suffices.
+func (k ActKind) derivativeFromIO(x, y float64) float64 {
+	switch k {
+	case Sigmoid:
+		return y * (1 - y)
+	case ReLU:
+		if x > 0 {
+			return 1
+		}
+		return 0
+	case Tanh:
+		return 1 - y*y
+	case LeakyReLU:
+		if x < 0 {
+			return leakySlope
+		}
+		return 1
+	case Square:
+		return 2 * x
+	default:
+		panic(fmt.Sprintf("nn: unknown activation %d", int(k)))
+	}
+}
+
+// Activation applies an element-wise non-linearity.
+type Activation struct {
+	Kind    ActKind
+	lastIn  *Tensor
+	lastOut *Tensor
+}
+
+// NewActivation builds an activation layer.
+func NewActivation(kind ActKind) *Activation {
+	return &Activation{Kind: kind}
+}
+
+// Name implements Layer.
+func (a *Activation) Name() string { return a.Kind.String() }
+
+// Params implements Layer.
+func (a *Activation) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (a *Activation) Forward(in *Tensor) (*Tensor, error) {
+	out := NewTensor(in.Shape...)
+	for i, x := range in.Data {
+		out.Data[i] = a.Kind.Apply(x)
+	}
+	a.lastIn, a.lastOut = in, out
+	return out, nil
+}
+
+// Backward implements Layer.
+func (a *Activation) Backward(grad *Tensor) (*Tensor, error) {
+	if a.lastIn == nil {
+		return nil, fmt.Errorf("nn: activation backward before forward")
+	}
+	if !grad.SameShape(a.lastIn) {
+		return nil, fmt.Errorf("nn: activation backward shape %v, want %v", grad.Shape, a.lastIn.Shape)
+	}
+	din := NewTensor(grad.Shape...)
+	for i := range grad.Data {
+		din.Data[i] = grad.Data[i] * a.Kind.derivativeFromIO(a.lastIn.Data[i], a.lastOut.Data[i])
+	}
+	return din, nil
+}

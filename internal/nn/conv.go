@@ -1,0 +1,213 @@
+package nn
+
+import (
+	"fmt"
+	mrand "math/rand/v2"
+)
+
+// Conv2D is a valid (no padding) 2D convolution with square kernels, the
+// first layer family of §II-A. Weights have shape
+// [outC, inC, k, k]; bias has shape [outC].
+type Conv2D struct {
+	InC, OutC int
+	K         int
+	Stride    int
+
+	Weight *Param
+	Bias   *Param
+
+	lastIn *Tensor
+}
+
+// NewConv2D builds a convolution layer with Glorot-initialized weights.
+func NewConv2D(inC, outC, k, stride int, rng *mrand.Rand) *Conv2D {
+	w := NewTensor(outC, inC, k, k)
+	if rng != nil {
+		initUniform(w, inC*k*k, outC*k*k, rng)
+	}
+	return &Conv2D{
+		InC: inC, OutC: outC, K: k, Stride: stride,
+		Weight: &Param{Name: "conv.weight", W: w, Grad: NewTensor(outC, inC, k, k)},
+		Bias:   &Param{Name: "conv.bias", W: NewTensor(outC), Grad: NewTensor(outC)},
+	}
+}
+
+// Name implements Layer.
+func (c *Conv2D) Name() string { return "conv2d" }
+
+// Params implements Layer.
+func (c *Conv2D) Params() []*Param { return []*Param{c.Weight, c.Bias} }
+
+// OutSize returns the output spatial size for an input of spatial size in.
+func (c *Conv2D) OutSize(in int) int {
+	return (in-c.K)/c.Stride + 1
+}
+
+func (c *Conv2D) wAt(o, i, ky, kx int) float64 {
+	return c.Weight.W.Data[((o*c.InC+i)*c.K+ky)*c.K+kx]
+}
+
+// Forward implements Layer.
+func (c *Conv2D) Forward(in *Tensor) (*Tensor, error) {
+	if len(in.Shape) != 3 || in.Shape[0] != c.InC {
+		return nil, fmt.Errorf("nn: conv2d expects [%d, h, w], got %v", c.InC, in.Shape)
+	}
+	h, w := in.Shape[1], in.Shape[2]
+	if h < c.K || w < c.K {
+		return nil, fmt.Errorf("nn: conv2d kernel %d exceeds input %dx%d", c.K, h, w)
+	}
+	oh, ow := c.OutSize(h), c.OutSize(w)
+	out := NewTensor(c.OutC, oh, ow)
+	for o := 0; o < c.OutC; o++ {
+		bias := c.Bias.W.Data[o]
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				acc := bias
+				for i := 0; i < c.InC; i++ {
+					for ky := 0; ky < c.K; ky++ {
+						iy := oy*c.Stride + ky
+						for kx := 0; kx < c.K; kx++ {
+							acc += c.wAt(o, i, ky, kx) * in.At3(i, iy, ox*c.Stride+kx)
+						}
+					}
+				}
+				out.Set3(o, oy, ox, acc)
+			}
+		}
+	}
+	c.lastIn = in
+	return out, nil
+}
+
+// Backward implements Layer.
+func (c *Conv2D) Backward(grad *Tensor) (*Tensor, error) {
+	in := c.lastIn
+	if in == nil {
+		return nil, fmt.Errorf("nn: conv2d backward before forward")
+	}
+	h, w := in.Shape[1], in.Shape[2]
+	oh, ow := c.OutSize(h), c.OutSize(w)
+	if len(grad.Shape) != 3 || grad.Shape[0] != c.OutC || grad.Shape[1] != oh || grad.Shape[2] != ow {
+		return nil, fmt.Errorf("nn: conv2d backward shape %v, want [%d %d %d]", grad.Shape, c.OutC, oh, ow)
+	}
+	din := NewTensor(c.InC, h, w)
+	for o := 0; o < c.OutC; o++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				g := grad.At3(o, oy, ox)
+				if g == 0 {
+					continue
+				}
+				c.Bias.Grad.Data[o] += g
+				for i := 0; i < c.InC; i++ {
+					for ky := 0; ky < c.K; ky++ {
+						iy := oy*c.Stride + ky
+						for kx := 0; kx < c.K; kx++ {
+							ix := ox*c.Stride + kx
+							idx := ((o*c.InC+i)*c.K+ky)*c.K + kx
+							c.Weight.Grad.Data[idx] += g * in.At3(i, iy, ix)
+							din.Data[(i*h+iy)*w+ix] += g * c.wAt(o, i, ky, kx)
+						}
+					}
+				}
+			}
+		}
+	}
+	return din, nil
+}
+
+// FullyConnected maps a flattened input of size In to Out logits, the
+// classifier layer of §II-A. The paper implements it as a convolution whose
+// kernel equals the input feature map; mathematically it is a weight matrix
+// [Out, In] plus bias.
+type FullyConnected struct {
+	In, Out int
+	Weight  *Param
+	Bias    *Param
+	lastIn  *Tensor
+}
+
+// NewFullyConnected builds an FC layer with Glorot-initialized weights.
+func NewFullyConnected(in, out int, rng *mrand.Rand) *FullyConnected {
+	w := NewTensor(out, in)
+	if rng != nil {
+		initUniform(w, in, out, rng)
+	}
+	return &FullyConnected{
+		In: in, Out: out,
+		Weight: &Param{Name: "fc.weight", W: w, Grad: NewTensor(out, in)},
+		Bias:   &Param{Name: "fc.bias", W: NewTensor(out), Grad: NewTensor(out)},
+	}
+}
+
+// Name implements Layer.
+func (f *FullyConnected) Name() string { return "fully_connected" }
+
+// Params implements Layer.
+func (f *FullyConnected) Params() []*Param { return []*Param{f.Weight, f.Bias} }
+
+// Forward implements Layer. Any input shape with In total elements is
+// accepted (implicit flatten).
+func (f *FullyConnected) Forward(in *Tensor) (*Tensor, error) {
+	if in.Len() != f.In {
+		return nil, fmt.Errorf("nn: fully connected expects %d inputs, got %d (shape %v)", f.In, in.Len(), in.Shape)
+	}
+	out := NewTensor(f.Out)
+	for o := 0; o < f.Out; o++ {
+		acc := f.Bias.W.Data[o]
+		row := f.Weight.W.Data[o*f.In : (o+1)*f.In]
+		for i, x := range in.Data {
+			acc += row[i] * x
+		}
+		out.Data[o] = acc
+	}
+	f.lastIn = in
+	return out, nil
+}
+
+// Backward implements Layer.
+func (f *FullyConnected) Backward(grad *Tensor) (*Tensor, error) {
+	if f.lastIn == nil {
+		return nil, fmt.Errorf("nn: fully connected backward before forward")
+	}
+	if grad.Len() != f.Out {
+		return nil, fmt.Errorf("nn: fully connected backward expects %d grads, got %d", f.Out, grad.Len())
+	}
+	din := NewTensor(f.lastIn.Shape...)
+	for o := 0; o < f.Out; o++ {
+		g := grad.Data[o]
+		f.Bias.Grad.Data[o] += g
+		row := f.Weight.W.Data[o*f.In : (o+1)*f.In]
+		growRow := f.Weight.Grad.Data[o*f.In : (o+1)*f.In]
+		for i, x := range f.lastIn.Data {
+			growRow[i] += g * x
+			din.Data[i] += g * row[i]
+		}
+	}
+	return din, nil
+}
+
+// Flatten reshapes [C, H, W] activations to a vector, preserving order.
+type Flatten struct {
+	lastShape []int
+}
+
+// Name implements Layer.
+func (f *Flatten) Name() string { return "flatten" }
+
+// Params implements Layer.
+func (f *Flatten) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (f *Flatten) Forward(in *Tensor) (*Tensor, error) {
+	f.lastShape = append([]int(nil), in.Shape...)
+	return &Tensor{Shape: []int{in.Len()}, Data: in.Data}, nil
+}
+
+// Backward implements Layer.
+func (f *Flatten) Backward(grad *Tensor) (*Tensor, error) {
+	if f.lastShape == nil {
+		return nil, fmt.Errorf("nn: flatten backward before forward")
+	}
+	return &Tensor{Shape: append([]int(nil), f.lastShape...), Data: grad.Data}, nil
+}

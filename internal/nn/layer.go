@@ -1,0 +1,38 @@
+package nn
+
+import (
+	"math"
+	mrand "math/rand/v2"
+)
+
+// Layer is one stage of a network. Forward consumes the previous
+// activation; Backward consumes dL/d(output), accumulates parameter
+// gradients, and returns dL/d(input).
+type Layer interface {
+	Name() string
+	Forward(in *Tensor) (*Tensor, error)
+	Backward(grad *Tensor) (*Tensor, error)
+	Params() []*Param
+}
+
+// Param couples a weight tensor with its gradient accumulator.
+type Param struct {
+	Name string
+	W    *Tensor
+	Grad *Tensor
+}
+
+// zeroGrad clears the accumulated gradient.
+func (p *Param) zeroGrad() {
+	for i := range p.Grad.Data {
+		p.Grad.Data[i] = 0
+	}
+}
+
+// initUniform fills w with Glorot-style uniform values.
+func initUniform(w *Tensor, fanIn, fanOut int, rng *mrand.Rand) {
+	limit := math.Sqrt(6.0 / float64(fanIn+fanOut))
+	for i := range w.Data {
+		w.Data[i] = (rng.Float64()*2 - 1) * limit
+	}
+}

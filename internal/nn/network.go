@@ -1,0 +1,221 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	mrand "math/rand/v2"
+)
+
+// Network is an ordered stack of layers.
+type Network struct {
+	Layers []Layer
+}
+
+// NewNetwork builds a network from layers.
+func NewNetwork(layers ...Layer) *Network {
+	return &Network{Layers: layers}
+}
+
+// Forward runs inference, returning the final activation (logits).
+func (n *Network) Forward(in *Tensor) (*Tensor, error) {
+	x := in
+	for i, l := range n.Layers {
+		var err error
+		x, err = l.Forward(x)
+		if err != nil {
+			return nil, fmt.Errorf("nn: layer %d (%s): %w", i, l.Name(), err)
+		}
+	}
+	return x, nil
+}
+
+// Predict returns the argmax class for the input.
+func (n *Network) Predict(in *Tensor) (int, error) {
+	out, err := n.Forward(in)
+	if err != nil {
+		return 0, err
+	}
+	return out.ArgMax(), nil
+}
+
+// Params collects all trainable parameters.
+func (n *Network) Params() []*Param {
+	var out []*Param
+	for _, l := range n.Layers {
+		out = append(out, l.Params()...)
+	}
+	return out
+}
+
+// backward propagates dL/d(logits) through the stack.
+func (n *Network) backward(grad *Tensor) error {
+	g := grad
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		var err error
+		g, err = n.Layers[i].Backward(g)
+		if err != nil {
+			return fmt.Errorf("nn: backward layer %d (%s): %w", i, n.Layers[i].Name(), err)
+		}
+	}
+	return nil
+}
+
+// SoftmaxCrossEntropy computes the loss and dL/d(logits) for a target class.
+func SoftmaxCrossEntropy(logits *Tensor, target int) (float64, *Tensor, error) {
+	if target < 0 || target >= logits.Len() {
+		return 0, nil, fmt.Errorf("nn: target %d out of range [0, %d)", target, logits.Len())
+	}
+	maxV := math.Inf(-1)
+	for _, v := range logits.Data {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	sum := 0.0
+	probs := make([]float64, logits.Len())
+	for i, v := range logits.Data {
+		probs[i] = math.Exp(v - maxV)
+		sum += probs[i]
+	}
+	grad := NewTensor(logits.Shape...)
+	for i := range probs {
+		probs[i] /= sum
+		grad.Data[i] = probs[i]
+	}
+	grad.Data[target] -= 1
+	loss := -math.Log(math.Max(probs[target], 1e-300))
+	return loss, grad, nil
+}
+
+// SGD is a stochastic-gradient-descent trainer with optional classical
+// momentum and L2 weight decay.
+type SGD struct {
+	LR        float64
+	BatchSize int
+	// Momentum in [0, 1); 0 disables the velocity term.
+	Momentum float64
+	// WeightDecay is the L2 regularization coefficient; 0 disables it.
+	WeightDecay float64
+
+	// velocity is keyed by parameter identity, allocated lazily.
+	velocity map[*Param][]float64
+}
+
+// Example pairs an input tensor with its class label.
+type Example struct {
+	Input *Tensor
+	Label int
+}
+
+// TrainEpoch runs one epoch of minibatch SGD over examples (in the order
+// given; shuffle first if desired) and returns the mean loss.
+func (s *SGD) TrainEpoch(n *Network, examples []Example) (float64, error) {
+	if s.BatchSize <= 0 {
+		s.BatchSize = 1
+	}
+	params := n.Params()
+	totalLoss := 0.0
+	count := 0
+	for start := 0; start < len(examples); start += s.BatchSize {
+		end := min(start+s.BatchSize, len(examples))
+		for _, p := range params {
+			p.zeroGrad()
+		}
+		for _, ex := range examples[start:end] {
+			logits, err := n.Forward(ex.Input)
+			if err != nil {
+				return 0, err
+			}
+			loss, grad, err := SoftmaxCrossEntropy(logits, ex.Label)
+			if err != nil {
+				return 0, err
+			}
+			totalLoss += loss
+			count++
+			if err := n.backward(grad); err != nil {
+				return 0, err
+			}
+		}
+		scale := s.LR / float64(end-start)
+		for _, p := range params {
+			if s.Momentum > 0 && s.velocity == nil {
+				s.velocity = make(map[*Param][]float64)
+			}
+			var vel []float64
+			if s.Momentum > 0 {
+				vel = s.velocity[p]
+				if vel == nil {
+					vel = make([]float64, len(p.W.Data))
+					s.velocity[p] = vel
+				}
+			}
+			for i := range p.W.Data {
+				g := scale * p.Grad.Data[i]
+				if s.WeightDecay > 0 {
+					g += s.LR * s.WeightDecay * p.W.Data[i]
+				}
+				if s.Momentum > 0 {
+					vel[i] = s.Momentum*vel[i] - g
+					p.W.Data[i] += vel[i]
+				} else {
+					p.W.Data[i] -= g
+				}
+			}
+		}
+	}
+	if count == 0 {
+		return 0, nil
+	}
+	return totalLoss / float64(count), nil
+}
+
+// Accuracy evaluates top-1 accuracy over examples.
+func Accuracy(n *Network, examples []Example) (float64, error) {
+	if len(examples) == 0 {
+		return 0, nil
+	}
+	correct := 0
+	for _, ex := range examples {
+		pred, err := n.Predict(ex.Input)
+		if err != nil {
+			return 0, err
+		}
+		if pred == ex.Label {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(examples)), nil
+}
+
+// Shuffle permutes examples in place with the given RNG.
+func Shuffle(examples []Example, rng *mrand.Rand) {
+	rng.Shuffle(len(examples), func(i, j int) {
+		examples[i], examples[j] = examples[j], examples[i]
+	})
+}
+
+// PaperCNN builds the Fig. 7 network: conv 6×(5×5) stride 1 → Sigmoid →
+// 2×2 mean-pool → fully connected to 10 classes, for 28×28 single-channel
+// input (Table VI).
+func PaperCNN(rng *mrand.Rand) *Network {
+	return NewNetwork(
+		NewConv2D(1, 6, 5, 1, rng),
+		NewActivation(Sigmoid),
+		NewPool2D(MeanPool, 2),
+		&Flatten{},
+		NewFullyConnected(6*12*12, 10, rng),
+	)
+}
+
+// CryptoNetsCNN builds the HE-friendly variant used by the Encrypted
+// baseline: Square activation and scaled mean-pool (SumPool), as in
+// CryptoNets [16].
+func CryptoNetsCNN(rng *mrand.Rand) *Network {
+	return NewNetwork(
+		NewConv2D(1, 6, 5, 1, rng),
+		NewActivation(Square),
+		NewPool2D(SumPool, 2),
+		&Flatten{},
+		NewFullyConnected(6*12*12, 10, rng),
+	)
+}

@@ -1,0 +1,656 @@
+package nn
+
+import (
+	"bytes"
+	"math"
+	mrand "math/rand/v2"
+	"testing"
+)
+
+func rng(seed uint64) *mrand.Rand {
+	return mrand.New(mrand.NewPCG(seed, seed^0xabcdef))
+}
+
+func randTensor(r *mrand.Rand, shape ...int) *Tensor {
+	t := NewTensor(shape...)
+	for i := range t.Data {
+		t.Data[i] = r.Float64()*2 - 1
+	}
+	return t
+}
+
+func TestTensorBasics(t *testing.T) {
+	x := NewTensor(2, 3, 4)
+	if x.Len() != 24 {
+		t.Fatalf("Len = %d", x.Len())
+	}
+	x.Set3(1, 2, 3, 7)
+	if x.At3(1, 2, 3) != 7 {
+		t.Fatal("At3/Set3 mismatch")
+	}
+	c := x.Clone()
+	c.Data[0] = 99
+	if x.Data[0] == 99 {
+		t.Fatal("Clone aliases data")
+	}
+	if !x.SameShape(c) {
+		t.Fatal("clone shape differs")
+	}
+	if x.SameShape(NewTensor(2, 3)) {
+		t.Fatal("different rank considered same shape")
+	}
+}
+
+func TestFromSlice(t *testing.T) {
+	if _, err := FromSlice([]float64{1, 2, 3}, 2, 2); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+	x, err := FromSlice([]float64{1, 2, 3, 4}, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Data[3] != 4 {
+		t.Fatal("data not adopted")
+	}
+}
+
+func TestArgMax(t *testing.T) {
+	x, _ := FromSlice([]float64{1, 5, 3, 5}, 4)
+	if got := x.ArgMax(); got != 1 {
+		t.Fatalf("ArgMax = %d, want 1 (first of ties)", got)
+	}
+}
+
+func TestMaxAbsAndScale(t *testing.T) {
+	x, _ := FromSlice([]float64{-3, 2}, 2)
+	if x.MaxAbs() != 3 {
+		t.Fatalf("MaxAbs = %g", x.MaxAbs())
+	}
+	x.Scale(2)
+	if x.Data[0] != -6 || x.Data[1] != 4 {
+		t.Fatal("Scale wrong")
+	}
+}
+
+func TestAddInPlace(t *testing.T) {
+	a, _ := FromSlice([]float64{1, 2}, 2)
+	b, _ := FromSlice([]float64{10, 20}, 2)
+	if err := a.AddInPlace(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Data[0] != 11 || a.Data[1] != 22 {
+		t.Fatal("AddInPlace wrong")
+	}
+	if err := a.AddInPlace(NewTensor(3)); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+}
+
+func TestConvForwardKnownValues(t *testing.T) {
+	c := NewConv2D(1, 1, 2, 1, nil)
+	// Kernel [[1, 2], [3, 4]], bias 10.
+	copy(c.Weight.W.Data, []float64{1, 2, 3, 4})
+	c.Bias.W.Data[0] = 10
+	in, _ := FromSlice([]float64{
+		1, 2, 3,
+		4, 5, 6,
+		7, 8, 9,
+	}, 1, 3, 3)
+	out, err := c.Forward(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// window (0,0): 1*1+2*2+3*4+4*5 = 37 +10 = 47
+	want := []float64{47, 57, 77, 87}
+	for i, w := range want {
+		if math.Abs(out.Data[i]-w) > 1e-12 {
+			t.Fatalf("out[%d] = %g, want %g", i, out.Data[i], w)
+		}
+	}
+	if out.Shape[0] != 1 || out.Shape[1] != 2 || out.Shape[2] != 2 {
+		t.Fatalf("out shape %v", out.Shape)
+	}
+}
+
+func TestConvStride(t *testing.T) {
+	c := NewConv2D(1, 1, 2, 2, nil)
+	copy(c.Weight.W.Data, []float64{1, 1, 1, 1})
+	in := NewTensor(1, 4, 4)
+	for i := range in.Data {
+		in.Data[i] = 1
+	}
+	out, err := c.Forward(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Shape[1] != 2 || out.Shape[2] != 2 {
+		t.Fatalf("stride-2 out shape %v", out.Shape)
+	}
+	for _, v := range out.Data {
+		if v != 4 {
+			t.Fatalf("stride conv value %g", v)
+		}
+	}
+}
+
+func TestConvRejectsBadInput(t *testing.T) {
+	c := NewConv2D(2, 1, 3, 1, nil)
+	if _, err := c.Forward(NewTensor(1, 5, 5)); err == nil {
+		t.Fatal("wrong channel count accepted")
+	}
+	if _, err := c.Forward(NewTensor(2, 2, 2)); err == nil {
+		t.Fatal("kernel larger than input accepted")
+	}
+	if _, err := c.Backward(NewTensor(1, 1, 1)); err == nil {
+		t.Fatal("backward before forward accepted")
+	}
+}
+
+func TestFullyConnectedKnownValues(t *testing.T) {
+	f := NewFullyConnected(3, 2, nil)
+	copy(f.Weight.W.Data, []float64{1, 2, 3, 4, 5, 6})
+	f.Bias.W.Data[0] = 0.5
+	in, _ := FromSlice([]float64{1, 1, 1}, 3)
+	out, err := f.Forward(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(out.Data[0]-6.5) > 1e-12 || math.Abs(out.Data[1]-15) > 1e-12 {
+		t.Fatalf("fc out %v", out.Data)
+	}
+}
+
+func TestPoolForward(t *testing.T) {
+	in, _ := FromSlice([]float64{
+		1, 2, 3, 4,
+		5, 6, 7, 8,
+		9, 10, 11, 12,
+		13, 14, 15, 16,
+	}, 1, 4, 4)
+	tests := []struct {
+		kind PoolKind
+		want []float64
+	}{
+		{MeanPool, []float64{3.5, 5.5, 11.5, 13.5}},
+		{MaxPool, []float64{6, 8, 14, 16}},
+		{SumPool, []float64{14, 22, 46, 54}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.kind.String(), func(t *testing.T) {
+			p := NewPool2D(tt.kind, 2)
+			out, err := p.Forward(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, w := range tt.want {
+				if math.Abs(out.Data[i]-w) > 1e-12 {
+					t.Fatalf("out[%d] = %g, want %g", i, out.Data[i], w)
+				}
+			}
+		})
+	}
+}
+
+func TestPoolRejectsIndivisible(t *testing.T) {
+	p := NewPool2D(MeanPool, 3)
+	if _, err := p.Forward(NewTensor(1, 4, 4)); err == nil {
+		t.Fatal("indivisible pool accepted")
+	}
+}
+
+func TestSumPoolMagnification(t *testing.T) {
+	// The scaled mean-pool magnifies outputs by k^2 relative to mean-pool,
+	// the numerical diffusion §III-A describes.
+	in := randTensor(rng(3), 1, 4, 4)
+	mean, _ := NewPool2D(MeanPool, 2).Forward(in)
+	sum, _ := NewPool2D(SumPool, 2).Forward(in)
+	for i := range mean.Data {
+		if math.Abs(sum.Data[i]-4*mean.Data[i]) > 1e-12 {
+			t.Fatalf("sum != 4*mean at %d", i)
+		}
+	}
+}
+
+func TestActivationValues(t *testing.T) {
+	tests := []struct {
+		kind ActKind
+		in   float64
+		want float64
+	}{
+		{Sigmoid, 0, 0.5},
+		{ReLU, -2, 0},
+		{ReLU, 3, 3},
+		{Tanh, 0, 0},
+		{LeakyReLU, -1, -0.01},
+		{LeakyReLU, 2, 2},
+		{Square, -3, 9},
+	}
+	for _, tt := range tests {
+		if got := tt.kind.Apply(tt.in); math.Abs(got-tt.want) > 1e-12 {
+			t.Fatalf("%v(%g) = %g, want %g", tt.kind, tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestSoftmaxCrossEntropy(t *testing.T) {
+	logits, _ := FromSlice([]float64{1, 2, 3}, 3)
+	loss, grad, err := SoftmaxCrossEntropy(logits, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loss <= 0 {
+		t.Fatalf("loss = %g", loss)
+	}
+	// Gradient sums to zero.
+	sum := 0.0
+	for _, g := range grad.Data {
+		sum += g
+	}
+	if math.Abs(sum) > 1e-9 {
+		t.Fatalf("grad sum = %g", sum)
+	}
+	if _, _, err := SoftmaxCrossEntropy(logits, 5); err == nil {
+		t.Fatal("bad target accepted")
+	}
+}
+
+// numericalGradCheck compares analytic parameter gradients of a layer stack
+// against finite differences.
+func numericalGradCheck(t *testing.T, net *Network, in *Tensor, target int) {
+	t.Helper()
+	logits, err := net.Forward(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, grad, err := SoftmaxCrossEntropy(logits, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range net.Params() {
+		p.zeroGrad()
+	}
+	if err := net.backward(grad); err != nil {
+		t.Fatal(err)
+	}
+	lossAt := func() float64 {
+		logits, err := net.Forward(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		loss, _, err := SoftmaxCrossEntropy(logits, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return loss
+	}
+	const eps = 1e-5
+	for _, p := range net.Params() {
+		// Check a sample of coordinates to keep the test fast.
+		step := len(p.W.Data)/7 + 1
+		for i := 0; i < len(p.W.Data); i += step {
+			orig := p.W.Data[i]
+			p.W.Data[i] = orig + eps
+			up := lossAt()
+			p.W.Data[i] = orig - eps
+			down := lossAt()
+			p.W.Data[i] = orig
+			numeric := (up - down) / (2 * eps)
+			analytic := p.Grad.Data[i]
+			if math.Abs(numeric-analytic) > 1e-3*(1+math.Abs(numeric)) {
+				t.Fatalf("%s[%d]: analytic %g vs numeric %g", p.Name, i, analytic, numeric)
+			}
+		}
+	}
+}
+
+func TestGradCheckConvSigmoidPoolFC(t *testing.T) {
+	r := rng(11)
+	net := NewNetwork(
+		NewConv2D(1, 2, 3, 1, r),
+		NewActivation(Sigmoid),
+		NewPool2D(MeanPool, 2),
+		&Flatten{},
+		NewFullyConnected(2*3*3, 4, r),
+	)
+	in := randTensor(r, 1, 8, 8)
+	numericalGradCheck(t, net, in, 1)
+}
+
+func TestGradCheckSquareSumPool(t *testing.T) {
+	r := rng(12)
+	net := NewNetwork(
+		NewConv2D(1, 2, 3, 1, r),
+		NewActivation(Square),
+		NewPool2D(SumPool, 2),
+		&Flatten{},
+		NewFullyConnected(2*3*3, 3, r),
+	)
+	in := randTensor(r, 1, 8, 8)
+	numericalGradCheck(t, net, in, 2)
+}
+
+func TestGradCheckMaxPoolReLUTanh(t *testing.T) {
+	r := rng(13)
+	net := NewNetwork(
+		NewConv2D(1, 2, 3, 1, r),
+		NewActivation(ReLU),
+		NewPool2D(MaxPool, 2),
+		&Flatten{},
+		NewFullyConnected(2*3*3, 3, r),
+		NewActivation(Tanh),
+	)
+	in := randTensor(r, 1, 8, 8)
+	numericalGradCheck(t, net, in, 0)
+}
+
+func TestGradCheckLeakyReLU(t *testing.T) {
+	r := rng(14)
+	net := NewNetwork(
+		NewFullyConnected(6, 4, r),
+		NewActivation(LeakyReLU),
+		NewFullyConnected(4, 3, r),
+	)
+	in := randTensor(r, 6)
+	numericalGradCheck(t, net, in, 1)
+}
+
+func TestTrainingLearnsToyProblem(t *testing.T) {
+	// Learn a linearly separable 2-class problem with a small MLP.
+	r := rng(21)
+	var examples []Example
+	for i := 0; i < 200; i++ {
+		x := randTensor(r, 4)
+		label := 0
+		if x.Data[0]+x.Data[1]-x.Data[2] > 0 {
+			label = 1
+		}
+		examples = append(examples, Example{Input: x, Label: label})
+	}
+	net := NewNetwork(
+		NewFullyConnected(4, 8, r),
+		NewActivation(Tanh),
+		NewFullyConnected(8, 2, r),
+	)
+	trainer := &SGD{LR: 0.5, BatchSize: 8}
+	var lastLoss float64
+	for epoch := 0; epoch < 30; epoch++ {
+		loss, err := trainer.TrainEpoch(net, examples)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lastLoss = loss
+	}
+	acc, err := Accuracy(net, examples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.95 {
+		t.Fatalf("training accuracy %.2f (loss %.3f)", acc, lastLoss)
+	}
+}
+
+func TestPaperCNNShapes(t *testing.T) {
+	// Table VI: 1×28×28 -> conv -> 6×24×24 -> sigmoid -> 6×24×24 ->
+	// pool -> 6×12×12 -> fc -> 10.
+	net := PaperCNN(rng(31))
+	in := NewTensor(1, 28, 28)
+	x := in
+	wantShapes := [][]int{
+		{6, 24, 24},
+		{6, 24, 24},
+		{6, 12, 12},
+		{864},
+		{10},
+	}
+	for i, l := range net.Layers {
+		var err error
+		x, err = l.Forward(x)
+		if err != nil {
+			t.Fatalf("layer %d: %v", i, err)
+		}
+		want := wantShapes[i]
+		if len(x.Shape) != len(want) {
+			t.Fatalf("layer %d shape %v, want %v", i, x.Shape, want)
+		}
+		for j := range want {
+			if x.Shape[j] != want[j] {
+				t.Fatalf("layer %d shape %v, want %v", i, x.Shape, want)
+			}
+		}
+	}
+}
+
+func TestModelSerializationRoundTrip(t *testing.T) {
+	r := rng(41)
+	net := PaperCNN(r)
+	in := randTensor(r, 1, 28, 28)
+	wantOut, err := net.Forward(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := net.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotOut, err := got.Forward(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range wantOut.Data {
+		if wantOut.Data[i] != gotOut.Data[i] {
+			t.Fatalf("output %d differs after roundtrip", i)
+		}
+	}
+}
+
+func TestModelLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a model"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	var buf bytes.Buffer
+	net := NewNetwork(&Flatten{})
+	if err := net.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	b[0] ^= 0xFF
+	if _, err := Load(bytes.NewReader(b)); err == nil {
+		t.Fatal("corrupted magic accepted")
+	}
+}
+
+func TestQuantizedConvMatchesFloat(t *testing.T) {
+	r := rng(51)
+	c := NewConv2D(1, 3, 5, 1, r)
+	const scale = 1 << 10
+	q, err := QuantizeConv(c, scale, 255)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := randTensor(r, 1, 12, 12)
+	for i := range img.Data {
+		img.Data[i] = math.Abs(img.Data[i]) // pixels in [0, 1]
+	}
+	floatOut, err := c.Forward(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	intIn := QuantizeImage(img, 255)
+	intOut, oh, ow, err := q.Forward(intIn, 12, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oh != 8 || ow != 8 {
+		t.Fatalf("quantized out %dx%d", oh, ow)
+	}
+	outScale := scale * 255.0
+	for i := range intOut {
+		approx := float64(intOut[i]) / outScale
+		if math.Abs(approx-floatOut.Data[i]) > 0.05 {
+			t.Fatalf("element %d: quantized %g vs float %g", i, approx, floatOut.Data[i])
+		}
+	}
+}
+
+func TestQuantizedFCMatchesFloat(t *testing.T) {
+	r := rng(52)
+	f := NewFullyConnected(20, 5, r)
+	const scale = 1 << 12
+	q, err := QuantizeFC(f, scale, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := randTensor(r, 20)
+	floatOut, err := f.Forward(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	intIn := make([]int64, 20)
+	for i, v := range in.Data {
+		intIn[i] = int64(math.Round(v * 1000))
+	}
+	intOut, err := q.Forward(intIn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range intOut {
+		approx := float64(intOut[i]) / (scale * 1000)
+		if math.Abs(approx-floatOut.Data[i]) > 0.02 {
+			t.Fatalf("element %d: quantized %g vs float %g", i, approx, floatOut.Data[i])
+		}
+	}
+}
+
+func TestQuantizedArgmaxPreserved(t *testing.T) {
+	// The key §VII-B property: quantization at reasonable scales preserves
+	// the predicted class.
+	r := rng(53)
+	f := NewFullyConnected(10, 4, r)
+	q, err := QuantizeFC(f, 1<<14, 1<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 50; trial++ {
+		in := randTensor(r, 10)
+		floatOut, _ := f.Forward(in)
+		intIn := make([]int64, 10)
+		for i, v := range in.Data {
+			intIn[i] = int64(math.Round(v * (1 << 10)))
+		}
+		intOut, _ := q.Forward(intIn)
+		intArg, intBest := 0, int64(math.MinInt64)
+		for i, v := range intOut {
+			if v > intBest {
+				intArg, intBest = i, v
+			}
+		}
+		if intArg != floatOut.ArgMax() {
+			t.Fatalf("trial %d: quantized argmax %d != float %d", trial, intArg, floatOut.ArgMax())
+		}
+	}
+}
+
+func TestMaxOutputMagnitudeBounds(t *testing.T) {
+	r := rng(54)
+	c := NewConv2D(1, 2, 3, 1, r)
+	q, _ := QuantizeConv(c, 100, 255)
+	bound := q.MaxOutputMagnitude(255)
+	in := make([]int64, 64)
+	for i := range in {
+		in[i] = 255
+	}
+	out, _, _, err := q.Forward(in, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range out {
+		if abs64(v) > bound {
+			t.Fatalf("output %d exceeds bound %d", v, bound)
+		}
+	}
+}
+
+func TestQuantizeRejectsBadScale(t *testing.T) {
+	c := NewConv2D(1, 1, 2, 1, nil)
+	if _, err := QuantizeConv(c, 0, 1); err == nil {
+		t.Fatal("zero scale accepted")
+	}
+	f := NewFullyConnected(2, 2, nil)
+	if _, err := QuantizeFC(f, 1, -1); err == nil {
+		t.Fatal("negative input scale accepted")
+	}
+}
+
+func TestMomentumSGDLearnsFaster(t *testing.T) {
+	// With momentum, the same toy problem should reach a lower loss in the
+	// same number of epochs (deterministic data and init, so comparable).
+	makeData := func() []Example {
+		r := rng(91)
+		var examples []Example
+		for i := 0; i < 150; i++ {
+			x := randTensor(r, 4)
+			label := 0
+			if x.Data[0]-x.Data[3] > 0.1 {
+				label = 1
+			}
+			examples = append(examples, Example{Input: x, Label: label})
+		}
+		return examples
+	}
+	train := func(momentum float64) float64 {
+		r := rng(92)
+		net := NewNetwork(
+			NewFullyConnected(4, 8, r),
+			NewActivation(Tanh),
+			NewFullyConnected(8, 2, r),
+		)
+		trainer := &SGD{LR: 0.05, BatchSize: 8, Momentum: momentum}
+		examples := makeData()
+		var loss float64
+		for epoch := 0; epoch < 10; epoch++ {
+			var err error
+			loss, err = trainer.TrainEpoch(net, examples)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		return loss
+	}
+	plain := train(0)
+	momentum := train(0.9)
+	if momentum >= plain {
+		t.Fatalf("momentum loss %.4f not better than plain %.4f", momentum, plain)
+	}
+}
+
+func TestWeightDecayShrinksWeights(t *testing.T) {
+	r := rng(93)
+	var examples []Example
+	for i := 0; i < 50; i++ {
+		examples = append(examples, Example{Input: randTensor(r, 4), Label: i % 2})
+	}
+	norm := func(decay float64) float64 {
+		rr := rng(94)
+		net := NewNetwork(NewFullyConnected(4, 2, rr))
+		trainer := &SGD{LR: 0.1, BatchSize: 8, WeightDecay: decay}
+		for epoch := 0; epoch < 20; epoch++ {
+			if _, err := trainer.TrainEpoch(net, examples); err != nil {
+				t.Fatal(err)
+			}
+		}
+		total := 0.0
+		for _, p := range net.Params() {
+			for _, w := range p.W.Data {
+				total += w * w
+			}
+		}
+		return total
+	}
+	if decayed, plain := norm(0.1), norm(0); decayed >= plain {
+		t.Fatalf("weight decay did not shrink weights: %.4f vs %.4f", decayed, plain)
+	}
+}

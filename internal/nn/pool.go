@@ -1,0 +1,140 @@
+package nn
+
+import "fmt"
+
+// PoolKind selects the pooling function (§II-A2). SumPool is the "scaled
+// mean-pool" CryptoNets substitutes for mean pooling under HE: it omits the
+// division, magnifying activations by k² (the numerical diffusion §III-A
+// warns about).
+type PoolKind int
+
+// Pooling variants.
+const (
+	MeanPool PoolKind = iota + 1
+	MaxPool
+	SumPool
+)
+
+func (k PoolKind) String() string {
+	switch k {
+	case MeanPool:
+		return "mean"
+	case MaxPool:
+		return "max"
+	case SumPool:
+		return "sum"
+	default:
+		return fmt.Sprintf("PoolKind(%d)", int(k))
+	}
+}
+
+// Pool2D downsamples each channel with non-overlapping k×k windows.
+type Pool2D struct {
+	Kind PoolKind
+	K    int
+
+	lastIn  *Tensor
+	lastMax []int // argmax indices for MaxPool backward
+}
+
+// NewPool2D builds a pooling layer.
+func NewPool2D(kind PoolKind, k int) *Pool2D {
+	return &Pool2D{Kind: kind, K: k}
+}
+
+// Name implements Layer.
+func (p *Pool2D) Name() string { return p.Kind.String() + "_pool" }
+
+// Params implements Layer.
+func (p *Pool2D) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (p *Pool2D) Forward(in *Tensor) (*Tensor, error) {
+	if len(in.Shape) != 3 {
+		return nil, fmt.Errorf("nn: pool expects [c, h, w], got %v", in.Shape)
+	}
+	c, h, w := in.Shape[0], in.Shape[1], in.Shape[2]
+	if h%p.K != 0 || w%p.K != 0 {
+		return nil, fmt.Errorf("nn: pool window %d does not divide input %dx%d", p.K, h, w)
+	}
+	oh, ow := h/p.K, w/p.K
+	out := NewTensor(c, oh, ow)
+	if p.Kind == MaxPool {
+		p.lastMax = make([]int, out.Len())
+	}
+	area := float64(p.K * p.K)
+	for ch := 0; ch < c; ch++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				switch p.Kind {
+				case MaxPool:
+					best := in.At3(ch, oy*p.K, ox*p.K)
+					bestIdx := (ch*h+oy*p.K)*w + ox*p.K
+					for ky := 0; ky < p.K; ky++ {
+						for kx := 0; kx < p.K; kx++ {
+							idx := (ch*h+oy*p.K+ky)*w + ox*p.K + kx
+							if v := in.Data[idx]; v > best {
+								best, bestIdx = v, idx
+							}
+						}
+					}
+					out.Set3(ch, oy, ox, best)
+					p.lastMax[(ch*oh+oy)*ow+ox] = bestIdx
+				default: // MeanPool, SumPool
+					sum := 0.0
+					for ky := 0; ky < p.K; ky++ {
+						for kx := 0; kx < p.K; kx++ {
+							sum += in.At3(ch, oy*p.K+ky, ox*p.K+kx)
+						}
+					}
+					if p.Kind == MeanPool {
+						sum /= area
+					}
+					out.Set3(ch, oy, ox, sum)
+				}
+			}
+		}
+	}
+	p.lastIn = in
+	return out, nil
+}
+
+// Backward implements Layer.
+func (p *Pool2D) Backward(grad *Tensor) (*Tensor, error) {
+	in := p.lastIn
+	if in == nil {
+		return nil, fmt.Errorf("nn: pool backward before forward")
+	}
+	c, h, w := in.Shape[0], in.Shape[1], in.Shape[2]
+	oh, ow := h/p.K, w/p.K
+	if len(grad.Shape) != 3 || grad.Shape[0] != c || grad.Shape[1] != oh || grad.Shape[2] != ow {
+		return nil, fmt.Errorf("nn: pool backward shape %v, want [%d %d %d]", grad.Shape, c, oh, ow)
+	}
+	din := NewTensor(c, h, w)
+	area := float64(p.K * p.K)
+	for ch := 0; ch < c; ch++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				g := grad.At3(ch, oy, ox)
+				switch p.Kind {
+				case MaxPool:
+					din.Data[p.lastMax[(ch*oh+oy)*ow+ox]] += g
+				case MeanPool:
+					share := g / area
+					for ky := 0; ky < p.K; ky++ {
+						for kx := 0; kx < p.K; kx++ {
+							din.Data[(ch*h+oy*p.K+ky)*w+ox*p.K+kx] += share
+						}
+					}
+				case SumPool:
+					for ky := 0; ky < p.K; ky++ {
+						for kx := 0; kx < p.K; kx++ {
+							din.Data[(ch*h+oy*p.K+ky)*w+ox*p.K+kx] += g
+						}
+					}
+				}
+			}
+		}
+	}
+	return din, nil
+}

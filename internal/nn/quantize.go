@@ -1,0 +1,186 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// Quantization for the homomorphic pipeline (§IV-B): FV plaintexts hold
+// integers mod t, so model weights are converted to fixed-point integers
+// w_int = round(w * Scale) once, at weight-encoding time. Linear layers then
+// run exactly over the integers, and the enclave rescales when it decrypts
+// for a non-linear layer. Exactness of the integer pipeline (no wrap mod t)
+// is what makes the hybrid scheme's predictions identical to plaintext
+// predictions, the accuracy claim of §VII-B.
+
+// QuantizedConv is the integer form of a Conv2D layer.
+type QuantizedConv struct {
+	InC, OutC, K, Stride int
+	// W is [outC * inC * k * k] in the same order as Conv2D.
+	W []int64
+	// B is [outC], already scaled by Scale * InputScale.
+	B []int64
+	// Scale is the weight quantization scale.
+	Scale float64
+}
+
+// QuantizedFC is the integer form of a FullyConnected layer.
+type QuantizedFC struct {
+	In, Out int
+	W       []int64
+	B       []int64
+	Scale   float64
+}
+
+// QuantizeConv converts a trained convolution to integers. inputScale is
+// the scale of the integer activations this layer will receive, needed to
+// place the bias on the output scale (Scale * inputScale).
+func QuantizeConv(c *Conv2D, scale, inputScale float64) (*QuantizedConv, error) {
+	if scale <= 0 || inputScale <= 0 {
+		return nil, fmt.Errorf("nn: quantization scales must be positive")
+	}
+	q := &QuantizedConv{
+		InC: c.InC, OutC: c.OutC, K: c.K, Stride: c.Stride,
+		W:     make([]int64, len(c.Weight.W.Data)),
+		B:     make([]int64, len(c.Bias.W.Data)),
+		Scale: scale,
+	}
+	for i, w := range c.Weight.W.Data {
+		q.W[i] = int64(math.Round(w * scale))
+	}
+	for i, b := range c.Bias.W.Data {
+		q.B[i] = int64(math.Round(b * scale * inputScale))
+	}
+	return q, nil
+}
+
+// QuantizeFC converts a trained fully connected layer to integers.
+func QuantizeFC(f *FullyConnected, scale, inputScale float64) (*QuantizedFC, error) {
+	if scale <= 0 || inputScale <= 0 {
+		return nil, fmt.Errorf("nn: quantization scales must be positive")
+	}
+	q := &QuantizedFC{
+		In: f.In, Out: f.Out,
+		W:     make([]int64, len(f.Weight.W.Data)),
+		B:     make([]int64, len(f.Bias.W.Data)),
+		Scale: scale,
+	}
+	for i, w := range f.Weight.W.Data {
+		q.W[i] = int64(math.Round(w * scale))
+	}
+	for i, b := range f.Bias.W.Data {
+		q.B[i] = int64(math.Round(b * scale * inputScale))
+	}
+	return q, nil
+}
+
+// OutSize returns the output spatial size for input spatial size in.
+func (q *QuantizedConv) OutSize(in int) int {
+	return (in-q.K)/q.Stride + 1
+}
+
+// WAt reads weight (o, i, ky, kx).
+func (q *QuantizedConv) WAt(o, i, ky, kx int) int64 {
+	return q.W[((o*q.InC+i)*q.K+ky)*q.K+kx]
+}
+
+// Forward runs the integer convolution over an integer activation tensor
+// of shape [InC, h, w] (flat, row-major). It is the exact plaintext
+// reference for the homomorphic convolution.
+func (q *QuantizedConv) Forward(in []int64, h, w int) ([]int64, int, int, error) {
+	if len(in) != q.InC*h*w {
+		return nil, 0, 0, fmt.Errorf("nn: quantized conv input %d != %d*%d*%d", len(in), q.InC, h, w)
+	}
+	if h < q.K || w < q.K {
+		return nil, 0, 0, fmt.Errorf("nn: quantized conv kernel %d exceeds input %dx%d", q.K, h, w)
+	}
+	oh, ow := q.OutSize(h), q.OutSize(w)
+	out := make([]int64, q.OutC*oh*ow)
+	for o := 0; o < q.OutC; o++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				acc := q.B[o]
+				for i := 0; i < q.InC; i++ {
+					for ky := 0; ky < q.K; ky++ {
+						iy := oy*q.Stride + ky
+						base := (i*h + iy) * w
+						for kx := 0; kx < q.K; kx++ {
+							acc += q.WAt(o, i, ky, kx) * in[base+ox*q.Stride+kx]
+						}
+					}
+				}
+				out[(o*oh+oy)*ow+ox] = acc
+			}
+		}
+	}
+	return out, oh, ow, nil
+}
+
+// Forward runs the integer FC layer.
+func (q *QuantizedFC) Forward(in []int64) ([]int64, error) {
+	if len(in) != q.In {
+		return nil, fmt.Errorf("nn: quantized fc input %d != %d", len(in), q.In)
+	}
+	out := make([]int64, q.Out)
+	for o := 0; o < q.Out; o++ {
+		acc := q.B[o]
+		row := q.W[o*q.In : (o+1)*q.In]
+		for i, x := range in {
+			acc += row[i] * x
+		}
+		out[o] = acc
+	}
+	return out, nil
+}
+
+// MaxOutputMagnitude bounds |output| given a bound on |input| values, used
+// to validate that the plaintext modulus t is large enough for exactness.
+func (q *QuantizedConv) MaxOutputMagnitude(maxIn int64) int64 {
+	var worst int64
+	for o := 0; o < q.OutC; o++ {
+		sum := abs64(q.B[o])
+		for i := 0; i < q.InC; i++ {
+			for ky := 0; ky < q.K; ky++ {
+				for kx := 0; kx < q.K; kx++ {
+					sum += abs64(q.WAt(o, i, ky, kx)) * maxIn
+				}
+			}
+		}
+		if sum > worst {
+			worst = sum
+		}
+	}
+	return worst
+}
+
+// MaxOutputMagnitude bounds |output| for the FC layer.
+func (q *QuantizedFC) MaxOutputMagnitude(maxIn int64) int64 {
+	var worst int64
+	for o := 0; o < q.Out; o++ {
+		sum := abs64(q.B[o])
+		for _, w := range q.W[o*q.In : (o+1)*q.In] {
+			sum += abs64(w) * maxIn
+		}
+		if sum > worst {
+			worst = sum
+		}
+	}
+	return worst
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// QuantizeImage converts float pixels in [0, 1] to integers at the given
+// scale (e.g. 255 to recover 8-bit grey levels).
+func QuantizeImage(t *Tensor, scale float64) []int64 {
+	out := make([]int64, t.Len())
+	for i, v := range t.Data {
+		out[i] = int64(math.Round(v * scale))
+	}
+	return out
+}

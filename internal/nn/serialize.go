@@ -1,0 +1,270 @@
+package nn
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// Model serialization: a tagged binary format holding the architecture and
+// all weights, so trained models can move between the trainer, the server,
+// and tests.
+
+const modelMagic = uint32(0x4E4E4D31) // "NNM1"
+
+// Layer type tags in the serialized format.
+const (
+	tagConv2D = uint8(1)
+	tagFC     = uint8(2)
+	tagPool   = uint8(3)
+	tagAct    = uint8(4)
+	tagFlat   = uint8(5)
+)
+
+// Save writes the network to w.
+func (n *Network) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if err := binary.Write(bw, binary.LittleEndian, modelMagic); err != nil {
+		return fmt.Errorf("nn: save magic: %w", err)
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(n.Layers))); err != nil {
+		return fmt.Errorf("nn: save layer count: %w", err)
+	}
+	for i, l := range n.Layers {
+		if err := saveLayer(bw, l); err != nil {
+			return fmt.Errorf("nn: save layer %d (%s): %w", i, l.Name(), err)
+		}
+	}
+	return bw.Flush()
+}
+
+func saveLayer(w io.Writer, l Layer) error {
+	switch v := l.(type) {
+	case *Conv2D:
+		if err := writeVals(w, tagConv2D, uint32(v.InC), uint32(v.OutC), uint32(v.K), uint32(v.Stride)); err != nil {
+			return err
+		}
+		if err := writeFloats(w, v.Weight.W.Data); err != nil {
+			return err
+		}
+		return writeFloats(w, v.Bias.W.Data)
+	case *FullyConnected:
+		if err := writeVals(w, tagFC, uint32(v.In), uint32(v.Out)); err != nil {
+			return err
+		}
+		if err := writeFloats(w, v.Weight.W.Data); err != nil {
+			return err
+		}
+		return writeFloats(w, v.Bias.W.Data)
+	case *Pool2D:
+		return writeVals(w, tagPool, uint32(v.Kind), uint32(v.K))
+	case *Activation:
+		return writeVals(w, tagAct, uint32(v.Kind))
+	case *Flatten:
+		return writeVals(w, tagFlat)
+	default:
+		return fmt.Errorf("unsupported layer type %T", l)
+	}
+}
+
+func writeVals(w io.Writer, vals ...any) error {
+	for _, v := range vals {
+		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeFloats(w io.Writer, xs []float64) error {
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(xs))); err != nil {
+		return err
+	}
+	buf := make([]byte, 8*len(xs))
+	for i, x := range xs {
+		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(x))
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+// maxModelFloats bounds a single weight blob during deserialization.
+const maxModelFloats = 64 << 20
+
+func readFloats(r io.Reader) ([]float64, error) {
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	if n > maxModelFloats {
+		return nil, fmt.Errorf("implausible float count %d", n)
+	}
+	buf := make([]byte, 8*int(n))
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+	}
+	return out, nil
+}
+
+// Load reads a network saved by Save.
+func Load(r io.Reader) (*Network, error) {
+	br := bufio.NewReader(r)
+	var magic uint32
+	if err := binary.Read(br, binary.LittleEndian, &magic); err != nil {
+		return nil, fmt.Errorf("nn: load magic: %w", err)
+	}
+	if magic != modelMagic {
+		return nil, fmt.Errorf("nn: bad model magic %#x", magic)
+	}
+	var count uint32
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return nil, fmt.Errorf("nn: load layer count: %w", err)
+	}
+	if count > 1024 {
+		return nil, fmt.Errorf("nn: implausible layer count %d", count)
+	}
+	net := &Network{}
+	for i := 0; i < int(count); i++ {
+		l, err := loadLayer(br)
+		if err != nil {
+			return nil, fmt.Errorf("nn: load layer %d: %w", i, err)
+		}
+		net.Layers = append(net.Layers, l)
+	}
+	return net, nil
+}
+
+func loadLayer(r io.Reader) (Layer, error) {
+	var tag uint8
+	if err := binary.Read(r, binary.LittleEndian, &tag); err != nil {
+		return nil, err
+	}
+	readU32 := func() (uint32, error) {
+		var v uint32
+		err := binary.Read(r, binary.LittleEndian, &v)
+		return v, err
+	}
+	switch tag {
+	case tagConv2D:
+		var dims [4]uint32
+		for i := range dims {
+			v, err := readU32()
+			if err != nil {
+				return nil, err
+			}
+			dims[i] = v
+		}
+		inC, outC, k, stride := int(dims[0]), int(dims[1]), int(dims[2]), int(dims[3])
+		if inC <= 0 || outC <= 0 || k <= 0 || stride <= 0 || inC > 1<<12 || outC > 1<<12 || k > 1<<10 {
+			return nil, fmt.Errorf("invalid conv dims %v", dims)
+		}
+		c := NewConv2D(inC, outC, k, stride, nil)
+		w, err := readFloats(r)
+		if err != nil {
+			return nil, err
+		}
+		b, err := readFloats(r)
+		if err != nil {
+			return nil, err
+		}
+		if len(w) != outC*inC*k*k || len(b) != outC {
+			return nil, fmt.Errorf("conv weight sizes %d/%d mismatch dims", len(w), len(b))
+		}
+		copy(c.Weight.W.Data, w)
+		copy(c.Bias.W.Data, b)
+		return c, nil
+	case tagFC:
+		inN, err := readU32()
+		if err != nil {
+			return nil, err
+		}
+		outN, err := readU32()
+		if err != nil {
+			return nil, err
+		}
+		if inN == 0 || outN == 0 || inN > 1<<24 || outN > 1<<20 {
+			return nil, fmt.Errorf("invalid fc dims %dx%d", inN, outN)
+		}
+		f := NewFullyConnected(int(inN), int(outN), nil)
+		w, err := readFloats(r)
+		if err != nil {
+			return nil, err
+		}
+		b, err := readFloats(r)
+		if err != nil {
+			return nil, err
+		}
+		if len(w) != int(inN*outN) || len(b) != int(outN) {
+			return nil, fmt.Errorf("fc weight sizes mismatch")
+		}
+		copy(f.Weight.W.Data, w)
+		copy(f.Bias.W.Data, b)
+		return f, nil
+	case tagPool:
+		kind, err := readU32()
+		if err != nil {
+			return nil, err
+		}
+		k, err := readU32()
+		if err != nil {
+			return nil, err
+		}
+		if k == 0 || k > 1<<10 {
+			return nil, fmt.Errorf("invalid pool window %d", k)
+		}
+		pk := PoolKind(kind)
+		if pk != MeanPool && pk != MaxPool && pk != SumPool {
+			return nil, fmt.Errorf("invalid pool kind %d", kind)
+		}
+		return NewPool2D(pk, int(k)), nil
+	case tagAct:
+		kind, err := readU32()
+		if err != nil {
+			return nil, err
+		}
+		ak := ActKind(kind)
+		switch ak {
+		case Sigmoid, ReLU, Tanh, LeakyReLU, Square:
+			return NewActivation(ak), nil
+		default:
+			return nil, fmt.Errorf("invalid activation kind %d", kind)
+		}
+	case tagFlat:
+		return &Flatten{}, nil
+	default:
+		return nil, fmt.Errorf("unknown layer tag %d", tag)
+	}
+}
+
+// SaveFile writes the model to path.
+func (n *Network) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("nn: create %s: %w", path, err)
+	}
+	defer f.Close()
+	if err := n.Save(f); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("nn: sync %s: %w", path, err)
+	}
+	return nil
+}
+
+// LoadFile reads a model from path.
+func LoadFile(path string) (*Network, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("nn: open %s: %w", path, err)
+	}
+	defer f.Close()
+	return Load(f)
+}

@@ -1,0 +1,115 @@
+// Package nn implements the plaintext CNN substrate the paper's framework
+// evaluates: tensors, the four layer families of §II-A (convolutional,
+// pooling, fully connected, activation), forward inference, SGD
+// backpropagation training, model serialization, and fixed-point
+// quantization for the homomorphic pipeline.
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tensor is a dense row-major float64 tensor. CNN activations use the shape
+// convention [channels, height, width]; vectors use [n].
+type Tensor struct {
+	Shape []int
+	Data  []float64
+}
+
+// NewTensor allocates a zero tensor of the given shape.
+func NewTensor(shape ...int) *Tensor {
+	n := 1
+	for _, s := range shape {
+		if s <= 0 {
+			panic(fmt.Sprintf("nn: invalid dimension %d in shape %v", s, shape))
+		}
+		n *= s
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: make([]float64, n)}
+}
+
+// FromSlice builds a tensor that adopts data (not copied).
+func FromSlice(data []float64, shape ...int) (*Tensor, error) {
+	n := 1
+	for _, s := range shape {
+		n *= s
+	}
+	if n != len(data) {
+		return nil, fmt.Errorf("nn: %d values do not fill shape %v", len(data), shape)
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: data}, nil
+}
+
+// Len returns the number of elements.
+func (t *Tensor) Len() int { return len(t.Data) }
+
+// Clone deep-copies the tensor.
+func (t *Tensor) Clone() *Tensor {
+	c := NewTensor(t.Shape...)
+	copy(c.Data, t.Data)
+	return c
+}
+
+// SameShape reports whether t and o have identical shapes.
+func (t *Tensor) SameShape(o *Tensor) bool {
+	if len(t.Shape) != len(o.Shape) {
+		return false
+	}
+	for i := range t.Shape {
+		if t.Shape[i] != o.Shape[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// At3 reads element (c, y, x) of a [C, H, W] tensor.
+func (t *Tensor) At3(c, y, x int) float64 {
+	return t.Data[(c*t.Shape[1]+y)*t.Shape[2]+x]
+}
+
+// Set3 writes element (c, y, x) of a [C, H, W] tensor.
+func (t *Tensor) Set3(c, y, x int, v float64) {
+	t.Data[(c*t.Shape[1]+y)*t.Shape[2]+x] = v
+}
+
+// ArgMax returns the index of the largest element (first on ties).
+func (t *Tensor) ArgMax() int {
+	best, bestV := 0, math.Inf(-1)
+	for i, v := range t.Data {
+		if v > bestV {
+			best, bestV = i, v
+		}
+	}
+	return best
+}
+
+// MaxAbs returns the largest absolute element value.
+func (t *Tensor) MaxAbs() float64 {
+	m := 0.0
+	for _, v := range t.Data {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Scale multiplies every element in place.
+func (t *Tensor) Scale(f float64) {
+	for i := range t.Data {
+		t.Data[i] *= f
+	}
+}
+
+// AddInPlace adds o element-wise; shapes must match.
+func (t *Tensor) AddInPlace(o *Tensor) error {
+	if !t.SameShape(o) {
+		return fmt.Errorf("nn: shape mismatch %v vs %v", t.Shape, o.Shape)
+	}
+	for i := range t.Data {
+		t.Data[i] += o.Data[i]
+	}
+	return nil
+}

@@ -1,0 +1,128 @@
+package ring
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// NTT holds precomputed tables for the negacyclic number-theoretic transform
+// over Z_q[x]/(x^n+1): powers of a primitive 2n-th root of unity psi in
+// bit-reversed order, with Shoup precomputations for fast fixed-operand
+// modular multiplication.
+type NTT struct {
+	mod Modulus
+	n   int
+	// psiPow[i] = psi^brv(i), psiInvPow[i] = psi^-brv(i), bit-reversed.
+	psiPow      []uint64
+	psiPowShoup []uint64
+	psiInv      []uint64
+	psiInvShoup []uint64
+	nInv        uint64
+	nInvShoup   uint64
+}
+
+// NewNTT builds transform tables for degree n (a power of two) and modulus q
+// with q ≡ 1 mod 2n.
+func NewNTT(mod Modulus, n int) (*NTT, error) {
+	if n <= 1 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("ring: NTT degree %d is not a power of two > 1", n)
+	}
+	psi, err := PrimitiveRoot2N(mod, n)
+	if err != nil {
+		return nil, err
+	}
+	psiInv, err := mod.Inv(psi)
+	if err != nil {
+		return nil, err
+	}
+	t := &NTT{
+		mod:         mod,
+		n:           n,
+		psiPow:      make([]uint64, n),
+		psiPowShoup: make([]uint64, n),
+		psiInv:      make([]uint64, n),
+		psiInvShoup: make([]uint64, n),
+	}
+	logN := bits.TrailingZeros(uint(n))
+	fwd, inv := uint64(1), uint64(1)
+	powers := make([]uint64, n)
+	invPowers := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		powers[i] = fwd
+		invPowers[i] = inv
+		fwd = mod.Mul(fwd, psi)
+		inv = mod.Mul(inv, psiInv)
+	}
+	for i := 0; i < n; i++ {
+		r := reverseBits(uint64(i), logN)
+		t.psiPow[i] = powers[r]
+		t.psiPowShoup[i] = mod.Shoup(powers[r])
+		t.psiInv[i] = invPowers[r]
+		t.psiInvShoup[i] = mod.Shoup(invPowers[r])
+	}
+	t.nInv, err = mod.Inv(uint64(n))
+	if err != nil {
+		return nil, err
+	}
+	t.nInvShoup = mod.Shoup(t.nInv)
+	return t, nil
+}
+
+func reverseBits(v uint64, width int) uint64 {
+	return bits.Reverse64(v) >> (64 - uint(width))
+}
+
+// Forward transforms coefficients in place into the NTT (evaluation) domain.
+// The input is in standard order; the output is in bit-reversed order, which
+// is transparent to callers because Inverse consumes the same layout and
+// pointwise products are order-independent.
+func (t *NTT) Forward(a []uint64) {
+	mod := t.mod
+	n := t.n
+	// Cooley–Tukey butterflies, decimation in time, gentleman-sande layout
+	// following Longa–Naehrig for the negacyclic case.
+	idx := 1
+	for m := 1; m < n; m <<= 1 {
+		step := n / (2 * m)
+		for i := 0; i < m; i++ {
+			w := t.psiPow[idx]
+			ws := t.psiPowShoup[idx]
+			idx++
+			base := 2 * i * step
+			for j := base; j < base+step; j++ {
+				u := a[j]
+				v := mod.MulShoup(a[j+step], w, ws)
+				a[j] = mod.Add(u, v)
+				a[j+step] = mod.Sub(u, v)
+			}
+		}
+	}
+}
+
+// Inverse transforms NTT-domain values in place back to coefficients,
+// including the 1/n scaling and the psi^-i twist.
+func (t *NTT) Inverse(a []uint64) {
+	mod := t.mod
+	n := t.n
+	// Gentleman–Sande butterflies mirror Forward.
+	for m := n / 2; m >= 1; m >>= 1 {
+		step := n / (2 * m)
+		// inverse twiddles consumed in reverse order
+		localIdx := m
+		for i := 0; i < m; i++ {
+			w := t.psiInv[localIdx]
+			ws := t.psiInvShoup[localIdx]
+			localIdx++
+			base := 2 * i * step
+			for j := base; j < base+step; j++ {
+				u := a[j]
+				v := a[j+step]
+				a[j] = mod.Add(u, v)
+				a[j+step] = mod.MulShoup(mod.Sub(u, v), w, ws)
+			}
+		}
+	}
+	for i := range a {
+		a[i] = mod.MulShoup(a[i], t.nInv, t.nInvShoup)
+	}
+}

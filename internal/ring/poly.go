@@ -1,0 +1,219 @@
+package ring
+
+import (
+	"fmt"
+
+	"hesgx/internal/u128"
+)
+
+// Ring bundles a power-of-two degree n, a coefficient modulus, and the NTT
+// tables for R_q = Z_q[x]/(x^n + 1). It is immutable after construction and
+// safe for concurrent use.
+type Ring struct {
+	N   int
+	Mod Modulus
+	ntt *NTT
+}
+
+// NewRing constructs the ring of degree n modulo q. q must be an NTT-friendly
+// prime (q ≡ 1 mod 2n) below 2^58.
+func NewRing(n int, q uint64) (*Ring, error) {
+	mod, err := NewModulus(q)
+	if err != nil {
+		return nil, err
+	}
+	if !IsPrime(q) {
+		return nil, fmt.Errorf("ring: modulus %d is not prime", q)
+	}
+	ntt, err := NewNTT(mod, n)
+	if err != nil {
+		return nil, err
+	}
+	return &Ring{N: n, Mod: mod, ntt: ntt}, nil
+}
+
+// Poly is a polynomial of degree < n with coefficients in [0, q), stored
+// densely. Whether the values are in coefficient or NTT domain is tracked by
+// the caller (the he package keeps ciphertexts in coefficient domain at rest).
+type Poly struct {
+	Coeffs []uint64
+}
+
+// NewPoly allocates a zero polynomial for the ring.
+func (r *Ring) NewPoly() Poly {
+	return Poly{Coeffs: make([]uint64, r.N)}
+}
+
+// Copy returns a deep copy of p.
+func (p Poly) Copy() Poly {
+	c := make([]uint64, len(p.Coeffs))
+	copy(c, p.Coeffs)
+	return Poly{Coeffs: c}
+}
+
+// CopyTo copies p's coefficients into dst, which must have the same length.
+func (p Poly) CopyTo(dst Poly) {
+	copy(dst.Coeffs, p.Coeffs)
+}
+
+// Equal reports whether p and q have identical coefficients.
+func (p Poly) Equal(q Poly) bool {
+	if len(p.Coeffs) != len(q.Coeffs) {
+		return false
+	}
+	for i, c := range p.Coeffs {
+		if c != q.Coeffs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsZero reports whether all coefficients are zero.
+func (p Poly) IsZero() bool {
+	for _, c := range p.Coeffs {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Add sets out = a + b.
+func (r *Ring) Add(a, b, out Poly) {
+	mod := r.Mod
+	for i := range out.Coeffs {
+		out.Coeffs[i] = mod.Add(a.Coeffs[i], b.Coeffs[i])
+	}
+}
+
+// Sub sets out = a - b.
+func (r *Ring) Sub(a, b, out Poly) {
+	mod := r.Mod
+	for i := range out.Coeffs {
+		out.Coeffs[i] = mod.Sub(a.Coeffs[i], b.Coeffs[i])
+	}
+}
+
+// Neg sets out = -a.
+func (r *Ring) Neg(a, out Poly) {
+	mod := r.Mod
+	for i := range out.Coeffs {
+		out.Coeffs[i] = mod.Neg(a.Coeffs[i])
+	}
+}
+
+// AddScalar sets out = a + c (constant term only is wrong for ring addition
+// of a scalar embedding; the scalar is added to every slot's constant, i.e.
+// only coefficient 0).
+func (r *Ring) AddScalar(a Poly, c uint64, out Poly) {
+	a.CopyTo(out)
+	out.Coeffs[0] = r.Mod.Add(a.Coeffs[0], c%r.Mod.Q)
+}
+
+// MulScalar sets out = c * a.
+func (r *Ring) MulScalar(a Poly, c uint64, out Poly) {
+	mod := r.Mod
+	c %= mod.Q
+	cs := mod.Shoup(c)
+	for i := range out.Coeffs {
+		out.Coeffs[i] = mod.MulShoup(a.Coeffs[i], c, cs)
+	}
+}
+
+// MulScalarAdd sets out += c * a, the fused multiply-accumulate of the
+// homomorphic convolution inner loop (no intermediate allocation).
+func (r *Ring) MulScalarAdd(a Poly, c uint64, out Poly) {
+	mod := r.Mod
+	c %= mod.Q
+	cs := mod.Shoup(c)
+	for i := range out.Coeffs {
+		out.Coeffs[i] = mod.Add(out.Coeffs[i], mod.MulShoup(a.Coeffs[i], c, cs))
+	}
+}
+
+// NTT transforms a into the evaluation domain in place.
+func (r *Ring) NTT(a Poly) { r.ntt.Forward(a.Coeffs) }
+
+// INTT transforms a back to the coefficient domain in place.
+func (r *Ring) INTT(a Poly) { r.ntt.Inverse(a.Coeffs) }
+
+// MulCoeffs sets out = a ⊙ b, the pointwise product of NTT-domain values.
+func (r *Ring) MulCoeffs(a, b, out Poly) {
+	mod := r.Mod
+	for i := range out.Coeffs {
+		out.Coeffs[i] = mod.Mul(a.Coeffs[i], b.Coeffs[i])
+	}
+}
+
+// MulNTT sets out = a * b in R_q using the NTT. a and b are in coefficient
+// domain and are not modified.
+func (r *Ring) MulNTT(a, b, out Poly) {
+	ta, tb := a.Copy(), b.Copy()
+	r.NTT(ta)
+	r.NTT(tb)
+	r.MulCoeffs(ta, tb, out)
+	r.INTT(out)
+}
+
+// MulNTTLazy multiplies a (coefficient domain) by bNTT (already transformed),
+// writing the coefficient-domain product to out. Used for repeated products
+// against a fixed operand such as encoded model weights.
+func (r *Ring) MulNTTLazy(a, bNTT, out Poly) {
+	ta := a.Copy()
+	r.NTT(ta)
+	r.MulCoeffs(ta, bNTT, out)
+	r.INTT(out)
+}
+
+// Centered returns the centered representation of a as int64 values in
+// (-q/2, q/2].
+func (r *Ring) Centered(a Poly) []int64 {
+	out := make([]int64, len(a.Coeffs))
+	for i, c := range a.Coeffs {
+		out[i] = r.Mod.Centered(c)
+	}
+	return out
+}
+
+// MulExactScaleRound computes the FV tensor product of centered operands:
+// out = round(scaleNum * (a ⊛ b) / scaleDen) mod q, where ⊛ is negacyclic
+// convolution over the integers (no modular wraparound). a and b are given
+// in centered int64 form with |coef| <= q/2; the exact intermediate uses
+// 128-bit accumulation (see package u128).
+func (r *Ring) MulExactScaleRound(a, b []int64, scaleNum, scaleDen uint64, out Poly) {
+	n := r.N
+	q := r.Mod.Q
+	for k := 0; k < n; k++ {
+		acc := u128.Int128{}
+		// x^k coefficient of negacyclic a*b:
+		//   sum_{i<=k} a[i]b[k-i]  -  sum_{i>k} a[i]b[n+k-i]
+		for i := 0; i <= k; i++ {
+			acc = acc.AddMulInt64(a[i], b[k-i])
+		}
+		for i := k + 1; i < n; i++ {
+			acc = acc.Sub(u128.MulInt64(a[i], b[n+k-i]))
+		}
+		out.Coeffs[k] = acc.ScaleRoundMod(scaleNum, scaleDen, q)
+	}
+}
+
+// NegacyclicConvolveInt computes the exact negacyclic convolution of centered
+// operands over the integers, returning 128-bit coefficients. It is the
+// reference implementation backing MulExactScaleRound and the Karatsuba
+// variant's test oracle.
+func NegacyclicConvolveInt(a, b []int64) []u128.Int128 {
+	n := len(a)
+	out := make([]u128.Int128, n)
+	for k := 0; k < n; k++ {
+		acc := u128.Int128{}
+		for i := 0; i <= k; i++ {
+			acc = acc.AddMulInt64(a[i], b[k-i])
+		}
+		for i := k + 1; i < n; i++ {
+			acc = acc.Sub(u128.MulInt64(a[i], b[n+k-i]))
+		}
+		out[k] = acc
+	}
+	return out
+}

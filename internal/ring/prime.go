@@ -1,0 +1,183 @@
+package ring
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// IsPrime reports whether n is prime using a deterministic Miller–Rabin test
+// with a base set proven sufficient for all 64-bit integers.
+func IsPrime(n uint64) bool {
+	if n < 2 {
+		return false
+	}
+	for _, p := range []uint64{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37} {
+		if n == p {
+			return true
+		}
+		if n%p == 0 {
+			return false
+		}
+	}
+	// Write n-1 = d * 2^s.
+	d := n - 1
+	s := uint(0)
+	for d&1 == 0 {
+		d >>= 1
+		s++
+	}
+	// Sinclair's base set covers all n < 2^64.
+	for _, a := range []uint64{2, 325, 9375, 28178, 450775, 9780504, 1795265022} {
+		if !millerRabinWitness(n, a%n, d, s) {
+			return false
+		}
+	}
+	return true
+}
+
+func millerRabinWitness(n, a, d uint64, s uint) bool {
+	if a == 0 {
+		return true
+	}
+	x := powMod(a, d, n)
+	if x == 1 || x == n-1 {
+		return true
+	}
+	for i := uint(1); i < s; i++ {
+		x = mulMod(x, x, n)
+		if x == n-1 {
+			return true
+		}
+	}
+	return false
+}
+
+func mulMod(a, b, n uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	if hi == 0 {
+		return lo % n
+	}
+	_, r := bits.Div64(hi%n, lo, n)
+	return r
+}
+
+func powMod(a, e, n uint64) uint64 {
+	r := uint64(1)
+	a %= n
+	for e > 0 {
+		if e&1 == 1 {
+			r = mulMod(r, a, n)
+		}
+		a = mulMod(a, a, n)
+		e >>= 1
+	}
+	return r
+}
+
+// GenerateNTTPrime returns the largest prime q with the requested bit length
+// satisfying q ≡ 1 (mod 2n), which guarantees a primitive 2n-th root of
+// unity exists mod q (required by the negacyclic NTT).
+func GenerateNTTPrime(bitLen int, n int) (uint64, error) {
+	if bitLen < 10 || bitLen > MaxModulusBits {
+		return 0, fmt.Errorf("ring: unsupported prime bit length %d", bitLen)
+	}
+	if n <= 0 || n&(n-1) != 0 {
+		return 0, fmt.Errorf("ring: degree %d is not a power of two", n)
+	}
+	m := uint64(2 * n)
+	// Start at the largest value < 2^bitLen congruent to 1 mod 2n.
+	upper := (uint64(1) << uint(bitLen)) - 1
+	q := upper - (upper-1)%m // q ≡ 1 mod m
+	lower := uint64(1) << uint(bitLen-1)
+	for q > lower {
+		if IsPrime(q) {
+			return q, nil
+		}
+		q -= m
+	}
+	return 0, fmt.Errorf("ring: no %d-bit NTT prime for degree %d", bitLen, n)
+}
+
+// GenerateNTTPrimeCongruent returns the largest prime q of the given bit
+// length with q ≡ 1 (mod lcm(2n, extra)). The 2n congruence makes q
+// NTT-friendly; the extra congruence lets callers force q ≡ 1 (mod t) for a
+// plaintext modulus t, which shrinks the FV "plain lift" noise term
+// r_t(q) = q mod t to 1 — essential when plaintext values wrap mod t often
+// (e.g. layers with many negative activations).
+func GenerateNTTPrimeCongruent(bitLen, n int, extra uint64) (uint64, error) {
+	if bitLen < 10 || bitLen > MaxModulusBits {
+		return 0, fmt.Errorf("ring: unsupported prime bit length %d", bitLen)
+	}
+	if n <= 0 || n&(n-1) != 0 {
+		return 0, fmt.Errorf("ring: degree %d is not a power of two", n)
+	}
+	if extra == 0 {
+		extra = 1
+	}
+	m := lcm(uint64(2*n), extra)
+	if m >= uint64(1)<<uint(bitLen-1) {
+		return 0, fmt.Errorf("ring: congruence modulus %d too large for %d-bit primes", m, bitLen)
+	}
+	upper := (uint64(1) << uint(bitLen)) - 1
+	q := upper - (upper-1)%m // q ≡ 1 mod m
+	lower := uint64(1) << uint(bitLen-1)
+	for q > lower {
+		if IsPrime(q) {
+			return q, nil
+		}
+		q -= m
+	}
+	return 0, fmt.Errorf("ring: no %d-bit prime ≡ 1 mod %d", bitLen, m)
+}
+
+func lcm(a, b uint64) uint64 {
+	g := a
+	x := b
+	for x != 0 {
+		g, x = x, g%x
+	}
+	return a / g * b
+}
+
+// GenerateNTTPrimes returns count distinct NTT-friendly primes of the given
+// bit length in decreasing order.
+func GenerateNTTPrimes(bitLen, n, count int) ([]uint64, error) {
+	if count <= 0 {
+		return nil, fmt.Errorf("ring: prime count %d must be positive", count)
+	}
+	m := uint64(2 * n)
+	primes := make([]uint64, 0, count)
+	upper := (uint64(1) << uint(bitLen)) - 1
+	q := upper - (upper-1)%m
+	lower := uint64(1) << uint(bitLen-1)
+	for q > lower && len(primes) < count {
+		if IsPrime(q) {
+			primes = append(primes, q)
+		}
+		q -= m
+	}
+	if len(primes) < count {
+		return nil, fmt.Errorf("ring: found only %d of %d requested %d-bit NTT primes", len(primes), count, bitLen)
+	}
+	return primes, nil
+}
+
+// PrimitiveRoot2N finds a primitive 2n-th root of unity modulo q, where
+// q ≡ 1 (mod 2n) and q is prime.
+func PrimitiveRoot2N(mod Modulus, n int) (uint64, error) {
+	q := mod.Q
+	m := uint64(2 * n)
+	if (q-1)%m != 0 {
+		return 0, fmt.Errorf("ring: %d is not ≡ 1 mod %d", q, m)
+	}
+	exp := (q - 1) / m
+	// Try small candidates; g^((q-1)/2n) is a 2n-th root of unity, primitive
+	// iff its n-th power is -1.
+	for g := uint64(2); g < q; g++ {
+		psi := mod.Pow(g, exp)
+		if mod.Pow(psi, uint64(n)) == q-1 {
+			return psi, nil
+		}
+	}
+	return 0, fmt.Errorf("ring: no primitive 2*%d-th root of unity mod %d", n, q)
+}

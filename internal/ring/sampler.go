@@ -1,0 +1,162 @@
+package ring
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	mrand "math/rand/v2"
+)
+
+// DefaultSigma is the standard deviation of the RLWE error distribution,
+// matching the SEAL 2.1 default of 3.19.
+const DefaultSigma = 3.19
+
+// gaussianTailCut truncates the discrete Gaussian at ±ceil(6*sigma), beyond
+// which the probability mass is cryptographically negligible.
+const gaussianTailCut = 6
+
+// Source yields uniform random 64-bit words. Implementations must be safe
+// for the single-goroutine use of a Sampler; Samplers themselves are not
+// concurrency-safe.
+type Source interface {
+	Uint64() uint64
+}
+
+// cryptoSource draws from crypto/rand with buffering.
+type cryptoSource struct {
+	buf [512]byte
+	off int
+}
+
+func (s *cryptoSource) Uint64() uint64 {
+	if s.off == 0 || s.off+8 > len(s.buf) {
+		if _, err := io.ReadFull(rand.Reader, s.buf[:]); err != nil {
+			// crypto/rand failure is unrecoverable for key material.
+			panic(fmt.Sprintf("ring: crypto/rand unavailable: %v", err))
+		}
+		s.off = 0
+	}
+	v := binary.LittleEndian.Uint64(s.buf[s.off:])
+	s.off += 8
+	return v
+}
+
+// NewCryptoSource returns a cryptographically secure Source.
+func NewCryptoSource() Source { return &cryptoSource{} }
+
+// NewSeededSource returns a deterministic Source (ChaCha8 keyed by seed) for
+// reproducible tests and benchmarks. It must not be used for real keys.
+func NewSeededSource(seed uint64) Source {
+	var key [32]byte
+	binary.LittleEndian.PutUint64(key[:8], seed)
+	binary.LittleEndian.PutUint64(key[8:16], seed^0x9e3779b97f4a7c15)
+	return mrand.NewChaCha8(key)
+}
+
+// Sampler draws the random polynomials the FV scheme needs: uniform in R_q,
+// uniform ternary secrets, and truncated discrete Gaussian errors.
+type Sampler struct {
+	ring *Ring
+	src  Source
+	// cdt is the cumulative distribution table of the half Gaussian,
+	// scaled to 2^63; index i holds P(|X| <= i).
+	cdt []uint64
+}
+
+// NewSampler builds a sampler over r drawing entropy from src.
+func NewSampler(r *Ring, src Source) *Sampler {
+	tail := int(math.Ceil(DefaultSigma * gaussianTailCut))
+	probs := make([]float64, tail+1)
+	total := 0.0
+	for i := 0; i <= tail; i++ {
+		p := math.Exp(-float64(i*i) / (2 * DefaultSigma * DefaultSigma))
+		if i > 0 {
+			p *= 2 // both signs
+		}
+		probs[i] = p
+		total += p
+	}
+	cdt := make([]uint64, tail+1)
+	cum := 0.0
+	for i := 0; i <= tail; i++ {
+		cum += probs[i] / total
+		if cum > 1 {
+			cum = 1
+		}
+		cdt[i] = uint64(cum * float64(1<<63))
+	}
+	cdt[tail] = 1 << 63
+	return &Sampler{ring: r, src: src, cdt: cdt}
+}
+
+// Uniform fills p with independent uniform coefficients in [0, q) using
+// rejection sampling to avoid modulo bias.
+func (s *Sampler) Uniform(p Poly) {
+	q := s.ring.Mod.Q
+	// Rejection bound: largest multiple of q below 2^64.
+	bound := ^uint64(0) - (^uint64(0) % q)
+	for i := range p.Coeffs {
+		for {
+			v := s.src.Uint64()
+			if v < bound {
+				p.Coeffs[i] = v % q
+				break
+			}
+		}
+	}
+}
+
+// Ternary fills p with coefficients drawn uniformly from {-1, 0, 1}
+// represented mod q. FV secret keys use this distribution.
+func (s *Sampler) Ternary(p Poly) {
+	mod := s.ring.Mod
+	for i := range p.Coeffs {
+		// Draw 2 random bits repeatedly; map 0,1,2 -> -1,0,1, reject 3.
+		for {
+			v := s.src.Uint64() & 3
+			if v == 3 {
+				continue
+			}
+			switch v {
+			case 0:
+				p.Coeffs[i] = mod.Q - 1 // -1
+			case 1:
+				p.Coeffs[i] = 0
+			case 2:
+				p.Coeffs[i] = 1
+			}
+			break
+		}
+	}
+}
+
+// Gaussian fills p with centered discrete Gaussian coefficients of standard
+// deviation DefaultSigma, truncated at ±6σ, via inversion sampling against
+// the precomputed CDF table.
+func (s *Sampler) Gaussian(p Poly) {
+	mod := s.ring.Mod
+	for i := range p.Coeffs {
+		mag := s.sampleHalfGaussian()
+		if mag == 0 {
+			p.Coeffs[i] = 0
+			continue
+		}
+		if s.src.Uint64()&1 == 0 {
+			p.Coeffs[i] = uint64(mag)
+		} else {
+			p.Coeffs[i] = mod.Q - uint64(mag)
+		}
+	}
+}
+
+func (s *Sampler) sampleHalfGaussian() int {
+	u := s.src.Uint64() >> 1 // 63-bit uniform
+	for i, c := range s.cdt {
+		if u < c {
+			return i
+		}
+	}
+	return len(s.cdt) - 1
+}

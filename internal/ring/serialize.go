@@ -1,0 +1,61 @@
+package ring
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// WritePoly serializes p as a little-endian coefficient vector preceded by a
+// uint32 length.
+func WritePoly(w io.Writer, p Poly) error {
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(p.Coeffs))); err != nil {
+		return fmt.Errorf("ring: write poly length: %w", err)
+	}
+	buf := make([]byte, 8*len(p.Coeffs))
+	for i, c := range p.Coeffs {
+		binary.LittleEndian.PutUint64(buf[8*i:], c)
+	}
+	if _, err := w.Write(buf); err != nil {
+		return fmt.Errorf("ring: write poly coefficients: %w", err)
+	}
+	return nil
+}
+
+// maxPolyDegree bounds deserialized polynomial sizes to prevent hostile
+// inputs from forcing huge allocations.
+const maxPolyDegree = 1 << 16
+
+// ReadPoly deserializes a polynomial written by WritePoly.
+func ReadPoly(r io.Reader) (Poly, error) {
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return Poly{}, fmt.Errorf("ring: read poly length: %w", err)
+	}
+	if n == 0 || n > maxPolyDegree {
+		return Poly{}, fmt.Errorf("ring: invalid poly length %d", n)
+	}
+	buf := make([]byte, 8*int(n))
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return Poly{}, fmt.Errorf("ring: read poly coefficients: %w", err)
+	}
+	p := Poly{Coeffs: make([]uint64, n)}
+	for i := range p.Coeffs {
+		p.Coeffs[i] = binary.LittleEndian.Uint64(buf[8*i:])
+	}
+	return p, nil
+}
+
+// ValidatePoly checks that p has the ring's degree and fully reduced
+// coefficients, guarding deserialized data before use.
+func (r *Ring) ValidatePoly(p Poly) error {
+	if len(p.Coeffs) != r.N {
+		return fmt.Errorf("ring: poly degree %d, want %d", len(p.Coeffs), r.N)
+	}
+	for i, c := range p.Coeffs {
+		if c >= r.Mod.Q {
+			return fmt.Errorf("ring: coefficient %d = %d out of range [0, %d)", i, c, r.Mod.Q)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,150 @@
+package ring
+
+import (
+	"fmt"
+
+	"hesgx/internal/u128"
+)
+
+// TensorMultiplier computes exact (non-modular) negacyclic convolutions of
+// centered operands in O(n log n): the multiplication is carried out in
+// three independent NTT-friendly prime fields whose product exceeds the
+// 2^127 coefficient bound, and each coefficient is reconstructed exactly
+// with Garner's CRT algorithm into a signed 128-bit integer.
+//
+// It replaces the O(n^2) schoolbook path (NegacyclicConvolveInt) on the FV
+// ciphertext-multiplication hot path; both are kept, as an ablation and as
+// a cross-check oracle for tests.
+type TensorMultiplier struct {
+	n    int
+	mods [3]Modulus
+	ntts [3]*NTT
+	// Garner precomputations.
+	p1InvModP2  uint64 // p1^-1 mod p2
+	p12InvModP3 uint64 // (p1*p2)^-1 mod p3
+	p1TimesP2   u128.Uint128
+	// offset C = 2^126 lifts centered values into [0, 2^127) before
+	// reconstruction; offsetMod[i] = C mod p_i.
+	offsetMod [3]uint64
+}
+
+// tensorOffsetBit is log2 of the lift offset C.
+const tensorOffsetBit = 126
+
+// NewTensorMultiplier builds the three prime fields for degree n.
+func NewTensorMultiplier(n int) (*TensorMultiplier, error) {
+	primes, err := GenerateNTTPrimes(MaxModulusBits, n, 3)
+	if err != nil {
+		return nil, fmt.Errorf("ring: tensor primes: %w", err)
+	}
+	tm := &TensorMultiplier{n: n}
+	for i, p := range primes {
+		m, err := NewModulus(p)
+		if err != nil {
+			return nil, err
+		}
+		ntt, err := NewNTT(m, n)
+		if err != nil {
+			return nil, err
+		}
+		tm.mods[i] = m
+		tm.ntts[i] = ntt
+	}
+	p1, p2, p3 := tm.mods[0], tm.mods[1], tm.mods[2]
+	if tm.p1InvModP2, err = p2.Inv(p1.Q % p2.Q); err != nil {
+		return nil, err
+	}
+	p12ModP3 := p3.Mul(p1.Q%p3.Q, p2.Q%p3.Q)
+	if tm.p12InvModP3, err = p3.Inv(p12ModP3); err != nil {
+		return nil, err
+	}
+	tm.p1TimesP2 = u128.Mul64(p1.Q, p2.Q)
+	// C = 2^126 mod p_i, computed by repeated squaring of 2.
+	for i, m := range tm.mods {
+		tm.offsetMod[i] = m.Pow(2, tensorOffsetBit)
+	}
+	return tm, nil
+}
+
+// N returns the supported ring degree.
+func (tm *TensorMultiplier) N() int { return tm.n }
+
+// residues maps centered int64 coefficients plus the lift offset into the
+// i-th prime field.
+func (tm *TensorMultiplier) residues(a []int64, i int) []uint64 {
+	m := tm.mods[i]
+	out := make([]uint64, len(a))
+	for j, v := range a {
+		var r uint64
+		if v < 0 {
+			r = m.Q - (uint64(-v) % m.Q)
+			if r == m.Q {
+				r = 0
+			}
+		} else {
+			r = uint64(v) % m.Q
+		}
+		out[j] = r
+	}
+	return out
+}
+
+// MulExact computes the exact negacyclic convolution of centered operands
+// a and b (|a_i|, |b_i| <= 2^57, n <= 4096 so the true coefficients are
+// bounded by 2^126 in magnitude).
+func (tm *TensorMultiplier) MulExact(a, b []int64) ([]u128.Int128, error) {
+	if len(a) != tm.n || len(b) != tm.n {
+		return nil, fmt.Errorf("ring: tensor operands length %d/%d, want %d", len(a), len(b), tm.n)
+	}
+	var prods [3][]uint64
+	for i := 0; i < 3; i++ {
+		ra := tm.residues(a, i)
+		rb := tm.residues(b, i)
+		tm.ntts[i].Forward(ra)
+		tm.ntts[i].Forward(rb)
+		m := tm.mods[i]
+		for j := range ra {
+			ra[j] = m.Mul(ra[j], rb[j])
+		}
+		tm.ntts[i].Inverse(ra)
+		prods[i] = ra
+	}
+	// The true product coefficient x satisfies |x| < 2^126. Shift by
+	// C = 2^126: y = x + C in [0, 2^127) is reconstructed exactly because
+	// y < p1*p2*p3. The shift enters multiplicatively: conv(a, b) + C
+	// corresponds to adding C mod p_i to each residue of the convolution.
+	out := make([]u128.Int128, tm.n)
+	offset := u128.Uint128{Hi: 1 << (tensorOffsetBit - 64)}
+	for j := 0; j < tm.n; j++ {
+		r1 := tm.mods[0].Add(prods[0][j], tm.offsetMod[0])
+		r2 := tm.mods[1].Add(prods[1][j], tm.offsetMod[1])
+		r3 := tm.mods[2].Add(prods[2][j], tm.offsetMod[2])
+		y := tm.garner(r1, r2, r3)
+		// x = y - C, in sign-magnitude form.
+		if y.Cmp(offset) >= 0 {
+			out[j] = u128.Int128{Mag: y.Sub(offset)}
+		} else {
+			out[j] = u128.Int128{Neg: true, Mag: offset.Sub(y)}
+		}
+	}
+	return out, nil
+}
+
+// garner reconstructs y in [0, p1*p2*p3) from its residues, assuming
+// y < 2^127 so the result fits in a Uint128.
+func (tm *TensorMultiplier) garner(r1, r2, r3 uint64) u128.Uint128 {
+	p1, p2, p3 := tm.mods[0], tm.mods[1], tm.mods[2]
+	// t1 = (r2 - r1) * p1^-1 mod p2
+	t1 := p2.Mul(p2.Sub(r2%p2.Q, r1%p2.Q), tm.p1InvModP2)
+	// y12 = r1 + p1*t1  (< p1*p2 <= 2^116)
+	y12 := u128.FromUint64(r1).Add(u128.Mul64(p1.Q, t1))
+	// t2 = (r3 - y12) * (p1*p2)^-1 mod p3
+	y12ModP3 := y12.Mod64(p3.Q)
+	t2 := p3.Mul(p3.Sub(r3%p3.Q, y12ModP3), tm.p12InvModP3)
+	// y = y12 + (p1*p2)*t2. Because y < 2^127, t2 is small enough that the
+	// product fits; multiply the 128-bit p1*p2 by the 64-bit t2 keeping
+	// the low 128 bits (exact under the bound).
+	prodLo := u128.Mul64(tm.p1TimesP2.Lo, t2)
+	prodHiLo := tm.p1TimesP2.Hi * t2 // low 64 bits; upper bits vanish under the bound
+	return y12.Add(u128.Uint128{Hi: prodLo.Hi + prodHiLo, Lo: prodLo.Lo})
+}

@@ -1,0 +1,133 @@
+package ring
+
+import (
+	mrand "math/rand/v2"
+	"testing"
+
+	"hesgx/internal/u128"
+)
+
+func randCentered(rng *mrand.Rand, n int, bits int) []int64 {
+	out := make([]int64, n)
+	half := int64(1) << (bits - 1)
+	for i := range out {
+		out[i] = rng.Int64N(2*half) - half
+	}
+	return out
+}
+
+func int128Equal(a, b u128.Int128) bool {
+	if a.IsZero() && b.IsZero() {
+		return true
+	}
+	return a.Neg == b.Neg && a.Mag == b.Mag
+}
+
+func TestTensorMultiplierMatchesSchoolbook(t *testing.T) {
+	for _, n := range []int{64, 256} {
+		tm, err := NewTensorMultiplier(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := mrand.New(mrand.NewPCG(uint64(n), 99))
+		for trial := 0; trial < 5; trial++ {
+			// 57-bit centered operands, the worst case FV produces.
+			a := randCentered(rng, n, 57)
+			b := randCentered(rng, n, 57)
+			want := NegacyclicConvolveInt(a, b)
+			got, err := tm.MulExact(a, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for k := range want {
+				if !int128Equal(got[k], want[k]) {
+					t.Fatalf("n=%d trial=%d coeff %d: NTT-CRT %+v != schoolbook %+v",
+						n, trial, k, got[k], want[k])
+				}
+			}
+		}
+	}
+}
+
+func TestTensorMultiplierSmallValues(t *testing.T) {
+	tm, err := NewTensorMultiplier(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := make([]int64, 64)
+	b := make([]int64, 64)
+	a[0], a[1] = 3, -5 // 3 - 5x
+	b[0], b[2] = -7, 2 // -7 + 2x^2
+	got, err := tm.MulExact(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (3 - 5x)(-7 + 2x^2) = -21 + 35x + 6x^2 - 10x^3
+	want := []int64{-21, 35, 6, -10}
+	for i, w := range want {
+		if !int128Equal(got[i], u128.FromInt64(w)) {
+			t.Fatalf("coeff %d: got %+v want %d", i, got[i], w)
+		}
+	}
+	for i := 4; i < 64; i++ {
+		if !got[i].IsZero() {
+			t.Fatalf("coeff %d nonzero", i)
+		}
+	}
+}
+
+func TestTensorMultiplierNegacyclicWrap(t *testing.T) {
+	n := 64
+	tm, err := NewTensorMultiplier(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// x^(n-1) * x = x^n = -1.
+	a := make([]int64, n)
+	b := make([]int64, n)
+	a[n-1] = 1
+	b[1] = 1
+	got, err := tm.MulExact(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !int128Equal(got[0], u128.FromInt64(-1)) {
+		t.Fatalf("x^(n-1)*x constant coeff = %+v, want -1", got[0])
+	}
+}
+
+func TestTensorMultiplierRejectsWrongLength(t *testing.T) {
+	tm, err := NewTensorMultiplier(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tm.MulExact(make([]int64, 32), make([]int64, 64)); err == nil {
+		t.Fatal("wrong length accepted")
+	}
+}
+
+func BenchmarkTensorSchoolbook1024(b *testing.B) {
+	rng := mrand.New(mrand.NewPCG(1, 2))
+	x := randCentered(rng, 1024, 45)
+	y := randCentered(rng, 1024, 45)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NegacyclicConvolveInt(x, y)
+	}
+}
+
+func BenchmarkTensorNTTCRT1024(b *testing.B) {
+	tm, err := NewTensorMultiplier(1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := mrand.New(mrand.NewPCG(1, 2))
+	x := randCentered(rng, 1024, 45)
+	y := randCentered(rng, 1024, 45)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tm.MulExact(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

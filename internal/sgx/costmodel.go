@@ -1,0 +1,87 @@
+// Package sgx simulates an Intel SGX platform in software: enclaves with a
+// measured identity, an ECALL/OCALL boundary with transition costs, a
+// bounded EPC with paging penalties, sealed storage, and per-platform
+// attestation keys (quoted by package attest).
+//
+// No SGX silicon is available in this environment, so the paper's
+// SGX-related findings — in-enclave execution is slower and noisier,
+// boundary crossings cost about a millisecond, memory pressure triggers
+// expensive paging, per-datum ECALLs are catastrophic while batched ECALLs
+// amortize — are reproduced by a parameterized cost model that injects real
+// wall-clock delay around genuinely executed Go code. The trust semantics
+// (measurement, sealing, attestation) are implemented for real at the
+// protocol level; only the timing is modeled. Calibration constants derive
+// from Tables I, IV and V of the paper.
+package sgx
+
+import "time"
+
+// CostModel parameterizes the simulated overheads of SGX execution.
+// The zero value means "free" (no injected cost), which is what unit tests
+// use; benchmarks use Calibrated.
+type CostModel struct {
+	// TransitionLatency is charged once per ECALL or OCALL for the
+	// enter+exit pair (ring transition, TLB flush, register scrubbing).
+	TransitionLatency time.Duration
+	// InEnclaveSlowdown multiplies the measured duration of code executed
+	// inside the enclave (MEE encryption overhead on memory traffic).
+	// 1.0 means no slowdown; the calibrated value reproduces the paper's
+	// inside/outside ratios.
+	InEnclaveSlowdown float64
+	// EPCBytes is the usable enclave page cache. Working sets beyond it
+	// page against untrusted memory.
+	EPCBytes int
+	// PageBytes is the paging granularity (4 KiB on real hardware).
+	PageBytes int
+	// PagingLatency is charged per page evicted+reloaded when the working
+	// set exceeds EPCBytes (EWB/ELDU encryption and integrity checks).
+	PagingLatency time.Duration
+	// JitterFraction is the relative standard deviation of multiplicative
+	// noise on injected overhead, reproducing the paper's observation that
+	// in-SGX timings have visibly higher variance (Table I, Table V).
+	JitterFraction float64
+}
+
+// ZeroCost returns a model with no injected overhead, for functional tests.
+func ZeroCost() CostModel {
+	return CostModel{InEnclaveSlowdown: 1.0, EPCBytes: 93 << 20, PageBytes: 4096}
+}
+
+// Calibrated returns the cost model used by the benchmark harness. The
+// constants are scaled from the paper's measurements on a Xeon E3-1225 v6
+// (SGX1, ~93 MiB usable EPC):
+//
+//   - Table I: keygen 49.593 ms inside vs 20.201 ms outside -> slowdown ≈ 2.45
+//   - §VI-A: entering+exiting SGX costs about 1 ms on their hardware; our
+//     HE substrate is roughly 10x faster than SEAL 2.1 on theirs, so the
+//     transition is scaled to 100 µs to preserve relative shape
+//   - Table I/V: inside-SGX standard deviation ≈ 7% of mean vs ≈ 3.8%
+//     outside -> jitter 6% on injected overhead
+func Calibrated() CostModel {
+	return CostModel{
+		TransitionLatency: 100 * time.Microsecond,
+		InEnclaveSlowdown: 2.45,
+		EPCBytes:          93 << 20,
+		PageBytes:         4096,
+		PagingLatency:     4 * time.Microsecond,
+		JitterFraction:    0.06,
+	}
+}
+
+// normalized returns a copy with zero fields replaced by sane defaults so
+// user-constructed literals behave.
+func (c CostModel) normalized() CostModel {
+	if c.InEnclaveSlowdown < 1.0 {
+		c.InEnclaveSlowdown = 1.0
+	}
+	if c.PageBytes <= 0 {
+		c.PageBytes = 4096
+	}
+	if c.EPCBytes <= 0 {
+		c.EPCBytes = 93 << 20
+	}
+	if c.JitterFraction < 0 {
+		c.JitterFraction = 0
+	}
+	return c
+}

@@ -1,0 +1,48 @@
+package sgx
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	"fmt"
+	"io"
+)
+
+// sealWithKey encrypts data with AES-256-GCM under key, producing
+// nonce || ciphertext. This models SGX sealed blobs (EGETKEY + AES-GCM).
+func sealWithKey(key [32]byte, data []byte) ([]byte, error) {
+	block, err := aes.NewCipher(key[:])
+	if err != nil {
+		return nil, fmt.Errorf("sgx: seal cipher: %w", err)
+	}
+	gcm, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("sgx: seal GCM: %w", err)
+	}
+	nonce := make([]byte, gcm.NonceSize())
+	if _, err := io.ReadFull(rand.Reader, nonce); err != nil {
+		return nil, fmt.Errorf("sgx: seal nonce: %w", err)
+	}
+	return gcm.Seal(nonce, nonce, data, nil), nil
+}
+
+// unsealWithKey reverses sealWithKey, failing on any tampering.
+func unsealWithKey(key [32]byte, blob []byte) ([]byte, error) {
+	block, err := aes.NewCipher(key[:])
+	if err != nil {
+		return nil, fmt.Errorf("sgx: unseal cipher: %w", err)
+	}
+	gcm, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("sgx: unseal GCM: %w", err)
+	}
+	if len(blob) < gcm.NonceSize() {
+		return nil, fmt.Errorf("sgx: sealed blob too short")
+	}
+	nonce, ct := blob[:gcm.NonceSize()], blob[gcm.NonceSize():]
+	out, err := gcm.Open(nil, nonce, ct, nil)
+	if err != nil {
+		return nil, fmt.Errorf("sgx: unseal: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,414 @@
+package sgx
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+)
+
+func zeroPlatform(t *testing.T) *Platform {
+	t.Helper()
+	p, err := NewPlatform(ZeroCost(), WithJitterSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func echoDef() Definition {
+	return Definition{
+		Name:    "echo",
+		Version: "1.0",
+		ECalls: map[string]ECallFunc{
+			"echo": func(_ *Context, in []byte) ([]byte, error) {
+				out := make([]byte, len(in))
+				copy(out, in)
+				return out, nil
+			},
+		},
+	}
+}
+
+func TestLaunchValidation(t *testing.T) {
+	p := zeroPlatform(t)
+	if _, err := p.Launch(Definition{Name: "", ECalls: echoDef().ECalls}); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if _, err := p.Launch(Definition{Name: "x"}); err == nil {
+		t.Fatal("no ecalls accepted")
+	}
+	if _, err := p.Launch(Definition{Name: "x", ECalls: map[string]ECallFunc{"f": nil}}); err == nil {
+		t.Fatal("nil ecall accepted")
+	}
+}
+
+func TestECallRoundTrip(t *testing.T) {
+	p := zeroPlatform(t)
+	e, err := p.Launch(echoDef())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := e.ECall("echo", []byte("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "hello" {
+		t.Fatalf("echo returned %q", out)
+	}
+	if _, err := e.ECall("missing", nil); err == nil {
+		t.Fatal("unknown ecall accepted")
+	}
+}
+
+func TestECallErrorPropagates(t *testing.T) {
+	p := zeroPlatform(t)
+	sentinel := errors.New("trusted failure")
+	e, err := p.Launch(Definition{
+		Name: "failer",
+		ECalls: map[string]ECallFunc{
+			"fail": func(*Context, []byte) ([]byte, error) { return nil, sentinel },
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.ECall("fail", nil); !errors.Is(err, sentinel) {
+		t.Fatalf("got %v, want wrapped sentinel", err)
+	}
+}
+
+func TestDestroyedEnclaveRejectsECalls(t *testing.T) {
+	p := zeroPlatform(t)
+	e, _ := p.Launch(echoDef())
+	e.Destroy()
+	if _, err := e.ECall("echo", nil); err == nil {
+		t.Fatal("destroyed enclave accepted ECALL")
+	}
+}
+
+func TestMeasurementDeterministicAndSensitive(t *testing.T) {
+	p := zeroPlatform(t)
+	e1, _ := p.Launch(echoDef())
+	e2, _ := p.Launch(echoDef())
+	if e1.Measurement() != e2.Measurement() {
+		t.Fatal("same definition produced different measurements")
+	}
+
+	changedVersion := echoDef()
+	changedVersion.Version = "2.0"
+	e3, _ := p.Launch(changedVersion)
+	if e3.Measurement() == e1.Measurement() {
+		t.Fatal("version change did not change measurement")
+	}
+
+	changedCalls := echoDef()
+	changedCalls.ECalls["extra"] = func(*Context, []byte) ([]byte, error) { return nil, nil }
+	e4, _ := p.Launch(changedCalls)
+	if e4.Measurement() == e1.Measurement() {
+		t.Fatal("ECALL table change did not change measurement")
+	}
+}
+
+func TestSealUnsealRoundTrip(t *testing.T) {
+	p := zeroPlatform(t)
+	var blob []byte
+	def := Definition{
+		Name: "sealer",
+		ECalls: map[string]ECallFunc{
+			"seal": func(ctx *Context, in []byte) ([]byte, error) {
+				return ctx.Seal(in)
+			},
+			"unseal": func(ctx *Context, in []byte) ([]byte, error) {
+				return ctx.Unseal(in)
+			},
+		},
+	}
+	e, err := p.Launch(def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	secret := []byte("model weights")
+	blob, err = e.ECall("seal", secret)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(blob, secret) {
+		t.Fatal("sealed blob leaks plaintext")
+	}
+	got, err := e.ECall("unseal", blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, secret) {
+		t.Fatal("unseal mismatch")
+	}
+
+	t.Run("tampered blob rejected", func(t *testing.T) {
+		bad := bytes.Clone(blob)
+		bad[len(bad)-1] ^= 1
+		if _, err := e.ECall("unseal", bad); err == nil {
+			t.Fatal("tampered blob unsealed")
+		}
+	})
+
+	t.Run("different enclave identity cannot unseal", func(t *testing.T) {
+		other := def
+		other.Name = "impostor"
+		e2, err := p.Launch(other)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e2.ECall("unseal", blob); err == nil {
+			t.Fatal("different measurement unsealed the blob")
+		}
+	})
+
+	t.Run("different platform cannot unseal", func(t *testing.T) {
+		p2 := zeroPlatform(t)
+		e3, err := p2.Launch(def)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e3.ECall("unseal", blob); err == nil {
+			t.Fatal("foreign platform unsealed the blob")
+		}
+	})
+}
+
+func TestCostModelInjectsTransitionLatency(t *testing.T) {
+	cost := ZeroCost()
+	cost.TransitionLatency = 2 * time.Millisecond
+	p, err := NewPlatform(cost, WithJitterSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _ := p.Launch(echoDef())
+	start := time.Now()
+	const calls = 5
+	for i := 0; i < calls; i++ {
+		if _, err := e.ECall("echo", []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	elapsed := time.Since(start)
+	if elapsed < calls*cost.TransitionLatency {
+		t.Fatalf("elapsed %v < %v, transition latency not injected", elapsed, calls*cost.TransitionLatency)
+	}
+	stats := p.Snapshot()
+	if stats.ECalls != calls {
+		t.Fatalf("ECalls = %d", stats.ECalls)
+	}
+	if stats.InjectedOverhead < calls*cost.TransitionLatency {
+		t.Fatalf("InjectedOverhead = %v", stats.InjectedOverhead)
+	}
+}
+
+func TestCostModelSlowdown(t *testing.T) {
+	cost := ZeroCost()
+	cost.InEnclaveSlowdown = 3.0
+	p, err := NewPlatform(cost, WithJitterSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	work := 5 * time.Millisecond
+	e, _ := p.Launch(Definition{
+		Name: "worker",
+		ECalls: map[string]ECallFunc{
+			"work": func(*Context, []byte) ([]byte, error) {
+				deadline := time.Now().Add(work)
+				for time.Now().Before(deadline) {
+				}
+				return nil, nil
+			},
+		},
+	})
+	start := time.Now()
+	if _, err := e.ECall("work", nil); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	// 3x slowdown means total >= ~3*work.
+	if elapsed < 2*work {
+		t.Fatalf("elapsed %v, expected ~3x of %v", elapsed, work)
+	}
+}
+
+func TestEPCPagingCharged(t *testing.T) {
+	cost := ZeroCost()
+	cost.EPCBytes = 1 << 20 // 1 MiB EPC
+	cost.PageBytes = 4096
+	cost.PagingLatency = time.Microsecond
+	p, err := NewPlatform(cost, WithJitterSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _ := p.Launch(Definition{
+		Name: "big",
+		ECalls: map[string]ECallFunc{
+			"touch": func(ctx *Context, _ []byte) ([]byte, error) {
+				ctx.Touch(3 << 20) // 3 MiB working set
+				return nil, nil
+			},
+		},
+	})
+	if _, err := e.ECall("touch", nil); err != nil {
+		t.Fatal(err)
+	}
+	stats := p.Snapshot()
+	// 2 MiB excess over 1 MiB EPC = 512 pages.
+	if stats.PageFaults != 512 {
+		t.Fatalf("PageFaults = %d, want 512", stats.PageFaults)
+	}
+}
+
+func TestNoPagingWithinEPC(t *testing.T) {
+	p := zeroPlatform(t)
+	e, _ := p.Launch(echoDef())
+	if _, err := e.ECall("echo", make([]byte, 1<<20)); err != nil {
+		t.Fatal(err)
+	}
+	if faults := p.Snapshot().PageFaults; faults != 0 {
+		t.Fatalf("PageFaults = %d within EPC", faults)
+	}
+}
+
+func TestOCallChargesTransition(t *testing.T) {
+	cost := ZeroCost()
+	cost.TransitionLatency = time.Millisecond
+	p, err := NewPlatform(cost, WithJitterSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran := false
+	e, _ := p.Launch(Definition{
+		Name: "syscaller",
+		ECalls: map[string]ECallFunc{
+			"io": func(ctx *Context, _ []byte) ([]byte, error) {
+				return nil, ctx.OCall(func() error {
+					ran = true
+					return nil
+				})
+			},
+		},
+	})
+	if _, err := e.ECall("io", nil); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("OCall body did not run")
+	}
+	stats := p.Snapshot()
+	if stats.OCalls != 1 {
+		t.Fatalf("OCalls = %d", stats.OCalls)
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	p := zeroPlatform(t)
+	e, _ := p.Launch(echoDef())
+	_, _ = e.ECall("echo", nil)
+	p.ResetStats()
+	if s := p.Snapshot(); s.ECalls != 0 || s.InjectedOverhead != 0 {
+		t.Fatalf("stats not reset: %+v", s)
+	}
+}
+
+func TestJitterVariesOverhead(t *testing.T) {
+	cost := ZeroCost()
+	cost.TransitionLatency = 200 * time.Microsecond
+	cost.JitterFraction = 0.2
+	p, err := NewPlatform(cost, WithJitterSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _ := p.Launch(echoDef())
+	var durations []time.Duration
+	for i := 0; i < 20; i++ {
+		start := time.Now()
+		_, _ = e.ECall("echo", nil)
+		durations = append(durations, time.Since(start))
+	}
+	allEqual := true
+	for _, d := range durations[1:] {
+		if d/time.Microsecond != durations[0]/time.Microsecond {
+			allEqual = false
+		}
+	}
+	if allEqual {
+		t.Fatal("jitter produced identical timings")
+	}
+}
+
+func TestAttestationKeyStable(t *testing.T) {
+	p := zeroPlatform(t)
+	k1 := p.AttestationPublicKey()
+	k2 := p.AttestationPublicKey()
+	if k1.X.Cmp(k2.X) != 0 || k1.Y.Cmp(k2.Y) != 0 {
+		t.Fatal("attestation key changed")
+	}
+	p2 := zeroPlatform(t)
+	if p.AttestationPublicKey().X.Cmp(p2.AttestationPublicKey().X) == 0 {
+		t.Fatal("two platforms share an attestation key")
+	}
+}
+
+func TestConcurrentECalls(t *testing.T) {
+	p := zeroPlatform(t)
+	e, _ := p.Launch(echoDef())
+	done := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		go func() {
+			_, err := e.ECall("echo", []byte("concurrent"))
+			done <- err
+		}()
+	}
+	for i := 0; i < 16; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := p.Snapshot().ECalls; got != 16 {
+		t.Fatalf("ECalls = %d", got)
+	}
+}
+
+func TestCalibratedModelShape(t *testing.T) {
+	c := Calibrated()
+	if c.InEnclaveSlowdown <= 1 {
+		t.Fatal("calibrated slowdown must exceed 1")
+	}
+	if c.TransitionLatency <= 0 || c.PagingLatency <= 0 {
+		t.Fatal("calibrated latencies must be positive")
+	}
+	if c.JitterFraction <= 0 {
+		t.Fatal("calibrated jitter must be positive (paper: in-SGX timings are noisier)")
+	}
+}
+
+func TestCostModelNormalization(t *testing.T) {
+	n := CostModel{InEnclaveSlowdown: 0.5, JitterFraction: -1}.normalized()
+	if n.InEnclaveSlowdown != 1.0 {
+		t.Fatalf("slowdown normalized to %f", n.InEnclaveSlowdown)
+	}
+	if n.PageBytes != 4096 || n.EPCBytes <= 0 {
+		t.Fatalf("paging defaults not applied: %+v", n)
+	}
+	if n.JitterFraction != 0 {
+		t.Fatalf("negative jitter not clamped: %f", n.JitterFraction)
+	}
+}
+
+func TestEnclaveAccessors(t *testing.T) {
+	p := zeroPlatform(t)
+	e, _ := p.Launch(echoDef())
+	if e.Name() != "echo" {
+		t.Fatalf("Name = %q", e.Name())
+	}
+	if e.Platform() != p {
+		t.Fatal("Platform accessor wrong")
+	}
+	if p.Cost().PageBytes != 4096 {
+		t.Fatalf("Cost accessor: %+v", p.Cost())
+	}
+}

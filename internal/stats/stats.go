@@ -1,0 +1,108 @@
+// Package stats provides the summary statistics the paper reports for every
+// measurement table — mean, standard deviation, and a 96% confidence
+// interval — plus a repeated-measurement harness used by the benchmark
+// binaries.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// z96 is the two-sided z-score for a 96% confidence interval.
+const z96 = 2.0537489106318225
+
+// Summary holds the statistics of a sample, in the units of the input.
+type Summary struct {
+	N      int
+	Mean   float64
+	Std    float64
+	CILow  float64
+	CIHigh float64
+	Min    float64
+	Max    float64
+}
+
+// Summarize computes mean, sample standard deviation, and the 96% CI of the
+// mean for xs. It returns a zero Summary for an empty sample.
+func Summarize(xs []float64) Summary {
+	n := len(xs)
+	if n == 0 {
+		return Summary{}
+	}
+	sum := 0.0
+	minV, maxV := xs[0], xs[0]
+	for _, x := range xs {
+		sum += x
+		if x < minV {
+			minV = x
+		}
+		if x > maxV {
+			maxV = x
+		}
+	}
+	mean := sum / float64(n)
+	if n == 1 {
+		return Summary{N: 1, Mean: mean, CILow: mean, CIHigh: mean, Min: minV, Max: maxV}
+	}
+	ss := 0.0
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	std := math.Sqrt(ss / float64(n-1))
+	half := z96 * std / math.Sqrt(float64(n))
+	return Summary{
+		N:      n,
+		Mean:   mean,
+		Std:    std,
+		CILow:  mean - half,
+		CIHigh: mean + half,
+		Min:    minV,
+		Max:    maxV,
+	}
+}
+
+// String formats the summary the way the paper's tables do:
+// "mean std [cilow, cihigh]".
+func (s Summary) String() string {
+	return fmt.Sprintf("%.3f ± %.3f [%.3f, %.3f] (n=%d)", s.Mean, s.Std, s.CILow, s.CIHigh, s.N)
+}
+
+// Median returns the median of xs (0 for empty input).
+func Median(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	c := make([]float64, n)
+	copy(c, xs)
+	sort.Float64s(c)
+	if n%2 == 1 {
+		return c[n/2]
+	}
+	return (c[n/2-1] + c[n/2]) / 2
+}
+
+// TimeRepeated runs fn reps times and returns per-run durations as
+// milliseconds, the unit the paper's tables use.
+func TimeRepeated(reps int, fn func()) []float64 {
+	out := make([]float64, 0, reps)
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		fn()
+		out = append(out, float64(time.Since(start).Microseconds())/1000.0)
+	}
+	return out
+}
+
+// SummarizeDurations converts durations to milliseconds and summarizes.
+func SummarizeDurations(ds []time.Duration) Summary {
+	xs := make([]float64, len(ds))
+	for i, d := range ds {
+		xs[i] = float64(d.Microseconds()) / 1000.0
+	}
+	return Summarize(xs)
+}

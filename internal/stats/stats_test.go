@@ -1,0 +1,129 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func almostEqual(a, b, eps float64) bool {
+	return math.Abs(a-b) <= eps
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 || s.Std != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{5})
+	if s.N != 1 || s.Mean != 5 || s.Std != 0 || s.CILow != 5 || s.CIHigh != 5 {
+		t.Fatalf("single summary = %+v", s)
+	}
+}
+
+func TestSummarizeKnownValues(t *testing.T) {
+	// 2, 4, 4, 4, 5, 5, 7, 9: mean 5, population std 2, sample std 2.138.
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	s := Summarize(xs)
+	if !almostEqual(s.Mean, 5, 1e-12) {
+		t.Fatalf("mean = %g", s.Mean)
+	}
+	if !almostEqual(s.Std, 2.1380899352993947, 1e-9) {
+		t.Fatalf("std = %g", s.Std)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Fatalf("min/max = %g/%g", s.Min, s.Max)
+	}
+	if !(s.CILow < s.Mean && s.Mean < s.CIHigh) {
+		t.Fatalf("CI [%g, %g] does not bracket mean", s.CILow, s.CIHigh)
+	}
+}
+
+func TestSummarizeConstantSample(t *testing.T) {
+	s := Summarize([]float64{3, 3, 3, 3})
+	if s.Std != 0 {
+		t.Fatalf("constant sample std = %g", s.Std)
+	}
+	if s.CILow != 3 || s.CIHigh != 3 {
+		t.Fatalf("constant sample CI = [%g, %g]", s.CILow, s.CIHigh)
+	}
+}
+
+func TestSummarizeCIBracketsMeanProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e12 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s := Summarize(xs)
+		return s.CILow <= s.Mean+1e-9 && s.Mean <= s.CIHigh+1e-9 &&
+			s.Min <= s.Mean+1e-9 && s.Mean <= s.Max+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	tests := []struct {
+		name string
+		xs   []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"single", []float64{7}, 7},
+		{"odd", []float64{3, 1, 2}, 2},
+		{"even", []float64{4, 1, 3, 2}, 2.5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Median(tt.xs); got != tt.want {
+				t.Fatalf("Median = %g, want %g", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Median(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("Median mutated its input")
+	}
+}
+
+func TestTimeRepeated(t *testing.T) {
+	calls := 0
+	ds := TimeRepeated(5, func() { calls++ })
+	if calls != 5 || len(ds) != 5 {
+		t.Fatalf("calls=%d len=%d", calls, len(ds))
+	}
+	for _, d := range ds {
+		if d < 0 {
+			t.Fatalf("negative duration %g", d)
+		}
+	}
+}
+
+func TestSummarizeDurations(t *testing.T) {
+	s := SummarizeDurations([]time.Duration{time.Millisecond, 3 * time.Millisecond})
+	if !almostEqual(s.Mean, 2, 0.01) {
+		t.Fatalf("mean = %g ms", s.Mean)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	if got := s.String(); got == "" {
+		t.Fatal("empty string")
+	}
+}

@@ -1,0 +1,298 @@
+package u128
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func bigFromUint128(u Uint128) *big.Int {
+	b := new(big.Int).SetUint64(u.Hi)
+	b.Lsh(b, 64)
+	return b.Add(b, new(big.Int).SetUint64(u.Lo))
+}
+
+func bigFromInt128(i Int128) *big.Int {
+	b := bigFromUint128(i.Mag)
+	if i.Neg {
+		b.Neg(b)
+	}
+	return b
+}
+
+func TestFromUint64(t *testing.T) {
+	u := FromUint64(42)
+	if u.Hi != 0 || u.Lo != 42 {
+		t.Fatalf("FromUint64(42) = %+v", u)
+	}
+}
+
+func TestUint128AddAgainstBig(t *testing.T) {
+	f := func(aHi, aLo, bHi, bLo uint64) bool {
+		a, b := Uint128{aHi, aLo}, Uint128{bHi, bLo}
+		got := bigFromUint128(a.Add(b))
+		want := new(big.Int).Add(bigFromUint128(a), bigFromUint128(b))
+		mod := new(big.Int).Lsh(big.NewInt(1), 128)
+		want.Mod(want, mod)
+		return got.Cmp(want) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUint128SubAgainstBig(t *testing.T) {
+	f := func(aHi, aLo, bHi, bLo uint64) bool {
+		a, b := Uint128{aHi, aLo}, Uint128{bHi, bLo}
+		got := bigFromUint128(a.Sub(b))
+		want := new(big.Int).Sub(bigFromUint128(a), bigFromUint128(b))
+		mod := new(big.Int).Lsh(big.NewInt(1), 128)
+		want.Mod(want, mod)
+		return got.Cmp(want) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMul64AgainstBig(t *testing.T) {
+	f := func(a, b uint64) bool {
+		got := bigFromUint128(Mul64(a, b))
+		want := new(big.Int).Mul(new(big.Int).SetUint64(a), new(big.Int).SetUint64(b))
+		return got.Cmp(want) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmp(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b Uint128
+		want int
+	}{
+		{"equal", Uint128{1, 2}, Uint128{1, 2}, 0},
+		{"hi less", Uint128{1, 9}, Uint128{2, 0}, -1},
+		{"hi greater", Uint128{3, 0}, Uint128{2, 9}, 1},
+		{"lo less", Uint128{1, 1}, Uint128{1, 2}, -1},
+		{"lo greater", Uint128{1, 3}, Uint128{1, 2}, 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.a.Cmp(tt.b); got != tt.want {
+				t.Fatalf("Cmp = %d, want %d", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestInt128FromInt64(t *testing.T) {
+	tests := []struct {
+		in  int64
+		neg bool
+		mag uint64
+	}{
+		{0, false, 0},
+		{5, false, 5},
+		{-5, true, 5},
+		{-9223372036854775808, true, 9223372036854775808},
+	}
+	for _, tt := range tests {
+		got := FromInt64(tt.in)
+		if got.Neg != tt.neg || got.Mag.Lo != tt.mag || got.Mag.Hi != 0 {
+			t.Fatalf("FromInt64(%d) = %+v", tt.in, got)
+		}
+	}
+}
+
+func TestMulInt64AgainstBig(t *testing.T) {
+	f := func(a, b int64) bool {
+		got := bigFromInt128(MulInt64(a, b))
+		want := new(big.Int).Mul(big.NewInt(a), big.NewInt(b))
+		return got.Cmp(want) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInt128AddSubAgainstBig(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		a := MulInt64(rng.Int63()-rng.Int63(), rng.Int63()-rng.Int63())
+		b := MulInt64(rng.Int63()-rng.Int63(), rng.Int63()-rng.Int63())
+		gotAdd := bigFromInt128(a.Add(b))
+		wantAdd := new(big.Int).Add(bigFromInt128(a), bigFromInt128(b))
+		if gotAdd.Cmp(wantAdd) != 0 {
+			t.Fatalf("Add mismatch: %v + %v: got %v want %v", a, b, gotAdd, wantAdd)
+		}
+		gotSub := bigFromInt128(a.Sub(b))
+		wantSub := new(big.Int).Sub(bigFromInt128(a), bigFromInt128(b))
+		if gotSub.Cmp(wantSub) != 0 {
+			t.Fatalf("Sub mismatch: %v - %v: got %v want %v", a, b, gotSub, wantSub)
+		}
+	}
+}
+
+func TestAddMulInt64Accumulate(t *testing.T) {
+	// Simulate a tensor-step inner loop and cross-check with big.Int.
+	rng := rand.New(rand.NewSource(11))
+	acc := Int128{}
+	want := new(big.Int)
+	for i := 0; i < 5000; i++ {
+		a := rng.Int63n(1<<57) - 1<<56
+		b := rng.Int63n(1<<57) - 1<<56
+		acc = acc.AddMulInt64(a, b)
+		want.Add(want, new(big.Int).Mul(big.NewInt(a), big.NewInt(b)))
+	}
+	if bigFromInt128(acc).Cmp(want) != 0 {
+		t.Fatalf("accumulated %v, want %v", bigFromInt128(acc), want)
+	}
+}
+
+func TestDivRound64(t *testing.T) {
+	tests := []struct {
+		u    Uint128
+		d    uint64
+		want Uint128
+	}{
+		{FromUint64(10), 4, FromUint64(3)}, // 2.5 rounds up
+		{FromUint64(9), 4, FromUint64(2)},  // 2.25 rounds down
+		{FromUint64(11), 4, FromUint64(3)}, // 2.75 rounds up
+		{FromUint64(0), 7, FromUint64(0)},
+		{Uint128{1, 0}, 2, Uint128{0, 1 << 63}},
+	}
+	for _, tt := range tests {
+		if got := tt.u.DivRound64(tt.d); got != tt.want {
+			t.Fatalf("DivRound64(%+v, %d) = %+v, want %+v", tt.u, tt.d, got, tt.want)
+		}
+	}
+}
+
+func TestDivRound64AgainstBig(t *testing.T) {
+	f := func(hi, lo, d uint64) bool {
+		if d == 0 {
+			d = 1
+		}
+		u := Uint128{hi, lo}
+		num := bigFromUint128(u)
+		num.Add(num, new(big.Int).SetUint64(d/2))
+		num.Div(num, new(big.Int).SetUint64(d))
+		got := bigFromUint128(u.DivRound64(d))
+		return got.Cmp(num) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulDivRoundAgainstBig(t *testing.T) {
+	f := func(hi, lo, m, d uint64) bool {
+		if d == 0 {
+			d = 1
+		}
+		m %= d // keep quotient within 128 bits, as FV guarantees t < q
+		u := Uint128{hi, lo}
+		num := bigFromUint128(u)
+		num.Mul(num, new(big.Int).SetUint64(m))
+		num.Add(num, new(big.Int).SetUint64(d/2))
+		num.Div(num, new(big.Int).SetUint64(d))
+		got := bigFromUint128(u.MulDivRound(m, d))
+		return got.Cmp(num) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMod64AgainstBig(t *testing.T) {
+	f := func(hi, lo, d uint64) bool {
+		if d == 0 {
+			d = 1
+		}
+		u := Uint128{hi, lo}
+		want := new(big.Int).Mod(bigFromUint128(u), new(big.Int).SetUint64(d)).Uint64()
+		return u.Mod64(d) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScaleRoundMod(t *testing.T) {
+	const q = 1099511627689 // 40-bit prime-ish modulus for the test
+	tests := []struct {
+		name string
+		in   Int128
+		m, d uint64
+		want uint64
+	}{
+		{"zero", Int128{}, 3, 7, 0},
+		{"positive small", FromInt64(14), 1, 7, 2},
+		{"rounding up", FromInt64(15), 1, 7, 2},  // 15/7 = 2.14 -> 2
+		{"rounding half", FromInt64(7), 2, 4, 4}, // 14/4 = 3.5 -> 4
+		{"negative", FromInt64(-14), 1, 7, q - 2},
+		{"negative rounds to zero", FromInt64(-1), 1, 7, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.in.ScaleRoundMod(tt.m, tt.d, q); got != tt.want {
+				t.Fatalf("ScaleRoundMod = %d, want %d", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestScaleRoundModAgainstBig(t *testing.T) {
+	const q = (1 << 58) - 27
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 3000; i++ {
+		v := MulInt64(rng.Int63()-rng.Int63(), rng.Int63n(1<<57))
+		m := uint64(rng.Int63n(1 << 20))
+		d := uint64(rng.Int63n(1<<58-2)) + 1
+		got := v.ScaleRoundMod(m, d, q)
+
+		num := bigFromInt128(v)
+		num.Mul(num, new(big.Int).SetUint64(m))
+		// round-half-away-from-zero to match sign-magnitude rounding
+		twice := new(big.Int).Lsh(num, 1)
+		den := new(big.Int).SetUint64(d)
+		half := new(big.Int).Rsh(den, 1)
+		if num.Sign() < 0 {
+			num.Neg(num)
+			num.Add(num, half)
+			num.Div(num, den)
+			num.Neg(num)
+		} else {
+			num.Add(num, half)
+			num.Div(num, den)
+		}
+		_ = twice
+		num.Mod(num, new(big.Int).SetUint64(q))
+		if num.Sign() < 0 {
+			num.Add(num, new(big.Int).SetUint64(q))
+		}
+		if got != num.Uint64() {
+			t.Fatalf("iter %d: ScaleRoundMod = %d, want %v", i, got, num)
+		}
+	}
+}
+
+func BenchmarkAddMulInt64(b *testing.B) {
+	acc := Int128{}
+	for i := 0; i < b.N; i++ {
+		acc = acc.AddMulInt64(int64(i)*7919-3, int64(i)*104729+11)
+	}
+	_ = acc
+}
+
+func BenchmarkScaleRoundMod(b *testing.B) {
+	v := MulInt64(123456789123, -987654321987)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink = v.ScaleRoundMod(65537, (1<<58)-27, (1<<58)-27)
+	}
+	_ = sink
+}

@@ -1,0 +1,166 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"net"
+
+	"hesgx/internal/attest"
+	"hesgx/internal/core"
+	"hesgx/internal/he"
+	"hesgx/internal/nn"
+)
+
+// Client is the smart-device side of the protocol: it attests the edge
+// server's enclave, receives HE keys over the attested channel, and
+// submits encrypted inference queries.
+type Client struct {
+	conn     net.Conn
+	inner    *core.Client
+	verifier *attest.Service
+}
+
+// Dial connects to an edge server. The verifier must already trust the
+// server platform's attestation key and the expected enclave measurement;
+// FetchTrustBundle can bootstrap that for demos.
+func Dial(addr string, verifier *attest.Service) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("wire: dialing %s: %w", addr, err)
+	}
+	inner, err := core.NewClient()
+	if err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	return &Client{conn: conn, inner: inner, verifier: verifier}, nil
+}
+
+// Close tears down the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// FetchTrustBundle asks the server for its measurement and platform key
+// and registers them with the verifier. This is trust-on-first-use and
+// belongs in demos only; production deployments pin these values.
+func (c *Client) FetchTrustBundle() error {
+	if err := WriteFrame(c.conn, MsgTrustRequest, nil); err != nil {
+		return err
+	}
+	t, payload, err := ReadFrame(c.conn)
+	if err != nil {
+		return err
+	}
+	if t != MsgTrustBundle {
+		return fmt.Errorf("wire: expected trust bundle, got type %d", t)
+	}
+	if len(payload) < 33 {
+		return fmt.Errorf("wire: trust bundle too short")
+	}
+	var m [32]byte
+	copy(m[:], payload[:32])
+	pub, err := attest.UnmarshalPublicKey(payload[32:])
+	if err != nil {
+		return err
+	}
+	c.verifier.TrustMeasurement(m)
+	c.verifier.RegisterPlatform(pub)
+	return nil
+}
+
+// Attest runs the remote-attestation key exchange: challenge nonce out,
+// quote back, verification, key installation.
+func (c *Client) Attest() error {
+	nonce, err := attest.NewNonce()
+	if err != nil {
+		return err
+	}
+	payload := append(nonce[:], c.inner.ECDHPublicKey()...)
+	if err := WriteFrame(c.conn, MsgAttestRequest, payload); err != nil {
+		return err
+	}
+	t, reply, err := ReadFrame(c.conn)
+	if err != nil {
+		return err
+	}
+	if t == MsgError {
+		return fmt.Errorf("wire: server error: %s", reply)
+	}
+	if t != MsgAttestReply {
+		return fmt.Errorf("wire: expected attest reply, got type %d", t)
+	}
+	quote, err := attest.UnmarshalQuote(reply)
+	if err != nil {
+		return err
+	}
+	return c.inner.CompleteKeyExchange(quote, nonce, c.verifier)
+}
+
+// Ready reports whether attestation completed and keys are installed.
+func (c *Client) Ready() bool { return c.inner.Ready() }
+
+// Params returns the HE parameters received during attestation.
+func (c *Client) Params() he.Parameters { return c.inner.Params }
+
+// Infer encrypts the image, submits it, and returns decrypted logits
+// (float, rescaled by the server-reported output scale).
+func (c *Client) Infer(img *nn.Tensor, pixelScale uint64) ([]float64, error) {
+	if !c.Ready() {
+		return nil, fmt.Errorf("wire: attest before inferring")
+	}
+	ci, err := c.inner.EncryptImage(img, pixelScale)
+	if err != nil {
+		return nil, err
+	}
+	payload, err := core.MarshalCipherImage(ci)
+	if err != nil {
+		return nil, err
+	}
+	if err := WriteFrame(c.conn, MsgInferRequest, payload); err != nil {
+		return nil, err
+	}
+	t, reply, err := ReadFrame(c.conn)
+	if err != nil {
+		return nil, err
+	}
+	if t == MsgError {
+		return nil, fmt.Errorf("wire: server error: %s", reply)
+	}
+	if t != MsgInferReply {
+		return nil, fmt.Errorf("wire: expected infer reply, got type %d", t)
+	}
+	if len(reply) < 8 {
+		return nil, fmt.Errorf("wire: infer reply too short")
+	}
+	outScale := math.Float64frombits(binary.LittleEndian.Uint64(reply[:8]))
+	if outScale <= 0 || math.IsNaN(outScale) || math.IsInf(outScale, 0) {
+		return nil, fmt.Errorf("wire: invalid output scale %g", outScale)
+	}
+	logits, err := core.UnmarshalCiphertextBatch(reply[8:], c.inner.Params)
+	if err != nil {
+		return nil, err
+	}
+	return c.inner.DecryptLogits(logits, outScale)
+}
+
+// Predict returns the argmax class for an image.
+func (c *Client) Predict(img *nn.Tensor, pixelScale uint64) (int, error) {
+	logits, err := c.Infer(img, pixelScale)
+	if err != nil {
+		return 0, err
+	}
+	best, bestV := 0, math.Inf(-1)
+	for i, v := range logits {
+		if v > bestV {
+			best, bestV = i, v
+		}
+	}
+	return best, nil
+}
+
+// appendFloat64 appends the IEEE-754 bits of f in little-endian order.
+func appendFloat64(b []byte, f float64) []byte {
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(f))
+	return append(b, tmp[:]...)
+}

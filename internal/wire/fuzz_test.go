@@ -1,0 +1,34 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadFrame: arbitrary network bytes must never panic the framing
+// layer, and any frame accepted must round-trip through WriteFrame.
+func FuzzReadFrame(f *testing.F) {
+	var valid bytes.Buffer
+	if err := WriteFrame(&valid, MsgInferRequest, []byte("payload")); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 1, 2, 3})
+	f.Add([]byte{0, 0, 0, 0, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		typ, payload, err := ReadFrame(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, typ, payload); err != nil {
+			t.Fatalf("accepted frame cannot be rewritten: %v", err)
+		}
+		typ2, payload2, err := ReadFrame(&buf)
+		if err != nil || typ2 != typ || !bytes.Equal(payload2, payload) {
+			t.Fatalf("frame does not round-trip: %v", err)
+		}
+	})
+}

@@ -1,0 +1,84 @@
+// Package wire implements the network protocol between smart-device
+// clients and the CAV edge server of §VII: a length-prefixed binary framing
+// over TCP carrying the attestation handshake (challenge → quote with
+// encrypted HE keys) and encrypted inference round trips.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// MsgType tags a protocol frame.
+type MsgType uint8
+
+// Protocol message types.
+const (
+	// MsgAttestRequest: client → server. Payload: 32-byte nonce followed by
+	// the client's ephemeral ECDH public key.
+	MsgAttestRequest MsgType = iota + 1
+	// MsgAttestReply: server → client. Payload: serialized attestation
+	// quote whose user data carries the encrypted HE key material.
+	MsgAttestReply
+	// MsgInferRequest: client → server. Payload: serialized cipher image.
+	MsgInferRequest
+	// MsgInferReply: server → client. Payload: 8-byte output scale (IEEE
+	// float64 bits) followed by the encrypted logits batch.
+	MsgInferReply
+	// MsgError: server → client. Payload: UTF-8 error message.
+	MsgError
+	// MsgTrustBundle: server → client. Payload: enclave measurement (32
+	// bytes) + platform attestation public key. Served for demo
+	// first-use provisioning; production clients must pin these out of
+	// band instead of trusting the network.
+	MsgTrustBundle
+	// MsgTrustRequest: client → server, empty payload.
+	MsgTrustRequest
+)
+
+// MaxFrameBytes bounds a frame (hybrid cipher images run to tens of MB:
+// 784 pixels × 2 polys × n coefficients × 8 bytes).
+const MaxFrameBytes = 1 << 30
+
+// ErrFrameTooLarge reports an oversized frame.
+var ErrFrameTooLarge = errors.New("wire: frame exceeds maximum size")
+
+// WriteFrame writes [len u32][type u8][payload].
+func WriteFrame(w io.Writer, t MsgType, payload []byte) error {
+	if len(payload)+1 > MaxFrameBytes {
+		return ErrFrameTooLarge
+	}
+	var hdr [5]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)+1))
+	hdr[4] = byte(t)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wire: writing frame header: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("wire: writing frame payload: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads one frame.
+func ReadFrame(r io.Reader) (MsgType, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, fmt.Errorf("wire: reading frame header: %w", err)
+	}
+	n := binary.LittleEndian.Uint32(hdr[:4])
+	if n == 0 {
+		return 0, nil, fmt.Errorf("wire: empty frame")
+	}
+	if n > MaxFrameBytes {
+		return 0, nil, ErrFrameTooLarge
+	}
+	t := MsgType(hdr[4])
+	payload := make([]byte, n-1)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, fmt.Errorf("wire: reading frame payload: %w", err)
+	}
+	return t, payload, nil
+}

@@ -1,0 +1,155 @@
+package wire
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net"
+	"sync"
+
+	"hesgx/internal/attest"
+	"hesgx/internal/core"
+)
+
+// Server is the edge-server endpoint: it owns the enclave service and the
+// hybrid engine and answers attestation and inference requests over TCP.
+type Server struct {
+	svc    *core.EnclaveService
+	engine *core.HybridEngine
+	logger *slog.Logger
+
+	wg sync.WaitGroup
+}
+
+// NewServer wires an enclave service and a planned engine into a network
+// endpoint.
+func NewServer(svc *core.EnclaveService, engine *core.HybridEngine, logger *slog.Logger) (*Server, error) {
+	if svc == nil || engine == nil {
+		return nil, fmt.Errorf("wire: server needs an enclave service and an engine")
+	}
+	if logger == nil {
+		logger = slog.Default()
+	}
+	return &Server{svc: svc, engine: engine, logger: logger}, nil
+}
+
+// Serve accepts connections until ctx is cancelled or the listener fails.
+// It closes the listener on return and waits for in-flight connections.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	defer s.wg.Wait()
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-ctx.Done():
+		case <-done:
+		}
+		_ = ln.Close()
+	}()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil // graceful shutdown
+			}
+			return fmt.Errorf("wire: accept: %w", err)
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			if err := s.handle(ctx, conn); err != nil &&
+				!errors.Is(err, net.ErrClosed) && !errors.Is(err, context.Canceled) {
+				s.logger.Warn("connection error", "remote", conn.RemoteAddr(), "err", err)
+			}
+		}()
+	}
+}
+
+// handle serves one connection: a sequence of frames until EOF.
+func (s *Server) handle(ctx context.Context, conn net.Conn) error {
+	// Close the connection when the server shuts down so blocked reads
+	// unwind.
+	stop := context.AfterFunc(ctx, func() { _ = conn.Close() })
+	defer stop()
+	for {
+		t, payload, err := ReadFrame(conn)
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return nil // client closed or garbled; nothing more to do
+		}
+		if err := s.dispatch(conn, t, payload); err != nil {
+			// Protocol-level errors go back to the client; transport errors
+			// end the connection.
+			if werr := WriteFrame(conn, MsgError, []byte(err.Error())); werr != nil {
+				return werr
+			}
+		}
+	}
+}
+
+func (s *Server) dispatch(conn net.Conn, t MsgType, payload []byte) error {
+	switch t {
+	case MsgTrustRequest:
+		return s.handleTrust(conn)
+	case MsgAttestRequest:
+		return s.handleAttest(conn, payload)
+	case MsgInferRequest:
+		return s.handleInfer(conn, payload)
+	default:
+		return fmt.Errorf("wire: unexpected message type %d", t)
+	}
+}
+
+func (s *Server) handleTrust(conn net.Conn) error {
+	m := s.svc.Enclave().Measurement()
+	pub := attest.MarshalPublicKey(s.svc.Enclave().Platform().AttestationPublicKey())
+	payload := append(m[:], pub...)
+	return WriteFrame(conn, MsgTrustBundle, payload)
+}
+
+func (s *Server) handleAttest(conn net.Conn, payload []byte) error {
+	if len(payload) < 33 {
+		return fmt.Errorf("wire: attest request too short")
+	}
+	var nonce [32]byte
+	copy(nonce[:], payload[:32])
+	userPub := payload[32:]
+	provision, err := s.svc.ProvisionKeys(userPub)
+	if err != nil {
+		return fmt.Errorf("wire: provisioning: %w", err)
+	}
+	quote, err := attest.GenerateQuote(s.svc.Enclave(), nonce, provision)
+	if err != nil {
+		return fmt.Errorf("wire: quoting: %w", err)
+	}
+	qb, err := quote.Marshal()
+	if err != nil {
+		return err
+	}
+	s.logger.Info("attestation served", "remote", conn.RemoteAddr())
+	return WriteFrame(conn, MsgAttestReply, qb)
+}
+
+func (s *Server) handleInfer(conn net.Conn, payload []byte) error {
+	img, err := core.UnmarshalCipherImage(payload, s.svc.Params())
+	if err != nil {
+		return fmt.Errorf("wire: decoding cipher image: %w", err)
+	}
+	res, err := s.engine.Infer(img)
+	if err != nil {
+		return fmt.Errorf("wire: inference: %w", err)
+	}
+	batch, err := core.MarshalCiphertextBatch(res.Logits)
+	if err != nil {
+		return err
+	}
+	var out []byte
+	out = appendFloat64(out, res.OutScale)
+	out = append(out, batch...)
+	s.logger.Info("inference served", "remote", conn.RemoteAddr(), "logits", len(res.Logits))
+	return WriteFrame(conn, MsgInferReply, out)
+}

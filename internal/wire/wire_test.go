@@ -1,0 +1,298 @@
+package wire
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"log/slog"
+	"math"
+	mrand "math/rand/v2"
+	"net"
+	"testing"
+	"time"
+
+	"hesgx/internal/attest"
+	"hesgx/internal/core"
+	"hesgx/internal/he"
+	"hesgx/internal/nn"
+	"hesgx/internal/ring"
+	"hesgx/internal/sgx"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte("hello frames")
+	if err := WriteFrame(&buf, MsgInferRequest, payload); err != nil {
+		t.Fatal(err)
+	}
+	typ, got, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != MsgInferRequest || !bytes.Equal(got, payload) {
+		t.Fatalf("frame roundtrip: type %d payload %q", typ, got)
+	}
+}
+
+func TestFrameEmptyPayload(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, MsgTrustRequest, nil); err != nil {
+		t.Fatal(err)
+	}
+	typ, got, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != MsgTrustRequest || len(got) != 0 {
+		t.Fatal("empty payload roundtrip failed")
+	}
+}
+
+func TestReadFrameRejectsHostileLength(t *testing.T) {
+	buf := []byte{0xFF, 0xFF, 0xFF, 0xFF, 1}
+	if _, _, err := ReadFrame(bytes.NewReader(buf)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("got %v", err)
+	}
+	if _, _, err := ReadFrame(bytes.NewReader([]byte{0, 0, 0, 0, 0})); err == nil {
+		t.Fatal("zero-length frame accepted")
+	}
+	if _, _, err := ReadFrame(bytes.NewReader([]byte{5})); err == nil {
+		t.Fatal("truncated header accepted")
+	}
+}
+
+// testStack spins up a full in-process edge server on a random port.
+func testStack(t *testing.T) (addr string, svc *core.EnclaveService, model *nn.Network, shutdown func()) {
+	t.Helper()
+	q, err := ring.GenerateNTTPrime(46, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params, err := he.NewParameters(1024, q, 1<<20, he.DefaultDecompositionBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	platform, err := sgx.NewPlatform(sgx.ZeroCost(), sgx.WithJitterSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err = core.NewEnclaveService(platform, params, core.WithKeySource(ring.NewSeededSource(31)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := mrand.New(mrand.NewPCG(3, 4))
+	model = nn.NewNetwork(
+		nn.NewConv2D(1, 2, 3, 1, r),
+		nn.NewActivation(nn.Sigmoid),
+		nn.NewPool2D(nn.MeanPool, 2),
+		&nn.Flatten{},
+		nn.NewFullyConnected(2*3*3, 4, r),
+	)
+	engine, err := core.NewHybridEngine(svc, model, core.Config{
+		PixelScale: 63, WeightScale: 16, ActScale: 256, Pool: core.PoolAuto,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(svc, engine, slog.New(slog.NewTextHandler(testWriter{t}, nil)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if err := srv.Serve(ctx, ln); err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	}()
+	return ln.Addr().String(), svc, model, func() {
+		cancel()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Error("server did not shut down")
+		}
+	}
+}
+
+type testWriter struct{ t *testing.T }
+
+func (w testWriter) Write(p []byte) (int, error) {
+	w.t.Log(string(bytes.TrimSpace(p)))
+	return len(p), nil
+}
+
+func testImage(seed uint64) *nn.Tensor {
+	r := mrand.New(mrand.NewPCG(seed, seed))
+	img := nn.NewTensor(1, 8, 8)
+	for i := range img.Data {
+		img.Data[i] = r.Float64()
+	}
+	return img
+}
+
+func TestEndToEndAttestAndInfer(t *testing.T) {
+	addr, svc, model, shutdown := testStack(t)
+	defer shutdown()
+
+	verifier := attest.NewService()
+	client, err := Dial(addr, verifier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	if err := client.FetchTrustBundle(); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Attest(); err != nil {
+		t.Fatal(err)
+	}
+	if !client.Ready() {
+		t.Fatal("client not ready after attest")
+	}
+	if !client.Params().Equal(svc.Params()) {
+		t.Fatal("client params differ from enclave params")
+	}
+
+	img := testImage(5)
+	logits, err := client.Infer(img, 63)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(logits) != 4 {
+		t.Fatalf("got %d logits", len(logits))
+	}
+	// The remote prediction should match the local float model's argmax
+	// (quantization is mild at these scales).
+	floatOut, err := model.Forward(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := client.Predict(img, 63)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred != floatOut.ArgMax() {
+		t.Logf("warning: remote pred %d vs float %d (acceptable quantization drift)", pred, floatOut.ArgMax())
+	}
+	best, bestV := 0, math.Inf(-1)
+	for i, v := range logits {
+		if v > bestV {
+			best, bestV = i, v
+		}
+	}
+	if best != pred {
+		t.Fatal("Predict disagrees with Infer argmax")
+	}
+}
+
+func TestInferWithoutAttestFails(t *testing.T) {
+	addr, _, _, shutdown := testStack(t)
+	defer shutdown()
+	client, err := Dial(addr, attest.NewService())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if _, err := client.Infer(testImage(1), 63); err == nil {
+		t.Fatal("inference without keys accepted")
+	}
+}
+
+func TestAttestFailsWithoutTrust(t *testing.T) {
+	addr, _, _, shutdown := testStack(t)
+	defer shutdown()
+	client, err := Dial(addr, attest.NewService()) // nothing trusted
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if err := client.Attest(); err == nil {
+		t.Fatal("attestation succeeded with empty trust store")
+	}
+}
+
+func TestServerRejectsGarbageInferPayload(t *testing.T) {
+	addr, _, _, shutdown := testStack(t)
+	defer shutdown()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := WriteFrame(conn, MsgInferRequest, []byte("garbage")); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, err := ReadFrame(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != MsgError {
+		t.Fatalf("expected error frame, got %d (%q)", typ, payload)
+	}
+}
+
+func TestServerRejectsUnknownMessage(t *testing.T) {
+	addr, _, _, shutdown := testStack(t)
+	defer shutdown()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := WriteFrame(conn, MsgType(99), nil); err != nil {
+		t.Fatal(err)
+	}
+	typ, _, err := ReadFrame(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != MsgError {
+		t.Fatalf("expected error frame, got %d", typ)
+	}
+}
+
+func TestMultipleConcurrentClients(t *testing.T) {
+	addr, _, _, shutdown := testStack(t)
+	defer shutdown()
+	const clients = 3
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		go func(seed uint64) {
+			verifier := attest.NewService()
+			client, err := Dial(addr, verifier)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer client.Close()
+			if err := client.FetchTrustBundle(); err != nil {
+				errs <- err
+				return
+			}
+			if err := client.Attest(); err != nil {
+				errs <- err
+				return
+			}
+			_, err = client.Infer(testImage(seed), 63)
+			errs <- err
+		}(uint64(i + 10))
+	}
+	for i := 0; i < clients; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestServerValidationRejectsNil(t *testing.T) {
+	if _, err := NewServer(nil, nil, nil); err == nil {
+		t.Fatal("nil components accepted")
+	}
+}
