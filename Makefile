@@ -1,0 +1,36 @@
+GO ?= go
+
+.PHONY: all build tier1 tier1.5 verify race vet test bench-serving clean
+
+all: verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Tier-1: the baseline gate every change must keep green.
+tier1:
+	$(GO) build ./... && $(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# Tier-1.5: static analysis plus the full suite under the race detector —
+# the concurrent serving pipeline (internal/serve, wire, engine) must stay
+# data-race free.
+tier1.5: vet race
+
+verify: tier1 tier1.5
+
+# Before/after concurrent-throughput comparison (cross-request ECALL
+# batching on vs off, calibrated SGX costs).
+bench-serving:
+	$(GO) test -run '^$$' -bench 'BenchmarkConcurrentServing' -benchtime 3x .
+
+clean:
+	$(GO) clean ./...

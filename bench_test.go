@@ -6,9 +6,11 @@
 package hesgx_test
 
 import (
+	"context"
 	mrand "math/rand/v2"
 	"sync"
 	"testing"
+	"time"
 
 	"hesgx/internal/core"
 	"hesgx/internal/cryptonets"
@@ -16,6 +18,7 @@ import (
 	"hesgx/internal/he"
 	"hesgx/internal/nn"
 	"hesgx/internal/ring"
+	"hesgx/internal/serve"
 	"hesgx/internal/sgx"
 )
 
@@ -734,3 +737,101 @@ func BenchmarkSIMDBatchInference64(b *testing.B) {
 		}
 	}
 }
+
+// --- Concurrent serving (cross-request ECALL batching) ---
+
+// benchmarkConcurrentServing pushes `clients` simultaneous inferences
+// through a serving pipeline per iteration, under calibrated SGX costs.
+// With batching enabled, non-linear ECALLs from different in-flight
+// requests coalesce into shared enclave transitions; the reported
+// transitions/inference metric is the before/after comparison (Fig. 8's
+// amortization, extended across requests).
+func benchmarkConcurrentServing(b *testing.B, clients int, batching bool) {
+	q, err := ring.GenerateNTTPrime(46, 1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	params, err := he.NewParameters(1024, q, 1<<20, he.DefaultDecompositionBase)
+	if err != nil {
+		b.Fatal(err)
+	}
+	platform, err := sgx.NewPlatform(sgx.Calibrated(), sgx.WithJitterSeed(40))
+	if err != nil {
+		b.Fatal(err)
+	}
+	svc, err := core.NewEnclaveService(platform, params, core.WithKeySource(ring.NewSeededSource(41)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := mrand.New(mrand.NewPCG(42, 43))
+	model := nn.NewNetwork(
+		nn.NewConv2D(1, 2, 3, 1, rng),
+		nn.NewActivation(nn.Sigmoid),
+		nn.NewPool2D(nn.MeanPool, 2),
+		&nn.Flatten{},
+		nn.NewFullyConnected(2*3*3, 4, rng),
+	)
+	// SGXDiv pooling keeps both non-linear layers on batchable ops.
+	cfg := core.Config{PixelScale: 63, WeightScale: 16, ActScale: 256, Pool: core.PoolSGXDiv}
+	engine, err := core.NewHybridEngine(svc, model, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := engine.EncodeWeights(); err != nil {
+		b.Fatal(err)
+	}
+	client, err := core.NewClient()
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload, err := svc.ProvisionKeys(client.ECDHPublicKey())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := client.InstallProvisionPayload(payload); err != nil {
+		b.Fatal(err)
+	}
+	cis := make([]*core.CipherImage, clients)
+	for i := range cis {
+		img := nn.NewTensor(1, 8, 8)
+		for j := range img.Data {
+			img.Data[j] = rng.Float64()
+		}
+		if cis[i], err = client.EncryptImage(img, cfg.PixelScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+	p := serve.NewPipeline(engine, svc, serve.Config{
+		Scheduler:       serve.SchedulerConfig{Workers: clients, QueueDepth: clients},
+		Batcher:         serve.BatcherConfig{MaxBatch: 1 << 14, Window: 5 * time.Millisecond},
+		DisableBatching: !batching,
+	})
+	defer p.Close()
+
+	before := platform.Snapshot()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				if _, err := p.Infer(context.Background(), cis[c]); err != nil {
+					b.Error(err)
+				}
+			}(c)
+		}
+		wg.Wait()
+	}
+	b.StopTimer()
+	total := float64(b.N * clients)
+	delta := platform.Snapshot().Sub(before)
+	b.ReportMetric(float64(delta.Transitions())/total, "transitions/inference")
+	b.ReportMetric(total/b.Elapsed().Seconds(), "inferences/sec")
+}
+
+func BenchmarkConcurrentServing8Direct(b *testing.B)   { benchmarkConcurrentServing(b, 8, false) }
+func BenchmarkConcurrentServing8Batched(b *testing.B)  { benchmarkConcurrentServing(b, 8, true) }
+func BenchmarkConcurrentServing32Direct(b *testing.B)  { benchmarkConcurrentServing(b, 32, false) }
+func BenchmarkConcurrentServing32Batched(b *testing.B) { benchmarkConcurrentServing(b, 32, true) }
+func BenchmarkConcurrentServing64Batched(b *testing.B) { benchmarkConcurrentServing(b, 64, true) }

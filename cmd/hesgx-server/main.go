@@ -1,11 +1,15 @@
 // Command hesgx-server runs the CAV edge server of §VII: it launches the
 // (simulated) SGX inference enclave, generates HE keys inside it, loads the
 // trained CNN, and serves attestation and encrypted-inference requests over
-// TCP.
+// TCP through the concurrent serving pipeline (bounded admission queue,
+// worker pool, cross-request ECALL batching).
 //
 // Usage:
 //
 //	hesgx-server -model model.bin [-addr :7700] [-calibrated]
+//	             [-workers N] [-queue N] [-deadline 2s]
+//	             [-batch-window 2ms] [-batch-max 256] [-no-batching]
+//	             [-stats-interval 30s]
 package main
 
 import (
@@ -17,9 +21,11 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"hesgx/internal/core"
 	"hesgx/internal/nn"
+	"hesgx/internal/serve"
 	"hesgx/internal/sgx"
 	"hesgx/internal/wire"
 )
@@ -32,6 +38,13 @@ func run() int {
 	addr := flag.String("addr", ":7700", "listen address")
 	modelPath := flag.String("model", "model.bin", "trained model path")
 	calibrated := flag.Bool("calibrated", false, "inject calibrated SGX costs (default: zero-cost simulation)")
+	workers := flag.Int("workers", 0, "concurrent inference workers (0: NumCPU)")
+	queueDepth := flag.Int("queue", 0, "admission queue depth; full queue sheds load (0: default 64)")
+	deadline := flag.Duration("deadline", 0, "per-request serving deadline (0: none)")
+	batchWindow := flag.Duration("batch-window", 0, "cross-request ECALL batching window (0: default 2ms)")
+	batchMax := flag.Int("batch-max", 0, "max ciphertexts per batched ECALL (0: default 256)")
+	noBatching := flag.Bool("no-batching", false, "disable cross-request ECALL batching")
+	statsInterval := flag.Duration("stats-interval", 30*time.Second, "serving-stats log interval (0: off)")
 	flag.Parse()
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 
@@ -72,7 +85,21 @@ func run() int {
 		return 1
 	}
 
-	srv, err := wire.NewServer(svc, engine, logger)
+	pipeline := serve.NewPipeline(engine, svc, serve.Config{
+		Scheduler: serve.SchedulerConfig{
+			Workers:    *workers,
+			QueueDepth: *queueDepth,
+			Deadline:   *deadline,
+		},
+		Batcher: serve.BatcherConfig{
+			MaxBatch: *batchMax,
+			Window:   *batchWindow,
+		},
+		DisableBatching: *noBatching,
+	})
+	defer pipeline.Close()
+
+	srv, err := wire.NewServer(svc, engine, logger, wire.WithInferrer(pipeline))
 	if err != nil {
 		logger.Error("creating server", "err", err)
 		return 1
@@ -88,10 +115,32 @@ func run() int {
 		"enclave", svc.Enclave().Name(),
 		"measurement", fmt.Sprintf("%x", m[:8]),
 		"params", params.String(),
+		"batching", !*noBatching,
 	)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *statsInterval > 0 {
+		go func() {
+			tick := time.NewTicker(*statsInterval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+					snap := platform.Snapshot()
+					logger.Info("serving stats",
+						"ecalls", snap.ECalls,
+						"ocalls", snap.OCalls,
+						"metrics", pipeline.Metrics.String(),
+					)
+				}
+			}
+		}()
+	}
+
 	if err := srv.Serve(ctx, ln); err != nil {
 		logger.Error("serving", "err", err)
 		return 1

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"context"
+	mrand "math/rand/v2"
+	"sync"
+	"testing"
+
+	"hesgx/internal/nn"
+)
+
+// TestConcurrentInferMatchesReference drives one shared engine from many
+// goroutines without pre-encoding weights: the sync.Once in EncodeWeights
+// must serialize encoding, and every in-flight inference must still decrypt
+// to the exact reference logits. Run under -race.
+func TestConcurrentInferMatchesReference(t *testing.T) {
+	params := testParams(t)
+	svc := testService(t, params)
+	engine, err := NewHybridEngine(svc, tinyCNN(7), testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := testClient(t, svc)
+
+	// The device-side Client is not a concurrent object; encrypt and
+	// decrypt on this goroutine and keep only the engine path parallel.
+	const workers = 8
+	imgs := make([]*nn.Tensor, workers)
+	cis := make([]*CipherImage, workers)
+	for i := range imgs {
+		imgs[i] = tinyImage(uint64(400 + i))
+		ci, err := client.EncryptImage(imgs[i], testConfig().PixelScale)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cis[i] = ci
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	results := make([]*InferenceResult, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = engine.InferContext(context.Background(), cis[i])
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < workers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("worker %d: %v", i, errs[i])
+		}
+		got, err := client.DecryptValues(results[i].Logits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := engine.ReferenceForward(imgs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("worker %d logit %d: got %d want %d", i, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+// tinyCNNAct is tinyCNN with a selectable SGX-side activation.
+func tinyCNNAct(seed uint64, act nn.ActKind) *nn.Network {
+	r := mrand.New(mrand.NewPCG(seed, seed^1))
+	return nn.NewNetwork(
+		nn.NewConv2D(1, 2, 3, 1, r),
+		nn.NewActivation(act),
+		nn.NewPool2D(nn.MeanPool, 2),
+		&nn.Flatten{},
+		nn.NewFullyConnected(2*3*3, 4, r),
+	)
+}
+
+// TestConcurrentEnginesDistinctActivations interleaves inferences from two
+// engines with different activation functions on one shared enclave. The
+// activation kind rides in each request, so neither engine's calls may
+// contaminate the other's results.
+func TestConcurrentEnginesDistinctActivations(t *testing.T) {
+	params := testParams(t)
+	svc := testService(t, params)
+	client := testClient(t, svc)
+
+	engines := make([]*HybridEngine, 2)
+	for i, act := range []nn.ActKind{nn.ReLU, nn.Tanh} {
+		e, err := NewHybridEngine(svc, tinyCNNAct(uint64(11+i), act), testConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.EncodeWeights(); err != nil {
+			t.Fatal(err)
+		}
+		engines[i] = e
+	}
+
+	// Pre-encrypt on this goroutine (the Client is not concurrent); run
+	// only the engines in parallel, then verify each against its own
+	// reference.
+	const rounds = 4
+	imgs := make([][]*nn.Tensor, len(engines))
+	cis := make([][]*CipherImage, len(engines))
+	for i := range engines {
+		imgs[i] = make([]*nn.Tensor, rounds)
+		cis[i] = make([]*CipherImage, rounds)
+		for r := 0; r < rounds; r++ {
+			imgs[i][r] = tinyImage(uint64(500 + 10*i + r))
+			ci, err := client.EncryptImage(imgs[i][r], testConfig().PixelScale)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cis[i][r] = ci
+		}
+	}
+
+	var wg sync.WaitGroup
+	results := make([][]*InferenceResult, len(engines))
+	errs := make([]error, len(engines))
+	for i, e := range engines {
+		results[i] = make([]*InferenceResult, rounds)
+		wg.Add(1)
+		go func(i int, e *HybridEngine) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				res, err := e.Infer(cis[i][r])
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				results[i][r] = res
+			}
+		}(i, e)
+	}
+	wg.Wait()
+	for i, e := range engines {
+		if errs[i] != nil {
+			t.Fatalf("engine %d: %v", i, errs[i])
+		}
+		for r := 0; r < rounds; r++ {
+			got, err := client.DecryptValues(results[i][r].Logits)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := e.ReferenceForward(imgs[i][r])
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j := range want {
+				if got[j] != want[j] {
+					t.Fatalf("engine %d round %d logit %d: got %d want %d", i, r, j, got[j], want[j])
+				}
+			}
+		}
+	}
+}
+
+// TestInferContextCancelledBeforeStart never enters the enclave.
+func TestInferContextCancelledBeforeStart(t *testing.T) {
+	params := testParams(t)
+	svc := testService(t, params)
+	engine, err := NewHybridEngine(svc, tinyCNN(7), testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := testClient(t, svc)
+	ci, err := client.EncryptImage(tinyImage(9), testConfig().PixelScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	before := svc.Enclave().Platform().Snapshot().ECalls
+	if _, err := engine.InferContext(ctx, ci); err == nil {
+		t.Fatal("cancelled inference succeeded")
+	}
+	if after := svc.Enclave().Platform().Snapshot().ECalls; after != before {
+		t.Fatalf("cancelled inference still made %d ECALLs", after-before)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"io"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"hesgx/internal/encoding"
 	"hesgx/internal/he"
@@ -46,7 +47,7 @@ const (
 const EnclaveName = "hesgx-inference-enclave"
 
 // EnclaveVersion feeds the measurement; bump on trusted-code changes.
-const EnclaveVersion = "1.0.0"
+const EnclaveVersion = "1.1.0"
 
 // EnclaveService hosts the trusted half of the framework on an SGX
 // platform: FV key generation and custody, key provisioning via ECDH for
@@ -77,8 +78,10 @@ type enclaveState struct {
 	keyBlob []byte
 	// src feeds re-encryption randomness.
 	src ring.Source
-	// actKind selects the activation computed by ECallActivation.
-	actKind int
+	// actKind is the default activation computed by ECallActivation when a
+	// request does not carry its own kind. Atomic: SetActivation may race
+	// with concurrent ECALLs.
+	actKind atomic.Int64
 	// cachedPK is retained only to answer the untrusted PublicKey()
 	// accessor; trusted code paths load from pkBytes.
 	cachedPK *he.PublicKey
@@ -209,9 +212,11 @@ func (s *EnclaveService) Enclave() *sgx.Enclave { return s.enclave }
 // while users receive it through the attested channel.
 func (s *EnclaveService) PublicKey() *he.PublicKey { return s.state.cachedPK }
 
-// SetActivation selects the activation function computed by the generic
-// activation ECALL (default Sigmoid). Values follow nn.ActKind.
-func (s *EnclaveService) SetActivation(kind int) { s.state.actKind = kind }
+// SetActivation selects the default activation function computed by the
+// generic activation ECALL (default Sigmoid). Values follow nn.ActKind.
+// Requests that carry their own NonlinearOp.Act override this; the setter
+// exists for callers of the deprecated Activation wrappers.
+func (s *EnclaveService) SetActivation(kind int) { s.state.actKind.Store(int64(kind)) }
 
 // touchKeys accounts the enclave-resident key material against the EPC.
 func (st *enclaveState) touchKeys(ctx *sgx.Context) {
@@ -414,7 +419,10 @@ func (st *enclaveState) activation(ctx *sgx.Context, input []byte) ([]byte, erro
 	if err != nil {
 		return nil, err
 	}
-	kind := st.actKind
+	kind := int(req.Act)
+	if kind == 0 {
+		kind = int(st.actKind.Load())
+	}
 	if kind == 0 {
 		kind = 1
 	}

@@ -1,12 +1,16 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"sync"
+	"time"
 
 	"hesgx/internal/encoding"
 	"hesgx/internal/he"
 	"hesgx/internal/nn"
+	"hesgx/internal/stats"
 )
 
 // PoolStrategy selects where pooling happens (§VI-D).
@@ -115,7 +119,9 @@ const (
 
 // HybridEngine is the edge server's inference engine (§IV): it executes
 // linear layers homomorphically and routes non-polynomial layers through
-// the enclave service.
+// the enclave service. It is safe for concurrent Infer calls: per-step
+// state is immutable after planning, and weight encoding is guarded by a
+// sync.Once.
 type HybridEngine struct {
 	cfg    Config
 	params he.Parameters
@@ -123,8 +129,16 @@ type HybridEngine struct {
 	scalar *encoding.ScalarEncoder
 	svc    *EnclaveService
 
-	steps   []*planStep
-	encoded bool
+	// caller routes enclave non-linear layers; defaults to svc. A serving
+	// pipeline swaps in a batching proxy before traffic starts.
+	caller NonlinearCaller
+
+	// metrics, when set, receives per-layer latency samples.
+	metrics *stats.Registry
+
+	steps      []*planStep
+	encodeOnce sync.Once
+	encodeErr  error
 
 	// outScale is the fixed-point scale of the final logits.
 	outScale float64
@@ -158,7 +172,7 @@ func NewHybridEngine(svc *EnclaveService, model *nn.Network, cfg Config) (*Hybri
 			return nil, fmt.Errorf("core: SIMD engine: %w", err)
 		}
 	}
-	e := &HybridEngine{cfg: cfg, params: params, eval: eval, scalar: scalar, svc: svc}
+	e := &HybridEngine{cfg: cfg, params: params, eval: eval, scalar: scalar, svc: svc, caller: svc}
 
 	// Plan steps and track the fixed-point scale and worst-case magnitude
 	// through the pipeline to validate exactness against t.
@@ -239,13 +253,31 @@ func (e *HybridEngine) poolStrategyFor(p *nn.Pool2D) PoolStrategy {
 // OutScale returns the fixed-point scale of the logits Infer produces.
 func (e *HybridEngine) OutScale() float64 { return e.outScale }
 
+// SetNonlinearCaller routes the engine's enclave non-linear layers through
+// c instead of calling the enclave service directly — the hook the serving
+// pipeline uses to interpose cross-request ECALL batching. Call it before
+// serving traffic; it is not safe to swap mid-inference.
+func (e *HybridEngine) SetNonlinearCaller(c NonlinearCaller) {
+	if c == nil {
+		c = e.svc
+	}
+	e.caller = c
+}
+
+// SetMetrics attaches a registry that receives per-layer latency samples
+// ("engine.layer.<kind>_ms") from every inference. Call before serving.
+func (e *HybridEngine) SetMetrics(reg *stats.Registry) { e.metrics = reg }
+
 // EncodeWeights encodes every quantized weight and bias into the
 // homomorphic plaintext space — the §IV-B preparation step Fig. 3 measures.
-// It is idempotent; Infer calls it on first use.
+// It is idempotent and safe under concurrent Infer: the work runs exactly
+// once, and every caller observes its error.
 func (e *HybridEngine) EncodeWeights() error {
-	if e.encoded {
-		return nil
-	}
+	e.encodeOnce.Do(func() { e.encodeErr = e.encodeAllWeights() })
+	return e.encodeErr
+}
+
+func (e *HybridEngine) encodeAllWeights() error {
 	for _, s := range e.steps {
 		switch s.kind {
 		case stepConv:
@@ -258,7 +290,6 @@ func (e *HybridEngine) EncodeWeights() error {
 			}
 		}
 	}
-	e.encoded = true
 	return nil
 }
 
@@ -321,6 +352,32 @@ type InferenceResult struct {
 
 // Infer runs the hybrid pipeline over an encrypted image.
 func (e *HybridEngine) Infer(img *CipherImage) (*InferenceResult, error) {
+	return e.InferContext(context.Background(), img)
+}
+
+// stepName labels a plan step for metrics.
+func (k stepKind) String() string {
+	switch k {
+	case stepConv:
+		return "conv"
+	case stepAct:
+		return "act"
+	case stepPool:
+		return "pool"
+	case stepFC:
+		return "fc"
+	case stepFlatten:
+		return "flatten"
+	default:
+		return "step"
+	}
+}
+
+// InferContext runs the hybrid pipeline over an encrypted image. The
+// context is checked between steps and at every enclave boundary, so a
+// disconnected client or a server shutdown abandons the inference instead
+// of burning enclave transitions on a result nobody will read.
+func (e *HybridEngine) InferContext(ctx context.Context, img *CipherImage) (*InferenceResult, error) {
 	if img == nil || len(img.CTs) == 0 {
 		return nil, fmt.Errorf("core: empty cipher image")
 	}
@@ -335,16 +392,20 @@ func (e *HybridEngine) Infer(img *CipherImage) (*InferenceResult, error) {
 	scale := float64(e.cfg.PixelScale)
 
 	for i, s := range e.steps {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: step %d: %w", i, err)
+		}
+		start := time.Now()
 		var err error
 		switch s.kind {
 		case stepConv:
 			cts, c, h, w, err = e.runConvParallel(s, cts, c, h, w, e.effectiveWorkers())
 			scale *= float64(e.cfg.WeightScale)
 		case stepAct:
-			cts, err = e.runActivation(s, cts, uint64(scale))
+			cts, err = e.runActivation(ctx, s, cts, uint64(scale))
 			scale = float64(e.cfg.ActScale)
 		case stepPool:
-			cts, h, w, err = e.runPool(s, cts, c, h, w)
+			cts, h, w, err = e.runPool(ctx, s, cts, c, h, w)
 		case stepFlatten:
 			// No-op on the flat ciphertext slice.
 		case stepFC:
@@ -354,6 +415,10 @@ func (e *HybridEngine) Infer(img *CipherImage) (*InferenceResult, error) {
 		}
 		if err != nil {
 			return nil, fmt.Errorf("core: step %d: %w", i, err)
+		}
+		if e.metrics != nil && s.kind != stepFlatten {
+			e.metrics.Observe("engine.layer."+s.kind.String()+"_ms",
+				float64(time.Since(start).Microseconds())/1000.0)
 		}
 	}
 	return &InferenceResult{Logits: cts, OutScale: scale}, nil
@@ -368,24 +433,36 @@ func (e *HybridEngine) mulWeight(ct *he.Ciphertext, ops []*he.PlainOperand, weig
 	return e.eval.MulScalar(ct, e.scalar.EncodeValue(weights[idx]))
 }
 
-func (e *HybridEngine) runActivation(s *planStep, in []*he.Ciphertext, inScale uint64) ([]*he.Ciphertext, error) {
-	switch {
-	case e.cfg.SingleECalls:
-		return e.svc.SigmoidSingle(in, inScale, e.cfg.ActScale)
-	case s.act == nn.Sigmoid && e.cfg.SIMD:
-		return e.svc.SigmoidSIMD(in, inScale, e.cfg.ActScale)
-	case s.act == nn.Sigmoid:
-		return e.svc.Sigmoid(in, inScale, e.cfg.ActScale)
-	case e.cfg.SIMD:
-		e.svc.SetActivation(int(s.act))
-		return e.svc.ActivationSIMD(in, inScale, e.cfg.ActScale)
-	default:
-		e.svc.SetActivation(int(s.act))
-		return e.svc.Activation(in, inScale, e.cfg.ActScale)
+func (e *HybridEngine) runActivation(ctx context.Context, s *planStep, in []*he.Ciphertext, inScale uint64) ([]*he.Ciphertext, error) {
+	op := NonlinearOp{
+		Kind:     OpActivation,
+		SIMD:     e.cfg.SIMD,
+		InScale:  inScale,
+		OutScale: e.cfg.ActScale,
+		// Carrying the kind in the op (rather than mutating enclave state
+		// with SetActivation) keeps concurrent inferences with different
+		// activations independent — and lets a batching proxy key on it.
+		Act: int(s.act),
 	}
+	if s.act == nn.Sigmoid {
+		op = NonlinearOp{Kind: OpSigmoid, SIMD: e.cfg.SIMD, InScale: inScale, OutScale: e.cfg.ActScale}
+	}
+	if e.cfg.SingleECalls {
+		// The EncryptSGX(single) control of Fig. 8: one ECALL per value.
+		out := make([]*he.Ciphertext, len(in))
+		for i, ct := range in {
+			res, err := e.caller.Nonlinear(ctx, op, []*he.Ciphertext{ct})
+			if err != nil {
+				return nil, fmt.Errorf("core: single-value activation %d: %w", i, err)
+			}
+			out[i] = res[0]
+		}
+		return out, nil
+	}
+	return e.caller.Nonlinear(ctx, op, in)
 }
 
-func (e *HybridEngine) runPool(s *planStep, in []*he.Ciphertext, c, h, w int) ([]*he.Ciphertext, int, int, error) {
+func (e *HybridEngine) runPool(ctx context.Context, s *planStep, in []*he.Ciphertext, c, h, w int) ([]*he.Ciphertext, int, int, error) {
 	if len(in) != c*h*w {
 		return nil, 0, 0, fmt.Errorf("pool input %d cts != %d*%d*%d", len(in), c, h, w)
 	}
@@ -394,21 +471,14 @@ func (e *HybridEngine) runPool(s *planStep, in []*he.Ciphertext, c, h, w int) ([
 		return nil, 0, 0, fmt.Errorf("pool window %d does not divide %dx%d", k, h, w)
 	}
 	oh, ow := h/k, w/k
+	geom := Geometry{Channels: c, Height: h, Width: w, Window: k}
 	if s.pool == nn.MaxPool {
-		if e.cfg.SIMD {
-			out, err := e.svc.PoolMaxSIMD(in, c, h, w, k)
-			return out, oh, ow, err
-		}
-		out, err := e.svc.PoolMax(in, c, h, w, k)
+		out, err := e.caller.Nonlinear(ctx, NonlinearOp{Kind: OpPoolMax, SIMD: e.cfg.SIMD, Geometry: geom}, in)
 		return out, oh, ow, err
 	}
 	switch e.poolStrategyFor(&nn.Pool2D{Kind: s.pool, K: k}) {
 	case PoolSGXPool:
-		if e.cfg.SIMD {
-			out, err := e.svc.PoolFullSIMD(in, c, h, w, k)
-			return out, oh, ow, err
-		}
-		out, err := e.svc.PoolFull(in, c, h, w, k)
+		out, err := e.caller.Nonlinear(ctx, NonlinearOp{Kind: OpPoolFull, SIMD: e.cfg.SIMD, Geometry: geom}, in)
 		return out, oh, ow, err
 	default: // PoolSGXDiv: homomorphic window sums, enclave division.
 		sums := make([]*he.Ciphertext, c*oh*ow)
@@ -431,11 +501,7 @@ func (e *HybridEngine) runPool(s *planStep, in []*he.Ciphertext, c, h, w int) ([
 				}
 			}
 		}
-		if e.cfg.SIMD {
-			out, err := e.svc.PoolDivideSIMD(sums, uint64(k*k))
-			return out, oh, ow, err
-		}
-		out, err := e.svc.PoolDivide(sums, uint64(k*k))
+		out, err := e.caller.Nonlinear(ctx, NonlinearOp{Kind: OpPoolDivide, SIMD: e.cfg.SIMD, Divisor: uint64(k * k)}, sums)
 		return out, oh, ow, err
 	}
 }

@@ -107,7 +107,12 @@ type nonlinearRequest struct {
 	// SIMD selects slot-packed operation: the enclave decodes every CRT
 	// slot of each ciphertext instead of the constant coefficient (§VIII).
 	SIMD uint32
-	CTs  []byte
+	// Act selects the activation kind for activation calls (nn.ActKind
+	// values; 0 falls back to the enclave's configured default). Carrying
+	// the kind in the request keeps concurrent inferences with different
+	// activations from racing on enclave state.
+	Act uint32
+	CTs []byte
 }
 
 func (m *nonlinearRequest) marshal() []byte {
@@ -120,6 +125,7 @@ func (m *nonlinearRequest) marshal() []byte {
 	writeU32(&buf, m.Channels)
 	writeU32(&buf, m.Window)
 	writeU32(&buf, m.SIMD)
+	writeU32(&buf, m.Act)
 	writeU32(&buf, uint32(len(m.CTs)))
 	buf.Write(m.CTs)
 	return buf.Bytes()
@@ -138,7 +144,7 @@ func unmarshalNonlinearRequest(b []byte) (*nonlinearRequest, error) {
 	if m.Divisor, err = readU64(r); err != nil {
 		return nil, fmt.Errorf("core: request divisor: %w", err)
 	}
-	for _, dst := range []*uint32{&m.Width, &m.Height, &m.Channels, &m.Window, &m.SIMD} {
+	for _, dst := range []*uint32{&m.Width, &m.Height, &m.Channels, &m.Window, &m.SIMD, &m.Act} {
 		if *dst, err = readU32(r); err != nil {
 			return nil, fmt.Errorf("core: request geometry: %w", err)
 		}

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"hesgx/internal/he"
+)
+
+// OpKind identifies one of the enclave's non-linear operations. It replaces
+// the dozen near-identical EnclaveService methods: every decrypt–compute–
+// re-encrypt ECALL is now described by a NonlinearOp value and dispatched
+// through EnclaveService.Nonlinear.
+type OpKind uint8
+
+// Non-linear operation kinds.
+const (
+	// OpSigmoid applies the exact sigmoid to each value (§IV-D).
+	OpSigmoid OpKind = iota + 1
+	// OpActivation applies the activation selected by NonlinearOp.Act
+	// (nn.ActKind values; 0 falls back to the service default).
+	OpActivation
+	// OpPoolDivide divides homomorphically computed window sums by
+	// Divisor — the enclave half of the SGXDiv pooling strategy (§VI-D).
+	OpPoolDivide
+	// OpPoolFull mean-pools a whole feature map inside the enclave
+	// ("SGXPool", §VI-D). Requires Geometry.
+	OpPoolFull
+	// OpPoolMax max-pools inside the enclave (not expressible under HE).
+	// Requires Geometry.
+	OpPoolMax
+	// OpRefresh decrypts and re-encrypts, resetting noise (§IV-E).
+	OpRefresh
+)
+
+// String names the op kind for metrics and logs.
+func (k OpKind) String() string {
+	switch k {
+	case OpSigmoid:
+		return "sigmoid"
+	case OpActivation:
+		return "activation"
+	case OpPoolDivide:
+		return "pool_divide"
+	case OpPoolFull:
+		return "pool_full"
+	case OpPoolMax:
+		return "pool_max"
+	case OpRefresh:
+		return "refresh"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(k))
+	}
+}
+
+// ecallName maps the op kind to the enclave's ECALL table.
+func (k OpKind) ecallName() (string, error) {
+	switch k {
+	case OpSigmoid:
+		return ECallSigmoid, nil
+	case OpActivation:
+		return ECallActivation, nil
+	case OpPoolDivide:
+		return ECallPoolDivide, nil
+	case OpPoolFull:
+		return ECallPoolFull, nil
+	case OpPoolMax:
+		return ECallPoolMax, nil
+	case OpRefresh:
+		return ECallRefresh, nil
+	default:
+		return "", fmt.Errorf("core: unknown op kind %d", uint8(k))
+	}
+}
+
+// Geometry describes the feature map entering a whole-map pooling op.
+type Geometry struct {
+	Channels, Height, Width int
+	// Window is the pooling window size (output is Height/Window ×
+	// Width/Window).
+	Window int
+}
+
+// NonlinearOp fully describes one enclave non-linear call. It is a plain
+// comparable value: two in-flight requests whose ops compare equal compute
+// the same function, so their ciphertext batches can share one enclave
+// transition (the cross-request batching the serve package implements).
+type NonlinearOp struct {
+	Kind OpKind
+	// SIMD selects slot-packed operation over every CRT slot (§VIII).
+	SIMD bool
+	// InScale/OutScale are the fixed-point scales for dequantization and
+	// requantization around the activation.
+	InScale, OutScale uint64
+	// Divisor divides decrypted values (OpPoolDivide).
+	Divisor uint64
+	// Act selects the activation for OpActivation (nn.ActKind values;
+	// 0 uses the service default, which SetActivation configures).
+	Act int
+	// Geometry describes the feature map for OpPoolFull/OpPoolMax.
+	Geometry Geometry
+}
+
+// Validate checks the op is internally consistent before it crosses the
+// enclave boundary.
+func (op NonlinearOp) Validate() error {
+	switch op.Kind {
+	case OpSigmoid, OpActivation:
+		if op.InScale == 0 || op.OutScale == 0 {
+			return fmt.Errorf("core: %s op needs non-zero scales", op.Kind)
+		}
+	case OpPoolDivide:
+		if op.Divisor == 0 {
+			return fmt.Errorf("core: pool divide by zero")
+		}
+	case OpPoolFull, OpPoolMax:
+		g := op.Geometry
+		if g.Channels <= 0 || g.Height <= 0 || g.Width <= 0 || g.Window <= 0 {
+			return fmt.Errorf("core: %s op geometry %dx%dx%d window %d invalid",
+				op.Kind, g.Channels, g.Height, g.Width, g.Window)
+		}
+		if g.Height%g.Window != 0 || g.Width%g.Window != 0 {
+			return fmt.Errorf("core: %s op window %d does not divide %dx%d",
+				op.Kind, g.Window, g.Height, g.Width)
+		}
+	case OpRefresh:
+		// No parameters.
+	default:
+		return fmt.Errorf("core: unknown op kind %d", uint8(op.Kind))
+	}
+	return nil
+}
+
+// Batchable reports whether batches from different requests may be
+// concatenated into one ECALL carrying this op. Element-wise ops qualify;
+// whole-map pooling does not, because the enclave validates the batch
+// length against the geometry and the output depends on element positions.
+func (op NonlinearOp) Batchable() bool {
+	switch op.Kind {
+	case OpSigmoid, OpActivation, OpPoolDivide, OpRefresh:
+		return true
+	default:
+		return false
+	}
+}
+
+// request builds the boundary message for the op over an encoded batch.
+func (op NonlinearOp) request(ctBytes []byte) *nonlinearRequest {
+	req := &nonlinearRequest{
+		InScale:  op.InScale,
+		OutScale: op.OutScale,
+		Divisor:  op.Divisor,
+		Act:      uint32(op.Act),
+		Channels: uint32(op.Geometry.Channels),
+		Height:   uint32(op.Geometry.Height),
+		Width:    uint32(op.Geometry.Width),
+		Window:   uint32(op.Geometry.Window),
+		CTs:      ctBytes,
+	}
+	if op.SIMD {
+		req.SIMD = 1
+	}
+	if req.InScale == 0 {
+		req.InScale = 1
+	}
+	if req.OutScale == 0 {
+		req.OutScale = 1
+	}
+	if req.Divisor == 0 {
+		req.Divisor = 1
+	}
+	return req
+}
+
+// NonlinearCaller is the interface the engine drives enclave non-linear
+// layers through. *EnclaveService implements it directly; serve.Batcher
+// wraps one to coalesce calls from concurrent inferences into shared
+// enclave transitions.
+type NonlinearCaller interface {
+	Nonlinear(ctx context.Context, op NonlinearOp, cts []*he.Ciphertext) ([]*he.Ciphertext, error)
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"hesgx/internal/he"
@@ -8,37 +9,84 @@ import (
 
 // Server-side (untrusted) wrappers over the enclave's ECALLs. These run in
 // the edge server process and only ever handle ciphertext bytes.
+//
+// Nonlinear is the single entry point: every decrypt–compute–re-encrypt
+// ECALL is described by a NonlinearOp value. The former per-op methods
+// (Sigmoid, SigmoidSIMD, PoolDivide, ...) remain as thin deprecated
+// wrappers.
+
+// Nonlinear executes one non-linear op over a ciphertext batch inside the
+// enclave: the batch crosses the boundary once, trusted code decrypts,
+// computes op in plaintext, re-encrypts, and the fresh batch crosses back
+// (§IV-D). ctx is honoured at the enclave boundary: a cancelled context
+// fails the call before paying the transition.
+func (s *EnclaveService) Nonlinear(ctx context.Context, op NonlinearOp, cts []*he.Ciphertext) ([]*he.Ciphertext, error) {
+	if err := op.Validate(); err != nil {
+		return nil, err
+	}
+	name, err := op.Kind.ecallName()
+	if err != nil {
+		return nil, err
+	}
+	batch, err := encodeCiphertextBatch(cts)
+	if err != nil {
+		return nil, err
+	}
+	payload := batch
+	if op.Kind != OpRefresh {
+		// Refresh crosses as a bare batch; every other op carries the
+		// dequantize/requantize envelope.
+		payload = op.request(batch).marshal()
+	}
+	out, err := s.enclave.ECallContext(ctx, name, payload)
+	if err != nil {
+		return nil, err
+	}
+	return decodeCiphertextBatch(out, s.params)
+}
 
 // Sigmoid sends a batch through the enclave Sigmoid path: each ciphertext
 // holds one quantized value at inScale; results come back quantized at
 // outScale under fresh encryptions.
+//
+// Deprecated: use Nonlinear with OpSigmoid.
 func (s *EnclaveService) Sigmoid(cts []*he.Ciphertext, inScale, outScale uint64) ([]*he.Ciphertext, error) {
-	return s.nonlinearCall(ECallSigmoid, cts, &nonlinearRequest{InScale: inScale, OutScale: outScale, Divisor: 1})
+	return s.Nonlinear(context.Background(), NonlinearOp{Kind: OpSigmoid, InScale: inScale, OutScale: outScale}, cts)
 }
 
 // SigmoidSIMD is Sigmoid over slot-packed ciphertexts: the enclave applies
 // the activation to every CRT slot (§VIII batching).
+//
+// Deprecated: use Nonlinear with OpSigmoid and SIMD set.
 func (s *EnclaveService) SigmoidSIMD(cts []*he.Ciphertext, inScale, outScale uint64) ([]*he.Ciphertext, error) {
-	return s.nonlinearCall(ECallSigmoid, cts, &nonlinearRequest{InScale: inScale, OutScale: outScale, Divisor: 1, SIMD: 1})
+	return s.Nonlinear(context.Background(), NonlinearOp{Kind: OpSigmoid, SIMD: true, InScale: inScale, OutScale: outScale}, cts)
 }
 
 // Activation is Sigmoid generalized to the enclave's configured activation.
+//
+// Deprecated: use Nonlinear with OpActivation.
 func (s *EnclaveService) Activation(cts []*he.Ciphertext, inScale, outScale uint64) ([]*he.Ciphertext, error) {
-	return s.nonlinearCall(ECallActivation, cts, &nonlinearRequest{InScale: inScale, OutScale: outScale, Divisor: 1})
+	return s.Nonlinear(context.Background(), NonlinearOp{Kind: OpActivation, InScale: inScale, OutScale: outScale}, cts)
 }
 
 // ActivationSIMD is Activation over slot-packed ciphertexts.
+//
+// Deprecated: use Nonlinear with OpActivation and SIMD set.
 func (s *EnclaveService) ActivationSIMD(cts []*he.Ciphertext, inScale, outScale uint64) ([]*he.Ciphertext, error) {
-	return s.nonlinearCall(ECallActivation, cts, &nonlinearRequest{InScale: inScale, OutScale: outScale, Divisor: 1, SIMD: 1})
+	return s.Nonlinear(context.Background(), NonlinearOp{Kind: OpActivation, SIMD: true, InScale: inScale, OutScale: outScale}, cts)
 }
 
 // SigmoidSingle sends each ciphertext through its own ECALL — the
 // EncryptSGX(single) control of Fig. 8, demonstrating why per-datum
 // boundary crossings are catastrophic.
+//
+// Deprecated: use Nonlinear per ciphertext if the single-ECALL control is
+// needed.
 func (s *EnclaveService) SigmoidSingle(cts []*he.Ciphertext, inScale, outScale uint64) ([]*he.Ciphertext, error) {
+	op := NonlinearOp{Kind: OpSigmoid, InScale: inScale, OutScale: outScale}
 	out := make([]*he.Ciphertext, len(cts))
 	for i, ct := range cts {
-		res, err := s.Sigmoid([]*he.Ciphertext{ct}, inScale, outScale)
+		res, err := s.Nonlinear(context.Background(), op, []*he.Ciphertext{ct})
 		if err != nil {
 			return nil, fmt.Errorf("core: single-value sigmoid %d: %w", i, err)
 		}
@@ -50,79 +98,63 @@ func (s *EnclaveService) SigmoidSingle(cts []*he.Ciphertext, inScale, outScale u
 // PoolDivide completes the SGXDiv pooling strategy: the ciphertexts are
 // homomorphically computed window sums; the enclave divides by divisor
 // (window area) and re-encrypts.
+//
+// Deprecated: use Nonlinear with OpPoolDivide.
 func (s *EnclaveService) PoolDivide(cts []*he.Ciphertext, divisor uint64) ([]*he.Ciphertext, error) {
-	if divisor == 0 {
-		return nil, fmt.Errorf("core: pool divide by zero")
-	}
-	return s.nonlinearCall(ECallPoolDivide, cts, &nonlinearRequest{InScale: 1, OutScale: 1, Divisor: divisor})
+	return s.Nonlinear(context.Background(), NonlinearOp{Kind: OpPoolDivide, Divisor: divisor}, cts)
 }
 
 // PoolDivideSIMD is PoolDivide over slot-packed ciphertexts.
+//
+// Deprecated: use Nonlinear with OpPoolDivide and SIMD set.
 func (s *EnclaveService) PoolDivideSIMD(cts []*he.Ciphertext, divisor uint64) ([]*he.Ciphertext, error) {
-	if divisor == 0 {
-		return nil, fmt.Errorf("core: pool divide by zero")
-	}
-	return s.nonlinearCall(ECallPoolDivide, cts, &nonlinearRequest{InScale: 1, OutScale: 1, Divisor: divisor, SIMD: 1})
+	return s.Nonlinear(context.Background(), NonlinearOp{Kind: OpPoolDivide, SIMD: true, Divisor: divisor}, cts)
 }
 
 // PoolFull runs the SGXPool strategy: the full feature map [channels,
 // height, width] (flattened, one value per ciphertext) enters the enclave,
-// which mean-pools with the given window. simd selects slot-packed mode.
+// which mean-pools with the given window.
+//
+// Deprecated: use Nonlinear with OpPoolFull and a Geometry.
 func (s *EnclaveService) PoolFull(cts []*he.Ciphertext, channels, height, width, window int) ([]*he.Ciphertext, error) {
-	return s.poolGeom(ECallPoolFull, cts, channels, height, width, window, false)
+	return s.Nonlinear(context.Background(), NonlinearOp{
+		Kind: OpPoolFull, Geometry: Geometry{Channels: channels, Height: height, Width: width, Window: window},
+	}, cts)
 }
 
 // PoolFullSIMD is PoolFull over slot-packed ciphertexts.
+//
+// Deprecated: use Nonlinear with OpPoolFull, SIMD and a Geometry.
 func (s *EnclaveService) PoolFullSIMD(cts []*he.Ciphertext, channels, height, width, window int) ([]*he.Ciphertext, error) {
-	return s.poolGeom(ECallPoolFull, cts, channels, height, width, window, true)
+	return s.Nonlinear(context.Background(), NonlinearOp{
+		Kind: OpPoolFull, SIMD: true, Geometry: Geometry{Channels: channels, Height: height, Width: width, Window: window},
+	}, cts)
 }
 
 // PoolMax runs max pooling inside the enclave (not expressible under HE).
+//
+// Deprecated: use Nonlinear with OpPoolMax and a Geometry.
 func (s *EnclaveService) PoolMax(cts []*he.Ciphertext, channels, height, width, window int) ([]*he.Ciphertext, error) {
-	return s.poolGeom(ECallPoolMax, cts, channels, height, width, window, false)
+	return s.Nonlinear(context.Background(), NonlinearOp{
+		Kind: OpPoolMax, Geometry: Geometry{Channels: channels, Height: height, Width: width, Window: window},
+	}, cts)
 }
 
 // PoolMaxSIMD is PoolMax over slot-packed ciphertexts.
+//
+// Deprecated: use Nonlinear with OpPoolMax, SIMD and a Geometry.
 func (s *EnclaveService) PoolMaxSIMD(cts []*he.Ciphertext, channels, height, width, window int) ([]*he.Ciphertext, error) {
-	return s.poolGeom(ECallPoolMax, cts, channels, height, width, window, true)
-}
-
-func (s *EnclaveService) poolGeom(name string, cts []*he.Ciphertext, channels, height, width, window int, simd bool) ([]*he.Ciphertext, error) {
-	req := &nonlinearRequest{
-		InScale: 1, OutScale: 1, Divisor: 1,
-		Channels: uint32(channels), Height: uint32(height), Width: uint32(width), Window: uint32(window),
-	}
-	if simd {
-		req.SIMD = 1
-	}
-	return s.nonlinearCall(name, cts, req)
+	return s.Nonlinear(context.Background(), NonlinearOp{
+		Kind: OpPoolMax, SIMD: true, Geometry: Geometry{Channels: channels, Height: height, Width: width, Window: window},
+	}, cts)
 }
 
 // Refresh decrypts and re-encrypts a batch inside the enclave, resetting
 // noise — the framework's substitute for relinearization (Table V).
+//
+// Deprecated: use Nonlinear with OpRefresh.
 func (s *EnclaveService) Refresh(cts []*he.Ciphertext) ([]*he.Ciphertext, error) {
-	payload, err := encodeCiphertextBatch(cts)
-	if err != nil {
-		return nil, err
-	}
-	out, err := s.enclave.ECall(ECallRefresh, payload)
-	if err != nil {
-		return nil, err
-	}
-	return decodeCiphertextBatch(out, s.params)
-}
-
-func (s *EnclaveService) nonlinearCall(name string, cts []*he.Ciphertext, req *nonlinearRequest) ([]*he.Ciphertext, error) {
-	payload, err := encodeCiphertextBatch(cts)
-	if err != nil {
-		return nil, err
-	}
-	req.CTs = payload
-	out, err := s.enclave.ECall(name, req.marshal())
-	if err != nil {
-		return nil, err
-	}
-	return decodeCiphertextBatch(out, s.params)
+	return s.Nonlinear(context.Background(), NonlinearOp{Kind: OpRefresh}, cts)
 }
 
 // ProvisionKeys performs the server side of key delivery: it forwards the

@@ -1,0 +1,195 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"time"
+
+	"hesgx/internal/core"
+	"hesgx/internal/stats"
+)
+
+// Scheduler admission errors.
+var (
+	// ErrQueueFull reports backpressure: the bounded admission queue is
+	// at capacity and the job was rejected immediately rather than queued
+	// into unbounded memory.
+	ErrQueueFull = errors.New("serve: admission queue full")
+	// ErrClosed reports a scheduler that has shut down.
+	ErrClosed = errors.New("serve: scheduler closed")
+)
+
+// InferBackend is the inference executor the scheduler drives —
+// *core.HybridEngine in production, fakes in tests.
+type InferBackend interface {
+	InferContext(ctx context.Context, img *core.CipherImage) (*core.InferenceResult, error)
+}
+
+// SchedulerConfig tunes the serving scheduler.
+type SchedulerConfig struct {
+	// Workers is the number of concurrent inferences (default NumCPU).
+	// More workers give the batching proxy more coalescing opportunities;
+	// past the point where the enclave saturates they only add contention.
+	Workers int
+	// QueueDepth bounds jobs waiting for a worker (default 64). A full
+	// queue rejects new jobs with ErrQueueFull — load sheds at admission
+	// instead of stacking latency.
+	QueueDepth int
+	// Deadline is the default per-job deadline applied when the caller's
+	// context has none (0: no default). Jobs whose deadline expires while
+	// queued are dropped without ever entering the enclave.
+	Deadline time.Duration
+	// Metrics receives queue/job counters and latency samples (nil: none).
+	Metrics *stats.Registry
+}
+
+// DefaultSchedulerConfig returns the serving defaults.
+func DefaultSchedulerConfig() SchedulerConfig {
+	return SchedulerConfig{Workers: runtime.NumCPU(), QueueDepth: 64}
+}
+
+// jobResult carries an inference outcome to the submitting goroutine.
+type jobResult struct {
+	res *core.InferenceResult
+	err error
+}
+
+// job is one admitted inference request.
+type job struct {
+	ctx      context.Context
+	img      *core.CipherImage
+	res      chan jobResult // buffered; workers never block on delivery
+	enqueued time.Time
+}
+
+// Scheduler admits inference jobs through a bounded queue and runs them on
+// a fixed worker pool. Combined with a Batcher on the engine's enclave
+// path, concurrent jobs reaching the same non-linear layer share enclave
+// transitions.
+type Scheduler struct {
+	backend  InferBackend
+	queue    chan *job
+	deadline time.Duration
+	metrics  *stats.Registry
+
+	wg        sync.WaitGroup
+	closed    chan struct{}
+	closeOnce sync.Once
+}
+
+// NewScheduler starts a scheduler over backend. Zero config fields fall
+// back to DefaultSchedulerConfig.
+func NewScheduler(backend InferBackend, cfg SchedulerConfig) *Scheduler {
+	def := DefaultSchedulerConfig()
+	if cfg.Workers <= 0 {
+		cfg.Workers = def.Workers
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = def.QueueDepth
+	}
+	s := &Scheduler{
+		backend:  backend,
+		queue:    make(chan *job, cfg.QueueDepth),
+		deadline: cfg.Deadline,
+		metrics:  cfg.Metrics,
+		closed:   make(chan struct{}),
+	}
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Infer submits an encrypted image and blocks until the result, the
+// caller's context, or the per-job deadline resolves it. Admission is
+// non-blocking: a full queue returns ErrQueueFull immediately.
+func (s *Scheduler) Infer(ctx context.Context, img *core.CipherImage) (*core.InferenceResult, error) {
+	if s.deadline > 0 {
+		if _, has := ctx.Deadline(); !has {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.deadline)
+			defer cancel()
+		}
+	}
+	j := &job{ctx: ctx, img: img, res: make(chan jobResult, 1), enqueued: time.Now()}
+
+	select {
+	case <-s.closed:
+		return nil, ErrClosed
+	default:
+	}
+	select {
+	case s.queue <- j:
+		s.metrics.Counter("serve.jobs.submitted").Inc()
+		s.metrics.Gauge("serve.queue.depth").Set(int64(len(s.queue)))
+	default:
+		s.metrics.Counter("serve.jobs.rejected").Inc()
+		return nil, ErrQueueFull
+	}
+
+	select {
+	case r := <-j.res:
+		return r.res, r.err
+	case <-ctx.Done():
+		// The worker sees the same context: if the job is still queued it
+		// is skipped; if it is running, the engine abandons it at the next
+		// step or enclave boundary.
+		return nil, ctx.Err()
+	}
+}
+
+// worker executes queued jobs until shutdown.
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.closed:
+			return
+		case j := <-s.queue:
+			s.run(j)
+		}
+	}
+}
+
+// run executes one job and delivers its result.
+func (s *Scheduler) run(j *job) {
+	s.metrics.Gauge("serve.queue.depth").Set(int64(len(s.queue)))
+	s.metrics.Observe("serve.job.queue_wait_ms", float64(time.Since(j.enqueued).Microseconds())/1000.0)
+	if err := j.ctx.Err(); err != nil {
+		// Deadline or disconnect while queued: never enter the enclave.
+		s.metrics.Counter("serve.jobs.expired").Inc()
+		j.res <- jobResult{err: err}
+		return
+	}
+	s.metrics.Gauge("serve.jobs.inflight").Add(1)
+	start := time.Now()
+	res, err := s.backend.InferContext(j.ctx, j.img)
+	s.metrics.Gauge("serve.jobs.inflight").Add(-1)
+	if err != nil {
+		s.metrics.Counter("serve.jobs.failed").Inc()
+	} else {
+		s.metrics.Counter("serve.jobs.completed").Inc()
+		s.metrics.Observe("serve.job.latency_ms", float64(time.Since(start).Microseconds())/1000.0)
+	}
+	j.res <- jobResult{res: res, err: err}
+}
+
+// Close stops the workers, fails jobs still waiting in the queue with
+// ErrClosed, and waits for in-flight inferences to finish.
+func (s *Scheduler) Close() {
+	s.closeOnce.Do(func() {
+		close(s.closed)
+		s.wg.Wait()
+		for {
+			select {
+			case j := <-s.queue:
+				j.res <- jobResult{err: ErrClosed}
+			default:
+				return
+			}
+		}
+	})
+}

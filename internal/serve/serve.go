@@ -1,0 +1,85 @@
+// Package serve is the concurrent serving pipeline of the edge server:
+//
+//	wire.Server ──► Scheduler (bounded queue, worker pool, deadlines)
+//	                   │ engine.InferContext per job
+//	                   ▼
+//	            core.HybridEngine ──► Batcher (cross-request ECALL coalescing)
+//	                                     │ one shared transition per flush
+//	                                     ▼
+//	                              core.EnclaveService ──► sgx.Enclave
+//
+// The paper's central performance result (§VIII, Fig. 8) is that batching
+// ciphertexts per enclave transition amortizes the ~1 ms ECALL cost. The
+// seed repo only batched within one inference; under N concurrent clients
+// the enclave still paid N transitions per non-linear layer. This package
+// closes that gap: the Scheduler bounds concurrency and sheds load at
+// admission, and the Batcher merges same-op non-linear calls from
+// different in-flight inferences into shared ECALLs, so transitions per
+// inference fall as concurrency rises.
+package serve
+
+import (
+	"context"
+
+	"hesgx/internal/core"
+	"hesgx/internal/stats"
+)
+
+// Config assembles a full serving pipeline.
+type Config struct {
+	Scheduler SchedulerConfig
+	Batcher   BatcherConfig
+	// DisableBatching runs the scheduler without the cross-request
+	// batching proxy (the ablation/control configuration).
+	DisableBatching bool
+	// Metrics is the registry shared by every pipeline stage (nil: a new
+	// registry is created).
+	Metrics *stats.Registry
+}
+
+// Pipeline owns the serving stages wired over one engine.
+type Pipeline struct {
+	Scheduler *Scheduler
+	Batcher   *Batcher // nil when batching is disabled
+	Metrics   *stats.Registry
+}
+
+// NewPipeline wires engine and its enclave service into a serving
+// pipeline: per-layer engine metrics, the batching proxy on the engine's
+// enclave path (unless disabled), and the admission scheduler on top.
+// The engine must not serve traffic through other paths afterwards — the
+// pipeline re-routes its non-linear calls.
+func NewPipeline(engine *core.HybridEngine, svc *core.EnclaveService, cfg Config) *Pipeline {
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = stats.NewRegistry()
+	}
+	engine.SetMetrics(reg)
+	p := &Pipeline{Metrics: reg}
+	if !cfg.DisableBatching {
+		bcfg := cfg.Batcher
+		bcfg.Metrics = reg
+		p.Batcher = NewBatcher(svc, bcfg)
+		engine.SetNonlinearCaller(p.Batcher)
+	} else {
+		engine.SetNonlinearCaller(svc)
+	}
+	scfg := cfg.Scheduler
+	scfg.Metrics = reg
+	p.Scheduler = NewScheduler(engine, scfg)
+	return p
+}
+
+// Infer submits an inference through the pipeline.
+func (p *Pipeline) Infer(ctx context.Context, img *core.CipherImage) (*core.InferenceResult, error) {
+	return p.Scheduler.Infer(ctx, img)
+}
+
+// Close shuts the pipeline down: the scheduler stops admitting and drains,
+// then the batcher flushes any stragglers.
+func (p *Pipeline) Close() {
+	p.Scheduler.Close()
+	if p.Batcher != nil {
+		p.Batcher.Close()
+	}
+}

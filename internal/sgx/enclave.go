@@ -1,6 +1,7 @@
 package sgx
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
@@ -129,6 +130,18 @@ func (c *Context) OCall(fn func() error) error {
 	inject(over)
 	p.recordOCall(over)
 	return fn()
+}
+
+// ECallContext is ECall with cancellation at the boundary: if ctx is
+// already done the call fails before paying the enclave transition.
+// Trusted code cannot be preempted once entered (real enclaves run ECALLs
+// to completion), so cancellation mid-call is not attempted — the check
+// keeps cancelled requests from queueing new transitions.
+func (e *Enclave) ECallContext(ctx context.Context, name string, input []byte) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("sgx: ECALL %q not entered: %w", name, err)
+	}
+	return e.ECall(name, input)
 }
 
 // ECall invokes a named entry point inside the enclave: the input crosses

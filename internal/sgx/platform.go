@@ -39,6 +39,22 @@ type Stats struct {
 	EnclaveCompute   time.Duration
 }
 
+// Transitions counts enclave boundary crossings (ECALLs + OCALLs) — the
+// resource cross-request batching amortizes.
+func (s Stats) Transitions() uint64 { return s.ECalls + s.OCalls }
+
+// Sub returns the accounting delta s - prev, for before/after measurements
+// around a workload.
+func (s Stats) Sub(prev Stats) Stats {
+	return Stats{
+		ECalls:           s.ECalls - prev.ECalls,
+		OCalls:           s.OCalls - prev.OCalls,
+		PageFaults:       s.PageFaults - prev.PageFaults,
+		InjectedOverhead: s.InjectedOverhead - prev.InjectedOverhead,
+		EnclaveCompute:   s.EnclaveCompute - prev.EnclaveCompute,
+	}
+}
+
 // PlatformOption customizes platform construction.
 type PlatformOption func(*platformConfig)
 

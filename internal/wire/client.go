@@ -84,7 +84,7 @@ func (c *Client) Attest() error {
 		return err
 	}
 	if t == MsgError {
-		return fmt.Errorf("wire: server error: %s", reply)
+		return DecodeError(reply)
 	}
 	if t != MsgAttestReply {
 		return fmt.Errorf("wire: expected attest reply, got type %d", t)
@@ -124,7 +124,9 @@ func (c *Client) Infer(img *nn.Tensor, pixelScale uint64) ([]float64, error) {
 		return nil, err
 	}
 	if t == MsgError {
-		return nil, fmt.Errorf("wire: server error: %s", reply)
+		// Surface the typed failure: callers branch on *ServerError (e.g.
+		// back off when Code is CodeOverloaded) via errors.As.
+		return nil, DecodeError(reply)
 	}
 	if t != MsgInferReply {
 		return nil, fmt.Errorf("wire: expected infer reply, got type %d", t)

@@ -27,7 +27,8 @@ const (
 	// MsgInferReply: server → client. Payload: 8-byte output scale (IEEE
 	// float64 bits) followed by the encrypted logits batch.
 	MsgInferReply
-	// MsgError: server → client. Payload: UTF-8 error message.
+	// MsgError: server → client. Payload: 1-byte ErrCode followed by a
+	// UTF-8 error message (see EncodeError / DecodeError).
 	MsgError
 	// MsgTrustBundle: server → client. Payload: enclave measurement (32
 	// bytes) + platform attestation public key. Served for demo
@@ -37,6 +38,84 @@ const (
 	// MsgTrustRequest: client → server, empty payload.
 	MsgTrustRequest
 )
+
+// ErrCode classifies a MsgError frame so clients can distinguish their own
+// mistakes from server-side load shedding or shutdown without parsing
+// message text.
+type ErrCode uint8
+
+// Error codes carried in MsgError frames.
+const (
+	// CodeUnknown is an unclassified server error.
+	CodeUnknown ErrCode = iota
+	// CodeBadRequest: the request payload failed to decode or validate.
+	// Retrying the same bytes will fail again.
+	CodeBadRequest
+	// CodeInternal: the server failed while processing a well-formed
+	// request.
+	CodeInternal
+	// CodeOverloaded: the admission queue was full and the request was
+	// shed. The request never entered the enclave; retry after backoff.
+	CodeOverloaded
+	// CodeDeadline: the request's serving deadline expired before a result
+	// was produced.
+	CodeDeadline
+	// CodeShutdown: the server is draining and no longer accepts work.
+	CodeShutdown
+)
+
+// String names the code for logs.
+func (c ErrCode) String() string {
+	switch c {
+	case CodeBadRequest:
+		return "bad-request"
+	case CodeInternal:
+		return "internal"
+	case CodeOverloaded:
+		return "overloaded"
+	case CodeDeadline:
+		return "deadline"
+	case CodeShutdown:
+		return "shutdown"
+	default:
+		return "unknown"
+	}
+}
+
+// ServerError is a decoded MsgError frame: the failure a server reported
+// for one request. Clients can branch on Code (e.g. back off on
+// CodeOverloaded) via errors.As.
+type ServerError struct {
+	Code ErrCode
+	Msg  string
+}
+
+// Error implements the error interface.
+func (e *ServerError) Error() string {
+	return fmt.Sprintf("wire: server error (%s): %s", e.Code, e.Msg)
+}
+
+// Temporary reports whether retrying later may succeed.
+func (e *ServerError) Temporary() bool {
+	return e.Code == CodeOverloaded || e.Code == CodeDeadline
+}
+
+// EncodeError renders a MsgError payload: [code u8][utf-8 message].
+func EncodeError(code ErrCode, msg string) []byte {
+	out := make([]byte, 0, 1+len(msg))
+	out = append(out, byte(code))
+	return append(out, msg...)
+}
+
+// DecodeError parses a MsgError payload into a *ServerError. An empty
+// payload (never produced by this server, but legal on the wire) decodes
+// to CodeUnknown.
+func DecodeError(payload []byte) *ServerError {
+	if len(payload) == 0 {
+		return &ServerError{Code: CodeUnknown, Msg: "unspecified server error"}
+	}
+	return &ServerError{Code: ErrCode(payload[0]), Msg: string(payload[1:])}
+}
 
 // MaxFrameBytes bounds a frame (hybrid cipher images run to tens of MB:
 // 784 pixels × 2 polys × n coefficients × 8 bytes).

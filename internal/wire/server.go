@@ -10,28 +10,61 @@ import (
 
 	"hesgx/internal/attest"
 	"hesgx/internal/core"
+	"hesgx/internal/serve"
 )
+
+// Inferrer executes one inference under a context. *serve.Pipeline is the
+// production implementation (bounded queue, worker pool, cross-request
+// ECALL batching); the default adapter calls the engine directly.
+type Inferrer interface {
+	Infer(ctx context.Context, img *core.CipherImage) (*core.InferenceResult, error)
+}
+
+// engineInferrer runs inferences straight on the engine, serializing
+// nothing — the pre-scheduler behaviour.
+type engineInferrer struct{ engine *core.HybridEngine }
+
+func (e engineInferrer) Infer(ctx context.Context, img *core.CipherImage) (*core.InferenceResult, error) {
+	return e.engine.InferContext(ctx, img)
+}
+
+// ServerOption configures a Server.
+type ServerOption func(*Server)
+
+// WithInferrer routes inference requests through inf instead of calling
+// the engine directly — normally a *serve.Pipeline.
+func WithInferrer(inf Inferrer) ServerOption {
+	return func(s *Server) { s.inferrer = inf }
+}
 
 // Server is the edge-server endpoint: it owns the enclave service and the
 // hybrid engine and answers attestation and inference requests over TCP.
 type Server struct {
-	svc    *core.EnclaveService
-	engine *core.HybridEngine
-	logger *slog.Logger
+	svc      *core.EnclaveService
+	engine   *core.HybridEngine
+	inferrer Inferrer
+	logger   *slog.Logger
 
 	wg sync.WaitGroup
 }
 
 // NewServer wires an enclave service and a planned engine into a network
 // endpoint.
-func NewServer(svc *core.EnclaveService, engine *core.HybridEngine, logger *slog.Logger) (*Server, error) {
+func NewServer(svc *core.EnclaveService, engine *core.HybridEngine, logger *slog.Logger, opts ...ServerOption) (*Server, error) {
 	if svc == nil || engine == nil {
 		return nil, fmt.Errorf("wire: server needs an enclave service and an engine")
 	}
 	if logger == nil {
 		logger = slog.Default()
 	}
-	return &Server{svc: svc, engine: engine, logger: logger}, nil
+	s := &Server{svc: svc, engine: engine, logger: logger}
+	for _, opt := range opts {
+		opt(s)
+	}
+	if s.inferrer == nil {
+		s.inferrer = engineInferrer{engine: engine}
+	}
+	return s, nil
 }
 
 // Serve accepts connections until ctx is cancelled or the listener fails.
@@ -70,7 +103,10 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 // handle serves one connection: a sequence of frames until EOF.
 func (s *Server) handle(ctx context.Context, conn net.Conn) error {
 	// Close the connection when the server shuts down so blocked reads
-	// unwind.
+	// unwind and any in-flight enclave work for this connection is
+	// cancelled.
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	stop := context.AfterFunc(ctx, func() { _ = conn.Close() })
 	defer stop()
 	for {
@@ -81,26 +117,53 @@ func (s *Server) handle(ctx context.Context, conn net.Conn) error {
 			}
 			return nil // client closed or garbled; nothing more to do
 		}
-		if err := s.dispatch(conn, t, payload); err != nil {
-			// Protocol-level errors go back to the client; transport errors
-			// end the connection.
-			if werr := WriteFrame(conn, MsgError, []byte(err.Error())); werr != nil {
+		if err := s.dispatch(ctx, conn, t, payload); err != nil {
+			// Protocol-level errors go back to the client as typed error
+			// frames; transport errors end the connection.
+			code := errorCode(err)
+			s.logger.Warn("request failed", "remote", conn.RemoteAddr(), "code", code, "err", err)
+			if werr := WriteFrame(conn, MsgError, EncodeError(code, err.Error())); werr != nil {
 				return werr
 			}
 		}
 	}
 }
 
-func (s *Server) dispatch(conn net.Conn, t MsgType, payload []byte) error {
+// errorCode classifies a handler error for the MsgError frame.
+func errorCode(err error) ErrCode {
+	var bad *badRequestError
+	switch {
+	case errors.As(err, &bad):
+		return CodeBadRequest
+	case errors.Is(err, serve.ErrQueueFull):
+		return CodeOverloaded
+	case errors.Is(err, serve.ErrClosed):
+		return CodeShutdown
+	case errors.Is(err, context.DeadlineExceeded):
+		return CodeDeadline
+	case errors.Is(err, context.Canceled):
+		return CodeShutdown
+	default:
+		return CodeInternal
+	}
+}
+
+// badRequestError marks a client-side (payload) fault.
+type badRequestError struct{ err error }
+
+func (e *badRequestError) Error() string { return e.err.Error() }
+func (e *badRequestError) Unwrap() error { return e.err }
+
+func (s *Server) dispatch(ctx context.Context, conn net.Conn, t MsgType, payload []byte) error {
 	switch t {
 	case MsgTrustRequest:
 		return s.handleTrust(conn)
 	case MsgAttestRequest:
 		return s.handleAttest(conn, payload)
 	case MsgInferRequest:
-		return s.handleInfer(conn, payload)
+		return s.handleInfer(ctx, conn, payload)
 	default:
-		return fmt.Errorf("wire: unexpected message type %d", t)
+		return &badRequestError{fmt.Errorf("wire: unexpected message type %d", t)}
 	}
 }
 
@@ -113,7 +176,7 @@ func (s *Server) handleTrust(conn net.Conn) error {
 
 func (s *Server) handleAttest(conn net.Conn, payload []byte) error {
 	if len(payload) < 33 {
-		return fmt.Errorf("wire: attest request too short")
+		return &badRequestError{fmt.Errorf("wire: attest request too short")}
 	}
 	var nonce [32]byte
 	copy(nonce[:], payload[:32])
@@ -134,12 +197,12 @@ func (s *Server) handleAttest(conn net.Conn, payload []byte) error {
 	return WriteFrame(conn, MsgAttestReply, qb)
 }
 
-func (s *Server) handleInfer(conn net.Conn, payload []byte) error {
+func (s *Server) handleInfer(ctx context.Context, conn net.Conn, payload []byte) error {
 	img, err := core.UnmarshalCipherImage(payload, s.svc.Params())
 	if err != nil {
-		return fmt.Errorf("wire: decoding cipher image: %w", err)
+		return &badRequestError{fmt.Errorf("wire: decoding cipher image: %w", err)}
 	}
-	res, err := s.engine.Infer(img)
+	res, err := s.inferrer.Infer(ctx, img)
 	if err != nil {
 		return fmt.Errorf("wire: inference: %w", err)
 	}

@@ -8,6 +8,7 @@ import (
 	"math"
 	mrand "math/rand/v2"
 	"net"
+	"sync"
 	"testing"
 	"time"
 
@@ -16,6 +17,7 @@ import (
 	"hesgx/internal/he"
 	"hesgx/internal/nn"
 	"hesgx/internal/ring"
+	"hesgx/internal/serve"
 	"hesgx/internal/sgx"
 )
 
@@ -64,6 +66,24 @@ func TestReadFrameRejectsHostileLength(t *testing.T) {
 // testStack spins up a full in-process edge server on a random port.
 func testStack(t *testing.T) (addr string, svc *core.EnclaveService, model *nn.Network, shutdown func()) {
 	t.Helper()
+	addr, st, shutdown := testStackPipeline(t, nil)
+	return addr, st.svc, st.model, shutdown
+}
+
+// pipelineStack bundles the server-side components for tests that need
+// direct access past the network boundary.
+type pipelineStack struct {
+	svc      *core.EnclaveService
+	engine   *core.HybridEngine
+	model    *nn.Network
+	pipeline *serve.Pipeline // nil when the server calls the engine directly
+}
+
+// testStackPipeline spins up an edge server; with a non-nil serve config
+// the inference path runs through a serving pipeline (bounded queue +
+// cross-request ECALL batching), otherwise straight through the engine.
+func testStackPipeline(t *testing.T, pcfg *serve.Config) (addr string, st *pipelineStack, shutdown func()) {
+	t.Helper()
 	q, err := ring.GenerateNTTPrime(46, 1024)
 	if err != nil {
 		t.Fatal(err)
@@ -76,12 +96,12 @@ func testStack(t *testing.T) (addr string, svc *core.EnclaveService, model *nn.N
 	if err != nil {
 		t.Fatal(err)
 	}
-	svc, err = core.NewEnclaveService(platform, params, core.WithKeySource(ring.NewSeededSource(31)))
+	svc, err := core.NewEnclaveService(platform, params, core.WithKeySource(ring.NewSeededSource(31)))
 	if err != nil {
 		t.Fatal(err)
 	}
 	r := mrand.New(mrand.NewPCG(3, 4))
-	model = nn.NewNetwork(
+	model := nn.NewNetwork(
 		nn.NewConv2D(1, 2, 3, 1, r),
 		nn.NewActivation(nn.Sigmoid),
 		nn.NewPool2D(nn.MeanPool, 2),
@@ -94,7 +114,13 @@ func testStack(t *testing.T) (addr string, svc *core.EnclaveService, model *nn.N
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, err := NewServer(svc, engine, slog.New(slog.NewTextHandler(testWriter{t}, nil)))
+	st = &pipelineStack{svc: svc, engine: engine, model: model}
+	var opts []ServerOption
+	if pcfg != nil {
+		st.pipeline = serve.NewPipeline(engine, svc, *pcfg)
+		opts = append(opts, WithInferrer(st.pipeline))
+	}
+	srv, err := NewServer(svc, engine, slog.New(slog.NewTextHandler(testWriter{t}, nil)), opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,12 +136,15 @@ func testStack(t *testing.T) (addr string, svc *core.EnclaveService, model *nn.N
 			t.Errorf("serve: %v", err)
 		}
 	}()
-	return ln.Addr().String(), svc, model, func() {
+	return ln.Addr().String(), st, func() {
 		cancel()
 		select {
 		case <-done:
 		case <-time.After(5 * time.Second):
 			t.Error("server did not shut down")
+		}
+		if st.pipeline != nil {
+			st.pipeline.Close()
 		}
 	}
 }
@@ -294,5 +323,173 @@ func TestMultipleConcurrentClients(t *testing.T) {
 func TestServerValidationRejectsNil(t *testing.T) {
 	if _, err := NewServer(nil, nil, nil); err == nil {
 		t.Fatal("nil components accepted")
+	}
+}
+
+func TestErrorFrameRoundTrip(t *testing.T) {
+	payload := EncodeError(CodeOverloaded, "queue full")
+	se := DecodeError(payload)
+	if se.Code != CodeOverloaded || se.Msg != "queue full" {
+		t.Fatalf("decoded %+v", se)
+	}
+	if !se.Temporary() {
+		t.Fatal("overloaded should be temporary")
+	}
+	if se := DecodeError(nil); se.Code != CodeUnknown {
+		t.Fatalf("empty payload decoded to %v", se.Code)
+	}
+	if DecodeError(EncodeError(CodeBadRequest, "nope")).Temporary() {
+		t.Fatal("bad request should not be temporary")
+	}
+	if CodeDeadline.String() != "deadline" || CodeShutdown.String() != "shutdown" {
+		t.Fatal("error code names changed")
+	}
+}
+
+func TestErrorCodeClassification(t *testing.T) {
+	cases := []struct {
+		err  error
+		want ErrCode
+	}{
+		{serve.ErrQueueFull, CodeOverloaded},
+		{serve.ErrClosed, CodeShutdown},
+		{context.DeadlineExceeded, CodeDeadline},
+		{context.Canceled, CodeShutdown},
+		{&badRequestError{errors.New("garbled")}, CodeBadRequest},
+		{errors.New("disk fell out"), CodeInternal},
+	}
+	for _, c := range cases {
+		if got := errorCode(c.err); got != c.want {
+			t.Errorf("errorCode(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}
+
+func TestGarbageInferPayloadReturnsBadRequestCode(t *testing.T) {
+	addr, _, _, shutdown := testStack(t)
+	defer shutdown()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := WriteFrame(conn, MsgInferRequest, []byte("garbage")); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, err := ReadFrame(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != MsgError {
+		t.Fatalf("expected error frame, got %d", typ)
+	}
+	if se := DecodeError(payload); se.Code != CodeBadRequest {
+		t.Fatalf("got code %v (%q), want bad-request", se.Code, se.Msg)
+	}
+}
+
+// dialAttested connects, bootstraps trust, and completes attestation.
+func dialAttested(t *testing.T, addr string) *Client {
+	t.Helper()
+	client, err := Dial(addr, attest.NewService())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { client.Close() })
+	if err := client.FetchTrustBundle(); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Attest(); err != nil {
+		t.Fatal(err)
+	}
+	return client
+}
+
+// TestScheduledServerConcurrentClients drives N parallel clients through a
+// pipeline-backed server (bounded queue + cross-request batching) and
+// checks every result against a sequential reference run — decryption is
+// exact, so batched and unbatched serving must agree bit for bit.
+func TestScheduledServerConcurrentClients(t *testing.T) {
+	const clients = 8
+	addr, _, shutdown := testStackPipeline(t, &serve.Config{
+		Scheduler: serve.SchedulerConfig{Workers: clients, QueueDepth: 2 * clients},
+		Batcher:   serve.BatcherConfig{MaxBatch: 1 << 14, Window: 20 * time.Millisecond},
+	})
+	defer shutdown()
+
+	// Sequential reference pass over the same images.
+	ref := dialAttested(t, addr)
+	want := make([][]float64, clients)
+	for i := range want {
+		logits, err := ref.Infer(testImage(uint64(50+i)), 63)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = logits
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			client, err := Dial(addr, attest.NewService())
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer client.Close()
+			if err := client.FetchTrustBundle(); err != nil {
+				errs[i] = err
+				return
+			}
+			if err := client.Attest(); err != nil {
+				errs[i] = err
+				return
+			}
+			logits, err := client.Infer(testImage(uint64(50+i)), 63)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if len(logits) != len(want[i]) {
+				errs[i] = errors.New("logit count mismatch")
+				return
+			}
+			for j := range logits {
+				if logits[j] != want[i][j] {
+					errs[i] = errors.New("concurrent result diverged from sequential reference")
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+	}
+}
+
+// TestClosedPipelineSurfacesTypedShutdownError checks the full loop: the
+// scheduler rejects with ErrClosed, the server encodes CodeShutdown, and
+// the client surfaces a *ServerError the caller can branch on.
+func TestClosedPipelineSurfacesTypedShutdownError(t *testing.T) {
+	addr, st, shutdown := testStackPipeline(t, &serve.Config{
+		Scheduler: serve.SchedulerConfig{Workers: 1, QueueDepth: 1},
+	})
+	defer shutdown()
+	client := dialAttested(t, addr)
+	st.pipeline.Close() // server still up; scheduler drained
+
+	_, err := client.Infer(testImage(77), 63)
+	var se *ServerError
+	if !errors.As(err, &se) {
+		t.Fatalf("got %v, want *ServerError", err)
+	}
+	if se.Code != CodeShutdown {
+		t.Fatalf("got code %v (%q), want shutdown", se.Code, se.Msg)
 	}
 }
