@@ -9,7 +9,12 @@
 //	hesgx-server -model model.bin [-addr :7700] [-calibrated]
 //	             [-workers N] [-queue N] [-deadline 2s]
 //	             [-batch-window 2ms] [-batch-max 256] [-no-batching]
-//	             [-stats-interval 30s]
+//	             [-stats-interval 30s] [-admin :9090] [-trace-buffer 64]
+//
+// With -admin set, an HTTP observability endpoint serves Prometheus
+// text-format metrics at /metrics, Go profiles under /debug/pprof/, the
+// last -trace-buffer request traces as Chrome trace JSON at /traces/last,
+// and a queue/shed-rate readiness probe at /healthz.
 package main
 
 import (
@@ -23,10 +28,12 @@ import (
 	"syscall"
 	"time"
 
+	"hesgx/internal/admin"
 	"hesgx/internal/core"
 	"hesgx/internal/nn"
 	"hesgx/internal/serve"
 	"hesgx/internal/sgx"
+	"hesgx/internal/trace"
 	"hesgx/internal/wire"
 )
 
@@ -45,6 +52,8 @@ func run() int {
 	batchMax := flag.Int("batch-max", 0, "max ciphertexts per batched ECALL (0: default 256)")
 	noBatching := flag.Bool("no-batching", false, "disable cross-request ECALL batching")
 	statsInterval := flag.Duration("stats-interval", 30*time.Second, "serving-stats log interval (0: off)")
+	adminAddr := flag.String("admin", "", "admin endpoint address for /metrics, /debug/pprof, /traces/last, /healthz (empty: off)")
+	traceBuffer := flag.Int("trace-buffer", trace.DefaultBufferSize, "request traces retained for /traces/last")
 	flag.Parse()
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 
@@ -85,6 +94,10 @@ func run() int {
 		return 1
 	}
 
+	queueCapacity := *queueDepth
+	if queueCapacity <= 0 {
+		queueCapacity = serve.DefaultSchedulerConfig().QueueDepth
+	}
 	pipeline := serve.NewPipeline(engine, svc, serve.Config{
 		Scheduler: serve.SchedulerConfig{
 			Workers:    *workers,
@@ -96,19 +109,41 @@ func run() int {
 			Window:   *batchWindow,
 		},
 		DisableBatching: *noBatching,
+		Tracer:          trace.NewTracer(*traceBuffer),
 	})
-	defer pipeline.Close()
 
-	srv, err := wire.NewServer(svc, engine, logger, wire.WithInferrer(pipeline))
+	srv, err := wire.NewServer(svc, engine, logger,
+		wire.WithInferrer(pipeline), wire.WithTracer(pipeline.Tracer))
 	if err != nil {
 		logger.Error("creating server", "err", err)
 		return 1
 	}
+	// Close is idempotent: the explicit shutdown path below closes the
+	// pipeline before the final snapshot; this defer covers error returns.
+	defer pipeline.Close()
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		logger.Error("listening", "addr", *addr, "err", err)
 		return 1
 	}
+
+	var adminSrv *admin.Server
+	if *adminAddr != "" {
+		handler := admin.Handler(admin.Config{
+			Metrics:       pipeline.Metrics,
+			Tracer:        pipeline.Tracer,
+			Platform:      platform.Snapshot,
+			QueueCapacity: queueCapacity,
+		})
+		adminSrv, err = admin.Start(*adminAddr, handler)
+		if err != nil {
+			logger.Error("starting admin endpoint", "err", err)
+			return 1
+		}
+		logger.Info("admin endpoint ready", "addr", adminSrv.Addr())
+	}
+
 	m := svc.Enclave().Measurement()
 	logger.Info("edge server ready",
 		"addr", ln.Addr().String(),
@@ -141,8 +176,31 @@ func run() int {
 		}()
 	}
 
-	if err := srv.Serve(ctx, ln); err != nil {
-		logger.Error("serving", "err", err)
+	serveErr := srv.Serve(ctx, ln)
+
+	// Orderly shutdown: drain the pipeline first so straggler batches
+	// flush and their metrics land, then stop the admin listener, then
+	// emit the final snapshot — shutdown always reports complete totals
+	// even when no -stats-interval ticker ever fired.
+	pipeline.Close()
+	if adminSrv != nil {
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		if err := adminSrv.Shutdown(sctx); err != nil {
+			logger.Warn("admin shutdown", "err", err)
+		}
+		cancel()
+	}
+	snap := platform.Snapshot()
+	logger.Info("final serving stats",
+		"ecalls", snap.ECalls,
+		"ocalls", snap.OCalls,
+		"page_faults", snap.PageFaults,
+		"injected_overhead", snap.InjectedOverhead,
+		"metrics", pipeline.Metrics.String(),
+	)
+
+	if serveErr != nil {
+		logger.Error("serving", "err", serveErr)
 		return 1
 	}
 	logger.Info("shut down cleanly")

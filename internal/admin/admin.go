@@ -1,0 +1,181 @@
+// Package admin is the edge server's observability endpoint: a plain
+// net/http mux serving Prometheus text-format metrics, Go pprof profiles,
+// the request-trace flight recorder as Chrome trace JSON, and a readiness
+// probe driven by queue depth and shed rate. It is deliberately separate
+// from the inference wire protocol — operators scrape it, clients never
+// see it.
+package admin
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"sync"
+	"time"
+
+	"hesgx/internal/sgx"
+	"hesgx/internal/stats"
+	"hesgx/internal/trace"
+)
+
+// Config assembles the admin handler from the serving stack's
+// observability surfaces. Every field is optional; missing ones degrade
+// the corresponding endpoint gracefully.
+type Config struct {
+	// Metrics is the serving pipeline's registry, rendered at /metrics.
+	Metrics *stats.Registry
+	// Tracer is the request flight recorder served at /traces/last.
+	Tracer *trace.Tracer
+	// Platform, when set, is snapshotted on each /metrics scrape and
+	// rendered as sgx_* counters (transitions, paging, injected
+	// overhead).
+	Platform func() sgx.Stats
+	// QueueCapacity is the scheduler's admission queue depth, the
+	// denominator of the /healthz queue-saturation check (0: skipped).
+	QueueCapacity int
+	// ShedRateLimit fails readiness when the fraction of submissions
+	// rejected since the previous /healthz poll exceeds it (0: default
+	// 0.5).
+	ShedRateLimit float64
+}
+
+// health tracks counter deltas between consecutive readiness polls so the
+// shed rate reflects current behaviour, not lifetime averages.
+type health struct {
+	mu            sync.Mutex
+	lastSubmitted int64
+	lastRejected  int64
+}
+
+// Handler builds the admin endpoint mux.
+func Handler(cfg Config) http.Handler {
+	if cfg.ShedRateLimit <= 0 {
+		cfg.ShedRateLimit = 0.5
+	}
+	h := &health{}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		cfg.Metrics.WritePrometheus(w)
+		if cfg.Platform != nil {
+			writePlatformStats(w, cfg.Platform())
+		}
+	})
+	mux.HandleFunc("/traces/last", func(w http.ResponseWriter, r *http.Request) {
+		n := 0 // all retained
+		if q := r.URL.Query().Get("n"); q != "" {
+			v, err := strconv.Atoi(q)
+			if err != nil || v < 0 {
+				http.Error(w, "bad n", http.StatusBadRequest)
+				return
+			}
+			n = v
+		}
+		raw, err := trace.ChromeTrace(cfg.Tracer.Last(n))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(raw)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		status, body := h.check(cfg)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		_ = json.NewEncoder(w).Encode(body)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// check evaluates readiness: the queue must not be saturated and the
+// recent shed rate must stay under the limit.
+func (h *health) check(cfg Config) (int, map[string]any) {
+	depth := cfg.Metrics.Gauge("serve.queue.depth").Value()
+	submitted := cfg.Metrics.Counter("serve.jobs.submitted").Value()
+	rejected := cfg.Metrics.Counter("serve.jobs.rejected").Value()
+
+	h.mu.Lock()
+	dSub := submitted - h.lastSubmitted
+	dRej := rejected - h.lastRejected
+	h.lastSubmitted = submitted
+	h.lastRejected = rejected
+	h.mu.Unlock()
+
+	shedRate := 0.0
+	if dSub+dRej > 0 {
+		shedRate = float64(dRej) / float64(dSub+dRej)
+	}
+	body := map[string]any{
+		"status":      "ok",
+		"queue_depth": depth,
+		"shed_rate":   shedRate,
+	}
+	switch {
+	case cfg.QueueCapacity > 0 && depth >= int64(cfg.QueueCapacity):
+		body["status"] = "queue saturated"
+		return http.StatusServiceUnavailable, body
+	case dRej > 0 && shedRate > cfg.ShedRateLimit:
+		body["status"] = "shedding load"
+		return http.StatusServiceUnavailable, body
+	default:
+		return http.StatusOK, body
+	}
+}
+
+// writePlatformStats renders the SGX platform aggregate in Prometheus
+// text format next to the registry metrics.
+func writePlatformStats(w http.ResponseWriter, s sgx.Stats) {
+	fmt.Fprintf(w, "# TYPE sgx_ecalls_total counter\nsgx_ecalls_total %d\n", s.ECalls)
+	fmt.Fprintf(w, "# TYPE sgx_ocalls_total counter\nsgx_ocalls_total %d\n", s.OCalls)
+	fmt.Fprintf(w, "# TYPE sgx_transitions_total counter\nsgx_transitions_total %d\n", s.Transitions())
+	fmt.Fprintf(w, "# TYPE sgx_page_faults_total counter\nsgx_page_faults_total %d\n", s.PageFaults)
+	fmt.Fprintf(w, "# TYPE sgx_injected_overhead_seconds_total counter\nsgx_injected_overhead_seconds_total %g\n", s.InjectedOverhead.Seconds())
+	fmt.Fprintf(w, "# TYPE sgx_enclave_compute_seconds_total counter\nsgx_enclave_compute_seconds_total %g\n", s.EnclaveCompute.Seconds())
+}
+
+// Server runs the admin handler on its own listener with clean shutdown.
+type Server struct {
+	http *http.Server
+	ln   net.Listener
+	done chan error
+}
+
+// Start listens on addr and serves the admin handler in the background.
+func Start(addr string, handler http.Handler) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("admin: listening on %s: %w", addr, err)
+	}
+	s := &Server{
+		http: &http.Server{Handler: handler, ReadHeaderTimeout: 5 * time.Second},
+		ln:   ln,
+		done: make(chan error, 1),
+	}
+	go func() { s.done <- s.http.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound listener address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Shutdown closes the listener and drains in-flight admin requests.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if err := s.http.Shutdown(ctx); err != nil {
+		return err
+	}
+	if err := <-s.done; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

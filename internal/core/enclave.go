@@ -17,6 +17,7 @@ import (
 	"hesgx/internal/he"
 	"hesgx/internal/ring"
 	"hesgx/internal/sgx"
+	"hesgx/internal/stats"
 )
 
 // lockedSource serializes access to a randomness source so concurrent
@@ -60,9 +61,18 @@ type EnclaveService struct {
 	params  he.Parameters
 	enclave *sgx.Enclave
 
+	// metrics, when set, receives per-ECALL latency histograms and
+	// transition/paging counters (untrusted-side observability only).
+	metrics *stats.Registry
+
 	// trusted state (conceptually inside the enclave)
 	state *enclaveState
 }
+
+// SetMetrics attaches a registry that receives per-ECALL latency
+// histograms ("ecall.<op>_ms") and transition/page-fault counters from
+// every Nonlinear call. Call before serving traffic.
+func (s *EnclaveService) SetMetrics(reg *stats.Registry) { s.metrics = reg }
 
 // enclaveState is the data held inside the enclave. The FV keys rest as
 // serialized blobs (as they would in sealed storage); every ECALL loads and

@@ -11,6 +11,7 @@ import (
 	"hesgx/internal/he"
 	"hesgx/internal/nn"
 	"hesgx/internal/stats"
+	"hesgx/internal/trace"
 )
 
 // PoolStrategy selects where pooling happens (§VI-D).
@@ -395,6 +396,8 @@ func (e *HybridEngine) InferContext(ctx context.Context, img *CipherImage) (*Inf
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("core: step %d: %w", i, err)
 		}
+		sctx, span := trace.StartSpan(ctx, "layer."+s.kind.String(), "engine")
+		span.Arg("step", float64(i)).Arg("cts_in", float64(len(cts)))
 		start := time.Now()
 		var err error
 		switch s.kind {
@@ -402,10 +405,10 @@ func (e *HybridEngine) InferContext(ctx context.Context, img *CipherImage) (*Inf
 			cts, c, h, w, err = e.runConvParallel(s, cts, c, h, w, e.effectiveWorkers())
 			scale *= float64(e.cfg.WeightScale)
 		case stepAct:
-			cts, err = e.runActivation(ctx, s, cts, uint64(scale))
+			cts, err = e.runActivation(sctx, s, cts, uint64(scale))
 			scale = float64(e.cfg.ActScale)
 		case stepPool:
-			cts, h, w, err = e.runPool(ctx, s, cts, c, h, w)
+			cts, h, w, err = e.runPool(sctx, s, cts, c, h, w)
 		case stepFlatten:
 			// No-op on the flat ciphertext slice.
 		case stepFC:
@@ -413,11 +416,12 @@ func (e *HybridEngine) InferContext(ctx context.Context, img *CipherImage) (*Inf
 			scale *= float64(e.cfg.WeightScale)
 			c, h, w = len(cts), 1, 1
 		}
+		span.End()
 		if err != nil {
 			return nil, fmt.Errorf("core: step %d: %w", i, err)
 		}
 		if e.metrics != nil && s.kind != stepFlatten {
-			e.metrics.Observe("engine.layer."+s.kind.String()+"_ms",
+			e.metrics.ObserveHistogram("engine.layer."+s.kind.String()+"_ms",
 				float64(time.Since(start).Microseconds())/1000.0)
 		}
 	}

@@ -3,8 +3,10 @@ package core
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"hesgx/internal/he"
+	"hesgx/internal/trace"
 )
 
 // Server-side (untrusted) wrappers over the enclave's ECALLs. These run in
@@ -38,12 +40,34 @@ func (s *EnclaveService) Nonlinear(ctx context.Context, op NonlinearOp, cts []*h
 		// dequantize/requantize envelope.
 		payload = op.request(batch).marshal()
 	}
-	out, err := s.enclave.ECallContext(ctx, name, payload)
+	_, span := trace.StartSpan(ctx, "ecall."+op.Kind.String(), "sgx")
+	start := time.Now()
+	out, cs, err := s.enclave.ECallContextStats(ctx, name, payload)
+	wall := time.Since(start)
 	if err != nil {
+		span.Arg("error", 1).End()
 		return nil, err
+	}
+	// Attribute this boundary crossing's simulated SGX cost to the
+	// request(s) that paid it — a batched call's span lands in every
+	// joined trace.
+	span.Arg("cts", float64(len(cts))).
+		Arg("transitions", float64(cs.Transitions())).
+		Arg("page_faults", float64(cs.PageFaults)).
+		Arg("overhead_ms", durMS(cs.Overhead)).
+		Arg("compute_ms", durMS(cs.Compute)).
+		End()
+	if s.metrics != nil {
+		s.metrics.ObserveHistogram("ecall."+op.Kind.String()+"_ms", durMS(wall))
+		s.metrics.Counter("ecall.transitions").Add(int64(cs.Transitions()))
+		s.metrics.Counter("ecall.page_faults").Add(int64(cs.PageFaults))
 	}
 	return decodeCiphertextBatch(out, s.params)
 }
+
+// durMS converts a duration to fractional milliseconds, the unit every
+// latency metric uses.
+func durMS(d time.Duration) float64 { return float64(d.Microseconds()) / 1000.0 }
 
 // Sigmoid sends a batch through the enclave Sigmoid path: each ciphertext
 // holds one quantized value at inScale; results come back quantized at

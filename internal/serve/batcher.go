@@ -9,6 +9,7 @@ import (
 	"hesgx/internal/core"
 	"hesgx/internal/he"
 	"hesgx/internal/stats"
+	"hesgx/internal/trace"
 )
 
 // Batcher is a batching proxy in front of an enclave service: it coalesces
@@ -61,13 +62,18 @@ func DefaultBatcherConfig() BatcherConfig {
 // flushResult carries one waiter's demultiplexed share of a flushed batch.
 type flushResult struct {
 	outs []*he.Ciphertext
-	err  error
+	// requests is the batch occupancy: how many callers shared the flush.
+	requests int
+	err      error
 }
 
 // waiter is one caller blocked on a pending batch.
 type waiter struct {
 	cts  []*he.Ciphertext
 	done chan flushResult // buffered; flush never blocks on delivery
+	// ctx carries the waiter's trace attachment; the flush joins every
+	// waiter's context so the shared ECALL span lands in each trace.
+	ctx context.Context
 }
 
 // bucket accumulates waiters for one op value.
@@ -105,11 +111,13 @@ func (b *Batcher) Nonlinear(ctx context.Context, op core.NonlinearOp, cts []*he.
 		b.metrics.Counter("serve.ecalls.direct").Inc()
 		return b.svc.Nonlinear(ctx, op, cts)
 	}
-	w := &waiter{cts: cts, done: make(chan flushResult, 1)}
+	wctx, wspan := trace.StartSpan(ctx, "batch.wait", "serve")
+	w := &waiter{cts: cts, done: make(chan flushResult, 1), ctx: wctx}
 
 	b.mu.Lock()
 	if b.closed {
 		b.mu.Unlock()
+		wspan.End()
 		b.metrics.Counter("serve.ecalls.direct").Inc()
 		return b.svc.Nonlinear(ctx, op, cts)
 	}
@@ -134,10 +142,12 @@ func (b *Batcher) Nonlinear(ctx context.Context, op core.NonlinearOp, cts []*he.
 
 	select {
 	case r := <-w.done:
+		wspan.Arg("shared_requests", float64(r.requests)).End()
 		return r.outs, r.err
 	case <-ctx.Done():
 		// The batch still executes (other waiters need it); this caller
 		// just stops waiting for its share.
+		wspan.Arg("abandoned", 1).End()
 		return nil, ctx.Err()
 	}
 }
@@ -159,27 +169,35 @@ func (b *Batcher) flushOp(op core.NonlinearOp, bkt *bucket) {
 // flush executes one coalesced ECALL and demultiplexes the results.
 func (b *Batcher) flush(bkt *bucket) {
 	all := make([]*he.Ciphertext, 0, bkt.count)
+	wctxs := make([]context.Context, 0, len(bkt.waiters))
 	for _, w := range bkt.waiters {
 		all = append(all, w.cts...)
+		wctxs = append(wctxs, w.ctx)
 	}
 	b.metrics.Counter("serve.ecalls.batched").Inc()
 	b.metrics.Counter("serve.ecalls.saved").Add(int64(len(bkt.waiters) - 1))
-	b.metrics.Observe("serve.batch.occupancy_requests", float64(len(bkt.waiters)))
-	b.metrics.Observe("serve.batch.occupancy_cts", float64(len(all)))
+	b.metrics.ObserveHistogram("serve.batch.occupancy_requests", float64(len(bkt.waiters)))
+	b.metrics.ObserveHistogram("serve.batch.occupancy_cts", float64(len(all)))
 
 	// The flush runs under its own context: individual callers may have
 	// been cancelled, but the remaining waiters still need the result.
-	outs, err := b.svc.Nonlinear(context.Background(), bkt.op, all)
+	// Joining the waiters' contexts attributes the shared ECALL span (and
+	// its transition cost) to every request's trace without inheriting
+	// any caller's cancellation.
+	fctx, fspan := trace.StartSpan(trace.Join(context.Background(), wctxs...), "batch.flush", "serve")
+	fspan.Arg("requests", float64(len(bkt.waiters))).Arg("cts", float64(len(all)))
+	outs, err := b.svc.Nonlinear(fctx, bkt.op, all)
+	fspan.End()
 	if err == nil && len(outs) != len(all) {
 		err = fmt.Errorf("serve: batched %s returned %d ciphertexts for %d inputs", bkt.op.Kind, len(outs), len(all))
 	}
 	off := 0
 	for _, w := range bkt.waiters {
 		if err != nil {
-			w.done <- flushResult{err: err}
+			w.done <- flushResult{requests: len(bkt.waiters), err: err}
 			continue
 		}
-		w.done <- flushResult{outs: outs[off : off+len(w.cts)]}
+		w.done <- flushResult{outs: outs[off : off+len(w.cts)], requests: len(bkt.waiters)}
 		off += len(w.cts)
 	}
 }

@@ -9,6 +9,7 @@ import (
 
 	"hesgx/internal/core"
 	"hesgx/internal/stats"
+	"hesgx/internal/trace"
 )
 
 // Scheduler admission errors.
@@ -62,6 +63,9 @@ type job struct {
 	img      *core.CipherImage
 	res      chan jobResult // buffered; workers never block on delivery
 	enqueued time.Time
+	// qspan traces the queue wait: opened at submission, closed when a
+	// worker picks the job up (or it expires in the queue).
+	qspan *trace.SpanHandle
 }
 
 // Scheduler admits inference jobs through a bounded queue and runs them on
@@ -114,10 +118,14 @@ func (s *Scheduler) Infer(ctx context.Context, img *core.CipherImage) (*core.Inf
 			defer cancel()
 		}
 	}
-	j := &job{ctx: ctx, img: img, res: make(chan jobResult, 1), enqueued: time.Now()}
+	// queue.wait is a leaf span: the job keeps the submitter's context, so
+	// the inference run traces as its sibling, not its child.
+	_, qspan := trace.StartSpan(ctx, "queue.wait", "serve")
+	j := &job{ctx: ctx, img: img, res: make(chan jobResult, 1), enqueued: time.Now(), qspan: qspan}
 
 	select {
 	case <-s.closed:
+		qspan.Arg("rejected", 1).End()
 		return nil, ErrClosed
 	default:
 	}
@@ -127,6 +135,7 @@ func (s *Scheduler) Infer(ctx context.Context, img *core.CipherImage) (*core.Inf
 		s.metrics.Gauge("serve.queue.depth").Set(int64(len(s.queue)))
 	default:
 		s.metrics.Counter("serve.jobs.rejected").Inc()
+		qspan.Arg("rejected", 1).End()
 		return nil, ErrQueueFull
 	}
 
@@ -157,22 +166,26 @@ func (s *Scheduler) worker() {
 // run executes one job and delivers its result.
 func (s *Scheduler) run(j *job) {
 	s.metrics.Gauge("serve.queue.depth").Set(int64(len(s.queue)))
-	s.metrics.Observe("serve.job.queue_wait_ms", float64(time.Since(j.enqueued).Microseconds())/1000.0)
+	s.metrics.ObserveHistogram("serve.job.queue_wait_ms", float64(time.Since(j.enqueued).Microseconds())/1000.0)
 	if err := j.ctx.Err(); err != nil {
 		// Deadline or disconnect while queued: never enter the enclave.
 		s.metrics.Counter("serve.jobs.expired").Inc()
+		j.qspan.Arg("expired", 1).End()
 		j.res <- jobResult{err: err}
 		return
 	}
+	j.qspan.End()
 	s.metrics.Gauge("serve.jobs.inflight").Add(1)
+	ictx, ispan := trace.StartSpan(j.ctx, "infer.run", "serve")
 	start := time.Now()
-	res, err := s.backend.InferContext(j.ctx, j.img)
+	res, err := s.backend.InferContext(ictx, j.img)
+	ispan.End()
 	s.metrics.Gauge("serve.jobs.inflight").Add(-1)
 	if err != nil {
 		s.metrics.Counter("serve.jobs.failed").Inc()
 	} else {
 		s.metrics.Counter("serve.jobs.completed").Inc()
-		s.metrics.Observe("serve.job.latency_ms", float64(time.Since(start).Microseconds())/1000.0)
+		s.metrics.ObserveHistogram("serve.job.latency_ms", float64(time.Since(start).Microseconds())/1000.0)
 	}
 	j.res <- jobResult{res: res, err: err}
 }
@@ -186,6 +199,7 @@ func (s *Scheduler) Close() {
 		for {
 			select {
 			case j := <-s.queue:
+				j.qspan.Arg("closed", 1).End()
 				j.res <- jobResult{err: ErrClosed}
 			default:
 				return

@@ -23,6 +23,7 @@ import (
 
 	"hesgx/internal/core"
 	"hesgx/internal/stats"
+	"hesgx/internal/trace"
 )
 
 // Config assembles a full serving pipeline.
@@ -35,6 +36,10 @@ type Config struct {
 	// Metrics is the registry shared by every pipeline stage (nil: a new
 	// registry is created).
 	Metrics *stats.Registry
+	// Tracer retains per-request span traces (nil: a tracer with the
+	// default ring-buffer size is created — tracing is always on; its
+	// per-span cost is negligible against HE layer times).
+	Tracer *trace.Tracer
 }
 
 // Pipeline owns the serving stages wired over one engine.
@@ -42,20 +47,27 @@ type Pipeline struct {
 	Scheduler *Scheduler
 	Batcher   *Batcher // nil when batching is disabled
 	Metrics   *stats.Registry
+	Tracer    *trace.Tracer
 }
 
 // NewPipeline wires engine and its enclave service into a serving
-// pipeline: per-layer engine metrics, the batching proxy on the engine's
-// enclave path (unless disabled), and the admission scheduler on top.
-// The engine must not serve traffic through other paths afterwards — the
-// pipeline re-routes its non-linear calls.
+// pipeline: per-layer engine metrics and spans, per-ECALL cost
+// attribution, the batching proxy on the engine's enclave path (unless
+// disabled), and the admission scheduler on top. The engine must not
+// serve traffic through other paths afterwards — the pipeline re-routes
+// its non-linear calls.
 func NewPipeline(engine *core.HybridEngine, svc *core.EnclaveService, cfg Config) *Pipeline {
 	reg := cfg.Metrics
 	if reg == nil {
 		reg = stats.NewRegistry()
 	}
+	tracer := cfg.Tracer
+	if tracer == nil {
+		tracer = trace.NewTracer(trace.DefaultBufferSize)
+	}
 	engine.SetMetrics(reg)
-	p := &Pipeline{Metrics: reg}
+	svc.SetMetrics(reg)
+	p := &Pipeline{Metrics: reg, Tracer: tracer}
 	if !cfg.DisableBatching {
 		bcfg := cfg.Batcher
 		bcfg.Metrics = reg
@@ -70,8 +82,15 @@ func NewPipeline(engine *core.HybridEngine, svc *core.EnclaveService, cfg Config
 	return p
 }
 
-// Infer submits an inference through the pipeline.
+// Infer submits an inference through the pipeline. If the caller did not
+// attach a request trace (the wire server does), the pipeline starts one
+// so direct users get the same flight-recorder coverage.
 func (p *Pipeline) Infer(ctx context.Context, img *core.CipherImage) (*core.InferenceResult, error) {
+	if trace.FromContext(ctx) == nil {
+		tr := p.Tracer.Start("infer")
+		ctx = trace.With(ctx, tr)
+		defer p.Tracer.Finish(tr)
+	}
 	return p.Scheduler.Infer(ctx, img)
 }
 

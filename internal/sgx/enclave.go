@@ -97,6 +97,11 @@ type Context struct {
 	// workingSet accumulates bytes Touch()ed during the call for the EPC
 	// paging model.
 	workingSet int
+	// ocalls / ocallOverhead attribute boundary exits made during this
+	// call to it (CallStats). Trusted code runs an ECALL on one
+	// goroutine, so plain fields suffice.
+	ocalls        uint64
+	ocallOverhead time.Duration
 }
 
 // Touch informs the EPC model that trusted code worked over n bytes of
@@ -129,8 +134,30 @@ func (c *Context) OCall(fn func() error) error {
 	over := p.jittered(p.cost.TransitionLatency)
 	inject(over)
 	p.recordOCall(over)
+	c.ocalls++
+	c.ocallOverhead += over
 	return fn()
 }
+
+// CallStats attributes one ECALL's simulated SGX cost to its caller, so
+// per-request traces can decompose enclave time the way the platform-wide
+// Stats aggregate does.
+type CallStats struct {
+	// OCalls counts boundary exits trusted code made during the call.
+	OCalls uint64
+	// PageFaults counts EPC paging events charged to the call.
+	PageFaults uint64
+	// Overhead is the injected SGX tax: the ECALL transition, in-enclave
+	// slowdown, paging, plus any OCALL transitions.
+	Overhead time.Duration
+	// Compute is the trusted code's wall-clock (including time spent in
+	// OCALLs it issued).
+	Compute time.Duration
+}
+
+// Transitions counts the boundary crossings the call paid: the ECALL
+// itself plus its OCALLs.
+func (cs CallStats) Transitions() uint64 { return 1 + cs.OCalls }
 
 // ECallContext is ECall with cancellation at the boundary: if ctx is
 // already done the call fails before paying the enclave transition.
@@ -138,25 +165,39 @@ func (c *Context) OCall(fn func() error) error {
 // to completion), so cancellation mid-call is not attempted — the check
 // keeps cancelled requests from queueing new transitions.
 func (e *Enclave) ECallContext(ctx context.Context, name string, input []byte) ([]byte, error) {
+	out, _, err := e.ECallContextStats(ctx, name, input)
+	return out, err
+}
+
+// ECallContextStats is ECallContext returning the call's attributed cost.
+func (e *Enclave) ECallContextStats(ctx context.Context, name string, input []byte) ([]byte, CallStats, error) {
 	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("sgx: ECALL %q not entered: %w", name, err)
+		return nil, CallStats{}, fmt.Errorf("sgx: ECALL %q not entered: %w", name, err)
 	}
-	return e.ECall(name, input)
+	return e.ECallStats(name, input)
 }
 
 // ECall invokes a named entry point inside the enclave: the input crosses
 // the boundary, trusted code runs under the cost model (slowdown, paging,
 // jitter), and the output crosses back.
 func (e *Enclave) ECall(name string, input []byte) ([]byte, error) {
+	out, _, err := e.ECallStats(name, input)
+	return out, err
+}
+
+// ECallStats is ECall returning the call's attributed cost, whether or
+// not the trusted code succeeded (a failed call still paid its
+// transitions).
+func (e *Enclave) ECallStats(name string, input []byte) ([]byte, CallStats, error) {
 	e.mu.Lock()
 	if e.destroyed {
 		e.mu.Unlock()
-		return nil, fmt.Errorf("sgx: enclave %q is destroyed", e.name)
+		return nil, CallStats{}, fmt.Errorf("sgx: enclave %q is destroyed", e.name)
 	}
 	fn, ok := e.ecalls[name]
 	e.mu.Unlock()
 	if !ok {
-		return nil, fmt.Errorf("sgx: enclave %q has no ECALL %q", e.name, name)
+		return nil, CallStats{}, fmt.Errorf("sgx: enclave %q has no ECALL %q", e.name, name)
 	}
 
 	ctx := &Context{enclave: e}
@@ -169,8 +210,14 @@ func (e *Enclave) ECall(name string, input []byte) ([]byte, error) {
 	overhead, faults := e.platform.overheadFor(compute, ctx.workingSet)
 	inject(overhead)
 	e.platform.recordECall(overhead, compute, faults)
-	if err != nil {
-		return nil, fmt.Errorf("sgx: ECALL %q: %w", name, err)
+	cs := CallStats{
+		OCalls:     ctx.ocalls,
+		PageFaults: faults,
+		Overhead:   overhead + ctx.ocallOverhead,
+		Compute:    compute,
 	}
-	return out, nil
+	if err != nil {
+		return nil, cs, fmt.Errorf("sgx: ECALL %q: %w", name, err)
+	}
+	return out, cs, nil
 }

@@ -412,3 +412,84 @@ func TestEnclaveAccessors(t *testing.T) {
 		t.Fatalf("Cost accessor: %+v", p.Cost())
 	}
 }
+
+func TestECallStatsAttribution(t *testing.T) {
+	// A tiny EPC forces paging; an OCALL inside the call must be
+	// attributed to it; the platform aggregate must match the per-call
+	// deltas.
+	cost := CostModel{
+		TransitionLatency: 100 * time.Microsecond,
+		InEnclaveSlowdown: 1.0,
+		EPCBytes:          4096,
+		PageBytes:         4096,
+		PagingLatency:     10 * time.Microsecond,
+	}
+	p, err := NewPlatform(cost, WithJitterSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := p.Launch(Definition{
+		Name:    "attr",
+		Version: "1.0",
+		ECalls: map[string]ECallFunc{
+			"work": func(ctx *Context, in []byte) ([]byte, error) {
+				ctx.Touch(64 << 10) // 64 KiB working set: faults against the 4 KiB EPC
+				if err := ctx.OCall(func() error { return nil }); err != nil {
+					return nil, err
+				}
+				return in, nil
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := p.Snapshot()
+	_, cs, err := e.ECallStats("work", []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.OCalls != 1 {
+		t.Fatalf("OCalls = %d, want 1", cs.OCalls)
+	}
+	if cs.Transitions() != 2 {
+		t.Fatalf("Transitions = %d, want 2", cs.Transitions())
+	}
+	if cs.PageFaults == 0 {
+		t.Fatal("expected page faults with a 4 KiB EPC")
+	}
+	if cs.Overhead <= 0 || cs.Compute < 0 {
+		t.Fatalf("overhead/compute = %v/%v", cs.Overhead, cs.Compute)
+	}
+	delta := p.Snapshot().Sub(before)
+	if delta.ECalls != 1 || delta.OCalls != cs.OCalls || delta.PageFaults != cs.PageFaults {
+		t.Fatalf("platform delta %+v disagrees with call stats %+v", delta, cs)
+	}
+	if delta.InjectedOverhead != cs.Overhead {
+		t.Fatalf("platform overhead %v != attributed %v", delta.InjectedOverhead, cs.Overhead)
+	}
+}
+
+func TestECallStatsOnError(t *testing.T) {
+	p := zeroPlatform(t)
+	e, err := p.Launch(Definition{
+		Name:    "failing",
+		Version: "1.0",
+		ECalls: map[string]ECallFunc{
+			"boom": func(_ *Context, _ []byte) ([]byte, error) {
+				return nil, errors.New("trusted failure")
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, cs, err := e.ECallStats("boom", nil)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	// The failed call still paid its transition.
+	if cs.Transitions() != 1 {
+		t.Fatalf("Transitions = %d, want 1", cs.Transitions())
+	}
+}

@@ -1,0 +1,185 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Histogram accumulates observations into log-scaled buckets, replacing
+// bare Sample on serving hot paths: it answers quantile queries (which a
+// count/sum/min/max accumulator cannot) while staying lock-free on
+// Observe. Buckets double from 1e-3 to ~134e3 in the caller's unit —
+// for latency in milliseconds that spans 1 µs to ~2 minutes, the full
+// range between a single homomorphic add and a pathological batched
+// inference.
+
+// histMinBound is the upper bound of the first bucket.
+const histMinBound = 1e-3
+
+// histBucketCount is the number of bounded buckets; one more unbounded
+// bucket catches overflow.
+const histBucketCount = 28
+
+// histBounds are the inclusive upper bounds of the bounded buckets:
+// histMinBound * 2^i.
+var histBounds = func() []float64 {
+	b := make([]float64, histBucketCount)
+	v := histMinBound
+	for i := range b {
+		b[i] = v
+		v *= 2
+	}
+	return b
+}()
+
+// HistogramBounds returns the bucket upper bounds (shared by every
+// histogram; callers must not mutate).
+func HistogramBounds() []float64 { return histBounds }
+
+// Histogram is safe for concurrent use; Observe is wait-free except for a
+// one-time init and bounded CAS loops on sum/min/max.
+type Histogram struct {
+	once    sync.Once
+	counts  [histBucketCount + 1]atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+	minBits atomic.Uint64
+	maxBits atomic.Uint64
+}
+
+func (h *Histogram) init() {
+	h.once.Do(func() {
+		h.minBits.Store(math.Float64bits(math.Inf(1)))
+		h.maxBits.Store(math.Float64bits(math.Inf(-1)))
+	})
+}
+
+// bucketIndex returns the bucket for x: the first bucket whose upper
+// bound is >= x, or the overflow bucket.
+func bucketIndex(x float64) int {
+	if x <= histBounds[0] {
+		return 0
+	}
+	return sort.SearchFloat64s(histBounds, x)
+}
+
+// Observe folds one observation into the histogram. NaN is dropped.
+func (h *Histogram) Observe(x float64) {
+	if math.IsNaN(x) {
+		return
+	}
+	h.init()
+	h.counts[bucketIndex(x)].Add(1)
+	h.count.Add(1)
+	atomicAddFloat(&h.sumBits, x)
+	atomicMinFloat(&h.minBits, x)
+	atomicMaxFloat(&h.maxBits, x)
+}
+
+func atomicAddFloat(bits *atomic.Uint64, x float64) {
+	for {
+		old := bits.Load()
+		if bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+x)) {
+			return
+		}
+	}
+}
+
+func atomicMinFloat(bits *atomic.Uint64, x float64) {
+	for {
+		old := bits.Load()
+		if x >= math.Float64frombits(old) || bits.CompareAndSwap(old, math.Float64bits(x)) {
+			return
+		}
+	}
+}
+
+func atomicMaxFloat(bits *atomic.Uint64, x float64) {
+	for {
+		old := bits.Load()
+		if x <= math.Float64frombits(old) || bits.CompareAndSwap(old, math.Float64bits(x)) {
+			return
+		}
+	}
+}
+
+// HistogramSnapshot is a point-in-time copy of a Histogram.
+type HistogramSnapshot struct {
+	// Counts holds per-bucket (not cumulative) counts; the final entry is
+	// the unbounded overflow bucket.
+	Counts []uint64
+	Count  uint64
+	Sum    float64
+	// Min and Max are the extreme observed values (undefined when Count
+	// is 0; use Empty).
+	Min, Max float64
+}
+
+// Snapshot copies the histogram's accumulators. The copy is not atomic
+// across buckets — concurrent Observes may straddle it — but each bucket
+// and the totals are individually consistent, which is all quantile
+// estimation needs.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	h.init()
+	s := HistogramSnapshot{
+		Counts: make([]uint64, histBucketCount+1),
+		Count:  h.count.Load(),
+		Sum:    math.Float64frombits(h.sumBits.Load()),
+		Min:    math.Float64frombits(h.minBits.Load()),
+		Max:    math.Float64frombits(h.maxBits.Load()),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// Empty reports whether the histogram has no observations.
+func (s HistogramSnapshot) Empty() bool { return s.Count == 0 }
+
+// Mean returns the mean of the observations (0 when empty).
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// Quantile estimates the q-quantile (q in [0, 1]) by linear interpolation
+// within the bucket holding the target rank, clamped to the observed
+// [Min, Max]. Returns 0 when empty.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return s.Min
+	}
+	if q >= 1 {
+		return s.Max
+	}
+	target := q * float64(s.Count)
+	var cum float64
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if next >= target {
+			var lo float64
+			if i > 0 {
+				lo = histBounds[i-1]
+			}
+			hi := s.Max
+			if i < len(histBounds) {
+				hi = histBounds[i]
+			}
+			est := lo + (hi-lo)*(target-cum)/float64(c)
+			return math.Max(s.Min, math.Min(s.Max, est))
+		}
+		cum = next
+	}
+	return s.Max
+}

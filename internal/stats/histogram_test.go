@@ -1,0 +1,159 @@
+package stats
+
+import (
+	"math"
+	mrand "math/rand/v2"
+	"sync"
+	"testing"
+)
+
+func TestBucketIndexBoundaries(t *testing.T) {
+	bounds := HistogramBounds()
+	if got := bucketIndex(0); got != 0 {
+		t.Fatalf("bucketIndex(0) = %d", got)
+	}
+	if got := bucketIndex(-5); got != 0 {
+		t.Fatalf("bucketIndex(-5) = %d", got)
+	}
+	for i, b := range bounds {
+		if got := bucketIndex(b); got != i {
+			t.Fatalf("bucketIndex(bound %g) = %d, want %d", b, got, i)
+		}
+	}
+	// Just past a bound lands in the next bucket.
+	if got := bucketIndex(bounds[3] * 1.0001); got != 4 {
+		t.Fatalf("bucketIndex(just past bound 3) = %d", got)
+	}
+	// Beyond the last bound lands in the overflow bucket.
+	if got := bucketIndex(bounds[len(bounds)-1] * 2); got != len(bounds) {
+		t.Fatalf("overflow bucketIndex = %d, want %d", got, len(bounds))
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	s := h.Snapshot()
+	if !s.Empty() || s.Count != 0 || s.Mean() != 0 || s.Quantile(0.5) != 0 {
+		t.Fatalf("empty snapshot = %+v", s)
+	}
+}
+
+func TestHistogramBasicAccumulators(t *testing.T) {
+	var h Histogram
+	for _, x := range []float64{1, 2, 3, 4} {
+		h.Observe(x)
+	}
+	h.Observe(math.NaN()) // dropped
+	s := h.Snapshot()
+	if s.Count != 4 || s.Sum != 10 || s.Min != 1 || s.Max != 4 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if s.Mean() != 2.5 {
+		t.Fatalf("mean = %g", s.Mean())
+	}
+}
+
+func TestHistogramQuantileUniform(t *testing.T) {
+	// Uniform on (0, 100]: quantile(q) ≈ 100q. Log buckets are coarse, but
+	// linear interpolation within a bucket is exact in expectation for a
+	// uniform distribution, so tolerate 10% of the range.
+	var h Histogram
+	for i := 1; i <= 10000; i++ {
+		h.Observe(float64(i) * 0.01)
+	}
+	s := h.Snapshot()
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.9, 0.99} {
+		got := s.Quantile(q)
+		want := 100 * q
+		if math.Abs(got-want) > 10 {
+			t.Fatalf("uniform q%.2f = %g, want ≈ %g", q, got, want)
+		}
+	}
+	if s.Quantile(0) != s.Min || s.Quantile(1) != s.Max {
+		t.Fatalf("extreme quantiles: q0=%g min=%g q1=%g max=%g",
+			s.Quantile(0), s.Min, s.Quantile(1), s.Max)
+	}
+}
+
+func TestHistogramQuantileExponential(t *testing.T) {
+	// Exponential with mean 5: median = 5·ln2 ≈ 3.466, p90 ≈ 11.51.
+	// Deterministic sampling via the inverse CDF over a uniform grid.
+	var h Histogram
+	n := 20000
+	for i := 0; i < n; i++ {
+		u := (float64(i) + 0.5) / float64(n)
+		h.Observe(-5 * math.Log(1-u))
+	}
+	s := h.Snapshot()
+	for _, tc := range []struct{ q, want, tol float64 }{
+		{0.5, 5 * math.Ln2, 1.0},
+		{0.9, -5 * math.Log(0.1), 3.0},
+	} {
+		if got := s.Quantile(tc.q); math.Abs(got-tc.want) > tc.tol {
+			t.Fatalf("exp q%.2f = %g, want %g ± %g", tc.q, got, tc.want, tc.tol)
+		}
+	}
+}
+
+func TestHistogramQuantileMonotone(t *testing.T) {
+	var h Histogram
+	r := mrand.New(mrand.NewPCG(7, 9))
+	for i := 0; i < 5000; i++ {
+		h.Observe(math.Exp(r.NormFloat64() * 2))
+	}
+	s := h.Snapshot()
+	prev := math.Inf(-1)
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		v := s.Quantile(q)
+		if v < prev-1e-9 {
+			t.Fatalf("quantile not monotone at q=%.2f: %g < %g", q, v, prev)
+		}
+		if v < s.Min || v > s.Max {
+			t.Fatalf("quantile %g outside [%g, %g]", v, s.Min, s.Max)
+		}
+		prev = v
+	}
+}
+
+func TestHistogramConcurrentWriters(t *testing.T) {
+	// Run with -race (the Makefile tier-1.5 target): concurrent Observe
+	// into one histogram and one registry must be data-race free and lose
+	// no observations.
+	reg := NewRegistry()
+	const writers, perWriter = 16, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			r := mrand.New(mrand.NewPCG(seed, seed^0xabc))
+			for i := 0; i < perWriter; i++ {
+				reg.ObserveHistogram("lat_ms", r.Float64()*100)
+				reg.Counter("ops").Inc()
+				reg.Observe("occupancy", float64(i%7))
+				reg.Gauge("depth").Set(int64(i))
+			}
+		}(uint64(w + 1))
+	}
+	wg.Wait()
+	s := reg.Histogram("lat_ms").Snapshot()
+	if s.Count != writers*perWriter {
+		t.Fatalf("histogram count = %d, want %d", s.Count, writers*perWriter)
+	}
+	var bucketTotal uint64
+	for _, c := range s.Counts {
+		bucketTotal += c
+	}
+	if bucketTotal != s.Count {
+		t.Fatalf("bucket total %d != count %d", bucketTotal, s.Count)
+	}
+	if got := reg.Counter("ops").Value(); got != writers*perWriter {
+		t.Fatalf("counter = %d", got)
+	}
+	if got := reg.Sample("occupancy").Snapshot().N; got != writers*perWriter {
+		t.Fatalf("sample n = %d", got)
+	}
+	if s.Min < 0 || s.Max > 100 || s.Min > s.Max {
+		t.Fatalf("min/max = %g/%g", s.Min, s.Max)
+	}
+}

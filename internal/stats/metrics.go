@@ -76,6 +76,19 @@ func (s SampleSnapshot) Mean() float64 {
 	return s.Sum / float64(s.N)
 }
 
+// Empty reports whether the sample has no observations — in which case
+// Min and Max are meaningless and must not be formatted as values.
+func (s SampleSnapshot) Empty() bool { return s.N == 0 }
+
+// String renders the snapshot for logs. An empty sample renders as an
+// explicit marker instead of fabricated zero min/max.
+func (s SampleSnapshot) String() string {
+	if s.Empty() {
+		return "empty"
+	}
+	return fmt.Sprintf("n=%d mean=%.3f min=%.3f max=%.3f", s.N, s.Mean(), s.Min, s.Max)
+}
+
 // Snapshot copies the sample's accumulators.
 func (s *Sample) Snapshot() SampleSnapshot {
 	s.mu.Lock()
@@ -87,18 +100,20 @@ func (s *Sample) Snapshot() SampleSnapshot {
 // construct with NewRegistry. A nil *Registry is safe to record into: every
 // method no-ops, so instrumented code needs no nil checks.
 type Registry struct {
-	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	samples  map[string]*Sample
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	samples    map[string]*Sample
+	histograms map[string]*Histogram
 }
 
 // NewRegistry returns an empty metrics registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters: make(map[string]*Counter),
-		gauges:   make(map[string]*Gauge),
-		samples:  make(map[string]*Sample),
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		samples:    make(map[string]*Sample),
+		histograms: make(map[string]*Histogram),
 	}
 }
 
@@ -147,6 +162,21 @@ func (r *Registry) Sample(name string) *Sample {
 	return s
 }
 
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return &Histogram{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	return h
+}
+
 // Observe records one observation into the named sample.
 func (r *Registry) Observe(name string, x float64) {
 	if r == nil {
@@ -155,8 +185,19 @@ func (r *Registry) Observe(name string, x float64) {
 	r.Sample(name).Observe(x)
 }
 
+// ObserveHistogram records one observation into the named histogram.
+func (r *Registry) ObserveHistogram(name string, x float64) {
+	if r == nil {
+		return
+	}
+	r.Histogram(name).Observe(x)
+}
+
 // Snapshot renders every metric to a flat name→value map: counters and
-// gauges directly, samples as <name>.count / .mean / .min / .max.
+// gauges directly, samples as <name>.count / .mean / .min / .max, and
+// histograms as <name>.count / .mean / .p50 / .p99 / .max. Empty samples
+// and histograms emit only their zero count — never fabricated min/max
+// values.
 func (r *Registry) Snapshot() map[string]float64 {
 	out := make(map[string]float64)
 	if r == nil {
@@ -175,6 +216,10 @@ func (r *Registry) Snapshot() map[string]float64 {
 	for k, v := range r.samples {
 		samples[k] = v
 	}
+	histograms := make(map[string]*Histogram, len(r.histograms))
+	for k, v := range r.histograms {
+		histograms[k] = v
+	}
 	r.mu.Unlock()
 	for k, c := range counters {
 		out[k] = float64(c.Value())
@@ -185,8 +230,22 @@ func (r *Registry) Snapshot() map[string]float64 {
 	for k, s := range samples {
 		snap := s.Snapshot()
 		out[k+".count"] = float64(snap.N)
+		if snap.Empty() {
+			continue
+		}
 		out[k+".mean"] = snap.Mean()
 		out[k+".min"] = snap.Min
+		out[k+".max"] = snap.Max
+	}
+	for k, h := range histograms {
+		snap := h.Snapshot()
+		out[k+".count"] = float64(snap.Count)
+		if snap.Empty() {
+			continue
+		}
+		out[k+".mean"] = snap.Mean()
+		out[k+".p50"] = snap.Quantile(0.5)
+		out[k+".p99"] = snap.Quantile(0.99)
 		out[k+".max"] = snap.Max
 	}
 	return out

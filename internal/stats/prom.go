@@ -1,0 +1,119 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Prometheus text-format (version 0.0.4) rendering of a Registry, so the
+// admin endpoint's /metrics is scrapeable by a stock Prometheus without
+// any client-library dependency. Metric names are sanitized to the
+// Prometheus charset: "serve.queue.depth" becomes "serve_queue_depth".
+
+// PromName sanitizes a registry metric name into a Prometheus metric name.
+func PromName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promFloat renders a value the way Prometheus expects (+Inf/-Inf/NaN
+// spelled out).
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	default:
+		return fmt.Sprintf("%g", v)
+	}
+}
+
+// WritePrometheus renders every metric in the registry in Prometheus text
+// format: counters and gauges typed directly, samples as
+// <name>_count/_sum (plus _min/_max gauges when non-empty), histograms as
+// native Prometheus histograms with cumulative le buckets.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	samples := make(map[string]*Sample, len(r.samples))
+	for k, v := range r.samples {
+		samples[k] = v
+	}
+	histograms := make(map[string]*Histogram, len(r.histograms))
+	for k, v := range r.histograms {
+		histograms[k] = v
+	}
+	r.mu.Unlock()
+
+	for _, k := range sortedKeys(counters) {
+		n := PromName(k)
+		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", n, n, counters[k].Value())
+	}
+	for _, k := range sortedKeys(gauges) {
+		n := PromName(k)
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", n, n, gauges[k].Value())
+	}
+	for _, k := range sortedKeys(samples) {
+		n := PromName(k)
+		snap := samples[k].Snapshot()
+		fmt.Fprintf(w, "# TYPE %s summary\n", n)
+		fmt.Fprintf(w, "%s_count %d\n", n, snap.N)
+		fmt.Fprintf(w, "%s_sum %s\n", n, promFloat(snap.Sum))
+		if !snap.Empty() {
+			fmt.Fprintf(w, "# TYPE %s_min gauge\n%s_min %s\n", n, n, promFloat(snap.Min))
+			fmt.Fprintf(w, "# TYPE %s_max gauge\n%s_max %s\n", n, n, promFloat(snap.Max))
+		}
+	}
+	for _, k := range sortedKeys(histograms) {
+		n := PromName(k)
+		snap := histograms[k].Snapshot()
+		fmt.Fprintf(w, "# TYPE %s histogram\n", n)
+		var cum uint64
+		for i, c := range snap.Counts {
+			cum += c
+			le := "+Inf"
+			if i < len(histBounds) {
+				le = promFloat(histBounds[i])
+			}
+			fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", n, le, cum)
+		}
+		fmt.Fprintf(w, "%s_sum %s\n", n, promFloat(snap.Sum))
+		fmt.Fprintf(w, "%s_count %d\n", n, snap.Count)
+	}
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,74 @@
+package trace
+
+import (
+	"encoding/json"
+	"time"
+)
+
+// Chrome trace_event export: the JSON Array/Object format chrome://tracing
+// and Perfetto load directly. Each trace becomes one "process" row (pid =
+// trace ID) whose complete ("X") events nest by time containment, so the
+// span tree reads as a flame graph per request.
+
+// chromeEvent is one trace_event entry.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  uint64         `json:"pid"`
+	Tid  uint64         `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeFile is the Object-format wrapper.
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// ChromeTrace renders traces as Chrome trace_event JSON. Timestamps are
+// microseconds relative to the earliest trace start, so concurrent
+// requests align on one timeline.
+func ChromeTrace(traces []*Trace) ([]byte, error) {
+	var base time.Time
+	for _, tr := range traces {
+		if tr == nil {
+			continue
+		}
+		if base.IsZero() || tr.Start.Before(base) {
+			base = tr.Start
+		}
+	}
+	events := make([]chromeEvent, 0, 16*len(traces))
+	for _, tr := range traces {
+		if tr == nil {
+			continue
+		}
+		events = append(events, chromeEvent{
+			Name: "process_name",
+			Ph:   "M",
+			Pid:  tr.ID,
+			Args: map[string]any{"name": tr.Name},
+		})
+		for _, s := range tr.Spans() {
+			ev := chromeEvent{
+				Name: s.Name,
+				Cat:  s.Cat,
+				Ph:   "X",
+				Ts:   float64(s.Start.Sub(base).Nanoseconds()) / 1e3,
+				Dur:  float64(s.Dur.Nanoseconds()) / 1e3,
+				Pid:  tr.ID,
+				Tid:  1,
+			}
+			args := map[string]any{"span_id": uint32(s.ID), "parent_id": uint32(s.Parent)}
+			for _, a := range s.Args {
+				args[a.Key] = a.Val
+			}
+			ev.Args = args
+			events = append(events, ev)
+		}
+	}
+	return json.Marshal(chromeFile{TraceEvents: events, DisplayTimeUnit: "ms"})
+}

@@ -1,0 +1,249 @@
+package trace
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanTreeNesting(t *testing.T) {
+	tr := NewTrace(1, "req")
+	ctx := With(context.Background(), tr)
+	ctx1, outer := StartSpan(ctx, "outer", "serve")
+	_, inner := StartSpan(ctx1, "inner", "engine")
+	inner.Arg("cts", 4).End()
+	outer.End()
+	tr.Finish()
+
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	byName := map[string]Span{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	root, ok := byName["req"]
+	if !ok || root.ID != rootID || root.Parent != 0 {
+		t.Fatalf("bad root span: %+v", root)
+	}
+	if byName["outer"].Parent != root.ID {
+		t.Fatalf("outer parent = %d, want root %d", byName["outer"].Parent, root.ID)
+	}
+	if byName["inner"].Parent != byName["outer"].ID {
+		t.Fatalf("inner parent = %d, want outer %d", byName["inner"].Parent, byName["outer"].ID)
+	}
+	if len(byName["inner"].Args) != 1 || byName["inner"].Args[0].Key != "cts" {
+		t.Fatalf("inner args = %+v", byName["inner"].Args)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var tracer *Tracer
+	tr := tracer.Start("x")
+	if tr != nil {
+		t.Fatal("nil tracer started a trace")
+	}
+	tracer.Finish(tr)
+	tr.Finish()
+	if tr.Spans() != nil || tr.Wall() != 0 || tr.Finished() {
+		t.Fatal("nil trace not inert")
+	}
+	ctx := With(context.Background(), nil)
+	if FromContext(ctx) != nil {
+		t.Fatal("nil trace attached")
+	}
+	ctx2, h := StartSpan(ctx, "s", "c")
+	if h != nil || ctx2 != ctx {
+		t.Fatal("span started without a trace")
+	}
+	h.Arg("k", 1)
+	h.End()
+}
+
+func TestJoinFansOutToAllTraces(t *testing.T) {
+	trA, trB := NewTrace(1, "a"), NewTrace(2, "b")
+	ctxA, spA := StartSpan(With(context.Background(), trA), "waitA", "serve")
+	ctxB, spB := StartSpan(With(context.Background(), trB), "waitB", "serve")
+
+	joined := Join(context.Background(), ctxA, ctxB)
+	_, shared := StartSpan(joined, "ecall", "sgx")
+	shared.Arg("requests", 2).End()
+	spA.End()
+	spB.End()
+	trA.Finish()
+	trB.Finish()
+
+	for _, tc := range []struct {
+		tr     *Trace
+		parent string
+	}{{trA, "waitA"}, {trB, "waitB"}} {
+		byName := map[string]Span{}
+		for _, s := range tc.tr.Spans() {
+			byName[s.Name] = s
+		}
+		ecall, ok := byName["ecall"]
+		if !ok {
+			t.Fatalf("trace %s missing shared ecall span", tc.tr.Name)
+		}
+		if ecall.Parent != byName[tc.parent].ID {
+			t.Fatalf("trace %s: ecall parent %d, want %s (%d)",
+				tc.tr.Name, ecall.Parent, tc.parent, byName[tc.parent].ID)
+		}
+	}
+}
+
+func TestJoinWithoutTracesIsBase(t *testing.T) {
+	base := context.Background()
+	if got := Join(base, context.Background(), nil); got != base {
+		t.Fatal("Join invented scopes")
+	}
+}
+
+func TestSpanEndIdempotent(t *testing.T) {
+	tr := NewTrace(1, "req")
+	_, h := StartSpan(With(context.Background(), tr), "s", "c")
+	h.End()
+	h.End()
+	tr.Finish()
+	tr.Finish()
+	n := 0
+	for _, s := range tr.Spans() {
+		if s.Name == "s" {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Fatalf("span recorded %d times", n)
+	}
+	if len(tr.Spans()) != 2 {
+		t.Fatalf("double Finish duplicated the root: %d spans", len(tr.Spans()))
+	}
+}
+
+func TestTracerRingKeepsLastN(t *testing.T) {
+	tracer := NewTracer(3)
+	for i := 0; i < 5; i++ {
+		tracer.Finish(tracer.Start("req"))
+	}
+	last := tracer.Last(0)
+	if len(last) != 3 {
+		t.Fatalf("ring holds %d, want 3", len(last))
+	}
+	// Oldest-first: IDs 3, 4, 5 survive.
+	for i, tr := range last {
+		if want := uint64(i + 3); tr.ID != want {
+			t.Fatalf("ring[%d].ID = %d, want %d", i, tr.ID, want)
+		}
+	}
+	if got := tracer.Last(1); len(got) != 1 || got[0].ID != 5 {
+		t.Fatalf("Last(1) = %+v", got)
+	}
+}
+
+func TestConcurrentSpanRecording(t *testing.T) {
+	tr := NewTrace(1, "req")
+	ctx := With(context.Background(), tr)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				_, h := StartSpan(ctx, "work", "test")
+				h.End()
+			}
+		}()
+	}
+	wg.Wait()
+	tr.Finish()
+	if got := len(tr.Spans()); got != 8*50+1 {
+		t.Fatalf("got %d spans, want %d", got, 8*50+1)
+	}
+	seen := map[SpanID]bool{}
+	for _, s := range tr.Spans() {
+		if seen[s.ID] {
+			t.Fatalf("duplicate span ID %d", s.ID)
+		}
+		seen[s.ID] = true
+	}
+}
+
+func TestChromeTraceExport(t *testing.T) {
+	tracer := NewTracer(4)
+	tr := tracer.Start("req")
+	ctx, h := StartSpan(With(context.Background(), tr), "layer.conv", "engine")
+	_, h2 := StartSpan(ctx, "ecall.sigmoid", "sgx")
+	time.Sleep(time.Millisecond)
+	h2.Arg("transitions", 1).End()
+	h.End()
+	tracer.Finish(tr)
+
+	raw, err := ChromeTrace(tracer.Last(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		Unit        string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(raw, &f); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if f.Unit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", f.Unit)
+	}
+	// 1 metadata + 3 spans.
+	if len(f.TraceEvents) != 4 {
+		t.Fatalf("got %d events, want 4", len(f.TraceEvents))
+	}
+	var sawRoot, sawECall bool
+	for _, ev := range f.TraceEvents {
+		switch ev["name"] {
+		case "req":
+			sawRoot = true
+		case "ecall.sigmoid":
+			sawECall = true
+			args := ev["args"].(map[string]any)
+			if args["transitions"].(float64) != 1 {
+				t.Fatalf("ecall args = %+v", args)
+			}
+			if ev["dur"].(float64) < 900 { // µs
+				t.Fatalf("ecall dur = %v µs, expected ≥ 900", ev["dur"])
+			}
+		}
+	}
+	if !sawRoot || !sawECall {
+		t.Fatalf("missing events: root=%v ecall=%v", sawRoot, sawECall)
+	}
+}
+
+func TestSpansCoverWallClock(t *testing.T) {
+	// The root span is the request wall-clock by construction; children
+	// must fall inside it.
+	tr := NewTrace(1, "req")
+	ctx := With(context.Background(), tr)
+	_, h := StartSpan(ctx, "child", "serve")
+	time.Sleep(2 * time.Millisecond)
+	h.End()
+	tr.Finish()
+	var root, child Span
+	for _, s := range tr.Spans() {
+		if s.ID == rootID {
+			root = s
+		} else {
+			child = s
+		}
+	}
+	if root.Dur < child.Dur {
+		t.Fatalf("root %v shorter than child %v", root.Dur, child.Dur)
+	}
+	if child.Start.Before(root.Start) {
+		t.Fatal("child starts before root")
+	}
+	if tr.Wall() != root.Dur {
+		t.Fatalf("Wall %v != root dur %v", tr.Wall(), root.Dur)
+	}
+}

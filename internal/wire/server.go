@@ -11,6 +11,7 @@ import (
 	"hesgx/internal/attest"
 	"hesgx/internal/core"
 	"hesgx/internal/serve"
+	"hesgx/internal/trace"
 )
 
 // Inferrer executes one inference under a context. *serve.Pipeline is the
@@ -37,12 +38,21 @@ func WithInferrer(inf Inferrer) ServerOption {
 	return func(s *Server) { s.inferrer = inf }
 }
 
+// WithTracer records one end-to-end trace per inference request — from
+// frame decode through scheduler, engine, batcher and ECALLs back to the
+// reply — into the tracer's ring buffer. Normally the serving pipeline's
+// tracer, so the admin endpoint serves both from one place.
+func WithTracer(t *trace.Tracer) ServerOption {
+	return func(s *Server) { s.tracer = t }
+}
+
 // Server is the edge-server endpoint: it owns the enclave service and the
 // hybrid engine and answers attestation and inference requests over TCP.
 type Server struct {
 	svc      *core.EnclaveService
 	engine   *core.HybridEngine
 	inferrer Inferrer
+	tracer   *trace.Tracer // nil: request tracing disabled at the wire
 	logger   *slog.Logger
 
 	wg sync.WaitGroup
@@ -198,7 +208,16 @@ func (s *Server) handleAttest(conn net.Conn, payload []byte) error {
 }
 
 func (s *Server) handleInfer(ctx context.Context, conn net.Conn, payload []byte) error {
+	// The request trace opens before decode and finishes after the reply
+	// frame is written, so its root span is the full server-side
+	// wall-clock of the request.
+	tr := s.tracer.Start("request")
+	ctx = trace.With(ctx, tr)
+	defer s.tracer.Finish(tr)
+
+	_, dspan := trace.StartSpan(ctx, "wire.decode", "wire")
 	img, err := core.UnmarshalCipherImage(payload, s.svc.Params())
+	dspan.Arg("bytes", float64(len(payload))).End()
 	if err != nil {
 		return &badRequestError{fmt.Errorf("wire: decoding cipher image: %w", err)}
 	}
@@ -206,13 +225,20 @@ func (s *Server) handleInfer(ctx context.Context, conn net.Conn, payload []byte)
 	if err != nil {
 		return fmt.Errorf("wire: inference: %w", err)
 	}
+	_, espan := trace.StartSpan(ctx, "wire.encode", "wire")
 	batch, err := core.MarshalCiphertextBatch(res.Logits)
 	if err != nil {
+		espan.End()
 		return err
 	}
 	var out []byte
 	out = appendFloat64(out, res.OutScale)
 	out = append(out, batch...)
+	werr := WriteFrame(conn, MsgInferReply, out)
+	espan.Arg("bytes", float64(len(out))).End()
+	if werr != nil {
+		return werr
+	}
 	s.logger.Info("inference served", "remote", conn.RemoteAddr(), "logits", len(res.Logits))
-	return WriteFrame(conn, MsgInferReply, out)
+	return nil
 }
