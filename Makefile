@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build tier1 tier1.5 verify race vet test bench-serving clean
+.PHONY: all build tier1 tier1.5 verify race vet test bench-serving bench-json bench-smoke clean
 
 all: verify
 
@@ -31,6 +31,19 @@ verify: tier1 tier1.5
 # batching on vs off, calibrated SGX costs).
 bench-serving:
 	$(GO) test -run '^$$' -bench 'BenchmarkConcurrentServing' -benchtime 3x .
+
+# Linear-layer hot-path comparison (coefficient reference vs NTT-resident),
+# captured as JSON for the checked-in BENCH_PR3.json snapshot. Reports
+# ns/op, allocs/op, and NTTs/op per variant.
+bench-json:
+	$(GO) test -run '^$$' -bench 'Benchmark(Conv|FC)Layer' -benchtime 3x . \
+		| $(GO) run ./cmd/hesgx-bench2json -o BENCH_PR3.json
+	@cat BENCH_PR3.json
+
+# One-iteration pass over every benchmark — CI smoke that the bench code
+# still compiles and runs, without paying for stable timings.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x .
 
 clean:
 	$(GO) clean ./...

@@ -123,6 +123,7 @@ func encryptBatchUnder(b *testing.B, svc *core.EnclaveService, count int) []*he.
 func BenchmarkTable1KeyGenOutsideSGX(b *testing.B) {
 	f := getFixture(b)
 	src := ring.NewSeededSource(10)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		kg, err := he.NewKeyGenerator(f.params, src)
@@ -158,6 +159,7 @@ func BenchmarkTable1KeyGenInsideSGX(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := enclave.ECall("keygen", nil); err != nil {
@@ -174,6 +176,7 @@ func BenchmarkTable2ImageEncrypt(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for p := 0; p < 28*28; p++ {
@@ -200,6 +203,7 @@ func BenchmarkTable3ResultDecrypt(b *testing.B) {
 		}
 		cts[i] = ct
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, ct := range cts {
@@ -214,6 +218,7 @@ func BenchmarkTable3ResultDecrypt(b *testing.B) {
 
 func BenchmarkTable4EncodeEncryptOutside(b *testing.B) {
 	f := getFixture(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := f.enc.EncryptScalar(3); err != nil {
@@ -228,6 +233,7 @@ func BenchmarkTable4DecodeDecryptOutside(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := f.dec.Decrypt(ct); err != nil {
@@ -240,9 +246,10 @@ func BenchmarkTable4RefreshInsideSGX(b *testing.B) {
 	// One in-enclave decrypt+encrypt round trip (the inside-SGX analogue).
 	f := getFixture(b)
 	cts := encryptBatchUnder(b, f.calSvc, 1)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := f.calSvc.Refresh(cts); err != nil {
+		if _, err := f.calSvc.Nonlinear(context.Background(), core.NonlinearOp{Kind: core.OpRefresh}, cts); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -258,6 +265,7 @@ func BenchmarkTable5Relinearize(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := f.eval.Relinearize(prod, f.ek); err != nil {
@@ -269,9 +277,10 @@ func BenchmarkTable5Relinearize(b *testing.B) {
 func BenchmarkTable5SGXRefreshSolo(b *testing.B) {
 	f := getFixture(b)
 	cts := encryptBatchUnder(b, f.calSvc, 1)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := f.calSvc.Refresh(cts); err != nil {
+		if _, err := f.calSvc.Nonlinear(context.Background(), core.NonlinearOp{Kind: core.OpRefresh}, cts); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -281,9 +290,10 @@ func BenchmarkTable5SGXRefreshBatched(b *testing.B) {
 	// Amortized per-ciphertext cost with a batch of 10 per ECALL.
 	f := getFixture(b)
 	cts := encryptBatchUnder(b, f.calSvc, 10)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := f.calSvc.Refresh(cts); err != nil {
+		if _, err := f.calSvc.Nonlinear(context.Background(), core.NonlinearOp{Kind: core.OpRefresh}, cts); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -294,6 +304,7 @@ func BenchmarkTable5SGXRefreshBatched(b *testing.B) {
 func BenchmarkFig3WeightEncoding(b *testing.B) {
 	f := getFixture(b)
 	const weights = 286 // 11 kernels of 5x5 + bias
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for w := 0; w < weights; w++ {
@@ -326,6 +337,7 @@ func benchmarkHEConv(b *testing.B, k int) {
 		ops[i] = op
 	}
 	out := size - k + 1
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for oy := 0; oy < out; oy++ {
@@ -365,6 +377,7 @@ func BenchmarkFig5EncryptSigmoid(b *testing.B) {
 		}
 		cts[i] = ct
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, ct := range cts {
@@ -382,9 +395,10 @@ func BenchmarkFig5EncryptSigmoid(b *testing.B) {
 func BenchmarkFig5SGXSigmoid(b *testing.B) {
 	f := getFixture(b)
 	cts := encryptBatchUnder(b, f.calSvc, 64)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := f.calSvc.Sigmoid(cts, 2, 2); err != nil {
+		if _, err := f.calSvc.Nonlinear(context.Background(), core.NonlinearOp{Kind: core.OpSigmoid, InScale: 2, OutScale: 2}, cts); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -393,9 +407,10 @@ func BenchmarkFig5SGXSigmoid(b *testing.B) {
 func BenchmarkFig5FakeSGXSigmoid(b *testing.B) {
 	f := getFixture(b)
 	cts := encryptBatchUnder(b, f.zeroSvc, 64)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := f.zeroSvc.Sigmoid(cts, 2, 2); err != nil {
+		if _, err := f.zeroSvc.Nonlinear(context.Background(), core.NonlinearOp{Kind: core.OpSigmoid, InScale: 2, OutScale: 2}, cts); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -408,6 +423,7 @@ func benchmarkPool(b *testing.B, svc *core.EnclaveService, window int, div bool)
 	const size = 24
 	cts := encryptBatchUnder(b, svc, size*size)
 	out := size / window
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if div {
@@ -429,11 +445,14 @@ func benchmarkPool(b *testing.B, svc *core.EnclaveService, window int, div bool)
 					sums[oy*out+ox] = acc
 				}
 			}
-			if _, err := svc.PoolDivide(sums, uint64(window*window)); err != nil {
+			if _, err := svc.Nonlinear(context.Background(), core.NonlinearOp{Kind: core.OpPoolDivide, Divisor: uint64(window * window)}, sums); err != nil {
 				b.Fatal(err)
 			}
 		} else {
-			if _, err := svc.PoolFull(cts, 1, size, size, window); err != nil {
+			if _, err := svc.Nonlinear(context.Background(), core.NonlinearOp{
+				Kind:     core.OpPoolFull,
+				Geometry: core.Geometry{Channels: 1, Height: size, Width: size, Window: window},
+			}, cts); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -552,6 +571,7 @@ func getFig8(b *testing.B) *fig8Fixture {
 
 func BenchmarkFig8HybridEndToEnd(b *testing.B) {
 	f8 := getFig8(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := f8.hybrid.Infer(f8.hybridCI); err != nil {
@@ -563,6 +583,7 @@ func BenchmarkFig8HybridEndToEnd(b *testing.B) {
 func BenchmarkFig8PureHEPerModulus(b *testing.B) {
 	f8 := getFig8(b)
 	ci := f8.baselineCI
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := f8.baseline.InferModulus(0, ci.CTs[0], ci.Channels, ci.Height, ci.Width); err != nil {
@@ -583,6 +604,7 @@ func BenchmarkAblationMulSchoolbook(b *testing.B) {
 	}
 	x, _ := f.enc.EncryptScalar(2)
 	y, _ := f.enc.EncryptScalar(3)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := slow.Mul(x, y); err != nil {
@@ -595,6 +617,7 @@ func BenchmarkAblationMulNTTCRT(b *testing.B) {
 	f := getFixture(b)
 	x, _ := f.enc.EncryptScalar(2)
 	y, _ := f.enc.EncryptScalar(3)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := f.eval.Mul(x, y); err != nil {
@@ -630,6 +653,7 @@ func benchmarkRelinBase(b *testing.B, baseBits int) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := eval.Relinearize(prod, ek); err != nil {
@@ -646,6 +670,7 @@ func BenchmarkAblationRelinBaseW2(b *testing.B)  { benchmarkRelinBase(b, 2) }
 func BenchmarkAblationWeightMulScalar(b *testing.B) {
 	f := getFixture(b)
 	ct, _ := f.enc.EncryptScalar(2)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := f.eval.MulScalar(ct, 3); err != nil {
@@ -661,6 +686,7 @@ func BenchmarkAblationWeightMulTrueCxP(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := f.eval.MulPlainOperand(ct, op); err != nil {
@@ -730,6 +756,7 @@ func BenchmarkSIMDBatchInference64(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := engine.Infer(ci); err != nil {
@@ -809,6 +836,7 @@ func benchmarkConcurrentServing(b *testing.B, clients int, batching bool) {
 	defer p.Close()
 
 	before := platform.Snapshot()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		var wg sync.WaitGroup
@@ -835,3 +863,82 @@ func BenchmarkConcurrentServing8Batched(b *testing.B)  { benchmarkConcurrentServ
 func BenchmarkConcurrentServing32Direct(b *testing.B)  { benchmarkConcurrentServing(b, 32, false) }
 func BenchmarkConcurrentServing32Batched(b *testing.B) { benchmarkConcurrentServing(b, 32, true) }
 func BenchmarkConcurrentServing64Batched(b *testing.B) { benchmarkConcurrentServing(b, 64, true) }
+
+// --- PR 3: linear-layer hot path (coefficient reference vs NTT-resident) ---
+
+// benchmarkLinearLayer runs one TruePlainMul linear layer of the paper's
+// CNN end to end through the hybrid engine, reporting NTTs/op from the
+// ring's transform counters. disableResidency toggles the evaluation-form
+// hot path against the per-product NTT reference path; the two produce
+// bit-identical ciphertexts (see internal/core/nttresident_test.go).
+func benchmarkLinearLayer(b *testing.B, fcLayer, disableResidency bool) {
+	params, err := core.DefaultHybridParameters()
+	if err != nil {
+		b.Fatal(err)
+	}
+	platform, err := sgx.NewPlatform(sgx.ZeroCost(), sgx.WithJitterSeed(50))
+	if err != nil {
+		b.Fatal(err)
+	}
+	svc, err := core.NewEnclaveService(platform, params, core.WithKeySource(ring.NewSeededSource(51)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := mrand.New(mrand.NewPCG(52, 53))
+	var model *nn.Network
+	var img *nn.Tensor
+	if fcLayer {
+		// The paper CNN's fully connected layer: 6*12*12 -> 10.
+		model = nn.NewNetwork(&nn.Flatten{}, nn.NewFullyConnected(6*12*12, 10, rng))
+		img = nn.NewTensor(6, 12, 12)
+	} else {
+		// The paper CNN's convolution: 1 -> 6 channels, 5x5, on 28x28.
+		model = nn.NewNetwork(nn.NewConv2D(1, 6, 5, 1, rng))
+		img = nn.NewTensor(1, 28, 28)
+	}
+	for i := range img.Data {
+		img.Data[i] = rng.Float64()
+	}
+	cfg := core.DefaultConfig()
+	cfg.TruePlainMul = true
+	cfg.DisableNTTResidency = disableResidency
+	engine, err := core.NewHybridEngine(svc, model, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := engine.EncodeWeights(); err != nil {
+		b.Fatal(err)
+	}
+	client, err := core.NewClient()
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload, err := svc.ProvisionKeys(client.ECDHPublicKey())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := client.InstallProvisionPayload(payload); err != nil {
+		b.Fatal(err)
+	}
+	ci, err := client.EncryptImage(img, cfg.PixelScale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := params.Ring()
+	b.ReportAllocs()
+	b.ResetTimer()
+	fwd0, inv0 := r.NTTCounts()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.Infer(ci); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	fwd1, inv1 := r.NTTCounts()
+	b.ReportMetric(float64((fwd1-fwd0)+(inv1-inv0))/float64(b.N), "NTTs/op")
+}
+
+func BenchmarkConvLayerCoeff(b *testing.B)       { benchmarkLinearLayer(b, false, true) }
+func BenchmarkConvLayerNTTResident(b *testing.B) { benchmarkLinearLayer(b, false, false) }
+func BenchmarkFCLayerCoeff(b *testing.B)         { benchmarkLinearLayer(b, true, true) }
+func BenchmarkFCLayerNTTResident(b *testing.B)   { benchmarkLinearLayer(b, true, false) }

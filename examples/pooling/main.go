@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -68,13 +69,17 @@ func main() {
 				sums[oy*out+ox] = acc
 			}
 		}
-		if _, err := svc.PoolDivide(sums, uint64(k*k)); err != nil {
+		if _, err := svc.Nonlinear(context.Background(),
+			core.NonlinearOp{Kind: core.OpPoolDivide, Divisor: uint64(k * k)}, sums); err != nil {
 			log.Fatal(err)
 		}
 		divTime := time.Since(divStart)
 
 		poolStart := time.Now()
-		if _, err := svc.PoolFull(cts, 1, size, size, k); err != nil {
+		if _, err := svc.Nonlinear(context.Background(), core.NonlinearOp{
+			Kind:     core.OpPoolFull,
+			Geometry: core.Geometry{Channels: 1, Height: size, Width: size, Window: k},
+		}, cts); err != nil {
 			log.Fatal(err)
 		}
 		poolTime := time.Since(poolStart)

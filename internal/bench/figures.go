@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	mrand "math/rand/v2"
 
 	"hesgx/internal/core"
@@ -259,7 +260,8 @@ func timeEnclaveSigmoid(svc *core.EnclaveService, count int) (float64, error) {
 	}
 	var callErr error
 	t := timeIt(func() {
-		_, callErr = svc.Sigmoid(cts, 2, 2)
+		_, callErr = svc.Nonlinear(context.Background(),
+			core.NonlinearOp{Kind: core.OpSigmoid, InScale: 2, OutScale: 2}, cts)
 	}) / 1000.0
 	return t, callErr
 }
@@ -337,7 +339,8 @@ func (o Options) RunFig6() error {
 			}) / 1000.0
 			var callErr error
 			divT = timeIt(func() {
-				_, callErr = svc.PoolDivide(sums, uint64(k*k))
+				_, callErr = svc.Nonlinear(context.Background(),
+					core.NonlinearOp{Kind: core.OpPoolDivide, Divisor: uint64(k * k)}, sums)
 			}) / 1000.0
 			return sumT, divT, callErr
 		}
@@ -354,7 +357,10 @@ func (o Options) RunFig6() error {
 			}
 			var callErr error
 			t := timeIt(func() {
-				_, callErr = svc.PoolFull(cts, 1, size, size, k)
+				_, callErr = svc.Nonlinear(context.Background(), core.NonlinearOp{
+					Kind:     core.OpPoolFull,
+					Geometry: core.Geometry{Channels: 1, Height: size, Width: size, Window: k},
+				}, cts)
 			}) / 1000.0
 			return t, callErr
 		}

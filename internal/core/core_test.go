@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	mrand "math/rand/v2"
 	"testing"
@@ -100,7 +101,7 @@ func TestKeyExchangeDeliversWorkingKeys(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	refreshed, err := svc.Refresh(ci.CTs[:3])
+	refreshed, err := svc.Nonlinear(context.Background(), NonlinearOp{Kind: OpRefresh}, ci.CTs[:3])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +174,7 @@ func TestEnclaveSigmoidMatchesPlaintext(t *testing.T) {
 		}
 		cts = append(cts, ct)
 	}
-	out, err := svc.Sigmoid(cts, inScale, outScale)
+	out, err := svc.Nonlinear(context.Background(), NonlinearOp{Kind: OpSigmoid, InScale: inScale, OutScale: outScale}, cts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,7 +206,7 @@ func TestEnclavePoolDivide(t *testing.T) {
 		ct, _ := enc.EncryptScalar(uint64(r))
 		cts = append(cts, ct)
 	}
-	out, err := svc.PoolDivide(cts, 4)
+	out, err := svc.Nonlinear(context.Background(), NonlinearOp{Kind: OpPoolDivide, Divisor: 4}, cts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -219,7 +220,7 @@ func TestEnclavePoolDivide(t *testing.T) {
 			t.Fatalf("divide %d/4: got %d want %d", sums[i], got[i], want[i])
 		}
 	}
-	if _, err := svc.PoolDivide(cts, 0); err == nil {
+	if _, err := svc.Nonlinear(context.Background(), NonlinearOp{Kind: OpPoolDivide, Divisor: 0}, cts); err == nil {
 		t.Fatal("divide by zero accepted")
 	}
 }
@@ -241,7 +242,9 @@ func TestEnclavePoolFullAndMax(t *testing.T) {
 		ct, _ := enc.EncryptScalar(uint64(v))
 		cts = append(cts, ct)
 	}
-	mean, err := svc.PoolFull(cts, 1, 4, 4, 2)
+	mean, err := svc.Nonlinear(context.Background(), NonlinearOp{
+		Kind: OpPoolFull, Geometry: Geometry{Channels: 1, Height: 4, Width: 4, Window: 2},
+	}, cts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -252,7 +255,9 @@ func TestEnclavePoolFullAndMax(t *testing.T) {
 			t.Fatalf("mean pool[%d]: got %d want %d", i, gotMean[i], wantMean[i])
 		}
 	}
-	maxOut, err := svc.PoolMax(cts, 1, 4, 4, 2)
+	maxOut, err := svc.Nonlinear(context.Background(), NonlinearOp{
+		Kind: OpPoolMax, Geometry: Geometry{Channels: 1, Height: 4, Width: 4, Window: 2},
+	}, cts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -263,10 +268,14 @@ func TestEnclavePoolFullAndMax(t *testing.T) {
 			t.Fatalf("max pool[%d]: got %d want %d", i, gotMax[i], wantMax[i])
 		}
 	}
-	if _, err := svc.PoolFull(cts, 1, 3, 4, 2); err == nil {
+	if _, err := svc.Nonlinear(context.Background(), NonlinearOp{
+		Kind: OpPoolFull, Geometry: Geometry{Channels: 1, Height: 3, Width: 4, Window: 2},
+	}, cts); err == nil {
 		t.Fatal("indivisible geometry accepted")
 	}
-	if _, err := svc.PoolFull(cts, 1, 4, 4, 3); err == nil {
+	if _, err := svc.Nonlinear(context.Background(), NonlinearOp{
+		Kind: OpPoolFull, Geometry: Geometry{Channels: 1, Height: 4, Width: 4, Window: 3},
+	}, cts); err == nil {
 		t.Fatal("wrong window accepted")
 	}
 }
@@ -290,7 +299,7 @@ func TestRefreshRestoresNoiseBudget(t *testing.T) {
 		}
 	}
 	before, _ := client.NoiseBudget(burned)
-	refreshed, err := svc.Refresh([]*he.Ciphertext{burned})
+	refreshed, err := svc.Nonlinear(context.Background(), NonlinearOp{Kind: OpRefresh}, []*he.Ciphertext{burned})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -337,7 +346,7 @@ func TestRefreshCollapsesSize3(t *testing.T) {
 	if prod.Size() != 3 {
 		t.Fatal("expected size-3 product")
 	}
-	refreshed, err := svc.Refresh([]*he.Ciphertext{prod})
+	refreshed, err := svc.Nonlinear(context.Background(), NonlinearOp{Kind: OpRefresh}, []*he.Ciphertext{prod})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -225,7 +225,7 @@ func (s *EnclaveService) PublicKey() *he.PublicKey { return s.state.cachedPK }
 // SetActivation selects the default activation function computed by the
 // generic activation ECALL (default Sigmoid). Values follow nn.ActKind.
 // Requests that carry their own NonlinearOp.Act override this; the setter
-// exists for callers of the deprecated Activation wrappers.
+// remains for Nonlinear callers that omit Act.
 func (s *EnclaveService) SetActivation(kind int) { s.state.actKind.Store(int64(kind)) }
 
 // touchKeys accounts the enclave-resident key material against the EPC.

@@ -62,6 +62,14 @@ type Config struct {
 	// constant-coefficient fast path. Benchmarks that quantify C×P costs
 	// set this; tests and services keep the fast path.
 	TruePlainMul bool
+	// DisableNTTResidency turns off the evaluation-form hot path for
+	// TruePlainMul linear layers, forcing the per-product
+	// NTT→pointwise→INTT reference path instead. The two paths are
+	// bit-identical (the inverse NTT is linear mod q); this switch exists
+	// for ablation benchmarks and equivalence tests. It has no effect when
+	// TruePlainMul is false — the scalar fast path performs no NTTs to
+	// eliminate.
+	DisableNTTResidency bool
 	// SIMD runs the pipeline over slot-packed ciphertexts: one engine pass
 	// processes a whole batch of images (§VIII). Requires a
 	// batching-capable plaintext modulus (prime t ≡ 1 mod 2n) and images
@@ -391,6 +399,7 @@ func (e *HybridEngine) InferContext(ctx context.Context, img *CipherImage) (*Inf
 	cts := img.CTs
 	c, h, w := img.Channels, img.Height, img.Width
 	scale := float64(e.cfg.PixelScale)
+	r := e.params.Ring()
 
 	for i, s := range e.steps {
 		if err := ctx.Err(); err != nil {
@@ -399,6 +408,7 @@ func (e *HybridEngine) InferContext(ctx context.Context, img *CipherImage) (*Inf
 		sctx, span := trace.StartSpan(ctx, "layer."+s.kind.String(), "engine")
 		span.Arg("step", float64(i)).Arg("cts_in", float64(len(cts)))
 		start := time.Now()
+		fwd0, inv0 := r.NTTCounts()
 		var err error
 		switch s.kind {
 		case stepConv:
@@ -423,7 +433,25 @@ func (e *HybridEngine) InferContext(ctx context.Context, img *CipherImage) (*Inf
 		if e.metrics != nil && s.kind != stepFlatten {
 			e.metrics.ObserveHistogram("engine.layer."+s.kind.String()+"_ms",
 				float64(time.Since(start).Microseconds())/1000.0)
+			if s.kind == stepConv || s.kind == stepFC {
+				// Per-layer transform counts make the NTT-residency win
+				// visible on /metrics. The ring's counters are global, so
+				// under concurrent inferences a layer's delta includes
+				// transforms of overlapping requests — approximate
+				// attribution, exact totals.
+				fwd1, inv1 := r.NTTCounts()
+				e.metrics.Counter("engine.layer." + s.kind.String() + ".ntt_forward").Add(int64(fwd1 - fwd0))
+				e.metrics.Counter("engine.layer." + s.kind.String() + ".ntt_inverse").Add(int64(inv1 - inv0))
+			}
 		}
+	}
+	if e.metrics != nil {
+		fwd, inv := r.NTTCounts()
+		e.metrics.Gauge("ring.ntt_forward_total").Set(int64(fwd))
+		e.metrics.Gauge("ring.ntt_inverse_total").Set(int64(inv))
+		polyMiss, centeredMiss := r.PoolMisses()
+		e.metrics.Gauge("ring.pool_miss.poly").Set(int64(polyMiss))
+		e.metrics.Gauge("ring.pool_miss.centered").Set(int64(centeredMiss))
 	}
 	return &InferenceResult{Logits: cts, OutScale: scale}, nil
 }

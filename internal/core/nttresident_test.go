@@ -1,0 +1,267 @@
+package core
+
+import (
+	mrand "math/rand/v2"
+	"testing"
+
+	"hesgx/internal/he"
+	"hesgx/internal/nn"
+	"hesgx/internal/ring"
+	"hesgx/internal/sgx"
+	"hesgx/internal/stats"
+)
+
+// Equivalence tests for the NTT-resident linear-layer hot path: the
+// evaluation-form pipeline (inputs hoisted once, fused pointwise
+// multiply-accumulate, one inverse transform per output) must produce
+// ciphertexts bit-identical to the per-product coefficient reference path.
+// The argument is linearity of the inverse NTT mod q; these tests pin the
+// implementation to it.
+
+// residentEngines builds two TruePlainMul engines over the SAME service —
+// one NTT-resident, one forced onto the coefficient reference path. Linear
+// layers are deterministic, so sharing keys makes outputs directly
+// comparable.
+func residentEngines(t *testing.T, svc *EnclaveService, model *nn.Network, cfg Config) (resident, reference *HybridEngine) {
+	t.Helper()
+	cfg.TruePlainMul = true
+	cfg.DisableNTTResidency = false
+	resident, err := NewHybridEngine(svc, model, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.DisableNTTResidency = true
+	reference, err = NewHybridEngine(svc, model, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resident, reference
+}
+
+func assertSameCiphertexts(t *testing.T, got, want []*he.Ciphertext) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("ciphertext count %d != %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Form != he.CoeffForm || want[i].Form != he.CoeffForm {
+			t.Fatalf("output %d not in coefficient form (%v vs %v)", i, got[i].Form, want[i].Form)
+		}
+		if got[i].Size() != want[i].Size() {
+			t.Fatalf("output %d size %d != %d", i, got[i].Size(), want[i].Size())
+		}
+		for p := range got[i].Polys {
+			if !got[i].Polys[p].Equal(want[i].Polys[p]) {
+				t.Fatalf("output %d poly %d differs between paths", i, p)
+			}
+		}
+	}
+}
+
+// TestNTTResidentConvEquivalence is the property test over random conv
+// shapes: for each geometry, the resident and reference paths emit
+// bit-identical ciphertexts.
+func TestNTTResidentConvEquivalence(t *testing.T) {
+	params := testParams(t)
+	svc := testService(t, params)
+	client := testClient(t, svc)
+	cases := []struct {
+		inC, outC, k, stride, size int
+	}{
+		{1, 2, 3, 1, 6},
+		{2, 3, 3, 1, 5},
+		{1, 1, 2, 2, 6},
+		{3, 2, 2, 1, 4},
+	}
+	for ci, tc := range cases {
+		rng := mrand.New(mrand.NewPCG(uint64(ci), 77))
+		model := nn.NewNetwork(nn.NewConv2D(tc.inC, tc.outC, tc.k, tc.stride, rng))
+		cfg := testConfig()
+		resident, reference := residentEngines(t, svc, model, cfg)
+
+		img := nn.NewTensor(tc.inC, tc.size, tc.size)
+		for i := range img.Data {
+			img.Data[i] = rng.Float64()*2 - 1
+		}
+		enc, err := client.EncryptImage(img, cfg.PixelScale)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resResident, err := resident.Infer(enc)
+		if err != nil {
+			t.Fatalf("case %d resident: %v", ci, err)
+		}
+		resReference, err := reference.Infer(enc)
+		if err != nil {
+			t.Fatalf("case %d reference: %v", ci, err)
+		}
+		assertSameCiphertexts(t, resResident.Logits, resReference.Logits)
+	}
+}
+
+// TestNTTResidentFCEquivalence is the FC-shape property test, including the
+// parallel worker path.
+func TestNTTResidentFCEquivalence(t *testing.T) {
+	params := testParams(t)
+	svc := testService(t, params)
+	client := testClient(t, svc)
+	cases := []struct {
+		in, out, workers int
+	}{
+		{12, 4, 0},
+		{25, 10, 0},
+		{16, 3, 4},
+	}
+	for ci, tc := range cases {
+		rng := mrand.New(mrand.NewPCG(uint64(ci), 99))
+		model := nn.NewNetwork(&nn.Flatten{}, nn.NewFullyConnected(tc.in, tc.out, rng))
+		cfg := testConfig()
+		cfg.Workers = tc.workers
+		resident, reference := residentEngines(t, svc, model, cfg)
+
+		img := nn.NewTensor(1, 1, tc.in)
+		for i := range img.Data {
+			img.Data[i] = rng.Float64()*2 - 1
+		}
+		enc, err := client.EncryptImage(img, cfg.PixelScale)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resResident, err := resident.Infer(enc)
+		if err != nil {
+			t.Fatalf("case %d resident: %v", ci, err)
+		}
+		resReference, err := reference.Infer(enc)
+		if err != nil {
+			t.Fatalf("case %d reference: %v", ci, err)
+		}
+		assertSameCiphertexts(t, resResident.Logits, resReference.Logits)
+	}
+}
+
+// TestNTTResidentCutsTransformCount quantifies the tentpole: on a conv
+// layer the resident path must perform far fewer NTTs than the reference
+// path — O(inputs) forward + O(outputs) inverse instead of O(outputs×k²)
+// of each — and the per-layer counters must land on the metrics registry.
+func TestNTTResidentCutsTransformCount(t *testing.T) {
+	params := testParams(t)
+	svc := testService(t, params)
+	client := testClient(t, svc)
+	rng := mrand.New(mrand.NewPCG(3, 33))
+	model := nn.NewNetwork(nn.NewConv2D(1, 2, 3, 1, rng))
+	cfg := testConfig()
+	resident, reference := residentEngines(t, svc, model, cfg)
+	regResident, regReference := stats.NewRegistry(), stats.NewRegistry()
+	resident.SetMetrics(regResident)
+	reference.SetMetrics(regReference)
+
+	img := nn.NewTensor(1, 6, 6)
+	for i := range img.Data {
+		img.Data[i] = rng.Float64()
+	}
+	enc, err := client.EncryptImage(img, cfg.PixelScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := params.Ring()
+
+	measure := func(e *HybridEngine) (fwd, inv uint64) {
+		f0, i0 := r.NTTCounts()
+		if _, err := e.Infer(enc); err != nil {
+			t.Fatal(err)
+		}
+		f1, i1 := r.NTTCounts()
+		return f1 - f0, i1 - i0
+	}
+	refFwd, refInv := measure(reference)
+	resFwd, resInv := measure(resident)
+
+	// Geometry: 36 inputs, 2×4×4=32 outputs, 9-tap kernel → reference pays
+	// 288 forward and 288 inverse; resident pays 36 forward (hoist) and 32
+	// inverse (one per output). Use a conservative 2× bound so parameter
+	// tweaks don't make the test brittle.
+	if resFwd*2 > refFwd || resInv*2 > refInv {
+		t.Fatalf("resident path did not cut transforms: fwd %d vs %d, inv %d vs %d",
+			resFwd, refFwd, resInv, refInv)
+	}
+	t.Logf("conv transforms: reference %d fwd / %d inv, resident %d fwd / %d inv",
+		refFwd, refInv, resFwd, resInv)
+
+	for _, reg := range []*stats.Registry{regResident, regReference} {
+		snap := reg.Snapshot()
+		if snap["engine.layer.conv.ntt_forward"] <= 0 || snap["engine.layer.conv.ntt_inverse"] <= 0 {
+			t.Fatalf("per-layer NTT counters missing from metrics snapshot: %v", snap)
+		}
+	}
+}
+
+// TestNTTResidentFullPipelineEquivalence is the end-to-end acceptance
+// criterion: the paper's full CNN (conv → sigmoid → mean-pool → FC) run
+// with the NTT-resident path enabled and disabled produces bit-identical
+// decrypted logits. Each path gets its own identically-seeded service so
+// the enclave's re-encryption randomness streams match.
+func TestNTTResidentFullPipelineEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size CNN equivalence skipped in short mode")
+	}
+	params, err := DefaultHybridParameters()
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(disable bool) []int64 {
+		platform, err := sgx.NewPlatform(sgx.ZeroCost(), sgx.WithJitterSeed(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		svc, err := NewEnclaveService(platform, params, WithKeySource(ring.NewSeededSource(21)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		client := testClient(t, svc)
+		rng := mrand.New(mrand.NewPCG(7, 11))
+		model := nn.PaperCNN(rng)
+		cfg := DefaultConfig()
+		cfg.TruePlainMul = true
+		cfg.DisableNTTResidency = disable
+		cfg.Workers = -1
+		engine, err := NewHybridEngine(svc, model, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		img := nn.NewTensor(1, 28, 28)
+		for i := range img.Data {
+			img.Data[i] = rng.Float64()
+		}
+		ci, err := client.EncryptImage(img, cfg.PixelScale)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := engine.Infer(ci)
+		if err != nil {
+			t.Fatal(err)
+		}
+		logits, err := client.DecryptValues(res.Logits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The hybrid pipeline must also equal the plaintext oracle, so
+		// "bit-identical across paths" cannot be satisfied by a shared bug.
+		want, err := engine.ReferenceForward(img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if logits[i] != want[i] {
+				t.Fatalf("disable=%v: logit %d: encrypted %d != reference %d", disable, i, logits[i], want[i])
+			}
+		}
+		return logits
+	}
+	resident := run(false)
+	reference := run(true)
+	for i := range resident {
+		if resident[i] != reference[i] {
+			t.Fatalf("logit %d: resident %d != reference %d", i, resident[i], reference[i])
+		}
+	}
+}

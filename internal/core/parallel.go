@@ -66,6 +66,34 @@ func (e *HybridEngine) effectiveWorkers() int {
 	return e.cfg.Workers
 }
 
+// nttResident reports whether linear layers run the evaluation-form hot
+// path: inputs hoisted to NTT form once, all weight products fused as
+// pointwise multiply-accumulates, one inverse transform per output. Only
+// the TruePlainMul pipeline benefits — the scalar fast path performs no
+// NTTs at all — and DisableNTTResidency forces the per-product reference
+// path for ablation.
+func (e *HybridEngine) nttResident() bool {
+	return e.cfg.TruePlainMul && !e.cfg.DisableNTTResidency
+}
+
+// toNTTInputs hoists the layer inputs into evaluation form, sharded across
+// workers. Inputs are copied first: they may be client-owned or shared with
+// other in-flight steps, and conversion is in place. The copies are
+// rebound to the engine's parameter instance so their transforms hit the
+// engine ring's scratch pools and NTT counters — client-decoded
+// ciphertexts carry an equal-but-distinct ring.
+func (e *HybridEngine) toNTTInputs(in []*he.Ciphertext, workers int) []*he.Ciphertext {
+	out := make([]*he.Ciphertext, len(in))
+	_ = parallelFor(len(in), workers, func(i int) error {
+		ct := in[i].Copy()
+		ct.Params = e.params
+		ct.ToNTT()
+		out[i] = ct
+		return nil
+	})
+	return out
+}
+
 // convOutput computes one output position of a convolution step.
 func (e *HybridEngine) convOutput(s *planStep, in []*he.Ciphertext, h, w, o, oy, ox int) (*he.Ciphertext, error) {
 	q := s.conv
@@ -109,6 +137,44 @@ func (e *HybridEngine) convOutput(s *planStep, in []*he.Ciphertext, h, w, o, oy,
 	return acc, nil
 }
 
+// convOutputNTT computes one output position of a convolution step in
+// evaluation form: every weight product is a fused pointwise
+// multiply-accumulate against the NTT-resident inputs, with a single
+// inverse transform on the finished accumulator. Bit-identical to
+// convOutput under TruePlainMul (the inverse NTT is linear mod q, so
+// transforming the sum equals summing the transforms).
+func (e *HybridEngine) convOutputNTT(s *planStep, nttIn []*he.Ciphertext, h, w, o, oy, ox int) (*he.Ciphertext, error) {
+	q := s.conv
+	var acc *he.Ciphertext
+	for i := 0; i < q.InC; i++ {
+		for ky := 0; ky < q.K; ky++ {
+			iy := oy*q.Stride + ky
+			for kx := 0; kx < q.K; kx++ {
+				wIdx := ((o*q.InC+i)*q.K+ky)*q.K + kx
+				ct := nttIn[(i*h+iy)*w+ox*q.Stride+kx]
+				if acc == nil {
+					// A zero accumulator is domain-invariant, so it can be
+					// born directly in evaluation form.
+					acc = he.NewCiphertext(e.params, ct.Size())
+					acc.Form = he.NTTForm
+				}
+				if err := e.eval.MulPlainOperandAddInto(acc, ct, s.convOps[wIdx]); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	if acc == nil {
+		acc = he.NewCiphertext(e.params, nttIn[0].Size())
+	} else {
+		acc.ToCoeff()
+	}
+	if err := e.eval.AddPlainInto(acc, s.convBias[o]); err != nil {
+		return nil, err
+	}
+	return acc, nil
+}
+
 // runConvParallel shards convolution output positions across workers.
 func (e *HybridEngine) runConvParallel(s *planStep, in []*he.Ciphertext, c, h, w, workers int) ([]*he.Ciphertext, int, int, int, error) {
 	q := s.conv
@@ -117,11 +183,22 @@ func (e *HybridEngine) runConvParallel(s *planStep, in []*he.Ciphertext, c, h, w
 	}
 	oh, ow := q.OutSize(h), q.OutSize(w)
 	out := make([]*he.Ciphertext, q.OutC*oh*ow)
+	resident := e.nttResident()
+	var nttIn []*he.Ciphertext
+	if resident {
+		nttIn = e.toNTTInputs(in, workers)
+	}
 	err := parallelFor(len(out), workers, func(idx int) error {
 		o := idx / (oh * ow)
 		rest := idx % (oh * ow)
 		oy, ox := rest/ow, rest%ow
-		ct, err := e.convOutput(s, in, h, w, o, oy, ox)
+		var ct *he.Ciphertext
+		var err error
+		if resident {
+			ct, err = e.convOutputNTT(s, nttIn, h, w, o, oy, ox)
+		} else {
+			ct, err = e.convOutput(s, in, h, w, o, oy, ox)
+		}
 		if err != nil {
 			return err
 		}
@@ -170,6 +247,32 @@ func (e *HybridEngine) fcOutput(s *planStep, in []*he.Ciphertext, o int) (*he.Ci
 	return acc, nil
 }
 
+// fcOutputNTT computes one logit against NTT-resident inputs — the FC
+// analogue of convOutputNTT.
+func (e *HybridEngine) fcOutputNTT(s *planStep, nttIn []*he.Ciphertext, o int) (*he.Ciphertext, error) {
+	q := s.fc
+	var acc *he.Ciphertext
+	for i, ct := range nttIn {
+		wIdx := o*q.In + i
+		if acc == nil {
+			acc = he.NewCiphertext(e.params, ct.Size())
+			acc.Form = he.NTTForm
+		}
+		if err := e.eval.MulPlainOperandAddInto(acc, ct, s.fcOps[wIdx]); err != nil {
+			return nil, err
+		}
+	}
+	if acc == nil {
+		acc = he.NewCiphertext(e.params, nttIn[0].Size())
+	} else {
+		acc.ToCoeff()
+	}
+	if err := e.eval.AddPlainInto(acc, s.fcBias[o]); err != nil {
+		return nil, err
+	}
+	return acc, nil
+}
+
 // runFCParallel shards fully connected outputs across workers.
 func (e *HybridEngine) runFCParallel(s *planStep, in []*he.Ciphertext, workers int) ([]*he.Ciphertext, error) {
 	q := s.fc
@@ -177,8 +280,19 @@ func (e *HybridEngine) runFCParallel(s *planStep, in []*he.Ciphertext, workers i
 		return nil, fmt.Errorf("fc input %d cts, want %d", len(in), q.In)
 	}
 	out := make([]*he.Ciphertext, q.Out)
+	resident := e.nttResident()
+	var nttIn []*he.Ciphertext
+	if resident {
+		nttIn = e.toNTTInputs(in, workers)
+	}
 	err := parallelFor(q.Out, workers, func(o int) error {
-		ct, err := e.fcOutput(s, in, o)
+		var ct *he.Ciphertext
+		var err error
+		if resident {
+			ct, err = e.fcOutputNTT(s, nttIn, o)
+		} else {
+			ct, err = e.fcOutput(s, in, o)
+		}
 		if err != nil {
 			return err
 		}

@@ -13,9 +13,7 @@ import (
 // the edge server process and only ever handle ciphertext bytes.
 //
 // Nonlinear is the single entry point: every decrypt–compute–re-encrypt
-// ECALL is described by a NonlinearOp value. The former per-op methods
-// (Sigmoid, SigmoidSIMD, PoolDivide, ...) remain as thin deprecated
-// wrappers.
+// ECALL is described by a NonlinearOp value.
 
 // Nonlinear executes one non-linear op over a ciphertext batch inside the
 // enclave: the batch crosses the boundary once, trusted code decrypts,
@@ -68,118 +66,6 @@ func (s *EnclaveService) Nonlinear(ctx context.Context, op NonlinearOp, cts []*h
 // durMS converts a duration to fractional milliseconds, the unit every
 // latency metric uses.
 func durMS(d time.Duration) float64 { return float64(d.Microseconds()) / 1000.0 }
-
-// Sigmoid sends a batch through the enclave Sigmoid path: each ciphertext
-// holds one quantized value at inScale; results come back quantized at
-// outScale under fresh encryptions.
-//
-// Deprecated: use Nonlinear with OpSigmoid.
-func (s *EnclaveService) Sigmoid(cts []*he.Ciphertext, inScale, outScale uint64) ([]*he.Ciphertext, error) {
-	return s.Nonlinear(context.Background(), NonlinearOp{Kind: OpSigmoid, InScale: inScale, OutScale: outScale}, cts)
-}
-
-// SigmoidSIMD is Sigmoid over slot-packed ciphertexts: the enclave applies
-// the activation to every CRT slot (§VIII batching).
-//
-// Deprecated: use Nonlinear with OpSigmoid and SIMD set.
-func (s *EnclaveService) SigmoidSIMD(cts []*he.Ciphertext, inScale, outScale uint64) ([]*he.Ciphertext, error) {
-	return s.Nonlinear(context.Background(), NonlinearOp{Kind: OpSigmoid, SIMD: true, InScale: inScale, OutScale: outScale}, cts)
-}
-
-// Activation is Sigmoid generalized to the enclave's configured activation.
-//
-// Deprecated: use Nonlinear with OpActivation.
-func (s *EnclaveService) Activation(cts []*he.Ciphertext, inScale, outScale uint64) ([]*he.Ciphertext, error) {
-	return s.Nonlinear(context.Background(), NonlinearOp{Kind: OpActivation, InScale: inScale, OutScale: outScale}, cts)
-}
-
-// ActivationSIMD is Activation over slot-packed ciphertexts.
-//
-// Deprecated: use Nonlinear with OpActivation and SIMD set.
-func (s *EnclaveService) ActivationSIMD(cts []*he.Ciphertext, inScale, outScale uint64) ([]*he.Ciphertext, error) {
-	return s.Nonlinear(context.Background(), NonlinearOp{Kind: OpActivation, SIMD: true, InScale: inScale, OutScale: outScale}, cts)
-}
-
-// SigmoidSingle sends each ciphertext through its own ECALL — the
-// EncryptSGX(single) control of Fig. 8, demonstrating why per-datum
-// boundary crossings are catastrophic.
-//
-// Deprecated: use Nonlinear per ciphertext if the single-ECALL control is
-// needed.
-func (s *EnclaveService) SigmoidSingle(cts []*he.Ciphertext, inScale, outScale uint64) ([]*he.Ciphertext, error) {
-	op := NonlinearOp{Kind: OpSigmoid, InScale: inScale, OutScale: outScale}
-	out := make([]*he.Ciphertext, len(cts))
-	for i, ct := range cts {
-		res, err := s.Nonlinear(context.Background(), op, []*he.Ciphertext{ct})
-		if err != nil {
-			return nil, fmt.Errorf("core: single-value sigmoid %d: %w", i, err)
-		}
-		out[i] = res[0]
-	}
-	return out, nil
-}
-
-// PoolDivide completes the SGXDiv pooling strategy: the ciphertexts are
-// homomorphically computed window sums; the enclave divides by divisor
-// (window area) and re-encrypts.
-//
-// Deprecated: use Nonlinear with OpPoolDivide.
-func (s *EnclaveService) PoolDivide(cts []*he.Ciphertext, divisor uint64) ([]*he.Ciphertext, error) {
-	return s.Nonlinear(context.Background(), NonlinearOp{Kind: OpPoolDivide, Divisor: divisor}, cts)
-}
-
-// PoolDivideSIMD is PoolDivide over slot-packed ciphertexts.
-//
-// Deprecated: use Nonlinear with OpPoolDivide and SIMD set.
-func (s *EnclaveService) PoolDivideSIMD(cts []*he.Ciphertext, divisor uint64) ([]*he.Ciphertext, error) {
-	return s.Nonlinear(context.Background(), NonlinearOp{Kind: OpPoolDivide, SIMD: true, Divisor: divisor}, cts)
-}
-
-// PoolFull runs the SGXPool strategy: the full feature map [channels,
-// height, width] (flattened, one value per ciphertext) enters the enclave,
-// which mean-pools with the given window.
-//
-// Deprecated: use Nonlinear with OpPoolFull and a Geometry.
-func (s *EnclaveService) PoolFull(cts []*he.Ciphertext, channels, height, width, window int) ([]*he.Ciphertext, error) {
-	return s.Nonlinear(context.Background(), NonlinearOp{
-		Kind: OpPoolFull, Geometry: Geometry{Channels: channels, Height: height, Width: width, Window: window},
-	}, cts)
-}
-
-// PoolFullSIMD is PoolFull over slot-packed ciphertexts.
-//
-// Deprecated: use Nonlinear with OpPoolFull, SIMD and a Geometry.
-func (s *EnclaveService) PoolFullSIMD(cts []*he.Ciphertext, channels, height, width, window int) ([]*he.Ciphertext, error) {
-	return s.Nonlinear(context.Background(), NonlinearOp{
-		Kind: OpPoolFull, SIMD: true, Geometry: Geometry{Channels: channels, Height: height, Width: width, Window: window},
-	}, cts)
-}
-
-// PoolMax runs max pooling inside the enclave (not expressible under HE).
-//
-// Deprecated: use Nonlinear with OpPoolMax and a Geometry.
-func (s *EnclaveService) PoolMax(cts []*he.Ciphertext, channels, height, width, window int) ([]*he.Ciphertext, error) {
-	return s.Nonlinear(context.Background(), NonlinearOp{
-		Kind: OpPoolMax, Geometry: Geometry{Channels: channels, Height: height, Width: width, Window: window},
-	}, cts)
-}
-
-// PoolMaxSIMD is PoolMax over slot-packed ciphertexts.
-//
-// Deprecated: use Nonlinear with OpPoolMax, SIMD and a Geometry.
-func (s *EnclaveService) PoolMaxSIMD(cts []*he.Ciphertext, channels, height, width, window int) ([]*he.Ciphertext, error) {
-	return s.Nonlinear(context.Background(), NonlinearOp{
-		Kind: OpPoolMax, SIMD: true, Geometry: Geometry{Channels: channels, Height: height, Width: width, Window: window},
-	}, cts)
-}
-
-// Refresh decrypts and re-encrypts a batch inside the enclave, resetting
-// noise — the framework's substitute for relinearization (Table V).
-//
-// Deprecated: use Nonlinear with OpRefresh.
-func (s *EnclaveService) Refresh(cts []*he.Ciphertext) ([]*he.Ciphertext, error) {
-	return s.Nonlinear(context.Background(), NonlinearOp{Kind: OpRefresh}, cts)
-}
 
 // ProvisionKeys performs the server side of key delivery: it forwards the
 // user's ephemeral ECDH public key into the enclave and returns the opaque

@@ -38,11 +38,42 @@ func (p *Plaintext) Validate() error {
 	return nil
 }
 
+// Form tracks which domain a ciphertext's polynomials live in. Ciphertexts
+// are in coefficient form at rest (on the wire, at the enclave boundary, at
+// decryption); the engine's linear layers hoist them into NTT form so every
+// weight product is a pointwise multiply-accumulate.
+type Form uint8
+
+const (
+	// CoeffForm is the coefficient (time) domain — the zero value, so
+	// freshly constructed and deserialized ciphertexts are coefficient
+	// form by default.
+	CoeffForm Form = iota
+	// NTTForm is the evaluation domain: every component poly holds NTT
+	// coefficients. Only Add/AddPlain/MulScalar-style linear ops and the
+	// pointwise plaintext products are defined on this form.
+	NTTForm
+)
+
+// String implements fmt.Stringer for error messages.
+func (f Form) String() string {
+	switch f {
+	case CoeffForm:
+		return "coeff"
+	case NTTForm:
+		return "ntt"
+	default:
+		return fmt.Sprintf("form(%d)", uint8(f))
+	}
+}
+
 // Ciphertext is an FV ciphertext of size 2 (fresh) or 3 (after an
-// unrelinearized multiplication). Polys are kept in coefficient domain.
+// unrelinearized multiplication). Form says which domain Polys live in;
+// serialization and decryption require CoeffForm.
 type Ciphertext struct {
 	Params Parameters
 	Polys  []ring.Poly
+	Form   Form
 }
 
 // NewCiphertext allocates a zero ciphertext of the given size (2 or 3).
@@ -57,13 +88,39 @@ func NewCiphertext(params Parameters, size int) *Ciphertext {
 // Size returns the number of polynomial components.
 func (ct *Ciphertext) Size() int { return len(ct.Polys) }
 
-// Copy deep-copies the ciphertext.
+// Copy deep-copies the ciphertext, preserving its form.
 func (ct *Ciphertext) Copy() *Ciphertext {
 	polys := make([]ring.Poly, len(ct.Polys))
 	for i := range polys {
 		polys[i] = ct.Polys[i].Copy()
 	}
-	return &Ciphertext{Params: ct.Params, Polys: polys}
+	return &Ciphertext{Params: ct.Params, Polys: polys, Form: ct.Form}
+}
+
+// ToNTT converts the ciphertext to evaluation form in place. A no-op if it
+// is already NTT form.
+func (ct *Ciphertext) ToNTT() {
+	if ct.Form == NTTForm {
+		return
+	}
+	r := ct.Params.Ring()
+	for _, p := range ct.Polys {
+		r.NTT(p)
+	}
+	ct.Form = NTTForm
+}
+
+// ToCoeff converts the ciphertext back to coefficient form in place. A no-op
+// if it is already coefficient form.
+func (ct *Ciphertext) ToCoeff() {
+	if ct.Form == CoeffForm {
+		return
+	}
+	r := ct.Params.Ring()
+	for _, p := range ct.Polys {
+		r.INTT(p)
+	}
+	ct.Form = CoeffForm
 }
 
 // Validate checks structural well-formedness of a (possibly deserialized)
@@ -85,8 +142,13 @@ func (ct *Ciphertext) Validate() error {
 const ciphertextMagic = uint32(0xC17E57F1)
 
 // Write serializes the ciphertext. The parameter set is identified by
-// (N, Q, T) so the receiver can reject mismatched parameters.
+// (N, Q, T) so the receiver can reject mismatched parameters. Evaluation-form
+// ciphertexts are rejected loudly: the wire format is coefficient-domain
+// only, and silently emitting NTT coefficients would decrypt to garbage.
 func (ct *Ciphertext) Write(w io.Writer) error {
+	if ct.Form != CoeffForm {
+		return fmt.Errorf("he: cannot serialize %v-form ciphertext; call ToCoeff first", ct.Form)
+	}
 	hdr := []any{
 		ciphertextMagic,
 		uint32(ct.Params.N),

@@ -125,6 +125,9 @@ func (d *Decryptor) Decrypt(ct *Ciphertext) (*Plaintext, error) {
 	if err := ct.Validate(); err != nil {
 		return nil, fmt.Errorf("he: decrypt: %w", err)
 	}
+	if ct.Form != CoeffForm {
+		return nil, fmt.Errorf("he: decrypt: ciphertext is %v form; call ToCoeff first", ct.Form)
+	}
 	if !ct.Params.Equal(d.params) {
 		return nil, fmt.Errorf("he: decrypt: ciphertext parameters mismatch")
 	}
@@ -157,6 +160,9 @@ func scaleRound(c, t, q uint64) uint64 {
 func (d *Decryptor) NoiseBudget(ct *Ciphertext) (float64, error) {
 	if err := ct.Validate(); err != nil {
 		return 0, fmt.Errorf("he: noise budget: %w", err)
+	}
+	if ct.Form != CoeffForm {
+		return 0, fmt.Errorf("he: noise budget: ciphertext is %v form; call ToCoeff first", ct.Form)
 	}
 	r := d.params.Ring()
 	w := d.phase(ct)

@@ -71,15 +71,31 @@ func (ev *Evaluator) check(cts ...*Ciphertext) error {
 	return nil
 }
 
+// checkCoeff rejects evaluation-form inputs for ops only defined on
+// coefficient-domain ciphertexts (tensor products, relinearization).
+func checkCoeff(op string, cts ...*Ciphertext) error {
+	for _, ct := range cts {
+		if ct.Form != CoeffForm {
+			return fmt.Errorf("he: %s requires coefficient-form ciphertexts; got %v form (call ToCoeff)", op, ct.Form)
+		}
+	}
+	return nil
+}
+
 // Add returns ct0 + ct1 (the Add algorithm in §II-B), extended
-// componentwise to size-3 ciphertexts.
+// componentwise to size-3 ciphertexts. Addition is pointwise in either
+// domain, but both operands must be in the same one.
 func (ev *Evaluator) Add(ct0, ct1 *Ciphertext) (*Ciphertext, error) {
 	if err := ev.check(ct0, ct1); err != nil {
 		return nil, err
 	}
+	if ct0.Form != ct1.Form {
+		return nil, fmt.Errorf("he: Add form mismatch (%v vs %v)", ct0.Form, ct1.Form)
+	}
 	r := ev.params.Ring()
 	size := max(ct0.Size(), ct1.Size())
 	out := NewCiphertext(ev.params, size)
+	out.Form = ct0.Form
 	for i := 0; i < size; i++ {
 		switch {
 		case i < ct0.Size() && i < ct1.Size():
@@ -102,13 +118,14 @@ func (ev *Evaluator) Sub(ct0, ct1 *Ciphertext) (*Ciphertext, error) {
 	return ev.Add(ct0, neg)
 }
 
-// Neg returns -ct.
+// Neg returns -ct. Negation is pointwise in either domain.
 func (ev *Evaluator) Neg(ct *Ciphertext) (*Ciphertext, error) {
 	if err := ev.check(ct); err != nil {
 		return nil, err
 	}
 	r := ev.params.Ring()
 	out := NewCiphertext(ev.params, ct.Size())
+	out.Form = ct.Form
 	for i := range ct.Polys {
 		r.Neg(ct.Polys[i], out.Polys[i])
 	}
@@ -116,19 +133,35 @@ func (ev *Evaluator) Neg(ct *Ciphertext) (*Ciphertext, error) {
 }
 
 // AddPlain returns ct + pt: the plaintext is scaled by Δ and added to c0.
+// Works on either form (the scaled plaintext is transformed to match).
 func (ev *Evaluator) AddPlain(ct *Ciphertext, pt *Plaintext) (*Ciphertext, error) {
-	if err := ev.check(ct); err != nil {
+	out := ct.Copy()
+	if err := ev.AddPlainInto(out, pt); err != nil {
 		return nil, err
 	}
+	return out, nil
+}
+
+// AddPlainInto computes ct += pt in place with pooled scratch — the
+// allocation-free bias add of the linear layers. The scaled plaintext is
+// lifted into ct's domain, so NTT-resident accumulators take the bias
+// without leaving evaluation form.
+func (ev *Evaluator) AddPlainInto(ct *Ciphertext, pt *Plaintext) error {
+	if err := ev.check(ct); err != nil {
+		return err
+	}
 	if err := pt.Validate(); err != nil {
-		return nil, fmt.Errorf("he: add plain: %w", err)
+		return fmt.Errorf("he: add plain: %w", err)
 	}
 	r := ev.params.Ring()
-	out := ct.Copy()
-	dm := r.NewPoly()
+	dm := r.GetPoly()
 	r.MulScalar(pt.Poly, ev.params.Delta(), dm)
-	r.Add(out.Polys[0], dm, out.Polys[0])
-	return out, nil
+	if ct.Form == NTTForm {
+		r.NTT(dm)
+	}
+	r.Add(ct.Polys[0], dm, ct.Polys[0])
+	r.PutPoly(dm)
+	return nil
 }
 
 // SubPlain returns ct - pt.
@@ -141,9 +174,13 @@ func (ev *Evaluator) SubPlain(ct *Ciphertext, pt *Plaintext) (*Ciphertext, error
 	}
 	r := ev.params.Ring()
 	out := ct.Copy()
-	dm := r.NewPoly()
+	dm := r.GetPoly()
 	r.MulScalar(pt.Poly, ev.params.Delta(), dm)
+	if ct.Form == NTTForm {
+		r.NTT(dm)
+	}
 	r.Sub(out.Polys[0], dm, out.Polys[0])
+	r.PutPoly(dm)
 	return out, nil
 }
 
@@ -168,14 +205,17 @@ func (ev *Evaluator) MulPlain(ct *Ciphertext, pt *Plaintext) (*Ciphertext, error
 	if err := pt.Validate(); err != nil {
 		return nil, fmt.Errorf("he: mul plain: %w", err)
 	}
-	return ev.mulPlainNTT(ct, ev.liftPlain(pt))
+	return ev.mulPlainNTT(ct, ev.liftPlain(pt), nil)
 }
 
 // PlainOperand is a plaintext pre-lifted into NTT form, for repeated
-// multiplication against many ciphertexts (encoded model weights).
+// multiplication against many ciphertexts (encoded model weights). Shoup is
+// the per-coefficient Shoup companion of NTT, precomputed so every pointwise
+// product against the operand uses the cheaper MulShoup.
 type PlainOperand struct {
 	Params Parameters
 	NTT    ring.Poly
+	Shoup  []uint64
 }
 
 // PrepareOperand lifts and transforms pt once; MulPlainOperand then skips
@@ -184,10 +224,14 @@ func (ev *Evaluator) PrepareOperand(pt *Plaintext) (*PlainOperand, error) {
 	if err := pt.Validate(); err != nil {
 		return nil, fmt.Errorf("he: prepare operand: %w", err)
 	}
-	return &PlainOperand{Params: ev.params, NTT: ev.liftPlain(pt)}, nil
+	r := ev.params.Ring()
+	lifted := ev.liftPlain(pt)
+	return &PlainOperand{Params: ev.params, NTT: lifted, Shoup: r.ShoupPrecompute(lifted)}, nil
 }
 
-// MulPlainOperand multiplies ct by a prepared plaintext operand.
+// MulPlainOperand multiplies ct by a prepared plaintext operand. A
+// coefficient-form ct pays a forward+inverse NTT; an NTT-form ct multiplies
+// pointwise with no transforms at all and stays in evaluation form.
 func (ev *Evaluator) MulPlainOperand(ct *Ciphertext, op *PlainOperand) (*Ciphertext, error) {
 	if err := ev.check(ct); err != nil {
 		return nil, err
@@ -195,12 +239,49 @@ func (ev *Evaluator) MulPlainOperand(ct *Ciphertext, op *PlainOperand) (*Ciphert
 	if !op.Params.Equal(ev.params) {
 		return nil, fmt.Errorf("he: operand parameter mismatch")
 	}
-	return ev.mulPlainNTT(ct, op.NTT)
+	return ev.mulPlainNTT(ct, op.NTT, op.Shoup)
 }
 
-func (ev *Evaluator) mulPlainNTT(ct *Ciphertext, mNTT ring.Poly) (*Ciphertext, error) {
+// MulPlainOperandAddInto computes acc += ct * op entirely in evaluation
+// form: one fused pointwise multiply-accumulate per component, zero NTTs,
+// zero allocations. This is the inner-loop kernel of the NTT-resident
+// conv/FC path; both acc and ct must already be NTT form and the same size.
+func (ev *Evaluator) MulPlainOperandAddInto(acc, ct *Ciphertext, op *PlainOperand) error {
+	if err := ev.check(acc, ct); err != nil {
+		return err
+	}
+	if !op.Params.Equal(ev.params) {
+		return fmt.Errorf("he: operand parameter mismatch")
+	}
+	if acc.Form != NTTForm || ct.Form != NTTForm {
+		return fmt.Errorf("he: MulPlainOperandAddInto requires NTT-form ciphertexts (acc %v, ct %v)", acc.Form, ct.Form)
+	}
+	if acc.Size() != ct.Size() {
+		return fmt.Errorf("he: MulPlainOperandAddInto size mismatch %d vs %d", acc.Size(), ct.Size())
+	}
+	r := ev.params.Ring()
+	for i := range ct.Polys {
+		r.MulCoeffsShoupAdd(ct.Polys[i], op.NTT, op.Shoup, acc.Polys[i])
+	}
+	return nil
+}
+
+// mulPlainNTT multiplies ct by an NTT-domain operand. mShoup may be nil
+// (falls back to Barrett products); both give exact results mod q.
+func (ev *Evaluator) mulPlainNTT(ct *Ciphertext, mNTT ring.Poly, mShoup []uint64) (*Ciphertext, error) {
 	r := ev.params.Ring()
 	out := NewCiphertext(ev.params, ct.Size())
+	out.Form = ct.Form
+	if ct.Form == NTTForm {
+		for i := range ct.Polys {
+			if mShoup != nil {
+				r.MulCoeffsShoup(ct.Polys[i], mNTT, mShoup, out.Polys[i])
+			} else {
+				r.MulCoeffs(ct.Polys[i], mNTT, out.Polys[i])
+			}
+		}
+		return out, nil
+	}
 	for i := range ct.Polys {
 		r.MulNTTLazy(ct.Polys[i], mNTT, out.Polys[i])
 	}
@@ -218,14 +299,27 @@ func (ev *Evaluator) Mul(ct0, ct1 *Ciphertext) (*Ciphertext, error) {
 	if ct0.Size() != 2 || ct1.Size() != 2 {
 		return nil, fmt.Errorf("he: Mul requires size-2 ciphertexts (relinearize first); got %d and %d", ct0.Size(), ct1.Size())
 	}
+	if err := checkCoeff("Mul", ct0, ct1); err != nil {
+		return nil, err
+	}
 	r := ev.params.Ring()
 	t := ev.params.T
 	q := ev.params.Q
 
-	c0 := r.Centered(ct0.Polys[0])
-	c1 := r.Centered(ct0.Polys[1])
-	d0 := r.Centered(ct1.Polys[0])
-	d1 := r.Centered(ct1.Polys[1])
+	c0 := r.GetCentered()
+	c1 := r.GetCentered()
+	d0 := r.GetCentered()
+	d1 := r.GetCentered()
+	defer func() {
+		r.PutCentered(c0)
+		r.PutCentered(c1)
+		r.PutCentered(d0)
+		r.PutCentered(d1)
+	}()
+	r.CenteredInto(ct0.Polys[0], c0)
+	r.CenteredInto(ct0.Polys[1], c1)
+	r.CenteredInto(ct1.Polys[0], d0)
+	r.CenteredInto(ct1.Polys[1], d1)
 
 	out := NewCiphertext(ev.params, 3)
 	// out0 = round(t/q * c0*d0)
@@ -264,11 +358,20 @@ func (ev *Evaluator) Square(ct *Ciphertext) (*Ciphertext, error) {
 	if ct.Size() != 2 {
 		return nil, fmt.Errorf("he: Square requires a size-2 ciphertext")
 	}
+	if err := checkCoeff("Square", ct); err != nil {
+		return nil, err
+	}
 	r := ev.params.Ring()
 	t := ev.params.T
 	q := ev.params.Q
-	c0 := r.Centered(ct.Polys[0])
-	c1 := r.Centered(ct.Polys[1])
+	c0 := r.GetCentered()
+	c1 := r.GetCentered()
+	defer func() {
+		r.PutCentered(c0)
+		r.PutCentered(c1)
+	}()
+	r.CenteredInto(ct.Polys[0], c0)
+	r.CenteredInto(ct.Polys[1], c1)
 	out := NewCiphertext(ev.params, 3)
 	v00, err := ev.tensorConvolve(c0, c0)
 	if err != nil {
@@ -299,6 +402,9 @@ func (ev *Evaluator) Relinearize(ct *Ciphertext, ek *EvaluationKeys) (*Ciphertex
 	}
 	if ct.Size() == 2 {
 		return ct.Copy(), nil
+	}
+	if err := checkCoeff("Relinearize", ct); err != nil {
+		return nil, err
 	}
 	if ek == nil || !ek.Params.Equal(ev.params) {
 		return nil, fmt.Errorf("he: missing or mismatched evaluation keys")
@@ -365,6 +471,7 @@ func (ev *Evaluator) AddMany(cts []*Ciphertext) (*Ciphertext, error) {
 
 // MulScalar multiplies a ciphertext by a small integer constant (mod T) by
 // scaling every component; this is cheaper than MulPlain for scalars.
+// Scalar multiplication is pointwise in either domain.
 func (ev *Evaluator) MulScalar(ct *Ciphertext, k uint64) (*Ciphertext, error) {
 	if err := ev.check(ct); err != nil {
 		return nil, err
@@ -372,6 +479,7 @@ func (ev *Evaluator) MulScalar(ct *Ciphertext, k uint64) (*Ciphertext, error) {
 	r := ev.params.Ring()
 	lifted := ev.params.LiftCentered(k % ev.params.T)
 	out := NewCiphertext(ev.params, ct.Size())
+	out.Form = ct.Form
 	for i := range ct.Polys {
 		r.MulScalar(ct.Polys[i], lifted, out.Polys[i])
 	}
@@ -381,10 +489,13 @@ func (ev *Evaluator) MulScalar(ct *Ciphertext, k uint64) (*Ciphertext, error) {
 // MulScalarAddInto computes acc += k*ct in place — the fused
 // multiply-accumulate the inference engines use for weighted sums, which
 // avoids allocating a ciphertext per term. acc and ct must have the same
-// size.
+// size and form.
 func (ev *Evaluator) MulScalarAddInto(acc, ct *Ciphertext, k uint64) error {
 	if err := ev.check(acc, ct); err != nil {
 		return err
+	}
+	if acc.Form != ct.Form {
+		return fmt.Errorf("he: MulScalarAddInto form mismatch (%v vs %v)", acc.Form, ct.Form)
 	}
 	if acc.Size() != ct.Size() {
 		return fmt.Errorf("he: MulScalarAddInto size mismatch %d vs %d", acc.Size(), ct.Size())

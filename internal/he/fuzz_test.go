@@ -115,3 +115,62 @@ func FuzzReadPublicKey(f *testing.F) {
 		}
 	})
 }
+
+// FuzzToNTTToCoeffRoundTrip checks the domain conversions are exact mutual
+// inverses for arbitrary in-range polynomials, and that form-gated
+// operations (serialize, decrypt) reject evaluation form however it was
+// reached.
+func FuzzToNTTToCoeffRoundTrip(f *testing.F) {
+	params := fuzzParams(f)
+	kg, err := NewKeyGenerator(params, ring.NewSeededSource(5))
+	if err != nil {
+		f.Fatal(err)
+	}
+	sk, pk := kg.GenKeyPair()
+	enc, err := NewEncryptor(pk, ring.NewSeededSource(6))
+	if err != nil {
+		f.Fatal(err)
+	}
+	dec, err := NewDecryptor(sk)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(uint64(0), uint64(1))
+	f.Add(uint64(42), uint64(0xDEADBEEF))
+	f.Add(params.T-1, params.Q-1)
+
+	f.Fuzz(func(t *testing.T, v, seed uint64) {
+		ct, err := enc.EncryptScalar(v % params.T)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Scribble deterministic in-range noise over the polys so the
+		// round-trip is exercised on arbitrary ring elements, not just
+		// well-formed encryptions.
+		r := ct.Params.Ring()
+		state := seed
+		for _, p := range ct.Polys {
+			for i := range p.Coeffs {
+				state = state*6364136223846793005 + 1442695040888963407
+				p.Coeffs[i] = state % r.Mod.Q
+			}
+		}
+		orig := ct.Copy()
+		ct.ToNTT()
+		if _, err := MarshalCiphertext(ct); err == nil {
+			t.Fatal("serialized an NTT-form ciphertext")
+		}
+		if _, err := dec.Decrypt(ct); err == nil {
+			t.Fatal("decrypted an NTT-form ciphertext")
+		}
+		ct.ToCoeff()
+		if ct.Form != CoeffForm {
+			t.Fatalf("form after round trip: %v", ct.Form)
+		}
+		for i := range ct.Polys {
+			if !ct.Polys[i].Equal(orig.Polys[i]) {
+				t.Fatalf("poly %d does not round-trip", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,170 @@
+package ring
+
+import (
+	"testing"
+)
+
+// Tests for the NTT-residency support kernels: fused multiply-accumulate
+// (Barrett and Shoup variants), Shoup precomputation, allocation-free
+// centered lifts, the scratch pools, and the transform counters.
+
+func TestMulCoeffsAddMatchesScalarLoop(t *testing.T) {
+	r := testRing(t)
+	s := NewSampler(r, NewSeededSource(10))
+	a, b, acc := r.NewPoly(), r.NewPoly(), r.NewPoly()
+	s.Uniform(a)
+	s.Uniform(b)
+	s.Uniform(acc)
+	want := r.NewPoly()
+	for i := 0; i < r.N; i++ {
+		want.Coeffs[i] = r.Mod.Add(acc.Coeffs[i], r.Mod.Mul(a.Coeffs[i], b.Coeffs[i]))
+	}
+	r.MulCoeffsAdd(a, b, acc)
+	if !acc.Equal(want) {
+		t.Fatal("MulCoeffsAdd != coefficient-wise oracle")
+	}
+}
+
+func TestMulCoeffsShoupMatchesBarrett(t *testing.T) {
+	r := testRing(t)
+	s := NewSampler(r, NewSeededSource(11))
+	a, b := r.NewPoly(), r.NewPoly()
+	s.Uniform(a)
+	s.Uniform(b)
+	bShoup := r.ShoupPrecompute(b)
+
+	want := r.NewPoly()
+	r.MulCoeffs(a, b, want)
+	got := r.NewPoly()
+	r.MulCoeffsShoup(a, b, bShoup, got)
+	if !got.Equal(want) {
+		t.Fatal("MulCoeffsShoup != MulCoeffs")
+	}
+}
+
+func TestMulCoeffsShoupAddMatchesBarrettAdd(t *testing.T) {
+	r := testRing(t)
+	s := NewSampler(r, NewSeededSource(12))
+	a, b := r.NewPoly(), r.NewPoly()
+	s.Uniform(a)
+	s.Uniform(b)
+	bShoup := r.ShoupPrecompute(b)
+
+	want, got := r.NewPoly(), r.NewPoly()
+	s.Uniform(want)
+	want.CopyTo(got)
+	r.MulCoeffsAdd(a, b, want)
+	r.MulCoeffsShoupAdd(a, b, bShoup, got)
+	if !got.Equal(want) {
+		t.Fatal("MulCoeffsShoupAdd != MulCoeffsAdd")
+	}
+}
+
+// TestFusedAccumulateLinearity pins the algebra the NTT-resident layers rely
+// on: accumulating k pointwise products then inverse-transforming once equals
+// the sum of the k individually inverse-transformed products.
+func TestFusedAccumulateLinearity(t *testing.T) {
+	r := testRing(t)
+	s := NewSampler(r, NewSeededSource(13))
+	const terms = 5
+	acc := r.NewPoly() // stays in the NTT domain
+	want := r.NewPoly()
+	for k := 0; k < terms; k++ {
+		a, w := r.NewPoly(), r.NewPoly()
+		s.Uniform(a)
+		s.Uniform(w)
+
+		term := r.NewPoly()
+		r.MulNTT(a, w, term) // coefficient-domain product
+		r.Add(want, term, want)
+
+		aNTT, wNTT := a.Copy(), w.Copy()
+		r.NTT(aNTT)
+		r.NTT(wNTT)
+		r.MulCoeffsShoupAdd(aNTT, wNTT, r.ShoupPrecompute(wNTT), acc)
+	}
+	r.INTT(acc)
+	if !acc.Equal(want) {
+		t.Fatal("fused NTT-domain accumulation != sum of coefficient products")
+	}
+}
+
+func TestCenteredIntoMatchesCentered(t *testing.T) {
+	r := testRing(t)
+	s := NewSampler(r, NewSeededSource(14))
+	a := r.NewPoly()
+	s.Uniform(a)
+	want := r.Centered(a)
+	got := make([]int64, r.N)
+	r.CenteredInto(a, got)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("coeff %d: CenteredInto %d != Centered %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestPolyPoolRoundTrip(t *testing.T) {
+	r := testRing(t)
+	p := r.GetPoly()
+	if len(p.Coeffs) != r.N {
+		t.Fatalf("GetPoly returned length %d, want %d", len(p.Coeffs), r.N)
+	}
+	for i := range p.Coeffs {
+		p.Coeffs[i] = uint64(i) + 1
+	}
+	r.PutPoly(p)
+	// Pooled buffers come back dirty by design; callers must overwrite or
+	// Zero() them. The pool must never hand out a wrong-size buffer.
+	q := r.GetPoly()
+	if len(q.Coeffs) != r.N {
+		t.Fatalf("recycled poly has length %d, want %d", len(q.Coeffs), r.N)
+	}
+	r.PutPoly(q)
+
+	// Wrong-size buffers are dropped rather than poisoning the pool.
+	r.PutPoly(Poly{Coeffs: make([]uint64, r.N/2)})
+	if got := r.GetPoly(); len(got.Coeffs) != r.N {
+		t.Fatalf("pool handed out wrong-size buffer of length %d", len(got.Coeffs))
+	}
+}
+
+func TestCenteredPoolRoundTrip(t *testing.T) {
+	r := testRing(t)
+	v := r.GetCentered()
+	if len(v) != r.N {
+		t.Fatalf("GetCentered returned length %d, want %d", len(v), r.N)
+	}
+	r.PutCentered(v)
+	r.PutCentered(make([]int64, r.N*2))
+	if got := r.GetCentered(); len(got) != r.N {
+		t.Fatalf("centered pool handed out wrong-size buffer of length %d", len(got))
+	}
+}
+
+func TestNTTCountsTrackTransforms(t *testing.T) {
+	r := testRing(t)
+	s := NewSampler(r, NewSeededSource(15))
+	f0, i0 := r.NTTCounts()
+	p := r.NewPoly()
+	s.Uniform(p)
+	r.NTT(p)
+	r.NTT(p)
+	r.INTT(p)
+	f1, i1 := r.NTTCounts()
+	if f1-f0 != 2 || i1-i0 != 1 {
+		t.Fatalf("counters recorded %d fwd / %d inv, want 2 / 1", f1-f0, i1-i0)
+	}
+}
+
+func TestZeroClearsPoly(t *testing.T) {
+	r := testRing(t)
+	p := r.NewPoly()
+	for i := range p.Coeffs {
+		p.Coeffs[i] = 7
+	}
+	p.Zero()
+	if !p.IsZero() {
+		t.Fatal("Zero left nonzero coefficients")
+	}
+}

@@ -2,17 +2,32 @@ package ring
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"hesgx/internal/u128"
 )
 
 // Ring bundles a power-of-two degree n, a coefficient modulus, and the NTT
-// tables for R_q = Z_q[x]/(x^n + 1). It is immutable after construction and
-// safe for concurrent use.
+// tables for R_q = Z_q[x]/(x^n + 1). Its arithmetic tables are immutable
+// after construction; the scratch pools and transform counters it carries
+// are internally synchronized, so a Ring is safe for concurrent use.
 type Ring struct {
 	N   int
 	Mod Modulus
 	ntt *NTT
+
+	// scratch pools recycle the temporaries of the multiply hot path so
+	// steady-state ring arithmetic allocates (almost) nothing.
+	polyPool sync.Pool // *[]uint64 of length N
+	i64Pool  sync.Pool // *[]int64 of length N
+
+	// transform and pool counters, exposed for per-layer NTT accounting
+	// (internal/stats surfaces them on /metrics).
+	nttForward atomic.Uint64
+	nttInverse atomic.Uint64
+	polyMiss   atomic.Uint64
+	i64Miss    atomic.Uint64
 }
 
 // NewRing constructs the ring of degree n modulo q. q must be an NTT-friendly
@@ -29,7 +44,62 @@ func NewRing(n int, q uint64) (*Ring, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Ring{N: n, Mod: mod, ntt: ntt}, nil
+	r := &Ring{N: n, Mod: mod, ntt: ntt}
+	r.polyPool.New = func() any {
+		r.polyMiss.Add(1)
+		s := make([]uint64, n)
+		return &s
+	}
+	r.i64Pool.New = func() any {
+		r.i64Miss.Add(1)
+		s := make([]int64, n)
+		return &s
+	}
+	return r, nil
+}
+
+// GetPoly returns a scratch polynomial from the ring's pool. Its contents
+// are unspecified — callers must overwrite every coefficient (or call
+// Poly.Zero) before reading. Return it with PutPoly when done.
+func (r *Ring) GetPoly() Poly {
+	return Poly{Coeffs: *r.polyPool.Get().(*[]uint64)}
+}
+
+// PutPoly returns a polynomial obtained from GetPoly to the pool. Polys of
+// the wrong degree are dropped rather than poisoning the pool.
+func (r *Ring) PutPoly(p Poly) {
+	if len(p.Coeffs) != r.N {
+		return
+	}
+	c := p.Coeffs
+	r.polyPool.Put(&c)
+}
+
+// GetCentered returns a pooled scratch slice for centered representations.
+// Contents are unspecified; return it with PutCentered.
+func (r *Ring) GetCentered() []int64 {
+	return *r.i64Pool.Get().(*[]int64)
+}
+
+// PutCentered returns a scratch slice obtained from GetCentered to the pool.
+func (r *Ring) PutCentered(v []int64) {
+	if len(v) != r.N {
+		return
+	}
+	r.i64Pool.Put(&v)
+}
+
+// NTTCounts returns the cumulative number of forward and inverse transforms
+// this ring has executed — the denominator of the "NTTs per inference"
+// metric the engine reports.
+func (r *Ring) NTTCounts() (forward, inverse uint64) {
+	return r.nttForward.Load(), r.nttInverse.Load()
+}
+
+// PoolMisses returns how many scratch allocations fell through the poly and
+// centered pools (steady-state hot-path traffic should keep both flat).
+func (r *Ring) PoolMisses() (poly, centered uint64) {
+	return r.polyMiss.Load(), r.i64Miss.Load()
 }
 
 // Poly is a polynomial of degree < n with coefficients in [0, q), stored
@@ -67,6 +137,13 @@ func (p Poly) Equal(q Poly) bool {
 		}
 	}
 	return true
+}
+
+// Zero sets every coefficient to zero.
+func (p Poly) Zero() {
+	for i := range p.Coeffs {
+		p.Coeffs[i] = 0
+	}
 }
 
 // IsZero reports whether all coefficients are zero.
@@ -133,10 +210,16 @@ func (r *Ring) MulScalarAdd(a Poly, c uint64, out Poly) {
 }
 
 // NTT transforms a into the evaluation domain in place.
-func (r *Ring) NTT(a Poly) { r.ntt.Forward(a.Coeffs) }
+func (r *Ring) NTT(a Poly) {
+	r.nttForward.Add(1)
+	r.ntt.Forward(a.Coeffs)
+}
 
 // INTT transforms a back to the coefficient domain in place.
-func (r *Ring) INTT(a Poly) { r.ntt.Inverse(a.Coeffs) }
+func (r *Ring) INTT(a Poly) {
+	r.nttInverse.Add(1)
+	r.ntt.Inverse(a.Coeffs)
+}
 
 // MulCoeffs sets out = a ⊙ b, the pointwise product of NTT-domain values.
 func (r *Ring) MulCoeffs(a, b, out Poly) {
@@ -146,34 +229,87 @@ func (r *Ring) MulCoeffs(a, b, out Poly) {
 	}
 }
 
+// MulCoeffsAdd sets out += a ⊙ b, fusing the pointwise product with the
+// accumulation so NTT-resident layers never materialize the product.
+func (r *Ring) MulCoeffsAdd(a, b, out Poly) {
+	mod := r.Mod
+	for i := range out.Coeffs {
+		out.Coeffs[i] = mod.Add(out.Coeffs[i], mod.Mul(a.Coeffs[i], b.Coeffs[i]))
+	}
+}
+
+// ShoupPrecompute returns the Shoup companion table of a, enabling
+// MulCoeffsShoup* against a as the fixed operand. Every a.Coeffs[i] must be
+// fully reduced (< q).
+func (r *Ring) ShoupPrecompute(a Poly) []uint64 {
+	mod := r.Mod
+	out := make([]uint64, len(a.Coeffs))
+	for i, c := range a.Coeffs {
+		out[i] = mod.Shoup(c)
+	}
+	return out
+}
+
+// MulCoeffsShoup sets out = a ⊙ b where bShoup = ShoupPrecompute(b).
+func (r *Ring) MulCoeffsShoup(a, b Poly, bShoup []uint64, out Poly) {
+	mod := r.Mod
+	for i := range out.Coeffs {
+		out.Coeffs[i] = mod.MulShoup(a.Coeffs[i], b.Coeffs[i], bShoup[i])
+	}
+}
+
+// MulCoeffsShoupAdd sets out += a ⊙ b where bShoup = ShoupPrecompute(b) —
+// the fused multiply-accumulate kernel of the NTT-resident conv/FC inner
+// loop.
+func (r *Ring) MulCoeffsShoupAdd(a, b Poly, bShoup []uint64, out Poly) {
+	mod := r.Mod
+	for i := range out.Coeffs {
+		out.Coeffs[i] = mod.Add(out.Coeffs[i], mod.MulShoup(a.Coeffs[i], b.Coeffs[i], bShoup[i]))
+	}
+}
+
 // MulNTT sets out = a * b in R_q using the NTT. a and b are in coefficient
-// domain and are not modified.
+// domain and are not modified. Scratch comes from the ring's pool, so the
+// steady state allocates nothing.
 func (r *Ring) MulNTT(a, b, out Poly) {
-	ta, tb := a.Copy(), b.Copy()
+	ta, tb := r.GetPoly(), r.GetPoly()
+	a.CopyTo(ta)
+	b.CopyTo(tb)
 	r.NTT(ta)
 	r.NTT(tb)
 	r.MulCoeffs(ta, tb, out)
 	r.INTT(out)
+	r.PutPoly(ta)
+	r.PutPoly(tb)
 }
 
 // MulNTTLazy multiplies a (coefficient domain) by bNTT (already transformed),
 // writing the coefficient-domain product to out. Used for repeated products
 // against a fixed operand such as encoded model weights.
 func (r *Ring) MulNTTLazy(a, bNTT, out Poly) {
-	ta := a.Copy()
+	ta := r.GetPoly()
+	a.CopyTo(ta)
 	r.NTT(ta)
 	r.MulCoeffs(ta, bNTT, out)
 	r.INTT(out)
+	r.PutPoly(ta)
 }
 
 // Centered returns the centered representation of a as int64 values in
 // (-q/2, q/2].
 func (r *Ring) Centered(a Poly) []int64 {
 	out := make([]int64, len(a.Coeffs))
+	r.CenteredInto(a, out)
+	return out
+}
+
+// CenteredInto writes the centered representation of a into out, which must
+// have length N. Pair with GetCentered/PutCentered to keep the ciphertext
+// multiply path allocation-free.
+func (r *Ring) CenteredInto(a Poly, out []int64) {
 	for i, c := range a.Coeffs {
 		out[i] = r.Mod.Centered(c)
 	}
-	return out
 }
 
 // MulExactScaleRound computes the FV tensor product of centered operands:
