@@ -39,6 +39,9 @@ bench-json:
 	$(GO) test -run '^$$' -bench 'Benchmark(Conv|FC)Layer' -benchtime 3x . \
 		| $(GO) run ./cmd/hesgx-bench2json -o BENCH_PR3.json
 	@cat BENCH_PR3.json
+	$(GO) test -run '^$$' -bench 'BenchmarkCipherImage' -benchtime 3x . \
+		| $(GO) run ./cmd/hesgx-bench2json -o BENCH_PR4.json
+	@cat BENCH_PR4.json
 
 # One-iteration pass over every benchmark — CI smoke that the bench code
 # still compiles and runs, without paying for stable timings.

@@ -942,3 +942,95 @@ func BenchmarkConvLayerCoeff(b *testing.B)       { benchmarkLinearLayer(b, false
 func BenchmarkConvLayerNTTResident(b *testing.B) { benchmarkLinearLayer(b, false, false) }
 func BenchmarkFCLayerCoeff(b *testing.B)         { benchmarkLinearLayer(b, true, true) }
 func BenchmarkFCLayerNTTResident(b *testing.B)   { benchmarkLinearLayer(b, true, false) }
+
+// --- Wire serialization (v2 formats) ---
+
+// benchWireImages builds one 28×28 single-channel cipher image in both
+// upload forms: legacy public-key v1 and seeded symmetric v2.
+func benchWireImages(b *testing.B) (*core.CipherImage, *core.SeededCipherImage) {
+	f := getFixture(b)
+	senc, err := he.NewSymmetricEncryptor(f.sk, ring.NewSeededSource(90))
+	if err != nil {
+		b.Fatal(err)
+	}
+	const pixels = 28 * 28
+	legacy := &core.CipherImage{Channels: 1, Height: 28, Width: 28, Scale: 255,
+		CTs: make([]*he.Ciphertext, pixels)}
+	seeded := &core.SeededCipherImage{Channels: 1, Height: 28, Width: 28, Scale: 255,
+		CTs: make([]*he.SeededCiphertext, pixels)}
+	for i := 0; i < pixels; i++ {
+		pt := f.scalar.Encode(int64(i % 256))
+		if legacy.CTs[i], err = f.enc.Encrypt(pt); err != nil {
+			b.Fatal(err)
+		}
+		if seeded.CTs[i], err = senc.EncryptSeeded(pt); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return legacy, seeded
+}
+
+// BenchmarkCipherImageEncode serializes a 28×28 cipher image in the legacy
+// fixed-width format and the seeded bit-packed v2 format. The bytes/image
+// metric is the upload cost the v2 wire protocol cuts ~2×.
+func BenchmarkCipherImageEncode(b *testing.B) {
+	legacy, seeded := benchWireImages(b)
+	b.Run("v1-legacy", func(b *testing.B) {
+		b.ReportAllocs()
+		var n int
+		for i := 0; i < b.N; i++ {
+			payload, err := core.MarshalCipherImage(legacy)
+			if err != nil {
+				b.Fatal(err)
+			}
+			n = len(payload)
+		}
+		b.ReportMetric(float64(n), "bytes/image")
+	})
+	b.Run("v2-seeded", func(b *testing.B) {
+		b.ReportAllocs()
+		var n int
+		for i := 0; i < b.N; i++ {
+			payload, err := core.MarshalSeededCipherImage(seeded)
+			if err != nil {
+				b.Fatal(err)
+			}
+			n = len(payload)
+		}
+		b.ReportMetric(float64(n), "bytes/image")
+	})
+}
+
+// BenchmarkCipherImageDecode is the server-side cost of the same two
+// formats, through the version-sniffing decoder (v2 includes the per-pixel
+// seed expansion).
+func BenchmarkCipherImageDecode(b *testing.B) {
+	f := getFixture(b)
+	legacy, seeded := benchWireImages(b)
+	v1, err := core.MarshalCipherImage(legacy)
+	if err != nil {
+		b.Fatal(err)
+	}
+	v2, err := core.MarshalSeededCipherImage(seeded)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("v1-legacy", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := core.UnmarshalCipherImageAuto(v1, f.params); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(len(v1)), "bytes/image")
+	})
+	b.Run("v2-seeded", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := core.UnmarshalCipherImageAuto(v2, f.params); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(len(v2)), "bytes/image")
+	})
+}

@@ -113,7 +113,8 @@ func run() int {
 	})
 
 	srv, err := wire.NewServer(svc, engine, logger,
-		wire.WithInferrer(pipeline), wire.WithTracer(pipeline.Tracer))
+		wire.WithInferrer(pipeline), wire.WithTracer(pipeline.Tracer),
+		wire.WithMetrics(pipeline.Metrics))
 	if err != nil {
 		logger.Error("creating server", "err", err)
 		return 1

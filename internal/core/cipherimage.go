@@ -3,11 +3,49 @@ package core
 import (
 	"bytes"
 	"fmt"
+	"io"
 
 	"hesgx/internal/he"
 )
 
-// MarshalCipherImage serializes a cipher image for the wire.
+// Cipher-image wire formats. The legacy (v1) layout opens directly with the
+// channel count and carries full two-polynomial ciphertexts at 8 bytes per
+// coefficient. The v2 layout opens with a magic/version word and a flags
+// byte, then ships either seed-compressed symmetric ciphertexts (uploads:
+// c0 + 32-byte seed instead of two polynomials) or bit-packed ciphertexts,
+// cutting the dominant CAV-edge network cost roughly in half. Decoders
+// dispatch on the leading word — the legacy channel count is bounded by
+// 1<<10, far below any magic — so old clients keep working against new
+// servers without negotiation round trips.
+const (
+	// cipherImageMagicV2 tags a v2 cipher-image payload ("IMG2").
+	cipherImageMagicV2 = uint32(0x32474D49)
+	// ciphertextBatchMagicV2 tags a v2 ciphertext-batch payload ("CTB2").
+	ciphertextBatchMagicV2 = uint32(0x32425443)
+)
+
+// Cipher-image v2 flags.
+const (
+	// imgFlagSeeded: elements are he.SeededCiphertext frames.
+	imgFlagSeeded byte = 1 << 0
+	// imgFlagPacked: elements are packed he.Ciphertext frames.
+	imgFlagPacked byte = 1 << 1
+)
+
+// WireVersion identifies which cipher-image encoding a peer used, so replies
+// can mirror the request's format.
+type WireVersion uint8
+
+// Wire protocol versions.
+const (
+	// WireV1 is the legacy fixed-width format.
+	WireV1 WireVersion = 1
+	// WireV2 is the seeded/bit-packed format.
+	WireV2 WireVersion = 2
+)
+
+// MarshalCipherImage serializes a cipher image in the legacy (v1) wire
+// format.
 func MarshalCipherImage(im *CipherImage) ([]byte, error) {
 	if im == nil {
 		return nil, fmt.Errorf("core: nil cipher image")
@@ -25,7 +63,17 @@ func MarshalCipherImage(im *CipherImage) ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-// UnmarshalCipherImage reverses MarshalCipherImage, validating geometry.
+// validateGeometry bounds deserialized image dimensions.
+func validateGeometry(channels, height, width int) error {
+	if channels <= 0 || height <= 0 || width <= 0 ||
+		channels > 1<<10 || height > 1<<14 || width > 1<<14 {
+		return fmt.Errorf("core: implausible cipher image geometry %dx%dx%d", channels, height, width)
+	}
+	return nil
+}
+
+// UnmarshalCipherImage reverses MarshalCipherImage (legacy v1 only),
+// validating geometry.
 func UnmarshalCipherImage(b []byte, params he.Parameters) (*CipherImage, error) {
 	r := bytes.NewReader(b)
 	im := &CipherImage{}
@@ -43,15 +91,10 @@ func UnmarshalCipherImage(b []byte, params he.Parameters) (*CipherImage, error) 
 	}
 	im.Channels, im.Height, im.Width = int(dims[0]), int(dims[1]), int(dims[2])
 	im.Scale = scale
-	if im.Channels <= 0 || im.Height <= 0 || im.Width <= 0 ||
-		im.Channels > 1<<10 || im.Height > 1<<14 || im.Width > 1<<14 {
-		return nil, fmt.Errorf("core: implausible cipher image geometry %dx%dx%d", im.Channels, im.Height, im.Width)
-	}
-	rest := make([]byte, r.Len())
-	if _, err := r.Read(rest); err != nil {
+	if err := validateGeometry(im.Channels, im.Height, im.Width); err != nil {
 		return nil, err
 	}
-	cts, err := decodeCiphertextBatch(rest, params)
+	cts, err := decodeCiphertextBatch(b[len(b)-r.Len():], params)
 	if err != nil {
 		return nil, err
 	}
@@ -63,12 +106,285 @@ func UnmarshalCipherImage(b []byte, params he.Parameters) (*CipherImage, error) 
 	return im, nil
 }
 
-// MarshalCiphertextBatch serializes a ciphertext slice (wire helper).
+// SeededCipherImage is a pixel-per-ciphertext encrypted feature map in
+// seed-compressed upload form: every element is a symmetric encryption
+// carrying c0 plus its expansion seed. Expand on receipt to obtain the
+// evaluable CipherImage.
+type SeededCipherImage struct {
+	Channels, Height, Width int
+	CTs                     []*he.SeededCiphertext
+	// Scale is the fixed-point scale of the encrypted integers.
+	Scale uint64
+}
+
+// Expand reconstructs the full cipher image by expanding every seed.
+func (im *SeededCipherImage) Expand() (*CipherImage, error) {
+	cts := make([]*he.Ciphertext, len(im.CTs))
+	for i, sc := range im.CTs {
+		ct, err := sc.Expand()
+		if err != nil {
+			return nil, fmt.Errorf("core: expanding seeded ciphertext %d: %w", i, err)
+		}
+		cts[i] = ct
+	}
+	return &CipherImage{
+		Channels: im.Channels, Height: im.Height, Width: im.Width,
+		CTs: cts, Scale: im.Scale,
+	}, nil
+}
+
+// cipherImageV2HeaderSize is [magic u32][flags u8][c u32][h u32][w u32]
+// [scale u64][count u32].
+const cipherImageV2HeaderSize = 4 + 1 + 4 + 4 + 4 + 8 + 4
+
+// SeededCipherImageSize returns the exact byte size WriteSeededCipherImage
+// will produce, so callers can length-prefix without buffering the payload.
+func SeededCipherImageSize(im *SeededCipherImage) int {
+	n := cipherImageV2HeaderSize
+	for _, sc := range im.CTs {
+		n += sc.PackedSize()
+	}
+	return n
+}
+
+// writeImageV2Header emits the shared v2 preamble.
+func writeImageV2Header(w io.Writer, flags byte, channels, height, width int, scale uint64, count int) error {
+	var hdr [cipherImageV2HeaderSize]byte
+	putU32(hdr[0:], cipherImageMagicV2)
+	hdr[4] = flags
+	putU32(hdr[5:], uint32(channels))
+	putU32(hdr[9:], uint32(height))
+	putU32(hdr[13:], uint32(width))
+	putU64(hdr[17:], scale)
+	putU32(hdr[25:], uint32(count))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("core: write cipher image header: %w", err)
+	}
+	return nil
+}
+
+// WriteSeededCipherImage streams a seeded cipher image to w in the v2 wire
+// format, without materializing an intermediate buffer.
+func WriteSeededCipherImage(w io.Writer, im *SeededCipherImage) error {
+	if im == nil {
+		return fmt.Errorf("core: nil seeded cipher image")
+	}
+	if err := writeImageV2Header(w, imgFlagSeeded, im.Channels, im.Height, im.Width, im.Scale, len(im.CTs)); err != nil {
+		return err
+	}
+	for i, sc := range im.CTs {
+		if sc == nil {
+			return fmt.Errorf("core: nil seeded ciphertext %d", i)
+		}
+		if err := sc.Write(w); err != nil {
+			return fmt.Errorf("core: encoding seeded ciphertext %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// MarshalSeededCipherImage renders a seeded cipher image to bytes (v2).
+func MarshalSeededCipherImage(im *SeededCipherImage) ([]byte, error) {
+	if im == nil {
+		return nil, fmt.Errorf("core: nil seeded cipher image")
+	}
+	buf := bytes.NewBuffer(make([]byte, 0, SeededCipherImageSize(im)))
+	if err := WriteSeededCipherImage(buf, im); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// CipherImagePackedSize returns the exact byte size of the packed
+// (non-seeded) v2 encoding of im.
+func CipherImagePackedSize(im *CipherImage) int {
+	n := cipherImageV2HeaderSize
+	for _, ct := range im.CTs {
+		n += ct.PackedSize()
+	}
+	return n
+}
+
+// WriteCipherImagePacked streams im in the v2 bit-packed format — the
+// upload shape for senders that hold only the public key (full two-poly
+// ciphertexts, but ceil(log2 q)-bit coefficients).
+func WriteCipherImagePacked(w io.Writer, im *CipherImage) error {
+	if im == nil {
+		return fmt.Errorf("core: nil cipher image")
+	}
+	if err := writeImageV2Header(w, imgFlagPacked, im.Channels, im.Height, im.Width, im.Scale, len(im.CTs)); err != nil {
+		return err
+	}
+	for i, ct := range im.CTs {
+		if ct == nil {
+			return fmt.Errorf("core: nil ciphertext %d", i)
+		}
+		if err := ct.WritePacked(w); err != nil {
+			return fmt.Errorf("core: encoding packed ciphertext %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// UnmarshalCipherImageAuto decodes either wire format, reporting which one
+// arrived so the caller can answer in kind. Seeded payloads are expanded to
+// full ciphertexts (one seed expansion per element) before return.
+func UnmarshalCipherImageAuto(b []byte, params he.Parameters) (*CipherImage, WireVersion, error) {
+	if len(b) >= 4 && leU32(b) == cipherImageMagicV2 {
+		im, err := unmarshalCipherImageV2(b, params)
+		if err != nil {
+			return nil, WireV2, err
+		}
+		return im, WireV2, nil
+	}
+	im, err := UnmarshalCipherImage(b, params)
+	if err != nil {
+		return nil, WireV1, err
+	}
+	return im, WireV1, nil
+}
+
+func unmarshalCipherImageV2(b []byte, params he.Parameters) (*CipherImage, error) {
+	r := bytes.NewReader(b)
+	if _, err := readU32(r); err != nil { // magic, already sniffed
+		return nil, err
+	}
+	flags, err := r.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("core: cipher image flags: %w", err)
+	}
+	var dims [3]uint32
+	for i := range dims {
+		if dims[i], err = readU32(r); err != nil {
+			return nil, fmt.Errorf("core: cipher image dims: %w", err)
+		}
+	}
+	scale, err := readU64(r)
+	if err != nil {
+		return nil, fmt.Errorf("core: cipher image scale: %w", err)
+	}
+	channels, height, width := int(dims[0]), int(dims[1]), int(dims[2])
+	if err := validateGeometry(channels, height, width); err != nil {
+		return nil, err
+	}
+	count, err := readU32(r)
+	if err != nil {
+		return nil, fmt.Errorf("core: cipher image count: %w", err)
+	}
+	if int(count) != channels*height*width {
+		return nil, fmt.Errorf("core: cipher image has %d ciphertexts for geometry %dx%dx%d",
+			count, channels, height, width)
+	}
+	switch {
+	case flags&imgFlagSeeded != 0:
+		im := &SeededCipherImage{Channels: channels, Height: height, Width: width, Scale: scale}
+		im.CTs = make([]*he.SeededCiphertext, count)
+		for i := range im.CTs {
+			sc, err := he.ReadSeededCiphertext(r, params)
+			if err != nil {
+				return nil, fmt.Errorf("core: decoding seeded ciphertext %d: %w", i, err)
+			}
+			im.CTs[i] = sc
+		}
+		return im.Expand()
+	case flags&imgFlagPacked != 0:
+		im := &CipherImage{Channels: channels, Height: height, Width: width, Scale: scale}
+		im.CTs = make([]*he.Ciphertext, count)
+		for i := range im.CTs {
+			ct, err := he.ReadCiphertextAny(r, params)
+			if err != nil {
+				return nil, fmt.Errorf("core: decoding packed ciphertext %d: %w", i, err)
+			}
+			im.CTs[i] = ct
+		}
+		return im, nil
+	default:
+		return nil, fmt.Errorf("core: v2 cipher image with unknown flags %#x", flags)
+	}
+}
+
+// MarshalCiphertextBatch serializes a ciphertext slice in the legacy (v1)
+// format (wire helper).
 func MarshalCiphertextBatch(cts []*he.Ciphertext) ([]byte, error) {
 	return encodeCiphertextBatch(cts)
 }
 
-// UnmarshalCiphertextBatch reverses MarshalCiphertextBatch.
+// UnmarshalCiphertextBatch reverses MarshalCiphertextBatch (legacy v1).
 func UnmarshalCiphertextBatch(b []byte, params he.Parameters) ([]*he.Ciphertext, error) {
+	return decodeCiphertextBatch(b, params)
+}
+
+// CiphertextBatchPackedSize returns the exact encoded size of the v2 packed
+// batch format for cts.
+func CiphertextBatchPackedSize(cts []*he.Ciphertext) int {
+	n := 4 + 1 + 4 // magic, flags, count
+	for _, ct := range cts {
+		n += ct.PackedSize()
+	}
+	return n
+}
+
+// WriteCiphertextBatchPacked streams a v2 bit-packed ciphertext batch:
+// [magic u32][flags u8][count u32][packed cts]. Used for inference replies
+// to v2 clients.
+func WriteCiphertextBatchPacked(w io.Writer, cts []*he.Ciphertext) error {
+	var hdr [9]byte
+	putU32(hdr[0:], ciphertextBatchMagicV2)
+	hdr[4] = imgFlagPacked
+	putU32(hdr[5:], uint32(len(cts)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("core: write batch header: %w", err)
+	}
+	for i, ct := range cts {
+		if ct == nil {
+			return fmt.Errorf("core: nil ciphertext %d in batch", i)
+		}
+		if err := ct.WritePacked(w); err != nil {
+			return fmt.Errorf("core: encoding batch element %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// MarshalCiphertextBatchPacked renders a v2 packed batch to bytes.
+func MarshalCiphertextBatchPacked(cts []*he.Ciphertext) ([]byte, error) {
+	buf := bytes.NewBuffer(make([]byte, 0, CiphertextBatchPackedSize(cts)))
+	if err := WriteCiphertextBatchPacked(buf, cts); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalCiphertextBatchAny decodes a ciphertext batch in either wire
+// format: the v2 magic dispatches to the packed codec, anything else is a
+// legacy count-prefixed batch (counts are bounded far below the magic).
+func UnmarshalCiphertextBatchAny(b []byte, params he.Parameters) ([]*he.Ciphertext, error) {
+	if len(b) >= 4 && leU32(b) == ciphertextBatchMagicV2 {
+		r := bytes.NewReader(b)
+		_, _ = readU32(r) // magic
+		flags, err := r.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("core: batch flags: %w", err)
+		}
+		if flags&imgFlagPacked == 0 {
+			return nil, fmt.Errorf("core: v2 batch with unknown flags %#x", flags)
+		}
+		n, err := readU32(r)
+		if err != nil {
+			return nil, fmt.Errorf("core: batch length: %w", err)
+		}
+		if n > maxBatchCiphertexts {
+			return nil, fmt.Errorf("core: implausible batch size %d", n)
+		}
+		out := make([]*he.Ciphertext, n)
+		for i := range out {
+			ct, err := he.ReadCiphertextAny(r, params)
+			if err != nil {
+				return nil, fmt.Errorf("core: decoding batch element %d: %w", i, err)
+			}
+			out[i] = ct
+		}
+		return out, nil
+	}
 	return decodeCiphertextBatch(b, params)
 }

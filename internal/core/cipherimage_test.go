@@ -1,0 +1,297 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"hesgx/internal/he"
+	"hesgx/internal/ring"
+)
+
+// TestSeededImageDecryptsLikeLegacy: the seeded upload path must yield the
+// same quantized pixels after expansion as the legacy public-key path — the
+// engine cannot tell which upload form a cipher image arrived in.
+func TestSeededImageDecryptsLikeLegacy(t *testing.T) {
+	params := testParams(t)
+	svc := testService(t, params)
+	client := testClient(t, svc)
+	img := tinyImage(31)
+
+	legacy, err := client.EncryptImage(img, 63)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeded, err := client.EncryptImageSeeded(img, 63)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expanded, err := seeded.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if expanded.Channels != legacy.Channels || expanded.Height != legacy.Height ||
+		expanded.Width != legacy.Width || expanded.Scale != legacy.Scale {
+		t.Fatal("expanded image geometry differs from legacy")
+	}
+	a, err := client.DecryptValues(legacy.CTs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := client.DecryptValues(expanded.CTs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("pixel %d: legacy %d, seeded %d", i, a[i], b[i])
+		}
+	}
+}
+
+// TestCipherImageAutoDetectsBothVersions: the auto decoder must report WireV1
+// for legacy payloads and WireV2 for seeded payloads, decoding both to the
+// same pixels. This is the version-negotiation contract: the server answers
+// in whichever format the request arrived in.
+func TestCipherImageAutoDetectsBothVersions(t *testing.T) {
+	params := testParams(t)
+	svc := testService(t, params)
+	client := testClient(t, svc)
+	img := tinyImage(32)
+
+	legacy, err := client.EncryptImage(img, 63)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, err := MarshalCipherImage(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeded, err := client.EncryptImageSeeded(img, 63)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := MarshalSeededCipherImage(seeded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v2) != SeededCipherImageSize(seeded) {
+		t.Fatalf("v2 payload %d bytes, SeededCipherImageSize says %d", len(v2), SeededCipherImageSize(seeded))
+	}
+
+	gotV1, ver, err := UnmarshalCipherImageAuto(v1, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ver != WireV1 {
+		t.Fatalf("legacy payload detected as version %d", ver)
+	}
+	gotV2, ver, err := UnmarshalCipherImageAuto(v2, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ver != WireV2 {
+		t.Fatalf("seeded payload detected as version %d", ver)
+	}
+	p1, err := client.DecryptValues(gotV1.CTs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := client.DecryptValues(gotV2.CTs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatalf("pixel %d decodes differently across versions: %d vs %d", i, p1[i], p2[i])
+		}
+	}
+}
+
+// TestPackedCipherImageRoundTrip covers the non-seeded v2 upload shape
+// (bit-packed full ciphertexts) through the auto decoder.
+func TestPackedCipherImageRoundTrip(t *testing.T) {
+	params := testParams(t)
+	svc := testService(t, params)
+	client := testClient(t, svc)
+	img := tinyImage(33)
+
+	ci, err := client.EncryptImage(img, 63)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCipherImagePacked(&buf, ci); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != CipherImagePackedSize(ci) {
+		t.Fatalf("packed image %d bytes, CipherImagePackedSize says %d", buf.Len(), CipherImagePackedSize(ci))
+	}
+	got, ver, err := UnmarshalCipherImageAuto(buf.Bytes(), params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ver != WireV2 {
+		t.Fatalf("packed payload detected as version %d", ver)
+	}
+	for i := range ci.CTs {
+		for p := range ci.CTs[i].Polys {
+			if !got.CTs[i].Polys[p].Equal(ci.CTs[i].Polys[p]) {
+				t.Fatalf("ciphertext %d poly %d not bit-identical after packed round trip", i, p)
+			}
+		}
+	}
+}
+
+// TestCiphertextBatchAnyBothFormats: reply decoding accepts legacy and v2
+// packed batches, bit-identically.
+func TestCiphertextBatchAnyBothFormats(t *testing.T) {
+	params := testParams(t)
+	svc := testService(t, params)
+	client := testClient(t, svc)
+	img := tinyImage(34)
+	ci, err := client.EncryptImage(img, 63)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cts := ci.CTs[:4]
+
+	v1, err := MarshalCiphertextBatch(cts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := MarshalCiphertextBatchPacked(cts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v2) != CiphertextBatchPackedSize(cts) {
+		t.Fatalf("packed batch %d bytes, CiphertextBatchPackedSize says %d", len(v2), CiphertextBatchPackedSize(cts))
+	}
+	if len(v2) >= len(v1) {
+		t.Fatalf("packed batch %dB not smaller than legacy %dB", len(v2), len(v1))
+	}
+	for name, payload := range map[string][]byte{"v1": v1, "v2": v2} {
+		got, err := UnmarshalCiphertextBatchAny(payload, params)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(got) != len(cts) {
+			t.Fatalf("%s: got %d cts, want %d", name, len(got), len(cts))
+		}
+		for i := range cts {
+			for p := range cts[i].Polys {
+				if !got[i].Polys[p].Equal(cts[i].Polys[p]) {
+					t.Fatalf("%s: ciphertext %d poly %d mismatch", name, i, p)
+				}
+			}
+		}
+	}
+}
+
+// TestSeededUploadReductionPaperImage is the headline acceptance number: a
+// 28×28 single-channel cipher image (the paper's MNIST input, 784
+// ciphertexts) at the production parameter set must shrink at least 2× when
+// uploaded in seeded v2 form instead of the legacy v1 encoding.
+func TestSeededUploadReductionPaperImage(t *testing.T) {
+	params, err := DefaultHybridParameters()
+	if err != nil {
+		t.Fatal(err)
+	}
+	kg, err := he.NewKeyGenerator(params, ring.NewSeededSource(35))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk, pk := kg.GenKeyPair()
+	enc, err := he.NewEncryptor(pk, ring.NewSeededSource(36))
+	if err != nil {
+		t.Fatal(err)
+	}
+	senc, err := he.NewSymmetricEncryptor(sk, ring.NewSeededSource(37))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const pixels = 28 * 28
+	legacy := &CipherImage{Channels: 1, Height: 28, Width: 28, Scale: 255,
+		CTs: make([]*he.Ciphertext, pixels)}
+	seeded := &SeededCipherImage{Channels: 1, Height: 28, Width: 28, Scale: 255,
+		CTs: make([]*he.SeededCiphertext, pixels)}
+	for i := 0; i < pixels; i++ {
+		pt := he.NewPlaintext(params)
+		pt.Poly.Coeffs[0] = uint64(i) % 256
+		if legacy.CTs[i], err = enc.Encrypt(pt); err != nil {
+			t.Fatal(err)
+		}
+		if seeded.CTs[i], err = senc.EncryptSeeded(pt); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	v1, err := MarshalCipherImage(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := MarshalSeededCipherImage(seeded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(len(v1)) / float64(len(v2))
+	t.Logf("28×28 upload: legacy v1 %d bytes, seeded v2 %d bytes — %.2f× reduction",
+		len(v1), len(v2), ratio)
+	if ratio < 2 {
+		t.Fatalf("seeded upload reduction %.2f× below the required 2× (v1 %dB, v2 %dB)",
+			ratio, len(v1), len(v2))
+	}
+
+	// The smaller payload still decodes to an evaluable image that decrypts
+	// to the same pixels.
+	dec, err := he.NewDecryptor(sk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ver, err := UnmarshalCipherImageAuto(v2, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ver != WireV2 {
+		t.Fatalf("seeded payload detected as version %d", ver)
+	}
+	for _, i := range []int{0, 1, 255, 256, pixels - 1} {
+		pt, err := dec.Decrypt(got.CTs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pt.Poly.Coeffs[0] != uint64(i)%256 {
+			t.Fatalf("pixel %d decrypts to %d, want %d", i, pt.Poly.Coeffs[0], uint64(i)%256)
+		}
+	}
+}
+
+// TestCipherImageAutoRejectsHostile pins decoder behaviour on malformed v2
+// payloads: bad flags, count/geometry mismatch, truncation.
+func TestCipherImageAutoRejectsHostile(t *testing.T) {
+	params := testParams(t)
+	svc := testService(t, params)
+	client := testClient(t, svc)
+	seeded, err := client.EncryptImageSeeded(tinyImage(38), 63)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := MarshalSeededCipherImage(seeded)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bad := bytes.Clone(raw)
+	bad[4] = 0 // clear flags
+	if _, _, err := UnmarshalCipherImageAuto(bad, params); err == nil {
+		t.Fatal("flagless v2 payload accepted")
+	}
+	bad = bytes.Clone(raw)
+	bad[25] ^= 0x01 // count no longer matches geometry
+	if _, _, err := UnmarshalCipherImageAuto(bad, params); err == nil {
+		t.Fatal("count/geometry mismatch accepted")
+	}
+	if _, _, err := UnmarshalCipherImageAuto(raw[:len(raw)-5], params); err == nil {
+		t.Fatal("truncated v2 payload accepted")
+	}
+}

@@ -24,6 +24,7 @@ type Client struct {
 	sk     *he.SecretKey
 	pk     *he.PublicKey
 	enc    *he.Encryptor
+	senc   *he.SymmetricEncryptor
 	dec    *he.Decryptor
 	scalar *encoding.ScalarEncoder
 
@@ -142,6 +143,10 @@ func (c *Client) install(params he.Parameters, sk *he.SecretKey, pk *he.PublicKe
 	if err != nil {
 		return err
 	}
+	senc, err := he.NewSymmetricEncryptor(sk, ring.NewCryptoSource())
+	if err != nil {
+		return err
+	}
 	dec, err := he.NewDecryptor(sk)
 	if err != nil {
 		return err
@@ -150,7 +155,7 @@ func (c *Client) install(params he.Parameters, sk *he.SecretKey, pk *he.PublicKe
 	if err != nil {
 		return err
 	}
-	c.Params, c.sk, c.pk, c.enc, c.dec, c.scalar = params, sk, pk, enc, dec, scalar
+	c.Params, c.sk, c.pk, c.enc, c.senc, c.dec, c.scalar = params, sk, pk, enc, senc, dec, scalar
 	return nil
 }
 
@@ -192,6 +197,34 @@ func (c *Client) EncryptImage(img *nn.Tensor, pixelScale uint64) (*CipherImage, 
 		cts[i] = ct
 	}
 	return &CipherImage{
+		Channels: img.Shape[0], Height: img.Shape[1], Width: img.Shape[2],
+		CTs: cts, Scale: pixelScale,
+	}, nil
+}
+
+// EncryptImageSeeded quantizes and encrypts an image like EncryptImage, but
+// under the secret key in seed-compressed form: each pixel ships as c0 plus
+// a 32-byte expansion seed instead of two polynomials, roughly halving
+// upload bytes. The client holds the secret key after the attested exchange
+// (§IV-B), so symmetric uploads need no extra trust.
+func (c *Client) EncryptImageSeeded(img *nn.Tensor, pixelScale uint64) (*SeededCipherImage, error) {
+	if !c.Ready() {
+		return nil, fmt.Errorf("core: client has no keys; complete the key exchange first")
+	}
+	if len(img.Shape) != 3 {
+		return nil, fmt.Errorf("core: image must be [c, h, w], got %v", img.Shape)
+	}
+	ints := nn.QuantizeImage(img, float64(pixelScale))
+	cts := make([]*he.SeededCiphertext, len(ints))
+	for i, v := range ints {
+		pt := c.scalar.Encode(v)
+		sc, err := c.senc.EncryptSeeded(pt)
+		if err != nil {
+			return nil, fmt.Errorf("core: encrypting pixel %d: %w", i, err)
+		}
+		cts[i] = sc
+	}
+	return &SeededCipherImage{
 		Channels: img.Shape[0], Height: img.Shape[1], Width: img.Shape[2],
 		CTs: cts, Scale: pixelScale,
 	}, nil

@@ -41,6 +41,12 @@ func writeU64(buf *bytes.Buffer, v uint64) {
 	buf.Write(b[:])
 }
 
+// putU32/putU64/leU32 are the slice-level little-endian helpers of the
+// streaming (non-bytes.Buffer) encode paths.
+func putU32(b []byte, v uint32) { binary.LittleEndian.PutUint32(b, v) }
+func putU64(b []byte, v uint64) { binary.LittleEndian.PutUint64(b, v) }
+func leU32(b []byte) uint32     { return binary.LittleEndian.Uint32(b) }
+
 func readU64(r *bytes.Reader) (uint64, error) {
 	var b [8]byte
 	if _, err := r.Read(b[:]); err != nil {

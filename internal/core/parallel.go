@@ -39,19 +39,31 @@ func parallelFor(n, workers int, fn func(i int) error) error {
 		firstErr error
 	)
 	next := make(chan int)
+	// failed closes once on the first error so the dispatcher stops feeding
+	// indices instead of draining the full range through the workers — a
+	// failed 784-output layer should not run its remaining outputs.
+	failed := make(chan struct{})
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range next {
 				if err := fn(i); err != nil {
-					errOnce.Do(func() { firstErr = err })
+					errOnce.Do(func() {
+						firstErr = err
+						close(failed)
+					})
 				}
 			}
 		}()
 	}
+dispatch:
 	for i := 0; i < n; i++ {
-		next <- i
+		select {
+		case next <- i:
+		case <-failed:
+			break dispatch
+		}
 	}
 	close(next)
 	wg.Wait()

@@ -44,6 +44,28 @@ func TestParallelForPropagatesError(t *testing.T) {
 	}
 }
 
+// TestParallelForStopsDispatchAfterError: once a shard fails, the dispatcher
+// must stop feeding indices instead of draining the whole range — a failed
+// 784-output layer should not run its remaining outputs.
+func TestParallelForStopsDispatchAfterError(t *testing.T) {
+	const n = 100000
+	sentinel := errors.New("boom")
+	var calls atomic.Int64
+	err := parallelFor(n, 4, func(i int) error {
+		calls.Add(1)
+		return sentinel
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("got %v", err)
+	}
+	// Every call errors, so the first completed call closes the abort signal.
+	// A handful of in-flight dispatches may still land; draining anywhere
+	// near the full range means early-stop is broken.
+	if got := calls.Load(); got > n/10 {
+		t.Fatalf("dispatched %d of %d indices after first error", got, n)
+	}
+}
+
 func TestParallelEngineMatchesSequential(t *testing.T) {
 	params := testParams(t)
 	svc := testService(t, params)

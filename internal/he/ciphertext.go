@@ -138,8 +138,22 @@ func (ct *Ciphertext) Validate() error {
 	return nil
 }
 
-// ciphertextMagic guards serialized ciphertext framing.
-const ciphertextMagic = uint32(0xC17E57F1)
+// ciphertextMagic guards serialized ciphertext framing (v1: fixed 8-byte
+// coefficients). ciphertextMagicV2 tags the packed layout: a flags byte
+// followed by ceil(log2 q)-bit packed coefficient vectors. Distinct magics
+// act as the version negotiation — ReadCiphertextAny dispatches on whichever
+// arrives, so legacy frames keep decoding.
+const (
+	ciphertextMagic   = uint32(0xC17E57F1)
+	ciphertextMagicV2 = uint32(0xC17E57F2)
+)
+
+// Ciphertext wire-format flags (v2 frames).
+const (
+	// ctFlagPacked marks bit-packed coefficient vectors (always set by this
+	// writer; reserved so a future layout can clear it).
+	ctFlagPacked byte = 1 << 0
+)
 
 // Write serializes the ciphertext. The parameter set is identified by
 // (N, Q, T) so the receiver can reject mismatched parameters. Evaluation-form
@@ -169,19 +183,54 @@ func (ct *Ciphertext) Write(w io.Writer) error {
 	return nil
 }
 
-// ReadCiphertext deserializes a ciphertext and validates it against params.
-func ReadCiphertext(r io.Reader, params Parameters) (*Ciphertext, error) {
+// PackedSize returns the exact serialized size of WritePacked for ct.
+func (ct *Ciphertext) PackedSize() int {
+	width := ring.CoeffBits(ct.Params.Q)
+	return 29 + len(ct.Polys)*ring.PackedPolySize(ct.Params.N, width)
+}
+
+// WritePacked serializes the ciphertext in the v2 packed layout:
+// [magic u32][flags u8][n u32][q u64][t u64][size u32] followed by each
+// polynomial bit-packed at ceil(log2 q) bits per coefficient — ~10% smaller
+// than the legacy 8-byte layout for the 58-bit default modulus. Like Write,
+// it refuses evaluation-form ciphertexts loudly.
+func (ct *Ciphertext) WritePacked(w io.Writer) error {
+	if ct.Form != CoeffForm {
+		return fmt.Errorf("he: cannot serialize %v-form ciphertext; call ToCoeff first", ct.Form)
+	}
+	hdr := []any{
+		ciphertextMagicV2,
+		ctFlagPacked,
+		uint32(ct.Params.N),
+		ct.Params.Q,
+		ct.Params.T,
+		uint32(len(ct.Polys)),
+	}
+	for _, v := range hdr {
+		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+			return fmt.Errorf("he: write packed ciphertext header: %w", err)
+		}
+	}
+	width := ring.CoeffBits(ct.Params.Q)
+	for _, p := range ct.Polys {
+		if err := ring.WritePolyPacked(w, p, width); err != nil {
+			return fmt.Errorf("he: write packed ciphertext poly: %w", err)
+		}
+	}
+	return nil
+}
+
+// readCiphertextBody parses the post-magic remainder of a ciphertext frame.
+// packed selects the v2 coefficient codec.
+func readCiphertextBody(r io.Reader, params Parameters, packed bool) (*Ciphertext, error) {
 	var (
-		magic, n, size uint32
-		q, t           uint64
+		n, size uint32
+		q, t    uint64
 	)
-	for _, v := range []any{&magic, &n, &q, &t, &size} {
+	for _, v := range []any{&n, &q, &t, &size} {
 		if err := binary.Read(r, binary.LittleEndian, v); err != nil {
 			return nil, fmt.Errorf("he: read ciphertext header: %w", err)
 		}
-	}
-	if magic != ciphertextMagic {
-		return nil, fmt.Errorf("he: bad ciphertext magic %#x", magic)
 	}
 	if int(n) != params.N || q != params.Q || t != params.T {
 		return nil, fmt.Errorf("he: ciphertext parameters (n=%d q=%d t=%d) do not match (n=%d q=%d t=%d)",
@@ -190,9 +239,18 @@ func ReadCiphertext(r io.Reader, params Parameters) (*Ciphertext, error) {
 	if size < 2 || size > 3 {
 		return nil, fmt.Errorf("he: ciphertext size %d out of range", size)
 	}
+	width := ring.CoeffBits(params.Q)
 	ct := &Ciphertext{Params: params, Polys: make([]ring.Poly, size)}
 	for i := range ct.Polys {
-		p, err := ring.ReadPoly(r)
+		var (
+			p   ring.Poly
+			err error
+		)
+		if packed {
+			p, err = ring.ReadPolyPacked(r, width)
+		} else {
+			p, err = ring.ReadPoly(r)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("he: read ciphertext poly %d: %w", i, err)
 		}
@@ -202,4 +260,42 @@ func ReadCiphertext(r io.Reader, params Parameters) (*Ciphertext, error) {
 		return nil, err
 	}
 	return ct, nil
+}
+
+// ReadCiphertext deserializes a legacy (v1) ciphertext and validates it
+// against params.
+func ReadCiphertext(r io.Reader, params Parameters) (*Ciphertext, error) {
+	var magic uint32
+	if err := binary.Read(r, binary.LittleEndian, &magic); err != nil {
+		return nil, fmt.Errorf("he: read ciphertext header: %w", err)
+	}
+	if magic != ciphertextMagic {
+		return nil, fmt.Errorf("he: bad ciphertext magic %#x", magic)
+	}
+	return readCiphertextBody(r, params, false)
+}
+
+// ReadCiphertextAny deserializes a ciphertext in whichever format arrives:
+// legacy v1 (fixed 8-byte coefficients) or v2 packed. The leading magic is
+// the version byte of the negotiation — old senders keep working unchanged.
+func ReadCiphertextAny(r io.Reader, params Parameters) (*Ciphertext, error) {
+	var magic uint32
+	if err := binary.Read(r, binary.LittleEndian, &magic); err != nil {
+		return nil, fmt.Errorf("he: read ciphertext header: %w", err)
+	}
+	switch magic {
+	case ciphertextMagic:
+		return readCiphertextBody(r, params, false)
+	case ciphertextMagicV2:
+		var flags byte
+		if err := binary.Read(r, binary.LittleEndian, &flags); err != nil {
+			return nil, fmt.Errorf("he: read ciphertext flags: %w", err)
+		}
+		if flags&ctFlagPacked == 0 {
+			return nil, fmt.Errorf("he: v2 ciphertext without packed flag (flags %#x)", flags)
+		}
+		return readCiphertextBody(r, params, true)
+	default:
+		return nil, fmt.Errorf("he: bad ciphertext magic %#x", magic)
+	}
 }

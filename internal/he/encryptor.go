@@ -1,6 +1,7 @@
 package he
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math"
 	"math/bits"
@@ -82,6 +83,81 @@ func (e *Encryptor) EncryptScalar(v uint64) (*Ciphertext, error) {
 // re-encryption path and by tests.
 func (e *Encryptor) EncryptZero() (*Ciphertext, error) {
 	return e.Encrypt(NewPlaintext(e.params))
+}
+
+// SymmetricEncryptor encrypts plaintexts directly under the FV secret key,
+// producing seed-compressible ciphertexts: ct = (-(a·s + e) + Δm, a) where
+// the uniform a is expanded from a 32-byte ChaCha8 seed, so only (c0, seed)
+// needs to travel. Clients that already hold s — which ours do, the enclave
+// delivers it in the attestation user-data field (§IV-B) — use this for
+// uploads at roughly half the bytes of public-key encryptions, with the
+// same noise term e. Not safe for concurrent use (it owns a sampler).
+type SymmetricEncryptor struct {
+	params  Parameters
+	sk      *SecretKey
+	sampler *ring.Sampler
+	src     ring.Source
+}
+
+// NewSymmetricEncryptor builds a secret-key encryptor drawing error terms
+// and expansion seeds from src. A nil src falls back to crypto randomness —
+// the safe default for anything but reproducible tests.
+func NewSymmetricEncryptor(sk *SecretKey, src ring.Source) (*SymmetricEncryptor, error) {
+	if sk == nil || !sk.Params.Valid() {
+		return nil, fmt.Errorf("he: nil or invalid secret key")
+	}
+	if src == nil {
+		src = ring.NewCryptoSource()
+	}
+	if len(sk.sNTT.Coeffs) == 0 {
+		sk.precompute()
+	}
+	return &SymmetricEncryptor{
+		params:  sk.Params,
+		sk:      sk,
+		sampler: ring.NewSampler(sk.Params.Ring(), src),
+		src:     src,
+	}, nil
+}
+
+// EncryptSeeded computes the symmetric encryption ct = (-(a·s + e) + Δm, a)
+// and returns it in seed-compressed form: c0 plus the seed that a expands
+// from. Decryption sees c0 + a·s = Δm - e, i.e. exactly the noise profile of
+// the Encrypt algorithm's error term — seeding costs no noise budget.
+func (e *SymmetricEncryptor) EncryptSeeded(pt *Plaintext) (*SeededCiphertext, error) {
+	if err := pt.Validate(); err != nil {
+		return nil, fmt.Errorf("he: encrypt seeded: %w", err)
+	}
+	sc := &SeededCiphertext{Params: e.params}
+	for i := 0; i < SeedSize; i += 8 {
+		binary.LittleEndian.PutUint64(sc.Seed[i:], e.src.Uint64())
+	}
+	r := e.params.Ring()
+	a := r.GetPoly()
+	defer r.PutPoly(a)
+	r.UniformFromSeed(sc.Seed, a)
+
+	// c0 = -(a*s + e) + delta*m, with a*s via the cached NTT-domain secret.
+	c0 := r.NewPoly()
+	r.MulNTTLazy(a, e.sk.sNTT, c0)
+	errPoly := r.GetPoly()
+	defer r.PutPoly(errPoly)
+	e.sampler.Gaussian(errPoly)
+	r.Add(c0, errPoly, c0)
+	r.Neg(c0, c0)
+	r.MulScalarAdd(pt.Poly, e.params.Delta(), c0)
+	sc.C0 = c0
+	return sc, nil
+}
+
+// Encrypt is EncryptSeeded followed by expansion — a full two-polynomial
+// symmetric ciphertext for callers that do not care about wire size.
+func (e *SymmetricEncryptor) Encrypt(pt *Plaintext) (*Ciphertext, error) {
+	sc, err := e.EncryptSeeded(pt)
+	if err != nil {
+		return nil, err
+	}
+	return sc.Expand()
 }
 
 // Decryptor decrypts FV ciphertexts with a secret key. Safe for concurrent

@@ -174,3 +174,102 @@ func FuzzToNTTToCoeffRoundTrip(f *testing.F) {
 		}
 	})
 }
+
+// FuzzReadSeededCiphertext attacks the seeded-upload decoder: hostile bytes
+// must error, never panic or build an invalid structure. Any accepted seed
+// is harmless by construction (every seed expands to some uniform poly), so
+// the invariants to defend are the c0 coefficient range and the length
+// bounds.
+func FuzzReadSeededCiphertext(f *testing.F) {
+	params := fuzzParams(f)
+	kg, err := NewKeyGenerator(params, ring.NewSeededSource(7))
+	if err != nil {
+		f.Fatal(err)
+	}
+	sk := kg.GenSecretKey()
+	senc, err := NewSymmetricEncryptor(sk, ring.NewSeededSource(8))
+	if err != nil {
+		f.Fatal(err)
+	}
+	pt := NewPlaintext(params)
+	pt.Poly.Coeffs[0] = 99
+	sc, err := senc.EncryptSeeded(pt)
+	if err != nil {
+		f.Fatal(err)
+	}
+	valid, err := MarshalSeededCiphertext(sc)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add(valid[:24])
+	f.Add(valid[:len(valid)-3])
+	mutated := bytes.Clone(valid)
+	mutated[4] ^= 0xFF // flags byte
+	f.Add(mutated)
+	hostileLen := bytes.Clone(valid)
+	copy(hostileLen[25+SeedSize:], []byte{0xFF, 0xFF, 0xFF, 0xFF}) // packed count
+	f.Add(hostileLen)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := UnmarshalSeededCiphertext(data, params)
+		if err != nil {
+			return
+		}
+		if verr := params.Ring().ValidatePoly(got.C0); verr != nil {
+			t.Fatalf("accepted seeded ciphertext with invalid c0: %v", verr)
+		}
+		ct, err := got.Expand()
+		if err != nil {
+			t.Fatalf("accepted seeded ciphertext fails to expand: %v", err)
+		}
+		if verr := ct.Validate(); verr != nil {
+			t.Fatalf("expanded ciphertext fails validation: %v", verr)
+		}
+	})
+}
+
+// FuzzUnmarshalCiphertextAny drives the version-dispatching reader with both
+// wire generations plus hostile mutations: v1 fixed-width, v2 bit-packed,
+// and garbage must all decode-or-error without panicking.
+func FuzzUnmarshalCiphertextAny(f *testing.F) {
+	params := fuzzParams(f)
+	kg, err := NewKeyGenerator(params, ring.NewSeededSource(9))
+	if err != nil {
+		f.Fatal(err)
+	}
+	_, pk := kg.GenKeyPair()
+	enc, err := NewEncryptor(pk, ring.NewSeededSource(10))
+	if err != nil {
+		f.Fatal(err)
+	}
+	ct, err := enc.EncryptScalar(7)
+	if err != nil {
+		f.Fatal(err)
+	}
+	v1, err := MarshalCiphertext(ct)
+	if err != nil {
+		f.Fatal(err)
+	}
+	v2, err := MarshalCiphertextPacked(ct)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(v1)
+	f.Add(v2)
+	f.Add(v2[:30])
+	crossed := bytes.Clone(v2)
+	copy(crossed[:4], v1[:4]) // v1 magic on a v2 body
+	f.Add(crossed)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := UnmarshalCiphertextAny(data, params)
+		if err != nil {
+			return
+		}
+		if verr := got.Validate(); verr != nil {
+			t.Fatalf("accepted ciphertext fails validation: %v", verr)
+		}
+	})
+}

@@ -1,0 +1,141 @@
+package he
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"hesgx/internal/ring"
+)
+
+// seededCtMagic tags a seed-compressed symmetric ciphertext frame.
+const seededCtMagic = uint32(0xC17E5EED)
+
+// Seeded ciphertext wire-format flags.
+const (
+	// sctFlagPacked marks a bit-packed c0 vector (always set by this writer).
+	sctFlagPacked byte = 1 << 0
+)
+
+// SeedSize is the byte length of the ChaCha8 expansion seed that replaces
+// the uniform polynomial on the wire.
+const SeedSize = 32
+
+// SeededCiphertext is the seed-compressed form of a fresh symmetric FV
+// encryption ct = (-(a·s + e) + Δm, a): instead of shipping both
+// polynomials, the wire carries c0 plus the 32-byte ChaCha8 seed that `a`
+// was expanded from. The receiver re-expands the seed once, roughly halving
+// upload bytes with zero noise-budget cost (the noise term is the same e).
+// Only fresh encryptions are seed-compressible — once an evaluator touches
+// c1 the seed no longer describes it.
+type SeededCiphertext struct {
+	Params Parameters
+	C0     ring.Poly
+	Seed   [SeedSize]byte
+}
+
+// Expand reconstructs the full two-polynomial ciphertext by re-deriving
+// a = Uniform(seed). The result is a coefficient-form ciphertext
+// indistinguishable from one shipped whole.
+func (sc *SeededCiphertext) Expand() (*Ciphertext, error) {
+	if !sc.Params.Valid() {
+		return nil, fmt.Errorf("he: seeded ciphertext has no parameters")
+	}
+	r := sc.Params.Ring()
+	if err := r.ValidatePoly(sc.C0); err != nil {
+		return nil, fmt.Errorf("he: seeded ciphertext c0: %w", err)
+	}
+	a := r.NewPoly()
+	r.UniformFromSeed(sc.Seed, a)
+	return &Ciphertext{Params: sc.Params, Polys: []ring.Poly{sc.C0, a}, Form: CoeffForm}, nil
+}
+
+// PackedSize returns the exact serialized size of Write for sc.
+func (sc *SeededCiphertext) PackedSize() int {
+	width := ring.CoeffBits(sc.Params.Q)
+	return 25 + SeedSize + ring.PackedPolySize(sc.Params.N, width)
+}
+
+// Write serializes the seeded ciphertext:
+// [magic u32][flags u8][n u32][q u64][t u64][seed 32B][packed c0].
+func (sc *SeededCiphertext) Write(w io.Writer) error {
+	hdr := []any{
+		seededCtMagic,
+		sctFlagPacked,
+		uint32(sc.Params.N),
+		sc.Params.Q,
+		sc.Params.T,
+	}
+	for _, v := range hdr {
+		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+			return fmt.Errorf("he: write seeded ciphertext header: %w", err)
+		}
+	}
+	if _, err := w.Write(sc.Seed[:]); err != nil {
+		return fmt.Errorf("he: write seeded ciphertext seed: %w", err)
+	}
+	if err := ring.WritePolyPacked(w, sc.C0, ring.CoeffBits(sc.Params.Q)); err != nil {
+		return fmt.Errorf("he: write seeded ciphertext c0: %w", err)
+	}
+	return nil
+}
+
+// ReadSeededCiphertext deserializes and validates a seeded ciphertext
+// against params. Hostile seeds are harmless (any seed expands to some
+// uniform polynomial); hostile lengths and coefficients error before use.
+func ReadSeededCiphertext(r io.Reader, params Parameters) (*SeededCiphertext, error) {
+	var (
+		magic, n uint32
+		flags    byte
+		q, t     uint64
+	)
+	for _, v := range []any{&magic, &flags, &n, &q, &t} {
+		if err := binary.Read(r, binary.LittleEndian, v); err != nil {
+			return nil, fmt.Errorf("he: read seeded ciphertext header: %w", err)
+		}
+	}
+	if magic != seededCtMagic {
+		return nil, fmt.Errorf("he: bad seeded ciphertext magic %#x", magic)
+	}
+	if flags&sctFlagPacked == 0 {
+		return nil, fmt.Errorf("he: seeded ciphertext without packed flag (flags %#x)", flags)
+	}
+	if int(n) != params.N || q != params.Q || t != params.T {
+		return nil, fmt.Errorf("he: seeded ciphertext parameters (n=%d q=%d t=%d) do not match (n=%d q=%d t=%d)",
+			n, q, t, params.N, params.Q, params.T)
+	}
+	sc := &SeededCiphertext{Params: params}
+	if _, err := io.ReadFull(r, sc.Seed[:]); err != nil {
+		return nil, fmt.Errorf("he: read seeded ciphertext seed: %w", err)
+	}
+	c0, err := ring.ReadPolyPacked(r, ring.CoeffBits(params.Q))
+	if err != nil {
+		return nil, fmt.Errorf("he: read seeded ciphertext c0: %w", err)
+	}
+	if err := params.Ring().ValidatePoly(c0); err != nil {
+		return nil, fmt.Errorf("he: seeded ciphertext c0: %w", err)
+	}
+	sc.C0 = c0
+	return sc, nil
+}
+
+// MarshalSeededCiphertext renders sc to bytes.
+func MarshalSeededCiphertext(sc *SeededCiphertext) ([]byte, error) {
+	buf := make([]byte, 0, sc.PackedSize())
+	w := newAppendWriter(buf)
+	if err := sc.Write(w); err != nil {
+		return nil, err
+	}
+	return w.b, nil
+}
+
+// appendWriter is a minimal io.Writer over an append-grown slice, avoiding
+// the bookkeeping of bytes.Buffer for size-precomputed encodes.
+type appendWriter struct{ b []byte }
+
+func newAppendWriter(b []byte) *appendWriter { return &appendWriter{b: b} }
+
+func (w *appendWriter) Write(p []byte) (int, error) {
+	w.b = append(w.b, p...)
+	return len(p), nil
+}

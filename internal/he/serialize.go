@@ -222,6 +222,25 @@ func UnmarshalCiphertext(b []byte, params Parameters) (*Ciphertext, error) {
 	return ReadCiphertext(bytes.NewReader(b), params)
 }
 
+// MarshalCiphertextPacked renders a ciphertext in the v2 packed layout.
+func MarshalCiphertextPacked(ct *Ciphertext) ([]byte, error) {
+	w := newAppendWriter(make([]byte, 0, ct.PackedSize()))
+	if err := ct.WritePacked(w); err != nil {
+		return nil, err
+	}
+	return w.b, nil
+}
+
+// UnmarshalCiphertextAny parses a ciphertext in either wire format.
+func UnmarshalCiphertextAny(b []byte, params Parameters) (*Ciphertext, error) {
+	return ReadCiphertextAny(bytes.NewReader(b), params)
+}
+
+// UnmarshalSeededCiphertext parses a seed-compressed ciphertext from bytes.
+func UnmarshalSeededCiphertext(b []byte, params Parameters) (*SeededCiphertext, error) {
+	return ReadSeededCiphertext(bytes.NewReader(b), params)
+}
+
 // MarshalPublicKey renders pk to bytes.
 func MarshalPublicKey(pk *PublicKey) ([]byte, error) {
 	var buf bytes.Buffer

@@ -1,0 +1,52 @@
+package ring
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadPolyPacked feeds hostile bytes to the packed-poly decoder: it must
+// return an error or a valid poly, never panic, and never allocate beyond
+// the bounded maxPolyDegree regardless of the claimed length prefix.
+func FuzzReadPolyPacked(f *testing.F) {
+	// Seed with a well-formed packed poly at a realistic width.
+	p := Poly{Coeffs: []uint64{0, 1, (1 << 46) - 1, 12345, 0, 7, 1 << 40, 3}}
+	var good bytes.Buffer
+	if err := WritePolyPacked(&good, p, 46); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good.Bytes(), 46)
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF}, 46)      // hostile length
+	f.Add([]byte{0, 0, 0, 0}, 46)                  // zero coeffs
+	f.Add([]byte{8, 0, 0, 0, 1, 2, 3}, 1)          // truncated body
+	f.Add(good.Bytes(), 63)                        // wrong width for the data
+	f.Add(good.Bytes(), 0)                         // invalid width
+	f.Fuzz(func(t *testing.T, data []byte, width int) {
+		got, err := ReadPolyPacked(bytes.NewReader(data), width)
+		if err != nil {
+			return
+		}
+		if len(got.Coeffs) == 0 || len(got.Coeffs) > maxPolyDegree {
+			t.Fatalf("decoder accepted out-of-bounds degree %d", len(got.Coeffs))
+		}
+		limit := uint64(1) << uint(width)
+		for i, c := range got.Coeffs {
+			if c >= limit {
+				t.Fatalf("coeff %d = %d exceeds width %d", i, c, width)
+			}
+		}
+		// Accepted polys must re-encode to a decodable form (round-trip
+		// stability of the accepted subset).
+		var buf bytes.Buffer
+		if err := WritePolyPacked(&buf, got, width); err != nil {
+			t.Fatalf("re-encoding accepted poly: %v", err)
+		}
+		again, err := ReadPolyPacked(&buf, width)
+		if err != nil {
+			t.Fatalf("re-decoding: %v", err)
+		}
+		if !again.Equal(got) {
+			t.Fatal("re-encode round trip changed coefficients")
+		}
+	})
+}

@@ -55,6 +55,33 @@ func NewSeededSource(seed uint64) Source {
 	return mrand.NewChaCha8(key)
 }
 
+// NewSource32 returns the deterministic ChaCha8 stream keyed by the full
+// 32-byte seed. It is the expansion primitive of seed-compressible
+// ciphertexts: both endpoints derive the identical uniform polynomial from
+// the same seed, so only the seed crosses the wire.
+func NewSource32(seed [32]byte) Source {
+	return mrand.NewChaCha8(seed)
+}
+
+// UniformFromSeed deterministically fills p with uniform coefficients in
+// [0, q) expanded from a 32-byte ChaCha8 seed. The rejection-sampling walk is
+// fixed by (seed, q, len(p)), making the expansion a stable wire contract:
+// a seeded ciphertext's `a` polynomial is reproduced exactly on receipt.
+func (r *Ring) UniformFromSeed(seed [32]byte, p Poly) {
+	src := NewSource32(seed)
+	q := r.Mod.Q
+	bound := ^uint64(0) - (^uint64(0) % q)
+	for i := range p.Coeffs {
+		for {
+			v := src.Uint64()
+			if v < bound {
+				p.Coeffs[i] = v % q
+				break
+			}
+		}
+	}
+}
+
 // Sampler draws the random polynomials the FV scheme needs: uniform in R_q,
 // uniform ternary secrets, and truncated discrete Gaussian errors.
 type Sampler struct {

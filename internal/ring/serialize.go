@@ -4,15 +4,42 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math/bits"
+	"sync"
 )
 
+// bufPool recycles the intermediate byte buffers of poly (de)serialization.
+// A cipher image moves hundreds of polynomials per request; without pooling
+// every receive allocates 8·n bytes per poly just to shuttle bytes between
+// the reader and the coefficient slice.
+var bufPool sync.Pool // *[]byte
+
+// getBuf returns a byte slice of length n (unspecified contents) from the
+// pool, growing the pooled backing array when needed.
+func getBuf(n int) []byte {
+	if v := bufPool.Get(); v != nil {
+		b := *(v.(*[]byte))
+		if cap(b) >= n {
+			return b[:n]
+		}
+	}
+	return make([]byte, n)
+}
+
+// putBuf returns a buffer obtained from getBuf to the pool.
+func putBuf(b []byte) {
+	b = b[:cap(b)]
+	bufPool.Put(&b)
+}
+
 // WritePoly serializes p as a little-endian coefficient vector preceded by a
-// uint32 length.
+// uint32 length — the v1 (legacy) fixed 8-bytes-per-coefficient layout.
 func WritePoly(w io.Writer, p Poly) error {
 	if err := binary.Write(w, binary.LittleEndian, uint32(len(p.Coeffs))); err != nil {
 		return fmt.Errorf("ring: write poly length: %w", err)
 	}
-	buf := make([]byte, 8*len(p.Coeffs))
+	buf := getBuf(8 * len(p.Coeffs))
+	defer putBuf(buf)
 	for i, c := range p.Coeffs {
 		binary.LittleEndian.PutUint64(buf[8*i:], c)
 	}
@@ -35,13 +62,110 @@ func ReadPoly(r io.Reader) (Poly, error) {
 	if n == 0 || n > maxPolyDegree {
 		return Poly{}, fmt.Errorf("ring: invalid poly length %d", n)
 	}
-	buf := make([]byte, 8*int(n))
+	buf := getBuf(8 * int(n))
+	defer putBuf(buf)
 	if _, err := io.ReadFull(r, buf); err != nil {
 		return Poly{}, fmt.Errorf("ring: read poly coefficients: %w", err)
 	}
 	p := Poly{Coeffs: make([]uint64, n)}
 	for i := range p.Coeffs {
 		p.Coeffs[i] = binary.LittleEndian.Uint64(buf[8*i:])
+	}
+	return p, nil
+}
+
+// CoeffBits returns the packed coefficient width for modulus q: the minimum
+// number of bits that can hold every residue in [0, q).
+func CoeffBits(q uint64) int {
+	return bits.Len64(q - 1)
+}
+
+// packedBytes is the body size of a width-bit packed vector of n coefficients.
+func packedBytes(n, width int) int {
+	return (n*width + 7) / 8
+}
+
+// PackedPolySize returns the serialized size of WritePolyPacked for an
+// n-coefficient polynomial at the given width, including the length prefix.
+func PackedPolySize(n, width int) int {
+	return 4 + packedBytes(n, width)
+}
+
+// packPad is the slack appended to packed buffers so the codec can always
+// load/store aligned 64-bit windows without bounds gymnastics.
+const packPad = 8
+
+// WritePolyPacked serializes p with width bits per coefficient (little-endian
+// bit order within the stream), preceded by a uint32 coefficient count. Every
+// coefficient must fit in width bits; q < 2^58 rings need ceil(log2 q) ≤ 58
+// bits instead of the 64 the legacy layout spends.
+func WritePolyPacked(w io.Writer, p Poly, width int) error {
+	if width < 1 || width > 63 {
+		return fmt.Errorf("ring: packed width %d out of range [1, 63]", width)
+	}
+	n := len(p.Coeffs)
+	if err := binary.Write(w, binary.LittleEndian, uint32(n)); err != nil {
+		return fmt.Errorf("ring: write packed poly length: %w", err)
+	}
+	size := packedBytes(n, width)
+	buf := getBuf(size + packPad)
+	defer putBuf(buf)
+	for i := range buf {
+		buf[i] = 0
+	}
+	limit := uint64(1) << uint(width)
+	for i, c := range p.Coeffs {
+		if c >= limit {
+			return fmt.Errorf("ring: coefficient %d = %d does not fit in %d bits", i, c, width)
+		}
+		bitOff := i * width
+		byteOff := bitOff >> 3
+		shift := uint(bitOff & 7)
+		win := binary.LittleEndian.Uint64(buf[byteOff:])
+		binary.LittleEndian.PutUint64(buf[byteOff:], win|c<<shift)
+		if int(shift)+width > 64 {
+			buf[byteOff+8] |= byte(c >> (64 - shift))
+		}
+	}
+	if _, err := w.Write(buf[:size]); err != nil {
+		return fmt.Errorf("ring: write packed poly coefficients: %w", err)
+	}
+	return nil
+}
+
+// ReadPolyPacked deserializes a polynomial written by WritePolyPacked at the
+// same width. Hostile lengths error before any large allocation.
+func ReadPolyPacked(r io.Reader, width int) (Poly, error) {
+	if width < 1 || width > 63 {
+		return Poly{}, fmt.Errorf("ring: packed width %d out of range [1, 63]", width)
+	}
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return Poly{}, fmt.Errorf("ring: read packed poly length: %w", err)
+	}
+	if n == 0 || n > maxPolyDegree {
+		return Poly{}, fmt.Errorf("ring: invalid packed poly length %d", n)
+	}
+	size := packedBytes(int(n), width)
+	buf := getBuf(size + packPad)
+	defer putBuf(buf)
+	if _, err := io.ReadFull(r, buf[:size]); err != nil {
+		return Poly{}, fmt.Errorf("ring: read packed poly coefficients: %w", err)
+	}
+	for i := size; i < size+packPad; i++ {
+		buf[i] = 0
+	}
+	mask := uint64(1)<<uint(width) - 1
+	p := Poly{Coeffs: make([]uint64, n)}
+	for i := range p.Coeffs {
+		bitOff := i * width
+		byteOff := bitOff >> 3
+		shift := uint(bitOff & 7)
+		v := binary.LittleEndian.Uint64(buf[byteOff:]) >> shift
+		if int(shift)+width > 64 {
+			v |= uint64(buf[byteOff+8]) << (64 - shift)
+		}
+		p.Coeffs[i] = v & mask
 	}
 	return p, nil
 }

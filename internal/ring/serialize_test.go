@@ -1,0 +1,169 @@
+package ring
+
+import (
+	"bytes"
+	"math/bits"
+	"testing"
+)
+
+func testSerializeRing(t testing.TB, n int) *Ring {
+	t.Helper()
+	q, err := GenerateNTTPrime(46, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRing(n, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestPackedPolyMatchesLegacy is the codec equivalence property: for random
+// in-range polynomials, packed encode → decode yields coefficients
+// bit-identical to the legacy 8-byte path, at the predicted smaller size.
+func TestPackedPolyMatchesLegacy(t *testing.T) {
+	r := testSerializeRing(t, 256)
+	width := CoeffBits(r.Mod.Q)
+	s := NewSampler(r, NewSeededSource(7))
+	for trial := 0; trial < 20; trial++ {
+		p := r.NewPoly()
+		s.Uniform(p)
+
+		var legacy bytes.Buffer
+		if err := WritePoly(&legacy, p); err != nil {
+			t.Fatal(err)
+		}
+		var packed bytes.Buffer
+		if err := WritePolyPacked(&packed, p, width); err != nil {
+			t.Fatal(err)
+		}
+		if got, want := packed.Len(), PackedPolySize(r.N, width); got != want {
+			t.Fatalf("packed size %d, PackedPolySize says %d", got, want)
+		}
+		if packed.Len() >= legacy.Len() {
+			t.Fatalf("packed %dB not smaller than legacy %dB", packed.Len(), legacy.Len())
+		}
+
+		fromLegacy, err := ReadPoly(&legacy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fromPacked, err := ReadPolyPacked(&packed, width)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !fromLegacy.Equal(p) || !fromPacked.Equal(p) {
+			t.Fatal("decoded polynomial differs from original")
+		}
+	}
+}
+
+// TestPackedPolyEdgeWidths exercises widths at both extremes, including the
+// >57-bit case where a coefficient straddles a 64-bit window boundary.
+func TestPackedPolyEdgeWidths(t *testing.T) {
+	for _, width := range []int{1, 7, 8, 9, 31, 33, 57, 58, 63} {
+		limit := uint64(1) << uint(width)
+		p := Poly{Coeffs: make([]uint64, 64)}
+		state := uint64(width)
+		for i := range p.Coeffs {
+			state = state*6364136223846793005 + 1442695040888963407
+			p.Coeffs[i] = state % limit
+		}
+		// Force extremes into the vector.
+		p.Coeffs[0] = limit - 1
+		p.Coeffs[1] = 0
+		p.Coeffs[len(p.Coeffs)-1] = limit - 1
+
+		var buf bytes.Buffer
+		if err := WritePolyPacked(&buf, p, width); err != nil {
+			t.Fatalf("width %d: %v", width, err)
+		}
+		got, err := ReadPolyPacked(&buf, width)
+		if err != nil {
+			t.Fatalf("width %d: %v", width, err)
+		}
+		if !got.Equal(p) {
+			t.Fatalf("width %d: round trip mismatch", width)
+		}
+	}
+}
+
+func TestPackedPolyRejectsOversizedCoefficient(t *testing.T) {
+	p := Poly{Coeffs: []uint64{1 << 10}}
+	var buf bytes.Buffer
+	if err := WritePolyPacked(&buf, p, 10); err == nil {
+		t.Fatal("coefficient wider than width accepted")
+	}
+}
+
+func TestPackedPolyRejectsBadWidth(t *testing.T) {
+	p := Poly{Coeffs: []uint64{1}}
+	var buf bytes.Buffer
+	for _, w := range []int{0, -1, 64, 99} {
+		if err := WritePolyPacked(&buf, p, w); err == nil {
+			t.Fatalf("width %d accepted by writer", w)
+		}
+		if _, err := ReadPolyPacked(bytes.NewReader([]byte{1, 0, 0, 0, 0}), w); err == nil {
+			t.Fatalf("width %d accepted by reader", w)
+		}
+	}
+}
+
+func TestReadPolyPackedRejectsHostileLength(t *testing.T) {
+	// Length prefix far beyond maxPolyDegree must error without allocating.
+	hostile := []byte{0xFF, 0xFF, 0xFF, 0xFF}
+	if _, err := ReadPolyPacked(bytes.NewReader(hostile), 46); err == nil {
+		t.Fatal("hostile length accepted")
+	}
+	if _, err := ReadPolyPacked(bytes.NewReader([]byte{0, 0, 0, 0}), 46); err == nil {
+		t.Fatal("zero length accepted")
+	}
+	// Truncated body.
+	if _, err := ReadPolyPacked(bytes.NewReader([]byte{4, 0, 0, 0, 1, 2}), 46); err == nil {
+		t.Fatal("truncated body accepted")
+	}
+}
+
+// TestCoeffBits pins the width formula the wire format depends on.
+func TestCoeffBits(t *testing.T) {
+	for _, q := range []uint64{2, 3, 255, 256, 257, 1 << 45, (1 << 58) - 27} {
+		if got, want := CoeffBits(q), bits.Len64(q-1); got != want {
+			t.Fatalf("CoeffBits(%d) = %d, want %d", q, got, want)
+		}
+	}
+}
+
+// TestSerializeBufferReuse checks the pooled scratch path stays correct
+// under interleaved encode/decode traffic (pool reuse must never leak bytes
+// between polys).
+func TestSerializeBufferReuse(t *testing.T) {
+	r := testSerializeRing(t, 128)
+	s := NewSampler(r, NewSeededSource(9))
+	width := CoeffBits(r.Mod.Q)
+	polys := make([]Poly, 8)
+	var legacy, packed bytes.Buffer
+	for i := range polys {
+		polys[i] = r.NewPoly()
+		s.Uniform(polys[i])
+		if err := WritePoly(&legacy, polys[i]); err != nil {
+			t.Fatal(err)
+		}
+		if err := WritePolyPacked(&packed, polys[i], width); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range polys {
+		a, err := ReadPoly(&legacy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := ReadPolyPacked(&packed, width)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !a.Equal(polys[i]) || !b.Equal(polys[i]) {
+			t.Fatalf("poly %d corrupted by buffer reuse", i)
+		}
+	}
+}

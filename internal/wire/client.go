@@ -3,6 +3,7 @@ package wire
 import (
 	"encoding/binary"
 	"fmt"
+	"io"
 	"math"
 	"net"
 
@@ -14,11 +15,18 @@ import (
 
 // Client is the smart-device side of the protocol: it attests the edge
 // server's enclave, receives HE keys over the attested channel, and
-// submits encrypted inference queries.
+// submits encrypted inference queries. Uploads default to the v2 seeded
+// format (c0 + 32-byte expansion seed per pixel, bit-packed coefficients),
+// roughly half the bytes of the legacy encoding; SetLegacyFormat(true)
+// forces the v1 format for compatibility testing and ablation.
 type Client struct {
 	conn     net.Conn
 	inner    *core.Client
 	verifier *attest.Service
+	legacy   bool
+	// readBuf is reused across Infer replies so steady-state querying pays
+	// one reply-sized allocation per connection, not per request.
+	readBuf []byte
 }
 
 // Dial connects to an edge server. The verifier must already trust the
@@ -102,26 +110,50 @@ func (c *Client) Ready() bool { return c.inner.Ready() }
 // Params returns the HE parameters received during attestation.
 func (c *Client) Params() he.Parameters { return c.inner.Params }
 
+// SetLegacyFormat forces v1 fixed-width public-key uploads instead of the
+// seeded v2 default — the compatibility path a pre-v2 client exercises.
+func (c *Client) SetLegacyFormat(on bool) { c.legacy = on }
+
 // Infer encrypts the image, submits it, and returns decrypted logits
-// (float, rescaled by the server-reported output scale).
+// (float, rescaled by the server-reported output scale). The default upload
+// path encrypts under the secret key in seed-compressed form and streams
+// the request straight to the socket; the server answers in the same wire
+// version it received.
 func (c *Client) Infer(img *nn.Tensor, pixelScale uint64) ([]float64, error) {
 	if !c.Ready() {
 		return nil, fmt.Errorf("wire: attest before inferring")
 	}
-	ci, err := c.inner.EncryptImage(img, pixelScale)
+	if c.legacy {
+		ci, err := c.inner.EncryptImage(img, pixelScale)
+		if err != nil {
+			return nil, err
+		}
+		payload, err := core.MarshalCipherImage(ci)
+		if err != nil {
+			return nil, err
+		}
+		if err := WriteFrame(c.conn, MsgInferRequest, payload); err != nil {
+			return nil, err
+		}
+	} else {
+		si, err := c.inner.EncryptImageSeeded(img, pixelScale)
+		if err != nil {
+			return nil, err
+		}
+		size := core.SeededCipherImageSize(si)
+		err = WriteFrameFunc(c.conn, MsgInferRequest, size, func(w io.Writer) error {
+			return core.WriteSeededCipherImage(w, si)
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	t, reply, err := ReadFrameReuse(c.conn, c.readBuf)
 	if err != nil {
 		return nil, err
 	}
-	payload, err := core.MarshalCipherImage(ci)
-	if err != nil {
-		return nil, err
-	}
-	if err := WriteFrame(c.conn, MsgInferRequest, payload); err != nil {
-		return nil, err
-	}
-	t, reply, err := ReadFrame(c.conn)
-	if err != nil {
-		return nil, err
+	if cap(reply) > cap(c.readBuf) {
+		c.readBuf = reply[:cap(reply)]
 	}
 	if t == MsgError {
 		// Surface the typed failure: callers branch on *ServerError (e.g.
@@ -138,7 +170,7 @@ func (c *Client) Infer(img *nn.Tensor, pixelScale uint64) ([]float64, error) {
 	if outScale <= 0 || math.IsNaN(outScale) || math.IsInf(outScale, 0) {
 		return nil, fmt.Errorf("wire: invalid output scale %g", outScale)
 	}
-	logits, err := core.UnmarshalCiphertextBatch(reply[8:], c.inner.Params)
+	logits, err := core.UnmarshalCiphertextBatchAny(reply[8:], c.inner.Params)
 	if err != nil {
 		return nil, err
 	}

@@ -5,6 +5,7 @@
 package wire
 
 import (
+	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -141,8 +142,61 @@ func WriteFrame(w io.Writer, t MsgType, payload []byte) error {
 	return nil
 }
 
-// ReadFrame reads one frame.
+// WriteFrameFunc writes a frame whose payload is produced by streaming
+// directly into the connection instead of materializing a []byte first.
+// payloadLen must be the exact number of bytes write will emit — cipher
+// images know their encoded size up front, so multi-megabyte requests and
+// replies never pass through an intermediate buffer copy. The writer handed
+// to write is buffered; WriteFrameFunc flushes it before returning.
+func WriteFrameFunc(w io.Writer, t MsgType, payloadLen int, write func(io.Writer) error) error {
+	if payloadLen+1 > MaxFrameBytes {
+		return ErrFrameTooLarge
+	}
+	var hdr [5]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(payloadLen+1))
+	hdr[4] = byte(t)
+	bw := bufio.NewWriterSize(w, 32<<10)
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wire: writing frame header: %w", err)
+	}
+	cw := &countingWriter{w: bw}
+	if err := write(cw); err != nil {
+		return fmt.Errorf("wire: writing streamed payload: %w", err)
+	}
+	if cw.n != int64(payloadLen) {
+		return fmt.Errorf("wire: streamed payload wrote %d bytes, declared %d", cw.n, payloadLen)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("wire: flushing frame: %w", err)
+	}
+	return nil
+}
+
+// countingWriter tracks bytes written so WriteFrameFunc can verify the
+// declared length (a mismatch would desynchronize the framing for good).
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// ReadFrame reads one frame, allocating a fresh payload buffer.
 func ReadFrame(r io.Reader) (MsgType, []byte, error) {
+	return ReadFrameReuse(r, nil)
+}
+
+// ReadFrameReuse reads one frame into buf when its capacity suffices,
+// allocating (and returning) a larger buffer otherwise. Connection loops
+// keep one buffer per connection and pass it back each iteration, so a
+// client streaming cipher images reuses a single payload allocation instead
+// of paying tens of MB per request. The returned payload aliases buf and is
+// only valid until the next ReadFrameReuse call with the same buffer.
+func ReadFrameReuse(r io.Reader, buf []byte) (MsgType, []byte, error) {
 	var hdr [5]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return 0, nil, fmt.Errorf("wire: reading frame header: %w", err)
@@ -155,7 +209,13 @@ func ReadFrame(r io.Reader) (MsgType, []byte, error) {
 		return 0, nil, ErrFrameTooLarge
 	}
 	t := MsgType(hdr[4])
-	payload := make([]byte, n-1)
+	need := int(n - 1)
+	var payload []byte
+	if cap(buf) >= need {
+		payload = buf[:need]
+	} else {
+		payload = make([]byte, need)
+	}
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return 0, nil, fmt.Errorf("wire: reading frame payload: %w", err)
 	}

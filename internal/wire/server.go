@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"log/slog"
 	"net"
 	"sync"
@@ -11,6 +12,7 @@ import (
 	"hesgx/internal/attest"
 	"hesgx/internal/core"
 	"hesgx/internal/serve"
+	"hesgx/internal/stats"
 	"hesgx/internal/trace"
 )
 
@@ -46,13 +48,23 @@ func WithTracer(t *trace.Tracer) ServerOption {
 	return func(s *Server) { s.tracer = t }
 }
 
+// WithMetrics records transport-level traffic into reg: wire.bytes_in /
+// wire.bytes_out counters over all frames plus per-request payload-size
+// histograms (wire.request_bytes, wire.reply_bytes) — the numbers behind
+// the ~2× seeded-upload reduction, visible on /metrics. Normally the
+// serving pipeline's registry.
+func WithMetrics(reg *stats.Registry) ServerOption {
+	return func(s *Server) { s.metrics = reg }
+}
+
 // Server is the edge-server endpoint: it owns the enclave service and the
 // hybrid engine and answers attestation and inference requests over TCP.
 type Server struct {
 	svc      *core.EnclaveService
 	engine   *core.HybridEngine
 	inferrer Inferrer
-	tracer   *trace.Tracer // nil: request tracing disabled at the wire
+	tracer   *trace.Tracer   // nil: request tracing disabled at the wire
+	metrics  *stats.Registry // nil-safe: a nil registry no-ops
 	logger   *slog.Logger
 
 	wg sync.WaitGroup
@@ -119,24 +131,45 @@ func (s *Server) handle(ctx context.Context, conn net.Conn) error {
 	defer cancel()
 	stop := context.AfterFunc(ctx, func() { _ = conn.Close() })
 	defer stop()
+	// One payload buffer per connection, reused across frames: requests on a
+	// connection are handled sequentially and decoders copy what they keep,
+	// so each client pays one cipher-image-sized allocation per connection
+	// instead of one per request.
+	var payloadBuf []byte
 	for {
-		t, payload, err := ReadFrame(conn)
+		t, payload, err := ReadFrameReuse(conn, payloadBuf)
 		if err != nil {
 			if errors.Is(err, net.ErrClosed) {
 				return nil
 			}
 			return nil // client closed or garbled; nothing more to do
 		}
+		if cap(payload) > cap(payloadBuf) {
+			payloadBuf = payload[:cap(payload)]
+		}
+		s.metrics.Counter("wire.bytes_in").Add(int64(len(payload)) + frameHeaderSize)
 		if err := s.dispatch(ctx, conn, t, payload); err != nil {
 			// Protocol-level errors go back to the client as typed error
 			// frames; transport errors end the connection.
 			code := errorCode(err)
 			s.logger.Warn("request failed", "remote", conn.RemoteAddr(), "code", code, "err", err)
-			if werr := WriteFrame(conn, MsgError, EncodeError(code, err.Error())); werr != nil {
+			if werr := s.writeFrame(conn, MsgError, EncodeError(code, err.Error())); werr != nil {
 				return werr
 			}
 		}
 	}
+}
+
+// frameHeaderSize is the fixed framing overhead counted into byte totals.
+const frameHeaderSize = 5
+
+// writeFrame writes a frame and accounts its bytes.
+func (s *Server) writeFrame(conn net.Conn, t MsgType, payload []byte) error {
+	err := WriteFrame(conn, t, payload)
+	if err == nil {
+		s.metrics.Counter("wire.bytes_out").Add(int64(len(payload)) + frameHeaderSize)
+	}
+	return err
 }
 
 // errorCode classifies a handler error for the MsgError frame.
@@ -181,7 +214,7 @@ func (s *Server) handleTrust(conn net.Conn) error {
 	m := s.svc.Enclave().Measurement()
 	pub := attest.MarshalPublicKey(s.svc.Enclave().Platform().AttestationPublicKey())
 	payload := append(m[:], pub...)
-	return WriteFrame(conn, MsgTrustBundle, payload)
+	return s.writeFrame(conn, MsgTrustBundle, payload)
 }
 
 func (s *Server) handleAttest(conn net.Conn, payload []byte) error {
@@ -204,7 +237,7 @@ func (s *Server) handleAttest(conn net.Conn, payload []byte) error {
 		return err
 	}
 	s.logger.Info("attestation served", "remote", conn.RemoteAddr())
-	return WriteFrame(conn, MsgAttestReply, qb)
+	return s.writeFrame(conn, MsgAttestReply, qb)
 }
 
 func (s *Server) handleInfer(ctx context.Context, conn net.Conn, payload []byte) error {
@@ -215,30 +248,61 @@ func (s *Server) handleInfer(ctx context.Context, conn net.Conn, payload []byte)
 	ctx = trace.With(ctx, tr)
 	defer s.tracer.Finish(tr)
 
+	// Version negotiation happens per request: the decoder reports which
+	// wire format arrived (legacy fixed-width v1 or seeded/packed v2) and
+	// the reply mirrors it, so legacy clients keep talking to this server
+	// while v2 clients get packed replies.
 	_, dspan := trace.StartSpan(ctx, "wire.decode", "wire")
-	img, err := core.UnmarshalCipherImage(payload, s.svc.Params())
+	img, version, err := core.UnmarshalCipherImageAuto(payload, s.svc.Params())
 	dspan.Arg("bytes", float64(len(payload))).End()
+	s.metrics.ObserveHistogram("wire.request_bytes", float64(len(payload)))
 	if err != nil {
 		return &badRequestError{fmt.Errorf("wire: decoding cipher image: %w", err)}
+	}
+	if version == core.WireV2 {
+		s.metrics.Counter("wire.requests_v2").Inc()
+	} else {
+		s.metrics.Counter("wire.requests_v1").Inc()
 	}
 	res, err := s.inferrer.Infer(ctx, img)
 	if err != nil {
 		return fmt.Errorf("wire: inference: %w", err)
 	}
 	_, espan := trace.StartSpan(ctx, "wire.encode", "wire")
-	batch, err := core.MarshalCiphertextBatch(res.Logits)
+	var replyLen int
+	if version == core.WireV2 {
+		// Packed batch, streamed straight to the connection: the exact size
+		// is known up front, so no intermediate buffer is materialized.
+		replyLen = 8 + core.CiphertextBatchPackedSize(res.Logits)
+		err = WriteFrameFunc(conn, MsgInferReply, replyLen, func(w io.Writer) error {
+			if _, werr := w.Write(float64Bytes(res.OutScale)); werr != nil {
+				return werr
+			}
+			return core.WriteCiphertextBatchPacked(w, res.Logits)
+		})
+	} else {
+		var batch []byte
+		if batch, err = core.MarshalCiphertextBatch(res.Logits); err != nil {
+			espan.End()
+			return err
+		}
+		out := make([]byte, 0, 8+len(batch))
+		out = appendFloat64(out, res.OutScale)
+		out = append(out, batch...)
+		replyLen = len(out)
+		err = WriteFrame(conn, MsgInferReply, out)
+	}
+	espan.Arg("bytes", float64(replyLen)).End()
 	if err != nil {
-		espan.End()
 		return err
 	}
-	var out []byte
-	out = appendFloat64(out, res.OutScale)
-	out = append(out, batch...)
-	werr := WriteFrame(conn, MsgInferReply, out)
-	espan.Arg("bytes", float64(len(out))).End()
-	if werr != nil {
-		return werr
-	}
+	s.metrics.Counter("wire.bytes_out").Add(int64(replyLen) + frameHeaderSize)
+	s.metrics.ObserveHistogram("wire.reply_bytes", float64(replyLen))
 	s.logger.Info("inference served", "remote", conn.RemoteAddr(), "logits", len(res.Logits))
 	return nil
+}
+
+// float64Bytes renders the IEEE-754 bits of f in little-endian order.
+func float64Bytes(f float64) []byte {
+	return appendFloat64(nil, f)
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"io"
 	"log/slog"
 	"math"
 	mrand "math/rand/v2"
@@ -19,6 +20,7 @@ import (
 	"hesgx/internal/ring"
 	"hesgx/internal/serve"
 	"hesgx/internal/sgx"
+	"hesgx/internal/stats"
 )
 
 func TestFrameRoundTrip(t *testing.T) {
@@ -77,6 +79,7 @@ type pipelineStack struct {
 	engine   *core.HybridEngine
 	model    *nn.Network
 	pipeline *serve.Pipeline // nil when the server calls the engine directly
+	metrics  *stats.Registry
 }
 
 // testStackPipeline spins up an edge server; with a non-nil serve config
@@ -114,8 +117,8 @@ func testStackPipeline(t *testing.T, pcfg *serve.Config) (addr string, st *pipel
 	if err != nil {
 		t.Fatal(err)
 	}
-	st = &pipelineStack{svc: svc, engine: engine, model: model}
-	var opts []ServerOption
+	st = &pipelineStack{svc: svc, engine: engine, model: model, metrics: stats.NewRegistry()}
+	opts := []ServerOption{WithMetrics(st.metrics)}
 	if pcfg != nil {
 		st.pipeline = serve.NewPipeline(engine, svc, *pcfg)
 		opts = append(opts, WithInferrer(st.pipeline))
@@ -491,5 +494,151 @@ func TestClosedPipelineSurfacesTypedShutdownError(t *testing.T) {
 	}
 	if se.Code != CodeShutdown {
 		t.Fatalf("got code %v (%q), want shutdown", se.Code, se.Msg)
+	}
+}
+
+// TestLegacyClientTalksToNewServer is the version-negotiation property: a
+// pre-v2 client (fixed-width public-key uploads) and a v2 client (seeded
+// bit-packed uploads) get identical answers from the same server, and the
+// server's version counters attribute each request to the right format.
+func TestLegacyClientTalksToNewServer(t *testing.T) {
+	addr, st, shutdown := testStackPipeline(t, nil)
+	defer shutdown()
+
+	img := testImage(60)
+
+	legacy := dialAttested(t, addr)
+	legacy.SetLegacyFormat(true)
+	fromLegacy, err := legacy.Infer(img, 63)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	modern := dialAttested(t, addr)
+	fromModern, err := modern.Infer(img, 63)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(fromLegacy) != len(fromModern) {
+		t.Fatalf("logit counts differ: %d vs %d", len(fromLegacy), len(fromModern))
+	}
+	for i := range fromLegacy {
+		if fromLegacy[i] != fromModern[i] {
+			t.Fatalf("logit %d differs across wire versions: %g vs %g", i, fromLegacy[i], fromModern[i])
+		}
+	}
+	if got := st.metrics.Counter("wire.requests_v1").Value(); got != 1 {
+		t.Fatalf("wire.requests_v1 = %d, want 1", got)
+	}
+	if got := st.metrics.Counter("wire.requests_v2").Value(); got != 1 {
+		t.Fatalf("wire.requests_v2 = %d, want 1", got)
+	}
+}
+
+// TestSeededUploadSmallerOnWire measures the actual transport payloads: the
+// v2 seeded request histogram must sit at least 2× below a legacy request
+// for the same image.
+func TestSeededUploadSmallerOnWire(t *testing.T) {
+	addr, st, shutdown := testStackPipeline(t, nil)
+	defer shutdown()
+	img := testImage(61)
+
+	modern := dialAttested(t, addr)
+	if _, err := modern.Infer(img, 63); err != nil {
+		t.Fatal(err)
+	}
+	snap := st.metrics.Histogram("wire.request_bytes").Snapshot()
+	v2Bytes := snap.Max
+
+	legacy := dialAttested(t, addr)
+	legacy.SetLegacyFormat(true)
+	if _, err := legacy.Infer(img, 63); err != nil {
+		t.Fatal(err)
+	}
+	snap = st.metrics.Histogram("wire.request_bytes").Snapshot()
+	v1Bytes := snap.Max
+	if v1Bytes <= v2Bytes {
+		t.Fatalf("legacy request (%g B) not larger than seeded (%g B)", v1Bytes, v2Bytes)
+	}
+	if ratio := v1Bytes / v2Bytes; ratio < 2 {
+		t.Fatalf("wire-level upload reduction %.2f× below 2× (v1 %g B, v2 %g B)", ratio, v1Bytes, v2Bytes)
+	}
+	if st.metrics.Counter("wire.bytes_in").Value() <= 0 ||
+		st.metrics.Counter("wire.bytes_out").Value() <= 0 {
+		t.Fatal("transport byte counters did not record traffic")
+	}
+	if st.metrics.Histogram("wire.reply_bytes").Snapshot().Count != 2 {
+		t.Fatal("reply size histogram missed observations")
+	}
+}
+
+// TestWriteFrameFuncStreamsAndVerifiesLength: the streaming writer produces
+// frames indistinguishable from WriteFrame and refuses payload writers that
+// do not emit exactly the declared byte count.
+func TestWriteFrameFuncStreamsAndVerifiesLength(t *testing.T) {
+	payload := bytes.Repeat([]byte{0xAB}, 1000)
+	var direct, streamed bytes.Buffer
+	if err := WriteFrame(&direct, MsgInferReply, payload); err != nil {
+		t.Fatal(err)
+	}
+	err := WriteFrameFunc(&streamed, MsgInferReply, len(payload), func(w io.Writer) error {
+		// Write in uneven chunks to exercise the counting path.
+		if _, err := w.Write(payload[:123]); err != nil {
+			return err
+		}
+		_, err := w.Write(payload[123:])
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(direct.Bytes(), streamed.Bytes()) {
+		t.Fatal("streamed frame differs from direct frame")
+	}
+
+	var buf bytes.Buffer
+	err = WriteFrameFunc(&buf, MsgInferReply, 10, func(w io.Writer) error {
+		_, werr := w.Write([]byte("short"))
+		return werr
+	})
+	if err == nil {
+		t.Fatal("under-delivering payload writer accepted")
+	}
+	if err := WriteFrameFunc(&buf, MsgInferReply, MaxFrameBytes, func(io.Writer) error { return nil }); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized declared length: got %v", err)
+	}
+}
+
+// TestReadFrameReuse pins the pooled-read contract: a large enough buffer is
+// reused in place, a small one is replaced by a larger allocation.
+func TestReadFrameReuse(t *testing.T) {
+	var stream bytes.Buffer
+	first := bytes.Repeat([]byte{1}, 64)
+	second := bytes.Repeat([]byte{2}, 16)
+	if err := WriteFrame(&stream, MsgInferRequest, first); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFrame(&stream, MsgInferRequest, second); err != nil {
+		t.Fatal(err)
+	}
+
+	_, p1, err := ReadFrameReuse(&stream, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(p1, first) {
+		t.Fatal("first payload corrupted")
+	}
+	buf := p1[:cap(p1)]
+	_, p2, err := ReadFrameReuse(&stream, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(p2, second) {
+		t.Fatal("second payload corrupted")
+	}
+	if &p2[0] != &buf[0] {
+		t.Fatal("sufficient buffer was not reused")
 	}
 }
