@@ -72,6 +72,22 @@ func validateGeometry(channels, height, width int) error {
 	return nil
 }
 
+// boundElementCount rejects element counts that are implausible outright or
+// that the remaining payload cannot possibly hold at minSize bytes per
+// element. Counts are attacker-controlled (geometry alone admits products up
+// to 2^38), so a tiny hostile frame must error here, before any count-sized
+// allocation — not OOM the server.
+func boundElementCount(count uint32, minSize, remaining int) error {
+	if count > maxBatchCiphertexts {
+		return fmt.Errorf("core: implausible ciphertext count %d", count)
+	}
+	if minSize > 0 && int(count) > remaining/minSize {
+		return fmt.Errorf("core: %d ciphertexts cannot fit in %d payload bytes (min %d bytes each)",
+			count, remaining, minSize)
+	}
+	return nil
+}
+
 // UnmarshalCipherImage reverses MarshalCipherImage (legacy v1 only),
 // validating geometry.
 func UnmarshalCipherImage(b []byte, params he.Parameters) (*CipherImage, error) {
@@ -277,6 +293,9 @@ func unmarshalCipherImageV2(b []byte, params he.Parameters) (*CipherImage, error
 	}
 	switch {
 	case flags&imgFlagSeeded != 0:
+		if err := boundElementCount(count, he.SeededCiphertextWireSize(params), r.Len()); err != nil {
+			return nil, err
+		}
 		im := &SeededCipherImage{Channels: channels, Height: height, Width: width, Scale: scale}
 		im.CTs = make([]*he.SeededCiphertext, count)
 		for i := range im.CTs {
@@ -288,6 +307,9 @@ func unmarshalCipherImageV2(b []byte, params he.Parameters) (*CipherImage, error
 		}
 		return im.Expand()
 	case flags&imgFlagPacked != 0:
+		if err := boundElementCount(count, he.MinCiphertextWireSize(params), r.Len()); err != nil {
+			return nil, err
+		}
 		im := &CipherImage{Channels: channels, Height: height, Width: width, Scale: scale}
 		im.CTs = make([]*he.Ciphertext, count)
 		for i := range im.CTs {
@@ -373,8 +395,8 @@ func UnmarshalCiphertextBatchAny(b []byte, params he.Parameters) ([]*he.Cipherte
 		if err != nil {
 			return nil, fmt.Errorf("core: batch length: %w", err)
 		}
-		if n > maxBatchCiphertexts {
-			return nil, fmt.Errorf("core: implausible batch size %d", n)
+		if err := boundElementCount(n, he.MinCiphertextWireSize(params), r.Len()); err != nil {
+			return nil, err
 		}
 		out := make([]*he.Ciphertext, n)
 		for i := range out {

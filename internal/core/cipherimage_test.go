@@ -295,3 +295,40 @@ func TestCipherImageAutoRejectsHostile(t *testing.T) {
 		t.Fatal("truncated v2 payload accepted")
 	}
 }
+
+// TestCipherImageV2RejectsHugeCount: a ~30-byte hostile header whose
+// geometry-consistent count runs to billions must error before any
+// count-sized allocation — the decoder may not trust the count until it is
+// cross-checked against the bytes actually present.
+func TestCipherImageV2RejectsHugeCount(t *testing.T) {
+	params := testParams(t)
+	for _, flags := range []byte{imgFlagSeeded, imgFlagPacked} {
+		// 1023 × 16384 × 256 ≈ 4.29e9 elements: geometry-valid, count-valid,
+		// and ~34 GB of slice header alone if allocated up front.
+		var buf bytes.Buffer
+		c, h, w := 1023, 1<<14, 256
+		if err := writeImageV2Header(&buf, flags, c, h, w, 63, c*h*w); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := UnmarshalCipherImageAuto(buf.Bytes(), params); err == nil {
+			t.Fatalf("flags %#x: huge element count accepted", flags)
+		}
+		// A plausible count the payload cannot hold must fail the same way:
+		// 784 claimed elements, zero element bytes behind the header.
+		buf.Reset()
+		if err := writeImageV2Header(&buf, flags, 1, 28, 28, 63, 28*28); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := UnmarshalCipherImageAuto(buf.Bytes(), params); err == nil {
+			t.Fatalf("flags %#x: element count beyond payload accepted", flags)
+		}
+	}
+	// Same bound on the v2 batch decoder.
+	var buf bytes.Buffer
+	writeU32(&buf, ciphertextBatchMagicV2)
+	buf.WriteByte(imgFlagPacked)
+	writeU32(&buf, uint32(maxBatchCiphertexts))
+	if _, err := UnmarshalCiphertextBatchAny(buf.Bytes(), params); err == nil {
+		t.Fatal("batch count beyond payload accepted")
+	}
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"hesgx/internal/he"
+	"hesgx/internal/ring"
+)
+
+// FuzzUnmarshalCipherImageAuto drives the network-facing cipher-image
+// decoder with hostile bytes across both wire versions. Any input must
+// error or produce a geometry-consistent, fully validated image — never
+// panic, and never allocate count-sized storage the payload cannot back
+// (the seeded/packed v2 header carries an attacker-controlled count).
+// Setup stays deliberately light (no attestation, no evaluation keys): the
+// instrumented fuzz workers re-run it per process.
+func FuzzUnmarshalCipherImageAuto(f *testing.F) {
+	params := testParams(f)
+	kg, err := he.NewKeyGenerator(params, ring.NewSeededSource(1))
+	if err != nil {
+		f.Fatal(err)
+	}
+	sk, pk := kg.GenKeyPair()
+	enc, err := he.NewEncryptor(pk, ring.NewSeededSource(2))
+	if err != nil {
+		f.Fatal(err)
+	}
+	sym, err := he.NewSymmetricEncryptor(sk, ring.NewSeededSource(3))
+	if err != nil {
+		f.Fatal(err)
+	}
+	ci := &CipherImage{Channels: 1, Height: 2, Width: 2, Scale: 63}
+	si := &SeededCipherImage{Channels: 1, Height: 2, Width: 2, Scale: 63}
+	for v := uint64(0); v < 4; v++ {
+		ct, err := enc.EncryptScalar(v)
+		if err != nil {
+			f.Fatal(err)
+		}
+		ci.CTs = append(ci.CTs, ct)
+		pt := he.NewPlaintext(params)
+		pt.Poly.Coeffs[0] = v
+		sc, err := sym.EncryptSeeded(pt)
+		if err != nil {
+			f.Fatal(err)
+		}
+		si.CTs = append(si.CTs, sc)
+	}
+	legacy, err := MarshalCipherImage(ci)
+	if err != nil {
+		f.Fatal(err)
+	}
+	seeded, err := MarshalSeededCipherImage(si)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var packed bytes.Buffer
+	if err := WriteCipherImagePacked(&packed, ci); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(legacy)
+	f.Add(seeded)
+	f.Add(packed.Bytes())
+	f.Add([]byte{})
+	// Bare v2 header: claims elements with no bytes behind them.
+	f.Add(bytes.Clone(seeded[:cipherImageV2HeaderSize]))
+	// Geometry-consistent multi-billion element count in a ~30-byte frame —
+	// the remote-OOM shape the decoder must reject before allocating.
+	var hostile bytes.Buffer
+	c, h, w := 1023, 1<<14, 256
+	if err := writeImageV2Header(&hostile, imgFlagSeeded, c, h, w, 63, c*h*w); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(hostile.Bytes())
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		im, _, err := UnmarshalCipherImageAuto(data, params)
+		if err != nil {
+			return
+		}
+		if im.Channels*im.Height*im.Width != len(im.CTs) {
+			t.Fatalf("accepted image geometry %dx%dx%d holds %d ciphertexts",
+				im.Channels, im.Height, im.Width, len(im.CTs))
+		}
+		for i, ct := range im.CTs {
+			if ct == nil {
+				t.Fatalf("accepted image has nil ciphertext %d", i)
+			}
+			if verr := ct.Validate(); verr != nil {
+				t.Fatalf("accepted ciphertext %d fails validation: %v", i, verr)
+			}
+		}
+	})
+}

@@ -41,13 +41,23 @@ func parallelFor(n, workers int, fn func(i int) error) error {
 	next := make(chan int)
 	// failed closes once on the first error so the dispatcher stops feeding
 	// indices instead of draining the full range through the workers — a
-	// failed 784-output layer should not run its remaining outputs.
+	// failed 784-output layer should not run its remaining outputs. Once
+	// failed is observed closed, no further fn call begins: the dispatcher
+	// re-checks it non-blockingly before every send (a blocking two-way
+	// select alone picks randomly when a worker is simultaneously ready,
+	// leaking extra indices), and workers drain already-queued indices
+	// without running them.
 	failed := make(chan struct{})
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range next {
+				select {
+				case <-failed:
+					continue // a prior index failed; drain without running
+				default:
+				}
 				if err := fn(i); err != nil {
 					errOnce.Do(func() {
 						firstErr = err
@@ -59,6 +69,11 @@ func parallelFor(n, workers int, fn func(i int) error) error {
 	}
 dispatch:
 	for i := 0; i < n; i++ {
+		select {
+		case <-failed:
+			break dispatch
+		default:
+		}
 		select {
 		case next <- i:
 		case <-failed:

@@ -59,9 +59,11 @@ func TestParallelForStopsDispatchAfterError(t *testing.T) {
 		t.Fatalf("got %v", err)
 	}
 	// Every call errors, so the first completed call closes the abort signal.
-	// A handful of in-flight dispatches may still land; draining anywhere
-	// near the full range means early-stop is broken.
-	if got := calls.Load(); got > n/10 {
+	// After that, workers drain queued indices without running them and the
+	// dispatcher re-checks the signal before every send, so only calls that
+	// were already in flight when the signal closed may still land — a small
+	// constant, not a fraction of the range.
+	if got := calls.Load(); got > 1000 {
 		t.Fatalf("dispatched %d of %d indices after first error", got, n)
 	}
 }

@@ -189,6 +189,16 @@ func (ct *Ciphertext) PackedSize() int {
 	return 29 + len(ct.Polys)*ring.PackedPolySize(ct.Params.N, width)
 }
 
+// MinCiphertextWireSize returns the smallest encoding any ciphertext under
+// params can occupy across both wire formats — a size-2 v2 packed frame
+// (packed coefficients are strictly narrower than the legacy 8-byte layout).
+// Decoders use it to reject element counts the remaining payload cannot
+// possibly hold, before allocating count-sized storage.
+func MinCiphertextWireSize(params Parameters) int {
+	width := ring.CoeffBits(params.Q)
+	return 29 + 2*ring.PackedPolySize(params.N, width)
+}
+
 // WritePacked serializes the ciphertext in the v2 packed layout:
 // [magic u32][flags u8][n u32][q u64][t u64][size u32] followed by each
 // polynomial bit-packed at ceil(log2 q) bits per coefficient — ~10% smaller

@@ -52,8 +52,16 @@ func (sc *SeededCiphertext) Expand() (*Ciphertext, error) {
 
 // PackedSize returns the exact serialized size of Write for sc.
 func (sc *SeededCiphertext) PackedSize() int {
-	width := ring.CoeffBits(sc.Params.Q)
-	return 25 + SeedSize + ring.PackedPolySize(sc.Params.N, width)
+	return SeededCiphertextWireSize(sc.Params)
+}
+
+// SeededCiphertextWireSize returns the encoded size of a seeded ciphertext
+// under params. Every seeded frame for one parameter set is the same length,
+// so decoders can bound an element count against the payload bytes actually
+// present before allocating count-sized storage.
+func SeededCiphertextWireSize(params Parameters) int {
+	width := ring.CoeffBits(params.Q)
+	return 25 + SeedSize + ring.PackedPolySize(params.N, width)
 }
 
 // Write serializes the seeded ciphertext:

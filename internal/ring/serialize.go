@@ -98,21 +98,23 @@ const packPad = 8
 // WritePolyPacked serializes p with width bits per coefficient (little-endian
 // bit order within the stream), preceded by a uint32 coefficient count. Every
 // coefficient must fit in width bits; q < 2^58 rings need ceil(log2 q) ≤ 58
-// bits instead of the 64 the legacy layout spends.
+// bits instead of the 64 the legacy layout spends. The whole frame — prefix
+// included — is packed and range-checked locally before any byte reaches w,
+// so an out-of-range coefficient can never leave a half-written frame on a
+// length-prefixed stream.
 func WritePolyPacked(w io.Writer, p Poly, width int) error {
 	if width < 1 || width > 63 {
 		return fmt.Errorf("ring: packed width %d out of range [1, 63]", width)
 	}
 	n := len(p.Coeffs)
-	if err := binary.Write(w, binary.LittleEndian, uint32(n)); err != nil {
-		return fmt.Errorf("ring: write packed poly length: %w", err)
-	}
 	size := packedBytes(n, width)
-	buf := getBuf(size + packPad)
+	buf := getBuf(4 + size + packPad)
 	defer putBuf(buf)
 	for i := range buf {
 		buf[i] = 0
 	}
+	binary.LittleEndian.PutUint32(buf, uint32(n))
+	body := buf[4:]
 	limit := uint64(1) << uint(width)
 	for i, c := range p.Coeffs {
 		if c >= limit {
@@ -121,14 +123,14 @@ func WritePolyPacked(w io.Writer, p Poly, width int) error {
 		bitOff := i * width
 		byteOff := bitOff >> 3
 		shift := uint(bitOff & 7)
-		win := binary.LittleEndian.Uint64(buf[byteOff:])
-		binary.LittleEndian.PutUint64(buf[byteOff:], win|c<<shift)
+		win := binary.LittleEndian.Uint64(body[byteOff:])
+		binary.LittleEndian.PutUint64(body[byteOff:], win|c<<shift)
 		if int(shift)+width > 64 {
-			buf[byteOff+8] |= byte(c >> (64 - shift))
+			body[byteOff+8] |= byte(c >> (64 - shift))
 		}
 	}
-	if _, err := w.Write(buf[:size]); err != nil {
-		return fmt.Errorf("ring: write packed poly coefficients: %w", err)
+	if _, err := w.Write(buf[:4+size]); err != nil {
+		return fmt.Errorf("ring: write packed poly: %w", err)
 	}
 	return nil
 }

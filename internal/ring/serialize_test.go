@@ -90,10 +90,17 @@ func TestPackedPolyEdgeWidths(t *testing.T) {
 }
 
 func TestPackedPolyRejectsOversizedCoefficient(t *testing.T) {
-	p := Poly{Coeffs: []uint64{1 << 10}}
+	// The oversized coefficient sits last so an eager writer would have
+	// emitted the length prefix (and most of the body) before noticing.
+	p := Poly{Coeffs: []uint64{1, 2, 3, 1 << 10}}
 	var buf bytes.Buffer
 	if err := WritePolyPacked(&buf, p, 10); err == nil {
 		t.Fatal("coefficient wider than width accepted")
+	}
+	// The failure must happen before any byte reaches the stream: a partial
+	// frame inside a length-prefixed framing would desync the connection.
+	if buf.Len() != 0 {
+		t.Fatalf("%d bytes written before range check failed", buf.Len())
 	}
 }
 

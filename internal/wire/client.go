@@ -2,6 +2,7 @@ package wire
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -145,6 +146,12 @@ func (c *Client) Infer(img *nn.Tensor, pixelScale uint64) ([]float64, error) {
 			return core.WriteSeededCipherImage(w, si)
 		})
 		if err != nil {
+			// An upload that died mid-stream desynchronized the framing; no
+			// further request can be framed on this connection.
+			var partial *PartialFrameError
+			if errors.As(err, &partial) {
+				_ = c.conn.Close()
+			}
 			return nil, err
 		}
 	}

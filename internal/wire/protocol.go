@@ -142,12 +142,33 @@ func WriteFrame(w io.Writer, t MsgType, payload []byte) error {
 	return nil
 }
 
+// PartialFrameError reports a streamed frame that failed after some of its
+// bytes had already reached the transport: a truncated frame sits on the
+// stream, so its framing is desynchronized for good and writing anything
+// else (a MsgError, the next request) would land mid-frame and garble the
+// peer. The only safe recovery is closing the connection.
+type PartialFrameError struct{ Err error }
+
+// Error implements the error interface.
+func (e *PartialFrameError) Error() string {
+	return fmt.Sprintf("wire: frame aborted after partial write: %v", e.Err)
+}
+
+// Unwrap exposes the underlying failure.
+func (e *PartialFrameError) Unwrap() error { return e.Err }
+
 // WriteFrameFunc writes a frame whose payload is produced by streaming
 // directly into the connection instead of materializing a []byte first.
 // payloadLen must be the exact number of bytes write will emit — cipher
 // images know their encoded size up front, so multi-megabyte requests and
 // replies never pass through an intermediate buffer copy. The writer handed
 // to write is buffered; WriteFrameFunc flushes it before returning.
+//
+// Errors raised before anything is flushed leave w untouched and come back
+// plain — the caller may still frame other messages. Once any byte has been
+// flushed to w (the 32KB buffer flushes mid-payload on multi-MB frames), a
+// failure is wrapped in *PartialFrameError: the stream now holds a truncated
+// frame and must be closed, not written to again.
 func WriteFrameFunc(w io.Writer, t MsgType, payloadLen int, write func(io.Writer) error) error {
 	if payloadLen+1 > MaxFrameBytes {
 		return ErrFrameTooLarge
@@ -155,19 +176,27 @@ func WriteFrameFunc(w io.Writer, t MsgType, payloadLen int, write func(io.Writer
 	var hdr [5]byte
 	binary.LittleEndian.PutUint32(hdr[:4], uint32(payloadLen+1))
 	hdr[4] = byte(t)
-	bw := bufio.NewWriterSize(w, 32<<10)
+	flushed := &countingWriter{w: w}
+	bw := bufio.NewWriterSize(flushed, 32<<10)
+	fail := func(err error) error {
+		if flushed.n > 0 {
+			return &PartialFrameError{Err: err}
+		}
+		return err
+	}
 	if _, err := bw.Write(hdr[:]); err != nil {
-		return fmt.Errorf("wire: writing frame header: %w", err)
+		return fail(fmt.Errorf("wire: writing frame header: %w", err))
 	}
 	cw := &countingWriter{w: bw}
 	if err := write(cw); err != nil {
-		return fmt.Errorf("wire: writing streamed payload: %w", err)
+		return fail(fmt.Errorf("wire: writing streamed payload: %w", err))
 	}
 	if cw.n != int64(payloadLen) {
-		return fmt.Errorf("wire: streamed payload wrote %d bytes, declared %d", cw.n, payloadLen)
+		return fail(fmt.Errorf("wire: streamed payload wrote %d bytes, declared %d", cw.n, payloadLen))
 	}
 	if err := bw.Flush(); err != nil {
-		return fmt.Errorf("wire: flushing frame: %w", err)
+		// A failed flush may have committed any prefix of the buffer.
+		return &PartialFrameError{Err: fmt.Errorf("wire: flushing frame: %w", err)}
 	}
 	return nil
 }

@@ -149,6 +149,13 @@ func (s *Server) handle(ctx context.Context, conn net.Conn) error {
 		}
 		s.metrics.Counter("wire.bytes_in").Add(int64(len(payload)) + frameHeaderSize)
 		if err := s.dispatch(ctx, conn, t, payload); err != nil {
+			// A reply that died mid-stream left a truncated frame on the
+			// wire; the connection's framing is unrecoverable, so close it
+			// rather than write a MsgError into the middle of that frame.
+			var partial *PartialFrameError
+			if errors.As(err, &partial) {
+				return err
+			}
 			// Protocol-level errors go back to the client as typed error
 			// frames; transport errors end the connection.
 			code := errorCode(err)

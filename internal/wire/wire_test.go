@@ -610,6 +610,63 @@ func TestWriteFrameFuncStreamsAndVerifiesLength(t *testing.T) {
 	}
 }
 
+// TestWriteFrameFuncPartialWriteIsTransportFatal pins the desync contract:
+// a payload failure before anything is flushed leaves the transport
+// untouched and returns a plain error (the connection can still carry an
+// error frame), while a failure after bytes have hit the transport comes
+// back as *PartialFrameError — the caller must close the connection instead
+// of framing anything else onto a truncated frame.
+func TestWriteFrameFuncPartialWriteIsTransportFatal(t *testing.T) {
+	boom := errors.New("boom")
+
+	// Small payload: the 32KB buffer absorbs everything, so nothing reaches
+	// the transport and the failure is recoverable.
+	var conn bytes.Buffer
+	err := WriteFrameFunc(&conn, MsgInferReply, 100, func(w io.Writer) error {
+		_, _ = w.Write(make([]byte, 10))
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want wrapped boom", err)
+	}
+	var partial *PartialFrameError
+	if errors.As(err, &partial) {
+		t.Fatal("unflushed failure reported as partial frame")
+	}
+	if conn.Len() != 0 {
+		t.Fatalf("%d bytes leaked to the transport on a recoverable failure", conn.Len())
+	}
+
+	// Multi-buffer payload: the buffer flushes mid-payload, so the same
+	// failure now leaves a truncated frame on the wire.
+	conn.Reset()
+	err = WriteFrameFunc(&conn, MsgInferReply, 100<<10, func(w io.Writer) error {
+		if _, werr := w.Write(make([]byte, 64<<10)); werr != nil {
+			return werr
+		}
+		return boom
+	})
+	if !errors.As(err, &partial) {
+		t.Fatalf("got %v, want *PartialFrameError", err)
+	}
+	if !errors.Is(err, boom) {
+		t.Fatal("partial frame error lost its cause")
+	}
+	if conn.Len() == 0 {
+		t.Fatal("test expected flushed bytes before the failure")
+	}
+
+	// An under-delivering writer after a flush is the same class of failure.
+	conn.Reset()
+	err = WriteFrameFunc(&conn, MsgInferReply, 100<<10, func(w io.Writer) error {
+		_, werr := w.Write(make([]byte, 64<<10))
+		return werr
+	})
+	if !errors.As(err, &partial) {
+		t.Fatalf("under-delivery after flush: got %v, want *PartialFrameError", err)
+	}
+}
+
 // TestReadFrameReuse pins the pooled-read contract: a large enough buffer is
 // reused in place, a small one is replaced by a larger allocation.
 func TestReadFrameReuse(t *testing.T) {
