@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build tier1 tier1.5 verify race vet test bench-serving bench-json bench-smoke clean
+.PHONY: all build tier1 tier1.5 verify race vet test bench-serving bench-json bench-smoke bench-regression clean
 
 all: verify
 
@@ -47,6 +47,18 @@ bench-json:
 # still compiles and runs, without paying for stable timings.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x .
+
+# Regression gate against the checked-in BENCH_PR4.json baseline: re-run the
+# serialization benchmarks into a scratch report (never clobbering the
+# baseline — bench-json owns that) and fail if ns/op or bytes/image regress
+# past 2x. The loose tolerance absorbs CI hardware noise while still
+# catching order-of-magnitude mistakes.
+bench-regression:
+	$(GO) test -run '^$$' -bench 'BenchmarkCipherImage' -benchtime 3x . \
+		| $(GO) run ./cmd/hesgx-bench2json -o /tmp/hesgx-bench-regression.json
+	$(GO) run ./cmd/hesgx-benchdiff -base BENCH_PR4.json \
+		-new /tmp/hesgx-bench-regression.json -max-ratio 2.0 \
+		-metrics ns/op,bytes/image
 
 clean:
 	$(GO) clean ./...

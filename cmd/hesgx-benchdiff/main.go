@@ -1,0 +1,139 @@
+// Command hesgx-benchdiff compares two hesgx-bench2json reports and fails
+// (exit 1) when any watched metric regresses past a tolerance ratio. It is
+// the CI regression gate over the checked-in benchmark baselines: a smoke
+// run on shared CI hardware is noisy, so the default tolerance is a
+// deliberately loose 2× — the gate catches order-of-magnitude regressions
+// (an accidental O(n²) path, a dropped pool, a de-batched ECALL loop), not
+// single-digit drift.
+//
+// Usage:
+//
+//	hesgx-benchdiff -base BENCH_PR4.json -new /tmp/bench.json
+//	                [-max-ratio 2.0] [-metrics ns/op,bytes/image]
+//
+// Benchmarks present in the baseline but missing from the new report (or
+// vice versa) warn without failing: renames and coverage changes are PR
+// review matters, not regressions.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Benchmark mirrors the hesgx-bench2json document.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Procs      int                `json:"procs,omitempty"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Report mirrors the hesgx-bench2json document.
+type Report struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	basePath := flag.String("base", "", "baseline bench2json report (required)")
+	newPath := flag.String("new", "", "candidate bench2json report (required)")
+	maxRatio := flag.Float64("max-ratio", 2.0, "fail when new/base exceeds this ratio for a watched metric")
+	metricList := flag.String("metrics", "ns/op,bytes/image", "comma-separated metrics to gate (lower is better)")
+	flag.Parse()
+	if *basePath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "hesgx-benchdiff: -base and -new are required")
+		os.Exit(2)
+	}
+	if *maxRatio <= 0 {
+		fmt.Fprintln(os.Stderr, "hesgx-benchdiff: -max-ratio must be positive")
+		os.Exit(2)
+	}
+
+	base, err := load(*basePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hesgx-benchdiff:", err)
+		os.Exit(2)
+	}
+	cand, err := load(*newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hesgx-benchdiff:", err)
+		os.Exit(2)
+	}
+
+	watched := map[string]bool{}
+	for _, m := range strings.Split(*metricList, ",") {
+		if m = strings.TrimSpace(m); m != "" {
+			watched[m] = true
+		}
+	}
+
+	baseByName := map[string]Benchmark{}
+	for _, b := range base.Benchmarks {
+		baseByName[b.Name] = b
+	}
+
+	failed := 0
+	seen := map[string]bool{}
+	for _, nb := range cand.Benchmarks {
+		seen[nb.Name] = true
+		bb, ok := baseByName[nb.Name]
+		if !ok {
+			fmt.Printf("NEW   %-40s (no baseline; not gated)\n", nb.Name)
+			continue
+		}
+		for metric := range watched {
+			bv, bok := bb.Metrics[metric]
+			nv, nok := nb.Metrics[metric]
+			if !bok || !nok {
+				continue
+			}
+			if bv <= 0 {
+				// A zero baseline makes every ratio infinite; skip rather
+				// than fail on a degenerate denominator.
+				fmt.Printf("SKIP  %-40s %-12s baseline %.4g\n", nb.Name, metric, bv)
+				continue
+			}
+			ratio := nv / bv
+			verdict := "ok"
+			if ratio > *maxRatio {
+				verdict = "REGRESSION"
+				failed++
+			}
+			fmt.Printf("%-5s %-40s %-12s base=%.4g new=%.4g ratio=%.2f (limit %.2f) %s\n",
+				"diff", nb.Name, metric, bv, nv, ratio, *maxRatio, verdict)
+		}
+	}
+	for name := range baseByName {
+		if !seen[name] {
+			fmt.Printf("GONE  %-40s (in baseline, missing from new run; not gated)\n", name)
+		}
+	}
+
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "hesgx-benchdiff: %d metric(s) regressed past %.2fx\n", failed, *maxRatio)
+		os.Exit(1)
+	}
+	fmt.Printf("hesgx-benchdiff: no regression past %.2fx across %d benchmarks\n", *maxRatio, len(cand.Benchmarks))
+}
+
+func load(path string) (*Report, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(buf, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(r.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks in report", path)
+	}
+	return &r, nil
+}

@@ -25,12 +25,14 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"runtime/debug"
 	"syscall"
 	"time"
 
 	"hesgx/internal/admin"
 	"hesgx/internal/core"
 	"hesgx/internal/nn"
+	"hesgx/internal/report"
 	"hesgx/internal/serve"
 	"hesgx/internal/sgx"
 	"hesgx/internal/trace"
@@ -52,10 +54,15 @@ func run() int {
 	batchMax := flag.Int("batch-max", 0, "max ciphertexts per batched ECALL (0: default 256)")
 	noBatching := flag.Bool("no-batching", false, "disable cross-request ECALL batching")
 	statsInterval := flag.Duration("stats-interval", 30*time.Second, "serving-stats log interval (0: off)")
-	adminAddr := flag.String("admin", "", "admin endpoint address for /metrics, /debug/pprof, /traces/last, /healthz (empty: off)")
+	adminAddr := flag.String("admin", "", "admin endpoint address for /metrics, /debug/pprof, /traces/last, /inference/last, /healthz (empty: off)")
 	traceBuffer := flag.Int("trace-buffer", trace.DefaultBufferSize, "request traces retained for /traces/last")
+	reportBuffer := flag.Int("report-buffer", report.DefaultCapacity, "per-request flight reports retained for /inference/last")
+	noiseWarnBits := flag.Float64("noise-warn-bits", core.DefaultNoiseWarnBudgetBits, "warn + count when measured noise budget entering a refresh drops below this many bits (0: off)")
 	flag.Parse()
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		logger.Info("build info", "go", bi.GoVersion, "version", bi.Main.Version)
+	}
 
 	model, err := nn.LoadFile(*modelPath)
 	if err != nil {
@@ -77,7 +84,9 @@ func run() int {
 		logger.Error("parameters", "err", err)
 		return 1
 	}
-	svc, err := core.NewEnclaveService(platform, params)
+	svc, err := core.NewEnclaveService(platform, params,
+		core.WithServiceLogger(logger),
+		core.WithNoiseWarnThreshold(*noiseWarnBits))
 	if err != nil {
 		logger.Error("launching enclave", "err", err)
 		return 1
@@ -110,7 +119,14 @@ func run() int {
 		},
 		DisableBatching: *noBatching,
 		Tracer:          trace.NewTracer(*traceBuffer),
+		Logger:          logger,
 	})
+
+	// Every finished request trace folds into a per-layer flight report:
+	// ring-buffered for /inference/last and re-exported as per-layer
+	// latency/budget series on /metrics.
+	reports := report.NewRecorder(*reportBuffer, pipeline.Metrics)
+	pipeline.Tracer.SetOnFinish(reports.Observe)
 
 	srv, err := wire.NewServer(svc, engine, logger,
 		wire.WithInferrer(pipeline), wire.WithTracer(pipeline.Tracer),
@@ -136,6 +152,7 @@ func run() int {
 			Tracer:        pipeline.Tracer,
 			Platform:      platform.Snapshot,
 			QueueCapacity: queueCapacity,
+			Reports:       reports,
 		})
 		adminSrv, err = admin.Start(*adminAddr, handler)
 		if err != nil {

@@ -18,7 +18,10 @@ import (
 	"hesgx/internal/core"
 	"hesgx/internal/dataset"
 	"hesgx/internal/nn"
+	"hesgx/internal/report"
 	"hesgx/internal/sgx"
+	"hesgx/internal/stats"
+	"hesgx/internal/trace"
 	"hesgx/internal/wire"
 )
 
@@ -58,7 +61,16 @@ func main() {
 	if err := engine.EncodeWeights(); err != nil {
 		log.Fatal(err)
 	}
-	srv, err := wire.NewServer(svc, engine, logger)
+	// Flight recorder: every finished request trace folds into a per-layer
+	// report with wall time, ECALL costs, and noise-budget attribution.
+	reg := stats.NewRegistry()
+	engine.SetMetrics(reg)
+	svc.SetMetrics(reg)
+	tracer := trace.NewTracer(8)
+	reports := report.NewRecorder(8, reg)
+	tracer.SetOnFinish(reports.Observe)
+	srv, err := wire.NewServer(svc, engine, logger,
+		wire.WithTracer(tracer), wire.WithMetrics(reg))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -110,6 +122,25 @@ func main() {
 			i+1, truth, pred, time.Since(qs).Round(time.Millisecond))
 	}
 	fmt.Printf("%d/%d correct over the encrypted channel\n", correct, queries)
+
+	if last := reports.Last(1); len(last) > 0 {
+		fr := last[0]
+		fmt.Printf("\nflight report, last query (trace %d, %.1f ms server-side):\n", fr.TraceID, fr.WallMS)
+		fmt.Printf("  %-10s %10s %8s %12s %12s\n", "layer", "wall ms", "ecalls", "pred bits", "meas bits")
+		for _, l := range fr.Layers {
+			pred, meas := "-", "-"
+			if l.PredictedBudgetBits != nil {
+				pred = fmt.Sprintf(">= %.1f", *l.PredictedBudgetBits)
+			}
+			if l.MeasuredBudgetMinBits != nil {
+				meas = fmt.Sprintf("%.1f", *l.MeasuredBudgetMinBits)
+			}
+			fmt.Printf("  %-10s %10.2f %8d %12s %12s\n", l.Label, l.WallMS, l.Transitions, pred, meas)
+		}
+		if fr.MinMeasuredBudgetBits != nil {
+			fmt.Printf("  tightest measured budget anywhere in the pipeline: %.1f bits\n", *fr.MinMeasuredBudgetBits)
+		}
+	}
 
 	cancel()
 	<-serveDone

@@ -55,8 +55,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// The static accountant predicts a worst-case budget before touching a
+	// ciphertext; the decryptor measures the real one. Predicted ≤ measured
+	// always holds — the gap is the slack in the worst-case bound.
+	pred := params.FreshNoiseBound()
 	budget, _ := dec.NoiseBudget(ctA)
-	fmt.Printf("fresh ciphertext noise budget: %.1f bits\n", budget)
+	fmt.Printf("fresh ciphertext noise budget: predicted >= %.1f bits, measured %.1f bits\n",
+		pred.BudgetBits(), budget)
 
 	// 4. Homomorphic arithmetic.
 	sum, err := eval.Add(ctA, ctB)
@@ -76,16 +81,21 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println("ciphertext size after relinearize:", prod.Size())
-	ptProd, _ := dec.Decrypt(prod)
+	// DecryptWithBudget measures the invariant-noise budget for free from
+	// the same computation decryption already performs.
+	ptProd, prodBudget, _ := dec.DecryptWithBudget(prod)
 	fmt.Println("7 * (-3) =", codec.Decode(ptProd))
-	budget, _ = dec.NoiseBudget(prod)
-	fmt.Printf("noise budget after multiply+relinearize: %.1f bits\n", budget)
+	predProd := pred.Mul(pred).Relinearize()
+	fmt.Printf("budget after multiply+relinearize: predicted >= %.1f bits, measured %.1f bits\n",
+		predProd.BudgetBits(), prodBudget)
 
 	// 5. Plaintext multiplication is much cheaper and quieter.
 	scaled, err := eval.MulPlain(ctA, codec.Encode(6))
 	if err != nil {
 		log.Fatal(err)
 	}
-	ptScaled, _ := dec.Decrypt(scaled)
+	ptScaled, scaledBudget, _ := dec.DecryptWithBudget(scaled)
 	fmt.Println("7 * 6 (plaintext operand) =", codec.Decode(ptScaled))
+	fmt.Printf("budget after plaintext multiply: predicted >= %.1f bits, measured %.1f bits\n",
+		pred.MulScalar(6).BudgetBits(), scaledBudget)
 }

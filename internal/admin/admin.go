@@ -14,10 +14,14 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"runtime"
+	"runtime/debug"
+	"runtime/metrics"
 	"strconv"
 	"sync"
 	"time"
 
+	"hesgx/internal/report"
 	"hesgx/internal/sgx"
 	"hesgx/internal/stats"
 	"hesgx/internal/trace"
@@ -31,6 +35,9 @@ type Config struct {
 	Metrics *stats.Registry
 	// Tracer is the request flight recorder served at /traces/last.
 	Tracer *trace.Tracer
+	// Reports is the per-request flight-report recorder served at
+	// /inference/last (nil: the endpoint answers 404).
+	Reports *report.Recorder
 	// Platform, when set, is snapshotted on each /metrics scrape and
 	// rendered as sgx_* counters (transitions, paging, injected
 	// overhead).
@@ -58,6 +65,7 @@ func Handler(cfg Config) http.Handler {
 		cfg.ShedRateLimit = 0.5
 	}
 	h := &health{}
+	start := time.Now()
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -65,6 +73,28 @@ func Handler(cfg Config) http.Handler {
 		if cfg.Platform != nil {
 			writePlatformStats(w, cfg.Platform())
 		}
+		writeProcessStats(w, start)
+	})
+	mux.HandleFunc("/inference/last", func(w http.ResponseWriter, r *http.Request) {
+		reps := cfg.Reports.Last(0)
+		if len(reps) == 0 {
+			http.Error(w, "no inference recorded", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if q := r.URL.Query().Get("n"); q != "" {
+			n, err := strconv.Atoi(q)
+			if err != nil || n < 1 {
+				http.Error(w, "bad n", http.StatusBadRequest)
+				return
+			}
+			if n < len(reps) {
+				reps = reps[:n]
+			}
+			_ = json.NewEncoder(w).Encode(reps)
+			return
+		}
+		_ = json.NewEncoder(w).Encode(reps[0])
 	})
 	mux.HandleFunc("/traces/last", func(w http.ResponseWriter, r *http.Request) {
 		n := 0 // all retained
@@ -142,6 +172,32 @@ func writePlatformStats(w http.ResponseWriter, s sgx.Stats) {
 	fmt.Fprintf(w, "# TYPE sgx_page_faults_total counter\nsgx_page_faults_total %d\n", s.PageFaults)
 	fmt.Fprintf(w, "# TYPE sgx_injected_overhead_seconds_total counter\nsgx_injected_overhead_seconds_total %g\n", s.InjectedOverhead.Seconds())
 	fmt.Fprintf(w, "# TYPE sgx_enclave_compute_seconds_total counter\nsgx_enclave_compute_seconds_total %g\n", s.EnclaveCompute.Seconds())
+}
+
+// writeProcessStats renders process-health gauges: goroutine count, heap
+// bytes, uptime, and build identity — the "is the server itself alive and
+// what exactly is running" panel of the runbook.
+func writeProcessStats(w http.ResponseWriter, start time.Time) {
+	fmt.Fprintf(w, "# TYPE process_goroutines gauge\nprocess_goroutines %d\n", runtime.NumGoroutine())
+	sample := []metrics.Sample{{Name: "/memory/classes/heap/objects:bytes"}}
+	metrics.Read(sample)
+	if sample[0].Value.Kind() == metrics.KindUint64 {
+		fmt.Fprintf(w, "# TYPE process_heap_bytes gauge\nprocess_heap_bytes %d\n", sample[0].Value.Uint64())
+	}
+	fmt.Fprintf(w, "# TYPE process_uptime_seconds counter\nprocess_uptime_seconds %g\n", time.Since(start).Seconds())
+	goVersion, version, revision := runtime.Version(), "unknown", "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+			version = bi.Main.Version
+		}
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" {
+				revision = s.Value
+			}
+		}
+	}
+	fmt.Fprintf(w, "# TYPE hesgx_build_info gauge\nhesgx_build_info{go_version=%q,version=%q,revision=%q} 1\n",
+		goVersion, version, revision)
 }
 
 // Server runs the admin handler on its own listener with clean shutdown.

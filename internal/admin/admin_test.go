@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"hesgx/internal/report"
 	"hesgx/internal/sgx"
 	"hesgx/internal/stats"
 	"hesgx/internal/trace"
@@ -197,5 +198,77 @@ func TestServerStartServeShutdown(t *testing.T) {
 	}
 	if _, err := http.Get("http://" + srv.Addr() + "/healthz"); err == nil {
 		t.Fatal("admin listener still accepting after shutdown")
+	}
+}
+
+// TestMetricsExpositionLints runs the complete /metrics output — registry,
+// platform aggregate, and process-health block — through the strict
+// Prometheus text-format linter.
+func TestMetricsExpositionLints(t *testing.T) {
+	cfg, reg, _ := testConfig()
+	reg.Observe("noise.budget_remaining_bits", 15.5)
+	reg.Observe("layer.03_act.budget_min_bits", 14.25)
+	reg.ObserveHistogram("layer.00_conv.wall_ms", 9.5)
+	_, body := get(t, Handler(cfg), "/metrics")
+	if err := stats.LintPrometheusText(strings.NewReader(body)); err != nil {
+		t.Fatalf("/metrics fails lint: %v\nbody:\n%s", err, body)
+	}
+	for _, want := range []string{
+		"process_goroutines ",
+		"process_heap_bytes ",
+		"process_uptime_seconds ",
+		"hesgx_build_info{go_version=",
+		"noise_budget_remaining_bits_count 1",
+		"layer_03_act_budget_min_bits_count 1",
+		"layer_00_conv_wall_ms_count 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+func TestInferenceLastEndpoint(t *testing.T) {
+	cfg, reg, tracer := testConfig()
+	res, _ := get(t, Handler(cfg), "/inference/last")
+	if res.StatusCode != http.StatusNotFound {
+		t.Fatalf("/inference/last without recorder = %d, want 404", res.StatusCode)
+	}
+
+	rec := report.NewRecorder(4, reg)
+	tracer.SetOnFinish(rec.Observe)
+	for i := 0; i < 2; i++ {
+		tr := tracer.Start("request")
+		ctx := trace.With(context.Background(), tr)
+		_, span := trace.StartSpan(ctx, "layer.act", "engine")
+		span.Arg("step", 1).Arg("pred_budget_bits", 12.5).End()
+		tracer.Finish(tr)
+	}
+	cfg.Reports = rec
+	h := Handler(cfg)
+
+	res, body := get(t, h, "/inference/last")
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("/inference/last = %d\n%s", res.StatusCode, body)
+	}
+	var rep map[string]any
+	if err := json.Unmarshal([]byte(body), &rep); err != nil {
+		t.Fatalf("/inference/last not JSON: %v\n%s", err, body)
+	}
+	if _, ok := rep["layers"]; !ok {
+		t.Errorf("report missing layers: %s", body)
+	}
+
+	res, body = get(t, h, "/inference/last?n=2")
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("/inference/last?n=2 = %d", res.StatusCode)
+	}
+	var reps []map[string]any
+	if err := json.Unmarshal([]byte(body), &reps); err != nil || len(reps) != 2 {
+		t.Fatalf("?n=2 returned %d reports (err %v): %s", len(reps), err, body)
+	}
+
+	if res, _ := get(t, h, "/inference/last?n=bogus"); res.StatusCode != http.StatusBadRequest {
+		t.Errorf("?n=bogus = %d, want 400", res.StatusCode)
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"crypto/sha256"
 	"fmt"
 	"io"
+	"log/slog"
 	"math"
 	"sync"
 	"sync/atomic"
@@ -48,7 +49,7 @@ const (
 const EnclaveName = "hesgx-inference-enclave"
 
 // EnclaveVersion feeds the measurement; bump on trusted-code changes.
-const EnclaveVersion = "1.1.0"
+const EnclaveVersion = "1.2.0"
 
 // EnclaveService hosts the trusted half of the framework on an SGX
 // platform: FV key generation and custody, key provisioning via ECDH for
@@ -64,6 +65,11 @@ type EnclaveService struct {
 	// metrics, when set, receives per-ECALL latency histograms and
 	// transition/paging counters (untrusted-side observability only).
 	metrics *stats.Registry
+	// logger, when set, receives low-budget warnings (nil: silent).
+	logger *slog.Logger
+	// noiseWarnBits is the measured-budget floor below which Nonlinear
+	// raises the low-budget alert (<= 0: alerting disabled).
+	noiseWarnBits float64
 
 	// trusted state (conceptually inside the enclave)
 	state *enclaveState
@@ -142,11 +148,21 @@ func (st *enclaveState) loadKeys(ctx *sgx.Context) (*loadedKeys, error) {
 	return &loadedKeys{dec: dec, enc: enc}, nil
 }
 
+// DefaultNoiseWarnBudgetBits is the default measured-budget floor: when the
+// worst ciphertext entering an SGX refresh has fewer remaining bits than
+// this, the service logs a warning and increments the
+// "noise.low_budget_alerts" counter. A handful of bits of headroom is the
+// difference between a refresh that saves the ciphertext and one that
+// re-encrypts garbage, so the alert fires while decryption is still exact.
+const DefaultNoiseWarnBudgetBits = 8
+
 // ServiceOption customizes enclave service construction.
 type ServiceOption func(*serviceConfig)
 
 type serviceConfig struct {
-	keySource ring.Source
+	keySource     ring.Source
+	logger        *slog.Logger
+	noiseWarnBits float64
 }
 
 // WithKeySource overrides the randomness used for FV key generation and
@@ -155,13 +171,25 @@ func WithKeySource(src ring.Source) ServiceOption {
 	return func(c *serviceConfig) { c.keySource = src }
 }
 
+// WithServiceLogger attaches a structured logger for low-budget warnings
+// and other service-level events.
+func WithServiceLogger(l *slog.Logger) ServiceOption {
+	return func(c *serviceConfig) { c.logger = l }
+}
+
+// WithNoiseWarnThreshold overrides the low-budget alert floor in bits
+// (DefaultNoiseWarnBudgetBits by default; <= 0 disables alerting).
+func WithNoiseWarnThreshold(bits float64) ServiceOption {
+	return func(c *serviceConfig) { c.noiseWarnBits = bits }
+}
+
 // NewEnclaveService launches the inference enclave on platform and
 // generates the FV key material inside it.
 func NewEnclaveService(platform *sgx.Platform, params he.Parameters, opts ...ServiceOption) (*EnclaveService, error) {
 	if !params.Valid() {
 		return nil, fmt.Errorf("core: invalid parameters")
 	}
-	cfg := serviceConfig{keySource: ring.NewCryptoSource()}
+	cfg := serviceConfig{keySource: ring.NewCryptoSource(), noiseWarnBits: DefaultNoiseWarnBudgetBits}
 	for _, o := range opts {
 		o(&cfg)
 	}
@@ -208,7 +236,13 @@ func NewEnclaveService(platform *sgx.Platform, params he.Parameters, opts ...Ser
 	if err != nil {
 		return nil, fmt.Errorf("core: launching enclave: %w", err)
 	}
-	return &EnclaveService{params: params, enclave: enclave, state: state}, nil
+	return &EnclaveService{
+		params:        params,
+		enclave:       enclave,
+		logger:        cfg.logger,
+		noiseWarnBits: cfg.noiseWarnBits,
+		state:         state,
+	}, nil
 }
 
 // Params returns the FV parameter set the enclave generated keys for.
@@ -282,10 +316,38 @@ func (st *enclaveState) provision(ctx *sgx.Context, input []byte) ([]byte, error
 	return out.Bytes(), nil
 }
 
-// decryptVectors decrypts a batch into centered value vectors. In scalar
-// mode each ciphertext yields one value (its constant coefficient); in
-// SIMD mode each yields its full slot vector (§VIII).
-func (st *enclaveState) decryptVectors(ctx *sgx.Context, keys *loadedKeys, payload []byte, simd bool) ([][]int64, error) {
+// budgetMeter accumulates the invariant-noise budgets the enclave measures
+// on the ciphertexts it decrypts — the "flight data" every non-linear ECALL
+// reports back alongside its re-encrypted batch. Measurement is free: the
+// decryption already computed the phase the budget falls out of.
+type budgetMeter struct {
+	min, sum float64
+	n        int
+}
+
+func (m *budgetMeter) observe(bits float64) {
+	if m.n == 0 || bits < m.min {
+		m.min = bits
+	}
+	m.sum += bits
+	m.n++
+}
+
+// wrap envelopes an encoded ciphertext batch with the measured budgets.
+func (m *budgetMeter) wrap(cts []byte) []byte {
+	rep := nonlinearReply{Measured: uint32(m.n), CTs: cts}
+	if m.n > 0 {
+		rep.BudgetMin = m.min
+		rep.BudgetMean = m.sum / float64(m.n)
+	}
+	return rep.marshal()
+}
+
+// decryptVectors decrypts a batch into centered value vectors, recording
+// each ciphertext's measured noise budget into meter. In scalar mode each
+// ciphertext yields one value (its constant coefficient); in SIMD mode each
+// yields its full slot vector (§VIII).
+func (st *enclaveState) decryptVectors(ctx *sgx.Context, keys *loadedKeys, payload []byte, simd bool, meter *budgetMeter) ([][]int64, error) {
 	cts, err := decodeCiphertextBatch(payload, st.params)
 	if err != nil {
 		return nil, err
@@ -299,10 +361,11 @@ func (st *enclaveState) decryptVectors(ctx *sgx.Context, keys *loadedKeys, paylo
 	t := st.params.T
 	out := make([][]int64, len(cts))
 	for i, ct := range cts {
-		pt, err := keys.dec.Decrypt(ct)
+		pt, bits, err := keys.dec.DecryptWithBudget(ct)
 		if err != nil {
 			return nil, fmt.Errorf("decrypting batch element %d: %w", i, err)
 		}
+		meter.observe(bits)
 		if simd {
 			slots, err := codec.Decode(pt)
 			if err != nil {
@@ -404,12 +467,17 @@ func (st *enclaveState) sigmoid(ctx *sgx.Context, input []byte) ([]byte, error) 
 	if err != nil {
 		return nil, err
 	}
-	vecs, err := st.decryptVectors(ctx, keys, req.CTs, req.SIMD != 0)
+	var meter budgetMeter
+	vecs, err := st.decryptVectors(ctx, keys, req.CTs, req.SIMD != 0, &meter)
 	if err != nil {
 		return nil, err
 	}
 	applyActivationVectors(1, vecs, float64(req.InScale), float64(req.OutScale))
-	return st.encryptVectors(ctx, keys, vecs, req.SIMD != 0)
+	out, err := st.encryptVectors(ctx, keys, vecs, req.SIMD != 0)
+	if err != nil {
+		return nil, err
+	}
+	return meter.wrap(out), nil
 }
 
 // activation generalizes sigmoid to the enclave's configured activation,
@@ -425,7 +493,8 @@ func (st *enclaveState) activation(ctx *sgx.Context, input []byte) ([]byte, erro
 	if err != nil {
 		return nil, err
 	}
-	vecs, err := st.decryptVectors(ctx, keys, req.CTs, req.SIMD != 0)
+	var meter budgetMeter
+	vecs, err := st.decryptVectors(ctx, keys, req.CTs, req.SIMD != 0, &meter)
 	if err != nil {
 		return nil, err
 	}
@@ -437,7 +506,11 @@ func (st *enclaveState) activation(ctx *sgx.Context, input []byte) ([]byte, erro
 		kind = 1
 	}
 	applyActivationVectors(kind, vecs, float64(req.InScale), float64(req.OutScale))
-	return st.encryptVectors(ctx, keys, vecs, req.SIMD != 0)
+	out, err := st.encryptVectors(ctx, keys, vecs, req.SIMD != 0)
+	if err != nil {
+		return nil, err
+	}
+	return meter.wrap(out), nil
 }
 
 // poolDivide implements the second half of the SGXDiv strategy (§VI-D):
@@ -456,7 +529,8 @@ func (st *enclaveState) poolDivide(ctx *sgx.Context, input []byte) ([]byte, erro
 	if req.Divisor == 0 {
 		return nil, fmt.Errorf("pool divide with zero divisor")
 	}
-	vecs, err := st.decryptVectors(ctx, keys, req.CTs, req.SIMD != 0)
+	var meter budgetMeter
+	vecs, err := st.decryptVectors(ctx, keys, req.CTs, req.SIMD != 0, &meter)
 	if err != nil {
 		return nil, err
 	}
@@ -466,7 +540,11 @@ func (st *enclaveState) poolDivide(ctx *sgx.Context, input []byte) ([]byte, erro
 			vec[i] = divRound(v, d)
 		}
 	}
-	return st.encryptVectors(ctx, keys, vecs, req.SIMD != 0)
+	out, err := st.encryptVectors(ctx, keys, vecs, req.SIMD != 0)
+	if err != nil {
+		return nil, err
+	}
+	return meter.wrap(out), nil
 }
 
 // divRound divides with round-half-away-from-zero.
@@ -507,7 +585,8 @@ func (st *enclaveState) poolKind(ctx *sgx.Context, input []byte, usesMax bool) (
 	if h%k != 0 || w%k != 0 {
 		return nil, fmt.Errorf("pool window %d does not divide %dx%d", k, h, w)
 	}
-	vecs, err := st.decryptVectors(ctx, keys, req.CTs, req.SIMD != 0)
+	var meter budgetMeter
+	vecs, err := st.decryptVectors(ctx, keys, req.CTs, req.SIMD != 0, &meter)
 	if err != nil {
 		return nil, err
 	}
@@ -552,13 +631,19 @@ func (st *enclaveState) poolKind(ctx *sgx.Context, input []byte, usesMax bool) (
 			}
 		}
 	}
-	return st.encryptVectors(ctx, keys, out, req.SIMD != 0)
+	enc, err := st.encryptVectors(ctx, keys, out, req.SIMD != 0)
+	if err != nil {
+		return nil, err
+	}
+	return meter.wrap(enc), nil
 }
 
 // refresh decrypts and immediately re-encrypts the full plaintext
 // polynomial, removing accumulated noise without relinearization keys
 // (§IV-E). Size-3 ciphertexts collapse back to size 2, so refresh also
-// substitutes for relinearization.
+// substitutes for relinearization. The measured pre-refresh budgets ride
+// back in the reply envelope — the most direct observation of how close a
+// ciphertext came to decryption failure before the refresh saved it.
 func (st *enclaveState) refresh(ctx *sgx.Context, input []byte) ([]byte, error) {
 	st.touchKeys(ctx)
 	keys, err := st.loadKeys(ctx)
@@ -569,12 +654,14 @@ func (st *enclaveState) refresh(ctx *sgx.Context, input []byte) ([]byte, error) 
 	if err != nil {
 		return nil, err
 	}
+	var meter budgetMeter
 	out := make([]*he.Ciphertext, len(cts))
 	for i, ct := range cts {
-		pt, err := keys.dec.Decrypt(ct)
+		pt, bits, err := keys.dec.DecryptWithBudget(ct)
 		if err != nil {
 			return nil, fmt.Errorf("refresh decrypt %d: %w", i, err)
 		}
+		meter.observe(bits)
 		fresh, err := keys.enc.Encrypt(pt)
 		if err != nil {
 			return nil, fmt.Errorf("refresh re-encrypt %d: %w", i, err)
@@ -582,5 +669,9 @@ func (st *enclaveState) refresh(ctx *sgx.Context, input []byte) ([]byte, error) 
 		out[i] = fresh
 		ctx.Touch(st.params.N * 8 * 4)
 	}
-	return encodeCiphertextBatch(out)
+	enc, err := encodeCiphertextBatch(out)
+	if err != nil {
+		return nil, err
+	}
+	return meter.wrap(enc), nil
 }

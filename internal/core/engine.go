@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"runtime/pprof"
 	"sync"
 	"time"
 
@@ -101,6 +102,15 @@ func DefaultConfig() Config {
 // planStep is one scheduled stage of the hybrid pipeline.
 type planStep struct {
 	kind stepKind
+	// label names the step for profiling and per-layer metrics
+	// ("03_act"); stable across requests so series aggregate.
+	label string
+	// predBudgetBits is the static noise accountant's conservative
+	// prediction of the remaining budget of this step's ciphertexts: for
+	// linear steps, the budget of the outputs; for enclave steps (act,
+	// pool), the budget of the ciphertexts *entering* the refresh — the
+	// value directly comparable to the budget the enclave measures.
+	predBudgetBits float64
 
 	conv *nn.QuantizedConv
 	fc   *nn.QuantizedFC
@@ -184,10 +194,14 @@ func NewHybridEngine(svc *EnclaveService, model *nn.Network, cfg Config) (*Hybri
 	e := &HybridEngine{cfg: cfg, params: params, eval: eval, scalar: scalar, svc: svc, caller: svc}
 
 	// Plan steps and track the fixed-point scale and worst-case magnitude
-	// through the pipeline to validate exactness against t.
+	// through the pipeline to validate exactness against t, while the
+	// static noise accountant predicts the remaining budget each step
+	// leaves (the value the flight report compares against the enclave's
+	// measurement).
 	scale := float64(cfg.PixelScale)
 	maxMag := int64(cfg.PixelScale)
 	tHalf := int64(params.T / 2)
+	noise := params.FreshNoiseBound()
 	for i, l := range model.Layers {
 		switch v := l.(type) {
 		case *nn.Conv2D:
@@ -195,7 +209,8 @@ func NewHybridEngine(svc *EnclaveService, model *nn.Network, cfg Config) (*Hybri
 			if err != nil {
 				return nil, err
 			}
-			e.steps = append(e.steps, &planStep{kind: stepConv, conv: q})
+			noise = noise.WeightedSum(float64(q.MaxKernelL1()), q.InC*q.K*q.K).AddPlain()
+			e.steps = append(e.steps, &planStep{kind: stepConv, conv: q, predBudgetBits: noise.BudgetBits()})
 			maxMag = q.MaxOutputMagnitude(maxMag)
 			scale *= float64(cfg.WeightScale)
 		case *nn.FullyConnected:
@@ -203,11 +218,15 @@ func NewHybridEngine(svc *EnclaveService, model *nn.Network, cfg Config) (*Hybri
 			if err != nil {
 				return nil, err
 			}
-			e.steps = append(e.steps, &planStep{kind: stepFC, fc: q})
+			noise = noise.WeightedSum(float64(q.MaxRowL1()), q.In).AddPlain()
+			e.steps = append(e.steps, &planStep{kind: stepFC, fc: q, predBudgetBits: noise.BudgetBits()})
 			maxMag = q.MaxOutputMagnitude(maxMag)
 			scale *= float64(cfg.WeightScale)
 		case *nn.Activation:
-			e.steps = append(e.steps, &planStep{kind: stepAct, act: v.Kind})
+			// The recorded prediction is the budget entering the enclave;
+			// re-encryption resets the accountant (§IV-E).
+			e.steps = append(e.steps, &planStep{kind: stepAct, act: v.Kind, predBudgetBits: noise.BudgetBits()})
+			noise = noise.Refresh()
 			switch v.Kind {
 			case nn.Sigmoid, nn.Tanh:
 				maxMag = int64(cfg.ActScale)
@@ -221,18 +240,21 @@ func NewHybridEngine(svc *EnclaveService, model *nn.Network, cfg Config) (*Hybri
 			if v.Kind == nn.SumPool {
 				return nil, fmt.Errorf("core: layer %d: the hybrid engine computes true mean pooling; SumPool belongs to the pure-HE baseline", i)
 			}
-			e.steps = append(e.steps, &planStep{kind: stepPool, window: v.K, pool: v.Kind})
-			if v.Kind != nn.MaxPool {
-				// mean pooling divides by the window area inside the
-				// enclave, keeping scale; the window sum's transient
-				// magnitude is checked during SGXDiv planning below.
+			if v.Kind != nn.MaxPool && e.poolStrategyFor(v) == PoolSGXDiv {
+				// SGXDiv sums k² ciphertexts homomorphically before the
+				// enclave divides: the window sum is what gets decrypted.
+				noise = noise.WeightedSum(float64(v.K*v.K), v.K*v.K)
+				// The window sum's transient magnitude is also checked
+				// for exactness here.
 				transient := maxMag * int64(v.K*v.K)
-				if e.poolStrategyFor(v) == PoolSGXDiv && transient >= tHalf {
+				if transient >= tHalf {
 					return nil, fmt.Errorf("core: layer %d: SGXDiv window sum magnitude %d exceeds t/2 = %d", i, transient, tHalf)
 				}
 			}
+			e.steps = append(e.steps, &planStep{kind: stepPool, window: v.K, pool: v.Kind, predBudgetBits: noise.BudgetBits()})
+			noise = noise.Refresh()
 		case *nn.Flatten:
-			e.steps = append(e.steps, &planStep{kind: stepFlatten})
+			e.steps = append(e.steps, &planStep{kind: stepFlatten, predBudgetBits: noise.BudgetBits()})
 		default:
 			return nil, fmt.Errorf("core: unsupported layer %T at %d", l, i)
 		}
@@ -241,8 +263,32 @@ func NewHybridEngine(svc *EnclaveService, model *nn.Network, cfg Config) (*Hybri
 				i, l.Name(), maxMag, tHalf)
 		}
 	}
+	for i, s := range e.steps {
+		s.label = fmt.Sprintf("%02d_%s", i, s.kind.String())
+	}
 	e.outScale = scale
 	return e, nil
+}
+
+// PlanStepInfo describes one planned step of the hybrid pipeline for
+// reporting: its position, kind, metric label, and the static accountant's
+// predicted remaining noise budget (see planStep.predBudgetBits for which
+// ciphertexts the prediction describes).
+type PlanStepInfo struct {
+	Step                int     `json:"step"`
+	Kind                string  `json:"kind"`
+	Label               string  `json:"label"`
+	PredictedBudgetBits float64 `json:"predicted_budget_bits"`
+}
+
+// PlanInfo returns the planned steps with their predicted noise budgets —
+// what examples and operators print before any ciphertext exists.
+func (e *HybridEngine) PlanInfo() []PlanStepInfo {
+	out := make([]PlanStepInfo, len(e.steps))
+	for i, s := range e.steps {
+		out[i] = PlanStepInfo{Step: i, Kind: s.kind.String(), Label: s.label, PredictedBudgetBits: s.predBudgetBits}
+	}
+	return out
 }
 
 func (e *HybridEngine) poolStrategyFor(p *nn.Pool2D) PoolStrategy {
@@ -406,42 +452,55 @@ func (e *HybridEngine) InferContext(ctx context.Context, img *CipherImage) (*Inf
 			return nil, fmt.Errorf("core: step %d: %w", i, err)
 		}
 		sctx, span := trace.StartSpan(ctx, "layer."+s.kind.String(), "engine")
-		span.Arg("step", float64(i)).Arg("cts_in", float64(len(cts)))
+		span.Arg("step", float64(i)).
+			Arg("cts_in", float64(len(cts))).
+			Arg("pred_budget_bits", s.predBudgetBits)
 		start := time.Now()
 		fwd0, inv0 := r.NTTCounts()
 		var err error
-		switch s.kind {
-		case stepConv:
-			cts, c, h, w, err = e.runConvParallel(s, cts, c, h, w, e.effectiveWorkers())
-			scale *= float64(e.cfg.WeightScale)
-		case stepAct:
-			cts, err = e.runActivation(sctx, s, cts, uint64(scale))
-			scale = float64(e.cfg.ActScale)
-		case stepPool:
-			cts, h, w, err = e.runPool(sctx, s, cts, c, h, w)
-		case stepFlatten:
-			// No-op on the flat ciphertext slice.
-		case stepFC:
-			cts, err = e.runFCParallel(s, cts, e.effectiveWorkers())
-			scale *= float64(e.cfg.WeightScale)
-			c, h, w = len(cts), 1, 1
+		// The pprof label attributes every CPU sample of this step — and of
+		// the parallelFor workers it spawns, which inherit labels — to the
+		// layer, so `go tool pprof -tagfocus hesgx_layer=...` decomposes a
+		// profile the way the flight report decomposes wall-clock.
+		pprof.Do(sctx, pprof.Labels("hesgx_layer", s.label), func(lctx context.Context) {
+			switch s.kind {
+			case stepConv:
+				cts, c, h, w, err = e.runConvParallel(s, cts, c, h, w, e.effectiveWorkers())
+				scale *= float64(e.cfg.WeightScale)
+			case stepAct:
+				cts, err = e.runActivation(lctx, s, cts, uint64(scale))
+				scale = float64(e.cfg.ActScale)
+			case stepPool:
+				cts, h, w, err = e.runPool(lctx, s, cts, c, h, w)
+			case stepFlatten:
+				// No-op on the flat ciphertext slice.
+			case stepFC:
+				cts, err = e.runFCParallel(s, cts, e.effectiveWorkers())
+				scale *= float64(e.cfg.WeightScale)
+				c, h, w = len(cts), 1, 1
+			}
+		})
+		var nttFwd, nttInv uint64
+		if s.kind == stepConv || s.kind == stepFC {
+			// Per-layer transform counts make the NTT-residency win
+			// visible. The ring's counters are global, so under concurrent
+			// inferences a layer's delta includes transforms of overlapping
+			// requests — approximate attribution, exact totals.
+			fwd1, inv1 := r.NTTCounts()
+			nttFwd, nttInv = fwd1-fwd0, inv1-inv0
+			span.Arg("ntt_fwd", float64(nttFwd)).Arg("ntt_inv", float64(nttInv))
 		}
-		span.End()
 		if err != nil {
+			span.Arg("error", 1).End()
 			return nil, fmt.Errorf("core: step %d: %w", i, err)
 		}
+		span.Arg("cts_out", float64(len(cts))).End()
 		if e.metrics != nil && s.kind != stepFlatten {
 			e.metrics.ObserveHistogram("engine.layer."+s.kind.String()+"_ms",
 				float64(time.Since(start).Microseconds())/1000.0)
 			if s.kind == stepConv || s.kind == stepFC {
-				// Per-layer transform counts make the NTT-residency win
-				// visible on /metrics. The ring's counters are global, so
-				// under concurrent inferences a layer's delta includes
-				// transforms of overlapping requests — approximate
-				// attribution, exact totals.
-				fwd1, inv1 := r.NTTCounts()
-				e.metrics.Counter("engine.layer." + s.kind.String() + ".ntt_forward").Add(int64(fwd1 - fwd0))
-				e.metrics.Counter("engine.layer." + s.kind.String() + ".ntt_inverse").Add(int64(inv1 - inv0))
+				e.metrics.Counter("engine.layer." + s.kind.String() + ".ntt_forward").Add(int64(nttFwd))
+				e.metrics.Counter("engine.layer." + s.kind.String() + ".ntt_inverse").Add(int64(nttInv))
 			}
 		}
 	}

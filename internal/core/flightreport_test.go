@@ -1,0 +1,213 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	mrand "math/rand/v2"
+	"strings"
+	"testing"
+
+	"hesgx/internal/he"
+	"hesgx/internal/nn"
+	"hesgx/internal/report"
+	"hesgx/internal/ring"
+	"hesgx/internal/sgx"
+	"hesgx/internal/stats"
+	"hesgx/internal/trace"
+)
+
+// TestFlightReportPaperCNN is the end-to-end contract of the noise
+// telemetry: a paper-CNN inference produces a flight report whose enclave
+// layers each carry a measured budget (sampled at every SGX refresh), the
+// static accountant's prediction is a conservative lower bound on that
+// measurement per layer, and the metrics registry renders the per-layer
+// and budget series as lint-clean Prometheus text — all while the logits
+// still equal the plaintext integer reference.
+func TestFlightReportPaperCNN(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size CNN test skipped in short mode")
+	}
+	params, err := DefaultHybridParameters()
+	if err != nil {
+		t.Fatal(err)
+	}
+	platform, err := sgx.NewPlatform(sgx.ZeroCost(), sgx.WithJitterSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := NewEnclaveService(platform, params, WithKeySource(ring.NewSeededSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := testClient(t, svc)
+	r := mrand.New(mrand.NewPCG(7, 11))
+	model := nn.PaperCNN(r)
+	cfg := DefaultConfig()
+	engine, err := NewHybridEngine(svc, model, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := stats.NewRegistry()
+	engine.SetMetrics(reg)
+	svc.SetMetrics(reg)
+	tracer := trace.NewTracer(4)
+	rec := report.NewRecorder(4, reg)
+	tracer.SetOnFinish(rec.Observe)
+
+	img := nn.NewTensor(1, 28, 28)
+	for i := range img.Data {
+		img.Data[i] = r.Float64()
+	}
+	ci, err := client.EncryptImage(img, cfg.PixelScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := tracer.Start("request")
+	ctx := trace.With(context.Background(), tr)
+	res, err := engine.InferContext(ctx, ci)
+	tracer.Finish(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := client.DecryptValues(res.Logits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := engine.ReferenceForward(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("logit %d: encrypted %d != reference %d", i, got[i], want[i])
+		}
+	}
+
+	reports := rec.Last(1)
+	if len(reports) != 1 {
+		t.Fatalf("recorder holds %d reports, want 1", len(reports))
+	}
+	fr := reports[0]
+	if len(fr.Layers) != len(engine.PlanInfo()) {
+		t.Fatalf("flight report has %d layers, plan has %d", len(fr.Layers), len(engine.PlanInfo()))
+	}
+	enclaveLayers := 0
+	for _, l := range fr.Layers {
+		if l.WallMS < 0 {
+			t.Errorf("layer %s: negative wall time %.3f", l.Label, l.WallMS)
+		}
+		if l.PredictedBudgetBits == nil {
+			t.Errorf("layer %s: no static budget prediction", l.Label)
+			continue
+		}
+		if l.Kind != "act" && l.Kind != "pool" {
+			continue
+		}
+		// Every enclave layer refreshes, so every refresh must have
+		// sampled the real budget.
+		if l.MeasuredBudgetMinBits == nil {
+			t.Errorf("enclave layer %s: no measured budget", l.Label)
+			continue
+		}
+		enclaveLayers++
+		if *l.PredictedBudgetBits > *l.MeasuredBudgetMinBits {
+			t.Errorf("layer %s: static prediction %.2f bits exceeds measured minimum %.2f bits — the worst-case accountant is unsound",
+				l.Label, *l.PredictedBudgetBits, *l.MeasuredBudgetMinBits)
+		}
+		if l.Transitions <= 0 {
+			t.Errorf("enclave layer %s: no transitions attributed", l.Label)
+		}
+	}
+	if enclaveLayers == 0 {
+		t.Fatal("no enclave layer carried a measured budget")
+	}
+	if fr.MinMeasuredBudgetBits == nil || *fr.MinMeasuredBudgetBits <= 0 {
+		t.Fatal("report-level measured budget minimum missing or exhausted")
+	}
+
+	var buf bytes.Buffer
+	reg.WritePrometheus(&buf)
+	text := buf.String()
+	if err := stats.LintPrometheusText(strings.NewReader(text)); err != nil {
+		t.Fatalf("/metrics exposition does not lint: %v\n%s", err, text)
+	}
+	for _, series := range []string{"noise_budget_remaining_bits", "layer_01_act_wall_ms", "layer_01_act_budget_min_bits", "noise_predicted_gap_bits"} {
+		if !strings.Contains(text, series) {
+			t.Errorf("exposition missing %s series", series)
+		}
+	}
+}
+
+// TestLowBudgetAlertUndersizedParameters shrinks the coefficient modulus
+// until the measured budget entering the first refresh dips under the warn
+// threshold while inference is still exact: the alert counter must fire
+// before the prediction diverges from the plaintext oracle — an early
+// warning, not a post-mortem.
+func TestLowBudgetAlertUndersizedParameters(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size CNN test skipped in short mode")
+	}
+	// 48-bit q against t=2^25 leaves a 22-bit budget ceiling: the conv
+	// layer's consumption lands the first refresh around 12 bits — under
+	// the 14-bit threshold yet comfortably above exhaustion.
+	q, err := ring.GenerateNTTPrimeCongruent(48, 2048, 1<<25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params, err := he.NewParameters(2048, q, 1<<25, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	platform, err := sgx.NewPlatform(sgx.ZeroCost(), sgx.WithJitterSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := NewEnclaveService(platform, params,
+		WithKeySource(ring.NewSeededSource(1)),
+		WithNoiseWarnThreshold(14))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := stats.NewRegistry()
+	svc.SetMetrics(reg)
+	client := testClient(t, svc)
+	r := mrand.New(mrand.NewPCG(7, 11))
+	model := nn.PaperCNN(r)
+	cfg := DefaultConfig()
+	engine, err := NewHybridEngine(svc, model, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := nn.NewTensor(1, 28, 28)
+	for i := range img.Data {
+		img.Data[i] = r.Float64()
+	}
+	ci, err := client.EncryptImage(img, cfg.PixelScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := engine.Infer(ci)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := client.DecryptValues(res.Logits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := engine.ReferenceForward(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("logit %d: encrypted %d != reference %d — parameters too small for the early-warning claim", i, got[i], want[i])
+		}
+	}
+	if alerts := reg.Counter("noise.low_budget_alerts").Value(); alerts == 0 {
+		t.Fatal("low-budget alert never fired despite undersized parameters")
+	} else {
+		t.Logf("inference exact with %d low-budget alerts — warning preceded failure", alerts)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
+	"math"
 
 	"hesgx/internal/he"
 )
@@ -93,6 +94,63 @@ func decodeCiphertextBatch(b []byte, params he.Parameters) ([]*he.Ciphertext, er
 		out[i] = ct
 	}
 	return out, nil
+}
+
+// nonlinearReply is the payload every non-linear ECALL returns: the
+// re-encrypted ciphertext batch plus the invariant-noise budget the enclave
+// measured on the ciphertexts it decrypted. The enclave already pays for
+// those decryptions (§IV-D/E), so the telemetry rides along for free — this
+// envelope is how the real remaining budget at each SGX refresh point
+// escapes the enclave without exposing anything beyond an aggregate noise
+// magnitude.
+type nonlinearReply struct {
+	// BudgetMin/BudgetMean summarize the measured remaining noise budget
+	// (bits) over the decrypted input batch.
+	BudgetMin  float64
+	BudgetMean float64
+	// Measured counts the ciphertexts the summary covers (0: none measured).
+	Measured uint32
+	// CTs is the encoded re-encrypted ciphertext batch.
+	CTs []byte
+}
+
+func (m *nonlinearReply) marshal() []byte {
+	var buf bytes.Buffer
+	writeU64(&buf, math.Float64bits(m.BudgetMin))
+	writeU64(&buf, math.Float64bits(m.BudgetMean))
+	writeU32(&buf, m.Measured)
+	writeU32(&buf, uint32(len(m.CTs)))
+	buf.Write(m.CTs)
+	return buf.Bytes()
+}
+
+func unmarshalNonlinearReply(b []byte) (*nonlinearReply, error) {
+	r := bytes.NewReader(b)
+	m := &nonlinearReply{}
+	v, err := readU64(r)
+	if err != nil {
+		return nil, fmt.Errorf("core: reply budget min: %w", err)
+	}
+	m.BudgetMin = math.Float64frombits(v)
+	if v, err = readU64(r); err != nil {
+		return nil, fmt.Errorf("core: reply budget mean: %w", err)
+	}
+	m.BudgetMean = math.Float64frombits(v)
+	if m.Measured, err = readU32(r); err != nil {
+		return nil, fmt.Errorf("core: reply measured count: %w", err)
+	}
+	n, err := readU32(r)
+	if err != nil {
+		return nil, fmt.Errorf("core: reply payload length: %w", err)
+	}
+	if int(n) != r.Len() {
+		return nil, fmt.Errorf("core: reply payload length %d != %d remaining", n, r.Len())
+	}
+	m.CTs = make([]byte, n)
+	if _, err := r.Read(m.CTs); err != nil {
+		return nil, fmt.Errorf("core: reply payload: %w", err)
+	}
+	return m, nil
 }
 
 // nonlinearRequest is the payload for enclave non-linear layer calls:

@@ -49,18 +49,47 @@ func (s *EnclaveService) Nonlinear(ctx context.Context, op NonlinearOp, cts []*h
 	// Attribute this boundary crossing's simulated SGX cost to the
 	// request(s) that paid it — a batched call's span lands in every
 	// joined trace.
+	rep, err := unmarshalNonlinearReply(out)
+	if err != nil {
+		span.Arg("error", 1).End()
+		return nil, err
+	}
 	span.Arg("cts", float64(len(cts))).
 		Arg("transitions", float64(cs.Transitions())).
 		Arg("page_faults", float64(cs.PageFaults)).
 		Arg("overhead_ms", durMS(cs.Overhead)).
-		Arg("compute_ms", durMS(cs.Compute)).
-		End()
+		Arg("compute_ms", durMS(cs.Compute))
+	if rep.Measured > 0 {
+		span.Arg("budget_min_bits", rep.BudgetMin).
+			Arg("budget_mean_bits", rep.BudgetMean).
+			Arg("budget_cts", float64(rep.Measured))
+	}
+	span.End()
 	if s.metrics != nil {
 		s.metrics.ObserveHistogram("ecall."+op.Kind.String()+"_ms", durMS(wall))
 		s.metrics.Counter("ecall.transitions").Add(int64(cs.Transitions()))
 		s.metrics.Counter("ecall.page_faults").Add(int64(cs.PageFaults))
+		if rep.Measured > 0 {
+			s.metrics.Observe("noise.budget_remaining_bits", rep.BudgetMin)
+			s.metrics.Observe("noise.budget_mean_bits", rep.BudgetMean)
+		}
 	}
-	return decodeCiphertextBatch(out, s.params)
+	if rep.Measured > 0 && s.noiseWarnBits > 0 && rep.BudgetMin < s.noiseWarnBits {
+		// The worst ciphertext entering this refresh is close to decryption
+		// failure: alert before the pipeline silently returns garbage.
+		if s.metrics != nil {
+			s.metrics.Counter("noise.low_budget_alerts").Inc()
+		}
+		if s.logger != nil {
+			s.logger.Warn("noise budget below threshold",
+				"op", op.Kind.String(),
+				"budget_bits", rep.BudgetMin,
+				"threshold_bits", s.noiseWarnBits,
+				"cts", rep.Measured,
+				"trace_id", trace.ID(ctx))
+		}
+	}
+	return decodeCiphertextBatch(rep.CTs, s.params)
 }
 
 // durMS converts a duration to fractional milliseconds, the unit every

@@ -234,22 +234,37 @@ func scaleRound(c, t, q uint64) uint64 {
 // non-positive budget means decryption is no longer guaranteed correct.
 // Requires the secret key, so only key owners (or the enclave) can call it.
 func (d *Decryptor) NoiseBudget(ct *Ciphertext) (float64, error) {
+	_, budget, err := d.DecryptWithBudget(ct)
+	return budget, err
+}
+
+// DecryptWithBudget decrypts ct and simultaneously measures its remaining
+// invariant noise budget from the same phase computation — the enclave's
+// refresh path uses this so noise telemetry costs no extra NTTs beyond the
+// decryption it already performs (§IV-E).
+func (d *Decryptor) DecryptWithBudget(ct *Ciphertext) (*Plaintext, float64, error) {
 	if err := ct.Validate(); err != nil {
-		return 0, fmt.Errorf("he: noise budget: %w", err)
+		return nil, 0, fmt.Errorf("he: decrypt: %w", err)
 	}
 	if ct.Form != CoeffForm {
-		return 0, fmt.Errorf("he: noise budget: ciphertext is %v form; call ToCoeff first", ct.Form)
+		return nil, 0, fmt.Errorf("he: decrypt: ciphertext is %v form; call ToCoeff first", ct.Form)
+	}
+	if !ct.Params.Equal(d.params) {
+		return nil, 0, fmt.Errorf("he: decrypt: ciphertext parameters mismatch")
 	}
 	r := d.params.Ring()
 	w := d.phase(ct)
-	// Recover m, then v = w - delta*m (centered).
+	pt := NewPlaintext(d.params)
 	t := d.params.T
 	q := d.params.Q
 	delta := d.params.Delta()
 	maxAbs := int64(0)
-	for _, c := range w.Coeffs {
+	for i, c := range w.Coeffs {
 		m := scaleRound(c, t, q) % t
-		vm := r.Mod.Sub(c, r.Mod.Mul(delta, m)) // c - delta*m mod q
+		pt.Poly.Coeffs[i] = m
+		// v = c - delta*m (centered) is the Δ-domain noise of this
+		// coefficient; the budget is set by the worst one.
+		vm := r.Mod.Sub(c, r.Mod.Mul(delta, m))
 		v := r.Mod.Centered(vm)
 		if v < 0 {
 			v = -v
@@ -262,5 +277,5 @@ func (d *Decryptor) NoiseBudget(ct *Ciphertext) (float64, error) {
 		maxAbs = 1
 	}
 	budget := d.params.MaxNoiseBudget() - math.Log2(float64(maxAbs))
-	return budget, nil
+	return pt, budget, nil
 }

@@ -153,6 +153,27 @@ func (q *QuantizedConv) MaxOutputMagnitude(maxIn int64) int64 {
 	return worst
 }
 
+// MaxKernelL1 returns the largest ℓ1 norm over output-channel kernels,
+// max_o Σ|W[o,·]| — the weighted-sum amplification factor the noise
+// accountant charges the worst conv output with.
+func (q *QuantizedConv) MaxKernelL1() int64 {
+	var worst int64
+	for o := 0; o < q.OutC; o++ {
+		var sum int64
+		for i := 0; i < q.InC; i++ {
+			for ky := 0; ky < q.K; ky++ {
+				for kx := 0; kx < q.K; kx++ {
+					sum += abs64(q.WAt(o, i, ky, kx))
+				}
+			}
+		}
+		if sum > worst {
+			worst = sum
+		}
+	}
+	return worst
+}
+
 // MaxOutputMagnitude bounds |output| for the FC layer.
 func (q *QuantizedFC) MaxOutputMagnitude(maxIn int64) int64 {
 	var worst int64
@@ -160,6 +181,22 @@ func (q *QuantizedFC) MaxOutputMagnitude(maxIn int64) int64 {
 		sum := abs64(q.B[o])
 		for _, w := range q.W[o*q.In : (o+1)*q.In] {
 			sum += abs64(w) * maxIn
+		}
+		if sum > worst {
+			worst = sum
+		}
+	}
+	return worst
+}
+
+// MaxRowL1 returns the largest ℓ1 norm over FC weight rows, max_o Σ|W[o,·]|
+// — the noise-amplification factor of the worst FC output.
+func (q *QuantizedFC) MaxRowL1() int64 {
+	var worst int64
+	for o := 0; o < q.Out; o++ {
+		var sum int64
+		for _, w := range q.W[o*q.In : (o+1)*q.In] {
+			sum += abs64(w)
 		}
 		if sum > worst {
 			worst = sum

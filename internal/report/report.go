@@ -1,0 +1,235 @@
+// Package report turns finished request traces into per-layer "flight
+// reports": for every inference, how long each layer took, what it cost in
+// NTTs, enclave transitions and EPC paging, and — the paper's central
+// resource — how much invariant-noise budget the ciphertexts had left, both
+// as the static accountant predicted at plan time and as the enclave
+// measured at each SGX refresh (§IV-E). The Recorder observes traces as the
+// Tracer finishes them, retains the last N reports for the admin endpoint's
+// /inference/last, and folds per-layer series into the metrics registry.
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"hesgx/internal/trace"
+)
+
+// Layer is one engine step of a request, with everything attributed to it.
+type Layer struct {
+	Step  int    `json:"step"`
+	Kind  string `json:"kind"`
+	Label string `json:"label"`
+
+	WallMS float64 `json:"wall_ms"`
+	CtsIn  int     `json:"cts_in"`
+	CtsOut int     `json:"cts_out"`
+
+	// NTT transform counts (linear layers only; see the engine's caveat on
+	// concurrent attribution).
+	NTTForward int `json:"ntt_forward,omitempty"`
+	NTTInverse int `json:"ntt_inverse,omitempty"`
+
+	// Simulated SGX costs summed over the ECALLs this layer triggered.
+	Transitions     int     `json:"transitions,omitempty"`
+	PageFaults      int     `json:"page_faults,omitempty"`
+	ECallOverheadMS float64 `json:"ecall_overhead_ms,omitempty"`
+	ECallComputeMS  float64 `json:"ecall_compute_ms,omitempty"`
+
+	// SharedRequests is the peak occupancy of the cross-request batches
+	// this layer's ECALLs rode in (0: unbatched). Budget summaries below
+	// cover the whole flushed batch, so under shared batches they are
+	// approximate per-request attribution — exact when 1.
+	SharedRequests int `json:"shared_requests,omitempty"`
+
+	// PredictedBudgetBits is the static noise accountant's conservative
+	// bound: for linear layers the budget of the outputs, for enclave
+	// layers the budget entering the refresh.
+	PredictedBudgetBits *float64 `json:"predicted_budget_bits,omitempty"`
+	// MeasuredBudgetMinBits/MeanBits summarize the budget the enclave
+	// measured on the ciphertexts it decrypted for this layer; nil when the
+	// layer never crossed into the enclave.
+	MeasuredBudgetMinBits  *float64 `json:"measured_budget_min_bits,omitempty"`
+	MeasuredBudgetMeanBits *float64 `json:"measured_budget_mean_bits,omitempty"`
+	// MeasuredCts counts the decrypted ciphertexts the summary covers.
+	MeasuredCts int `json:"measured_cts,omitempty"`
+}
+
+// FlightReport is the per-request attribution document served at
+// /inference/last.
+type FlightReport struct {
+	TraceID uint64    `json:"trace_id"`
+	Name    string    `json:"name"`
+	Start   time.Time `json:"start"`
+	WallMS  float64   `json:"wall_ms"`
+
+	QueueWaitMS  float64 `json:"queue_wait_ms,omitempty"`
+	RequestBytes int     `json:"request_bytes,omitempty"`
+	ReplyBytes   int     `json:"reply_bytes,omitempty"`
+
+	Layers []Layer `json:"layers"`
+
+	// MinPredictedBudgetBits / MinMeasuredBudgetBits are the tightest spots
+	// of the whole pipeline — the headroom number an operator watches.
+	MinPredictedBudgetBits *float64 `json:"min_predicted_budget_bits,omitempty"`
+	MinMeasuredBudgetBits  *float64 `json:"min_measured_budget_bits,omitempty"`
+}
+
+func durMS(d time.Duration) float64 { return float64(d.Microseconds()) / 1000.0 }
+
+func argVal(s trace.Span, key string) (float64, bool) {
+	for _, a := range s.Args {
+		if a.Key == key {
+			return a.Val, true
+		}
+	}
+	return 0, false
+}
+
+// FromTrace assembles the flight report of a finished trace, attributing
+// ECALL and batch spans to their enclosing engine layer by walking span
+// parentage. Returns nil for a nil or unfinished trace.
+func FromTrace(tr *trace.Trace) *FlightReport {
+	if tr == nil || !tr.Finished() {
+		return nil
+	}
+	spans := tr.Spans()
+	byID := make(map[trace.SpanID]trace.Span, len(spans))
+	for _, s := range spans {
+		byID[s.ID] = s
+	}
+	// layerOf climbs the parent chain to the enclosing engine layer span.
+	layerOf := func(s trace.Span) (trace.SpanID, bool) {
+		for depth := 0; depth < 64; depth++ {
+			p, ok := byID[s.Parent]
+			if !ok {
+				return 0, false
+			}
+			if p.Cat == "engine" && strings.HasPrefix(p.Name, "layer.") {
+				return p.ID, true
+			}
+			s = p
+		}
+		return 0, false
+	}
+
+	rep := &FlightReport{TraceID: tr.ID, Name: tr.Name, Start: tr.Start, WallMS: durMS(tr.Wall())}
+	layers := make(map[trace.SpanID]*Layer)
+	for _, s := range spans {
+		switch {
+		case s.Cat == "engine" && strings.HasPrefix(s.Name, "layer."):
+			l := &Layer{Kind: strings.TrimPrefix(s.Name, "layer."), WallMS: durMS(s.Dur)}
+			if v, ok := argVal(s, "step"); ok {
+				l.Step = int(v)
+			}
+			l.Label = fmt.Sprintf("%02d_%s", l.Step, l.Kind)
+			if v, ok := argVal(s, "cts_in"); ok {
+				l.CtsIn = int(v)
+			}
+			if v, ok := argVal(s, "cts_out"); ok {
+				l.CtsOut = int(v)
+			}
+			if v, ok := argVal(s, "ntt_fwd"); ok {
+				l.NTTForward = int(v)
+			}
+			if v, ok := argVal(s, "ntt_inv"); ok {
+				l.NTTInverse = int(v)
+			}
+			if v, ok := argVal(s, "pred_budget_bits"); ok {
+				p := v
+				l.PredictedBudgetBits = &p
+			}
+			layers[s.ID] = l
+		case s.Cat == "serve" && s.Name == "queue.wait":
+			rep.QueueWaitMS += durMS(s.Dur)
+		case s.Cat == "wire" && s.Name == "wire.decode":
+			if v, ok := argVal(s, "bytes"); ok {
+				rep.RequestBytes += int(v)
+			}
+		case s.Cat == "wire" && s.Name == "wire.encode":
+			if v, ok := argVal(s, "bytes"); ok {
+				rep.ReplyBytes += int(v)
+			}
+		}
+	}
+	// Second pass: fold ECALL and batching spans into their layers.
+	for _, s := range spans {
+		switch {
+		case s.Cat == "sgx" && strings.HasPrefix(s.Name, "ecall."):
+			id, ok := layerOf(s)
+			if !ok {
+				continue
+			}
+			l := layers[id]
+			if v, ok := argVal(s, "transitions"); ok {
+				l.Transitions += int(v)
+			}
+			if v, ok := argVal(s, "page_faults"); ok {
+				l.PageFaults += int(v)
+			}
+			if v, ok := argVal(s, "overhead_ms"); ok {
+				l.ECallOverheadMS += v
+			}
+			if v, ok := argVal(s, "compute_ms"); ok {
+				l.ECallComputeMS += v
+			}
+			n, ok := argVal(s, "budget_cts")
+			if !ok || n <= 0 {
+				continue
+			}
+			if v, ok := argVal(s, "budget_min_bits"); ok {
+				if l.MeasuredBudgetMinBits == nil || v < *l.MeasuredBudgetMinBits {
+					m := v
+					l.MeasuredBudgetMinBits = &m
+				}
+			}
+			if v, ok := argVal(s, "budget_mean_bits"); ok {
+				// Accumulate a count-weighted mean across this layer's
+				// (possibly several) ECALLs.
+				total := float64(l.MeasuredCts)
+				m := (totalMean(l)*total + v*n) / (total + n)
+				l.MeasuredBudgetMeanBits = &m
+			}
+			l.MeasuredCts += int(n)
+		case s.Name == "batch.wait":
+			id, ok := layerOf(s)
+			if !ok {
+				continue
+			}
+			if v, ok := argVal(s, "shared_requests"); ok && int(v) > layers[id].SharedRequests {
+				layers[id].SharedRequests = int(v)
+			}
+		}
+	}
+
+	rep.Layers = make([]Layer, 0, len(layers))
+	for _, l := range layers {
+		rep.Layers = append(rep.Layers, *l)
+	}
+	sort.Slice(rep.Layers, func(i, j int) bool { return rep.Layers[i].Step < rep.Layers[j].Step })
+	for i := range rep.Layers {
+		l := &rep.Layers[i]
+		if p := l.PredictedBudgetBits; p != nil {
+			if rep.MinPredictedBudgetBits == nil || *p < *rep.MinPredictedBudgetBits {
+				v := *p
+				rep.MinPredictedBudgetBits = &v
+			}
+		}
+		if m := l.MeasuredBudgetMinBits; m != nil {
+			if rep.MinMeasuredBudgetBits == nil || *m < *rep.MinMeasuredBudgetBits {
+				v := *m
+				rep.MinMeasuredBudgetBits = &v
+			}
+		}
+	}
+	return rep
+}
+
+func totalMean(l *Layer) float64 {
+	if l.MeasuredBudgetMeanBits == nil {
+		return 0
+	}
+	return *l.MeasuredBudgetMeanBits
+}

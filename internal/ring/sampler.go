@@ -17,6 +17,15 @@ const DefaultSigma = 3.19
 // which the probability mass is cryptographically negligible.
 const gaussianTailCut = 6
 
+// GaussianBound returns the hard per-coefficient bound of the truncated
+// error distribution, ceil(sigma * tailcut). Every error polynomial the
+// Sampler draws satisfies ‖e‖∞ <= GaussianBound() with certainty (the tail
+// is cut, not just improbable), which is what makes the static noise
+// accountant's per-op bounds sound rather than probabilistic.
+func GaussianBound() float64 {
+	return math.Ceil(DefaultSigma * gaussianTailCut)
+}
+
 // Source yields uniform random 64-bit words. Implementations must be safe
 // for the single-goroutine use of a Sampler; Samplers themselves are not
 // concurrency-safe.

@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"sync"
 	"time"
 
@@ -33,6 +34,7 @@ type Batcher struct {
 	maxBatch int
 	window   time.Duration
 	metrics  *stats.Registry
+	logger   *slog.Logger
 
 	mu      sync.Mutex
 	pending map[core.NonlinearOp]*bucket
@@ -52,6 +54,8 @@ type BatcherConfig struct {
 	Window time.Duration
 	// Metrics receives batching counters and occupancy samples (nil: none).
 	Metrics *stats.Registry
+	// Logger receives structured records for failed flushes (nil: silent).
+	Logger *slog.Logger
 }
 
 // DefaultBatcherConfig returns the serving defaults.
@@ -94,11 +98,15 @@ func NewBatcher(svc core.NonlinearCaller, cfg BatcherConfig) *Batcher {
 	if cfg.Window <= 0 {
 		cfg.Window = def.Window
 	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.DiscardHandler)
+	}
 	return &Batcher{
 		svc:      svc,
 		maxBatch: cfg.MaxBatch,
 		window:   cfg.Window,
 		metrics:  cfg.Metrics,
+		logger:   cfg.Logger,
 		pending:  make(map[core.NonlinearOp]*bucket),
 	}
 }
@@ -190,6 +198,15 @@ func (b *Batcher) flush(bkt *bucket) {
 	fspan.End()
 	if err == nil && len(outs) != len(all) {
 		err = fmt.Errorf("serve: batched %s returned %d ciphertexts for %d inputs", bkt.op.Kind, len(outs), len(all))
+	}
+	if err != nil {
+		// One failed flush fails every sharing request; log once with the
+		// batch shape rather than once per waiter.
+		b.logger.Warn("batched enclave call failed",
+			"op", bkt.op.Kind.String(),
+			"requests", len(bkt.waiters),
+			"cts", len(all),
+			"err", err)
 	}
 	off := 0
 	for _, w := range bkt.waiters {

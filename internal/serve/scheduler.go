@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"errors"
+	"log/slog"
 	"runtime"
 	"sync"
 	"time"
@@ -44,6 +45,9 @@ type SchedulerConfig struct {
 	Deadline time.Duration
 	// Metrics receives queue/job counters and latency samples (nil: none).
 	Metrics *stats.Registry
+	// Logger receives structured records for shed and expired jobs with
+	// the request's trace ID (nil: silent).
+	Logger *slog.Logger
 }
 
 // DefaultSchedulerConfig returns the serving defaults.
@@ -77,6 +81,7 @@ type Scheduler struct {
 	queue    chan *job
 	deadline time.Duration
 	metrics  *stats.Registry
+	logger   *slog.Logger
 
 	wg        sync.WaitGroup
 	closed    chan struct{}
@@ -93,11 +98,15 @@ func NewScheduler(backend InferBackend, cfg SchedulerConfig) *Scheduler {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = def.QueueDepth
 	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.DiscardHandler)
+	}
 	s := &Scheduler{
 		backend:  backend,
 		queue:    make(chan *job, cfg.QueueDepth),
 		deadline: cfg.Deadline,
 		metrics:  cfg.Metrics,
+		logger:   cfg.Logger,
 		closed:   make(chan struct{}),
 	}
 	s.wg.Add(cfg.Workers)
@@ -136,6 +145,10 @@ func (s *Scheduler) Infer(ctx context.Context, img *core.CipherImage) (*core.Inf
 	default:
 		s.metrics.Counter("serve.jobs.rejected").Inc()
 		qspan.Arg("rejected", 1).End()
+		s.logger.Warn("request shed at admission",
+			"reason", "queue_full",
+			"queue_depth", cap(s.queue),
+			"trace_id", trace.ID(ctx))
 		return nil, ErrQueueFull
 	}
 
@@ -171,6 +184,10 @@ func (s *Scheduler) run(j *job) {
 		// Deadline or disconnect while queued: never enter the enclave.
 		s.metrics.Counter("serve.jobs.expired").Inc()
 		j.qspan.Arg("expired", 1).End()
+		s.logger.Warn("queued request expired before running",
+			"queue_wait_ms", float64(time.Since(j.enqueued).Microseconds())/1000.0,
+			"err", err,
+			"trace_id", trace.ID(j.ctx))
 		j.res <- jobResult{err: err}
 		return
 	}

@@ -20,6 +20,7 @@ package serve
 
 import (
 	"context"
+	"log/slog"
 
 	"hesgx/internal/core"
 	"hesgx/internal/stats"
@@ -40,6 +41,9 @@ type Config struct {
 	// default ring-buffer size is created — tracing is always on; its
 	// per-span cost is negligible against HE layer times).
 	Tracer *trace.Tracer
+	// Logger is handed to the scheduler and batcher for shed/expiry/flush
+	// failure records (nil: silent).
+	Logger *slog.Logger
 }
 
 // Pipeline owns the serving stages wired over one engine.
@@ -71,6 +75,7 @@ func NewPipeline(engine *core.HybridEngine, svc *core.EnclaveService, cfg Config
 	if !cfg.DisableBatching {
 		bcfg := cfg.Batcher
 		bcfg.Metrics = reg
+		bcfg.Logger = cfg.Logger
 		p.Batcher = NewBatcher(svc, bcfg)
 		engine.SetNonlinearCaller(p.Batcher)
 	} else {
@@ -78,6 +83,7 @@ func NewPipeline(engine *core.HybridEngine, svc *core.EnclaveService, cfg Config
 	}
 	scfg := cfg.Scheduler
 	scfg.Metrics = reg
+	scfg.Logger = cfg.Logger
 	p.Scheduler = NewScheduler(engine, scfg)
 	return p
 }

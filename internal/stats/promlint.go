@@ -1,0 +1,218 @@
+package stats
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// LintPrometheusText validates a Prometheus text-format (0.0.4) exposition:
+// well-formed TYPE declarations, legal metric and label names, parseable
+// sample values, no duplicate TYPE lines, no duplicate series, and no
+// samples outside a declared family. The exposition tests run every
+// /metrics surface through this so a malformed or colliding series fails in
+// CI rather than in the operator's scraper.
+func LintPrometheusText(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	types := make(map[string]string)     // family -> type
+	sampled := make(map[string]bool)     // family has emitted samples
+	sampleNames := make(map[string]bool) // raw sample names seen
+	series := make(map[string]bool)      // name{labels} seen
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			family, typ, ok := parseTypeLine(line)
+			if !ok {
+				continue // HELP and free-form comments
+			}
+			if !metricNameRe.MatchString(family) {
+				return fmt.Errorf("line %d: illegal metric name %q", lineNo, family)
+			}
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return fmt.Errorf("line %d: unknown metric type %q for %q", lineNo, typ, family)
+			}
+			if _, dup := types[family]; dup {
+				return fmt.Errorf("line %d: duplicate TYPE for %q", lineNo, family)
+			}
+			if sampled[family] {
+				return fmt.Errorf("line %d: TYPE for %q after its samples", lineNo, family)
+			}
+			if typ == "histogram" || typ == "summary" {
+				// A late declaration must not capture component names some
+				// other family already emitted (a_count vs. summary "a").
+				for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+					if sampleNames[family+suffix] {
+						return fmt.Errorf("line %d: TYPE for %q after samples of %q", lineNo, family, family+suffix)
+					}
+				}
+			}
+			types[family] = typ
+			continue
+		}
+		name, labels, value, err := parseSampleLine(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		if _, err := strconv.ParseFloat(value, 64); err != nil {
+			return fmt.Errorf("line %d: bad sample value %q", lineNo, value)
+		}
+		family, ok := familyOf(name, types)
+		if !ok {
+			return fmt.Errorf("line %d: sample %q outside any declared family", lineNo, name)
+		}
+		sampled[family] = true
+		sampleNames[name] = true
+		key := name + "{" + labels + "}"
+		if series[key] {
+			return fmt.Errorf("line %d: duplicate series %s", lineNo, key)
+		}
+		series[key] = true
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("stats: scanning exposition: %w", err)
+	}
+	return nil
+}
+
+var (
+	metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelNameRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// parseTypeLine recognises "# TYPE <name> <type>".
+func parseTypeLine(line string) (family, typ string, ok bool) {
+	fields := strings.Fields(line)
+	if len(fields) != 4 || fields[0] != "#" || fields[1] != "TYPE" {
+		return "", "", false
+	}
+	return fields[2], fields[3], true
+}
+
+// familyOf resolves a sample name to its declared family, accepting the
+// histogram/summary component suffixes plus the registry's _min/_max
+// companion gauges.
+func familyOf(name string, types map[string]string) (string, bool) {
+	if _, ok := types[name]; ok {
+		return name, true
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base == name {
+			continue
+		}
+		if typ, ok := types[base]; ok && (typ == "histogram" || typ == "summary") {
+			return base, true
+		}
+	}
+	return "", false
+}
+
+// parseSampleLine splits "name{labels} value [timestamp]" with quote-aware
+// label handling, validating label names and escape sequences.
+func parseSampleLine(line string) (name, labels, value string, err error) {
+	rest := line
+	brace := quoteAwareIndex(rest, '{')
+	sp := strings.IndexAny(rest, " \t")
+	if brace >= 0 && (sp < 0 || brace < sp) {
+		name = rest[:brace]
+		end, lerr := labelBlockEnd(rest[brace:])
+		if lerr != nil {
+			return "", "", "", lerr
+		}
+		labels = rest[brace+1 : brace+end]
+		if err := validateLabels(labels); err != nil {
+			return "", "", "", err
+		}
+		rest = rest[brace+end+1:]
+	} else {
+		if sp < 0 {
+			return "", "", "", fmt.Errorf("sample %q has no value", line)
+		}
+		name = rest[:sp]
+		rest = rest[sp:]
+	}
+	if !metricNameRe.MatchString(name) {
+		return "", "", "", fmt.Errorf("illegal metric name %q", name)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", "", "", fmt.Errorf("sample %q needs a value and optional timestamp", line)
+	}
+	return name, labels, fields[0], nil
+}
+
+// quoteAwareIndex finds c outside double quotes.
+func quoteAwareIndex(s string, c byte) int {
+	inQuote := false
+	for i := 0; i < len(s); i++ {
+		switch {
+		case inQuote && s[i] == '\\':
+			i++
+		case s[i] == '"':
+			inQuote = !inQuote
+		case !inQuote && s[i] == c:
+			return i
+		}
+	}
+	return -1
+}
+
+// labelBlockEnd returns the offset of the matching '}' in a string starting
+// at '{'.
+func labelBlockEnd(s string) (int, error) {
+	end := quoteAwareIndex(s[1:], '}')
+	if end < 0 {
+		return 0, fmt.Errorf("unterminated label block in %q", s)
+	}
+	return end + 1, nil
+}
+
+// validateLabels checks each label pair: legal name, quoted value, legal
+// escapes (\\, \", \n).
+func validateLabels(labels string) error {
+	rest := labels
+	for strings.TrimSpace(rest) != "" {
+		eq := quoteAwareIndex(rest, '=')
+		if eq < 0 {
+			return fmt.Errorf("label pair %q missing '='", rest)
+		}
+		lname := strings.TrimSpace(rest[:eq])
+		if !labelNameRe.MatchString(lname) {
+			return fmt.Errorf("illegal label name %q", lname)
+		}
+		rest = strings.TrimSpace(rest[eq+1:])
+		if len(rest) < 2 || rest[0] != '"' {
+			return fmt.Errorf("label %q value must be quoted", lname)
+		}
+		i := 1
+		for ; i < len(rest); i++ {
+			if rest[i] == '\\' {
+				if i+1 >= len(rest) || !strings.ContainsRune(`\"n`, rune(rest[i+1])) {
+					return fmt.Errorf("label %q has illegal escape", lname)
+				}
+				i++
+				continue
+			}
+			if rest[i] == '"' {
+				break
+			}
+		}
+		if i >= len(rest) {
+			return fmt.Errorf("label %q value unterminated", lname)
+		}
+		rest = rest[i+1:]
+		rest = strings.TrimPrefix(strings.TrimSpace(rest), ",")
+	}
+	return nil
+}

@@ -1,0 +1,75 @@
+package trace
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestChromeTraceEscaping feeds hostile span and trace names — embedded
+// quotes, newlines, backslashes, control bytes, invalid UTF-8 — through the
+// Chrome export and requires the output to survive a strict JSON round
+// trip with the names intact (modulo the UTF-8 replacement encoding/json
+// documents for invalid bytes).
+func TestChromeTraceEscaping(t *testing.T) {
+	names := []string{
+		`span "with quotes"`,
+		"span\nwith\nnewlines",
+		`span\with\backslashes`,
+		"span\twith\x00control\x1fbytes",
+		"span with invalid utf8 \xff\xfe",
+		"ünïcødé 層",
+	}
+	tr := NewTrace(7, "req \"q\"\nline2")
+	ctx := With(context.Background(), tr)
+	for _, n := range names {
+		_, span := StartSpan(ctx, n, "engine")
+		span.Arg("bytes", 12).End()
+	}
+	tr.Finish()
+
+	raw, err := ChromeTrace([]*Trace{tr, nil})
+	if err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	if !json.Valid(raw) {
+		t.Fatalf("export is not valid JSON: %s", raw)
+	}
+	var file struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(raw, &file); err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if file.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", file.DisplayTimeUnit)
+	}
+	got := make(map[string]bool)
+	for _, ev := range file.TraceEvents {
+		got[ev.Name] = true
+	}
+	for _, n := range names[:4] { // valid-UTF-8 names survive byte-for-byte
+		if !got[n] {
+			t.Errorf("span name %q lost in export", n)
+		}
+	}
+	if !got["ünïcødé 層"] {
+		t.Error("unicode span name lost in export")
+	}
+	// The invalid-UTF-8 name must still be present in some replacement form.
+	found := false
+	for n := range got {
+		if strings.HasPrefix(n, "span with invalid utf8") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("invalid-utf8 span name dropped entirely")
+	}
+}

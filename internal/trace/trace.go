@@ -165,6 +165,15 @@ func FromContext(ctx context.Context) *Trace {
 	return scopes[0].tr
 }
 
+// ID returns the ID of the trace attached to ctx, or 0 — the correlation
+// key log records carry so structured logs join against trace exports.
+func ID(ctx context.Context) uint64 {
+	if tr := FromContext(ctx); tr != nil {
+		return tr.ID
+	}
+	return 0
+}
+
 // Join returns a context derived from base that records spans into every
 // trace attached to the given contexts — how one shared batched ECALL is
 // attributed to all the requests waiting on it. Each span lands in each
@@ -281,6 +290,7 @@ const DefaultBufferSize = 64
 type Tracer struct {
 	capacity int
 	nextID   atomic.Uint64
+	onFinish atomic.Value // of func(*Trace)
 
 	mu   sync.Mutex
 	ring []*Trace
@@ -306,6 +316,16 @@ func (t *Tracer) Start(name string) *Trace {
 	return NewTrace(t.nextID.Add(1), name)
 }
 
+// SetOnFinish installs a hook invoked synchronously (from Finish's caller)
+// for every finished trace — how the flight-report recorder observes
+// requests without the serving path importing it. A nil fn clears the hook.
+func (t *Tracer) SetOnFinish(fn func(*Trace)) {
+	if t == nil {
+		return
+	}
+	t.onFinish.Store(fn)
+}
+
 // Finish closes tr and retains it in the ring buffer.
 func (t *Tracer) Finish(tr *Trace) {
 	if t == nil || tr == nil {
@@ -319,6 +339,9 @@ func (t *Tracer) Finish(tr *Trace) {
 		t.n++
 	}
 	t.mu.Unlock()
+	if fn, _ := t.onFinish.Load().(func(*Trace)); fn != nil {
+		fn(tr)
+	}
 }
 
 // Last returns up to n finished traces, oldest first (n <= 0: all

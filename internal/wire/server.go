@@ -116,7 +116,10 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 			defer conn.Close()
 			if err := s.handle(ctx, conn); err != nil &&
 				!errors.Is(err, net.ErrClosed) && !errors.Is(err, context.Canceled) {
-				s.logger.Warn("connection error", "remote", conn.RemoteAddr(), "err", err)
+				s.logger.Warn("connection error",
+					"remote", conn.RemoteAddr(),
+					"trace_id", traceIDOf(err),
+					"err", err)
 			}
 		}()
 	}
@@ -154,12 +157,20 @@ func (s *Server) handle(ctx context.Context, conn net.Conn) error {
 			// rather than write a MsgError into the middle of that frame.
 			var partial *PartialFrameError
 			if errors.As(err, &partial) {
+				s.logger.Warn("closing connection after partial reply frame",
+					"remote", conn.RemoteAddr(),
+					"trace_id", traceIDOf(err),
+					"err", err)
 				return err
 			}
 			// Protocol-level errors go back to the client as typed error
 			// frames; transport errors end the connection.
 			code := errorCode(err)
-			s.logger.Warn("request failed", "remote", conn.RemoteAddr(), "code", code, "err", err)
+			s.logger.Warn("request failed",
+				"remote", conn.RemoteAddr(),
+				"code", code,
+				"trace_id", traceIDOf(err),
+				"err", err)
 			if werr := s.writeFrame(conn, MsgError, EncodeError(code, err.Error())); werr != nil {
 				return werr
 			}
@@ -203,6 +214,26 @@ type badRequestError struct{ err error }
 
 func (e *badRequestError) Error() string { return e.err.Error() }
 func (e *badRequestError) Unwrap() error { return e.err }
+
+// tracedError tags a request error with the trace ID of the request that
+// produced it, so connection-level log records join against the trace
+// flight recorder. Unwrap keeps errors.Is/As classification intact.
+type tracedError struct {
+	traceID uint64
+	err     error
+}
+
+func (e *tracedError) Error() string { return e.err.Error() }
+func (e *tracedError) Unwrap() error { return e.err }
+
+// traceIDOf extracts the tagged trace ID from an error chain (0: none).
+func traceIDOf(err error) uint64 {
+	var te *tracedError
+	if errors.As(err, &te) {
+		return te.traceID
+	}
+	return 0
+}
 
 func (s *Server) dispatch(ctx context.Context, conn net.Conn, t MsgType, payload []byte) error {
 	switch t {
@@ -254,7 +285,13 @@ func (s *Server) handleInfer(ctx context.Context, conn net.Conn, payload []byte)
 	tr := s.tracer.Start("request")
 	ctx = trace.With(ctx, tr)
 	defer s.tracer.Finish(tr)
+	if err := s.serveInfer(ctx, conn, payload); err != nil {
+		return &tracedError{traceID: trace.ID(ctx), err: err}
+	}
+	return nil
+}
 
+func (s *Server) serveInfer(ctx context.Context, conn net.Conn, payload []byte) error {
 	// Version negotiation happens per request: the decoder reports which
 	// wire format arrived (legacy fixed-width v1 or seeded/packed v2) and
 	// the reply mirrors it, so legacy clients keep talking to this server
@@ -305,7 +342,10 @@ func (s *Server) handleInfer(ctx context.Context, conn net.Conn, payload []byte)
 	}
 	s.metrics.Counter("wire.bytes_out").Add(int64(replyLen) + frameHeaderSize)
 	s.metrics.ObserveHistogram("wire.reply_bytes", float64(replyLen))
-	s.logger.Info("inference served", "remote", conn.RemoteAddr(), "logits", len(res.Logits))
+	s.logger.Info("inference served",
+		"remote", conn.RemoteAddr(),
+		"logits", len(res.Logits),
+		"trace_id", trace.ID(ctx))
 	return nil
 }
 
