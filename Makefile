@@ -42,6 +42,9 @@ bench-json:
 	$(GO) test -run '^$$' -bench 'BenchmarkCipherImage' -benchtime 3x . \
 		| $(GO) run ./cmd/hesgx-bench2json -o BENCH_PR4.json
 	@cat BENCH_PR4.json
+	$(GO) test -run '^$$' -bench 'BenchmarkLaneServing64' -benchtime 1x -timeout 30m . \
+		| $(GO) run ./cmd/hesgx-bench2json -o BENCH_PR6.json
+	@cat BENCH_PR6.json
 
 # One-iteration pass over every benchmark — CI smoke that the bench code
 # still compiles and runs, without paying for stable timings.
@@ -59,6 +62,11 @@ bench-regression:
 	$(GO) run ./cmd/hesgx-benchdiff -base BENCH_PR4.json \
 		-new /tmp/hesgx-bench-regression.json -max-ratio 2.0 \
 		-metrics ns/op,bytes/image
+	$(GO) test -run '^$$' -bench 'BenchmarkLaneServing64' -benchtime 1x -timeout 30m . \
+		| $(GO) run ./cmd/hesgx-bench2json -o /tmp/hesgx-bench-lanes.json
+	$(GO) run ./cmd/hesgx-benchdiff -base BENCH_PR6.json \
+		-new /tmp/hesgx-bench-lanes.json -max-ratio 2.0 -metrics ns/op \
+		-min-ratio 0.5 -min-metrics lane_images/sec,speedup_x
 
 clean:
 	$(GO) clean ./...

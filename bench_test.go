@@ -8,6 +8,7 @@ package hesgx_test
 import (
 	"context"
 	mrand "math/rand/v2"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -856,6 +857,127 @@ func benchmarkConcurrentServing(b *testing.B, clients int, batching bool) {
 	delta := platform.Snapshot().Sub(before)
 	b.ReportMetric(float64(delta.Transitions())/total, "transitions/inference")
 	b.ReportMetric(total/b.Elapsed().Seconds(), "inferences/sec")
+}
+
+// --- PR 6: slot-lane batched serving (images/sec at 64 concurrent clients) ---
+
+// buildLaneServingStack assembles a full serving stack over the paper CNN
+// at the default SIMD tier (n = 2048, prime t ≡ 1 mod 2n): enclave,
+// engine, serve.Service, plus 64 per-client encrypted images.
+func buildLaneServingStack(b *testing.B, clients int, opts ...serve.Option) (*serve.Service, []*core.CipherImage) {
+	b.Helper()
+	params, err := core.DefaultSIMDParameters()
+	if err != nil {
+		b.Fatal(err)
+	}
+	platform, err := sgx.NewPlatform(sgx.ZeroCost(), sgx.WithJitterSeed(50))
+	if err != nil {
+		b.Fatal(err)
+	}
+	svc, err := core.NewEnclaveService(platform, params, core.WithKeySource(ring.NewSeededSource(51)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := mrand.New(mrand.NewPCG(52, 53))
+	model := nn.NewNetwork(
+		nn.NewConv2D(1, 6, 3, 1, rng),
+		nn.NewActivation(nn.Sigmoid),
+		nn.NewPool2D(nn.MeanPool, 2),
+		&nn.Flatten{},
+		nn.NewFullyConnected(6*5*5, 10, rng),
+	)
+	cfg := core.DefaultConfig()
+	// SGXDiv pooling keeps both non-linear layers on batchable enclave ops.
+	cfg.Pool = core.PoolSGXDiv
+	engine, err := core.NewHybridEngine(svc, model, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := engine.EncodeWeights(); err != nil {
+		b.Fatal(err)
+	}
+	client, err := core.NewClient()
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload, err := svc.ProvisionKeys(client.ECDHPublicKey())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := client.InstallProvisionPayload(payload); err != nil {
+		b.Fatal(err)
+	}
+	cis := make([]*core.CipherImage, clients)
+	for i := range cis {
+		img := nn.NewTensor(1, 12, 12)
+		for j := range img.Data {
+			img.Data[j] = rng.Float64()
+		}
+		if cis[i], err = client.EncryptImage(img, cfg.PixelScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+	service := serve.NewService(engine, svc, append([]serve.Option{
+		serve.WithSchedulerConfig(serve.SchedulerConfig{Workers: 4, QueueDepth: clients}),
+	}, opts...)...)
+	return service, cis
+}
+
+// BenchmarkLaneServing64 is the slot-batched serving mode's headline
+// number: images/sec at 64 concurrent clients on the paper CNN, scalar
+// pass-per-request vs one lane-packed pass over shared ciphertext slots
+// (n = 2048 ⇒ all 64 requests ride one engine pass). The asserted ≥8×
+// keeps the tentpole win from regressing silently.
+func BenchmarkLaneServing64(b *testing.B) {
+	const clients = 64
+	scalarSvc, scalarCIs := buildLaneServingStack(b, clients, serve.WithoutLanes())
+	defer scalarSvc.Close()
+	laneSvc, laneCIs := buildLaneServingStack(b, clients,
+		serve.WithLaneConfig(serve.LaneConfig{MaxLanes: clients, MinLanes: 2, Window: 2 * time.Second}))
+	defer laneSvc.Close()
+
+	run := func(s *serve.Service, cis []*core.CipherImage) time.Duration {
+		start := time.Now()
+		var wg sync.WaitGroup
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				if _, err := s.Infer(context.Background(), serve.Request{Image: cis[c]}); err != nil {
+					b.Error(err)
+				}
+			}(c)
+		}
+		wg.Wait()
+		return time.Since(start)
+	}
+
+	b.ResetTimer()
+	var scalarTime, laneTime time.Duration
+	for i := 0; i < b.N; i++ {
+		scalarTime += run(scalarSvc, scalarCIs)
+		// Collect the scalar phase's garbage outside either timed window so
+		// 64 full passes of dead ciphertexts don't bill GC pauses to the
+		// lane phase (or vice versa).
+		runtime.GC()
+		laneTime += run(laneSvc, laneCIs)
+		runtime.GC()
+	}
+	b.StopTimer()
+	total := float64(b.N * clients)
+	scalarIPS := total / scalarTime.Seconds()
+	laneIPS := total / laneTime.Seconds()
+	speedup := laneIPS / scalarIPS
+	b.ReportMetric(scalarIPS, "scalar_images/sec")
+	b.ReportMetric(laneIPS, "lane_images/sec")
+	b.ReportMetric(speedup, "speedup_x")
+	if packed := laneSvc.Metrics.Counter("serve.lanes.packed_requests").Value(); packed != int64(b.N*clients) {
+		b.Errorf("only %d of %d requests were lane-packed", packed, b.N*clients)
+	}
+	if speedup < 8 {
+		b.Errorf("lane serving speedup %.1fx below the 8x acceptance floor (scalar %.2f img/s, lane %.2f img/s)",
+			speedup, scalarIPS, laneIPS)
+	}
 }
 
 func BenchmarkConcurrentServing8Direct(b *testing.B)   { benchmarkConcurrentServing(b, 8, false) }

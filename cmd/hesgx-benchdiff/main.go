@@ -10,6 +10,11 @@
 //
 //	hesgx-benchdiff -base BENCH_PR4.json -new /tmp/bench.json
 //	                [-max-ratio 2.0] [-metrics ns/op,bytes/image]
+//	                [-min-ratio 0.5] [-min-metrics lane_images/sec,speedup_x]
+//
+// -metrics gates lower-is-better series (latency, bytes): fail when
+// new/base exceeds -max-ratio. -min-metrics gates higher-is-better series
+// (throughput, speedups): fail when new/base falls below -min-ratio.
 //
 // Benchmarks present in the baseline but missing from the new report (or
 // vice versa) warn without failing: renames and coverage changes are PR
@@ -46,6 +51,8 @@ func main() {
 	newPath := flag.String("new", "", "candidate bench2json report (required)")
 	maxRatio := flag.Float64("max-ratio", 2.0, "fail when new/base exceeds this ratio for a watched metric")
 	metricList := flag.String("metrics", "ns/op,bytes/image", "comma-separated metrics to gate (lower is better)")
+	minRatio := flag.Float64("min-ratio", 0.5, "fail when new/base falls below this ratio for a -min-metrics metric")
+	minMetricList := flag.String("min-metrics", "", "comma-separated metrics to gate as higher-is-better (throughput, speedups)")
 	flag.Parse()
 	if *basePath == "" || *newPath == "" {
 		fmt.Fprintln(os.Stderr, "hesgx-benchdiff: -base and -new are required")
@@ -53,6 +60,10 @@ func main() {
 	}
 	if *maxRatio <= 0 {
 		fmt.Fprintln(os.Stderr, "hesgx-benchdiff: -max-ratio must be positive")
+		os.Exit(2)
+	}
+	if *minRatio <= 0 {
+		fmt.Fprintln(os.Stderr, "hesgx-benchdiff: -min-ratio must be positive")
 		os.Exit(2)
 	}
 
@@ -71,6 +82,12 @@ func main() {
 	for _, m := range strings.Split(*metricList, ",") {
 		if m = strings.TrimSpace(m); m != "" {
 			watched[m] = true
+		}
+	}
+	minWatched := map[string]bool{}
+	for _, m := range strings.Split(*minMetricList, ",") {
+		if m = strings.TrimSpace(m); m != "" {
+			minWatched[m] = true
 		}
 	}
 
@@ -109,6 +126,27 @@ func main() {
 			fmt.Printf("%-5s %-40s %-12s base=%.4g new=%.4g ratio=%.2f (limit %.2f) %s\n",
 				"diff", nb.Name, metric, bv, nv, ratio, *maxRatio, verdict)
 		}
+		for metric := range minWatched {
+			bv, bok := bb.Metrics[metric]
+			nv, nok := nb.Metrics[metric]
+			if !bok || !nok {
+				continue
+			}
+			if bv <= 0 {
+				fmt.Printf("SKIP  %-40s %-12s baseline %.4g\n", nb.Name, metric, bv)
+				continue
+			}
+			// Higher is better: the gate trips when throughput falls to less
+			// than min-ratio of the baseline.
+			ratio := nv / bv
+			verdict := "ok"
+			if ratio < *minRatio {
+				verdict = "REGRESSION"
+				failed++
+			}
+			fmt.Printf("%-5s %-40s %-12s base=%.4g new=%.4g ratio=%.2f (floor %.2f) %s\n",
+				"diff", nb.Name, metric, bv, nv, ratio, *minRatio, verdict)
+		}
 	}
 	for name := range baseByName {
 		if !seen[name] {
@@ -117,10 +155,10 @@ func main() {
 	}
 
 	if failed > 0 {
-		fmt.Fprintf(os.Stderr, "hesgx-benchdiff: %d metric(s) regressed past %.2fx\n", failed, *maxRatio)
+		fmt.Fprintf(os.Stderr, "hesgx-benchdiff: %d metric(s) regressed past tolerance\n", failed)
 		os.Exit(1)
 	}
-	fmt.Printf("hesgx-benchdiff: no regression past %.2fx across %d benchmarks\n", *maxRatio, len(cand.Benchmarks))
+	fmt.Printf("hesgx-benchdiff: no regression past tolerance across %d benchmarks\n", len(cand.Benchmarks))
 }
 
 func load(path string) (*Report, error) {

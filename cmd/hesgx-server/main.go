@@ -9,7 +9,16 @@
 //	hesgx-server -model model.bin [-addr :7700] [-calibrated]
 //	             [-workers N] [-queue N] [-deadline 2s]
 //	             [-batch-window 2ms] [-batch-max 256] [-no-batching]
+//	             [-simd-params] [-lane-window 5ms] [-lane-max 64]
+//	             [-lane-min 2] [-no-lanes]
 //	             [-stats-interval 30s] [-admin :9090] [-trace-buffer 64]
+//
+// With -simd-params the server generates a batching-capable parameter set
+// (prime plaintext modulus t ≡ 1 mod 2n) and the serving stack packs
+// concurrent same-shape requests into CRT slot lanes of shared ciphertexts:
+// one engine pass serves up to -lane-max requests. With the default
+// (non-batching) parameters the lane stage disables itself and every
+// request runs its own scalar pass.
 //
 // With -admin set, an HTTP observability endpoint serves Prometheus
 // text-format metrics at /metrics, Go profiles under /debug/pprof/, the
@@ -53,6 +62,11 @@ func run() int {
 	batchWindow := flag.Duration("batch-window", 0, "cross-request ECALL batching window (0: default 2ms)")
 	batchMax := flag.Int("batch-max", 0, "max ciphertexts per batched ECALL (0: default 256)")
 	noBatching := flag.Bool("no-batching", false, "disable cross-request ECALL batching")
+	simdParams := flag.Bool("simd-params", false, "use a batching-capable parameter set (prime t ≡ 1 mod 2n); required for slot-lane packing")
+	laneWindow := flag.Duration("lane-window", 0, "slot-lane packing window: how long a request waits for lane company (0: default 5ms)")
+	laneMax := flag.Int("lane-max", 0, "max requests packed into one shared engine pass (0: default 64, clamped to the slot count)")
+	laneMin := flag.Int("lane-min", 0, "fill floor below which an expired lane bucket falls back to scalar passes (0: default 2)")
+	noLanes := flag.Bool("no-lanes", false, "disable slot-lane packing; every request runs its own engine pass")
 	statsInterval := flag.Duration("stats-interval", 30*time.Second, "serving-stats log interval (0: off)")
 	adminAddr := flag.String("admin", "", "admin endpoint address for /metrics, /debug/pprof, /traces/last, /inference/last, /healthz (empty: off)")
 	traceBuffer := flag.Int("trace-buffer", trace.DefaultBufferSize, "request traces retained for /traces/last")
@@ -80,6 +94,9 @@ func run() int {
 		return 1
 	}
 	params, err := core.DefaultHybridParameters()
+	if *simdParams {
+		params, err = core.DefaultSIMDParameters()
+	}
 	if err != nil {
 		logger.Error("parameters", "err", err)
 		return 1
@@ -107,37 +124,48 @@ func run() int {
 	if queueCapacity <= 0 {
 		queueCapacity = serve.DefaultSchedulerConfig().QueueDepth
 	}
-	pipeline := serve.NewPipeline(engine, svc, serve.Config{
-		Scheduler: serve.SchedulerConfig{
+	serviceOpts := []serve.Option{
+		serve.WithSchedulerConfig(serve.SchedulerConfig{
 			Workers:    *workers,
 			QueueDepth: *queueDepth,
 			Deadline:   *deadline,
-		},
-		Batcher: serve.BatcherConfig{
+		}),
+		serve.WithBatcherConfig(serve.BatcherConfig{
 			MaxBatch: *batchMax,
 			Window:   *batchWindow,
-		},
-		DisableBatching: *noBatching,
-		Tracer:          trace.NewTracer(*traceBuffer),
-		Logger:          logger,
-	})
+		}),
+		serve.WithLaneConfig(serve.LaneConfig{
+			MaxLanes: *laneMax,
+			MinLanes: *laneMin,
+			Window:   *laneWindow,
+		}),
+		serve.WithTracer(trace.NewTracer(*traceBuffer)),
+		serve.WithLogger(logger),
+	}
+	if *noBatching {
+		serviceOpts = append(serviceOpts, serve.WithoutBatching())
+	}
+	if *noLanes {
+		serviceOpts = append(serviceOpts, serve.WithoutLanes())
+	}
+	service := serve.NewService(engine, svc, serviceOpts...)
 
 	// Every finished request trace folds into a per-layer flight report:
 	// ring-buffered for /inference/last and re-exported as per-layer
 	// latency/budget series on /metrics.
-	reports := report.NewRecorder(*reportBuffer, pipeline.Metrics)
-	pipeline.Tracer.SetOnFinish(reports.Observe)
+	reports := report.NewRecorder(*reportBuffer, service.Metrics)
+	service.Tracer.SetOnFinish(reports.Observe)
 
 	srv, err := wire.NewServer(svc, engine, logger,
-		wire.WithInferrer(pipeline), wire.WithTracer(pipeline.Tracer),
-		wire.WithMetrics(pipeline.Metrics))
+		wire.WithService(service), wire.WithTracer(service.Tracer),
+		wire.WithMetrics(service.Metrics))
 	if err != nil {
 		logger.Error("creating server", "err", err)
 		return 1
 	}
 	// Close is idempotent: the explicit shutdown path below closes the
-	// pipeline before the final snapshot; this defer covers error returns.
-	defer pipeline.Close()
+	// service before the final snapshot; this defer covers error returns.
+	defer service.Close()
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -148,8 +176,8 @@ func run() int {
 	var adminSrv *admin.Server
 	if *adminAddr != "" {
 		handler := admin.Handler(admin.Config{
-			Metrics:       pipeline.Metrics,
-			Tracer:        pipeline.Tracer,
+			Metrics:       service.Metrics,
+			Tracer:        service.Tracer,
 			Platform:      platform.Snapshot,
 			QueueCapacity: queueCapacity,
 			Reports:       reports,
@@ -187,7 +215,7 @@ func run() int {
 					logger.Info("serving stats",
 						"ecalls", snap.ECalls,
 						"ocalls", snap.OCalls,
-						"metrics", pipeline.Metrics.String(),
+						"metrics", service.Metrics.String(),
 					)
 				}
 			}
@@ -200,7 +228,7 @@ func run() int {
 	// flush and their metrics land, then stop the admin listener, then
 	// emit the final snapshot — shutdown always reports complete totals
 	// even when no -stats-interval ticker ever fired.
-	pipeline.Close()
+	service.Close()
 	if adminSrv != nil {
 		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		if err := adminSrv.Shutdown(sctx); err != nil {
@@ -214,7 +242,7 @@ func run() int {
 		"ocalls", snap.OCalls,
 		"page_faults", snap.PageFaults,
 		"injected_overhead", snap.InjectedOverhead,
-		"metrics", pipeline.Metrics.String(),
+		"metrics", service.Metrics.String(),
 	)
 
 	if serveErr != nil {

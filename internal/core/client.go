@@ -170,6 +170,12 @@ type CipherImage struct {
 	CTs                     []*he.Ciphertext
 	// Scale is the fixed-point scale of the encrypted integers.
 	Scale uint64
+	// Lanes counts the images slot-packed into each ciphertext: 0 or 1
+	// means scalar encoding (one pixel value in the constant coefficient),
+	// while Lanes > 1 means CRT slot s of ciphertext p carries pixel p of
+	// image s (§VIII). The engine derives per-inference SIMD execution from
+	// this, so lane-packed and scalar images flow through the same API.
+	Lanes int
 }
 
 // At returns the ciphertext at (c, y, x).
@@ -179,7 +185,16 @@ func (im *CipherImage) At(c, y, x int) *he.Ciphertext {
 
 // EncryptImage quantizes pixels in [0, 1] at pixelScale and encrypts each
 // as its own ciphertext.
+//
+// Deprecated: use EncryptImages, which selects scalar vs slot encoding
+// from the number of images and the parameters. EncryptImage remains as a
+// thin shim for one release.
 func (c *Client) EncryptImage(img *nn.Tensor, pixelScale uint64) (*CipherImage, error) {
+	return c.encryptImageScalar(img, pixelScale)
+}
+
+// encryptImageScalar is the scalar (pixel-per-ciphertext) encoding path.
+func (c *Client) encryptImageScalar(img *nn.Tensor, pixelScale uint64) (*CipherImage, error) {
 	if !c.Ready() {
 		return nil, fmt.Errorf("core: client has no keys; complete the key exchange first")
 	}
@@ -198,7 +213,7 @@ func (c *Client) EncryptImage(img *nn.Tensor, pixelScale uint64) (*CipherImage, 
 	}
 	return &CipherImage{
 		Channels: img.Shape[0], Height: img.Shape[1], Width: img.Shape[2],
-		CTs: cts, Scale: pixelScale,
+		CTs: cts, Scale: pixelScale, Lanes: 1,
 	}, nil
 }
 

@@ -43,13 +43,15 @@ const (
 	ECallPoolFull   = "pool_full"
 	ECallPoolMax    = "pool_max"
 	ECallRefresh    = "refresh"
+	ECallLanePack   = "lane_pack"
+	ECallLaneDemux  = "lane_demux"
 )
 
 // EnclaveName identifies the inference enclave; it feeds the measurement.
 const EnclaveName = "hesgx-inference-enclave"
 
 // EnclaveVersion feeds the measurement; bump on trusted-code changes.
-const EnclaveVersion = "1.2.0"
+const EnclaveVersion = "1.3.0"
 
 // EnclaveService hosts the trusted half of the framework on an SGX
 // platform: FV key generation and custody, key provisioning via ECDH for
@@ -118,10 +120,13 @@ func (st *enclaveState) slotCodec() (*encoding.BatchEncoder, error) {
 }
 
 // loadedKeys are the working key objects an ECALL derives from the at-rest
-// blobs on entry.
+// blobs on entry. pk is retained so lane ECALLs can derive additional
+// encryptors for parallel re-encryption (encryptors own samplers and are
+// not safe to share across goroutines).
 type loadedKeys struct {
 	dec *he.Decryptor
 	enc *he.Encryptor
+	pk  *he.PublicKey
 }
 
 // loadKeys deserializes and re-derives the FV keys, charging the enclave
@@ -145,7 +150,7 @@ func (st *enclaveState) loadKeys(ctx *sgx.Context) (*loadedKeys, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &loadedKeys{dec: dec, enc: enc}, nil
+	return &loadedKeys{dec: dec, enc: enc, pk: pk}, nil
 }
 
 // DefaultNoiseWarnBudgetBits is the default measured-budget floor: when the
@@ -231,6 +236,8 @@ func NewEnclaveService(platform *sgx.Platform, params he.Parameters, opts ...Ser
 			ECallPoolFull:   state.poolFull,
 			ECallPoolMax:    state.poolMax,
 			ECallRefresh:    state.refresh,
+			ECallLanePack:   state.lanePack,
+			ECallLaneDemux:  state.laneDemux,
 		},
 	})
 	if err != nil {
@@ -340,7 +347,10 @@ func (m *budgetMeter) wrap(cts []byte) []byte {
 		rep.BudgetMin = m.min
 		rep.BudgetMean = m.sum / float64(m.n)
 	}
-	return rep.marshal()
+	out := rep.marshal()
+	// marshal copied cts into the reply envelope; recycle the batch buffer.
+	putPayload(cts)
+	return out
 }
 
 // decryptVectors decrypts a batch into centered value vectors, recording

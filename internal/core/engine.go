@@ -159,6 +159,10 @@ type HybridEngine struct {
 	encodeOnce sync.Once
 	encodeErr  error
 
+	// slotCapable records whether the parameters support CRT slot batching
+	// (prime t ≡ 1 mod 2n) — the gate for lane-packed images.
+	slotCapable bool
+
 	// outScale is the fixed-point scale of the final logits.
 	outScale float64
 }
@@ -167,6 +171,9 @@ type HybridEngine struct {
 // must be drawn from {Conv2D, Activation, Pool2D, Flatten, FullyConnected}.
 // Weight quantization happens here; homomorphic weight encoding happens in
 // EncodeWeights (so Fig. 3 can time it separately).
+//
+// Deprecated: prefer NewEngine with EngineOption values; the Config-literal
+// constructor remains as a thin shim for one release.
 func NewHybridEngine(svc *EnclaveService, model *nn.Network, cfg Config) (*HybridEngine, error) {
 	if svc == nil {
 		return nil, fmt.Errorf("core: nil enclave service")
@@ -186,12 +193,12 @@ func NewHybridEngine(svc *EnclaveService, model *nn.Network, cfg Config) (*Hybri
 	if err != nil {
 		return nil, err
 	}
-	if cfg.SIMD {
-		if _, err := encoding.NewBatchEncoder(params); err != nil {
-			return nil, fmt.Errorf("core: SIMD engine: %w", err)
-		}
+	_, batchErr := encoding.NewBatchEncoder(params)
+	if cfg.SIMD && batchErr != nil {
+		return nil, fmt.Errorf("core: SIMD engine: %w", batchErr)
 	}
-	e := &HybridEngine{cfg: cfg, params: params, eval: eval, scalar: scalar, svc: svc, caller: svc}
+	e := &HybridEngine{cfg: cfg, params: params, eval: eval, scalar: scalar, svc: svc, caller: svc,
+		slotCapable: batchErr == nil}
 
 	// Plan steps and track the fixed-point scale and worst-case magnitude
 	// through the pipeline to validate exactness against t, while the
@@ -439,6 +446,18 @@ func (e *HybridEngine) InferContext(ctx context.Context, img *CipherImage) (*Inf
 	if img.Scale != e.cfg.PixelScale {
 		return nil, fmt.Errorf("core: image scale %d != engine pixel scale %d", img.Scale, e.cfg.PixelScale)
 	}
+	// Lane-packed images run the same plan in SIMD mode: the linear algebra
+	// is slot-wise either way, and the enclave decodes slot vectors instead
+	// of constant coefficients. Scalar images keep the engine's configured
+	// mode, so one engine serves both encodings.
+	simd := e.cfg.SIMD || img.Lanes > 1
+	if img.Lanes > 1 && !e.slotCapable {
+		return nil, fmt.Errorf("core: image packs %d lanes but plaintext modulus %d is not batching-capable (needs prime t ≡ 1 mod 2n)",
+			img.Lanes, e.params.T)
+	}
+	if img.Lanes > e.params.N {
+		return nil, fmt.Errorf("core: image packs %d lanes, exceeding %d slots", img.Lanes, e.params.N)
+	}
 	if err := e.EncodeWeights(); err != nil {
 		return nil, err
 	}
@@ -468,10 +487,10 @@ func (e *HybridEngine) InferContext(ctx context.Context, img *CipherImage) (*Inf
 				cts, c, h, w, err = e.runConvParallel(s, cts, c, h, w, e.effectiveWorkers())
 				scale *= float64(e.cfg.WeightScale)
 			case stepAct:
-				cts, err = e.runActivation(lctx, s, cts, uint64(scale))
+				cts, err = e.runActivation(lctx, s, cts, uint64(scale), simd)
 				scale = float64(e.cfg.ActScale)
 			case stepPool:
-				cts, h, w, err = e.runPool(lctx, s, cts, c, h, w)
+				cts, h, w, err = e.runPool(lctx, s, cts, c, h, w, simd)
 			case stepFlatten:
 				// No-op on the flat ciphertext slice.
 			case stepFC:
@@ -524,10 +543,10 @@ func (e *HybridEngine) mulWeight(ct *he.Ciphertext, ops []*he.PlainOperand, weig
 	return e.eval.MulScalar(ct, e.scalar.EncodeValue(weights[idx]))
 }
 
-func (e *HybridEngine) runActivation(ctx context.Context, s *planStep, in []*he.Ciphertext, inScale uint64) ([]*he.Ciphertext, error) {
+func (e *HybridEngine) runActivation(ctx context.Context, s *planStep, in []*he.Ciphertext, inScale uint64, simd bool) ([]*he.Ciphertext, error) {
 	op := NonlinearOp{
 		Kind:     OpActivation,
-		SIMD:     e.cfg.SIMD,
+		SIMD:     simd,
 		InScale:  inScale,
 		OutScale: e.cfg.ActScale,
 		// Carrying the kind in the op (rather than mutating enclave state
@@ -536,7 +555,7 @@ func (e *HybridEngine) runActivation(ctx context.Context, s *planStep, in []*he.
 		Act: int(s.act),
 	}
 	if s.act == nn.Sigmoid {
-		op = NonlinearOp{Kind: OpSigmoid, SIMD: e.cfg.SIMD, InScale: inScale, OutScale: e.cfg.ActScale}
+		op = NonlinearOp{Kind: OpSigmoid, SIMD: simd, InScale: inScale, OutScale: e.cfg.ActScale}
 	}
 	if e.cfg.SingleECalls {
 		// The EncryptSGX(single) control of Fig. 8: one ECALL per value.
@@ -553,7 +572,7 @@ func (e *HybridEngine) runActivation(ctx context.Context, s *planStep, in []*he.
 	return e.caller.Nonlinear(ctx, op, in)
 }
 
-func (e *HybridEngine) runPool(ctx context.Context, s *planStep, in []*he.Ciphertext, c, h, w int) ([]*he.Ciphertext, int, int, error) {
+func (e *HybridEngine) runPool(ctx context.Context, s *planStep, in []*he.Ciphertext, c, h, w int, simd bool) ([]*he.Ciphertext, int, int, error) {
 	if len(in) != c*h*w {
 		return nil, 0, 0, fmt.Errorf("pool input %d cts != %d*%d*%d", len(in), c, h, w)
 	}
@@ -564,12 +583,12 @@ func (e *HybridEngine) runPool(ctx context.Context, s *planStep, in []*he.Cipher
 	oh, ow := h/k, w/k
 	geom := Geometry{Channels: c, Height: h, Width: w, Window: k}
 	if s.pool == nn.MaxPool {
-		out, err := e.caller.Nonlinear(ctx, NonlinearOp{Kind: OpPoolMax, SIMD: e.cfg.SIMD, Geometry: geom}, in)
+		out, err := e.caller.Nonlinear(ctx, NonlinearOp{Kind: OpPoolMax, SIMD: simd, Geometry: geom}, in)
 		return out, oh, ow, err
 	}
 	switch e.poolStrategyFor(&nn.Pool2D{Kind: s.pool, K: k}) {
 	case PoolSGXPool:
-		out, err := e.caller.Nonlinear(ctx, NonlinearOp{Kind: OpPoolFull, SIMD: e.cfg.SIMD, Geometry: geom}, in)
+		out, err := e.caller.Nonlinear(ctx, NonlinearOp{Kind: OpPoolFull, SIMD: simd, Geometry: geom}, in)
 		return out, oh, ow, err
 	default: // PoolSGXDiv: homomorphic window sums, enclave division.
 		sums := make([]*he.Ciphertext, c*oh*ow)
@@ -592,7 +611,7 @@ func (e *HybridEngine) runPool(ctx context.Context, s *planStep, in []*he.Cipher
 				}
 			}
 		}
-		out, err := e.caller.Nonlinear(ctx, NonlinearOp{Kind: OpPoolDivide, SIMD: e.cfg.SIMD, Divisor: uint64(k * k)}, sums)
+		out, err := e.caller.Nonlinear(ctx, NonlinearOp{Kind: OpPoolDivide, SIMD: simd, Divisor: uint64(k * k)}, sums)
 		return out, oh, ow, err
 	}
 }

@@ -14,9 +14,41 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sync"
 
 	"hesgx/internal/he"
 )
+
+// payloadPool recycles ECALL payload buffers. Lane-packed batches run to
+// hundreds of megabytes; allocating them fresh each call forces the runtime
+// to zero a reused span before every encode, which profiles as the dominant
+// cost of a pack. Ownership is strictly linear: the encoder takes a buffer
+// from the pool, exactly one consumer returns it (Nonlinear for request and
+// reply payloads, budgetMeter.wrap for the enclave-side batch), and buffers
+// that escape to long-lived owners (wire marshals) simply never come back.
+var payloadPool sync.Pool
+
+// getPayloadBuffer returns an empty bytes.Buffer with at least n bytes of
+// capacity, reusing pooled backing storage when it fits.
+func getPayloadBuffer(n int) *bytes.Buffer {
+	if v := payloadPool.Get(); v != nil {
+		b := *(v.(*[]byte))
+		if cap(b) >= n {
+			return bytes.NewBuffer(b[:0])
+		}
+	}
+	return bytes.NewBuffer(make([]byte, 0, n))
+}
+
+// putPayload returns a payload slice's backing storage to the pool. Callers
+// must be the buffer's sole remaining owner.
+func putPayload(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	b = b[:0]
+	payloadPool.Put(&b)
+}
 
 // Boundary message codecs: ECALL payloads cross the enclave boundary as
 // bytes, exactly like EDL-marshalled buffers in the SGX SDK.
@@ -59,15 +91,22 @@ func readU64(r *bytes.Reader) (uint64, error) {
 // maxBatchCiphertexts bounds deserialized batch sizes.
 const maxBatchCiphertexts = 1 << 20
 
-// encodeCiphertextBatch serializes a batch of ciphertexts.
+// encodeCiphertextBatch serializes a batch of ciphertexts into an exactly
+// presized, pool-backed buffer: lane-packed batches run to hundreds of
+// megabytes, and growing through doubling would copy (and zero) the payload
+// several times over.
 func encodeCiphertextBatch(cts []*he.Ciphertext) ([]byte, error) {
-	var buf bytes.Buffer
-	writeU32(&buf, uint32(len(cts)))
+	size := 4
 	for i, ct := range cts {
 		if ct == nil {
 			return nil, fmt.Errorf("core: nil ciphertext %d in batch", i)
 		}
-		if err := ct.Write(&buf); err != nil {
+		size += ct.WireSize()
+	}
+	buf := getPayloadBuffer(size)
+	writeU32(buf, uint32(len(cts)))
+	for i, ct := range cts {
+		if err := ct.Write(buf); err != nil {
 			return nil, fmt.Errorf("core: encoding batch element %d: %w", i, err)
 		}
 	}
@@ -115,11 +154,11 @@ type nonlinearReply struct {
 }
 
 func (m *nonlinearReply) marshal() []byte {
-	var buf bytes.Buffer
-	writeU64(&buf, math.Float64bits(m.BudgetMin))
-	writeU64(&buf, math.Float64bits(m.BudgetMean))
-	writeU32(&buf, m.Measured)
-	writeU32(&buf, uint32(len(m.CTs)))
+	buf := getPayloadBuffer(24 + len(m.CTs))
+	writeU64(buf, math.Float64bits(m.BudgetMin))
+	writeU64(buf, math.Float64bits(m.BudgetMean))
+	writeU32(buf, m.Measured)
+	writeU32(buf, uint32(len(m.CTs)))
 	buf.Write(m.CTs)
 	return buf.Bytes()
 }
@@ -146,10 +185,10 @@ func unmarshalNonlinearReply(b []byte) (*nonlinearReply, error) {
 	if int(n) != r.Len() {
 		return nil, fmt.Errorf("core: reply payload length %d != %d remaining", n, r.Len())
 	}
-	m.CTs = make([]byte, n)
-	if _, err := r.Read(m.CTs); err != nil {
-		return nil, fmt.Errorf("core: reply payload: %w", err)
-	}
+	// Alias the payload tail instead of copying: ECALL reply buffers are
+	// single-owner, and the batch can be hundreds of megabytes when lanes
+	// are packed.
+	m.CTs = b[len(b)-r.Len():]
 	return m, nil
 }
 
@@ -176,23 +215,56 @@ type nonlinearRequest struct {
 	// the kind in the request keeps concurrent inferences with different
 	// activations from racing on enclave state.
 	Act uint32
-	CTs []byte
+	// Lanes is the lane count for lane pack/demux calls: how many scalar
+	// ciphertext groups map onto the slots of each packed ciphertext.
+	Lanes uint32
+	CTs   []byte
 }
 
 func (m *nonlinearRequest) marshal() []byte {
-	var buf bytes.Buffer
-	writeU64(&buf, m.InScale)
-	writeU64(&buf, m.OutScale)
-	writeU64(&buf, m.Divisor)
-	writeU32(&buf, m.Width)
-	writeU32(&buf, m.Height)
-	writeU32(&buf, m.Channels)
-	writeU32(&buf, m.Window)
-	writeU32(&buf, m.SIMD)
-	writeU32(&buf, m.Act)
-	writeU32(&buf, uint32(len(m.CTs)))
+	buf := getPayloadBuffer(56 + len(m.CTs))
+	m.writeHeader(buf, uint32(len(m.CTs)))
 	buf.Write(m.CTs)
 	return buf.Bytes()
+}
+
+// writeHeader emits the fixed request envelope declaring ctLen payload
+// bytes to follow.
+func (m *nonlinearRequest) writeHeader(buf *bytes.Buffer, ctLen uint32) {
+	writeU64(buf, m.InScale)
+	writeU64(buf, m.OutScale)
+	writeU64(buf, m.Divisor)
+	writeU32(buf, m.Width)
+	writeU32(buf, m.Height)
+	writeU32(buf, m.Channels)
+	writeU32(buf, m.Window)
+	writeU32(buf, m.SIMD)
+	writeU32(buf, m.Act)
+	writeU32(buf, m.Lanes)
+	writeU32(buf, ctLen)
+}
+
+// marshalWithBatch serializes the request envelope with the ciphertext
+// batch encoded directly into the payload — one pass over the batch, no
+// intermediate batch buffer (a 64-lane pack's batch alone runs to hundreds
+// of megabytes).
+func (m *nonlinearRequest) marshalWithBatch(cts []*he.Ciphertext) ([]byte, error) {
+	size := 4
+	for i, ct := range cts {
+		if ct == nil {
+			return nil, fmt.Errorf("core: nil ciphertext %d in batch", i)
+		}
+		size += ct.WireSize()
+	}
+	buf := getPayloadBuffer(56 + size)
+	m.writeHeader(buf, uint32(size))
+	writeU32(buf, uint32(len(cts)))
+	for i, ct := range cts {
+		if err := ct.Write(buf); err != nil {
+			return nil, fmt.Errorf("core: encoding batch element %d: %w", i, err)
+		}
+	}
+	return buf.Bytes(), nil
 }
 
 func unmarshalNonlinearRequest(b []byte) (*nonlinearRequest, error) {
@@ -208,7 +280,7 @@ func unmarshalNonlinearRequest(b []byte) (*nonlinearRequest, error) {
 	if m.Divisor, err = readU64(r); err != nil {
 		return nil, fmt.Errorf("core: request divisor: %w", err)
 	}
-	for _, dst := range []*uint32{&m.Width, &m.Height, &m.Channels, &m.Window, &m.SIMD, &m.Act} {
+	for _, dst := range []*uint32{&m.Width, &m.Height, &m.Channels, &m.Window, &m.SIMD, &m.Act, &m.Lanes} {
 		if *dst, err = readU32(r); err != nil {
 			return nil, fmt.Errorf("core: request geometry: %w", err)
 		}
@@ -220,9 +292,8 @@ func unmarshalNonlinearRequest(b []byte) (*nonlinearRequest, error) {
 	if int(n) != r.Len() {
 		return nil, fmt.Errorf("core: request payload length %d != %d remaining", n, r.Len())
 	}
-	m.CTs = make([]byte, n)
-	if _, err := r.Read(m.CTs); err != nil {
-		return nil, fmt.Errorf("core: request payload: %w", err)
-	}
+	// Alias the payload tail instead of copying — same single-owner contract
+	// as replies.
+	m.CTs = b[len(b)-r.Len():]
 	return m, nil
 }

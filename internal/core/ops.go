@@ -31,6 +31,16 @@ const (
 	OpPoolMax
 	// OpRefresh decrypts and re-encrypts, resetting noise (§IV-E).
 	OpRefresh
+	// OpLanePack merges Lanes scalar ciphertext groups into slot-packed
+	// ciphertexts: the input batch holds the groups back to back
+	// (lane-major: lane k's P ciphertexts at offset k*P) and the output is
+	// P ciphertexts whose CRT slot k carries lane k's value. Only the
+	// enclave can repack — it requires the secret key — and the output is
+	// freshly encrypted, so packing doubles as a noise refresh (§VIII).
+	OpLanePack
+	// OpLaneDemux splits slot-packed ciphertexts back into Lanes scalar
+	// groups (lane-major), the reply half of lane-batched serving.
+	OpLaneDemux
 )
 
 // String names the op kind for metrics and logs.
@@ -48,6 +58,10 @@ func (k OpKind) String() string {
 		return "pool_max"
 	case OpRefresh:
 		return "refresh"
+	case OpLanePack:
+		return "lane_pack"
+	case OpLaneDemux:
+		return "lane_demux"
 	default:
 		return fmt.Sprintf("op(%d)", uint8(k))
 	}
@@ -68,6 +82,10 @@ func (k OpKind) ecallName() (string, error) {
 		return ECallPoolMax, nil
 	case OpRefresh:
 		return ECallRefresh, nil
+	case OpLanePack:
+		return ECallLanePack, nil
+	case OpLaneDemux:
+		return ECallLaneDemux, nil
 	default:
 		return "", fmt.Errorf("core: unknown op kind %d", uint8(k))
 	}
@@ -99,6 +117,9 @@ type NonlinearOp struct {
 	Act int
 	// Geometry describes the feature map for OpPoolFull/OpPoolMax.
 	Geometry Geometry
+	// Lanes is the lane count for OpLanePack/OpLaneDemux: how many scalar
+	// ciphertext groups share each slot-packed ciphertext.
+	Lanes int
 }
 
 // Validate checks the op is internally consistent before it crosses the
@@ -125,6 +146,10 @@ func (op NonlinearOp) Validate() error {
 		}
 	case OpRefresh:
 		// No parameters.
+	case OpLanePack, OpLaneDemux:
+		if op.Lanes < 2 {
+			return fmt.Errorf("core: %s op needs at least 2 lanes, got %d", op.Kind, op.Lanes)
+		}
 	default:
 		return fmt.Errorf("core: unknown op kind %d", uint8(op.Kind))
 	}
@@ -155,6 +180,7 @@ func (op NonlinearOp) request(ctBytes []byte) *nonlinearRequest {
 		Height:   uint32(op.Geometry.Height),
 		Width:    uint32(op.Geometry.Width),
 		Window:   uint32(op.Geometry.Window),
+		Lanes:    uint32(op.Lanes),
 		CTs:      ctBytes,
 	}
 	if op.SIMD {

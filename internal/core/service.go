@@ -28,20 +28,26 @@ func (s *EnclaveService) Nonlinear(ctx context.Context, op NonlinearOp, cts []*h
 	if err != nil {
 		return nil, err
 	}
-	batch, err := encodeCiphertextBatch(cts)
+	var payload []byte
+	if op.Kind == OpRefresh {
+		// Refresh crosses as a bare batch; every other op carries the
+		// dequantize/requantize envelope, encoded in one pass over the
+		// batch so lane-sized payloads never pass through an intermediate
+		// buffer.
+		payload, err = encodeCiphertextBatch(cts)
+	} else {
+		req := op.request(nil)
+		payload, err = req.marshalWithBatch(cts)
+	}
 	if err != nil {
 		return nil, err
-	}
-	payload := batch
-	if op.Kind != OpRefresh {
-		// Refresh crosses as a bare batch; every other op carries the
-		// dequantize/requantize envelope.
-		payload = op.request(batch).marshal()
 	}
 	_, span := trace.StartSpan(ctx, "ecall."+op.Kind.String(), "sgx")
 	start := time.Now()
 	out, cs, err := s.enclave.ECallContextStats(ctx, name, payload)
 	wall := time.Since(start)
+	// The enclave consumed the request payload synchronously; recycle it.
+	putPayload(payload)
 	if err != nil {
 		span.Arg("error", 1).End()
 		return nil, err
@@ -89,7 +95,11 @@ func (s *EnclaveService) Nonlinear(ctx context.Context, op NonlinearOp, cts []*h
 				"trace_id", trace.ID(ctx))
 		}
 	}
-	return decodeCiphertextBatch(rep.CTs, s.params)
+	res, err := decodeCiphertextBatch(rep.CTs, s.params)
+	// rep.CTs aliases the reply buffer; once decoded into fresh
+	// ciphertexts the buffer is dead and can be recycled.
+	putPayload(out)
+	return res, err
 }
 
 // durMS converts a duration to fractional milliseconds, the unit every

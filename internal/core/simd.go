@@ -36,19 +36,40 @@ func DefaultSIMDParameters() (he.Parameters, error) {
 	return params, nil
 }
 
-// EncryptImageBatch packs a batch of same-shape images into slot-packed
-// ciphertexts: ciphertext p holds pixel p of every image in its slots. The
-// batch size is limited by the slot count (the ring degree).
-func (c *Client) EncryptImageBatch(imgs []*nn.Tensor, pixelScale uint64) (*CipherImage, error) {
+// SlotCapacity reports how many CRT slot lanes the parameters support; the
+// error explains why batching is unsupported (the plaintext modulus must be
+// a prime t ≡ 1 mod 2n). Serving stacks use this to decide whether lane
+// packing can be offered at all.
+func SlotCapacity(params he.Parameters) (int, error) {
+	be, err := encoding.NewBatchEncoder(params)
+	if err != nil {
+		return 0, err
+	}
+	return be.SlotCount(), nil
+}
+
+// EncryptImages is the unified encryption entrypoint: it picks the
+// encoding from the batch size and the parameters. A single image encrypts
+// scalar (one pixel per ciphertext, Table II); multiple images slot-pack
+// into shared ciphertexts — ciphertext p holds pixel p of every image in
+// its CRT slots, so one engine pass serves the whole batch (§VIII). The
+// returned CipherImage records the lane count; slot packing requires a
+// batching-capable plaintext modulus (prime t ≡ 1 mod 2n) and at most
+// n lanes.
+func (c *Client) EncryptImages(imgs []*nn.Tensor, pixelScale uint64) (*CipherImage, error) {
 	if !c.Ready() {
 		return nil, fmt.Errorf("core: client has no keys; complete the key exchange first")
 	}
 	if len(imgs) == 0 {
 		return nil, fmt.Errorf("core: empty image batch")
 	}
+	if len(imgs) == 1 {
+		return c.encryptImageScalar(imgs[0], pixelScale)
+	}
 	batch, err := encoding.NewBatchEncoder(c.Params)
 	if err != nil {
-		return nil, fmt.Errorf("core: SIMD batch needs a batching plaintext modulus: %w", err)
+		return nil, fmt.Errorf("core: encrypting %d images needs slot batching, which requires a prime plaintext modulus t ≡ 1 mod 2n (n = %d, t = %d): %w",
+			len(imgs), c.Params.N, c.Params.T, err)
 	}
 	if len(imgs) > batch.SlotCount() {
 		return nil, fmt.Errorf("core: batch of %d exceeds %d slots", len(imgs), batch.SlotCount())
@@ -81,8 +102,20 @@ func (c *Client) EncryptImageBatch(imgs []*nn.Tensor, pixelScale uint64) (*Ciphe
 	}
 	return &CipherImage{
 		Channels: shape[0], Height: shape[1], Width: shape[2],
-		CTs: cts, Scale: pixelScale,
+		CTs: cts, Scale: pixelScale, Lanes: len(imgs),
 	}, nil
+}
+
+// EncryptImageBatch packs a batch of same-shape images into slot-packed
+// ciphertexts.
+//
+// Deprecated: use EncryptImages, which handles both scalar and slot
+// encodings. EncryptImageBatch remains as a thin shim for one release.
+// (A batch of one now encodes scalar; the two encodings agree on every
+// slot — a constant coefficient evaluates to the same value at every CRT
+// root — so single-lane SIMD callers are unaffected.)
+func (c *Client) EncryptImageBatch(imgs []*nn.Tensor, pixelScale uint64) (*CipherImage, error) {
+	return c.EncryptImages(imgs, pixelScale)
 }
 
 // DecryptValueBatch unpacks slot-packed result ciphertexts:

@@ -183,6 +183,16 @@ func (ct *Ciphertext) Write(w io.Writer) error {
 	return nil
 }
 
+// WireSize returns the exact serialized size of Write for ct, letting batch
+// encoders presize their buffers instead of growing through doubling.
+func (ct *Ciphertext) WireSize() int {
+	n := 28
+	for _, p := range ct.Polys {
+		n += 4 + 8*len(p.Coeffs)
+	}
+	return n
+}
+
 // PackedSize returns the exact serialized size of WritePacked for ct.
 func (ct *Ciphertext) PackedSize() int {
 	width := ring.CoeffBits(ct.Params.Q)

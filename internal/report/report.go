@@ -57,6 +57,21 @@ type Layer struct {
 	MeasuredCts int `json:"measured_cts,omitempty"`
 }
 
+// LaneStage summarizes one enclave repack stage of a slot-batched request
+// (lane_pack or lane_demux): its SGX costs and the noise budget the enclave
+// measured on the ciphertexts it decrypted. Shared by every request in the
+// packed pass, so the costs are per-pass, not per-request.
+type LaneStage struct {
+	Transitions     int     `json:"transitions,omitempty"`
+	PageFaults      int     `json:"page_faults,omitempty"`
+	ECallOverheadMS float64 `json:"ecall_overhead_ms,omitempty"`
+	ECallComputeMS  float64 `json:"ecall_compute_ms,omitempty"`
+
+	MeasuredBudgetMinBits  *float64 `json:"measured_budget_min_bits,omitempty"`
+	MeasuredBudgetMeanBits *float64 `json:"measured_budget_mean_bits,omitempty"`
+	MeasuredCts            int      `json:"measured_cts,omitempty"`
+}
+
 // FlightReport is the per-request attribution document served at
 // /inference/last.
 type FlightReport struct {
@@ -68,6 +83,18 @@ type FlightReport struct {
 	QueueWaitMS  float64 `json:"queue_wait_ms,omitempty"`
 	RequestBytes int     `json:"request_bytes,omitempty"`
 	ReplyBytes   int     `json:"reply_bytes,omitempty"`
+
+	// Lane scheduling attribution (slot-batched serving mode). LaneWaitMS is
+	// the time this request sat in the lane packer's bucket waiting for
+	// company; Lane is its slot index within the shared pass (nil when the
+	// request ran scalar) and Lanes the pass occupancy. LanePack / LaneDemux
+	// attribute the enclave repack stages that bracket the shared engine
+	// pass.
+	LaneWaitMS float64    `json:"lane_wait_ms,omitempty"`
+	Lane       *int       `json:"lane,omitempty"`
+	Lanes      int        `json:"lanes,omitempty"`
+	LanePack   *LaneStage `json:"lane_pack,omitempty"`
+	LaneDemux  *LaneStage `json:"lane_demux,omitempty"`
 
 	Layers []Layer `json:"layers"`
 
@@ -144,6 +171,19 @@ func FromTrace(tr *trace.Trace) *FlightReport {
 			layers[s.ID] = l
 		case s.Cat == "serve" && s.Name == "queue.wait":
 			rep.QueueWaitMS += durMS(s.Dur)
+		case s.Cat == "serve" && s.Name == "lane.wait":
+			rep.LaneWaitMS += durMS(s.Dur)
+			if v, ok := argVal(s, "lane"); ok {
+				lane := int(v)
+				rep.Lane = &lane
+			}
+			if v, ok := argVal(s, "lanes"); ok {
+				rep.Lanes = int(v)
+			}
+		case s.Cat == "serve" && s.Name == "lane.flush":
+			if v, ok := argVal(s, "lanes"); ok && rep.Lanes == 0 {
+				rep.Lanes = int(v)
+			}
 		case s.Cat == "wire" && s.Name == "wire.decode":
 			if v, ok := argVal(s, "bytes"); ok {
 				rep.RequestBytes += int(v)
@@ -154,9 +194,16 @@ func FromTrace(tr *trace.Trace) *FlightReport {
 			}
 		}
 	}
-	// Second pass: fold ECALL and batching spans into their layers.
+	// Second pass: fold ECALL and batching spans into their layers. Lane
+	// repack ECALLs run outside any engine layer (they bracket the whole
+	// packed pass), so they fold into the report's LanePack/LaneDemux stages
+	// instead of climbing to a layer span.
 	for _, s := range spans {
 		switch {
+		case s.Cat == "sgx" && s.Name == "ecall.lane_pack":
+			rep.LanePack = foldLaneStage(rep.LanePack, s)
+		case s.Cat == "sgx" && s.Name == "ecall.lane_demux":
+			rep.LaneDemux = foldLaneStage(rep.LaneDemux, s)
 		case s.Cat == "sgx" && strings.HasPrefix(s.Name, "ecall."):
 			id, ok := layerOf(s)
 			if !ok {
@@ -224,7 +271,59 @@ func FromTrace(tr *trace.Trace) *FlightReport {
 			}
 		}
 	}
+	// The lane repack stages decrypt real ciphertexts too; their measured
+	// minima count toward the pipeline-wide tightest spot.
+	for _, st := range []*LaneStage{rep.LanePack, rep.LaneDemux} {
+		if st == nil || st.MeasuredBudgetMinBits == nil {
+			continue
+		}
+		if rep.MinMeasuredBudgetBits == nil || *st.MeasuredBudgetMinBits < *rep.MinMeasuredBudgetBits {
+			v := *st.MeasuredBudgetMinBits
+			rep.MinMeasuredBudgetBits = &v
+		}
+	}
 	return rep
+}
+
+// foldLaneStage accumulates one lane repack ECALL span into a stage
+// summary, creating it on first sight.
+func foldLaneStage(st *LaneStage, s trace.Span) *LaneStage {
+	if st == nil {
+		st = &LaneStage{}
+	}
+	if v, ok := argVal(s, "transitions"); ok {
+		st.Transitions += int(v)
+	}
+	if v, ok := argVal(s, "page_faults"); ok {
+		st.PageFaults += int(v)
+	}
+	if v, ok := argVal(s, "overhead_ms"); ok {
+		st.ECallOverheadMS += v
+	}
+	if v, ok := argVal(s, "compute_ms"); ok {
+		st.ECallComputeMS += v
+	}
+	n, ok := argVal(s, "budget_cts")
+	if !ok || n <= 0 {
+		return st
+	}
+	if v, ok := argVal(s, "budget_min_bits"); ok {
+		if st.MeasuredBudgetMinBits == nil || v < *st.MeasuredBudgetMinBits {
+			m := v
+			st.MeasuredBudgetMinBits = &m
+		}
+	}
+	if v, ok := argVal(s, "budget_mean_bits"); ok {
+		total := float64(st.MeasuredCts)
+		prev := 0.0
+		if st.MeasuredBudgetMeanBits != nil {
+			prev = *st.MeasuredBudgetMeanBits
+		}
+		m := (prev*total + v*n) / (total + n)
+		st.MeasuredBudgetMeanBits = &m
+	}
+	st.MeasuredCts += int(n)
+	return st
 }
 
 func totalMean(l *Layer) float64 {

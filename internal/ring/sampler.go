@@ -33,9 +33,11 @@ type Source interface {
 	Uint64() uint64
 }
 
-// cryptoSource draws from crypto/rand with buffering.
+// cryptoSource draws from crypto/rand with buffering. The buffer is sized so
+// that encrypting a full polynomial's worth of error terms costs a handful of
+// getrandom calls rather than hundreds.
 type cryptoSource struct {
-	buf [512]byte
+	buf [8192]byte
 	off int
 }
 

@@ -1,0 +1,267 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"sync"
+	"time"
+
+	"hesgx/internal/core"
+	"hesgx/internal/he"
+	"hesgx/internal/stats"
+	"hesgx/internal/trace"
+)
+
+// lanePacker is the slot-lane admission stage ahead of the bounded queue:
+// it buckets concurrent same-shape scalar requests, and when a bucket fills
+// (MaxLanes) or its window expires with at least MinLanes waiting, the
+// enclave repacks the requests into the CRT slot lanes of shared
+// ciphertexts (one lane_pack ECALL), one packed engine pass serves all of
+// them, and a lane_demux ECALL splits per-lane logits back out (§VIII
+// applied across clients: n=2048 slots ⇒ up to 2048 images per HE op).
+// Buckets that miss the fill floor fall back to scalar passes, so low-load
+// latency stays a single window away from the scalar path.
+type lanePacker struct {
+	svc     core.NonlinearCaller
+	sched   *Scheduler
+	cfg     LaneConfig
+	metrics *stats.Registry
+	logger  *slog.Logger
+
+	mu      sync.Mutex
+	pending map[laneKey]*laneBucket
+	closed  bool
+}
+
+// laneKey buckets requests that can share one packed pass: identical
+// geometry, identical fixed-point scale, identical ciphertext count.
+type laneKey struct {
+	channels, height, width int
+	scale                   uint64
+	cts                     int
+}
+
+// laneResult delivers one waiter's demultiplexed share of a flushed bucket.
+type laneResult struct {
+	res *Result
+	err error
+}
+
+// laneWaiter is one request parked in a bucket.
+type laneWaiter struct {
+	img  *core.CipherImage
+	done chan laneResult // buffered; flush never blocks on delivery
+	// ctx carries the waiter's trace attachment; the flush joins every
+	// waiter's context so the shared pack/infer/demux spans land in each
+	// trace.
+	ctx context.Context
+}
+
+// laneBucket accumulates waiters for one shape key.
+type laneBucket struct {
+	key     laneKey
+	waiters []*laneWaiter
+	timer   *time.Timer
+}
+
+func newLanePacker(svc core.NonlinearCaller, sched *Scheduler, cfg LaneConfig, reg *stats.Registry, logger *slog.Logger) *lanePacker {
+	return &lanePacker{
+		svc:     svc,
+		sched:   sched,
+		cfg:     cfg,
+		metrics: reg,
+		logger:  logger,
+		pending: make(map[laneKey]*laneBucket),
+	}
+}
+
+// infer parks the request in its shape bucket and blocks until the bucket
+// flushes — as a shared packed pass or as individual scalar fallbacks.
+func (p *lanePacker) infer(ctx context.Context, img *core.CipherImage) (*Result, error) {
+	key := laneKey{channels: img.Channels, height: img.Height, width: img.Width,
+		scale: img.Scale, cts: len(img.CTs)}
+	wctx, wspan := trace.StartSpan(ctx, "lane.wait", "serve")
+	w := &laneWaiter{img: img, done: make(chan laneResult, 1), ctx: wctx}
+	p.metrics.Counter("serve.lanes.requests").Inc()
+
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		wspan.End()
+		return p.scalarPass(ctx, img)
+	}
+	bkt, ok := p.pending[key]
+	if !ok {
+		bkt = &laneBucket{key: key}
+		p.pending[key] = bkt
+		// The first waiter arms the flush window for this bucket.
+		bkt.timer = time.AfterFunc(p.cfg.Window, func() { p.flushKey(key, bkt) })
+	}
+	bkt.waiters = append(bkt.waiters, w)
+	if len(bkt.waiters) >= p.cfg.MaxLanes {
+		// The request that fills the bucket carries the flush.
+		delete(p.pending, key)
+		bkt.timer.Stop()
+		p.mu.Unlock()
+		p.flush(bkt)
+	} else {
+		p.mu.Unlock()
+	}
+
+	select {
+	case r := <-w.done:
+		if r.err != nil {
+			wspan.Arg("error", 1).End()
+			return nil, r.err
+		}
+		wspan.Arg("lane", float64(r.res.Lane)).Arg("lanes", float64(r.res.Lanes)).End()
+		return r.res, nil
+	case <-ctx.Done():
+		// The shared pass still executes (other lanes need it); this caller
+		// just stops waiting for its share.
+		wspan.Arg("abandoned", 1).End()
+		return nil, ctx.Err()
+	}
+}
+
+// scalarPass runs one request through the scheduler as its own engine pass.
+func (p *lanePacker) scalarPass(ctx context.Context, img *core.CipherImage) (*Result, error) {
+	p.metrics.Counter("serve.lanes.fallback_requests").Inc()
+	res, err := p.sched.Infer(ctx, img)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Logits: res.Logits, OutScale: res.OutScale, Mode: ModeScalar, Lanes: 1}, nil
+}
+
+// flushKey flushes bkt if it is still the pending bucket for key (the
+// timer path; a size-triggered flush may already have detached it).
+func (p *lanePacker) flushKey(key laneKey, bkt *laneBucket) {
+	p.mu.Lock()
+	cur, ok := p.pending[key]
+	if !ok || cur != bkt {
+		p.mu.Unlock()
+		return
+	}
+	delete(p.pending, key)
+	p.mu.Unlock()
+	p.flush(bkt)
+}
+
+// flush resolves one detached bucket: a packed pass when enough requests
+// are waiting, scalar fallbacks otherwise.
+func (p *lanePacker) flush(bkt *laneBucket) {
+	k := len(bkt.waiters)
+	if k < p.cfg.MinLanes {
+		// Low load: the window expired before the bucket filled. Each
+		// waiter runs its own scalar pass under its own context, so
+		// per-request deadlines and cancellations apply individually.
+		for _, w := range bkt.waiters {
+			go func(w *laneWaiter) {
+				res, err := p.scalarPass(w.ctx, w.img)
+				w.done <- laneResult{res: res, err: err}
+			}(w)
+		}
+		return
+	}
+	p.metrics.Counter("serve.lanes.flushes").Inc()
+	p.metrics.Counter("serve.lanes.packed_requests").Add(int64(k))
+	p.metrics.ObserveHistogram("serve.lane.occupancy", float64(k))
+
+	// The shared pass runs under its own context: individual callers may
+	// have been cancelled, but the remaining lanes still need the result.
+	// Joining the waiters' contexts attributes the pack/infer/demux spans
+	// to every request's trace without inheriting any caller's
+	// cancellation.
+	wctxs := make([]context.Context, 0, k)
+	positions := bkt.key.cts
+	all := make([]*core.CipherImage, 0, k)
+	for _, w := range bkt.waiters {
+		wctxs = append(wctxs, w.ctx)
+		all = append(all, w.img)
+	}
+	fctx, fspan := trace.StartSpan(trace.Join(context.Background(), wctxs...), "lane.flush", "serve")
+	fspan.Arg("lanes", float64(k)).Arg("cts", float64(k*positions))
+
+	results, err := p.runPacked(fctx, bkt.key, all)
+	fspan.End()
+	if err != nil {
+		p.logger.Warn("lane-packed pass failed",
+			"lanes", k,
+			"cts", k*positions,
+			"err", err)
+		for _, w := range bkt.waiters {
+			w.done <- laneResult{err: err}
+		}
+		return
+	}
+	for i, w := range bkt.waiters {
+		w.done <- laneResult{res: results[i]}
+	}
+}
+
+// runPacked executes the pack → infer → demux lifecycle over the bucket's
+// images and slices per-lane results.
+func (p *lanePacker) runPacked(ctx context.Context, key laneKey, imgs []*core.CipherImage) ([]*Result, error) {
+	k := len(imgs)
+	flat := make([]*he.Ciphertext, 0, k*key.cts)
+	for _, img := range imgs {
+		flat = append(flat, img.CTs...)
+	}
+	packed, err := p.svc.Nonlinear(ctx, core.NonlinearOp{Kind: core.OpLanePack, Lanes: k}, flat)
+	if err != nil {
+		return nil, fmt.Errorf("serve: lane pack: %w", err)
+	}
+	if len(packed) != key.cts {
+		return nil, fmt.Errorf("serve: lane pack returned %d ciphertexts for %d positions", len(packed), key.cts)
+	}
+	pimg := &core.CipherImage{
+		Channels: key.channels, Height: key.height, Width: key.width,
+		CTs: packed, Scale: key.scale, Lanes: k,
+	}
+	res, err := p.sched.Infer(ctx, pimg)
+	if err != nil {
+		return nil, err
+	}
+	outs, err := p.svc.Nonlinear(ctx, core.NonlinearOp{Kind: core.OpLaneDemux, Lanes: k}, res.Logits)
+	if err != nil {
+		return nil, fmt.Errorf("serve: lane demux: %w", err)
+	}
+	l := len(res.Logits)
+	if len(outs) != k*l {
+		return nil, fmt.Errorf("serve: lane demux returned %d ciphertexts for %d lanes × %d logits", len(outs), k, l)
+	}
+	results := make([]*Result, k)
+	for i := range results {
+		results[i] = &Result{
+			Logits:   outs[i*l : (i+1)*l],
+			OutScale: res.OutScale,
+			Mode:     ModeLane,
+			Lanes:    k,
+			Lane:     i,
+		}
+	}
+	return results, nil
+}
+
+// Close flushes every pending bucket and routes subsequent requests to
+// scalar passes.
+func (p *lanePacker) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	buckets := make([]*laneBucket, 0, len(p.pending))
+	for key, bkt := range p.pending {
+		bkt.timer.Stop()
+		buckets = append(buckets, bkt)
+		delete(p.pending, key)
+	}
+	p.mu.Unlock()
+	for _, bkt := range buckets {
+		p.flush(bkt)
+	}
+}

@@ -1,6 +1,13 @@
 // Package serve is the concurrent serving pipeline of the edge server:
 //
-//	wire.Server ──► Scheduler (bounded queue, worker pool, deadlines)
+//	wire.Server ──► Service.Infer(ctx, Request)
+//	                   │
+//	                   ▼
+//	            lanePacker (slot-lane admission: fill-or-deadline buckets,
+//	                   │    enclave lane_pack/lane_demux repack, scalar
+//	                   │    fallback under low load)
+//	                   ▼
+//	            Scheduler (bounded queue, worker pool, deadlines)
 //	                   │ engine.InferContext per job
 //	                   ▼
 //	            core.HybridEngine ──► Batcher (cross-request ECALL coalescing)
@@ -28,6 +35,10 @@ import (
 )
 
 // Config assembles a full serving pipeline.
+//
+// Deprecated: use NewService with Option values (WithSchedulerConfig,
+// WithBatcherConfig, WithoutBatching, WithMetrics, WithTracer, WithLogger).
+// Config remains as a thin shim for one release.
 type Config struct {
 	Scheduler SchedulerConfig
 	Batcher   BatcherConfig
@@ -47,11 +58,17 @@ type Config struct {
 }
 
 // Pipeline owns the serving stages wired over one engine.
+//
+// Deprecated: use Service, whose Infer(ctx, Request) entrypoint carries
+// deadline and tenant metadata and schedules lane-packed execution.
+// Pipeline remains as a thin shim over a lane-less Service for one release.
 type Pipeline struct {
 	Scheduler *Scheduler
 	Batcher   *Batcher // nil when batching is disabled
 	Metrics   *stats.Registry
 	Tracer    *trace.Tracer
+
+	svc *Service
 }
 
 // NewPipeline wires engine and its enclave service into a serving
@@ -60,51 +77,45 @@ type Pipeline struct {
 // disabled), and the admission scheduler on top. The engine must not
 // serve traffic through other paths afterwards — the pipeline re-routes
 // its non-linear calls.
+//
+// Deprecated: use NewService, which adds the lane-packing admission stage.
+// NewPipeline builds a lane-less Service, preserving the PR 1 behavior of
+// one engine pass per request.
 func NewPipeline(engine *core.HybridEngine, svc *core.EnclaveService, cfg Config) *Pipeline {
-	reg := cfg.Metrics
-	if reg == nil {
-		reg = stats.NewRegistry()
+	opts := []Option{
+		WithSchedulerConfig(cfg.Scheduler),
+		WithBatcherConfig(cfg.Batcher),
+		WithoutLanes(),
 	}
-	tracer := cfg.Tracer
-	if tracer == nil {
-		tracer = trace.NewTracer(trace.DefaultBufferSize)
+	if cfg.DisableBatching {
+		opts = append(opts, WithoutBatching())
 	}
-	engine.SetMetrics(reg)
-	svc.SetMetrics(reg)
-	p := &Pipeline{Metrics: reg, Tracer: tracer}
-	if !cfg.DisableBatching {
-		bcfg := cfg.Batcher
-		bcfg.Metrics = reg
-		bcfg.Logger = cfg.Logger
-		p.Batcher = NewBatcher(svc, bcfg)
-		engine.SetNonlinearCaller(p.Batcher)
-	} else {
-		engine.SetNonlinearCaller(svc)
+	if cfg.Metrics != nil {
+		opts = append(opts, WithMetrics(cfg.Metrics))
 	}
-	scfg := cfg.Scheduler
-	scfg.Metrics = reg
-	scfg.Logger = cfg.Logger
-	p.Scheduler = NewScheduler(engine, scfg)
-	return p
+	if cfg.Tracer != nil {
+		opts = append(opts, WithTracer(cfg.Tracer))
+	}
+	if cfg.Logger != nil {
+		opts = append(opts, WithLogger(cfg.Logger))
+	}
+	s := NewService(engine, svc, opts...)
+	return &Pipeline{Scheduler: s.sched, Batcher: s.batcher, Metrics: s.Metrics, Tracer: s.Tracer, svc: s}
 }
 
 // Infer submits an inference through the pipeline. If the caller did not
 // attach a request trace (the wire server does), the pipeline starts one
 // so direct users get the same flight-recorder coverage.
 func (p *Pipeline) Infer(ctx context.Context, img *core.CipherImage) (*core.InferenceResult, error) {
-	if trace.FromContext(ctx) == nil {
-		tr := p.Tracer.Start("infer")
-		ctx = trace.With(ctx, tr)
-		defer p.Tracer.Finish(tr)
+	res, err := p.svc.Infer(ctx, Request{Image: img})
+	if err != nil {
+		return nil, err
 	}
-	return p.Scheduler.Infer(ctx, img)
+	return &core.InferenceResult{Logits: res.Logits, OutScale: res.OutScale}, nil
 }
 
 // Close shuts the pipeline down: the scheduler stops admitting and drains,
 // then the batcher flushes any stragglers.
 func (p *Pipeline) Close() {
-	p.Scheduler.Close()
-	if p.Batcher != nil {
-		p.Batcher.Close()
-	}
+	p.svc.Close()
 }

@@ -30,10 +30,20 @@ type Client struct {
 	readBuf []byte
 }
 
+// ClientOption customizes a Client at Dial time — the functional-options
+// surface that supersedes post-construction setters.
+type ClientOption func(*Client)
+
+// WithLegacyFormat forces v1 fixed-width public-key uploads instead of the
+// seeded v2 default — the compatibility path a pre-v2 client exercises.
+func WithLegacyFormat(on bool) ClientOption {
+	return func(c *Client) { c.legacy = on }
+}
+
 // Dial connects to an edge server. The verifier must already trust the
 // server platform's attestation key and the expected enclave measurement;
 // FetchTrustBundle can bootstrap that for demos.
-func Dial(addr string, verifier *attest.Service) (*Client, error) {
+func Dial(addr string, verifier *attest.Service, opts ...ClientOption) (*Client, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("wire: dialing %s: %w", addr, err)
@@ -43,7 +53,11 @@ func Dial(addr string, verifier *attest.Service) (*Client, error) {
 		_ = conn.Close()
 		return nil, err
 	}
-	return &Client{conn: conn, inner: inner, verifier: verifier}, nil
+	c := &Client{conn: conn, inner: inner, verifier: verifier}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c, nil
 }
 
 // Close tears down the connection.
@@ -112,7 +126,10 @@ func (c *Client) Ready() bool { return c.inner.Ready() }
 func (c *Client) Params() he.Parameters { return c.inner.Params }
 
 // SetLegacyFormat forces v1 fixed-width public-key uploads instead of the
-// seeded v2 default — the compatibility path a pre-v2 client exercises.
+// seeded v2 default.
+//
+// Deprecated: pass WithLegacyFormat to Dial instead. SetLegacyFormat
+// remains as a thin shim for one release.
 func (c *Client) SetLegacyFormat(on bool) { c.legacy = on }
 
 // Infer encrypts the image, submits it, and returns decrypted logits
@@ -182,6 +199,105 @@ func (c *Client) Infer(img *nn.Tensor, pixelScale uint64) ([]float64, error) {
 		return nil, err
 	}
 	return c.inner.DecryptLogits(logits, outScale)
+}
+
+// InferBatch slot-packs a batch of same-shape images into shared
+// ciphertexts (one ciphertext per pixel position, image k in CRT slot k),
+// submits them as one lane-batched request, and returns per-image logits:
+// result[image][class], rescaled by the server-reported output scale. The
+// whole batch costs one engine pass server-side. Requires a
+// batching-capable plaintext modulus (prime t ≡ 1 mod 2n); a batch of one
+// degrades to a scalar Infer round trip.
+func (c *Client) InferBatch(imgs []*nn.Tensor, pixelScale uint64) ([][]float64, error) {
+	if !c.Ready() {
+		return nil, fmt.Errorf("wire: attest before inferring")
+	}
+	if len(imgs) == 0 {
+		return nil, fmt.Errorf("wire: empty image batch")
+	}
+	if len(imgs) == 1 {
+		logits, err := c.Infer(imgs[0], pixelScale)
+		if err != nil {
+			return nil, err
+		}
+		return [][]float64{logits}, nil
+	}
+	ci, err := c.inner.EncryptImages(imgs, pixelScale)
+	if err != nil {
+		return nil, err
+	}
+	lanes := ci.Lanes
+	var laneHdr [4]byte
+	binary.LittleEndian.PutUint32(laneHdr[:], uint32(lanes))
+	if c.legacy {
+		payload, err := core.MarshalCipherImage(ci)
+		if err != nil {
+			return nil, err
+		}
+		buf := make([]byte, 0, 4+len(payload))
+		buf = append(buf, laneHdr[:]...)
+		buf = append(buf, payload...)
+		if err := WriteFrame(c.conn, MsgInferBatchRequest, buf); err != nil {
+			return nil, err
+		}
+	} else {
+		size := 4 + core.CipherImagePackedSize(ci)
+		err = WriteFrameFunc(c.conn, MsgInferBatchRequest, size, func(w io.Writer) error {
+			if _, err := w.Write(laneHdr[:]); err != nil {
+				return err
+			}
+			return core.WriteCipherImagePacked(w, ci)
+		})
+		if err != nil {
+			// An upload that died mid-stream desynchronized the framing; no
+			// further request can be framed on this connection.
+			var partial *PartialFrameError
+			if errors.As(err, &partial) {
+				_ = c.conn.Close()
+			}
+			return nil, err
+		}
+	}
+	t, reply, err := ReadFrameReuse(c.conn, c.readBuf)
+	if err != nil {
+		return nil, err
+	}
+	if cap(reply) > cap(c.readBuf) {
+		c.readBuf = reply[:cap(reply)]
+	}
+	if t == MsgError {
+		return nil, DecodeError(reply)
+	}
+	if t != MsgInferBatchReply {
+		return nil, fmt.Errorf("wire: expected infer batch reply, got type %d", t)
+	}
+	if len(reply) < 12 {
+		return nil, fmt.Errorf("wire: infer batch reply too short")
+	}
+	gotLanes := int(binary.LittleEndian.Uint32(reply[:4]))
+	if gotLanes != lanes {
+		return nil, fmt.Errorf("wire: reply carries %d lanes, sent %d", gotLanes, lanes)
+	}
+	outScale := math.Float64frombits(binary.LittleEndian.Uint64(reply[4:12]))
+	if outScale <= 0 || math.IsNaN(outScale) || math.IsInf(outScale, 0) {
+		return nil, fmt.Errorf("wire: invalid output scale %g", outScale)
+	}
+	cts, err := core.UnmarshalCiphertextBatchAny(reply[12:], c.inner.Params)
+	if err != nil {
+		return nil, err
+	}
+	vals, err := c.inner.DecryptValueBatch(cts, lanes)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]float64, lanes)
+	for i, row := range vals {
+		out[i] = make([]float64, len(row))
+		for j, v := range row {
+			out[i][j] = float64(v) / outScale
+		}
+	}
+	return out, nil
 }
 
 // Predict returns the argmax class for an image.

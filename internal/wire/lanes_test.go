@@ -1,0 +1,222 @@
+package wire
+
+import (
+	"context"
+	"log/slog"
+	mrand "math/rand/v2"
+	"net"
+	"testing"
+	"time"
+
+	"hesgx/internal/attest"
+	"hesgx/internal/core"
+	"hesgx/internal/he"
+	"hesgx/internal/nn"
+	"hesgx/internal/ring"
+	"hesgx/internal/serve"
+	"hesgx/internal/sgx"
+	"hesgx/internal/stats"
+)
+
+// testStackLanes spins up an edge server over batching-capable parameters
+// with the full serving stack (lane packer included) behind WithService.
+func testStackLanes(t *testing.T) (addr string, st *pipelineStack, service *serve.Service, shutdown func()) {
+	t.Helper()
+	tm, err := core.SIMDBatchingModulus(1024, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := ring.GenerateNTTPrime(46, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params, err := he.NewParameters(1024, q, tm, he.DefaultDecompositionBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	platform, err := sgx.NewPlatform(sgx.ZeroCost(), sgx.WithJitterSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := core.NewEnclaveService(platform, params, core.WithKeySource(ring.NewSeededSource(31)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := mrand.New(mrand.NewPCG(3, 4))
+	model := nn.NewNetwork(
+		nn.NewConv2D(1, 2, 3, 1, r),
+		nn.NewActivation(nn.Sigmoid),
+		nn.NewPool2D(nn.MeanPool, 2),
+		&nn.Flatten{},
+		nn.NewFullyConnected(2*3*3, 4, r),
+	)
+	engine, err := core.NewHybridEngine(svc, model, core.Config{
+		PixelScale: 63, WeightScale: 16, ActScale: 256, Pool: core.PoolSGXDiv,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := engine.EncodeWeights(); err != nil {
+		t.Fatal(err)
+	}
+	st = &pipelineStack{svc: svc, engine: engine, model: model, metrics: stats.NewRegistry()}
+	service = serve.NewService(engine, svc,
+		serve.WithMetrics(st.metrics),
+		serve.WithSchedulerConfig(serve.SchedulerConfig{Workers: 2, QueueDepth: 64}),
+		serve.WithLaneConfig(serve.LaneConfig{MaxLanes: 16, MinLanes: 2, Window: 10 * time.Millisecond}))
+	srv, err := NewServer(svc, engine, slog.New(slog.NewTextHandler(testWriter{t}, nil)),
+		WithMetrics(st.metrics), WithService(service))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if err := srv.Serve(ctx, ln); err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	}()
+	return ln.Addr().String(), st, service, func() {
+		cancel()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Error("server did not shut down")
+		}
+		service.Close()
+	}
+}
+
+func attestedClient(t *testing.T, addr string, opts ...ClientOption) *Client {
+	t.Helper()
+	client, err := Dial(addr, attest.NewService(), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { client.Close() })
+	if err := client.FetchTrustBundle(); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Attest(); err != nil {
+		t.Fatal(err)
+	}
+	return client
+}
+
+// TestInferBatchRoundTrip: a client-packed lane batch over the wire must
+// decrypt to exactly the per-image results of scalar round trips.
+func TestInferBatchRoundTrip(t *testing.T) {
+	addr, st, _, shutdown := testStackLanes(t)
+	defer shutdown()
+	client := attestedClient(t, addr)
+
+	const k = 4
+	imgs := make([]*nn.Tensor, k)
+	for i := range imgs {
+		imgs[i] = testImage(uint64(10 + i))
+	}
+	batched, err := client.InferBatch(imgs, 63)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batched) != k {
+		t.Fatalf("got %d result rows, want %d", len(batched), k)
+	}
+	for i, img := range imgs {
+		scalar, err := client.Infer(img, 63)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(batched[i]) != len(scalar) {
+			t.Fatalf("image %d: %d batched logits vs %d scalar", i, len(batched[i]), len(scalar))
+		}
+		for j := range scalar {
+			if batched[i][j] != scalar[j] {
+				t.Fatalf("image %d logit %d: batched %g != scalar %g", i, j, batched[i][j], scalar[j])
+			}
+		}
+	}
+	if st.metrics.Counter("wire.requests_v2").Value() == 0 {
+		t.Fatal("batch request not counted as v2")
+	}
+}
+
+// TestInferBatchLegacyFormat drives the same round trip over the v1 wire
+// encoding (WithLegacyFormat at Dial), verifying version mirroring.
+func TestInferBatchLegacyFormat(t *testing.T) {
+	addr, st, _, shutdown := testStackLanes(t)
+	defer shutdown()
+	client := attestedClient(t, addr, WithLegacyFormat(true))
+
+	imgs := []*nn.Tensor{testImage(20), testImage(21)}
+	batched, err := client.InferBatch(imgs, 63)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batched) != 2 || len(batched[0]) != 4 {
+		t.Fatalf("unexpected result shape %dx%d", len(batched), len(batched[0]))
+	}
+	if st.metrics.Counter("wire.requests_v1").Value() == 0 {
+		t.Fatal("legacy batch request not counted as v1")
+	}
+}
+
+// TestInferBatchOfOneDegradesToScalar: the unified API accepts a batch of
+// one everywhere — it rides the scalar round trip.
+func TestInferBatchOfOneDegradesToScalar(t *testing.T) {
+	addr, _, _, shutdown := testStackLanes(t)
+	defer shutdown()
+	client := attestedClient(t, addr)
+	res, err := client.InferBatch([]*nn.Tensor{testImage(30)}, 63)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || len(res[0]) != 4 {
+		t.Fatalf("unexpected result shape")
+	}
+}
+
+// TestServerRejectsBadLaneCount: a lane count exceeding the ring degree is
+// a bad request, not a server fault.
+func TestServerRejectsBadLaneCount(t *testing.T) {
+	addr, _, _, shutdown := testStackLanes(t)
+	defer shutdown()
+	client := attestedClient(t, addr)
+
+	ci, err := clientInner(client).EncryptImages([]*nn.Tensor{testImage(40), testImage(41)}, 63)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 4)
+	payload[0] = 0xff
+	payload[1] = 0xff
+	payload[2] = 0xff
+	payload[3] = 0x7f
+	body, err := core.MarshalCipherImage(ci)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload = append(payload, body...)
+	if err := WriteFrame(clientConn(client), MsgInferBatchRequest, payload); err != nil {
+		t.Fatal(err)
+	}
+	mt, reply, err := ReadFrame(clientConn(client))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mt != MsgError {
+		t.Fatalf("got message type %d, want error frame", mt)
+	}
+	if serr := DecodeError(reply); serr.Code != CodeBadRequest {
+		t.Fatalf("got %v, want bad-request server error", serr)
+	}
+}
+
+// Accessors for white-box poking from the same package.
+func clientInner(c *Client) *core.Client { return c.inner }
+func clientConn(c *Client) net.Conn      { return c.conn }

@@ -38,6 +38,17 @@ const (
 	MsgTrustBundle
 	// MsgTrustRequest: client → server, empty payload.
 	MsgTrustRequest
+	// MsgInferBatchRequest: client → server. Payload: 4-byte lane count
+	// (little-endian uint32) followed by a serialized cipher image whose
+	// ciphertexts carry that many images in their CRT slot lanes
+	// (Client.EncryptImages). Either wire version of the image encoding is
+	// accepted; the reply mirrors the request version.
+	MsgInferBatchRequest
+	// MsgInferBatchReply: server → client. Payload: 4-byte lane count
+	// (echoed), 8-byte output scale (IEEE float64 bits), then the encrypted
+	// slot-packed logits batch — slot k of each logit ciphertext belongs to
+	// lane k.
+	MsgInferBatchReply
 )
 
 // ErrCode classifies a MsgError frame so clients can distinguish their own

@@ -2,6 +2,7 @@ package wire
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -11,16 +12,28 @@ import (
 
 	"hesgx/internal/attest"
 	"hesgx/internal/core"
+	"hesgx/internal/he"
 	"hesgx/internal/serve"
 	"hesgx/internal/stats"
 	"hesgx/internal/trace"
 )
 
-// Inferrer executes one inference under a context. *serve.Pipeline is the
-// production implementation (bounded queue, worker pool, cross-request
-// ECALL batching); the default adapter calls the engine directly.
+// Inferrer executes one inference under a context.
+//
+// Deprecated: implement ServiceInferrer (normally *serve.Service) and pass
+// it via WithService; the Service entrypoint carries lane scheduling and
+// request metadata. Inferrer remains as the engine-direct fallback for one
+// release.
 type Inferrer interface {
 	Infer(ctx context.Context, img *core.CipherImage) (*core.InferenceResult, error)
+}
+
+// ServiceInferrer is the redesigned serving surface: one entrypoint whose
+// Request carries the image plus serving metadata, with lane-packed vs
+// scalar execution decided inside. *serve.Service is the production
+// implementation.
+type ServiceInferrer interface {
+	Infer(ctx context.Context, req serve.Request) (*serve.Result, error)
 }
 
 // engineInferrer runs inferences straight on the engine, serializing
@@ -36,8 +49,18 @@ type ServerOption func(*Server)
 
 // WithInferrer routes inference requests through inf instead of calling
 // the engine directly — normally a *serve.Pipeline.
+//
+// Deprecated: use WithService with a *serve.Service. WithInferrer remains
+// as a thin shim for one release.
 func WithInferrer(inf Inferrer) ServerOption {
 	return func(s *Server) { s.inferrer = inf }
+}
+
+// WithService routes inference requests through the serving stack —
+// normally a *serve.Service, which adds lane-packed execution of
+// concurrent requests. Takes precedence over WithInferrer.
+func WithService(svc ServiceInferrer) ServerOption {
+	return func(s *Server) { s.service = svc }
 }
 
 // WithTracer records one end-to-end trace per inference request — from
@@ -63,6 +86,7 @@ type Server struct {
 	svc      *core.EnclaveService
 	engine   *core.HybridEngine
 	inferrer Inferrer
+	service  ServiceInferrer // preferred serving path when set
 	tracer   *trace.Tracer   // nil: request tracing disabled at the wire
 	metrics  *stats.Registry // nil-safe: a nil registry no-ops
 	logger   *slog.Logger
@@ -243,6 +267,8 @@ func (s *Server) dispatch(ctx context.Context, conn net.Conn, t MsgType, payload
 		return s.handleAttest(conn, payload)
 	case MsgInferRequest:
 		return s.handleInfer(ctx, conn, payload)
+	case MsgInferBatchRequest:
+		return s.handleInferBatch(ctx, conn, payload)
 	default:
 		return &badRequestError{fmt.Errorf("wire: unexpected message type %d", t)}
 	}
@@ -308,7 +334,7 @@ func (s *Server) serveInfer(ctx context.Context, conn net.Conn, payload []byte) 
 	} else {
 		s.metrics.Counter("wire.requests_v1").Inc()
 	}
-	res, err := s.inferrer.Infer(ctx, img)
+	logits, outScale, err := s.runInfer(ctx, img)
 	if err != nil {
 		return fmt.Errorf("wire: inference: %w", err)
 	}
@@ -317,21 +343,21 @@ func (s *Server) serveInfer(ctx context.Context, conn net.Conn, payload []byte) 
 	if version == core.WireV2 {
 		// Packed batch, streamed straight to the connection: the exact size
 		// is known up front, so no intermediate buffer is materialized.
-		replyLen = 8 + core.CiphertextBatchPackedSize(res.Logits)
+		replyLen = 8 + core.CiphertextBatchPackedSize(logits)
 		err = WriteFrameFunc(conn, MsgInferReply, replyLen, func(w io.Writer) error {
-			if _, werr := w.Write(float64Bytes(res.OutScale)); werr != nil {
+			if _, werr := w.Write(float64Bytes(outScale)); werr != nil {
 				return werr
 			}
-			return core.WriteCiphertextBatchPacked(w, res.Logits)
+			return core.WriteCiphertextBatchPacked(w, logits)
 		})
 	} else {
 		var batch []byte
-		if batch, err = core.MarshalCiphertextBatch(res.Logits); err != nil {
+		if batch, err = core.MarshalCiphertextBatch(logits); err != nil {
 			espan.End()
 			return err
 		}
 		out := make([]byte, 0, 8+len(batch))
-		out = appendFloat64(out, res.OutScale)
+		out = appendFloat64(out, outScale)
 		out = append(out, batch...)
 		replyLen = len(out)
 		err = WriteFrame(conn, MsgInferReply, out)
@@ -344,7 +370,106 @@ func (s *Server) serveInfer(ctx context.Context, conn net.Conn, payload []byte) 
 	s.metrics.ObserveHistogram("wire.reply_bytes", float64(replyLen))
 	s.logger.Info("inference served",
 		"remote", conn.RemoteAddr(),
-		"logits", len(res.Logits),
+		"logits", len(logits),
+		"trace_id", trace.ID(ctx))
+	return nil
+}
+
+// runInfer executes one decoded request on the configured serving path:
+// the Service when present, the deprecated Inferrer otherwise.
+func (s *Server) runInfer(ctx context.Context, img *core.CipherImage) ([]*he.Ciphertext, float64, error) {
+	if s.service != nil {
+		res, err := s.service.Infer(ctx, serve.Request{Image: img})
+		if err != nil {
+			return nil, 0, err
+		}
+		return res.Logits, res.OutScale, nil
+	}
+	res, err := s.inferrer.Infer(ctx, img)
+	if err != nil {
+		return nil, 0, err
+	}
+	return res.Logits, res.OutScale, nil
+}
+
+func (s *Server) handleInferBatch(ctx context.Context, conn net.Conn, payload []byte) error {
+	tr := s.tracer.Start("request")
+	ctx = trace.With(ctx, tr)
+	defer s.tracer.Finish(tr)
+	if err := s.serveInferBatch(ctx, conn, payload); err != nil {
+		return &tracedError{traceID: trace.ID(ctx), err: err}
+	}
+	return nil
+}
+
+// serveInferBatch answers a client-packed lane batch: the payload's lane
+// count is stamped onto the decoded image so the engine runs one
+// slot-vector pass, and the reply echoes the lane count ahead of the
+// packed logits, mirroring the request's wire version.
+func (s *Server) serveInferBatch(ctx context.Context, conn net.Conn, payload []byte) error {
+	_, dspan := trace.StartSpan(ctx, "wire.decode", "wire")
+	if len(payload) < 4 {
+		dspan.End()
+		return &badRequestError{fmt.Errorf("wire: infer batch request too short")}
+	}
+	lanes := int(binary.LittleEndian.Uint32(payload[:4]))
+	img, version, err := core.UnmarshalCipherImageAuto(payload[4:], s.svc.Params())
+	dspan.Arg("bytes", float64(len(payload))).Arg("lanes", float64(lanes)).End()
+	s.metrics.ObserveHistogram("wire.request_bytes", float64(len(payload)))
+	if err != nil {
+		return &badRequestError{fmt.Errorf("wire: decoding cipher image: %w", err)}
+	}
+	if lanes < 1 || lanes > s.svc.Params().N {
+		return &badRequestError{fmt.Errorf("wire: lane count %d out of range [1, %d]", lanes, s.svc.Params().N)}
+	}
+	img.Lanes = lanes
+	if version == core.WireV2 {
+		s.metrics.Counter("wire.requests_v2").Inc()
+	} else {
+		s.metrics.Counter("wire.requests_v1").Inc()
+	}
+	logits, outScale, err := s.runInfer(ctx, img)
+	if err != nil {
+		return fmt.Errorf("wire: inference: %w", err)
+	}
+	_, espan := trace.StartSpan(ctx, "wire.encode", "wire")
+	var laneHdr [4]byte
+	binary.LittleEndian.PutUint32(laneHdr[:], uint32(lanes))
+	var replyLen int
+	if version == core.WireV2 {
+		replyLen = 4 + 8 + core.CiphertextBatchPackedSize(logits)
+		err = WriteFrameFunc(conn, MsgInferBatchReply, replyLen, func(w io.Writer) error {
+			if _, werr := w.Write(laneHdr[:]); werr != nil {
+				return werr
+			}
+			if _, werr := w.Write(float64Bytes(outScale)); werr != nil {
+				return werr
+			}
+			return core.WriteCiphertextBatchPacked(w, logits)
+		})
+	} else {
+		var batch []byte
+		if batch, err = core.MarshalCiphertextBatch(logits); err != nil {
+			espan.End()
+			return err
+		}
+		out := make([]byte, 0, 4+8+len(batch))
+		out = append(out, laneHdr[:]...)
+		out = appendFloat64(out, outScale)
+		out = append(out, batch...)
+		replyLen = len(out)
+		err = WriteFrame(conn, MsgInferBatchReply, out)
+	}
+	espan.Arg("bytes", float64(replyLen)).End()
+	if err != nil {
+		return err
+	}
+	s.metrics.Counter("wire.bytes_out").Add(int64(replyLen) + frameHeaderSize)
+	s.metrics.ObserveHistogram("wire.reply_bytes", float64(replyLen))
+	s.logger.Info("lane-batched inference served",
+		"remote", conn.RemoteAddr(),
+		"lanes", lanes,
+		"logits", len(logits),
 		"trace_id", trace.ID(ctx))
 	return nil
 }
