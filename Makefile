@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build tier1 tier1.5 verify race vet test bench-serving bench-json bench-smoke bench-regression clean
+.PHONY: all build tier1 tier1.5 verify race vet test bench-serving bench-json bench-smoke bench-regression soak clean
 
 all: verify
 
@@ -67,6 +67,16 @@ bench-regression:
 	$(GO) run ./cmd/hesgx-benchdiff -base BENCH_PR6.json \
 		-new /tmp/hesgx-bench-lanes.json -max-ratio 2.0 -metrics ns/op \
 		-min-ratio 0.5 -min-metrics lane_images/sec,speedup_x
+	$(MAKE) soak SOAK_DURATION=5s
+
+# End-to-end latency under load: drive an in-process reference server with
+# the load generator and fail on any shed or unjoined trace. This is the
+# "does the whole serving stack hold its SLOs" gate, complementing the
+# per-component benchmarks above.
+SOAK_DURATION ?= 10s
+soak:
+	$(GO) run ./cmd/hesgx-loadgen -selftest -clients 4 \
+		-duration $(SOAK_DURATION) -max-shed-rate 0 -require-joined
 
 clean:
 	$(GO) clean ./...

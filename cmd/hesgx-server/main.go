@@ -11,7 +11,8 @@
 //	             [-batch-window 2ms] [-batch-max 256] [-no-batching]
 //	             [-simd-params] [-lane-window 5ms] [-lane-max 64]
 //	             [-lane-min 2] [-no-lanes]
-//	             [-stats-interval 30s] [-admin :9090] [-trace-buffer 64]
+//	             [-stats-interval 30s] [-admin :9090]
+//	             [-trace-ring 64] [-report-ring 64] [-slo spec|off]
 //
 // With -simd-params the server generates a batching-capable parameter set
 // (prime plaintext modulus t ≡ 1 mod 2n) and the serving stack packs
@@ -22,8 +23,11 @@
 //
 // With -admin set, an HTTP observability endpoint serves Prometheus
 // text-format metrics at /metrics, Go profiles under /debug/pprof/, the
-// last -trace-buffer request traces as Chrome trace JSON at /traces/last,
-// and a queue/shed-rate readiness probe at /healthz.
+// last -trace-ring request traces as Chrome trace JSON at /traces/last,
+// per-stage SLO burn rates at /slo, and a queue/shed-rate readiness probe
+// at /healthz. Unless -slo is "off", a background tracker samples the
+// stage-latency histograms every 10s and grades them against the given
+// (or default) objectives with multi-window burn-rate alerting.
 package main
 
 import (
@@ -44,6 +48,7 @@ import (
 	"hesgx/internal/report"
 	"hesgx/internal/serve"
 	"hesgx/internal/sgx"
+	"hesgx/internal/slo"
 	"hesgx/internal/trace"
 	"hesgx/internal/wire"
 )
@@ -69,8 +74,11 @@ func run() int {
 	noLanes := flag.Bool("no-lanes", false, "disable slot-lane packing; every request runs its own engine pass")
 	statsInterval := flag.Duration("stats-interval", 30*time.Second, "serving-stats log interval (0: off)")
 	adminAddr := flag.String("admin", "", "admin endpoint address for /metrics, /debug/pprof, /traces/last, /inference/last, /healthz (empty: off)")
-	traceBuffer := flag.Int("trace-buffer", trace.DefaultBufferSize, "request traces retained for /traces/last")
-	reportBuffer := flag.Int("report-buffer", report.DefaultCapacity, "per-request flight reports retained for /inference/last")
+	traceRing := flag.Int("trace-ring", trace.DefaultBufferSize, "flight-recorder capacity: request traces retained for /traces/last")
+	flag.IntVar(traceRing, "trace-buffer", trace.DefaultBufferSize, "deprecated alias of -trace-ring")
+	reportRing := flag.Int("report-ring", report.DefaultCapacity, "report-ring capacity: per-request flight reports retained for /inference/last")
+	flag.IntVar(reportRing, "report-buffer", report.DefaultCapacity, "deprecated alias of -report-ring")
+	sloSpec := flag.String("slo", "", "per-stage latency objectives as name:metric:threshold:target,... (empty: defaults; \"off\": disabled)")
 	noiseWarnBits := flag.Float64("noise-warn-bits", core.DefaultNoiseWarnBudgetBits, "warn + count when measured noise budget entering a refresh drops below this many bits (0: off)")
 	flag.Parse()
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -139,7 +147,7 @@ func run() int {
 			MinLanes: *laneMin,
 			Window:   *laneWindow,
 		}),
-		serve.WithTracer(trace.NewTracer(*traceBuffer)),
+		serve.WithTracer(trace.NewTracer(*traceRing)),
 		serve.WithLogger(logger),
 	}
 	if *noBatching {
@@ -153,8 +161,27 @@ func run() int {
 	// Every finished request trace folds into a per-layer flight report:
 	// ring-buffered for /inference/last and re-exported as per-layer
 	// latency/budget series on /metrics.
-	reports := report.NewRecorder(*reportBuffer, service.Metrics)
+	reports := report.NewRecorder(*reportRing, service.Metrics)
 	service.Tracer.SetOnFinish(reports.Observe)
+
+	// Per-stage SLO tracking: multi-window burn rates over the serving
+	// latency histograms, surfaced at /slo and as slo_* metric series.
+	var sloTracker *slo.Tracker
+	if *sloSpec != "off" {
+		objectives := slo.DefaultObjectives()
+		if *sloSpec != "" {
+			objectives, err = slo.ParseObjectives(*sloSpec)
+			if err != nil {
+				logger.Error("parsing -slo", "err", err)
+				return 1
+			}
+		}
+		sloTracker, err = slo.New(slo.Config{Registry: service.Metrics, Objectives: objectives})
+		if err != nil {
+			logger.Error("slo tracker", "err", err)
+			return 1
+		}
+	}
 
 	srv, err := wire.NewServer(svc, engine, logger,
 		wire.WithService(service), wire.WithTracer(service.Tracer),
@@ -181,6 +208,7 @@ func run() int {
 			Platform:      platform.Snapshot,
 			QueueCapacity: queueCapacity,
 			Reports:       reports,
+			SLO:           sloTracker,
 		})
 		adminSrv, err = admin.Start(*adminAddr, handler)
 		if err != nil {
@@ -201,6 +229,10 @@ func run() int {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if sloTracker != nil {
+		go sloTracker.Run(ctx)
+	}
 
 	if *statsInterval > 0 {
 		go func() {

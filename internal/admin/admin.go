@@ -23,6 +23,7 @@ import (
 
 	"hesgx/internal/report"
 	"hesgx/internal/sgx"
+	"hesgx/internal/slo"
 	"hesgx/internal/stats"
 	"hesgx/internal/trace"
 )
@@ -42,6 +43,10 @@ type Config struct {
 	// rendered as sgx_* counters (transitions, paging, injected
 	// overhead).
 	Platform func() sgx.Stats
+	// SLO is the per-stage objective tracker: its status JSON is served at
+	// /slo and its slo_* series join the /metrics exposition (nil: /slo
+	// answers 404 and no slo_* series are emitted).
+	SLO *slo.Tracker
 	// QueueCapacity is the scheduler's admission queue depth, the
 	// denominator of the /healthz queue-saturation check (0: skipped).
 	QueueCapacity int
@@ -74,6 +79,17 @@ func Handler(cfg Config) http.Handler {
 			writePlatformStats(w, cfg.Platform())
 		}
 		writeProcessStats(w, start)
+		if cfg.SLO != nil {
+			cfg.SLO.WritePrometheus(w)
+		}
+	})
+	mux.HandleFunc("/slo", func(w http.ResponseWriter, r *http.Request) {
+		if cfg.SLO == nil {
+			http.Error(w, "slo tracking disabled", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(cfg.SLO.Status())
 	})
 	mux.HandleFunc("/inference/last", func(w http.ResponseWriter, r *http.Request) {
 		reps := cfg.Reports.Last(0)

@@ -1,0 +1,128 @@
+package admin
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"hesgx/internal/slo"
+	"hesgx/internal/stats"
+)
+
+// sloConfig extends the base fixture with a populated SLO tracker fed by
+// stage-timer histograms carrying exemplars.
+func sloConfig(t *testing.T) (Config, *stats.Registry) {
+	t.Helper()
+	cfg, reg, _ := testConfig()
+	reg.ObserveHistogramExemplar("serve.request.total_ms", 90.0, 101)
+	reg.ObserveHistogramExemplar("serve.request.total_ms", 9000.0, 202) // blows the 2s objective
+	reg.ObserveHistogramExemplar("serve.job.queue_wait_ms", 0.5, 101)
+	reg.ObserveHistogramExemplar("serve.stage.lane_wait_ms", 4.0, 101)
+	reg.ObserveHistogramExemplar("serve.stage.shed_ms", 1.0, 303)
+	reg.ObserveHistogramExemplar("serve.stage.deadline_miss_ms", 700.0, 404)
+	tracker, err := slo.New(slo.Config{Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.SLO = tracker
+	return cfg, reg
+}
+
+func TestSLOEndpoint(t *testing.T) {
+	cfg, _ := sloConfig(t)
+	res, body := get(t, Handler(cfg), "/slo")
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("/slo status = %d\n%s", res.StatusCode, body)
+	}
+	if ct := res.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("/slo content type = %q", ct)
+	}
+	var statuses []slo.ObjectiveStatus
+	if err := json.Unmarshal([]byte(body), &statuses); err != nil {
+		t.Fatalf("/slo not JSON: %v\n%s", err, body)
+	}
+	if len(statuses) != len(slo.DefaultObjectives()) {
+		t.Fatalf("got %d objectives", len(statuses))
+	}
+	byName := map[string]slo.ObjectiveStatus{}
+	for _, s := range statuses {
+		byName[s.Name] = s
+	}
+	req, ok := byName["request"]
+	if !ok {
+		t.Fatalf("no request objective in %s", body)
+	}
+	if req.Events != 2 || req.GoodEvents != 1 {
+		t.Errorf("request events %d/%d, want 1/2 good", req.GoodEvents, req.Events)
+	}
+	if req.ExemplarTraceID != 202 {
+		t.Errorf("request exemplar %d, want 202 (the slow trace)", req.ExemplarTraceID)
+	}
+	if len(req.Windows) != len(slo.DefaultWindows()) {
+		t.Errorf("request windows %d", len(req.Windows))
+	}
+}
+
+func TestSLOEndpointDisabled(t *testing.T) {
+	cfg, _, _ := testConfig()
+	res, _ := get(t, Handler(cfg), "/slo")
+	if res.StatusCode != http.StatusNotFound {
+		t.Fatalf("/slo without tracker = %d, want 404", res.StatusCode)
+	}
+	if _, body := get(t, Handler(cfg), "/metrics"); strings.Contains(body, "slo_") {
+		t.Fatal("slo_* series rendered without a tracker")
+	}
+}
+
+// TestMetricsWithSLOLints: the full exposition — registry histograms with
+// the new stage timers, platform block, process block, and every slo_*
+// series — must pass the strict linter, and the exemplar gauge must carry
+// the slow request's trace ID.
+func TestMetricsWithSLOLints(t *testing.T) {
+	cfg, _ := sloConfig(t)
+	res, body := get(t, Handler(cfg), "/metrics")
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status = %d", res.StatusCode)
+	}
+	if err := stats.LintPrometheusText(strings.NewReader(body)); err != nil {
+		t.Fatalf("/metrics with slo_* fails lint: %v\nbody:\n%s", err, body)
+	}
+	for _, want := range []string{
+		"serve_request_total_ms_count 2",
+		"serve_job_queue_wait_ms_count 1",
+		"serve_stage_lane_wait_ms_count 1",
+		"serve_stage_shed_ms_count 1",
+		"serve_stage_deadline_miss_ms_count 1",
+		`slo_events_total{objective="request"} 2`,
+		`slo_good_events_total{objective="request"} 1`,
+		`slo_burn_rate{objective="request",window="5m"}`,
+		`slo_alert_active{objective="request",severity="page"}`,
+		`slo_exemplar_trace_id{objective="request"} 202`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestEndpointContentTypes pins the Content-Type of every admin endpoint.
+func TestEndpointContentTypes(t *testing.T) {
+	cfg, _ := sloConfig(t)
+	h := Handler(cfg)
+	cases := []struct {
+		path string
+		want string
+	}{
+		{"/metrics", "text/plain; version=0.0.4; charset=utf-8"},
+		{"/slo", "application/json"},
+		{"/traces/last", "application/json"},
+		{"/healthz", "application/json"},
+	}
+	for _, c := range cases {
+		res, _ := get(t, h, c.path)
+		if ct := res.Header.Get("Content-Type"); ct != c.want {
+			t.Errorf("%s content type = %q, want %q", c.path, ct, c.want)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package loadgen
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseShapes(t *testing.T) {
+	shapes, err := ParseShapes("1x8x8:4, 1x16x16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shapes) != 2 {
+		t.Fatalf("got %d shapes", len(shapes))
+	}
+	if shapes[0] != (Shape{C: 1, H: 8, W: 8, Weight: 4}) {
+		t.Errorf("shape 0: %+v", shapes[0])
+	}
+	if shapes[1] != (Shape{C: 1, H: 16, W: 16, Weight: 1}) {
+		t.Errorf("shape 1: %+v", shapes[1])
+	}
+	for _, bad := range []string{"", "8x8", "1x8x8:0", "1x8x8:-1", "axbxc", "1x8x8:x"} {
+		if _, err := ParseShapes(bad); err == nil {
+			t.Errorf("ParseShapes(%q) did not fail", bad)
+		}
+	}
+}
+
+// TestSoakSelftest is the in-process soak: a short closed-loop run against
+// the selftest server must complete shed-free with every request's trace
+// fully joined (client and server spans under one client-minted ID).
+func TestSoakSelftest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak skipped in -short mode")
+	}
+	srv, err := StartSelftest(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	var status strings.Builder
+	sum, err := Run(context.Background(), Config{
+		Addr:           srv.Addr(),
+		Clients:        3,
+		Duration:       3 * time.Second,
+		Trace:          true,
+		StatusInterval: time.Second,
+		Out:            &status,
+		MaxShedRate:    0,
+		RequireJoined:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.OK == 0 {
+		t.Fatal("soak completed zero requests")
+	}
+	if len(sum.Violations) > 0 {
+		t.Fatalf("soak violated SLOs: %v", sum.Violations)
+	}
+	if sum.Shed != 0 || sum.Failed != 0 {
+		t.Fatalf("soak shed %d / failed %d requests", sum.Shed, sum.Failed)
+	}
+	if sum.JoinedTraces != sum.OK {
+		t.Fatalf("only %d/%d traces joined", sum.JoinedTraces, sum.OK)
+	}
+	if sum.MeanLanes < 1 {
+		t.Errorf("mean lane occupancy %.2f, want >= 1", sum.MeanLanes)
+	}
+	if !strings.Contains(status.String(), "img/s") {
+		t.Errorf("status stream missing progress lines: %q", status.String())
+	}
+	// The server-side tracer must also have retained traces.
+	if traced := srv.Metrics().Counter("wire.requests_traced").Value(); traced == 0 {
+		t.Error("server counted zero traced requests")
+	}
+}
+
+// TestOpenLoop drives the arrival-rate mode at a modest rate and checks
+// that requests flow and latency is measured from arrival.
+func TestOpenLoop(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak skipped in -short mode")
+	}
+	srv, err := StartSelftest(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	sum, err := Run(context.Background(), Config{
+		Addr:           srv.Addr(),
+		Clients:        2,
+		Rate:           5,
+		Duration:       2 * time.Second,
+		StatusInterval: -1,
+		MaxShedRate:    -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.OK == 0 {
+		t.Fatal("open loop completed zero requests")
+	}
+	// ~5 req/s for 2s: the generator must not have free-run far past the
+	// scheduled arrivals.
+	if sum.Sent > 20 {
+		t.Errorf("open loop sent %d requests at rate 5 over 2s", sum.Sent)
+	}
+}

@@ -180,7 +180,7 @@ func FromTrace(tr *trace.Trace) *FlightReport {
 			if v, ok := argVal(s, "lanes"); ok {
 				rep.Lanes = int(v)
 			}
-		case s.Cat == "serve" && s.Name == "lane.flush":
+		case s.Cat == "serve" && (s.Name == "lane.flush" || s.Name == "lane.batch"):
 			if v, ok := argVal(s, "lanes"); ok && rep.Lanes == 0 {
 				rep.Lanes = int(v)
 			}

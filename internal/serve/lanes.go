@@ -84,6 +84,13 @@ func (p *lanePacker) infer(ctx context.Context, img *core.CipherImage) (*Result,
 	wctx, wspan := trace.StartSpan(ctx, "lane.wait", "serve")
 	w := &laneWaiter{img: img, done: make(chan laneResult, 1), ctx: wctx}
 	p.metrics.Counter("serve.lanes.requests").Inc()
+	waitStart := time.Now()
+	// Stage timer for the SLO tracker: time from bucket admission until the
+	// waiter resolves (flush, error, or abandonment), exemplar = trace ID.
+	defer func() {
+		p.metrics.ObserveHistogramExemplar("serve.stage.lane_wait_ms",
+			float64(time.Since(waitStart).Microseconds())/1000.0, trace.ID(ctx))
+	}()
 
 	p.mu.Lock()
 	if p.closed {

@@ -144,6 +144,10 @@ func (s *Scheduler) Infer(ctx context.Context, img *core.CipherImage) (*core.Inf
 		s.metrics.Gauge("serve.queue.depth").Set(int64(len(s.queue)))
 	default:
 		s.metrics.Counter("serve.jobs.rejected").Inc()
+		// Stage timer for the SLO tracker: how long the request lived before
+		// being shed, with its trace ID as the exemplar.
+		s.metrics.ObserveHistogramExemplar("serve.stage.shed_ms",
+			float64(time.Since(j.enqueued).Microseconds())/1000.0, trace.ID(ctx))
 		qspan.Arg("rejected", 1).End()
 		s.logger.Warn("request shed at admission",
 			"reason", "queue_full",
@@ -179,13 +183,15 @@ func (s *Scheduler) worker() {
 // run executes one job and delivers its result.
 func (s *Scheduler) run(j *job) {
 	s.metrics.Gauge("serve.queue.depth").Set(int64(len(s.queue)))
-	s.metrics.ObserveHistogram("serve.job.queue_wait_ms", float64(time.Since(j.enqueued).Microseconds())/1000.0)
+	queueWaitMS := float64(time.Since(j.enqueued).Microseconds()) / 1000.0
+	s.metrics.ObserveHistogramExemplar("serve.job.queue_wait_ms", queueWaitMS, trace.ID(j.ctx))
 	if err := j.ctx.Err(); err != nil {
 		// Deadline or disconnect while queued: never enter the enclave.
 		s.metrics.Counter("serve.jobs.expired").Inc()
+		s.metrics.ObserveHistogramExemplar("serve.stage.deadline_miss_ms", queueWaitMS, trace.ID(j.ctx))
 		j.qspan.Arg("expired", 1).End()
 		s.logger.Warn("queued request expired before running",
-			"queue_wait_ms", float64(time.Since(j.enqueued).Microseconds())/1000.0,
+			"queue_wait_ms", queueWaitMS,
 			"err", err,
 			"trace_id", trace.ID(j.ctx))
 		j.res <- jobResult{err: err}

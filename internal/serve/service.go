@@ -229,7 +229,7 @@ func NewService(engine *core.HybridEngine, svc *core.EnclaveService, opts ...Opt
 // scalar. If the caller did not attach a request trace (the wire server
 // does), the service starts one so direct users get the same
 // flight-recorder coverage.
-func (s *Service) Infer(ctx context.Context, req Request) (*Result, error) {
+func (s *Service) Infer(ctx context.Context, req Request) (res *Result, err error) {
 	img := req.Image
 	if img == nil || len(img.CTs) == 0 {
 		return nil, fmt.Errorf("serve: empty request image")
@@ -239,6 +239,17 @@ func (s *Service) Infer(ctx context.Context, req Request) (*Result, error) {
 		ctx = trace.With(ctx, tr)
 		defer s.Tracer.Finish(tr)
 	}
+	// Whole-pipeline stage timer (lane wait + queue wait + engine) for the
+	// request SLO, with the trace ID as exemplar. Failures are excluded: the
+	// error paths (shed, deadline miss) have stage timers of their own, and a
+	// fast rejection would otherwise count as a "good" latency event.
+	start := time.Now()
+	defer func() {
+		if err == nil {
+			s.Metrics.ObserveHistogramExemplar("serve.request.total_ms",
+				float64(time.Since(start).Microseconds())/1000.0, trace.ID(ctx))
+		}
+	}()
 	if req.Tenant != "" {
 		s.Metrics.Counter("serve.tenant." + req.Tenant + ".requests").Inc()
 	}
@@ -249,8 +260,11 @@ func (s *Service) Infer(ctx context.Context, req Request) (*Result, error) {
 	}
 	if img.Lanes > 1 {
 		// The caller packed its own batch (Client.EncryptImages): one engine
-		// pass, caller-owned lanes.
-		res, err := s.sched.Infer(ctx, img)
+		// pass, caller-owned lanes. The span's lanes arg feeds the flight
+		// report's occupancy attribution.
+		bctx, span := trace.StartSpan(ctx, "lane.batch", "serve")
+		res, err := s.sched.Infer(bctx, img)
+		span.Arg("lanes", float64(img.Lanes)).End()
 		if err != nil {
 			return nil, err
 		}
@@ -259,11 +273,11 @@ func (s *Service) Infer(ctx context.Context, req Request) (*Result, error) {
 	if s.lanes != nil {
 		return s.lanes.infer(ctx, img)
 	}
-	res, err := s.sched.Infer(ctx, img)
+	sres, err := s.sched.Infer(ctx, img)
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Logits: res.Logits, OutScale: res.OutScale, Mode: ModeScalar, Lanes: 1}, nil
+	return &Result{Logits: sres.Logits, OutScale: sres.OutScale, Mode: ModeScalar, Lanes: 1}, nil
 }
 
 // Close shuts the service down: the lane packer flushes pending buckets,

@@ -1,0 +1,446 @@
+// Package slo turns the serving stack's latency histograms into
+// SLO-grade accounting: per-stage latency objectives, multi-window
+// burn-rate alerting, and error-budget tracking, in the style of the
+// Google SRE workbook's multiwindow multi-burn-rate alerts.
+//
+// An Objective binds a stats histogram (milliseconds) to a latency
+// threshold and a compliance target: an observation at or under the
+// threshold is a good event. The Tracker samples cumulative good/total
+// counts on a fixed interval into a ring, so any trailing window's error
+// rate is a subtraction, not a second histogram. The burn rate of a window
+// is its error rate divided by the budgeted error rate (1 - target);
+// burning at rate 1 spends exactly the budget over the SLO period, at
+// 14.4 a 99.9% monthly budget is gone in two days. An alert fires only
+// when both the short and long window of a BurnWindow exceed its factor —
+// the short window makes alerts reset quickly once the cause stops, the
+// long window keeps a brief spike from paging.
+package slo
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"hesgx/internal/stats"
+)
+
+// Objective is one per-stage latency SLO: observations of Metric (a
+// Registry histogram recording milliseconds) at or under Threshold are
+// good events, and at least Target of all events should be good.
+type Objective struct {
+	// Name labels the objective in /slo JSON and Prometheus series.
+	Name string `json:"name"`
+	// Metric is the registry histogram name, e.g. "serve.request.total_ms".
+	Metric string `json:"metric"`
+	// Threshold is the latency bound for a good event. The histogram's
+	// buckets double from 1µs, so thresholds on that grid (1ms, 2ms, ...
+	// 250µs·2^k) account exactly; off-grid thresholds round down
+	// (conservative).
+	Threshold time.Duration `json:"threshold"`
+	// Target is the objective compliance ratio in (0, 1), e.g. 0.99.
+	Target float64 `json:"target"`
+}
+
+// ThresholdMS is the threshold in the histograms' native unit.
+func (o Objective) ThresholdMS() float64 {
+	return float64(o.Threshold) / float64(time.Millisecond)
+}
+
+// DefaultObjectives covers the serving pipeline's stages end to end:
+// whole-request latency plus the two queueing stages a request can stall
+// in before any HE work starts.
+func DefaultObjectives() []Objective {
+	return []Objective{
+		{Name: "request", Metric: "serve.request.total_ms", Threshold: 2 * time.Second, Target: 0.99},
+		{Name: "queue", Metric: "serve.job.queue_wait_ms", Threshold: 250 * time.Millisecond, Target: 0.99},
+		{Name: "lane", Metric: "serve.stage.lane_wait_ms", Threshold: 100 * time.Millisecond, Target: 0.99},
+	}
+}
+
+// ParseObjectives parses a flag-style objective list:
+// "name:metric:threshold:target[,...]", e.g.
+// "request:serve.request.total_ms:2s:0.99,queue:serve.job.queue_wait_ms:250ms:0.99".
+func ParseObjectives(spec string) ([]Objective, error) {
+	var out []Objective
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		fields := strings.Split(part, ":")
+		if len(fields) != 4 {
+			return nil, fmt.Errorf("slo: objective %q: want name:metric:threshold:target", part)
+		}
+		thr, err := time.ParseDuration(fields[2])
+		if err != nil || thr <= 0 {
+			return nil, fmt.Errorf("slo: objective %q: bad threshold %q", part, fields[2])
+		}
+		target, err := strconv.ParseFloat(fields[3], 64)
+		if err != nil || target <= 0 || target >= 1 {
+			return nil, fmt.Errorf("slo: objective %q: target must be in (0,1), got %q", part, fields[3])
+		}
+		out = append(out, Objective{Name: fields[0], Metric: fields[1], Threshold: thr, Target: target})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("slo: no objectives in %q", spec)
+	}
+	return out, nil
+}
+
+// BurnWindow is one multi-window burn-rate alert condition: fire when both
+// the Short and Long trailing windows burn error budget faster than Factor.
+type BurnWindow struct {
+	Short    time.Duration `json:"short"`
+	Long     time.Duration `json:"long"`
+	Factor   float64       `json:"factor"`
+	Severity string        `json:"severity"`
+}
+
+// DefaultWindows are the SRE-workbook pairings: a fast page and a slow
+// ticket.
+func DefaultWindows() []BurnWindow {
+	return []BurnWindow{
+		{Short: 5 * time.Minute, Long: time.Hour, Factor: 14.4, Severity: "page"},
+		{Short: 30 * time.Minute, Long: 6 * time.Hour, Factor: 6, Severity: "ticket"},
+	}
+}
+
+// DefaultInterval is the sampling cadence when Config.Interval is zero.
+const DefaultInterval = 10 * time.Second
+
+// Config assembles a Tracker.
+type Config struct {
+	// Registry is the metrics registry whose histograms feed the objectives.
+	Registry *stats.Registry
+	// Objectives to track; DefaultObjectives when empty.
+	Objectives []Objective
+	// Windows are the burn-rate alert conditions; DefaultWindows when empty.
+	Windows []BurnWindow
+	// Interval between samples; DefaultInterval when zero.
+	Interval time.Duration
+	// Now overrides the clock (tests); time.Now when nil.
+	Now func() time.Time
+}
+
+// sample is one cumulative good/total reading.
+type sample struct {
+	t           time.Time
+	good, total uint64
+}
+
+// objectiveState is the per-objective sample ring.
+type objectiveState struct {
+	obj  Objective
+	ring []sample
+	pos  int
+	n    int
+}
+
+func (s *objectiveState) push(p sample) {
+	s.ring[s.pos] = p
+	s.pos = (s.pos + 1) % len(s.ring)
+	if s.n < len(s.ring) {
+		s.n++
+	}
+}
+
+// latest returns the newest sample (zero sample when none).
+func (s *objectiveState) latest() sample {
+	if s.n == 0 {
+		return sample{}
+	}
+	return s.ring[(s.pos-1+len(s.ring))%len(s.ring)]
+}
+
+// at returns the newest sample at least window old relative to now, falling
+// back to the oldest retained one (so early in a run every window sees the
+// full history).
+func (s *objectiveState) at(now time.Time, window time.Duration) sample {
+	if s.n == 0 {
+		return sample{}
+	}
+	for i := 1; i <= s.n; i++ {
+		p := s.ring[(s.pos-i+len(s.ring))%len(s.ring)]
+		if now.Sub(p.t) >= window {
+			return p
+		}
+	}
+	return s.ring[(s.pos-s.n+len(s.ring))%len(s.ring)]
+}
+
+// Tracker samples objective compliance on an interval and answers burn-rate
+// and status queries. Tick and the read methods are safe to call
+// concurrently (one mutex; sampling is cheap).
+type Tracker struct {
+	reg      *stats.Registry
+	windows  []BurnWindow
+	interval time.Duration
+	now      func() time.Time
+
+	mu     sync.Mutex
+	states []*objectiveState
+}
+
+// New builds a Tracker. The sample ring per objective is sized to cover the
+// longest alert window at the configured interval.
+func New(cfg Config) (*Tracker, error) {
+	if cfg.Registry == nil {
+		return nil, fmt.Errorf("slo: Config.Registry is required")
+	}
+	objs := cfg.Objectives
+	if len(objs) == 0 {
+		objs = DefaultObjectives()
+	}
+	seen := make(map[string]bool, len(objs))
+	for _, o := range objs {
+		if o.Name == "" || o.Metric == "" || o.Threshold <= 0 || o.Target <= 0 || o.Target >= 1 {
+			return nil, fmt.Errorf("slo: invalid objective %+v", o)
+		}
+		if seen[o.Name] {
+			return nil, fmt.Errorf("slo: duplicate objective name %q", o.Name)
+		}
+		seen[o.Name] = true
+	}
+	windows := cfg.Windows
+	if len(windows) == 0 {
+		windows = DefaultWindows()
+	}
+	var longest time.Duration
+	for _, w := range windows {
+		if w.Short <= 0 || w.Long < w.Short || w.Factor <= 0 {
+			return nil, fmt.Errorf("slo: invalid burn window %+v", w)
+		}
+		if w.Long > longest {
+			longest = w.Long
+		}
+	}
+	interval := cfg.Interval
+	if interval <= 0 {
+		interval = DefaultInterval
+	}
+	now := cfg.Now
+	if now == nil {
+		now = time.Now
+	}
+	ringLen := int(longest/interval) + 2
+	t := &Tracker{reg: cfg.Registry, windows: windows, interval: interval, now: now}
+	for _, o := range objs {
+		t.states = append(t.states, &objectiveState{obj: o, ring: make([]sample, ringLen)})
+	}
+	t.Tick() // seed the ring so the first window query has a baseline
+	return t, nil
+}
+
+// Interval returns the sampling cadence (what Run sleeps between ticks).
+func (t *Tracker) Interval() time.Duration { return t.interval }
+
+// Tick takes one compliance sample per objective.
+func (t *Tracker) Tick() {
+	now := t.now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, st := range t.states {
+		snap := t.reg.Histogram(st.obj.Metric).Snapshot()
+		st.push(sample{t: now, good: snap.CountAtMost(st.obj.ThresholdMS()), total: snap.Count})
+	}
+}
+
+// Run ticks until ctx is done.
+func (t *Tracker) Run(ctx context.Context) {
+	tick := time.NewTicker(t.interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+			t.Tick()
+		}
+	}
+}
+
+// WindowStatus is one burn-rate alert condition's current reading.
+type WindowStatus struct {
+	Severity  string        `json:"severity"`
+	Short     time.Duration `json:"short"`
+	Long      time.Duration `json:"long"`
+	Factor    float64       `json:"factor"`
+	ShortBurn float64       `json:"short_burn"`
+	LongBurn  float64       `json:"long_burn"`
+	Firing    bool          `json:"firing"`
+}
+
+// ObjectiveStatus is one objective's current standing.
+type ObjectiveStatus struct {
+	Objective
+	// Events and GoodEvents are lifetime cumulative counts.
+	Events     uint64 `json:"events"`
+	GoodEvents uint64 `json:"good_events"`
+	// Compliance is lifetime good/total (1 when no events yet).
+	Compliance float64 `json:"compliance"`
+	// BudgetUsed is the lifetime error budget consumed:
+	// bad/(total·(1−target)); above 1 the objective is blown.
+	BudgetUsed float64 `json:"budget_used"`
+	// P50MS / P99MS are quantiles of the backing histogram.
+	P50MS float64 `json:"p50_ms"`
+	P99MS float64 `json:"p99_ms"`
+	// ExemplarTraceID is a concrete trace that exceeded the threshold
+	// (0 when none recorded) — feed it to /traces/last tooling.
+	ExemplarTraceID uint64         `json:"exemplar_trace_id"`
+	Windows         []WindowStatus `json:"windows"`
+}
+
+// Firing reports whether any burn window is in alert.
+func (s ObjectiveStatus) Firing() bool {
+	for _, w := range s.Windows {
+		if w.Firing {
+			return true
+		}
+	}
+	return false
+}
+
+// burnBetween computes the burn rate of the window starting at old and
+// ending at cur for an objective with the given budget (1 - target).
+func burnBetween(old, cur sample, budget float64) float64 {
+	if cur.total < old.total || cur.total == old.total {
+		return 0
+	}
+	dTotal := cur.total - old.total
+	dBad := (cur.total - cur.good) - (old.total - old.good)
+	return (float64(dBad) / float64(dTotal)) / budget
+}
+
+// Status returns every objective's current standing, in configuration
+// order.
+func (t *Tracker) Status() []ObjectiveStatus {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := t.now()
+	out := make([]ObjectiveStatus, 0, len(t.states))
+	for _, st := range t.states {
+		snap := t.reg.Histogram(st.obj.Metric).Snapshot()
+		cur := sample{t: now, good: snap.CountAtMost(st.obj.ThresholdMS()), total: snap.Count}
+		budget := 1 - st.obj.Target
+		os := ObjectiveStatus{
+			Objective:       st.obj,
+			Events:          cur.total,
+			GoodEvents:      cur.good,
+			Compliance:      1,
+			P50MS:           snap.Quantile(0.5),
+			P99MS:           snap.Quantile(0.99),
+			ExemplarTraceID: snap.ExemplarAbove(st.obj.ThresholdMS()),
+		}
+		if cur.total > 0 {
+			os.Compliance = float64(cur.good) / float64(cur.total)
+			os.BudgetUsed = (float64(cur.total-cur.good) / float64(cur.total)) / budget
+		}
+		for _, w := range t.windows {
+			ws := WindowStatus{Severity: w.Severity, Short: w.Short, Long: w.Long, Factor: w.Factor}
+			ws.ShortBurn = burnBetween(st.at(now, w.Short), cur, budget)
+			ws.LongBurn = burnBetween(st.at(now, w.Long), cur, budget)
+			ws.Firing = ws.ShortBurn >= w.Factor && ws.LongBurn >= w.Factor
+			os.Windows = append(os.Windows, ws)
+		}
+		out = append(out, os)
+	}
+	return out
+}
+
+// windowLabel renders a duration compactly for a Prometheus label ("5m",
+// "1h", "6h").
+func windowLabel(d time.Duration) string {
+	switch {
+	case d%time.Hour == 0:
+		return fmt.Sprintf("%dh", d/time.Hour)
+	case d%time.Minute == 0:
+		return fmt.Sprintf("%dm", d/time.Minute)
+	default:
+		return fmt.Sprintf("%ds", d/time.Second)
+	}
+}
+
+// WritePrometheus renders the tracker's state as Prometheus 0.0.4 text —
+// appended to the registry exposition by the admin endpoint. All series are
+// labeled by objective, so each family is declared once; values that are
+// trace IDs print as integers (they are < 2^53, exact in float64).
+func (t *Tracker) WritePrometheus(w io.Writer) {
+	if t == nil {
+		return
+	}
+	statuses := t.Status()
+	sorted := make([]ObjectiveStatus, len(statuses))
+	copy(sorted, statuses)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+
+	fmt.Fprintf(w, "# TYPE slo_events_total counter\n")
+	for _, s := range sorted {
+		fmt.Fprintf(w, "slo_events_total{objective=%q} %d\n", s.Name, s.Events)
+	}
+	fmt.Fprintf(w, "# TYPE slo_good_events_total counter\n")
+	for _, s := range sorted {
+		fmt.Fprintf(w, "slo_good_events_total{objective=%q} %d\n", s.Name, s.GoodEvents)
+	}
+	fmt.Fprintf(w, "# TYPE slo_threshold_ms gauge\n")
+	for _, s := range sorted {
+		fmt.Fprintf(w, "slo_threshold_ms{objective=%q} %g\n", s.Name, s.ThresholdMS())
+	}
+	fmt.Fprintf(w, "# TYPE slo_target_ratio gauge\n")
+	for _, s := range sorted {
+		fmt.Fprintf(w, "slo_target_ratio{objective=%q} %g\n", s.Name, s.Target)
+	}
+	fmt.Fprintf(w, "# TYPE slo_compliance_ratio gauge\n")
+	for _, s := range sorted {
+		fmt.Fprintf(w, "slo_compliance_ratio{objective=%q} %g\n", s.Name, s.Compliance)
+	}
+	fmt.Fprintf(w, "# TYPE slo_error_budget_used_ratio gauge\n")
+	for _, s := range sorted {
+		fmt.Fprintf(w, "slo_error_budget_used_ratio{objective=%q} %g\n", s.Name, s.BudgetUsed)
+	}
+	fmt.Fprintf(w, "# TYPE slo_burn_rate gauge\n")
+	for _, s := range sorted {
+		// Dedup window labels: a custom config may reuse one duration across
+		// burn pairs, and duplicate series fail the exposition linter.
+		emitted := make(map[string]bool, 4)
+		for _, ws := range s.Windows {
+			for _, wl := range []struct {
+				label string
+				burn  float64
+			}{{windowLabel(ws.Short), ws.ShortBurn}, {windowLabel(ws.Long), ws.LongBurn}} {
+				if emitted[wl.label] {
+					continue
+				}
+				emitted[wl.label] = true
+				fmt.Fprintf(w, "slo_burn_rate{objective=%q,window=%q} %g\n", s.Name, wl.label, wl.burn)
+			}
+		}
+	}
+	fmt.Fprintf(w, "# TYPE slo_alert_active gauge\n")
+	for _, s := range sorted {
+		// Fold windows sharing a severity into one series (firing if any is).
+		order := make([]string, 0, len(s.Windows))
+		firing := make(map[string]bool, len(s.Windows))
+		for _, ws := range s.Windows {
+			if _, ok := firing[ws.Severity]; !ok {
+				order = append(order, ws.Severity)
+			}
+			firing[ws.Severity] = firing[ws.Severity] || ws.Firing
+		}
+		for _, sev := range order {
+			v := 0
+			if firing[sev] {
+				v = 1
+			}
+			fmt.Fprintf(w, "slo_alert_active{objective=%q,severity=%q} %d\n", s.Name, sev, v)
+		}
+	}
+	fmt.Fprintf(w, "# TYPE slo_exemplar_trace_id gauge\n")
+	for _, s := range sorted {
+		fmt.Fprintf(w, "slo_exemplar_trace_id{objective=%q} %d\n", s.Name, s.ExemplarTraceID)
+	}
+}

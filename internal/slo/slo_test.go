@@ -1,0 +1,205 @@
+package slo
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"hesgx/internal/stats"
+)
+
+func TestParseObjectives(t *testing.T) {
+	objs, err := ParseObjectives("request:serve.request.total_ms:2s:0.99, queue:serve.job.queue_wait_ms:250ms:0.999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objs) != 2 {
+		t.Fatalf("got %d objectives", len(objs))
+	}
+	want := Objective{Name: "request", Metric: "serve.request.total_ms", Threshold: 2 * time.Second, Target: 0.99}
+	if objs[0] != want {
+		t.Errorf("objective 0: %+v", objs[0])
+	}
+	if objs[1].Threshold != 250*time.Millisecond || objs[1].Target != 0.999 {
+		t.Errorf("objective 1: %+v", objs[1])
+	}
+	for _, bad := range []string{
+		"",
+		"a:b:c",
+		"a:b:2s:1.5",
+		"a:b:2s:0",
+		"a:b:-2s:0.9",
+		"a:b:nope:0.9",
+	} {
+		if _, err := ParseObjectives(bad); err == nil {
+			t.Errorf("ParseObjectives(%q) did not fail", bad)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	reg := stats.NewRegistry()
+	if _, err := New(Config{}); err == nil {
+		t.Error("nil registry accepted")
+	}
+	if _, err := New(Config{Registry: reg, Objectives: []Objective{
+		{Name: "a", Metric: "m", Threshold: time.Second, Target: 0.9},
+		{Name: "a", Metric: "m2", Threshold: time.Second, Target: 0.9},
+	}}); err == nil {
+		t.Error("duplicate objective name accepted")
+	}
+	if _, err := New(Config{Registry: reg, Windows: []BurnWindow{{Short: time.Hour, Long: time.Minute, Factor: 1}}}); err == nil {
+		t.Error("long < short window accepted")
+	}
+}
+
+// fakeClock steps time manually so window arithmetic is deterministic.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+// trackerFixture builds a tracker over one 100ms/0.9 objective with a
+// single {short 1m, long 5m, factor 2} window at 10s sampling.
+func trackerFixture(t *testing.T) (*stats.Registry, *Tracker, *fakeClock) {
+	t.Helper()
+	reg := stats.NewRegistry()
+	clock := &fakeClock{t: time.Unix(1000000, 0)}
+	tk, err := New(Config{
+		Registry:   reg,
+		Objectives: []Objective{{Name: "req", Metric: "lat_ms", Threshold: 100 * time.Millisecond, Target: 0.9}},
+		Windows:    []BurnWindow{{Short: time.Minute, Long: 5 * time.Minute, Factor: 2, Severity: "page"}},
+		Interval:   10 * time.Second,
+		Now:        clock.now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reg, tk, clock
+}
+
+func TestTrackerBurnRates(t *testing.T) {
+	reg, tk, clock := trackerFixture(t)
+
+	// Minute 1: all good (latency 1ms << 100ms threshold).
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 10; j++ {
+			reg.ObserveHistogram("lat_ms", 1.0)
+		}
+		clock.advance(10 * time.Second)
+		tk.Tick()
+	}
+	st := tk.Status()
+	if len(st) != 1 {
+		t.Fatalf("got %d statuses", len(st))
+	}
+	if st[0].Compliance != 1 || st[0].Firing() {
+		t.Fatalf("healthy tracker unhappy: %+v", st[0])
+	}
+	if st[0].Events != 60 || st[0].GoodEvents != 60 {
+		t.Fatalf("events %d/%d, want 60/60", st[0].GoodEvents, st[0].Events)
+	}
+
+	// Minute 2: total outage — every request blows the threshold. Error
+	// rate 1.0 against budget 0.1 is burn 10 >> factor 2 in both windows.
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 10; j++ {
+			reg.ObserveHistogramExemplar("lat_ms", 5000.0, 0xBEEF)
+		}
+		clock.advance(10 * time.Second)
+		tk.Tick()
+	}
+	st = tk.Status()
+	w := st[0].Windows[0]
+	if w.ShortBurn < 9 || w.ShortBurn > 10.5 {
+		t.Errorf("short burn %.2f, want ~10", w.ShortBurn)
+	}
+	if w.LongBurn <= 2 {
+		t.Errorf("long burn %.2f, want > 2", w.LongBurn)
+	}
+	if !w.Firing || !st[0].Firing() {
+		t.Error("outage did not fire the page window")
+	}
+	if st[0].ExemplarTraceID != 0xBEEF {
+		t.Errorf("exemplar %#x, want 0xBEEF", st[0].ExemplarTraceID)
+	}
+	if st[0].BudgetUsed < 4 { // 60 bad / 120 total / 0.1 budget = 5
+		t.Errorf("budget used %.2f, want ~5", st[0].BudgetUsed)
+	}
+
+	// Minutes 3-7: recovery. The short window resets quickly; once the
+	// trailing minute is clean the alert must stop firing even though the
+	// long window still remembers the outage.
+	for i := 0; i < 30; i++ {
+		for j := 0; j < 10; j++ {
+			reg.ObserveHistogram("lat_ms", 1.0)
+		}
+		clock.advance(10 * time.Second)
+		tk.Tick()
+	}
+	st = tk.Status()
+	w = st[0].Windows[0]
+	if w.ShortBurn != 0 {
+		t.Errorf("short burn after recovery %.2f, want 0", w.ShortBurn)
+	}
+	if w.Firing {
+		t.Error("alert still firing after a clean short window")
+	}
+}
+
+func TestTrackerNoTraffic(t *testing.T) {
+	_, tk, clock := trackerFixture(t)
+	clock.advance(10 * time.Minute)
+	tk.Tick()
+	st := tk.Status()
+	if st[0].Compliance != 1 || st[0].Firing() || st[0].BudgetUsed != 0 {
+		t.Fatalf("idle tracker unhappy: %+v", st[0])
+	}
+}
+
+// TestWritePrometheusLint: every slo_* series must pass the strict
+// exposition linter, for the default config and for a custom one with
+// duplicate window durations and severities.
+func TestWritePrometheusLint(t *testing.T) {
+	reg := stats.NewRegistry()
+	reg.ObserveHistogram("serve.request.total_ms", 1.0)
+	tk, err := New(Config{Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	tk.WritePrometheus(&b)
+	if err := stats.LintPrometheusText(strings.NewReader(b.String())); err != nil {
+		t.Fatalf("default config lint: %v\n%s", err, b.String())
+	}
+	for _, series := range []string{
+		"slo_events_total", "slo_good_events_total", "slo_threshold_ms",
+		"slo_target_ratio", "slo_compliance_ratio", "slo_error_budget_used_ratio",
+		"slo_burn_rate", "slo_alert_active", "slo_exemplar_trace_id",
+	} {
+		if !strings.Contains(b.String(), series) {
+			t.Errorf("exposition missing %s", series)
+		}
+	}
+
+	// Degenerate custom config: same duration reused across window pairs
+	// and one severity shared by both — must not emit duplicate series.
+	tk2, err := New(Config{
+		Registry: reg,
+		Windows: []BurnWindow{
+			{Short: time.Minute, Long: time.Hour, Factor: 10, Severity: "page"},
+			{Short: time.Minute, Long: time.Hour, Factor: 2, Severity: "page"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b2 strings.Builder
+	tk2.WritePrometheus(&b2)
+	if err := stats.LintPrometheusText(strings.NewReader(b2.String())); err != nil {
+		t.Fatalf("degenerate config lint: %v\n%s", err, b2.String())
+	}
+
+	var nilTracker *Tracker
+	nilTracker.WritePrometheus(&b2) // must not panic
+}

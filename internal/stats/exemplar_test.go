@@ -1,0 +1,90 @@
+package stats
+
+import "testing"
+
+func TestObserveExemplar(t *testing.T) {
+	var h Histogram
+	h.ObserveExemplar(5.0, 1001)   // ~5ms bucket
+	h.ObserveExemplar(500.0, 1002) // ~500ms bucket
+	h.ObserveExemplar(2.0, 0)      // zero exemplar: plain observation
+	s := h.Snapshot()
+	if s.Count != 3 {
+		t.Fatalf("count %d, want 3", s.Count)
+	}
+	if len(s.Exemplars) != len(s.Counts) {
+		t.Fatalf("exemplars %d vs counts %d", len(s.Exemplars), len(s.Counts))
+	}
+	var found []uint64
+	for _, e := range s.Exemplars {
+		if e != 0 {
+			found = append(found, e)
+		}
+	}
+	if len(found) != 2 {
+		t.Fatalf("stored exemplars %v, want 2", found)
+	}
+}
+
+func TestCountAtMost(t *testing.T) {
+	var h Histogram
+	for _, v := range []float64{0.5, 2.0, 50.0, 3000.0} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	cases := []struct {
+		bound float64
+		want  uint64
+	}{
+		{0.9, 1},      // 0.5 lands in the 0.512 bucket
+		{4.0, 2},      // + 2.0 (bucket 2.048)
+		{100.0, 3},    // + 50.0 (bucket 65.536)
+		{100000.0, 4}, // + 3000 (bucket 4194.304)
+	}
+	for _, c := range cases {
+		if got := s.CountAtMost(c.bound); got != c.want {
+			t.Errorf("CountAtMost(%g) = %d, want %d", c.bound, got, c.want)
+		}
+	}
+	// Conservative on off-grid thresholds: a bound inside a bucket does not
+	// claim that bucket's observations.
+	var h2 Histogram
+	h2.Observe(1.5) // bucket (1.024, 2.048]
+	if got := h2.Snapshot().CountAtMost(1.7); got != 0 {
+		t.Errorf("off-grid CountAtMost = %d, want 0 (conservative)", got)
+	}
+	if got := h2.Snapshot().CountAtMost(2.048); got != 1 {
+		t.Errorf("on-grid CountAtMost = %d, want 1", got)
+	}
+}
+
+func TestExemplarAbove(t *testing.T) {
+	var h Histogram
+	h.ObserveExemplar(0.5, 11)
+	h.ObserveExemplar(100.0, 22)
+	s := h.Snapshot()
+	if got := s.ExemplarAbove(10.0); got != 22 {
+		t.Errorf("ExemplarAbove(10) = %d, want 22", got)
+	}
+	if got := s.ExemplarAbove(1e9); got != 0 {
+		t.Errorf("ExemplarAbove(huge) = %d, want 0", got)
+	}
+	// A snapshot without exemplars (e.g. decoded from older data) is inert.
+	var empty HistogramSnapshot
+	if empty.ExemplarAbove(1) != 0 || empty.CountAtMost(1) != 0 {
+		t.Error("empty snapshot not inert")
+	}
+}
+
+func TestRegistryObserveHistogramExemplar(t *testing.T) {
+	r := NewRegistry()
+	r.ObserveHistogramExemplar("lat_ms", 250.0, 777)
+	s := r.Histogram("lat_ms").Snapshot()
+	if s.Count != 1 {
+		t.Fatalf("count %d", s.Count)
+	}
+	if got := s.ExemplarAbove(100.0); got != 777 {
+		t.Errorf("exemplar %d, want 777", got)
+	}
+	var nilReg *Registry
+	nilReg.ObserveHistogramExemplar("x", 1, 1) // must not panic
+}

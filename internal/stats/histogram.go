@@ -47,6 +47,10 @@ type Histogram struct {
 	sumBits atomic.Uint64
 	minBits atomic.Uint64
 	maxBits atomic.Uint64
+	// exemplars holds, per bucket, the trace ID of the most recent
+	// observation that landed there with a nonzero exemplar — linking a bad
+	// latency bucket to a concrete trace in the flight recorder.
+	exemplars [histBucketCount + 1]atomic.Uint64
 }
 
 func (h *Histogram) init() {
@@ -76,6 +80,19 @@ func (h *Histogram) Observe(x float64) {
 	atomicAddFloat(&h.sumBits, x)
 	atomicMinFloat(&h.minBits, x)
 	atomicMaxFloat(&h.maxBits, x)
+}
+
+// ObserveExemplar is Observe plus an exemplar: a trace ID (or any nonzero
+// correlation key) remembered for the bucket x lands in, last-writer-wins.
+// A zero exemplar degrades to a plain Observe.
+func (h *Histogram) ObserveExemplar(x float64, exemplar uint64) {
+	if math.IsNaN(x) {
+		return
+	}
+	if exemplar != 0 {
+		h.exemplars[bucketIndex(x)].Store(exemplar)
+	}
+	h.Observe(x)
 }
 
 func atomicAddFloat(bits *atomic.Uint64, x float64) {
@@ -115,6 +132,9 @@ type HistogramSnapshot struct {
 	// Min and Max are the extreme observed values (undefined when Count
 	// is 0; use Empty).
 	Min, Max float64
+	// Exemplars holds per-bucket exemplar trace IDs (0 = none recorded);
+	// same indexing as Counts.
+	Exemplars []uint64
 }
 
 // Snapshot copies the histogram's accumulators. The copy is not atomic
@@ -124,14 +144,16 @@ type HistogramSnapshot struct {
 func (h *Histogram) Snapshot() HistogramSnapshot {
 	h.init()
 	s := HistogramSnapshot{
-		Counts: make([]uint64, histBucketCount+1),
-		Count:  h.count.Load(),
-		Sum:    math.Float64frombits(h.sumBits.Load()),
-		Min:    math.Float64frombits(h.minBits.Load()),
-		Max:    math.Float64frombits(h.maxBits.Load()),
+		Counts:    make([]uint64, histBucketCount+1),
+		Count:     h.count.Load(),
+		Sum:       math.Float64frombits(h.sumBits.Load()),
+		Min:       math.Float64frombits(h.minBits.Load()),
+		Max:       math.Float64frombits(h.maxBits.Load()),
+		Exemplars: make([]uint64, histBucketCount+1),
 	}
 	for i := range h.counts {
 		s.Counts[i] = h.counts[i].Load()
+		s.Exemplars[i] = h.exemplars[i].Load()
 	}
 	return s
 }
@@ -145,6 +167,39 @@ func (s HistogramSnapshot) Mean() float64 {
 		return 0
 	}
 	return s.Sum / float64(s.Count)
+}
+
+// CountAtMost returns how many observations fell into buckets whose upper
+// bound is <= bound — the "good event" count for a latency SLO with that
+// threshold. The bound snaps down to the nearest bucket boundary, so pick
+// SLO thresholds on (or near) the power-of-two bucket grid for exact
+// accounting; off-grid thresholds under-count good events (conservative).
+func (s HistogramSnapshot) CountAtMost(bound float64) uint64 {
+	var cum uint64
+	for i, c := range s.Counts {
+		if i < len(histBounds) && histBounds[i] <= bound {
+			cum += c
+		}
+	}
+	return cum
+}
+
+// ExemplarAbove returns the exemplar trace ID recorded in the highest
+// nonempty bucket strictly above bound — a concrete slow request behind an
+// SLO breach — or 0 when none was recorded.
+func (s HistogramSnapshot) ExemplarAbove(bound float64) uint64 {
+	if len(s.Exemplars) == 0 {
+		return 0
+	}
+	for i := len(s.Counts) - 1; i >= 0; i-- {
+		if i < len(histBounds) && histBounds[i] <= bound {
+			break
+		}
+		if s.Exemplars[i] != 0 {
+			return s.Exemplars[i]
+		}
+	}
+	return 0
 }
 
 // Quantile estimates the q-quantile (q in [0, 1]) by linear interpolation

@@ -193,6 +193,15 @@ func (r *Registry) ObserveHistogram(name string, x float64) {
 	r.Histogram(name).Observe(x)
 }
 
+// ObserveHistogramExemplar records one observation with an exemplar trace
+// ID into the named histogram (0 = no exemplar).
+func (r *Registry) ObserveHistogramExemplar(name string, x float64, exemplar uint64) {
+	if r == nil {
+		return
+	}
+	r.Histogram(name).ObserveExemplar(x, exemplar)
+}
+
 // Snapshot renders every metric to a flat name→value map: counters and
 // gauges directly, samples as <name>.count / .mean / .min / .max, and
 // histograms as <name>.count / .mean / .p50 / .p99 / .max. Empty samples

@@ -1,0 +1,131 @@
+package trace
+
+import (
+	crand "crypto/rand"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// Distributed tracing across the wire: one inference's latency lives in two
+// processes — the client encrypts/uploads/decrypts, the server queues,
+// lane-packs and runs the engine. The client mints the trace ID, carries it
+// in the request envelope, the server records its span tree under that ID
+// (StartRemote), and the reply carries the server tree back as a Snapshot
+// the client grafts into its own trace (Graft) — producing one end-to-end
+// tree per request: encrypt → upload → queue → lane → engine layers →
+// decrypt, exportable as a single Chrome trace.
+//
+// Timestamps are absolute wall-clock per process; on one machine (tests,
+// soaks) they align exactly, across machines the client's wait span brackets
+// the server subtree so skew reads as gap, never as overlap corruption.
+
+// Snapshot is the serializable form of a trace's span tree — what a server
+// ships back to the client inside a traced reply envelope.
+type Snapshot struct {
+	ID     uint64    `json:"id"`
+	Name   string    `json:"name"`
+	Start  time.Time `json:"start"`
+	WallNS int64     `json:"wall_ns"`
+	Spans  []Span    `json:"spans"`
+}
+
+// TakeSnapshot copies the trace's identity and spans recorded so far into a
+// Snapshot. Nil-safe: a nil trace yields a nil snapshot.
+func (t *Trace) TakeSnapshot() *Snapshot {
+	if t == nil {
+		return nil
+	}
+	return &Snapshot{
+		ID:     t.ID,
+		Name:   t.Name,
+		Start:  t.Start,
+		WallNS: t.Wall().Nanoseconds(),
+		Spans:  t.Spans(),
+	}
+}
+
+// MarshalSnapshot renders a snapshot as JSON for the wire.
+func MarshalSnapshot(s *Snapshot) ([]byte, error) {
+	return json.Marshal(s)
+}
+
+// RootSpanID is the ID of every trace's root span — the graft point for a
+// server subtree returned over the wire.
+const RootSpanID = rootID
+
+// MaxSnapshotSpans bounds a decoded snapshot: even a deep CNN trace is a
+// few hundred spans, so anything past this is a hostile or corrupted blob.
+const MaxSnapshotSpans = 1 << 16
+
+// UnmarshalSnapshot parses a wire snapshot, bounding the span count before
+// the caller grafts it anywhere.
+func UnmarshalSnapshot(b []byte) (*Snapshot, error) {
+	var s Snapshot
+	if err := json.Unmarshal(b, &s); err != nil {
+		return nil, fmt.Errorf("trace: decoding snapshot: %w", err)
+	}
+	if len(s.Spans) > MaxSnapshotSpans {
+		return nil, fmt.Errorf("trace: snapshot carries %d spans, limit %d", len(s.Spans), MaxSnapshotSpans)
+	}
+	return &s, nil
+}
+
+// Graft splices a remote snapshot into t as a subtree under parent: every
+// remote span is renumbered into t's ID space, parent links are remapped,
+// and spans whose parent is absent from the snapshot (the remote root) hang
+// off the given parent span. Returns the grafted root's new ID (0 when
+// nothing was grafted). Nil-safe on both receiver and snapshot.
+func (t *Trace) Graft(snap *Snapshot, parent SpanID) SpanID {
+	if t == nil || snap == nil || len(snap.Spans) == 0 {
+		return 0
+	}
+	idMap := make(map[SpanID]SpanID, len(snap.Spans))
+	for _, s := range snap.Spans {
+		if _, dup := idMap[s.ID]; dup {
+			continue // corrupted snapshot; keep the first occurrence's mapping
+		}
+		idMap[s.ID] = t.newID()
+	}
+	for _, s := range snap.Spans {
+		ns := s
+		ns.ID = idMap[s.ID]
+		if p, ok := idMap[s.Parent]; ok && s.Parent != 0 && s.Parent != s.ID {
+			ns.Parent = p
+		} else {
+			ns.Parent = parent
+		}
+		t.record(ns)
+	}
+	return idMap[rootID]
+}
+
+// StartRemote opens a trace that joins a distributed trace minted elsewhere:
+// the ID is the caller's (normally carried in from the wire), not drawn from
+// this tracer's counter. The trace is finished and retained through the same
+// Finish path as local traces. Nil-safe: a nil tracer returns a nil trace.
+func (t *Tracer) StartRemote(id uint64, name string) *Trace {
+	if t == nil {
+		return nil
+	}
+	return NewTrace(id, name)
+}
+
+// clientIDMask keeps client-minted trace IDs below 2^52: exact in float64
+// (metric exemplars, JSON) with headroom for the per-tracer counter.
+const clientIDMask = 1<<52 - 1
+
+// NewClientTracer returns a tracer for the client side of the wire. Its
+// trace IDs start from a random base instead of 1, so IDs minted by
+// independent clients landing in one server's flight recorder are unique
+// with overwhelming probability, while staying below 2^53 so they survive
+// float64 round-trips (exemplars, JSON tooling) exactly.
+func NewClientTracer(capacity int) *Tracer {
+	t := NewTracer(capacity)
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err == nil {
+		t.nextID.Store(binary.LittleEndian.Uint64(b[:]) & clientIDMask)
+	}
+	return t
+}

@@ -1,0 +1,156 @@
+package trace
+
+import (
+	"context"
+	"testing"
+)
+
+func finishedTrace(id uint64) *Trace {
+	tr := NewTrace(id, "server")
+	ctx := With(context.Background(), tr)
+	ctx1, queue := StartSpan(ctx, "queue.wait", "serve")
+	queue.End()
+	_, layer := StartSpan(ctx1, "layer.conv", "engine")
+	layer.Arg("lanes", 2).End()
+	tr.Finish()
+	return tr
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	tr := finishedTrace(42)
+	snap := tr.TakeSnapshot()
+	if snap.ID != 42 || snap.Name != "server" || len(snap.Spans) != 3 {
+		t.Fatalf("snapshot %+v", snap)
+	}
+	raw, err := MarshalSnapshot(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalSnapshot(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.ID != snap.ID || len(back.Spans) != len(snap.Spans) {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+	for i, s := range back.Spans {
+		orig := snap.Spans[i]
+		if s.ID != orig.ID || s.Parent != orig.Parent || s.Name != orig.Name ||
+			s.Cat != orig.Cat || s.Dur != orig.Dur || len(s.Args) != len(orig.Args) {
+			t.Errorf("span %d: %+v != %+v", i, s, orig)
+		}
+	}
+	var nilTrace *Trace
+	if nilTrace.TakeSnapshot() != nil {
+		t.Fatal("nil trace produced a snapshot")
+	}
+}
+
+func TestUnmarshalSnapshotBounds(t *testing.T) {
+	if _, err := UnmarshalSnapshot([]byte("{")); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+	big := &Snapshot{ID: 1, Spans: make([]Span, MaxSnapshotSpans+1)}
+	raw, err := MarshalSnapshot(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UnmarshalSnapshot(raw); err == nil {
+		t.Fatal("oversized snapshot accepted")
+	}
+}
+
+// TestGraft splices a server snapshot into a client trace: every remote
+// span must be renumbered into the local ID space with the tree shape
+// preserved, and the remote root must hang off the requested parent.
+func TestGraft(t *testing.T) {
+	remote := finishedTrace(7).TakeSnapshot()
+
+	local := NewTrace(7, "client.infer")
+	ctx := With(context.Background(), local)
+	_, enc := StartSpan(ctx, "client.encrypt", "client")
+	enc.End()
+	grafted := local.Graft(remote, RootSpanID)
+	if grafted == 0 {
+		t.Fatal("graft returned 0")
+	}
+	local.Finish()
+
+	spans := local.Spans()
+	byName := map[string]Span{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	// client.encrypt + 3 remote + root
+	if len(spans) != 5 {
+		t.Fatalf("got %d spans, want 5: %+v", len(spans), spans)
+	}
+	srvRoot, ok := byName["server"]
+	if !ok || srvRoot.ID != grafted || srvRoot.Parent != RootSpanID {
+		t.Fatalf("server root not grafted under client root: %+v", srvRoot)
+	}
+	if byName["queue.wait"].Parent != srvRoot.ID {
+		t.Fatalf("queue.wait parent = %d, want %d", byName["queue.wait"].Parent, srvRoot.ID)
+	}
+	if byName["layer.conv"].Parent != byName["queue.wait"].ID {
+		t.Fatalf("layer.conv parent = %d, want %d", byName["layer.conv"].Parent, byName["queue.wait"].ID)
+	}
+	// Remote IDs were renumbered: no collisions with local span IDs.
+	seen := map[SpanID]bool{}
+	for _, s := range spans {
+		if seen[s.ID] {
+			t.Fatalf("duplicate span ID %d after graft", s.ID)
+		}
+		seen[s.ID] = true
+	}
+	// Nil-safety and empty snapshots.
+	var nilTrace *Trace
+	if nilTrace.Graft(remote, RootSpanID) != 0 {
+		t.Fatal("nil trace grafted")
+	}
+	if local.Graft(nil, RootSpanID) != 0 || local.Graft(&Snapshot{}, RootSpanID) != 0 {
+		t.Fatal("empty snapshot grafted")
+	}
+}
+
+func TestStartRemote(t *testing.T) {
+	tracer := NewTracer(4)
+	tr := tracer.StartRemote(99, "request")
+	if tr == nil || tr.ID != 99 {
+		t.Fatalf("StartRemote: %+v", tr)
+	}
+	tracer.Finish(tr)
+	last := tracer.Last(1)
+	if len(last) != 1 || last[0].ID != 99 {
+		t.Fatalf("remote trace not retained: %+v", last)
+	}
+	var nilTracer *Tracer
+	if nilTracer.StartRemote(1, "x") != nil {
+		t.Fatal("nil tracer started a remote trace")
+	}
+}
+
+func TestFinishIdempotent(t *testing.T) {
+	tracer := NewTracer(4)
+	tr := tracer.Start("req")
+	tracer.Finish(tr)
+	tracer.Finish(tr) // second finish must not double-insert
+	if got := len(tracer.Last(0)); got != 1 {
+		t.Fatalf("double finish retained %d traces, want 1", got)
+	}
+}
+
+func TestNewClientTracerIDs(t *testing.T) {
+	tracer := NewClientTracer(4)
+	for i := 0; i < 4; i++ {
+		tr := tracer.Start("client.infer")
+		if tr.ID == 0 {
+			t.Fatal("client trace ID is 0")
+		}
+		// Exact in float64: survives JSON and exemplar round trips.
+		if tr.ID != uint64(float64(tr.ID)) {
+			t.Fatalf("client trace ID %d not exact in float64", tr.ID)
+		}
+		tracer.Finish(tr)
+	}
+}

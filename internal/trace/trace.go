@@ -34,21 +34,23 @@ const rootID SpanID = 1
 // Arg is one numeric annotation on a span (enclave transition counts,
 // ciphertext counts, injected overhead, ...).
 type Arg struct {
-	Key string
-	Val float64
+	Key string  `json:"k"`
+	Val float64 `json:"v"`
 }
 
-// Span is one finished timed region of a request.
+// Span is one finished timed region of a request. The json tags define the
+// wire form used when a server ships its span subtree back to the client
+// inside a traced reply (see Snapshot in remote.go).
 type Span struct {
-	ID     SpanID
-	Parent SpanID
-	Name   string
+	ID     SpanID `json:"id"`
+	Parent SpanID `json:"parent,omitempty"`
+	Name   string `json:"name"`
 	// Cat groups spans for filtering: "request", "wire", "serve",
-	// "engine", "sgx".
-	Cat   string
-	Start time.Time
-	Dur   time.Duration
-	Args  []Arg
+	// "engine", "sgx", "client".
+	Cat   string        `json:"cat"`
+	Start time.Time     `json:"start"`
+	Dur   time.Duration `json:"dur_ns"`
+	Args  []Arg         `json:"args,omitempty"`
 }
 
 // Trace collects the span tree of one request. Safe for concurrent span
@@ -326,9 +328,14 @@ func (t *Tracer) SetOnFinish(fn func(*Trace)) {
 	t.onFinish.Store(fn)
 }
 
-// Finish closes tr and retains it in the ring buffer.
+// Finish closes tr and retains it in the ring buffer. Idempotent: a trace
+// already finished (e.g. closed early so its snapshot could ride the reply,
+// then hit again by a deferred safety Finish) is not re-inserted.
 func (t *Tracer) Finish(tr *Trace) {
 	if t == nil || tr == nil {
+		return
+	}
+	if tr.Finished() {
 		return
 	}
 	tr.Finish()

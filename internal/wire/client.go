@@ -1,17 +1,22 @@
 package wire
 
 import (
+	"context"
 	"encoding/binary"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"math"
 	"net"
+	"sync"
 
 	"hesgx/internal/attest"
 	"hesgx/internal/core"
 	"hesgx/internal/he"
 	"hesgx/internal/nn"
+	"hesgx/internal/report"
+	"hesgx/internal/trace"
 )
 
 // Client is the smart-device side of the protocol: it attests the edge
@@ -28,6 +33,15 @@ type Client struct {
 	// readBuf is reused across Infer replies so steady-state querying pays
 	// one reply-sized allocation per connection, not per request.
 	readBuf []byte
+	// tracer, when set (WithClientTracer), makes every inference a
+	// distributed trace: the client mints the trace ID, wraps the request
+	// in a MsgTraced envelope, and grafts the server's span subtree from
+	// the reply into one end-to-end trace.
+	tracer *trace.Tracer
+
+	mu         sync.Mutex
+	lastTrace  *trace.Trace
+	lastReport *report.FlightReport
 }
 
 // ClientOption customizes a Client at Dial time — the functional-options
@@ -38,6 +52,79 @@ type ClientOption func(*Client)
 // seeded v2 default — the compatibility path a pre-v2 client exercises.
 func WithLegacyFormat(on bool) ClientOption {
 	return func(c *Client) { c.legacy = on }
+}
+
+// WithClientTracer turns on distributed tracing: the client mints a trace
+// ID per inference, carries it to the server in a MsgTraced envelope, and
+// assembles the returned server span subtree with its own encrypt/upload/
+// wait/decrypt spans into one end-to-end trace, readable via LastTrace and
+// exportable as a single Chrome trace. Pass nil to get a fresh
+// default-sized client tracer. Servers predating the envelope answer
+// traced requests with a bad-request error; clients that must talk to such
+// servers should construct without a tracer.
+func WithClientTracer(tr *trace.Tracer) ClientOption {
+	return func(c *Client) {
+		if tr == nil {
+			tr = trace.NewClientTracer(trace.DefaultBufferSize)
+		}
+		c.tracer = tr
+	}
+}
+
+// Tracer returns the client's tracer (nil when tracing is off) — its ring
+// holds the last assembled end-to-end traces.
+func (c *Client) Tracer() *trace.Tracer { return c.tracer }
+
+// LastTrace returns the most recent inference's assembled end-to-end trace
+// (nil when tracing is off or nothing ran yet). The trace is finished and
+// safe to export.
+func (c *Client) LastTrace() *trace.Trace {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastTrace
+}
+
+// LastReport returns the server flight report carried back by the most
+// recent traced inference (nil when tracing is off, the server has tracing
+// disabled, or nothing ran yet).
+func (c *Client) LastReport() *report.FlightReport {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastReport
+}
+
+// retire finishes a client trace into the tracer ring and publishes it as
+// the last trace. Nil-safe.
+func (c *Client) retire(tr *trace.Trace) {
+	if tr == nil {
+		return
+	}
+	c.tracer.Finish(tr)
+	c.mu.Lock()
+	c.lastTrace = tr
+	c.mu.Unlock()
+}
+
+// absorbTracedBlob grafts the server's span subtree under the client
+// trace's root span and stores the flight report. A malformed or oversized
+// blob is dropped: observability must never fail a request that already
+// succeeded.
+func (c *Client) absorbTracedBlob(tr *trace.Trace, blob []byte) {
+	if tr == nil || len(blob) == 0 {
+		return
+	}
+	var tb tracedBlob
+	if err := json.Unmarshal(blob, &tb); err != nil {
+		return
+	}
+	if tb.Trace != nil && len(tb.Trace.Spans) <= trace.MaxSnapshotSpans {
+		tr.Graft(tb.Trace, trace.RootSpanID)
+	}
+	if tb.Report != nil {
+		c.mu.Lock()
+		c.lastReport = tb.Report
+		c.mu.Unlock()
+	}
 }
 
 // Dial connects to an edge server. The verifier must already trust the
@@ -141,43 +228,76 @@ func (c *Client) Infer(img *nn.Tensor, pixelScale uint64) ([]float64, error) {
 	if !c.Ready() {
 		return nil, fmt.Errorf("wire: attest before inferring")
 	}
+	// With a tracer every call is a distributed trace: spans for the
+	// client-side stages, the trace ID carried in a MsgTraced envelope, the
+	// server subtree grafted back from the reply. Without one, tr is nil
+	// and every span/envelope step no-ops into exactly the untraced wire
+	// exchange.
+	tr := c.tracer.Start("client.infer")
+	defer c.retire(tr)
+	ctx := trace.With(context.Background(), tr)
+	reqType, reqHdr := c.requestFraming(tr, MsgInferRequest)
+
+	_, espan := trace.StartSpan(ctx, "client.encrypt", "client")
+	var upload func() (int, error)
 	if c.legacy {
 		ci, err := c.inner.EncryptImage(img, pixelScale)
 		if err != nil {
+			espan.End()
 			return nil, err
 		}
 		payload, err := core.MarshalCipherImage(ci)
 		if err != nil {
+			espan.End()
 			return nil, err
 		}
-		if err := WriteFrame(c.conn, MsgInferRequest, payload); err != nil {
-			return nil, err
-		}
+		buf := append(reqHdr, payload...)
+		upload = func() (int, error) { return len(buf), WriteFrame(c.conn, reqType, buf) }
 	} else {
 		si, err := c.inner.EncryptImageSeeded(img, pixelScale)
 		if err != nil {
+			espan.End()
 			return nil, err
 		}
-		size := core.SeededCipherImageSize(si)
-		err = WriteFrameFunc(c.conn, MsgInferRequest, size, func(w io.Writer) error {
-			return core.WriteSeededCipherImage(w, si)
-		})
-		if err != nil {
-			// An upload that died mid-stream desynchronized the framing; no
-			// further request can be framed on this connection.
-			var partial *PartialFrameError
-			if errors.As(err, &partial) {
-				_ = c.conn.Close()
-			}
-			return nil, err
+		size := len(reqHdr) + core.SeededCipherImageSize(si)
+		upload = func() (int, error) {
+			return size, WriteFrameFunc(c.conn, reqType, size, func(w io.Writer) error {
+				if len(reqHdr) > 0 {
+					if _, werr := w.Write(reqHdr); werr != nil {
+						return werr
+					}
+				}
+				return core.WriteSeededCipherImage(w, si)
+			})
 		}
 	}
+	espan.End()
+
+	_, uspan := trace.StartSpan(ctx, "client.upload", "client")
+	n, err := upload()
+	uspan.Arg("bytes", float64(n)).End()
+	if err != nil {
+		// An upload that died mid-stream desynchronized the framing; no
+		// further request can be framed on this connection.
+		var partial *PartialFrameError
+		if errors.As(err, &partial) {
+			_ = c.conn.Close()
+		}
+		return nil, err
+	}
+
+	_, wspan := trace.StartSpan(ctx, "client.wait", "client")
 	t, reply, err := ReadFrameReuse(c.conn, c.readBuf)
+	wspan.End()
 	if err != nil {
 		return nil, err
 	}
 	if cap(reply) > cap(c.readBuf) {
 		c.readBuf = reply[:cap(reply)]
+	}
+	t, reply, err = c.openReply(tr, t, reply)
+	if err != nil {
+		return nil, err
 	}
 	if t == MsgError {
 		// Surface the typed failure: callers branch on *ServerError (e.g.
@@ -194,11 +314,38 @@ func (c *Client) Infer(img *nn.Tensor, pixelScale uint64) ([]float64, error) {
 	if outScale <= 0 || math.IsNaN(outScale) || math.IsInf(outScale, 0) {
 		return nil, fmt.Errorf("wire: invalid output scale %g", outScale)
 	}
+	_, dspan := trace.StartSpan(ctx, "client.decrypt", "client")
+	defer dspan.End()
 	logits, err := core.UnmarshalCiphertextBatchAny(reply[8:], c.inner.Params)
 	if err != nil {
 		return nil, err
 	}
 	return c.inner.DecryptLogits(logits, outScale)
+}
+
+// requestFraming resolves a request's frame type and envelope header: the
+// traced envelope when tr is live, the plain inner type otherwise.
+func (c *Client) requestFraming(tr *trace.Trace, inner MsgType) (MsgType, []byte) {
+	if tr == nil {
+		return inner, nil
+	}
+	return MsgTraced, AppendTracedHeader(nil, inner, tr.ID, TracedFlagReturnSpans)
+}
+
+// openReply unwraps a MsgTracedReply envelope: the blob is absorbed into
+// the client trace and the inner type/payload are returned. Plain frames
+// (including MsgError — servers never envelope errors) pass through
+// untouched.
+func (c *Client) openReply(tr *trace.Trace, t MsgType, reply []byte) (MsgType, []byte, error) {
+	if t != MsgTracedReply {
+		return t, reply, nil
+	}
+	inner, blob, rest, err := ParseTracedReplyHeader(reply)
+	if err != nil {
+		return 0, nil, err
+	}
+	c.absorbTracedBlob(tr, blob)
+	return inner, rest, nil
 }
 
 // InferBatch slot-packs a batch of same-shape images into shared
@@ -222,48 +369,75 @@ func (c *Client) InferBatch(imgs []*nn.Tensor, pixelScale uint64) ([][]float64, 
 		}
 		return [][]float64{logits}, nil
 	}
+	tr := c.tracer.Start("client.infer_batch")
+	defer c.retire(tr)
+	ctx := trace.With(context.Background(), tr)
+	reqType, reqHdr := c.requestFraming(tr, MsgInferBatchRequest)
+
+	_, espan := trace.StartSpan(ctx, "client.encrypt", "client")
 	ci, err := c.inner.EncryptImages(imgs, pixelScale)
 	if err != nil {
+		espan.End()
 		return nil, err
 	}
 	lanes := ci.Lanes
 	var laneHdr [4]byte
 	binary.LittleEndian.PutUint32(laneHdr[:], uint32(lanes))
+	var upload func() (int, error)
 	if c.legacy {
 		payload, err := core.MarshalCipherImage(ci)
 		if err != nil {
+			espan.End()
 			return nil, err
 		}
-		buf := make([]byte, 0, 4+len(payload))
+		buf := make([]byte, 0, len(reqHdr)+4+len(payload))
+		buf = append(buf, reqHdr...)
 		buf = append(buf, laneHdr[:]...)
 		buf = append(buf, payload...)
-		if err := WriteFrame(c.conn, MsgInferBatchRequest, buf); err != nil {
-			return nil, err
-		}
+		upload = func() (int, error) { return len(buf), WriteFrame(c.conn, reqType, buf) }
 	} else {
-		size := 4 + core.CipherImagePackedSize(ci)
-		err = WriteFrameFunc(c.conn, MsgInferBatchRequest, size, func(w io.Writer) error {
-			if _, err := w.Write(laneHdr[:]); err != nil {
-				return err
-			}
-			return core.WriteCipherImagePacked(w, ci)
-		})
-		if err != nil {
-			// An upload that died mid-stream desynchronized the framing; no
-			// further request can be framed on this connection.
-			var partial *PartialFrameError
-			if errors.As(err, &partial) {
-				_ = c.conn.Close()
-			}
-			return nil, err
+		size := len(reqHdr) + 4 + core.CipherImagePackedSize(ci)
+		upload = func() (int, error) {
+			return size, WriteFrameFunc(c.conn, reqType, size, func(w io.Writer) error {
+				if len(reqHdr) > 0 {
+					if _, werr := w.Write(reqHdr); werr != nil {
+						return werr
+					}
+				}
+				if _, werr := w.Write(laneHdr[:]); werr != nil {
+					return werr
+				}
+				return core.WriteCipherImagePacked(w, ci)
+			})
 		}
 	}
+	espan.Arg("lanes", float64(lanes)).End()
+
+	_, uspan := trace.StartSpan(ctx, "client.upload", "client")
+	n, err := upload()
+	uspan.Arg("bytes", float64(n)).End()
+	if err != nil {
+		// An upload that died mid-stream desynchronized the framing; no
+		// further request can be framed on this connection.
+		var partial *PartialFrameError
+		if errors.As(err, &partial) {
+			_ = c.conn.Close()
+		}
+		return nil, err
+	}
+
+	_, wspan := trace.StartSpan(ctx, "client.wait", "client")
 	t, reply, err := ReadFrameReuse(c.conn, c.readBuf)
+	wspan.End()
 	if err != nil {
 		return nil, err
 	}
 	if cap(reply) > cap(c.readBuf) {
 		c.readBuf = reply[:cap(reply)]
+	}
+	t, reply, err = c.openReply(tr, t, reply)
+	if err != nil {
+		return nil, err
 	}
 	if t == MsgError {
 		return nil, DecodeError(reply)
@@ -282,6 +456,8 @@ func (c *Client) InferBatch(imgs []*nn.Tensor, pixelScale uint64) ([][]float64, 
 	if outScale <= 0 || math.IsNaN(outScale) || math.IsInf(outScale, 0) {
 		return nil, fmt.Errorf("wire: invalid output scale %g", outScale)
 	}
+	_, dspan := trace.StartSpan(ctx, "client.decrypt", "client")
+	defer dspan.End()
 	cts, err := core.UnmarshalCiphertextBatchAny(reply[12:], c.inner.Params)
 	if err != nil {
 		return nil, err

@@ -65,7 +65,7 @@ func testStackLanes(t *testing.T) (addr string, st *pipelineStack, service *serv
 		serve.WithSchedulerConfig(serve.SchedulerConfig{Workers: 2, QueueDepth: 64}),
 		serve.WithLaneConfig(serve.LaneConfig{MaxLanes: 16, MinLanes: 2, Window: 10 * time.Millisecond}))
 	srv, err := NewServer(svc, engine, slog.New(slog.NewTextHandler(testWriter{t}, nil)),
-		WithMetrics(st.metrics), WithService(service))
+		WithMetrics(st.metrics), WithService(service), WithTracer(service.Tracer))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -49,7 +49,72 @@ const (
 	// slot-packed logits batch — slot k of each logit ciphertext belongs to
 	// lane k.
 	MsgInferBatchReply
+	// MsgTraced: client → server. Distributed-trace envelope around an
+	// inference request: [inner MsgType u8][trace ID u64 LE, nonzero]
+	// [flags u8][inner payload]. The server joins its span tree under the
+	// client-minted trace ID instead of minting its own. Only
+	// MsgInferRequest and MsgInferBatchRequest may be wrapped. Servers
+	// predating this envelope answer it with a bad-request MsgError, which
+	// clients treat as "speak untraced to this server".
+	MsgTraced
+	// MsgTracedReply: server → client. Envelope around the inner reply:
+	// [inner MsgType u8][blob length u32 LE][JSON blob][inner reply
+	// payload]. The blob carries the server's span subtree and flight
+	// report ({"trace": ..., "report": ...}); length 0 means the server had
+	// tracing disabled or the request did not ask for spans. Errors are
+	// never enveloped — a failed traced request gets a plain MsgError.
+	MsgTracedReply
 )
+
+// Traced-envelope framing constants.
+const (
+	// TracedHeaderSize is the MsgTraced header: inner type (1) + trace ID
+	// (8) + flags (1).
+	TracedHeaderSize = 10
+	// TracedReplyHeaderSize is the MsgTracedReply fixed header: inner type
+	// (1) + blob length (4).
+	TracedReplyHeaderSize = 5
+	// TracedFlagReturnSpans asks the server to ship its span subtree and
+	// flight report back in the reply envelope.
+	TracedFlagReturnSpans = 1 << 0
+)
+
+// AppendTracedHeader appends a MsgTraced envelope header for the given
+// inner message.
+func AppendTracedHeader(dst []byte, inner MsgType, traceID uint64, flags uint8) []byte {
+	dst = append(dst, byte(inner))
+	dst = binary.LittleEndian.AppendUint64(dst, traceID)
+	return append(dst, flags)
+}
+
+// ParseTracedHeader splits a MsgTraced payload into its envelope fields and
+// the inner payload. The inner payload aliases p.
+func ParseTracedHeader(p []byte) (inner MsgType, traceID uint64, flags uint8, rest []byte, err error) {
+	if len(p) < TracedHeaderSize {
+		return 0, 0, 0, nil, fmt.Errorf("wire: traced envelope needs %d header bytes, got %d", TracedHeaderSize, len(p))
+	}
+	inner = MsgType(p[0])
+	traceID = binary.LittleEndian.Uint64(p[1:9])
+	if traceID == 0 {
+		return 0, 0, 0, nil, fmt.Errorf("wire: traced envelope carries zero trace ID")
+	}
+	return inner, traceID, p[9], p[TracedHeaderSize:], nil
+}
+
+// ParseTracedReplyHeader splits a MsgTracedReply payload into the inner
+// reply type, the trace/report blob, and the inner reply payload. Both
+// returned slices alias p.
+func ParseTracedReplyHeader(p []byte) (inner MsgType, blob, rest []byte, err error) {
+	if len(p) < TracedReplyHeaderSize {
+		return 0, nil, nil, fmt.Errorf("wire: traced reply needs %d header bytes, got %d", TracedReplyHeaderSize, len(p))
+	}
+	inner = MsgType(p[0])
+	n := binary.LittleEndian.Uint32(p[1:5])
+	if int(n) > len(p)-TracedReplyHeaderSize {
+		return 0, nil, nil, fmt.Errorf("wire: traced reply declares %d blob bytes, only %d remain", n, len(p)-TracedReplyHeaderSize)
+	}
+	return inner, p[TracedReplyHeaderSize : TracedReplyHeaderSize+int(n)], p[TracedReplyHeaderSize+int(n):], nil
+}
 
 // ErrCode classifies a MsgError frame so clients can distinguish their own
 // mistakes from server-side load shedding or shutdown without parsing

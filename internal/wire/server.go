@@ -3,6 +3,7 @@ package wire
 import (
 	"context"
 	"encoding/binary"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -13,6 +14,7 @@ import (
 	"hesgx/internal/attest"
 	"hesgx/internal/core"
 	"hesgx/internal/he"
+	"hesgx/internal/report"
 	"hesgx/internal/serve"
 	"hesgx/internal/stats"
 	"hesgx/internal/trace"
@@ -166,10 +168,17 @@ func (s *Server) handle(ctx context.Context, conn net.Conn) error {
 	for {
 		t, payload, err := ReadFrameReuse(conn, payloadBuf)
 		if err != nil {
-			if errors.Is(err, net.ErrClosed) {
-				return nil
+			if errors.Is(err, net.ErrClosed) || errors.Is(err, io.EOF) {
+				return nil // clean close (client done, or shutdown)
 			}
-			return nil // client closed or garbled; nothing more to do
+			// A garbled or truncated frame has no request context yet, so the
+			// record carries trace_id=0; the remote address is what makes
+			// pre-handshake failures attributable.
+			s.logger.Warn("dropping connection on unreadable frame",
+				"remote", conn.RemoteAddr(),
+				"trace_id", uint64(0),
+				"err", err)
+			return nil
 		}
 		if cap(payload) > cap(payloadBuf) {
 			payloadBuf = payload[:cap(payload)]
@@ -269,6 +278,8 @@ func (s *Server) dispatch(ctx context.Context, conn net.Conn, t MsgType, payload
 		return s.handleInfer(ctx, conn, payload)
 	case MsgInferBatchRequest:
 		return s.handleInferBatch(ctx, conn, payload)
+	case MsgTraced:
+		return s.handleTraced(ctx, conn, payload)
 	default:
 		return &badRequestError{fmt.Errorf("wire: unexpected message type %d", t)}
 	}
@@ -311,13 +322,88 @@ func (s *Server) handleInfer(ctx context.Context, conn net.Conn, payload []byte)
 	tr := s.tracer.Start("request")
 	ctx = trace.With(ctx, tr)
 	defer s.tracer.Finish(tr)
-	if err := s.serveInfer(ctx, conn, payload); err != nil {
+	if err := s.serveInfer(ctx, conn, payload, nil); err != nil {
 		return &tracedError{traceID: trace.ID(ctx), err: err}
 	}
 	return nil
 }
 
-func (s *Server) serveInfer(ctx context.Context, conn net.Conn, payload []byte) error {
+// handleTraced serves a distributed-trace envelope: the server's span tree
+// joins the client-minted trace ID, and the reply (enveloped as
+// MsgTracedReply) carries the server's spans + flight report back for the
+// client to graft into its own trace.
+func (s *Server) handleTraced(ctx context.Context, conn net.Conn, payload []byte) error {
+	inner, id, flags, rest, err := ParseTracedHeader(payload)
+	if err != nil {
+		return &badRequestError{err}
+	}
+	s.metrics.Counter("wire.requests_traced").Inc()
+	tr := s.tracer.StartRemote(id, "request")
+	ctx = trace.With(ctx, tr)
+	// Safety net: the reply path finishes the trace itself (its snapshot
+	// must ride the reply), making this a no-op; on error paths it retains
+	// the partial trace.
+	defer s.tracer.Finish(tr)
+	env := &replyEnvelope{srv: s, tr: tr, withSpans: flags&TracedFlagReturnSpans != 0}
+	switch inner {
+	case MsgInferRequest:
+		err = s.serveInfer(ctx, conn, rest, env)
+	case MsgInferBatchRequest:
+		err = s.serveInferBatch(ctx, conn, rest, env)
+	default:
+		err = &badRequestError{fmt.Errorf("wire: message type %d cannot carry trace context", inner)}
+	}
+	if err != nil {
+		return &tracedError{traceID: id, err: err}
+	}
+	return nil
+}
+
+// replyEnvelope carries the traced-request reply context: when set, the
+// serve paths wrap their reply in MsgTracedReply with the trace blob.
+type replyEnvelope struct {
+	srv       *Server
+	tr        *trace.Trace
+	withSpans bool
+}
+
+// tracedBlob is the JSON payload of a MsgTracedReply envelope.
+type tracedBlob struct {
+	Trace  *trace.Snapshot      `json:"trace,omitempty"`
+	Report *report.FlightReport `json:"report,omitempty"`
+}
+
+// prefix renders the MsgTracedReply header + blob for an inner reply type.
+// It finishes the trace first (through the tracer, so the flight recorder
+// and report hook see it) — the snapshot must be complete before the reply
+// frame carrying it is encoded, which is why a traced trace's span tree
+// ends at the reply-encode boundary rather than after it: the client's
+// wait span covers the encode + network time from the outside.
+func (e *replyEnvelope) prefix(inner MsgType) []byte {
+	var blob []byte
+	if e.withSpans && e.tr != nil {
+		e.srv.tracer.Finish(e.tr)
+		b := tracedBlob{Trace: e.tr.TakeSnapshot(), Report: report.FromTrace(e.tr)}
+		if j, err := json.Marshal(b); err == nil {
+			blob = j
+		}
+	}
+	p := make([]byte, TracedReplyHeaderSize, TracedReplyHeaderSize+len(blob))
+	p[0] = byte(inner)
+	binary.LittleEndian.PutUint32(p[1:5], uint32(len(blob)))
+	return append(p, blob...)
+}
+
+// replyFraming resolves how a serve path frames its reply: enveloped with
+// the trace blob when env is set, the plain inner type otherwise.
+func (e *replyEnvelope) replyFraming(inner MsgType) (MsgType, []byte) {
+	if e == nil {
+		return inner, nil
+	}
+	return MsgTracedReply, e.prefix(inner)
+}
+
+func (s *Server) serveInfer(ctx context.Context, conn net.Conn, payload []byte, env *replyEnvelope) error {
 	// Version negotiation happens per request: the decoder reports which
 	// wire format arrived (legacy fixed-width v1 or seeded/packed v2) and
 	// the reply mirrors it, so legacy clients keep talking to this server
@@ -338,13 +424,22 @@ func (s *Server) serveInfer(ctx context.Context, conn net.Conn, payload []byte) 
 	if err != nil {
 		return fmt.Errorf("wire: inference: %w", err)
 	}
+	// For traced requests the envelope prefix is rendered first: it finishes
+	// the trace and snapshots it, so the blob reflects the complete server
+	// span tree before any reply byte hits the wire.
+	replyType, prefix := env.replyFraming(MsgInferReply)
 	_, espan := trace.StartSpan(ctx, "wire.encode", "wire")
 	var replyLen int
 	if version == core.WireV2 {
 		// Packed batch, streamed straight to the connection: the exact size
 		// is known up front, so no intermediate buffer is materialized.
-		replyLen = 8 + core.CiphertextBatchPackedSize(logits)
-		err = WriteFrameFunc(conn, MsgInferReply, replyLen, func(w io.Writer) error {
+		replyLen = len(prefix) + 8 + core.CiphertextBatchPackedSize(logits)
+		err = WriteFrameFunc(conn, replyType, replyLen, func(w io.Writer) error {
+			if len(prefix) > 0 {
+				if _, werr := w.Write(prefix); werr != nil {
+					return werr
+				}
+			}
 			if _, werr := w.Write(float64Bytes(outScale)); werr != nil {
 				return werr
 			}
@@ -356,11 +451,12 @@ func (s *Server) serveInfer(ctx context.Context, conn net.Conn, payload []byte) 
 			espan.End()
 			return err
 		}
-		out := make([]byte, 0, 8+len(batch))
+		out := make([]byte, 0, len(prefix)+8+len(batch))
+		out = append(out, prefix...)
 		out = appendFloat64(out, outScale)
 		out = append(out, batch...)
 		replyLen = len(out)
-		err = WriteFrame(conn, MsgInferReply, out)
+		err = WriteFrame(conn, replyType, out)
 	}
 	espan.Arg("bytes", float64(replyLen)).End()
 	if err != nil {
@@ -396,7 +492,7 @@ func (s *Server) handleInferBatch(ctx context.Context, conn net.Conn, payload []
 	tr := s.tracer.Start("request")
 	ctx = trace.With(ctx, tr)
 	defer s.tracer.Finish(tr)
-	if err := s.serveInferBatch(ctx, conn, payload); err != nil {
+	if err := s.serveInferBatch(ctx, conn, payload, nil); err != nil {
 		return &tracedError{traceID: trace.ID(ctx), err: err}
 	}
 	return nil
@@ -406,7 +502,7 @@ func (s *Server) handleInferBatch(ctx context.Context, conn net.Conn, payload []
 // count is stamped onto the decoded image so the engine runs one
 // slot-vector pass, and the reply echoes the lane count ahead of the
 // packed logits, mirroring the request's wire version.
-func (s *Server) serveInferBatch(ctx context.Context, conn net.Conn, payload []byte) error {
+func (s *Server) serveInferBatch(ctx context.Context, conn net.Conn, payload []byte, env *replyEnvelope) error {
 	_, dspan := trace.StartSpan(ctx, "wire.decode", "wire")
 	if len(payload) < 4 {
 		dspan.End()
@@ -432,13 +528,19 @@ func (s *Server) serveInferBatch(ctx context.Context, conn net.Conn, payload []b
 	if err != nil {
 		return fmt.Errorf("wire: inference: %w", err)
 	}
+	replyType, prefix := env.replyFraming(MsgInferBatchReply)
 	_, espan := trace.StartSpan(ctx, "wire.encode", "wire")
 	var laneHdr [4]byte
 	binary.LittleEndian.PutUint32(laneHdr[:], uint32(lanes))
 	var replyLen int
 	if version == core.WireV2 {
-		replyLen = 4 + 8 + core.CiphertextBatchPackedSize(logits)
-		err = WriteFrameFunc(conn, MsgInferBatchReply, replyLen, func(w io.Writer) error {
+		replyLen = len(prefix) + 4 + 8 + core.CiphertextBatchPackedSize(logits)
+		err = WriteFrameFunc(conn, replyType, replyLen, func(w io.Writer) error {
+			if len(prefix) > 0 {
+				if _, werr := w.Write(prefix); werr != nil {
+					return werr
+				}
+			}
 			if _, werr := w.Write(laneHdr[:]); werr != nil {
 				return werr
 			}
@@ -453,12 +555,13 @@ func (s *Server) serveInferBatch(ctx context.Context, conn net.Conn, payload []b
 			espan.End()
 			return err
 		}
-		out := make([]byte, 0, 4+8+len(batch))
+		out := make([]byte, 0, len(prefix)+4+8+len(batch))
+		out = append(out, prefix...)
 		out = append(out, laneHdr[:]...)
 		out = appendFloat64(out, outScale)
 		out = append(out, batch...)
 		replyLen = len(out)
-		err = WriteFrame(conn, MsgInferBatchReply, out)
+		err = WriteFrame(conn, replyType, out)
 	}
 	espan.Arg("bytes", float64(replyLen)).End()
 	if err != nil {

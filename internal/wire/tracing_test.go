@@ -1,0 +1,225 @@
+package wire
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"hesgx/internal/nn"
+	"hesgx/internal/trace"
+)
+
+// spanIndex folds a trace's spans into name → span with parent-chain
+// helpers for tree assertions.
+type spanIndex map[string]trace.Span
+
+func indexSpans(t *testing.T, tr *trace.Trace) spanIndex {
+	t.Helper()
+	if tr == nil {
+		t.Fatal("no trace assembled")
+	}
+	idx := spanIndex{}
+	for _, s := range tr.Spans() {
+		idx[s.Name] = s
+	}
+	return idx
+}
+
+// chainsToRoot walks parent links from the named span to the trace root.
+func (idx spanIndex) chainsToRoot(t *testing.T, name string) {
+	t.Helper()
+	s, ok := idx[name]
+	if !ok {
+		t.Fatalf("span %q missing; have %v", name, idx.names())
+	}
+	byID := map[trace.SpanID]trace.Span{}
+	for _, sp := range idx {
+		byID[sp.ID] = sp
+	}
+	for hops := 0; s.Parent != 0; hops++ {
+		if hops > len(idx) {
+			t.Fatalf("span %q: parent cycle", name)
+		}
+		parent, ok := byID[s.Parent]
+		if !ok {
+			t.Fatalf("span %q: dangling parent %d", name, s.Parent)
+		}
+		s = parent
+	}
+	if s.ID != trace.RootSpanID {
+		t.Fatalf("span %q does not chain to the root span", name)
+	}
+}
+
+func (idx spanIndex) names() []string {
+	out := make([]string, 0, len(idx))
+	for n := range idx {
+		out = append(out, n)
+	}
+	return out
+}
+
+// TestEndToEndTrace is the PR's acceptance test: two concurrent traced
+// clients over real TCP must each assemble ONE trace tree under their own
+// client-minted ID containing both client-side spans (encrypt, upload,
+// wait, decrypt) and server-side spans (queue, lane, engine layers), and
+// the server's flight recorder must retain the same client-minted IDs.
+func TestEndToEndTrace(t *testing.T) {
+	addr, _, service, shutdown := testStackLanes(t)
+	defer shutdown()
+
+	const clients = 2
+	traces := make([]*trace.Trace, clients)
+	ids := make([]uint64, clients)
+	var ready, done sync.WaitGroup
+	start := make(chan struct{})
+	ready.Add(clients)
+	done.Add(clients)
+	for i := 0; i < clients; i++ {
+		client := attestedClient(t, addr, WithClientTracer(nil))
+		go func(i int, client *Client) {
+			defer done.Done()
+			ready.Done()
+			<-start // attest first, infer together: the lane packs both
+			img := testImage(uint64(10 + i))
+			if _, err := client.Infer(img, 63); err != nil {
+				t.Errorf("client %d: %v", i, err)
+				return
+			}
+			traces[i] = client.LastTrace()
+			if rep := client.LastReport(); rep == nil {
+				t.Errorf("client %d: no flight report returned", i)
+			} else if rep.Lanes < 1 {
+				t.Errorf("client %d: report lanes %d", i, rep.Lanes)
+			}
+		}(i, client)
+	}
+	ready.Wait()
+	close(start)
+	done.Wait()
+
+	for i, tr := range traces {
+		idx := indexSpans(t, tr)
+		ids[i] = tr.ID
+		// Client-side spans.
+		for _, name := range []string{"client.encrypt", "client.upload", "client.wait", "client.decrypt"} {
+			idx.chainsToRoot(t, name)
+			if idx[name].Cat != "client" {
+				t.Errorf("span %s cat %q, want client", name, idx[name].Cat)
+			}
+		}
+		// Server-side spans, grafted under the same root.
+		for _, name := range []string{"queue.wait", "infer.run"} {
+			idx.chainsToRoot(t, name)
+		}
+		var layers int
+		for name, s := range idx {
+			if strings.HasPrefix(name, "layer.") && s.Cat == "engine" {
+				layers++
+				idx.chainsToRoot(t, name)
+			}
+		}
+		if layers < 5 {
+			t.Errorf("trace %d: %d engine layer spans, want the full model (5)", i, layers)
+		}
+	}
+	if ids[0] == ids[1] {
+		t.Fatalf("both clients minted trace ID %d", ids[0])
+	}
+
+	// The server's flight recorder retained the same client-minted IDs.
+	retained := map[uint64]bool{}
+	for _, tr := range service.Tracer.Last(0) {
+		retained[tr.ID] = true
+	}
+	for i, id := range ids {
+		if !retained[id] {
+			t.Errorf("server flight recorder missing client %d's trace ID %d", i, id)
+		}
+	}
+}
+
+// TestLegacyClientStillTraced: an untraced (pre-PR7) client is served
+// exactly as before, while the server still records a server-minted trace
+// for its request.
+func TestLegacyClientStillTraced(t *testing.T) {
+	addr, _, service, shutdown := testStackLanes(t)
+	defer shutdown()
+	client := attestedClient(t, addr) // no WithClientTracer: plain frames
+
+	out, err := client.Infer(testImage(5), 63)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 4 {
+		t.Fatalf("got %d logits", len(out))
+	}
+	if client.LastTrace() != nil {
+		t.Fatal("untraced client assembled a trace")
+	}
+	last := service.Tracer.Last(1)
+	if len(last) != 1 {
+		t.Fatal("server recorded no trace for the legacy request")
+	}
+	idx := indexSpans(t, last[0])
+	if _, ok := idx["queue.wait"]; !ok {
+		t.Errorf("server-side trace missing queue.wait: %v", idx.names())
+	}
+}
+
+// TestTracedBatchRoundTrip: the traced envelope composes with client-side
+// lane batches and returns a joined trace for the batch.
+func TestTracedBatchRoundTrip(t *testing.T) {
+	addr, _, _, shutdown := testStackLanes(t)
+	defer shutdown()
+	client := attestedClient(t, addr, WithClientTracer(nil))
+
+	imgs := []*nn.Tensor{testImage(21), testImage(22), testImage(23)}
+	rows, err := client.InferBatch(imgs, 63)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(imgs) {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	idx := indexSpans(t, client.LastTrace())
+	for _, name := range []string{"client.encrypt", "client.upload", "client.wait", "client.decrypt", "infer.run"} {
+		idx.chainsToRoot(t, name)
+	}
+	if rep := client.LastReport(); rep == nil || rep.Lanes != len(imgs) {
+		t.Fatalf("batch flight report %+v, want lanes %d", rep, len(imgs))
+	}
+}
+
+// TestTracedHeaderRoundTrip exercises the envelope codec edges.
+func TestTracedHeaderRoundTrip(t *testing.T) {
+	hdr := AppendTracedHeader(nil, MsgInferRequest, 0xABCD, TracedFlagReturnSpans)
+	hdr = append(hdr, 1, 2, 3)
+	inner, id, flags, rest, err := ParseTracedHeader(hdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inner != MsgInferRequest || id != 0xABCD || flags != TracedFlagReturnSpans || len(rest) != 3 {
+		t.Fatalf("round trip: inner=%d id=%#x flags=%d rest=%d", inner, id, flags, len(rest))
+	}
+	if _, _, _, _, err := ParseTracedHeader(hdr[:5]); err == nil {
+		t.Error("short header accepted")
+	}
+	if _, _, _, _, err := ParseTracedHeader(AppendTracedHeader(nil, MsgInferRequest, 0, 0)); err == nil {
+		t.Error("zero trace ID accepted")
+	}
+
+	blob := []byte(`{"trace":null}`)
+	reply := append([]byte{byte(MsgInferReply), 14, 0, 0, 0}, blob...)
+	reply = append(reply, 9, 9)
+	rinner, rblob, rrest, err := ParseTracedReplyHeader(reply)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rinner != MsgInferReply || string(rblob) != string(blob) || len(rrest) != 2 {
+		t.Fatalf("reply round trip: %d %q %d", rinner, rblob, len(rrest))
+	}
+	if _, _, _, err := ParseTracedReplyHeader([]byte{byte(MsgInferReply), 200, 0, 0, 0, 1}); err == nil {
+		t.Error("blob length past payload accepted")
+	}
+}
