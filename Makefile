@@ -45,6 +45,10 @@ bench-json:
 	$(GO) test -run '^$$' -bench 'BenchmarkLaneServing64' -benchtime 1x -timeout 30m . \
 		| $(GO) run ./cmd/hesgx-bench2json -o BENCH_PR6.json
 	@cat BENCH_PR6.json
+	$(GO) test -run '^$$' -bench 'Benchmark(MulRNSvsU128|MulRNS2048|MulRNS8192|RelinRNS2048|RelinRNS8192)$$' \
+		-benchtime 30x -timeout 30m . \
+		| $(GO) run ./cmd/hesgx-bench2json -o BENCH_PR8.json
+	@cat BENCH_PR8.json
 
 # One-iteration pass over every benchmark — CI smoke that the bench code
 # still compiles and runs, without paying for stable timings.
@@ -67,6 +71,12 @@ bench-regression:
 	$(GO) run ./cmd/hesgx-benchdiff -base BENCH_PR6.json \
 		-new /tmp/hesgx-bench-lanes.json -max-ratio 2.0 -metrics ns/op \
 		-min-ratio 0.5 -min-metrics lane_images/sec,speedup_x
+	$(GO) test -run '^$$' -bench 'BenchmarkMulRNSvsU128$$' -benchtime 30x . \
+		| $(GO) run ./cmd/hesgx-bench2json -o /tmp/hesgx-bench-rns.json
+	$(GO) run ./cmd/hesgx-benchdiff -base BENCH_PR8.json \
+		-new /tmp/hesgx-bench-rns.json -max-ratio 2.0 -metrics rns_ns/op \
+		-min-ratio 0.5 -min-metrics speedup_x \
+		-floor 2.0 -floor-metrics speedup_x
 	$(MAKE) soak SOAK_DURATION=5s
 
 # End-to-end latency under load: drive an in-process reference server with

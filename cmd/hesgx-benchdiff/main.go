@@ -11,10 +11,16 @@
 //	hesgx-benchdiff -base BENCH_PR4.json -new /tmp/bench.json
 //	                [-max-ratio 2.0] [-metrics ns/op,bytes/image]
 //	                [-min-ratio 0.5] [-min-metrics lane_images/sec,speedup_x]
+//	                [-floor 2.0] [-floor-metrics speedup_x]
 //
 // -metrics gates lower-is-better series (latency, bytes): fail when
 // new/base exceeds -max-ratio. -min-metrics gates higher-is-better series
 // (throughput, speedups): fail when new/base falls below -min-ratio.
+// -floor-metrics gates against an absolute value rather than the baseline:
+// fail when the new run's metric falls below -floor, regardless of what the
+// baseline recorded — the gate for hard acceptance criteria ("the RNS
+// multiply must stay ≥2× faster than the u128 path") that must not erode
+// through a sequence of small tolerated regressions.
 //
 // Benchmarks present in the baseline but missing from the new report (or
 // vice versa) warn without failing: renames and coverage changes are PR
@@ -53,6 +59,8 @@ func main() {
 	metricList := flag.String("metrics", "ns/op,bytes/image", "comma-separated metrics to gate (lower is better)")
 	minRatio := flag.Float64("min-ratio", 0.5, "fail when new/base falls below this ratio for a -min-metrics metric")
 	minMetricList := flag.String("min-metrics", "", "comma-separated metrics to gate as higher-is-better (throughput, speedups)")
+	floorValue := flag.Float64("floor", 0, "fail when a -floor-metrics metric in the new report falls below this absolute value")
+	floorMetricList := flag.String("floor-metrics", "", "comma-separated metrics to gate against the absolute -floor value (higher is better)")
 	flag.Parse()
 	if *basePath == "" || *newPath == "" {
 		fmt.Fprintln(os.Stderr, "hesgx-benchdiff: -base and -new are required")
@@ -90,6 +98,12 @@ func main() {
 			minWatched[m] = true
 		}
 	}
+	floorWatched := map[string]bool{}
+	for _, m := range strings.Split(*floorMetricList, ",") {
+		if m = strings.TrimSpace(m); m != "" {
+			floorWatched[m] = true
+		}
+	}
 
 	baseByName := map[string]Benchmark{}
 	for _, b := range base.Benchmarks {
@@ -100,9 +114,23 @@ func main() {
 	seen := map[string]bool{}
 	for _, nb := range cand.Benchmarks {
 		seen[nb.Name] = true
+		// Absolute floors gate the new run alone — no baseline required.
+		for metric := range floorWatched {
+			nv, ok := nb.Metrics[metric]
+			if !ok {
+				continue
+			}
+			verdict := "ok"
+			if nv < *floorValue {
+				verdict = "REGRESSION"
+				failed++
+			}
+			fmt.Printf("%-5s %-40s %-12s new=%.4g (absolute floor %.2f) %s\n",
+				"floor", nb.Name, metric, nv, *floorValue, verdict)
+		}
 		bb, ok := baseByName[nb.Name]
 		if !ok {
-			fmt.Printf("NEW   %-40s (no baseline; not gated)\n", nb.Name)
+			fmt.Printf("NEW   %-40s (no baseline; not gated by ratios)\n", nb.Name)
 			continue
 		}
 		for metric := range watched {

@@ -11,6 +11,7 @@ import (
 	"hesgx/internal/encoding"
 	"hesgx/internal/he"
 	"hesgx/internal/nn"
+	"hesgx/internal/ring"
 	"hesgx/internal/stats"
 	"hesgx/internal/trace"
 )
@@ -476,6 +477,7 @@ func (e *HybridEngine) InferContext(ctx context.Context, img *CipherImage) (*Inf
 			Arg("pred_budget_bits", s.predBudgetBits)
 		start := time.Now()
 		fwd0, inv0 := r.NTTCounts()
+		limb0, crt0 := ring.RNSCounts()
 		var err error
 		// The pprof label attributes every CPU sample of this step — and of
 		// the parallelFor workers it spawns, which inherit labels — to the
@@ -509,6 +511,14 @@ func (e *HybridEngine) InferContext(ctx context.Context, img *CipherImage) (*Inf
 			nttFwd, nttInv = fwd1-fwd0, inv1-inv0
 			span.Arg("ntt_fwd", float64(nttFwd)).Arg("ntt_inv", float64(nttInv))
 		}
+		// RNS multiplier kernel activity (pure-HE squares route through the
+		// modulus chain; hybrid enclave refreshes leave these flat). Same
+		// approximate-attribution caveat as the NTT counters above.
+		limb1, crt1 := ring.RNSCounts()
+		limbMuls, crtExtends := limb1-limb0, crt1-crt0
+		if limbMuls > 0 || crtExtends > 0 {
+			span.Arg("limb_muls", float64(limbMuls)).Arg("crt_extends", float64(crtExtends))
+		}
 		if err != nil {
 			span.Arg("error", 1).End()
 			return nil, fmt.Errorf("core: step %d: %w", i, err)
@@ -521,6 +531,10 @@ func (e *HybridEngine) InferContext(ctx context.Context, img *CipherImage) (*Inf
 				e.metrics.Counter("engine.layer." + s.kind.String() + ".ntt_forward").Add(int64(nttFwd))
 				e.metrics.Counter("engine.layer." + s.kind.String() + ".ntt_inverse").Add(int64(nttInv))
 			}
+			if limbMuls > 0 || crtExtends > 0 {
+				e.metrics.Counter("engine.layer." + s.kind.String() + ".limb_muls").Add(int64(limbMuls))
+				e.metrics.Counter("engine.layer." + s.kind.String() + ".crt_extends").Add(int64(crtExtends))
+			}
 		}
 	}
 	if e.metrics != nil {
@@ -530,6 +544,13 @@ func (e *HybridEngine) InferContext(ctx context.Context, img *CipherImage) (*Inf
 		polyMiss, centeredMiss := r.PoolMisses()
 		e.metrics.Gauge("ring.pool_miss.poly").Set(int64(polyMiss))
 		e.metrics.Gauge("ring.pool_miss.centered").Set(int64(centeredMiss))
+		limbMuls, crtExtends := ring.RNSCounts()
+		e.metrics.Gauge("ring.limb_muls").Set(int64(limbMuls))
+		e.metrics.Gauge("ring.crt_extends").Set(int64(crtExtends))
+		parTasks, parBusy, parPeak := ring.ParallelCounts()
+		e.metrics.Gauge("ring.parallel_tasks").Set(int64(parTasks))
+		e.metrics.Gauge("ring.parallel_busy").Set(parBusy)
+		e.metrics.Gauge("ring.parallel_peak").Set(parPeak)
 	}
 	return &InferenceResult{Logits: cts, OutScale: scale}, nil
 }

@@ -1,0 +1,61 @@
+package cryptonets
+
+import (
+	"testing"
+
+	"hesgx/internal/ring"
+)
+
+// TestFullCNNLargeDegree runs the complete paper CNN — conv, square
+// activation, pool, FC — end to end at n = 8192 with a maximal 58-bit
+// coefficient modulus, a degree only the RNS modulus-chain multiplier can
+// serve (the u128 tensor path rejects it), and pins every decrypted logit
+// to the exact-integer plaintext oracle. This is the acceptance test for
+// the tentpole: params build, the full-CNN equivalence holds, and an
+// end-to-end inference completes at the new degree.
+func TestFullCNNLargeDegree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("n=8192 full-CNN inference is slow; skipped in -short")
+	}
+	if raceEnabled {
+		t.Skip("n=8192 full-CNN inference under -race multiplies runtime; covered un-raced")
+	}
+	cfg := testConfig()
+	cfg.N = 8192
+	cfg.QBits = 58
+
+	kb, ek, err := GenerateKeys(cfg, ring.NewSeededSource(81))
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := tinyCryptoNet(82)
+	engine, err := NewEngine(model, cfg, ek)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := tinyImage(83)
+	ci, err := kb.EncryptImage(img, cfg.PixelScale, ring.NewSeededSource(84))
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := engine.Infer(ci)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := kb.DecryptCRT(results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := engine.ReferenceForward(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d logits, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("logit %d: encrypted %d != plaintext oracle %d", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,9 @@
+//go:build race
+
+package cryptonets
+
+// raceEnabled reports whether the race detector is compiled in; heavyweight
+// large-degree tests skip under it (the -race memory model multiplies their
+// runtime several-fold without adding coverage the small-degree equivalence
+// tests lack).
+const raceEnabled = true

@@ -2,18 +2,42 @@ package he
 
 import (
 	"fmt"
+	"sync"
 
 	"hesgx/internal/ring"
 	"hesgx/internal/u128"
 )
 
+// tensorMode selects the ciphertext-multiplication backend.
+type tensorMode int
+
+const (
+	// tensorRNS is the default: word-size RNS modulus-chain multiply
+	// (ring.RNSMultiplier) — O(limbs) word operations per coefficient,
+	// per-limb goroutine parallelism, every supported degree.
+	tensorRNS tensorMode = iota
+	// tensorOracle is the legacy single-modulus u128 path (Garner CRT into
+	// a 128-bit accumulator), kept as a bit-exact correctness oracle;
+	// selected by Parameters.WithTensorOracle, limited to n ≤ 4096.
+	tensorOracle
+	// tensorSchoolbook is the O(n²) integer-convolution reference.
+	tensorSchoolbook
+)
+
 // Evaluator performs homomorphic operations on FV ciphertexts. It is
-// immutable after construction and safe for concurrent use.
+// immutable after construction (the lazily built multiplier is internally
+// synchronized) and safe for concurrent use.
 type Evaluator struct {
 	params Parameters
-	// tensor accelerates the exact integer convolution of Mul/Square via
-	// NTT-CRT; nil forces the O(n^2) schoolbook reference path.
+	mode   tensorMode
+	// tensor is the u128 oracle backend (tensorOracle mode only).
 	tensor *ring.TensorMultiplier
+	// rns is the default multiply backend, built on first use so
+	// evaluators that never tensor (plaintext-only layers, hybrid refresh
+	// paths) skip the auxiliary-basis construction entirely.
+	rnsOnce sync.Once
+	rns     *ring.RNSMultiplier
+	rnsErr  error
 }
 
 // EvaluatorOption customizes evaluator construction.
@@ -25,12 +49,16 @@ type evaluatorConfig struct {
 
 // WithSchoolbookTensor forces the O(n^2) schoolbook path for ciphertext
 // multiplication — the reference implementation, kept for ablation
-// benchmarks and cross-checking.
+// benchmarks and cross-checking (it is also the only exact oracle at
+// n = 8192, where the u128 NTT-CRT path exceeds its 128-bit bound).
 func WithSchoolbookTensor() EvaluatorOption {
 	return func(c *evaluatorConfig) { c.schoolbook = true }
 }
 
-// NewEvaluator builds an evaluator for the parameter set.
+// NewEvaluator builds an evaluator for the parameter set. Multiplication
+// dispatch: the RNS modulus chain by default, the u128 oracle when the
+// parameters carry WithTensorOracle, the schoolbook reference under
+// WithSchoolbookTensor (which wins over the params flag).
 func NewEvaluator(params Parameters, opts ...EvaluatorOption) (*Evaluator, error) {
 	if !params.Valid() {
 		return nil, fmt.Errorf("he: invalid parameters")
@@ -39,8 +67,12 @@ func NewEvaluator(params Parameters, opts ...EvaluatorOption) (*Evaluator, error
 	for _, o := range opts {
 		o(&cfg)
 	}
-	ev := &Evaluator{params: params}
-	if !cfg.schoolbook {
+	ev := &Evaluator{params: params, mode: tensorRNS}
+	switch {
+	case cfg.schoolbook:
+		ev.mode = tensorSchoolbook
+	case params.TensorOracle:
+		ev.mode = tensorOracle
 		tm, err := ring.NewTensorMultiplier(params.N)
 		if err != nil {
 			return nil, fmt.Errorf("he: tensor multiplier: %w", err)
@@ -50,8 +82,19 @@ func NewEvaluator(params Parameters, opts ...EvaluatorOption) (*Evaluator, error
 	return ev, nil
 }
 
+// rnsMultiplier returns the lazily constructed RNS backend.
+func (ev *Evaluator) rnsMultiplier() (*ring.RNSMultiplier, error) {
+	ev.rnsOnce.Do(func() {
+		ev.rns, ev.rnsErr = ring.NewRNSMultiplier(ev.params.Ring(), ev.params.T)
+	})
+	if ev.rnsErr != nil {
+		return nil, fmt.Errorf("he: rns multiplier: %w", ev.rnsErr)
+	}
+	return ev.rns, nil
+}
+
 // tensorConvolve computes the exact negacyclic convolution of centered
-// operands via the fast path when available.
+// operands on the non-RNS backends.
 func (ev *Evaluator) tensorConvolve(a, b []int64) ([]u128.Int128, error) {
 	if ev.tensor != nil {
 		return ev.tensor.MulExact(a, b)
@@ -302,6 +345,16 @@ func (ev *Evaluator) Mul(ct0, ct1 *Ciphertext) (*Ciphertext, error) {
 	if err := checkCoeff("Mul", ct0, ct1); err != nil {
 		return nil, err
 	}
+	if ev.mode == tensorRNS {
+		rm, err := ev.rnsMultiplier()
+		if err != nil {
+			return nil, err
+		}
+		out := NewCiphertext(ev.params, 3)
+		rm.MulScaleRound(ct0.Polys[0], ct0.Polys[1], ct1.Polys[0], ct1.Polys[1],
+			out.Polys[0], out.Polys[1], out.Polys[2])
+		return out, nil
+	}
 	r := ev.params.Ring()
 	t := ev.params.T
 	q := ev.params.Q
@@ -361,6 +414,16 @@ func (ev *Evaluator) Square(ct *Ciphertext) (*Ciphertext, error) {
 	if err := checkCoeff("Square", ct); err != nil {
 		return nil, err
 	}
+	if ev.mode == tensorRNS {
+		rm, err := ev.rnsMultiplier()
+		if err != nil {
+			return nil, err
+		}
+		out := NewCiphertext(ev.params, 3)
+		rm.SquareScaleRound(ct.Polys[0], ct.Polys[1],
+			out.Polys[0], out.Polys[1], out.Polys[2])
+		return out, nil
+	}
 	r := ev.params.Ring()
 	t := ev.params.T
 	q := ev.params.Q
@@ -418,28 +481,34 @@ func (ev *Evaluator) Relinearize(ct *Ciphertext, ek *EvaluationKeys) (*Ciphertex
 	ct.Polys[0].CopyTo(out.Polys[0])
 	ct.Polys[1].CopyTo(out.Polys[1])
 
-	// Decompose c2 into base-w digits: c2 = sum_i digit_i * w^i.
+	// Decompose c2 into base-w digits: c2 = sum_i digit_i * w^i. Each digit
+	// is transformed once and folded through both key components with the
+	// fused Shoup multiply-accumulate (tables precomputed lazily on the
+	// keys), so the loop body is one NTT plus two MulShoup MAC passes —
+	// pooled scratch, no per-digit allocation.
+	k0Shoup, k1Shoup := ek.shoupTables(r)
 	mask := (uint64(1) << uint(ev.params.DecompBaseBits)) - 1
 	shift := uint(ev.params.DecompBaseBits)
-	digitPoly := r.NewPoly()
-	acc0 := r.NewPoly()
-	acc1 := r.NewPoly()
-	scratch := r.NewPoly()
+	digitPoly := r.GetPoly()
+	acc0 := r.GetPoly()
+	acc1 := r.GetPoly()
+	acc0.Zero()
+	acc1.Zero()
 	for i := 0; i < digits; i++ {
 		for j, c := range ct.Polys[2].Coeffs {
 			digitPoly.Coeffs[j] = (c >> (uint(i) * shift)) & mask
 		}
-		dNTT := digitPoly.Copy()
-		r.NTT(dNTT)
-		r.MulCoeffs(dNTT, ek.K0[i], scratch)
-		r.Add(acc0, scratch, acc0)
-		r.MulCoeffs(dNTT, ek.K1[i], scratch)
-		r.Add(acc1, scratch, acc1)
+		r.NTT(digitPoly)
+		r.MulCoeffsShoupAdd(digitPoly, ek.K0[i], k0Shoup[i], acc0)
+		r.MulCoeffsShoupAdd(digitPoly, ek.K1[i], k1Shoup[i], acc1)
 	}
 	r.INTT(acc0)
 	r.INTT(acc1)
 	r.Add(out.Polys[0], acc0, out.Polys[0])
 	r.Add(out.Polys[1], acc1, out.Polys[1])
+	r.PutPoly(digitPoly)
+	r.PutPoly(acc0)
+	r.PutPoly(acc1)
 	return out, nil
 }
 

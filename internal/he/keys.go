@@ -2,6 +2,7 @@ package he
 
 import (
 	"fmt"
+	"sync"
 
 	"hesgx/internal/ring"
 )
@@ -31,6 +32,28 @@ type EvaluationKeys struct {
 	// K0[i], K1[i] are the two components of digit i, NTT domain.
 	K0 []ring.Poly
 	K1 []ring.Poly
+
+	// Shoup companion tables of K0/K1, built lazily on first
+	// relinearization so the digit MACs run on the cheaper MulShoup
+	// kernel. Derived data — never serialized, and deserialized keys
+	// rebuild them transparently.
+	shoupOnce sync.Once
+	k0Shoup   [][]uint64
+	k1Shoup   [][]uint64
+}
+
+// shoupTables returns (building on first use) the Shoup companions of the
+// key digits for the given ring.
+func (ek *EvaluationKeys) shoupTables(r *ring.Ring) (k0, k1 [][]uint64) {
+	ek.shoupOnce.Do(func() {
+		ek.k0Shoup = make([][]uint64, len(ek.K0))
+		ek.k1Shoup = make([][]uint64, len(ek.K1))
+		for i := range ek.K0 {
+			ek.k0Shoup[i] = r.ShoupPrecompute(ek.K0[i])
+			ek.k1Shoup[i] = r.ShoupPrecompute(ek.K1[i])
+		}
+	})
+	return ek.k0Shoup, ek.k1Shoup
 }
 
 // KeyGenerator derives FV key material from a randomness source.

@@ -106,6 +106,15 @@ func (b NoiseBound) WeightedSum(l1 float64, terms int) NoiseBound {
 //	                     phase (δ0 + δ1⊛s + δ2⊛s², ‖s²‖₁ ≤ n²)
 //
 // all worst-case, so the bound is generous but sound.
+//
+// RNS note: the default multiplier evaluates this same tensor product over
+// a word-size modulus chain (basis extension, per-limb convolution, and a
+// DivRoundByLastModulus rescale), but its arithmetic is exact and bit-exact
+// with the single-modulus oracle — the basis extension is an exact CRT
+// embed and the rescale is an exact floor division, neither introducing an
+// approximation term. The RNS rewrite therefore adds no noise terms here;
+// this bound covers both backends unchanged (DESIGN §14 carries the
+// rounding-error analysis).
 func (b NoiseBound) Mul(o NoiseBound) NoiseBound {
 	n := float64(b.params.N)
 	t := float64(b.params.T)

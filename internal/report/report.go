@@ -32,6 +32,13 @@ type Layer struct {
 	NTTForward int `json:"ntt_forward,omitempty"`
 	NTTInverse int `json:"ntt_inverse,omitempty"`
 
+	// RNS modulus-chain kernel activity: per-limb pointwise multiply
+	// passes and CRT basis conversions this layer triggered (same
+	// approximate attribution as the NTT counters). Zero on layers that
+	// never tensor and in hybrid mode, where squares refresh in-enclave.
+	LimbMuls   int `json:"limb_muls,omitempty"`
+	CRTExtends int `json:"crt_extends,omitempty"`
+
 	// Simulated SGX costs summed over the ECALLs this layer triggered.
 	Transitions     int     `json:"transitions,omitempty"`
 	PageFaults      int     `json:"page_faults,omitempty"`
@@ -163,6 +170,12 @@ func FromTrace(tr *trace.Trace) *FlightReport {
 			}
 			if v, ok := argVal(s, "ntt_inv"); ok {
 				l.NTTInverse = int(v)
+			}
+			if v, ok := argVal(s, "limb_muls"); ok {
+				l.LimbMuls = int(v)
+			}
+			if v, ok := argVal(s, "crt_extends"); ok {
+				l.CRTExtends = int(v)
 			}
 			if v, ok := argVal(s, "pred_budget_bits"); ok {
 				p := v

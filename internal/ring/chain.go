@@ -1,0 +1,100 @@
+package ring
+
+import (
+	"fmt"
+	"math/big"
+	"math/bits"
+)
+
+// This file implements modulus chains: ordered lists of distinct word-size
+// NTT-friendly primes over which RNS (residue number system) polynomials
+// are limb-decomposed. A chain is the parameter-level description of an
+// RNSRing; chains are generated deterministically from (bitLen, n), so two
+// endpoints that agree on those inputs derive the identical prime list
+// without any wire exchange.
+
+// GenerateChain returns count distinct NTT-friendly primes (q ≡ 1 mod 2n)
+// of the given bit length, in decreasing order, skipping any modulus listed
+// in avoid. The avoid list exists so an auxiliary multiplication basis never
+// collides with the ciphertext modulus it extends.
+func GenerateChain(bitLen, n, count int, avoid ...uint64) ([]uint64, error) {
+	if count <= 0 {
+		return nil, fmt.Errorf("ring: chain length %d must be positive", count)
+	}
+	if bitLen < 10 || bitLen > MaxModulusBits {
+		return nil, fmt.Errorf("ring: unsupported chain prime bit length %d", bitLen)
+	}
+	if n <= 0 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("ring: degree %d is not a power of two", n)
+	}
+	skip := make(map[uint64]bool, len(avoid))
+	for _, a := range avoid {
+		skip[a] = true
+	}
+	m := uint64(2 * n)
+	chain := make([]uint64, 0, count)
+	upper := (uint64(1) << uint(bitLen)) - 1
+	q := upper - (upper-1)%m
+	lower := uint64(1) << uint(bitLen-1)
+	for q > lower && len(chain) < count {
+		if !skip[q] && IsPrime(q) {
+			chain = append(chain, q)
+		}
+		q -= m
+	}
+	if len(chain) < count {
+		return nil, fmt.Errorf("ring: found only %d of %d requested %d-bit chain primes for degree %d",
+			len(chain), count, bitLen, n)
+	}
+	return chain, nil
+}
+
+// ValidateChain checks the structural invariants an RNS limb decomposition
+// relies on: every modulus is a distinct NTT-friendly prime (q ≡ 1 mod 2n)
+// within the word-size bound. CRT correctness needs only pairwise
+// coprimality, which distinct primes give for free.
+func ValidateChain(n int, chain []uint64) error {
+	if len(chain) == 0 {
+		return fmt.Errorf("ring: empty modulus chain")
+	}
+	if n <= 0 || n&(n-1) != 0 {
+		return fmt.Errorf("ring: degree %d is not a power of two", n)
+	}
+	seen := make(map[uint64]bool, len(chain))
+	for i, q := range chain {
+		if bits.Len64(q) > MaxModulusBits {
+			return fmt.Errorf("ring: chain modulus %d (limb %d) exceeds %d bits", q, i, MaxModulusBits)
+		}
+		if !IsPrime(q) {
+			return fmt.Errorf("ring: chain modulus %d (limb %d) is not prime", q, i)
+		}
+		if (q-1)%uint64(2*n) != 0 {
+			return fmt.Errorf("ring: chain modulus %d (limb %d) is not ≡ 1 mod %d", q, i, 2*n)
+		}
+		if seen[q] {
+			return fmt.Errorf("ring: chain modulus %d (limb %d) repeats", q, i)
+		}
+		seen[q] = true
+	}
+	return nil
+}
+
+// ChainBits returns the total modulus budget of the chain in bits,
+// Σ_i bits(q_i) — the RNS analogue of bits(Q) for a composite Q = Π q_i.
+func ChainBits(chain []uint64) int {
+	total := 0
+	for _, q := range chain {
+		total += bits.Len64(q)
+	}
+	return total
+}
+
+// ChainProduct returns Π q_i as a big integer — the composite modulus the
+// chain represents, and the range within which CRT reconstruction is unique.
+func ChainProduct(chain []uint64) *big.Int {
+	prod := big.NewInt(1)
+	for _, q := range chain {
+		prod.Mul(prod, new(big.Int).SetUint64(q))
+	}
+	return prod
+}

@@ -171,6 +171,35 @@ func (m Modulus) MulShoup(a, w, wShoup uint64) uint64 {
 	return r
 }
 
+// MulShoupLazy is MulShoup without the final conditional subtraction: the
+// result lies in the lazy range [0, 2q). Callers that immediately feed the
+// value into another reduction (or sum a small number of lazy terms below
+// 2^63) skip a branch per coefficient; fold back with ReduceLazy.
+func (m Modulus) MulShoupLazy(a, w, wShoup uint64) uint64 {
+	qhat, _ := bits.Mul64(a, wShoup)
+	return a*w - qhat*m.Q
+}
+
+// ReduceLazy folds a lazy value in [0, 2q) into [0, q).
+func (m Modulus) ReduceLazy(a uint64) uint64 {
+	if a >= m.Q {
+		a -= m.Q
+	}
+	return a
+}
+
+// MulAdd2 returns (a*b + c*d) mod q for fully reduced operands using a
+// single deferred Barrett reduction of the 128-bit sum — the lazy-reduction
+// fused multiply-accumulate of the RNS tensor cross term. The sum
+// 2(q-1)^2 < q*2^64 keeps the Barrett quotient within one word.
+func (m Modulus) MulAdd2(a, b, c, d uint64) uint64 {
+	h1, l1 := bits.Mul64(a, b)
+	h2, l2 := bits.Mul64(c, d)
+	lo, carry := bits.Add64(l1, l2, 0)
+	hi, _ := bits.Add64(h1, h2, carry)
+	return m.reduce128(hi, lo)
+}
+
 // Centered maps a residue in [0, q) to its centered representative in
 // (-q/2, q/2].
 func (m Modulus) Centered(a uint64) int64 {

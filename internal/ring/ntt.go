@@ -78,33 +78,91 @@ func reverseBits(v uint64, width int) uint64 {
 // pointwise products are order-independent.
 func (t *NTT) Forward(a []uint64) {
 	mod := t.mod
+	q := mod.Q
+	qq := q << 1
 	n := t.n
-	// Cooley–Tukey butterflies, decimation in time, gentleman-sande layout
-	// following Longa–Naehrig for the negacyclic case.
+	// Cooley–Tukey butterflies, decimation in time, following Longa–Naehrig
+	// for the negacyclic case, with Harvey-style lazy reduction: butterfly
+	// operands live in [0, 4q) and only the top operand is conditionally
+	// folded below 2q before the add/sub pair, so each butterfly spends one
+	// branch instead of three. q < 2^58 keeps 4q well inside a word.
 	idx := 1
-	for m := 1; m < n; m <<= 1 {
+	for m := 1; m < n>>1; m <<= 1 {
 		step := n / (2 * m)
 		for i := 0; i < m; i++ {
 			w := t.psiPow[idx]
 			ws := t.psiPowShoup[idx]
 			idx++
 			base := 2 * i * step
-			for j := base; j < base+step; j++ {
-				u := a[j]
-				v := mod.MulShoup(a[j+step], w, ws)
-				a[j] = mod.Add(u, v)
-				a[j+step] = mod.Sub(u, v)
+			// Three-index slice windows let the compiler drop the bounds
+			// checks from the butterfly loop.
+			x := a[base : base+step : base+step]
+			y := a[base+step : base+2*step : base+2*step]
+			for j := range x {
+				u := x[j]
+				if u >= qq {
+					u -= qq
+				}
+				v := mod.MulShoupLazy(y[j], w, ws) // < 2q
+				x[j] = u + v                       // < 4q
+				y[j] = u + qq - v                  // < 4q
 			}
 		}
+	}
+	// Last level (step == 1) with the canonical fold fused in, so the lazy
+	// range [0, 4q) collapses to [0, q) without a separate pass over a.
+	for i := 0; i < n>>1; i++ {
+		w := t.psiPow[idx]
+		ws := t.psiPowShoup[idx]
+		idx++
+		u := a[2*i]
+		if u >= qq {
+			u -= qq
+		}
+		v := mod.MulShoupLazy(a[2*i+1], w, ws)
+		s := u + v // < 4q
+		if s >= qq {
+			s -= qq
+		}
+		if s >= q {
+			s -= q
+		}
+		d := u + qq - v // < 4q
+		if d >= qq {
+			d -= qq
+		}
+		if d >= q {
+			d -= q
+		}
+		a[2*i] = s
+		a[2*i+1] = d
 	}
 }
 
 // Inverse transforms NTT-domain values in place back to coefficients,
 // including the 1/n scaling and the psi^-i twist.
 func (t *NTT) Inverse(a []uint64) {
+	t.inverse(a, t.nInv, t.nInvShoup)
+}
+
+// InverseScaled is Inverse with the final 1/n normalization replaced by
+// s/n: the extra scalar rides the scaling pass every inverse transform
+// already pays, so multiplying a polynomial while leaving the NTT domain
+// is free. The RNS tensor multiply uses it to fold the plaintext modulus t
+// into the transform instead of running a separate MulScalar pass per limb.
+func (t *NTT) InverseScaled(a []uint64, s uint64) {
+	scale := t.mod.Mul(t.nInv, s%t.mod.Q)
+	t.inverse(a, scale, t.mod.Shoup(scale))
+}
+
+func (t *NTT) inverse(a []uint64, scale, scaleShoup uint64) {
 	mod := t.mod
+	qq := mod.Q << 1
 	n := t.n
-	// Gentleman–Sande butterflies mirror Forward.
+	// Gentleman–Sande butterflies mirror Forward, again with lazy reduction:
+	// the invariant is values < 2q at every level (inputs arrive canonical),
+	// the sum u+v < 4q is folded below 2q with one branch, and the rotated
+	// difference u+2q-v < 4q feeds MulShoupLazy, which lands back in [0, 2q).
 	for m := n / 2; m >= 1; m >>= 1 {
 		step := n / (2 * m)
 		// inverse twiddles consumed in reverse order
@@ -114,15 +172,23 @@ func (t *NTT) Inverse(a []uint64) {
 			ws := t.psiInvShoup[localIdx]
 			localIdx++
 			base := 2 * i * step
-			for j := base; j < base+step; j++ {
-				u := a[j]
-				v := a[j+step]
-				a[j] = mod.Add(u, v)
-				a[j+step] = mod.MulShoup(mod.Sub(u, v), w, ws)
+			x := a[base : base+step : base+step]
+			y := a[base+step : base+2*step : base+2*step]
+			for j := range x {
+				u := x[j]
+				v := y[j]
+				s := u + v // < 4q
+				if s >= qq {
+					s -= qq
+				}
+				x[j] = s
+				y[j] = mod.MulShoupLazy(u+qq-v, w, ws)
 			}
 		}
 	}
+	// The scaling pass fully reduces the lazy values: MulShoup accepts any
+	// 64-bit multiplicand and returns a canonical residue.
 	for i := range a {
-		a[i] = mod.MulShoup(a[i], t.nInv, t.nInvShoup)
+		a[i] = mod.MulShoup(a[i], scale, scaleShoup)
 	}
 }

@@ -221,6 +221,15 @@ func (r *Ring) INTT(a Poly) {
 	r.ntt.Inverse(a.Coeffs)
 }
 
+// INTTScaled transforms a back to the coefficient domain and multiplies it
+// by the scalar s in the same pass — the s/n normalization rides the 1/n
+// scaling every inverse transform already performs, so the product costs
+// nothing over a plain INTT.
+func (r *Ring) INTTScaled(a Poly, s uint64) {
+	r.nttInverse.Add(1)
+	r.ntt.InverseScaled(a.Coeffs, s)
+}
+
 // MulCoeffs sets out = a ⊙ b, the pointwise product of NTT-domain values.
 func (r *Ring) MulCoeffs(a, b, out Poly) {
 	mod := r.Mod
@@ -235,6 +244,17 @@ func (r *Ring) MulCoeffsAdd(a, b, out Poly) {
 	mod := r.Mod
 	for i := range out.Coeffs {
 		out.Coeffs[i] = mod.Add(out.Coeffs[i], mod.Mul(a.Coeffs[i], b.Coeffs[i]))
+	}
+}
+
+// MulCoeffsPairAdd sets out = a ⊙ b + c ⊙ d in one pass with one deferred
+// Barrett reduction per coefficient (Modulus.MulAdd2) — the fused
+// multiply-accumulate kernel of the RNS multiplier's cross term
+// t·(c0⊙d1 + c1⊙d0), which otherwise pays two reductions and an add.
+func (r *Ring) MulCoeffsPairAdd(a, b, c, d, out Poly) {
+	mod := r.Mod
+	for i := range out.Coeffs {
+		out.Coeffs[i] = mod.MulAdd2(a.Coeffs[i], b.Coeffs[i], c.Coeffs[i], d.Coeffs[i])
 	}
 }
 

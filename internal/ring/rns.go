@@ -1,0 +1,382 @@
+package ring
+
+import (
+	"fmt"
+	"math/big"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements the residue-number-system (RNS) view of ring
+// arithmetic: a polynomial over a composite modulus Q = Π q_i is stored as
+// one word-coefficient limb per chain prime, every ring operation maps to
+// independent per-limb word operations, and the only cross-limb work is
+// CRT basis extension and the scaled rounding of DivRoundByLastModulus.
+// Limb independence is also the parallelism story: kernels fan limbs out
+// across worker goroutines (see parallelLimbs).
+
+// Package-level RNS kernel counters, exported on /metrics by the engine
+// (ring.limb_muls, ring.crt_extends) alongside the per-ring NTT counters.
+// They are global rather than per-RNSRing so the serving stack can report
+// totals without threading every multiplier through the metrics snapshot.
+var (
+	rnsLimbMuls   atomic.Uint64
+	rnsCRTExtends atomic.Uint64
+	parTasks      atomic.Uint64
+	parBusy       atomic.Int64
+	parPeak       atomic.Int64
+)
+
+// RNSCounts returns the cumulative number of per-limb pointwise
+// multiplication kernel passes and CRT basis-extension passes executed by
+// all RNS rings in the process.
+func RNSCounts() (limbMuls, crtExtends uint64) {
+	return rnsLimbMuls.Load(), rnsCRTExtends.Load()
+}
+
+// ParallelCounts reports the limb worker-pool occupancy: total limb tasks
+// dispatched to goroutines, workers busy right now, and the peak number of
+// concurrently busy workers observed.
+func ParallelCounts() (tasks uint64, busy, peak int64) {
+	return parTasks.Load(), parBusy.Load(), parPeak.Load()
+}
+
+// parallelLimbs runs f(0..k-1), fanning out across goroutines when more
+// than one CPU is available. Limb kernels are data-independent, so this is
+// the per-limb parallelism of the RNS rewrite; on GOMAXPROCS=1 it degrades
+// to the sequential loop with zero goroutine overhead.
+func parallelLimbs(k int, f func(i int)) {
+	if k <= 1 || runtime.GOMAXPROCS(0) == 1 {
+		for i := 0; i < k; i++ {
+			f(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(k)
+	for i := 0; i < k; i++ {
+		go func(i int) {
+			defer wg.Done()
+			parTasks.Add(1)
+			busy := parBusy.Add(1)
+			for {
+				peak := parPeak.Load()
+				if busy <= peak || parPeak.CompareAndSwap(peak, busy) {
+					break
+				}
+			}
+			defer parBusy.Add(-1)
+			f(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// RNSRing is the ring R_Q = Z_Q[x]/(x^n+1) for a composite modulus
+// Q = Π q_i, represented limb-wise over the chain of word-size NTT-friendly
+// primes q_i. Each limb is a full *Ring (own NTT tables, scratch pools,
+// counters); cross-limb precomputations cover the rescaling by the last
+// modulus. Immutable after construction and safe for concurrent use.
+type RNSRing struct {
+	N     int
+	Limbs []*Ring
+	// Q = Π q_i (big, read-only).
+	Q *big.Int
+
+	// DivRoundByLastModulus precomputations (q_last = Limbs[k-1].Mod.Q):
+	// halfLast = floor(q_last/2); per remaining limb j: q_last^-1 mod q_j
+	// (with Shoup companion) and halfLast mod q_j.
+	halfLast      uint64
+	lastInv       []uint64
+	lastInvShoup  []uint64
+	halfModLimb   []uint64
+	lastNegMod    []uint64 // q_j - (q_last mod q_j), for centered extension
+	crtBasis      []*big.Int
+	crtBasisInv   []uint64 // (Q/q_i)^-1 mod q_i, for big CRT reconstruction
+	halfQ         *big.Int
+}
+
+// NewRNSRing builds the limb rings for the chain and the cross-limb
+// precomputations. The chain must satisfy ValidateChain for degree n.
+func NewRNSRing(n int, chain []uint64) (*RNSRing, error) {
+	if err := ValidateChain(n, chain); err != nil {
+		return nil, err
+	}
+	limbs := make([]*Ring, len(chain))
+	for i, q := range chain {
+		r, err := NewRing(n, q)
+		if err != nil {
+			return nil, fmt.Errorf("ring: rns limb %d: %w", i, err)
+		}
+		limbs[i] = r
+	}
+	return newRNSRingFromLimbs(limbs)
+}
+
+// newRNSRingFromLimbs assembles an RNSRing over pre-built limb rings of a
+// shared degree. It lets a multiplier reuse an existing ciphertext ring as
+// its last limb so NTT accounting stays attributed to that ring.
+func newRNSRingFromLimbs(limbs []*Ring) (*RNSRing, error) {
+	if len(limbs) == 0 {
+		return nil, fmt.Errorf("ring: rns ring needs at least one limb")
+	}
+	n := limbs[0].N
+	chain := make([]uint64, len(limbs))
+	for i, r := range limbs {
+		if r.N != n {
+			return nil, fmt.Errorf("ring: rns limb %d degree %d != %d", i, r.N, n)
+		}
+		chain[i] = r.Mod.Q
+	}
+	if err := ValidateChain(n, chain); err != nil {
+		return nil, err
+	}
+	rr := &RNSRing{N: n, Limbs: limbs, Q: ChainProduct(chain)}
+	rr.halfQ = new(big.Int).Rsh(rr.Q, 1)
+
+	k := len(limbs)
+	last := limbs[k-1].Mod
+	rr.halfLast = last.Q / 2
+	rr.lastInv = make([]uint64, k-1)
+	rr.lastInvShoup = make([]uint64, k-1)
+	rr.halfModLimb = make([]uint64, k-1)
+	rr.lastNegMod = make([]uint64, k-1)
+	for j := 0; j < k-1; j++ {
+		m := limbs[j].Mod
+		inv, err := m.Inv(last.Q % m.Q)
+		if err != nil {
+			return nil, fmt.Errorf("ring: rns limb %d: %w", j, err)
+		}
+		rr.lastInv[j] = inv
+		rr.lastInvShoup[j] = m.Shoup(inv)
+		rr.halfModLimb[j] = rr.halfLast % m.Q
+		rr.lastNegMod[j] = m.Q - last.Q%m.Q
+		if rr.lastNegMod[j] == m.Q {
+			rr.lastNegMod[j] = 0
+		}
+	}
+
+	// CRT basis for big-integer reconstruction: y ≡ Σ y_i·(Q/q_i)·inv_i.
+	rr.crtBasis = make([]*big.Int, k)
+	rr.crtBasisInv = make([]uint64, k)
+	for i, r := range limbs {
+		qi := new(big.Int).SetUint64(r.Mod.Q)
+		basis := new(big.Int).Div(rr.Q, qi)
+		rr.crtBasis[i] = basis
+		res := new(big.Int).Mod(basis, qi).Uint64()
+		inv, err := r.Mod.Inv(res)
+		if err != nil {
+			return nil, fmt.Errorf("ring: rns crt basis %d: %w", i, err)
+		}
+		rr.crtBasisInv[i] = inv
+	}
+	return rr, nil
+}
+
+// K returns the number of limbs in the chain.
+func (rr *RNSRing) K() int { return len(rr.Limbs) }
+
+// Chain returns the prime chain, one modulus per limb.
+func (rr *RNSRing) Chain() []uint64 {
+	chain := make([]uint64, len(rr.Limbs))
+	for i, r := range rr.Limbs {
+		chain[i] = r.Mod.Q
+	}
+	return chain
+}
+
+// RNSPoly is a polynomial over the composite modulus, one word-coefficient
+// limb per chain prime. Limbs share a degree; whether values are in
+// coefficient or NTT domain is tracked by the caller, limb-uniformly.
+type RNSPoly struct {
+	Limbs []Poly
+}
+
+// NewRNSPoly allocates a zero polynomial with one limb per chain prime.
+func (rr *RNSRing) NewRNSPoly() RNSPoly {
+	limbs := make([]Poly, len(rr.Limbs))
+	for i, r := range rr.Limbs {
+		limbs[i] = r.NewPoly()
+	}
+	return RNSPoly{Limbs: limbs}
+}
+
+// GetRNSPoly assembles a scratch polynomial from the limb rings' pools.
+// Contents are unspecified; return it with PutRNSPoly.
+func (rr *RNSRing) GetRNSPoly() RNSPoly {
+	limbs := make([]Poly, len(rr.Limbs))
+	for i, r := range rr.Limbs {
+		limbs[i] = r.GetPoly()
+	}
+	return RNSPoly{Limbs: limbs}
+}
+
+// PutRNSPoly returns a scratch polynomial's limbs to their pools.
+func (rr *RNSRing) PutRNSPoly(p RNSPoly) {
+	for i, r := range rr.Limbs {
+		if i < len(p.Limbs) {
+			r.PutPoly(p.Limbs[i])
+		}
+	}
+}
+
+// Equal reports whether two RNS polynomials agree limb-wise.
+func (p RNSPoly) Equal(q RNSPoly) bool {
+	if len(p.Limbs) != len(q.Limbs) {
+		return false
+	}
+	for i := range p.Limbs {
+		if !p.Limbs[i].Equal(q.Limbs[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Add sets out = a + b limb-wise.
+func (rr *RNSRing) Add(a, b, out RNSPoly) {
+	parallelLimbs(rr.K(), func(i int) { rr.Limbs[i].Add(a.Limbs[i], b.Limbs[i], out.Limbs[i]) })
+}
+
+// Sub sets out = a - b limb-wise.
+func (rr *RNSRing) Sub(a, b, out RNSPoly) {
+	parallelLimbs(rr.K(), func(i int) { rr.Limbs[i].Sub(a.Limbs[i], b.Limbs[i], out.Limbs[i]) })
+}
+
+// Neg sets out = -a limb-wise.
+func (rr *RNSRing) Neg(a, out RNSPoly) {
+	parallelLimbs(rr.K(), func(i int) { rr.Limbs[i].Neg(a.Limbs[i], out.Limbs[i]) })
+}
+
+// NTT transforms every limb into the evaluation domain in place.
+func (rr *RNSRing) NTT(a RNSPoly) {
+	parallelLimbs(rr.K(), func(i int) { rr.Limbs[i].NTT(a.Limbs[i]) })
+}
+
+// INTT transforms every limb back to the coefficient domain in place.
+func (rr *RNSRing) INTT(a RNSPoly) {
+	parallelLimbs(rr.K(), func(i int) { rr.Limbs[i].INTT(a.Limbs[i]) })
+}
+
+// MulCoeffs sets out = a ⊙ b limb-wise (pointwise NTT-domain product).
+func (rr *RNSRing) MulCoeffs(a, b, out RNSPoly) {
+	rnsLimbMuls.Add(uint64(rr.K()))
+	parallelLimbs(rr.K(), func(i int) { rr.Limbs[i].MulCoeffs(a.Limbs[i], b.Limbs[i], out.Limbs[i]) })
+}
+
+// MulCoeffsAdd sets out += a ⊙ b limb-wise.
+func (rr *RNSRing) MulCoeffsAdd(a, b, out RNSPoly) {
+	rnsLimbMuls.Add(uint64(rr.K()))
+	parallelLimbs(rr.K(), func(i int) { rr.Limbs[i].MulCoeffsAdd(a.Limbs[i], b.Limbs[i], out.Limbs[i]) })
+}
+
+// SetCentered embeds signed coefficients (|v| < q_i for every limb) into
+// every limb's residue field — the RNS analogue of Modulus.FromCentered.
+func (rr *RNSRing) SetCentered(vals []int64, out RNSPoly) {
+	parallelLimbs(rr.K(), func(i int) {
+		m := rr.Limbs[i].Mod
+		coeffs := out.Limbs[i].Coeffs
+		for j, v := range vals {
+			if v < 0 {
+				r := m.Q - uint64(-v)%m.Q
+				if r == m.Q {
+					r = 0
+				}
+				coeffs[j] = r
+			} else {
+				coeffs[j] = uint64(v) % m.Q
+			}
+		}
+	})
+}
+
+// ExtendCenteredFromLast is the CRT basis extension of the multiplier's
+// front half: p's last limb holds residues mod q_last, which are read as
+// centered integers in [-(q_last-1)/2, (q_last-1)/2] and embedded into
+// every other limb. Exact (not an approximate fast base conversion): a
+// single word residue determines its centered integer uniquely, so the
+// other limbs receive true residues of that integer.
+func (rr *RNSRing) ExtendCenteredFromLast(p RNSPoly) {
+	k := rr.K()
+	if k == 1 {
+		return
+	}
+	rnsCRTExtends.Add(uint64(k - 1))
+	last := rr.Limbs[k-1].Mod
+	half := last.Q / 2
+	src := p.Limbs[k-1].Coeffs
+	parallelLimbs(k-1, func(j int) {
+		m := rr.Limbs[j].Mod
+		neg := rr.lastNegMod[j]
+		coeffs := p.Limbs[j].Coeffs
+		for i, a := range src {
+			// Reduce a mod q_j: a < q_last < 4·q_j for same-magnitude
+			// word primes, so conditional subtraction beats division.
+			r := a
+			for r >= m.Q {
+				r -= m.Q
+			}
+			if a > half {
+				// Centered value a - q_last: add q_j - (q_last mod q_j).
+				r += neg
+				if r >= m.Q {
+					r -= m.Q
+				}
+			}
+			coeffs[i] = r
+		}
+	})
+}
+
+// DivRoundByLastModulus computes out = round(p / q_last) limb-wise over the
+// remaining chain, reading p as a centered integer polynomial. The division
+// is exact, not approximate: with z the coefficient's integer value,
+// u = (z + floor(q_last/2)) mod q_last is computed on the last limb, and
+// round(z/q_last) = (z + floor(q_last/2) - u)/q_last is an exact integer
+// division, evaluated per remaining limb as
+// (z_j + h_j - u_j) · q_last^-1 mod q_j. p must be in coefficient domain;
+// out needs K()-1 limbs and may alias p's leading limbs.
+func (rr *RNSRing) DivRoundByLastModulus(p, out RNSPoly) {
+	k := rr.K()
+	if k < 2 {
+		panic("ring: DivRoundByLastModulus needs at least two limbs")
+	}
+	last := rr.Limbs[k-1].Mod
+	halfLast := rr.halfLast
+	src := p.Limbs[k-1].Coeffs
+	parallelLimbs(k-1, func(j int) {
+		m := rr.Limbs[j].Mod
+		inv, invShoup := rr.lastInv[j], rr.lastInvShoup[j]
+		hj := rr.halfModLimb[j]
+		in := p.Limbs[j].Coeffs
+		dst := out.Limbs[j].Coeffs
+		for i := range dst {
+			u := last.Add(src[i], halfLast)
+			// Reduce u (< q_last) into limb j by conditional subtraction.
+			for u >= m.Q {
+				u -= m.Q
+			}
+			v := m.Sub(m.Add(in[i], hj), u)
+			dst[i] = m.MulShoup(v, inv, invShoup)
+		}
+	})
+}
+
+// ReconstructBig writes the centered CRT reconstruction of coefficient i
+// into out: the unique integer y with |y| <= Q/2 and y ≡ p_j mod q_j.
+// Test/diagnostic path — per-coefficient big arithmetic, not for hot loops.
+func (rr *RNSRing) ReconstructBig(p RNSPoly, i int, out *big.Int) {
+	out.SetInt64(0)
+	term := new(big.Int)
+	for j, r := range rr.Limbs {
+		d := r.Mod.Mul(p.Limbs[j].Coeffs[i], rr.crtBasisInv[j])
+		term.SetUint64(d)
+		term.Mul(term, rr.crtBasis[j])
+		out.Add(out, term)
+	}
+	out.Mod(out, rr.Q)
+	if out.Cmp(rr.halfQ) > 0 {
+		out.Sub(out, rr.Q)
+	}
+}

@@ -172,6 +172,82 @@ func ReadPolyPacked(r io.Reader, width int) (Poly, error) {
 	return p, nil
 }
 
+// maxRNSLimbs bounds deserialized limb counts; real chains carry a handful
+// of word-size primes, so anything larger is hostile or corrupt.
+const maxRNSLimbs = 16
+
+// WriteRNSPolyPacked serializes an RNS polynomial limb-wise: a one-byte limb
+// count, then per limb the modulus (uint64 little-endian) followed by the
+// coefficients packed at CoeffBits(q) — so a chain of 57-bit primes spends
+// 57 bits per coefficient per limb instead of 64. The limb moduli travel in
+// the frame so the decoder can derive each limb's packing width and validate
+// residue ranges without out-of-band parameters.
+func WriteRNSPolyPacked(w io.Writer, p RNSPoly, chain []uint64) error {
+	if len(chain) != len(p.Limbs) {
+		return fmt.Errorf("ring: rns poly has %d limbs but chain has %d moduli", len(p.Limbs), len(chain))
+	}
+	if len(chain) == 0 || len(chain) > maxRNSLimbs {
+		return fmt.Errorf("ring: rns limb count %d out of range [1, %d]", len(chain), maxRNSLimbs)
+	}
+	var hdr [9]byte
+	hdr[0] = byte(len(chain))
+	if _, err := w.Write(hdr[:1]); err != nil {
+		return fmt.Errorf("ring: write rns limb count: %w", err)
+	}
+	for i, q := range chain {
+		binary.LittleEndian.PutUint64(hdr[1:], q)
+		if _, err := w.Write(hdr[1:]); err != nil {
+			return fmt.Errorf("ring: write rns limb %d modulus: %w", i, err)
+		}
+		if err := WritePolyPacked(w, p.Limbs[i], CoeffBits(q)); err != nil {
+			return fmt.Errorf("ring: rns limb %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// ReadRNSPolyPacked deserializes a polynomial written by WriteRNSPolyPacked,
+// returning the limbs and the chain of limb moduli carried in the frame.
+// Every residue is range-checked against its limb modulus; hostile limb
+// counts and degrees error before any large allocation.
+func ReadRNSPolyPacked(r io.Reader) (RNSPoly, []uint64, error) {
+	var hdr [9]byte
+	if _, err := io.ReadFull(r, hdr[:1]); err != nil {
+		return RNSPoly{}, nil, fmt.Errorf("ring: read rns limb count: %w", err)
+	}
+	k := int(hdr[0])
+	if k == 0 || k > maxRNSLimbs {
+		return RNSPoly{}, nil, fmt.Errorf("ring: rns limb count %d out of range [1, %d]", k, maxRNSLimbs)
+	}
+	chain := make([]uint64, k)
+	p := RNSPoly{Limbs: make([]Poly, k)}
+	for i := 0; i < k; i++ {
+		if _, err := io.ReadFull(r, hdr[1:]); err != nil {
+			return RNSPoly{}, nil, fmt.Errorf("ring: read rns limb %d modulus: %w", i, err)
+		}
+		q := binary.LittleEndian.Uint64(hdr[1:])
+		if q < 2 {
+			return RNSPoly{}, nil, fmt.Errorf("ring: rns limb %d modulus %d too small", i, q)
+		}
+		limb, err := ReadPolyPacked(r, CoeffBits(q))
+		if err != nil {
+			return RNSPoly{}, nil, fmt.Errorf("ring: rns limb %d: %w", i, err)
+		}
+		if i > 0 && len(limb.Coeffs) != len(p.Limbs[0].Coeffs) {
+			return RNSPoly{}, nil, fmt.Errorf("ring: rns limb %d degree %d != %d",
+				i, len(limb.Coeffs), len(p.Limbs[0].Coeffs))
+		}
+		for j, c := range limb.Coeffs {
+			if c >= q {
+				return RNSPoly{}, nil, fmt.Errorf("ring: rns limb %d coefficient %d = %d out of range [0, %d)", i, j, c, q)
+			}
+		}
+		chain[i] = q
+		p.Limbs[i] = limb
+	}
+	return p, chain, nil
+}
+
 // ValidatePoly checks that p has the ring's degree and fully reduced
 // coefficients, guarding deserialized data before use.
 func (r *Ring) ValidatePoly(p Poly) error {

@@ -31,8 +31,15 @@ type TensorMultiplier struct {
 // tensorOffsetBit is log2 of the lift offset C.
 const tensorOffsetBit = 126
 
-// NewTensorMultiplier builds the three prime fields for degree n.
+// NewTensorMultiplier builds the three prime fields for degree n. Degrees
+// above 4096 are rejected: the exact coefficient bound n·(q/2)² reaches
+// 2^127 at n = 8192 with a maximal 58-bit modulus, overflowing the signed
+// 128-bit reconstruction — those degrees are served only by the RNS path
+// (RNSMultiplier), whose basis has no such ceiling.
 func NewTensorMultiplier(n int) (*TensorMultiplier, error) {
+	if n > 4096 {
+		return nil, fmt.Errorf("ring: tensor multiplier supports n <= 4096 (n=%d exceeds the 128-bit coefficient bound; use the RNS path)", n)
+	}
 	primes, err := GenerateNTTPrimes(MaxModulusBits, n, 3)
 	if err != nil {
 		return nil, fmt.Errorf("ring: tensor primes: %w", err)

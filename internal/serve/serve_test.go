@@ -389,10 +389,10 @@ func testImage(seed uint64) *nn.Tensor {
 	return img
 }
 
-// runConcurrent pushes n distinct images through the pipeline at once and
-// verifies every decrypted result against the plaintext reference. It
+// runConcurrent pushes n distinct images through the serving stack at once
+// and verifies every decrypted result against the plaintext reference. It
 // returns the enclave transition count consumed by the inferences.
-func runConcurrent(t *testing.T, st *stack, p *Pipeline, n int) uint64 {
+func runConcurrent(t *testing.T, st *stack, s *Service, n int) uint64 {
 	t.Helper()
 	imgs := make([]*nn.Tensor, n)
 	cis := make([]*core.CipherImage, n)
@@ -410,7 +410,7 @@ func runConcurrent(t *testing.T, st *stack, p *Pipeline, n int) uint64 {
 	before := st.platform.Snapshot()
 
 	var wg sync.WaitGroup
-	results := make([]*core.InferenceResult, n)
+	results := make([]*Result, n)
 	errs := make([]error, n)
 	start := make(chan struct{})
 	for i := 0; i < n; i++ {
@@ -418,7 +418,7 @@ func runConcurrent(t *testing.T, st *stack, p *Pipeline, n int) uint64 {
 		go func(i int) {
 			defer wg.Done()
 			<-start
-			results[i], errs[i] = p.Infer(context.Background(), cis[i])
+			results[i], errs[i] = s.Infer(context.Background(), Request{Image: cis[i]})
 		}(i)
 	}
 	close(start)
@@ -452,19 +452,21 @@ func TestPipelineBatchingReducesTransitions(t *testing.T) {
 	const n = 8
 
 	direct := newStack(t, 41)
-	pDirect := NewPipeline(direct.engine, direct.svc, Config{
-		Scheduler:       SchedulerConfig{Workers: n, QueueDepth: n},
-		DisableBatching: true,
-	})
+	pDirect := NewService(direct.engine, direct.svc,
+		WithSchedulerConfig(SchedulerConfig{Workers: n, QueueDepth: n}),
+		WithoutBatching(),
+		WithoutLanes(), // scalar passes: the ECALL-amortization property under test
+	)
 	directTransitions := runConcurrent(t, direct, pDirect, n)
 	pDirect.Close()
 
 	batched := newStack(t, 42)
-	pBatched := NewPipeline(batched.engine, batched.svc, Config{
-		Scheduler: SchedulerConfig{Workers: n, QueueDepth: n},
+	pBatched := NewService(batched.engine, batched.svc,
+		WithSchedulerConfig(SchedulerConfig{Workers: n, QueueDepth: n}),
 		// A generous window so even a slow CI box coalesces all n jobs.
-		Batcher: BatcherConfig{MaxBatch: 1 << 14, Window: 100 * time.Millisecond},
-	})
+		WithBatcherConfig(BatcherConfig{MaxBatch: 1 << 14, Window: 100 * time.Millisecond}),
+		WithoutLanes(),
+	)
 	batchedTransitions := runConcurrent(t, batched, pBatched, n)
 	pBatched.Close()
 
@@ -487,10 +489,11 @@ func TestPipelineBatchingReducesTransitions(t *testing.T) {
 
 func TestPipelineSequentialStillCorrect(t *testing.T) {
 	st := newStack(t, 43)
-	p := NewPipeline(st.engine, st.svc, Config{
-		Scheduler: SchedulerConfig{Workers: 2, QueueDepth: 4},
-		Batcher:   BatcherConfig{Window: 2 * time.Millisecond},
-	})
+	p := NewService(st.engine, st.svc,
+		WithSchedulerConfig(SchedulerConfig{Workers: 2, QueueDepth: 4}),
+		WithBatcherConfig(BatcherConfig{Window: 2 * time.Millisecond}),
+		WithoutLanes(),
+	)
 	defer p.Close()
 	// One at a time: every batch flushes on the window with occupancy 1.
 	for i := 0; i < 3; i++ {
@@ -499,7 +502,7 @@ func TestPipelineSequentialStillCorrect(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := p.Infer(context.Background(), ci)
+		res, err := p.Infer(context.Background(), Request{Image: ci})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -521,9 +524,10 @@ func TestPipelineSequentialStillCorrect(t *testing.T) {
 
 func TestPipelineCancelledJobSkipsEnclave(t *testing.T) {
 	st := newStack(t, 44)
-	p := NewPipeline(st.engine, st.svc, Config{
-		Scheduler: SchedulerConfig{Workers: 1, QueueDepth: 4},
-	})
+	p := NewService(st.engine, st.svc,
+		WithSchedulerConfig(SchedulerConfig{Workers: 1, QueueDepth: 4}),
+		WithoutLanes(),
+	)
 	defer p.Close()
 	ci, err := st.client.EncryptImage(testImage(300), serveConfig().PixelScale)
 	if err != nil {
@@ -531,7 +535,7 @@ func TestPipelineCancelledJobSkipsEnclave(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := p.Infer(ctx, ci); !errors.Is(err, context.Canceled) {
+	if _, err := p.Infer(ctx, Request{Image: ci}); !errors.Is(err, context.Canceled) {
 		t.Fatalf("got %v, want context.Canceled", err)
 	}
 }

@@ -16,10 +16,11 @@ import (
 func TestTraceSpanTreeMatchesTransitions(t *testing.T) {
 	st := newStack(t, 77)
 	tracer := trace.NewTracer(4)
-	p := NewPipeline(st.engine, st.svc, Config{
-		Scheduler: SchedulerConfig{Workers: 1, QueueDepth: 4},
-		Tracer:    tracer,
-	})
+	p := NewService(st.engine, st.svc,
+		WithSchedulerConfig(SchedulerConfig{Workers: 1, QueueDepth: 4}),
+		WithTracer(tracer),
+		WithoutLanes(),
+	)
 	defer p.Close()
 
 	img := testImage(7)
@@ -32,7 +33,7 @@ func TestTraceSpanTreeMatchesTransitions(t *testing.T) {
 	}
 
 	before := st.platform.Snapshot()
-	if _, err := p.Infer(context.Background(), ci); err != nil {
+	if _, err := p.Infer(context.Background(), Request{Image: ci}); err != nil {
 		t.Fatal(err)
 	}
 	delta := st.platform.Snapshot().Sub(before)
@@ -114,10 +115,11 @@ func TestTraceSpanTreeMatchesTransitions(t *testing.T) {
 func TestPipelineTraceCoversWallClock(t *testing.T) {
 	st := newStack(t, 78)
 	tracer := trace.NewTracer(4)
-	p := NewPipeline(st.engine, st.svc, Config{
-		Scheduler: SchedulerConfig{Workers: 1, QueueDepth: 4},
-		Tracer:    tracer,
-	})
+	p := NewService(st.engine, st.svc,
+		WithSchedulerConfig(SchedulerConfig{Workers: 1, QueueDepth: 4}),
+		WithTracer(tracer),
+		WithoutLanes(),
+	)
 	defer p.Close()
 
 	ci, err := st.client.EncryptImage(testImage(9), serveConfig().PixelScale)
@@ -127,7 +129,7 @@ func TestPipelineTraceCoversWallClock(t *testing.T) {
 	if err := st.engine.EncodeWeights(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := p.Infer(context.Background(), ci); err != nil {
+	if _, err := p.Infer(context.Background(), Request{Image: ci}); err != nil {
 		t.Fatal(err)
 	}
 	tr := tracer.Last(1)[0]

@@ -75,17 +75,17 @@ func testStack(t *testing.T) (addr string, svc *core.EnclaveService, model *nn.N
 // pipelineStack bundles the server-side components for tests that need
 // direct access past the network boundary.
 type pipelineStack struct {
-	svc      *core.EnclaveService
-	engine   *core.HybridEngine
-	model    *nn.Network
-	pipeline *serve.Pipeline // nil when the server calls the engine directly
-	metrics  *stats.Registry
+	svc     *core.EnclaveService
+	engine  *core.HybridEngine
+	model   *nn.Network
+	service *serve.Service // nil when the server calls the engine directly
+	metrics *stats.Registry
 }
 
-// testStackPipeline spins up an edge server; with a non-nil serve config
-// the inference path runs through a serving pipeline (bounded queue +
+// testStackPipeline spins up an edge server; with non-nil serve options
+// the inference path runs through the serving stack (bounded queue +
 // cross-request ECALL batching), otherwise straight through the engine.
-func testStackPipeline(t *testing.T, pcfg *serve.Config) (addr string, st *pipelineStack, shutdown func()) {
+func testStackPipeline(t *testing.T, svcOpts []serve.Option) (addr string, st *pipelineStack, shutdown func()) {
 	t.Helper()
 	q, err := ring.GenerateNTTPrime(46, 1024)
 	if err != nil {
@@ -119,9 +119,9 @@ func testStackPipeline(t *testing.T, pcfg *serve.Config) (addr string, st *pipel
 	}
 	st = &pipelineStack{svc: svc, engine: engine, model: model, metrics: stats.NewRegistry()}
 	opts := []ServerOption{WithMetrics(st.metrics)}
-	if pcfg != nil {
-		st.pipeline = serve.NewPipeline(engine, svc, *pcfg)
-		opts = append(opts, WithInferrer(st.pipeline))
+	if svcOpts != nil {
+		st.service = serve.NewService(engine, svc, append(svcOpts, serve.WithoutLanes())...)
+		opts = append(opts, WithService(st.service))
 	}
 	srv, err := NewServer(svc, engine, slog.New(slog.NewTextHandler(testWriter{t}, nil)), opts...)
 	if err != nil {
@@ -146,8 +146,8 @@ func testStackPipeline(t *testing.T, pcfg *serve.Config) (addr string, st *pipel
 		case <-time.After(5 * time.Second):
 			t.Error("server did not shut down")
 		}
-		if st.pipeline != nil {
-			st.pipeline.Close()
+		if st.service != nil {
+			st.service.Close()
 		}
 	}
 }
@@ -392,9 +392,9 @@ func TestGarbageInferPayloadReturnsBadRequestCode(t *testing.T) {
 }
 
 // dialAttested connects, bootstraps trust, and completes attestation.
-func dialAttested(t *testing.T, addr string) *Client {
+func dialAttested(t *testing.T, addr string, opts ...ClientOption) *Client {
 	t.Helper()
-	client, err := Dial(addr, attest.NewService())
+	client, err := Dial(addr, attest.NewService(), opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -414,9 +414,9 @@ func dialAttested(t *testing.T, addr string) *Client {
 // exact, so batched and unbatched serving must agree bit for bit.
 func TestScheduledServerConcurrentClients(t *testing.T) {
 	const clients = 8
-	addr, _, shutdown := testStackPipeline(t, &serve.Config{
-		Scheduler: serve.SchedulerConfig{Workers: clients, QueueDepth: 2 * clients},
-		Batcher:   serve.BatcherConfig{MaxBatch: 1 << 14, Window: 20 * time.Millisecond},
+	addr, _, shutdown := testStackPipeline(t, []serve.Option{
+		serve.WithSchedulerConfig(serve.SchedulerConfig{Workers: clients, QueueDepth: 2 * clients}),
+		serve.WithBatcherConfig(serve.BatcherConfig{MaxBatch: 1 << 14, Window: 20 * time.Millisecond}),
 	})
 	defer shutdown()
 
@@ -480,12 +480,12 @@ func TestScheduledServerConcurrentClients(t *testing.T) {
 // scheduler rejects with ErrClosed, the server encodes CodeShutdown, and
 // the client surfaces a *ServerError the caller can branch on.
 func TestClosedPipelineSurfacesTypedShutdownError(t *testing.T) {
-	addr, st, shutdown := testStackPipeline(t, &serve.Config{
-		Scheduler: serve.SchedulerConfig{Workers: 1, QueueDepth: 1},
+	addr, st, shutdown := testStackPipeline(t, []serve.Option{
+		serve.WithSchedulerConfig(serve.SchedulerConfig{Workers: 1, QueueDepth: 1}),
 	})
 	defer shutdown()
 	client := dialAttested(t, addr)
-	st.pipeline.Close() // server still up; scheduler drained
+	st.service.Close() // server still up; scheduler drained
 
 	_, err := client.Infer(testImage(77), 63)
 	var se *ServerError
@@ -507,8 +507,7 @@ func TestLegacyClientTalksToNewServer(t *testing.T) {
 
 	img := testImage(60)
 
-	legacy := dialAttested(t, addr)
-	legacy.SetLegacyFormat(true)
+	legacy := dialAttested(t, addr, WithLegacyFormat(true))
 	fromLegacy, err := legacy.Infer(img, 63)
 	if err != nil {
 		t.Fatal(err)
@@ -551,8 +550,7 @@ func TestSeededUploadSmallerOnWire(t *testing.T) {
 	snap := st.metrics.Histogram("wire.request_bytes").Snapshot()
 	v2Bytes := snap.Max
 
-	legacy := dialAttested(t, addr)
-	legacy.SetLegacyFormat(true)
+	legacy := dialAttested(t, addr, WithLegacyFormat(true))
 	if _, err := legacy.Infer(img, 63); err != nil {
 		t.Fatal(err)
 	}
