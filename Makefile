@@ -49,6 +49,9 @@ bench-json:
 		-benchtime 30x -timeout 30m . \
 		| $(GO) run ./cmd/hesgx-bench2json -o BENCH_PR8.json
 	@cat BENCH_PR8.json
+	$(GO) test -run '^$$' -bench 'BenchmarkPackedConvVsGather$$' -benchtime 3x -timeout 30m . \
+		| $(GO) run ./cmd/hesgx-bench2json -o BENCH_PR9.json
+	@cat BENCH_PR9.json
 
 # One-iteration pass over every benchmark — CI smoke that the bench code
 # still compiles and runs, without paying for stable timings.
@@ -77,6 +80,12 @@ bench-regression:
 		-new /tmp/hesgx-bench-rns.json -max-ratio 2.0 -metrics rns_ns/op \
 		-min-ratio 0.5 -min-metrics speedup_x \
 		-floor 2.0 -floor-metrics speedup_x
+	$(GO) test -run '^$$' -bench 'BenchmarkPackedConvVsGather$$' -benchtime 3x -timeout 30m . \
+		| $(GO) run ./cmd/hesgx-bench2json -o /tmp/hesgx-bench-packed.json
+	$(GO) run ./cmd/hesgx-benchdiff -base BENCH_PR9.json \
+		-new /tmp/hesgx-bench-packed.json -max-ratio 2.0 -metrics packed_ns/op,cts/image \
+		-min-ratio 0.5 -min-metrics speedup_x \
+		-floor 4.0 -floor-metrics speedup_x
 	$(MAKE) soak SOAK_DURATION=5s
 
 # End-to-end latency under load: drive an in-process reference server with

@@ -5,17 +5,27 @@
 // Usage:
 //
 //	hesgx-client -addr localhost:7700 [-digit 7] [-count 3]
+//	             [-packed] [-galois-kernel 5]
+//
+// With -packed the image rides the wire slot-packed in a single ciphertext
+// and the server runs the convolution prefix as Galois rotations (the
+// server needs -simd-params -packed-conv). By default the client generates
+// the rotation key set for a -galois-kernel × -galois-kernel convolution
+// and uploads it after attestation; -galois-kernel 0 skips the upload and
+// the enclave generates keys on first use instead.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math"
 	mrand "math/rand/v2"
 	"os"
 	"time"
 
 	"hesgx/internal/attest"
 	"hesgx/internal/dataset"
+	"hesgx/internal/nn"
 	"hesgx/internal/wire"
 )
 
@@ -28,6 +38,8 @@ func run() int {
 	digit := flag.Int("digit", -1, "digit to query (-1 = random)")
 	count := flag.Int("count", 1, "number of queries")
 	seed := flag.Uint64("seed", uint64(time.Now().UnixNano()), "image randomness seed")
+	packed := flag.Bool("packed", false, "send slot-packed one-ciphertext queries (server must run -packed-conv)")
+	galoisKernel := flag.Int("galois-kernel", 5, "conv kernel size whose rotation keys to upload before packed queries (0: let the enclave generate keys)")
 	flag.Parse()
 
 	verifier := attest.NewService()
@@ -51,6 +63,26 @@ func run() int {
 	fmt.Printf("attested enclave and received HE keys in %s (%s)\n",
 		time.Since(start).Round(time.Millisecond), client.Params())
 
+	if *packed && *galoisKernel > 0 {
+		// Rotation steps for a k×k convolution over a Width-wide slot
+		// layout: slot (y,x) sits at y·Width+x, so tap (ky,kx) is a left
+		// rotation by ky·Width+kx. The 2×2 mean-pool offsets are a subset.
+		var steps []int
+		for ky := 0; ky < *galoisKernel; ky++ {
+			for kx := 0; kx < *galoisKernel; kx++ {
+				if s := ky*dataset.Width + kx; s != 0 {
+					steps = append(steps, s)
+				}
+			}
+		}
+		kStart := time.Now()
+		if err := client.UploadGaloisKeys(steps, 0); err != nil {
+			fmt.Fprintf(os.Stderr, "galois key upload: %v\n", err)
+			return 1
+		}
+		fmt.Printf("uploaded %d rotation keys in %s\n", len(steps), time.Since(kStart).Round(time.Millisecond))
+	}
+
 	rng := mrand.New(mrand.NewPCG(*seed, *seed^0xc11e47))
 	correct := 0
 	for i := 0; i < *count; i++ {
@@ -60,7 +92,13 @@ func run() int {
 		}
 		img := dataset.RenderDigit(d, rng)
 		qStart := time.Now()
-		pred, err := client.Predict(img, 255)
+		var pred int
+		var err error
+		if *packed {
+			pred, err = predictPacked(client, img)
+		} else {
+			pred, err = client.Predict(img, 255)
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "inference: %v\n", err)
 			return 1
@@ -75,4 +113,19 @@ func run() int {
 	}
 	fmt.Printf("%d/%d correct\n", correct, *count)
 	return 0
+}
+
+// predictPacked runs one slot-packed inference and picks the argmax logit.
+func predictPacked(client *wire.Client, img *nn.Tensor) (int, error) {
+	logits, err := client.InferPacked(img, 255)
+	if err != nil {
+		return 0, err
+	}
+	best, bestV := 0, math.Inf(-1)
+	for i, v := range logits {
+		if v > bestV {
+			best, bestV = i, v
+		}
+	}
+	return best, nil
 }

@@ -9,7 +9,8 @@
 //	hesgx-server -model model.bin [-addr :7700] [-calibrated]
 //	             [-workers N] [-queue N] [-deadline 2s]
 //	             [-batch-window 2ms] [-batch-max 256] [-no-batching]
-//	             [-simd-params] [-lane-window 5ms] [-lane-max 64]
+//	             [-simd-params] [-packed-conv]
+//	             [-lane-window 5ms] [-lane-max 64]
 //	             [-lane-min 2] [-no-lanes]
 //	             [-stats-interval 30s] [-admin :9090]
 //	             [-trace-ring 64] [-report-ring 64] [-slo spec|off]
@@ -20,6 +21,11 @@
 // one engine pass serves up to -lane-max requests. With the default
 // (non-batching) parameters the lane stage disables itself and every
 // request runs its own scalar pass.
+//
+// With -packed-conv (on top of -simd-params) the engine additionally plans
+// the conv→act→pool prefix over slot-packed feature maps: a whole image
+// rides in one ciphertext and the convolution runs as Galois rotations
+// under keys the client uploads (or the enclave generates on first use).
 //
 // With -admin set, an HTTP observability endpoint serves Prometheus
 // text-format metrics at /metrics, Go profiles under /debug/pprof/, the
@@ -68,6 +74,7 @@ func run() int {
 	batchMax := flag.Int("batch-max", 0, "max ciphertexts per batched ECALL (0: default 256)")
 	noBatching := flag.Bool("no-batching", false, "disable cross-request ECALL batching")
 	simdParams := flag.Bool("simd-params", false, "use a batching-capable parameter set (prime t ≡ 1 mod 2n); required for slot-lane packing")
+	packedConv := flag.Bool("packed-conv", false, "plan the conv→act→pool prefix over one-ciphertext slot-packed feature maps (needs -simd-params)")
 	laneWindow := flag.Duration("lane-window", 0, "slot-lane packing window: how long a request waits for lane company (0: default 5ms)")
 	laneMax := flag.Int("lane-max", 0, "max requests packed into one shared engine pass (0: default 64, clamped to the slot count)")
 	laneMin := flag.Int("lane-min", 0, "fill floor below which an expired lane bucket falls back to scalar passes (0: default 2)")
@@ -116,10 +123,23 @@ func run() int {
 		logger.Error("launching enclave", "err", err)
 		return 1
 	}
-	engine, err := core.NewHybridEngine(svc, model, core.DefaultConfig())
+	cfg := core.DefaultConfig()
+	cfg.PackedConv = *packedConv
+	engine, err := core.NewHybridEngine(svc, model, cfg)
 	if err != nil {
 		logger.Error("planning engine", "err", err)
 		return 1
+	}
+	if *packedConv {
+		if info := engine.PackedInfo(); info.Active {
+			logger.Info("packed convolution plan active",
+				"prefix_steps", info.PrefixSteps,
+				"conv_budget_bits", fmt.Sprintf("%.2f", info.ConvBudgetBits),
+				"pool_budget_bits", fmt.Sprintf("%.2f", info.PoolBudgetBits))
+		} else {
+			logger.Warn("packed convolution plan inactive; slot-packed queries will be rejected",
+				"reason", info.Reason)
+		}
 	}
 	logger.Info("encoding model weights into the homomorphic plaintext space",
 		"weights", engine.EncodedWeightCount())

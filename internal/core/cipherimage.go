@@ -30,6 +30,12 @@ const (
 	imgFlagSeeded byte = 1 << 0
 	// imgFlagPacked: elements are packed he.Ciphertext frames.
 	imgFlagPacked byte = 1 << 1
+	// imgFlagSlotPacked: the image uses the slot-packed layout (one
+	// ciphertext per channel, pixel (y, x) at slot y·Width + x), so the
+	// element count is Channels rather than Channels·Height·Width. Only
+	// valid together with imgFlagPacked: seeded uploads stay pixel-per-
+	// ciphertext.
+	imgFlagSlotPacked byte = 1 << 2
 )
 
 // WireVersion identifies which cipher-image encoding a peer used, so replies
@@ -49,6 +55,9 @@ const (
 func MarshalCipherImage(im *CipherImage) ([]byte, error) {
 	if im == nil {
 		return nil, fmt.Errorf("core: nil cipher image")
+	}
+	if im.Packed {
+		return nil, fmt.Errorf("core: the legacy v1 format cannot carry slot-packed images")
 	}
 	var buf bytes.Buffer
 	writeU32(&buf, uint32(im.Channels))
@@ -228,7 +237,11 @@ func WriteCipherImagePacked(w io.Writer, im *CipherImage) error {
 	if im == nil {
 		return fmt.Errorf("core: nil cipher image")
 	}
-	if err := writeImageV2Header(w, imgFlagPacked, im.Channels, im.Height, im.Width, im.Scale, len(im.CTs)); err != nil {
+	flags := imgFlagPacked
+	if im.Packed {
+		flags |= imgFlagSlotPacked
+	}
+	if err := writeImageV2Header(w, flags, im.Channels, im.Height, im.Width, im.Scale, len(im.CTs)); err != nil {
 		return err
 	}
 	for i, ct := range im.CTs {
@@ -287,7 +300,16 @@ func unmarshalCipherImageV2(b []byte, params he.Parameters) (*CipherImage, error
 	if err != nil {
 		return nil, fmt.Errorf("core: cipher image count: %w", err)
 	}
-	if int(count) != channels*height*width {
+	slotPacked := flags&imgFlagSlotPacked != 0
+	wantCount := channels * height * width
+	if slotPacked {
+		if flags&imgFlagPacked == 0 || flags&imgFlagSeeded != 0 {
+			return nil, fmt.Errorf("core: v2 cipher image with invalid flags %#x (slot-packed requires packed, not seeded)", flags)
+		}
+		// Slot-packed layout: one ciphertext per channel.
+		wantCount = channels
+	}
+	if int(count) != wantCount {
 		return nil, fmt.Errorf("core: cipher image has %d ciphertexts for geometry %dx%dx%d",
 			count, channels, height, width)
 	}
@@ -310,7 +332,7 @@ func unmarshalCipherImageV2(b []byte, params he.Parameters) (*CipherImage, error
 		if err := boundElementCount(count, he.MinCiphertextWireSize(params), r.Len()); err != nil {
 			return nil, err
 		}
-		im := &CipherImage{Channels: channels, Height: height, Width: width, Scale: scale}
+		im := &CipherImage{Channels: channels, Height: height, Width: width, Scale: scale, Packed: slotPacked}
 		im.CTs = make([]*he.Ciphertext, count)
 		for i := range im.CTs {
 			ct, err := he.ReadCiphertextAny(r, params)

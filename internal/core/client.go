@@ -27,6 +27,7 @@ type Client struct {
 	senc   *he.SymmetricEncryptor
 	dec    *he.Decryptor
 	scalar *encoding.ScalarEncoder
+	packed *encoding.PackedEncoder
 
 	ecdhPriv *ecdh.PrivateKey
 }
@@ -162,6 +163,21 @@ func (c *Client) install(params he.Parameters, sk *he.SecretKey, pk *he.PublicKe
 // Ready reports whether key material is installed.
 func (c *Client) Ready() bool { return c.sk != nil }
 
+// GenerateGaloisKeys generates rotation key-switching keys for the given
+// slot-rotation steps under the client's secret key, for upload to an edge
+// server ahead of slot-packed inference. baseBits 0 selects the library
+// default decomposition.
+func (c *Client) GenerateGaloisKeys(steps []int, baseBits int) (*he.GaloisKeys, error) {
+	if c.sk == nil {
+		return nil, fmt.Errorf("core: no secret key installed")
+	}
+	kg, err := he.NewKeyGenerator(c.Params, ring.NewCryptoSource())
+	if err != nil {
+		return nil, err
+	}
+	return kg.GenGaloisKeys(c.sk, steps, baseBits)
+}
+
 // CipherImage is a pixel-per-ciphertext encrypted feature map, the data
 // layout of the paper's implementation (each pixel is encoded into a
 // polynomial and encrypted; Table II).
@@ -176,6 +192,11 @@ type CipherImage struct {
 	// image s (§VIII). The engine derives per-inference SIMD execution from
 	// this, so lane-packed and scalar images flow through the same API.
 	Lanes int
+	// Packed marks the slot-packed layout: one ciphertext per channel with
+	// pixel (y, x) at slot y·Width + x of the rotation hypercube's row 0
+	// (EncryptImagePacked). Requires an engine planned with
+	// Config.PackedConv; mutually exclusive with Lanes > 1.
+	Packed bool
 }
 
 // At returns the ciphertext at (c, y, x).
@@ -243,6 +264,58 @@ func (c *Client) EncryptImageSeeded(img *nn.Tensor, pixelScale uint64) (*SeededC
 		Channels: img.Shape[0], Height: img.Shape[1], Width: img.Shape[2],
 		CTs: cts, Scale: pixelScale,
 	}, nil
+}
+
+// EncryptImagePacked quantizes pixels at pixelScale and encrypts each
+// channel as one slot-packed ciphertext: pixel (y, x) lands at slot
+// y·Width + x of the rotation hypercube's row 0, the layout the packed
+// conv/pool kernels rotate. Requires a batching-capable plaintext modulus
+// and a feature map no larger than n/2 slots. The upload cost collapses
+// from Channels·Height·Width ciphertexts to Channels.
+func (c *Client) EncryptImagePacked(img *nn.Tensor, pixelScale uint64) (*CipherImage, error) {
+	if !c.Ready() {
+		return nil, fmt.Errorf("core: client has no keys; complete the key exchange first")
+	}
+	if len(img.Shape) != 3 {
+		return nil, fmt.Errorf("core: image must be [c, h, w], got %v", img.Shape)
+	}
+	enc, err := c.packedCodec()
+	if err != nil {
+		return nil, fmt.Errorf("core: packed encoding: %w", err)
+	}
+	ch, h, w := img.Shape[0], img.Shape[1], img.Shape[2]
+	if h*w > enc.RowLen() {
+		return nil, fmt.Errorf("core: image %dx%d exceeds %d row slots", h, w, enc.RowLen())
+	}
+	ints := nn.QuantizeImage(img, float64(pixelScale))
+	cts := make([]*he.Ciphertext, ch)
+	for i := 0; i < ch; i++ {
+		pt, err := enc.Encode(ints[i*h*w : (i+1)*h*w])
+		if err != nil {
+			return nil, fmt.Errorf("core: packing channel %d: %w", i, err)
+		}
+		ct, err := c.enc.Encrypt(pt)
+		if err != nil {
+			return nil, fmt.Errorf("core: encrypting channel %d: %w", i, err)
+		}
+		cts[i] = ct
+	}
+	return &CipherImage{
+		Channels: ch, Height: h, Width: w,
+		CTs: cts, Scale: pixelScale, Lanes: 1, Packed: true,
+	}, nil
+}
+
+// packedCodec lazily builds the rotation-aware slot encoder.
+func (c *Client) packedCodec() (*encoding.PackedEncoder, error) {
+	if c.packed == nil {
+		enc, err := encoding.NewPackedEncoder(c.Params)
+		if err != nil {
+			return nil, err
+		}
+		c.packed = enc
+	}
+	return c.packed, nil
 }
 
 // DecryptValues decrypts a batch of scalar ciphertexts to centered values.

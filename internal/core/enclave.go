@@ -45,13 +45,15 @@ const (
 	ECallRefresh    = "refresh"
 	ECallLanePack   = "lane_pack"
 	ECallLaneDemux  = "lane_demux"
+	ECallPoolUnpack = "pool_unpack"
+	ECallGaloisKeys = "galois_keys"
 )
 
 // EnclaveName identifies the inference enclave; it feeds the measurement.
 const EnclaveName = "hesgx-inference-enclave"
 
 // EnclaveVersion feeds the measurement; bump on trusted-code changes.
-const EnclaveVersion = "1.3.0"
+const EnclaveVersion = "1.4.0"
 
 // EnclaveService hosts the trusted half of the framework on an SGX
 // platform: FV key generation and custody, key provisioning via ECDH for
@@ -109,6 +111,13 @@ type enclaveState struct {
 	batchOnce sync.Once
 	batchEnc  *encoding.BatchEncoder
 	batchErr  error
+
+	// packedOnce lazily builds the rotation-aware slot codec for
+	// pool-unpack requests (same modulus requirement as batching, but
+	// slots addressed by root exponent so Galois rotations are row shifts).
+	packedOnce sync.Once
+	packedEnc  *encoding.PackedEncoder
+	packedErr  error
 }
 
 // slotCodec returns the CRT slot encoder for SIMD requests.
@@ -117,6 +126,14 @@ func (st *enclaveState) slotCodec() (*encoding.BatchEncoder, error) {
 		st.batchEnc, st.batchErr = encoding.NewBatchEncoder(st.params)
 	})
 	return st.batchEnc, st.batchErr
+}
+
+// packedCodec returns the rotation-aware slot encoder for packed layouts.
+func (st *enclaveState) packedCodec() (*encoding.PackedEncoder, error) {
+	st.packedOnce.Do(func() {
+		st.packedEnc, st.packedErr = encoding.NewPackedEncoder(st.params)
+	})
+	return st.packedEnc, st.packedErr
 }
 
 // loadedKeys are the working key objects an ECALL derives from the at-rest
@@ -238,6 +255,8 @@ func NewEnclaveService(platform *sgx.Platform, params he.Parameters, opts ...Ser
 			ECallRefresh:    state.refresh,
 			ECallLanePack:   state.lanePack,
 			ECallLaneDemux:  state.laneDemux,
+			ECallPoolUnpack: state.poolUnpack,
+			ECallGaloisKeys: state.galoisKeys,
 		},
 	})
 	if err != nil {
@@ -684,4 +703,127 @@ func (st *enclaveState) refresh(ctx *sgx.Context, input []byte) ([]byte, error) 
 		return nil, err
 	}
 	return meter.wrap(enc), nil
+}
+
+// poolUnpack finishes the rotation-based packed pooling kernel: each input
+// ciphertext is a slot-packed channel whose slot (k·oy)·stride + k·ox holds
+// the homomorphically computed window sum for output (oy, ox), with
+// stride = req.Lanes (the slot row stride of the packed layout — the
+// original image width). The enclave decrypts with the rotation-aware
+// packed codec, divides every window sum, and re-encrypts the pooled map as
+// scalar ciphertexts in channel-major order, handing the pipeline back to
+// the scalar flatten/FC tail.
+func (st *enclaveState) poolUnpack(ctx *sgx.Context, input []byte) ([]byte, error) {
+	st.touchKeys(ctx)
+	keys, err := st.loadKeys(ctx)
+	if err != nil {
+		return nil, err
+	}
+	req, err := unmarshalNonlinearRequest(input)
+	if err != nil {
+		return nil, err
+	}
+	codec, err := st.packedCodec()
+	if err != nil {
+		return nil, fmt.Errorf("pool unpack request: %w", err)
+	}
+	w, h, c, k, stride := int(req.Width), int(req.Height), int(req.Channels), int(req.Window), int(req.Lanes)
+	if w <= 0 || h <= 0 || c <= 0 || k <= 0 {
+		return nil, fmt.Errorf("pool unpack geometry %dx%dx%d window %d invalid", c, h, w, k)
+	}
+	if h%k != 0 || w%k != 0 {
+		return nil, fmt.Errorf("pool unpack window %d does not divide %dx%d", k, h, w)
+	}
+	if stride < w {
+		return nil, fmt.Errorf("pool unpack slot stride %d below map width %d", stride, w)
+	}
+	if req.Divisor == 0 {
+		return nil, fmt.Errorf("pool unpack with zero divisor")
+	}
+	oh, ow := h/k, w/k
+	// All window sums must live in row 0 of the packed layout: rotations
+	// never mix the two rows, so the furthest output slot bounds the map.
+	if maxSlot := (k*(oh-1))*stride + k*(ow-1); maxSlot >= codec.RowLen() {
+		return nil, fmt.Errorf("pool unpack slot %d exceeds row length %d", maxSlot, codec.RowLen())
+	}
+	cts, err := decodeCiphertextBatch(req.CTs, st.params)
+	if err != nil {
+		return nil, err
+	}
+	if len(cts) != c {
+		return nil, fmt.Errorf("pool unpack batch %d != %d channels", len(cts), c)
+	}
+	var meter budgetMeter
+	d := int64(req.Divisor)
+	out := make([][]int64, c*oh*ow)
+	for ch, ct := range cts {
+		pt, bits, err := keys.dec.DecryptWithBudget(ct)
+		if err != nil {
+			return nil, fmt.Errorf("pool unpack decrypt channel %d: %w", ch, err)
+		}
+		meter.observe(bits)
+		slots, err := codec.Decode(pt)
+		if err != nil {
+			return nil, fmt.Errorf("pool unpack decode channel %d: %w", ch, err)
+		}
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				sum := slots[(k*oy)*stride+k*ox]
+				out[(ch*oh+oy)*ow+ox] = []int64{divRound(sum, d)}
+			}
+		}
+		ctx.Touch(st.params.N * 8 * 2)
+	}
+	enc, err := st.encryptVectors(ctx, keys, out, false)
+	if err != nil {
+		return nil, err
+	}
+	return meter.wrap(enc), nil
+}
+
+// galoisKeys generates rotation key-switch keys inside the enclave for a
+// planner-supplied step set: payload is [baseBits u32][count u32][steps
+// i64...], reply the serialized he.GaloisKeys. Rotation keys are public
+// material (encryptions of automorphed secret-key digits), so handing them
+// to the untrusted engine leaks nothing the evaluation keys don't already.
+func (st *enclaveState) galoisKeys(ctx *sgx.Context, input []byte) ([]byte, error) {
+	st.touchKeys(ctx)
+	r := bytes.NewReader(input)
+	baseBits, err := readU32(r)
+	if err != nil {
+		return nil, fmt.Errorf("galois keys base bits: %w", err)
+	}
+	count, err := readU32(r)
+	if err != nil {
+		return nil, fmt.Errorf("galois keys step count: %w", err)
+	}
+	if count == 0 || int(count) > r.Len()/8 {
+		return nil, fmt.Errorf("galois keys step count %d exceeds payload", count)
+	}
+	steps := make([]int, count)
+	for i := range steps {
+		v, err := readU64(r)
+		if err != nil {
+			return nil, fmt.Errorf("galois keys step %d: %w", i, err)
+		}
+		steps[i] = int(int64(v))
+	}
+	sk, err := he.UnmarshalSecretKey(st.skBytes)
+	if err != nil {
+		return nil, fmt.Errorf("loading secret key: %w", err)
+	}
+	kg, err := he.NewKeyGenerator(st.params, st.src)
+	if err != nil {
+		return nil, err
+	}
+	gk, err := kg.GenGaloisKeys(sk, steps, int(baseBits))
+	if err != nil {
+		return nil, err
+	}
+	out, err := he.MarshalGaloisKeys(gk)
+	if err != nil {
+		return nil, err
+	}
+	ctx.Touch(len(out))
+	return out, nil
 }

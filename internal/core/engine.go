@@ -82,6 +82,16 @@ type Config struct {
 	// single-threaded SEAL runs), -1 = one per CPU, n > 1 = exactly n.
 	// Enclave calls remain batched and sequential either way.
 	Workers int
+	// PackedConv enables the rotation-keyed packed execution prefix for
+	// images encrypted with Client.EncryptImagePacked: whole feature maps
+	// live in one ciphertext per channel, convolution and pooling run as
+	// hoisted Galois rotations, and the enclave's pool-unpack ECALL rejoins
+	// the scalar plan. Requires a batching-capable plaintext modulus and a
+	// conv → act → pool model prefix with enough noise budget for the
+	// key-switched path; when any requirement fails the engine records the
+	// reason (PackedInfo) and packed images are rejected, while scalar
+	// images always keep the scalar layout.
+	PackedConv bool
 }
 
 // DefaultConfig returns scales tuned for the Fig. 7 CNN at the n=2048
@@ -163,6 +173,12 @@ type HybridEngine struct {
 	// slotCapable records whether the parameters support CRT slot batching
 	// (prime t ≡ 1 mod 2n) — the gate for lane-packed images.
 	slotCapable bool
+
+	// packed is the rotation-keyed packed execution plan (nil when
+	// Config.PackedConv is off or the planner fell back); packedReason
+	// records why planning declined.
+	packed       *packedPlan
+	packedReason string
 
 	// outScale is the fixed-point scale of the final logits.
 	outScale float64
@@ -275,6 +291,9 @@ func NewHybridEngine(svc *EnclaveService, model *nn.Network, cfg Config) (*Hybri
 		s.label = fmt.Sprintf("%02d_%s", i, s.kind.String())
 	}
 	e.outScale = scale
+	if cfg.PackedConv {
+		e.packed, e.packedReason = planPacked(params, e.steps, e.slotCapable)
+	}
 	return e, nil
 }
 
@@ -459,11 +478,34 @@ func (e *HybridEngine) InferContext(ctx context.Context, img *CipherImage) (*Inf
 	if img.Lanes > e.params.N {
 		return nil, fmt.Errorf("core: image packs %d lanes, exceeding %d slots", img.Lanes, e.params.N)
 	}
+	// Slot-packed images (one ciphertext per channel) require the packed
+	// plan; they are mutually exclusive with lane packing, which assigns
+	// slots to images instead of pixels.
+	var gk *he.GaloisKeys
+	if img.Packed {
+		if img.Lanes > 1 {
+			return nil, fmt.Errorf("core: image is both slot-packed and lane-packed")
+		}
+		if e.packed == nil {
+			if e.packedReason != "" {
+				return nil, fmt.Errorf("core: slot-packed image but packed execution unavailable: %s", e.packedReason)
+			}
+			return nil, fmt.Errorf("core: slot-packed image but engine not configured for packed execution (set PackedConv)")
+		}
+		if img.Height*img.Width > e.params.N/2 {
+			return nil, fmt.Errorf("core: packed image %dx%d exceeds %d row slots", img.Height, img.Width, e.params.N/2)
+		}
+		var err error
+		if gk, err = e.galoisKeysFor(img.Width); err != nil {
+			return nil, err
+		}
+	}
 	if err := e.EncodeWeights(); err != nil {
 		return nil, err
 	}
 	cts := img.CTs
 	c, h, w := img.Channels, img.Height, img.Width
+	stride := img.Width // slot row stride of the packed layout
 	scale := float64(e.cfg.PixelScale)
 	r := e.params.Ring()
 
@@ -478,6 +520,8 @@ func (e *HybridEngine) InferContext(ctx context.Context, img *CipherImage) (*Inf
 		start := time.Now()
 		fwd0, inv0 := r.NTTCounts()
 		limb0, crt0 := ring.RNSCounts()
+		ks0, hr0 := he.KeySwitchOps(), he.HoistedRotations()
+		packedStep := img.Packed && i < packedPrefix(e.packed)
 		var err error
 		// The pprof label attributes every CPU sample of this step — and of
 		// the parallelFor workers it spawns, which inherit labels — to the
@@ -486,13 +530,25 @@ func (e *HybridEngine) InferContext(ctx context.Context, img *CipherImage) (*Inf
 		pprof.Do(sctx, pprof.Labels("hesgx_layer", s.label), func(lctx context.Context) {
 			switch s.kind {
 			case stepConv:
-				cts, c, h, w, err = e.runConvParallel(s, cts, c, h, w, e.effectiveWorkers())
+				if packedStep {
+					cts, h, w, err = e.runPackedConv(s, cts, h, w, stride, gk)
+					c = s.conv.OutC
+				} else {
+					cts, c, h, w, err = e.runConvParallel(s, cts, c, h, w, e.effectiveWorkers())
+				}
 				scale *= float64(e.cfg.WeightScale)
 			case stepAct:
-				cts, err = e.runActivation(lctx, s, cts, uint64(scale), simd)
+				// Packed feature maps go through the element-wise SIMD
+				// enclave path: a fixed slot permutation commutes with
+				// element-wise activation, so the batch codec applies.
+				cts, err = e.runActivation(lctx, s, cts, uint64(scale), simd || packedStep)
 				scale = float64(e.cfg.ActScale)
 			case stepPool:
-				cts, h, w, err = e.runPool(lctx, s, cts, c, h, w, simd)
+				if packedStep {
+					cts, h, w, err = e.runPackedPool(lctx, s, cts, c, h, w, stride, gk)
+				} else {
+					cts, h, w, err = e.runPool(lctx, s, cts, c, h, w, simd)
+				}
 			case stepFlatten:
 				// No-op on the flat ciphertext slice.
 			case stepFC:
@@ -519,6 +575,13 @@ func (e *HybridEngine) InferContext(ctx context.Context, img *CipherImage) (*Inf
 		if limbMuls > 0 || crtExtends > 0 {
 			span.Arg("limb_muls", float64(limbMuls)).Arg("crt_extends", float64(crtExtends))
 		}
+		// Rotation key-switch activity: non-zero only on packed-prefix
+		// steps. Same approximate attribution under concurrency as above.
+		ks1, hr1 := he.KeySwitchOps(), he.HoistedRotations()
+		ksOps, hoisted := ks1-ks0, hr1-hr0
+		if ksOps > 0 {
+			span.Arg("keyswitch_ops", float64(ksOps)).Arg("hoisted_rotations", float64(hoisted))
+		}
 		if err != nil {
 			span.Arg("error", 1).End()
 			return nil, fmt.Errorf("core: step %d: %w", i, err)
@@ -534,6 +597,10 @@ func (e *HybridEngine) InferContext(ctx context.Context, img *CipherImage) (*Inf
 			if limbMuls > 0 || crtExtends > 0 {
 				e.metrics.Counter("engine.layer." + s.kind.String() + ".limb_muls").Add(int64(limbMuls))
 				e.metrics.Counter("engine.layer." + s.kind.String() + ".crt_extends").Add(int64(crtExtends))
+			}
+			if ksOps > 0 {
+				e.metrics.Counter("engine.layer." + s.kind.String() + ".keyswitch_ops").Add(int64(ksOps))
+				e.metrics.Counter("engine.layer." + s.kind.String() + ".hoisted_rotations").Add(int64(hoisted))
 			}
 		}
 	}
@@ -551,6 +618,9 @@ func (e *HybridEngine) InferContext(ctx context.Context, img *CipherImage) (*Inf
 		e.metrics.Gauge("ring.parallel_tasks").Set(int64(parTasks))
 		e.metrics.Gauge("ring.parallel_busy").Set(parBusy)
 		e.metrics.Gauge("ring.parallel_peak").Set(parPeak)
+		e.metrics.Gauge("ring.rotations").Set(int64(ring.RotationCount()))
+		e.metrics.Gauge("he.keyswitch_ops").Set(int64(he.KeySwitchOps()))
+		e.metrics.Gauge("he.hoisted_rotations").Set(int64(he.HoistedRotations()))
 	}
 	return &InferenceResult{Logits: cts, OutScale: scale}, nil
 }

@@ -48,6 +48,15 @@ func WithTruePlainMul(on bool) EngineOption {
 	return func(c *Config) { c.TruePlainMul = on }
 }
 
+// WithPackedConv enables the rotation-keyed packed execution prefix for
+// slot-packed images (Client.EncryptImagePacked): one ciphertext per
+// channel, convolution and pooling as hoisted Galois rotations. Falls back
+// to scalar layout — with the reason recorded in PackedInfo — when the
+// parameters or model shape do not support it.
+func WithPackedConv(on bool) EngineOption {
+	return func(c *Config) { c.PackedConv = on }
+}
+
 // WithoutNTTResidency disables the evaluation-form hot path for
 // TruePlainMul linear layers (ablation only; bit-identical results).
 func WithoutNTTResidency() EngineOption {

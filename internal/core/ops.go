@@ -41,6 +41,16 @@ const (
 	// OpLaneDemux splits slot-packed ciphertexts back into Lanes scalar
 	// groups (lane-major), the reply half of lane-batched serving.
 	OpLaneDemux
+	// OpPoolUnpack finishes the rotation-based packed pooling kernel: the
+	// input is one slot-packed ciphertext per channel whose slot
+	// (Window·oy)·Lanes + Window·ox holds the homomorphically computed
+	// window sum for output position (oy, ox). The enclave decrypts with
+	// the rotation-aware packed codec, divides each sum by Divisor
+	// (round-half-away), and re-encrypts the pooled map as scalar
+	// ciphertexts in channel-major order — the layout the flatten/FC tail
+	// of the pipeline consumes. Lanes carries the slot row stride of the
+	// packed layout (the original image width), not a lane count.
+	OpPoolUnpack
 )
 
 // String names the op kind for metrics and logs.
@@ -62,6 +72,8 @@ func (k OpKind) String() string {
 		return "lane_pack"
 	case OpLaneDemux:
 		return "lane_demux"
+	case OpPoolUnpack:
+		return "pool_unpack"
 	default:
 		return fmt.Sprintf("op(%d)", uint8(k))
 	}
@@ -86,6 +98,8 @@ func (k OpKind) ecallName() (string, error) {
 		return ECallLanePack, nil
 	case OpLaneDemux:
 		return ECallLaneDemux, nil
+	case OpPoolUnpack:
+		return ECallPoolUnpack, nil
 	default:
 		return "", fmt.Errorf("core: unknown op kind %d", uint8(k))
 	}
@@ -149,6 +163,22 @@ func (op NonlinearOp) Validate() error {
 	case OpLanePack, OpLaneDemux:
 		if op.Lanes < 2 {
 			return fmt.Errorf("core: %s op needs at least 2 lanes, got %d", op.Kind, op.Lanes)
+		}
+	case OpPoolUnpack:
+		g := op.Geometry
+		if g.Channels <= 0 || g.Height <= 0 || g.Width <= 0 || g.Window <= 0 {
+			return fmt.Errorf("core: %s op geometry %dx%dx%d window %d invalid",
+				op.Kind, g.Channels, g.Height, g.Width, g.Window)
+		}
+		if g.Height%g.Window != 0 || g.Width%g.Window != 0 {
+			return fmt.Errorf("core: %s op window %d does not divide %dx%d",
+				op.Kind, g.Window, g.Height, g.Width)
+		}
+		if op.Divisor == 0 {
+			return fmt.Errorf("core: %s op divide by zero", op.Kind)
+		}
+		if op.Lanes < g.Width {
+			return fmt.Errorf("core: %s op slot stride %d below map width %d", op.Kind, op.Lanes, g.Width)
 		}
 	default:
 		return fmt.Errorf("core: unknown op kind %d", uint8(op.Kind))

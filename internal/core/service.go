@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"time"
@@ -105,6 +106,31 @@ func (s *EnclaveService) Nonlinear(ctx context.Context, op NonlinearOp, cts []*h
 // durMS converts a duration to fractional milliseconds, the unit every
 // latency metric uses.
 func durMS(d time.Duration) float64 { return float64(d.Microseconds()) / 1000.0 }
+
+// GaloisKeys asks the enclave to generate rotation key-switch keys for the
+// given rotation steps at decomposition base 2^baseBits (0 selects
+// he.DefaultGaloisBaseBits). The engine calls this once per packed layout;
+// wire clients may instead upload a key set they generated themselves.
+func (s *EnclaveService) GaloisKeys(steps []int, baseBits int) (*he.GaloisKeys, error) {
+	if len(steps) == 0 {
+		return nil, fmt.Errorf("core: empty rotation step set")
+	}
+	var buf bytes.Buffer
+	writeU32(&buf, uint32(baseBits))
+	writeU32(&buf, uint32(len(steps)))
+	for _, step := range steps {
+		writeU64(&buf, uint64(int64(step)))
+	}
+	out, err := s.enclave.ECall(ECallGaloisKeys, buf.Bytes())
+	if err != nil {
+		return nil, fmt.Errorf("core: generating galois keys: %w", err)
+	}
+	gk, err := he.UnmarshalGaloisKeys(out)
+	if err != nil {
+		return nil, fmt.Errorf("core: decoding galois keys: %w", err)
+	}
+	return gk, nil
+}
 
 // ProvisionKeys performs the server side of key delivery: it forwards the
 // user's ephemeral ECDH public key into the enclave and returns the opaque

@@ -1,0 +1,117 @@
+package encoding
+
+import (
+	"fmt"
+
+	"hesgx/internal/he"
+	"hesgx/internal/ring"
+)
+
+// PackedEncoder is the rotation-aware sibling of BatchEncoder. Both pack n
+// Z_t values into the CRT slots of x^n+1 mod t, but BatchEncoder addresses
+// slots by raw transform position, where a Galois automorphism scatters
+// them unpredictably. PackedEncoder instead addresses slots by root
+// exponent, arranged as the standard 2×(n/2) hypercube: row 0 slot j holds
+// the evaluation at ζ^(5^j mod 2n), row 1 slot j the evaluation at
+// ζ^(-5^j mod 2n). Under this layout the automorphism φ_(5^r) — applied in
+// the NTT domain as a pure index permutation (see ring.AutomorphismNTT) —
+// rotates each row left by r slots, which is what the packed conv/pool
+// kernels are built on.
+type PackedEncoder struct {
+	params   he.Parameters
+	slotRing *ring.Ring
+	rowLen   int
+	// pos[row][j] is the transform position of the slot (row, j).
+	pos [2][]int32
+}
+
+// NewPackedEncoder builds a packed encoder. The plaintext modulus must
+// support batching (prime t ≡ 1 mod 2n), same as NewBatchEncoder.
+func NewPackedEncoder(params he.Parameters) (*PackedEncoder, error) {
+	if !params.Valid() {
+		return nil, fmt.Errorf("encoding: invalid parameters")
+	}
+	n := params.N
+	t := params.T
+	if t%uint64(2*n) != 1 {
+		return nil, fmt.Errorf("encoding: plaintext modulus %d is not ≡ 1 mod %d; batching unsupported", t, 2*n)
+	}
+	if !ring.IsPrime(t) {
+		return nil, fmt.Errorf("encoding: plaintext modulus %d is not prime; batching unsupported", t)
+	}
+	sr, err := ring.NewRing(n, t)
+	if err != nil {
+		return nil, fmt.Errorf("encoding: building slot ring: %w", err)
+	}
+	// Invert the transform's root-exponent map, then walk the two orbits of
+	// ⟨5⟩ ⊂ (Z/2n)^*: exponents 5^j land in row 0, their negations in row 1.
+	exp := sr.NTTExponents()
+	posByExp := make([]int32, 2*n)
+	for i := range posByExp {
+		posByExp[i] = -1
+	}
+	for p, e := range exp {
+		posByExp[e] = int32(p)
+	}
+	m := uint64(2 * n)
+	enc := &PackedEncoder{params: params, slotRing: sr, rowLen: n / 2}
+	enc.pos[0] = make([]int32, n/2)
+	enc.pos[1] = make([]int32, n/2)
+	g := uint64(1)
+	for j := 0; j < n/2; j++ {
+		p0, p1 := posByExp[g], posByExp[m-g]
+		if p0 < 0 || p1 < 0 {
+			return nil, fmt.Errorf("encoding: exponent %d missing from transform layout", g)
+		}
+		enc.pos[0][j] = p0
+		enc.pos[1][j] = p1
+		g = g * 5 % m
+	}
+	return enc, nil
+}
+
+// SlotCount returns the total number of slots (the ring degree).
+func (e *PackedEncoder) SlotCount() int { return e.params.N }
+
+// RowLen returns the length n/2 of each of the two rotation rows.
+// Rotation by r (ring.GaloisElement(r, n)) maps slot (row, j) to
+// (row, (j+r) mod RowLen()) — rows rotate independently and never mix.
+func (e *PackedEncoder) RowLen() int { return e.rowLen }
+
+// Encode packs values (len ≤ SlotCount, remaining slots zero) into a
+// plaintext, row-major: values[0:n/2] fill row 0, values[n/2:n] row 1.
+// Values are reduced mod t; negative values wrap.
+func (e *PackedEncoder) Encode(values []int64) (*he.Plaintext, error) {
+	n := e.params.N
+	if len(values) > n {
+		return nil, fmt.Errorf("encoding: %d values exceed %d slots", len(values), n)
+	}
+	pt := he.NewPlaintext(e.params)
+	t := int64(e.params.T)
+	for i, v := range values {
+		r := v % t
+		if r < 0 {
+			r += t
+		}
+		row, j := i/e.rowLen, i%e.rowLen
+		pt.Poly.Coeffs[e.pos[row][j]] = uint64(r)
+	}
+	e.slotRing.INTT(pt.Poly)
+	return pt, nil
+}
+
+// Decode unpacks a plaintext into its slot values in row-major order,
+// centered in (-t/2, t/2].
+func (e *PackedEncoder) Decode(pt *he.Plaintext) ([]int64, error) {
+	if err := pt.Validate(); err != nil {
+		return nil, fmt.Errorf("encoding: packed decode: %w", err)
+	}
+	p := pt.Poly.Copy()
+	e.slotRing.NTT(p)
+	out := make([]int64, e.params.N)
+	for i := range out {
+		row, j := i/e.rowLen, i%e.rowLen
+		out[i] = e.slotRing.Mod.Centered(p.Coeffs[e.pos[row][j]])
+	}
+	return out, nil
+}

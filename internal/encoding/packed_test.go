@@ -1,0 +1,147 @@
+package encoding
+
+import (
+	"testing"
+
+	"hesgx/internal/he"
+	"hesgx/internal/ring"
+)
+
+func TestPackedEncoderRoundTrip(t *testing.T) {
+	params := testParams(t, 40961)
+	e, err := NewPackedEncoder(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.RowLen() != params.N/2 {
+		t.Fatalf("RowLen = %d, want %d", e.RowLen(), params.N/2)
+	}
+	values := make([]int64, e.SlotCount())
+	for i := range values {
+		values[i] = int64(i) - 512
+	}
+	pt, err := e.Encode(values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.Decode(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range values {
+		if got[i] != v {
+			t.Fatalf("slot %d: got %d, want %d", i, got[i], v)
+		}
+	}
+}
+
+func TestPackedEncoderRejectsUnsupportedModulus(t *testing.T) {
+	params := testParams(t, 257)
+	if _, err := NewPackedEncoder(params); err == nil {
+		t.Fatal("non-batching modulus accepted")
+	}
+}
+
+// The layout contract: applying φ_(5^r) to the plaintext polynomial rotates
+// each of the two rows left by r slots, independently, for every r. This is
+// the property Evaluator.Rotate relies on.
+func TestPackedEncoderRotationLayout(t *testing.T) {
+	params := testParams(t, 40961)
+	e, err := NewPackedEncoder(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := params.N
+	row := e.RowLen()
+	slotRing, err := ring.NewRing(n, params.T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	values := make([]int64, n)
+	for i := range values {
+		values[i] = int64((i*37+11)%2000) - 1000
+	}
+	pt, err := e.Encode(values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []int{0, 1, 2, 7, row - 1, -1, -5} {
+		g := ring.GaloisElement(r, n)
+		rot := pt.Copy()
+		slotRing.Automorphism(pt.Poly, g, rot.Poly)
+		got, err := e.Decode(rot)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rr := ((r % row) + row) % row
+		for i := range got {
+			rowIdx, j := i/row, i%row
+			want := values[rowIdx*row+(j+rr)%row]
+			if got[i] != want {
+				t.Fatalf("r=%d slot (%d,%d): got %d, want %d", r, rowIdx, j, got[i], want)
+			}
+		}
+	}
+}
+
+// End-to-end rotation property over a planned rotation set:
+// Decode(Decrypt(Rotate(Encrypt(Encode(v)), r))) must equal v with each row
+// rotated left by r, for random r drawn from the set the keys were planned
+// for — the slot-level contract the packed conv/pool kernels rely on.
+func TestRotateCiphertextRotatesSlots(t *testing.T) {
+	params := testParamsN(t, 2048, 56, 40961)
+	cc := newCryptoContext(t, params, 21)
+	e, err := NewPackedEncoder(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// newCryptoContext derives its keys from seed 21; regenerate the same
+	// secret so the rotation keys match the encryptor's key pair.
+	kg, err := he.NewKeyGenerator(params, ring.NewSeededSource(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk := kg.GenSecretKey()
+	planned := []int{1, 28, 29, 56, 112, -1}
+	gk, err := kg.GenGaloisKeys(sk, planned, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := e.RowLen()
+	values := make([]int64, e.SlotCount())
+	for i := range values {
+		values[i] = int64((i*13+7)%4001) - 2000
+	}
+	pt, err := e.Encode(values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := cc.enc.Encrypt(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := ring.NewSeededSource(23)
+	for trial := 0; trial < 4; trial++ {
+		r := planned[src.Uint64()%uint64(len(planned))]
+		rot, err := cc.eval.Rotate(ct, r, gk)
+		if err != nil {
+			t.Fatalf("Rotate(%d): %v", r, err)
+		}
+		dec, err := cc.dec.Decrypt(rot)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := e.Decode(dec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rr := ((r % row) + row) % row
+		for i := range got {
+			rowIdx, j := i/row, i%row
+			want := values[rowIdx*row+(j+rr)%row]
+			if got[i] != want {
+				t.Fatalf("r=%d slot (%d,%d): got %d, want %d", r, rowIdx, j, got[i], want)
+			}
+		}
+	}
+}

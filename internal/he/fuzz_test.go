@@ -2,6 +2,7 @@ package he
 
 import (
 	"bytes"
+	"encoding/binary"
 	"testing"
 
 	"hesgx/internal/ring"
@@ -270,6 +271,62 @@ func FuzzUnmarshalCiphertextAny(f *testing.F) {
 		}
 		if verr := got.Validate(); verr != nil {
 			t.Fatalf("accepted ciphertext fails validation: %v", verr)
+		}
+	})
+}
+
+// FuzzUnmarshalGaloisKeys drives the Galois-key wire decoder — the payload
+// of the v2 key-upload message — with valid encodings, truncations, and
+// header mutations. The decoder must bound the claimed key count against
+// the payload length before allocating (the PR 4 OOM discipline) and must
+// never panic or accept structurally invalid key material.
+func FuzzUnmarshalGaloisKeys(f *testing.F) {
+	params := fuzzParams(f)
+	kg, err := NewKeyGenerator(params, ring.NewSeededSource(11))
+	if err != nil {
+		f.Fatal(err)
+	}
+	sk := kg.GenSecretKey()
+	// A wide base keeps the corpus small (3 digits instead of 23) without
+	// changing the wire layout the decoder has to defend.
+	gk, err := kg.GenGaloisKeys(sk, []int{1, -1}, 16)
+	if err != nil {
+		f.Fatal(err)
+	}
+	valid, err := MarshalGaloisKeys(gk)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add(valid[:36])
+	f.Add(valid[:len(valid)-5])
+	hostileCount := bytes.Clone(valid)
+	binary.LittleEndian.PutUint32(hostileCount[36:], 0xFFFFFFFF)
+	f.Add(hostileCount)
+	hostileBase := bytes.Clone(valid)
+	binary.LittleEndian.PutUint32(hostileBase[32:], 0)
+	f.Add(hostileBase)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := UnmarshalGaloisKeys(data)
+		if err != nil {
+			return
+		}
+		if !got.Params.Valid() {
+			t.Fatal("accepted galois keys with invalid parameters")
+		}
+		if got.BaseBits < 1 || got.BaseBits > 60 {
+			t.Fatalf("accepted out-of-range base bits %d", got.BaseBits)
+		}
+		els := got.Elements()
+		if len(els) == 0 {
+			t.Fatal("accepted empty galois key set")
+		}
+		for _, g := range els {
+			if g&1 == 0 || g == 1 || g >= uint64(2*got.Params.N) {
+				t.Fatalf("accepted invalid galois element %d", g)
+			}
 		}
 	})
 }

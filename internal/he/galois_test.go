@@ -1,0 +1,255 @@
+package he
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"hesgx/internal/ring"
+)
+
+func testGaloisKeys(t testing.TB, tc *testContext, seed uint64, steps ...int) *GaloisKeys {
+	t.Helper()
+	kg, err := NewKeyGenerator(tc.params, ring.NewSeededSource(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gk, err := kg.GenGaloisKeys(tc.sk, steps, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return gk
+}
+
+// plaintextAutomorphism applies φ_g to a plaintext polynomial over Z_t —
+// the reference for what rotating a ciphertext must do to its decryption.
+func plaintextAutomorphism(pt *Plaintext, g uint64) *Plaintext {
+	params := pt.Params
+	n := uint64(params.N)
+	tmod := params.T
+	out := NewPlaintext(params)
+	for i := uint64(0); i < n; i++ {
+		j := (i * g) & (2*n - 1)
+		c := pt.Poly.Coeffs[i]
+		if j >= n && c != 0 {
+			c = tmod - c
+		}
+		out.Poly.Coeffs[j&(n-1)] = c
+	}
+	return out
+}
+
+// Rotate(Encrypt(m), r) must decrypt to φ_g(m) for every planned rotation
+// step — the ciphertext-level half of the rotation property (the slot-level
+// half, φ_(5^r) ≡ row rotation, is pinned in internal/encoding).
+func TestRotateMatchesPlaintextAutomorphism(t *testing.T) {
+	tc := newTestContext(t, 41)
+	steps := []int{1, 2, 7, -1, -3, 100}
+	gk := testGaloisKeys(t, tc, 42, steps...)
+	src := ring.NewSeededSource(43)
+	pt := NewPlaintext(tc.params)
+	for i := range pt.Poly.Coeffs {
+		pt.Poly.Coeffs[i] = src.Uint64() % tc.params.T
+	}
+	ct, err := tc.enc.Encrypt(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, step := range steps {
+		rot, err := tc.eval.Rotate(ct, step, gk)
+		if err != nil {
+			t.Fatalf("Rotate(%d): %v", step, err)
+		}
+		got, budget, err := tc.dec.DecryptWithBudget(rot)
+		if err != nil {
+			t.Fatalf("Decrypt after Rotate(%d): %v", step, err)
+		}
+		if budget <= 0 {
+			t.Fatalf("Rotate(%d): noise budget exhausted (%f bits)", step, budget)
+		}
+		want := plaintextAutomorphism(pt, ring.GaloisElement(step, tc.params.N))
+		if !got.Poly.Equal(want.Poly) {
+			t.Fatalf("Rotate(%d): decryption != plaintext automorphism", step)
+		}
+	}
+}
+
+func TestRotateIdentity(t *testing.T) {
+	tc := newTestContext(t, 44)
+	gk := testGaloisKeys(t, tc, 45, 1)
+	pt := randomPlaintext(tc, ring.NewSeededSource(46), 16)
+	ct, _ := tc.enc.Encrypt(pt)
+	rot, err := tc.eval.Rotate(ct, 0, gk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ct.Polys {
+		if !rot.Polys[i].Equal(ct.Polys[i]) {
+			t.Fatal("identity rotation must return an unchanged copy")
+		}
+	}
+}
+
+// RotateHoisted must produce bit-identical ciphertexts to one-at-a-time
+// Rotate calls — hoisting changes the cost, never the result.
+func TestRotateHoistedMatchesSingle(t *testing.T) {
+	tc := newTestContext(t, 47)
+	steps := []int{1, 0, 5, -2}
+	gk := testGaloisKeys(t, tc, 48, steps...)
+	pt := randomPlaintext(tc, ring.NewSeededSource(49), 64)
+	ct, _ := tc.enc.Encrypt(pt)
+	batch, err := tc.eval.RotateHoisted(ct, steps, gk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for si, step := range steps {
+		single, err := tc.eval.Rotate(ct, step, gk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range single.Polys {
+			if !batch[si].Polys[i].Equal(single.Polys[i]) {
+				t.Fatalf("step %d: hoisted rotation differs from single rotation", step)
+			}
+		}
+	}
+}
+
+func TestRotateMissingKey(t *testing.T) {
+	tc := newTestContext(t, 50)
+	gk := testGaloisKeys(t, tc, 51, 1)
+	pt := randomPlaintext(tc, ring.NewSeededSource(52), 4)
+	ct, _ := tc.enc.Encrypt(pt)
+	if _, err := tc.eval.Rotate(ct, 3, gk); err == nil {
+		t.Fatal("rotation without the matching galois key must fail")
+	}
+	if gk.Contains(3) {
+		t.Fatal("Contains(3) should be false for a {1}-only key set")
+	}
+	if !gk.Contains(0) || !gk.Contains(1) {
+		t.Fatal("Contains must accept the identity and the generated step")
+	}
+}
+
+// The key-switch noise prediction must stay conservative: the predicted
+// budget after a chain of rotations is a lower bound on the measured one.
+func TestKeySwitchNoiseConservative(t *testing.T) {
+	tc := newTestContext(t, 53)
+	gk := testGaloisKeys(t, tc, 54, 1)
+	pt := randomPlaintext(tc, ring.NewSeededSource(55), 32)
+	ct, _ := tc.enc.Encrypt(pt)
+	bound := tc.params.FreshNoiseBound()
+	for hop := 0; hop < 4; hop++ {
+		var err error
+		ct, err = tc.eval.Rotate(ct, 1, gk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound = bound.KeySwitch(gk.BaseBits)
+		_, measured, err := tc.dec.DecryptWithBudget(ct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if predicted := bound.BudgetBits(); predicted > measured {
+			t.Fatalf("hop %d: predicted budget %.2f bits exceeds measured %.2f", hop, predicted, measured)
+		}
+		if bound.Exhausted() {
+			t.Fatalf("hop %d: predicted budget exhausted on the test tier", hop)
+		}
+	}
+}
+
+func TestRotationCountersAdvance(t *testing.T) {
+	tc := newTestContext(t, 56)
+	steps := []int{1, 2, 5}
+	gk := testGaloisKeys(t, tc, 57, steps...)
+	pt := randomPlaintext(tc, ring.NewSeededSource(58), 8)
+	ct, _ := tc.enc.Encrypt(pt)
+	ks0, h0 := KeySwitchOps(), HoistedRotations()
+	if _, err := tc.eval.RotateHoisted(ct, steps, gk); err != nil {
+		t.Fatal(err)
+	}
+	if got := KeySwitchOps() - ks0; got != 3 {
+		t.Fatalf("KeySwitchOps advanced by %d, want 3", got)
+	}
+	if got := HoistedRotations() - h0; got != 2 {
+		t.Fatalf("HoistedRotations advanced by %d, want 2 (first rotation pays the hoist)", got)
+	}
+}
+
+func TestGaloisKeysSerializationRoundTrip(t *testing.T) {
+	tc := newTestContext(t, 59)
+	steps := []int{1, 4, -2}
+	gk := testGaloisKeys(t, tc, 60, steps...)
+	b, err := MarshalGaloisKeys(gk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalGaloisKeys(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.BaseBits != gk.BaseBits || !got.Params.Equal(gk.Params) {
+		t.Fatal("round trip changed parameters or base")
+	}
+	we, ge := gk.Elements(), got.Elements()
+	if len(we) != len(ge) {
+		t.Fatalf("round trip changed element count: %d vs %d", len(ge), len(we))
+	}
+	for i := range we {
+		if we[i] != ge[i] {
+			t.Fatalf("element %d: %d != %d", i, ge[i], we[i])
+		}
+	}
+	// Behavioral equality: deserialized keys rotate bit-identically.
+	pt := randomPlaintext(tc, ring.NewSeededSource(61), 16)
+	ct, _ := tc.enc.Encrypt(pt)
+	a, err := tc.eval.Rotate(ct, 4, gk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := tc.eval.Rotate(ct, 4, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Polys {
+		if !a.Polys[i].Equal(bb.Polys[i]) {
+			t.Fatal("deserialized keys rotate differently")
+		}
+	}
+}
+
+func TestGaloisKeysHostileInputs(t *testing.T) {
+	tc := newTestContext(t, 62)
+	gk := testGaloisKeys(t, tc, 63, 1)
+	valid, err := MarshalGaloisKeys(gk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Header layout: magic(4) + params(28) + baseBits(4) + count(4).
+	countOff := 4 + 28 + 4
+
+	huge := bytes.Clone(valid)
+	binary.LittleEndian.PutUint32(huge[countOff:], 0xFFFFFFFF)
+	if _, err := UnmarshalGaloisKeys(huge); err == nil {
+		t.Fatal("hostile key count accepted")
+	}
+
+	overCount := bytes.Clone(valid)
+	binary.LittleEndian.PutUint32(overCount[countOff:], 7) // claims 7, carries 1
+	if _, err := UnmarshalGaloisKeys(overCount); err == nil {
+		t.Fatal("key count exceeding payload accepted")
+	}
+
+	evenG := bytes.Clone(valid)
+	binary.LittleEndian.PutUint64(evenG[countOff+4:], 6)
+	if _, err := UnmarshalGaloisKeys(evenG); err == nil {
+		t.Fatal("even galois element accepted")
+	}
+
+	for _, cut := range []int{0, 3, countOff, countOff + 4, len(valid) - 1} {
+		if _, err := UnmarshalGaloisKeys(valid[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}

@@ -60,6 +60,9 @@ func (ek *EvaluationKeys) shoupTables(r *ring.Ring) (k0, k1 [][]uint64) {
 type KeyGenerator struct {
 	params  Parameters
 	sampler *ring.Sampler
+	// src is kept for drawing expansion seeds (seed-compressed Galois keys);
+	// the sampler above owns the same source for error/uniform polynomials.
+	src ring.Source
 }
 
 // NewKeyGenerator returns a generator drawing from src; pass
@@ -71,6 +74,7 @@ func NewKeyGenerator(params Parameters, src ring.Source) (*KeyGenerator, error) 
 	return &KeyGenerator{
 		params:  params,
 		sampler: ring.NewSampler(params.Ring(), src),
+		src:     src,
 	}, nil
 }
 

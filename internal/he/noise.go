@@ -133,6 +133,17 @@ func (b NoiseBound) Relinearize() NoiseBound {
 	return b
 }
 
+// KeySwitch bounds a rotation (Galois key switch) at decomposition base
+// 2^baseBits: the automorphism itself is a signed permutation and leaves
+// ‖w‖∞ unchanged, and folding the rotated digits (‖d‖∞ < base, n
+// coefficients each) through the key's error terms adds digits·n·base·B —
+// the same shape as Relinearize, at the Galois keys' own (smaller) base.
+func (b NoiseBound) KeySwitch(baseBits int) NoiseBound {
+	base := math.Pow(2, float64(baseBits))
+	b.w += float64(b.params.DecompDigitsFor(baseBits)) * float64(b.params.N) * base * ring.GaussianBound()
+	return b
+}
+
 // Refresh models the enclave's decrypt–re-encrypt: the output is a fresh
 // encryption, so the accountant resets (§IV-E — the reason the hybrid
 // pipeline never runs out of budget between SGX layers).

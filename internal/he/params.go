@@ -165,7 +165,15 @@ func (p Parameters) Equal(o Parameters) bool {
 
 // DecompDigits returns the number of base-w digits of a coefficient of Q.
 func (p Parameters) DecompDigits() int {
-	return (bits.Len64(p.Q-1) + p.DecompBaseBits - 1) / p.DecompBaseBits
+	return p.DecompDigitsFor(p.DecompBaseBits)
+}
+
+// DecompDigitsFor returns the number of base-2^baseBits digits of a
+// coefficient of Q — the digit count of a key-switch decomposition running
+// at a base other than the relinearization default (Galois keys use a much
+// smaller base to keep the rotation noise term low; see NoiseBound.KeySwitch).
+func (p Parameters) DecompDigitsFor(baseBits int) int {
+	return (bits.Len64(p.Q-1) + baseBits - 1) / baseBits
 }
 
 // MaxNoiseBudget is the fresh-ciphertext upper bound on the invariant noise

@@ -39,6 +39,13 @@ type Layer struct {
 	LimbMuls   int `json:"limb_muls,omitempty"`
 	CRTExtends int `json:"crt_extends,omitempty"`
 
+	// Rotation-keyed packed execution (slot-packed images only): Galois
+	// key-switches this layer performed and how many of its rotations rode
+	// a shared hoisted decomposition instead of paying a full key-switch
+	// each. Zero on scalar-layout layers.
+	KeySwitchOps     int `json:"keyswitch_ops,omitempty"`
+	HoistedRotations int `json:"hoisted_rotations,omitempty"`
+
 	// Simulated SGX costs summed over the ECALLs this layer triggered.
 	Transitions     int     `json:"transitions,omitempty"`
 	PageFaults      int     `json:"page_faults,omitempty"`
@@ -176,6 +183,12 @@ func FromTrace(tr *trace.Trace) *FlightReport {
 			}
 			if v, ok := argVal(s, "crt_extends"); ok {
 				l.CRTExtends = int(v)
+			}
+			if v, ok := argVal(s, "keyswitch_ops"); ok {
+				l.KeySwitchOps = int(v)
+			}
+			if v, ok := argVal(s, "hoisted_rotations"); ok {
+				l.HoistedRotations = int(v)
 			}
 			if v, ok := argVal(s, "pred_budget_bits"); ok {
 				p := v

@@ -1,0 +1,168 @@
+package ring
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements the Galois automorphisms φ_g : a(x) → a(x^g) of
+// R_q = Z_q[x]/(x^n+1) for odd g, the algebraic substrate of slot rotation.
+// In coefficient form φ_g is a signed index permutation (x^i → ±x^(ig mod n),
+// negated when ig mod 2n lands in the upper half). In the NTT domain it is a
+// pure, sign-free permutation of evaluation points: position p holds
+// a(ψ^e(p)) for the transform's root-exponent map e, and φ_g(a)(ψ^e) =
+// a(ψ^(e·g)), so out[p] = in[pos[e(p)·g mod 2n]]. The permutation depends
+// only on the degree (the butterfly layout is modulus-independent), so it is
+// derived once per n, cached, and shared by the q-ring, the slot ring over
+// t, and every RNS limb — rotations never round-trip through coefficient
+// form.
+
+// ringRotations counts NTT-domain automorphism applications process-wide,
+// exported on /metrics by the engine as ring.rotations (one count per limb
+// pass, mirroring ring.limb_muls accounting).
+var ringRotations atomic.Uint64
+
+// RotationCount returns the cumulative number of NTT-domain automorphism
+// (rotation) permutation passes executed by all rings in the process.
+func RotationCount() uint64 { return ringRotations.Load() }
+
+// GaloisElement returns the automorphism exponent g = 5^step mod 2n whose
+// NTT-domain permutation rotates each row of the 2×(n/2) slot layout left
+// by step positions. Negative steps rotate right; steps are reduced modulo
+// the row length's generator order n/2.
+func GaloisElement(step, n int) uint64 {
+	order := n / 2
+	step = ((step % order) + order) % order
+	m := uint64(2 * n)
+	g := uint64(1)
+	for i := 0; i < step; i++ {
+		g = g * 5 % m
+	}
+	return g
+}
+
+// nttLayout captures the modulus-independent slot layout of the transform
+// for one degree: exp[p] is the (odd) root exponent evaluated at output
+// position p, pos[k] the inverse map, and perms the per-g permutation cache.
+type nttLayout struct {
+	exp   []int    // position -> root exponent, odd values in [1, 2n)
+	pos   []int32  // root exponent -> position; -1 for even exponents
+	perms sync.Map // uint64 g -> []int32 with out[p] = in[perm[p]]
+}
+
+// nttLayoutCache maps degree n -> *nttLayout. The layout is a function of
+// the butterfly structure alone, so one entry serves every modulus.
+var nttLayoutCache sync.Map
+
+// layout returns the root-exponent map of this ring's transform, deriving it
+// empirically on first use per degree: Forward applied to the monomial x
+// yields ψ^e(p) at position p, and a discrete-log table of ψ's 2n powers
+// recovers e. PrimitiveRoot2N is deterministic, so the ψ recomputed here is
+// the one the NTT tables were built from.
+func (r *Ring) layout() *nttLayout {
+	if l, ok := nttLayoutCache.Load(r.N); ok {
+		return l.(*nttLayout)
+	}
+	n := r.N
+	psi, err := PrimitiveRoot2N(r.Mod, n)
+	if err != nil {
+		// NewRing already found a root for this (mod, n); unreachable.
+		panic(fmt.Sprintf("ring: automorphism layout: %v", err))
+	}
+	dlog := make(map[uint64]int, 2*n)
+	p := uint64(1)
+	for k := 0; k < 2*n; k++ {
+		dlog[p] = k
+		p = r.Mod.Mul(p, psi)
+	}
+	a := make([]uint64, n)
+	a[1] = 1
+	r.ntt.Forward(a)
+	l := &nttLayout{exp: make([]int, n), pos: make([]int32, 2*n)}
+	for i := range l.pos {
+		l.pos[i] = -1
+	}
+	for i, v := range a {
+		k, ok := dlog[v]
+		if !ok {
+			panic("ring: automorphism layout: NTT output is not a power of psi")
+		}
+		l.exp[i] = k
+		l.pos[k] = int32(i)
+	}
+	actual, _ := nttLayoutCache.LoadOrStore(n, l)
+	return actual.(*nttLayout)
+}
+
+// perm returns (building and caching on first use) the NTT-domain index
+// permutation of φ_g: out[p] = in[perm[p]]. g must be odd.
+func (l *nttLayout) perm(g uint64) []int32 {
+	if p, ok := l.perms.Load(g); ok {
+		return p.([]int32)
+	}
+	if g&1 == 0 {
+		panic(fmt.Sprintf("ring: automorphism exponent %d must be odd", g))
+	}
+	n := len(l.exp)
+	mask := uint64(2*n - 1)
+	perm := make([]int32, n)
+	for p := 0; p < n; p++ {
+		perm[p] = l.pos[(uint64(l.exp[p])*g)&mask]
+	}
+	actual, _ := l.perms.LoadOrStore(g, perm)
+	return actual.([]int32)
+}
+
+// NTTExponents returns a copy of the transform's root-exponent map for this
+// ring's degree: Forward output position p holds the evaluation a(ψ^e) with
+// e = NTTExponents()[p]. The packed encoder uses it to address slots by
+// root exponent instead of raw transform position.
+func (r *Ring) NTTExponents() []int {
+	l := r.layout()
+	out := make([]int, len(l.exp))
+	copy(out, l.exp)
+	return out
+}
+
+// Automorphism sets out = φ_g(a) for a in coefficient domain: the signed
+// permutation out[(i·g) mod n] = ±a[i], negated when (i·g) mod 2n ≥ n.
+// g must be odd; out must not alias a.
+func (r *Ring) Automorphism(a Poly, g uint64, out Poly) {
+	if g&1 == 0 {
+		panic(fmt.Sprintf("ring: automorphism exponent %d must be odd", g))
+	}
+	mod := r.Mod
+	n := uint64(r.N)
+	mask := 2*n - 1
+	for i := uint64(0); i < n; i++ {
+		j := (i * g) & mask
+		c := a.Coeffs[i]
+		if j >= n {
+			c = mod.Neg(c)
+		}
+		out.Coeffs[j&(n-1)] = c
+	}
+}
+
+// AutomorphismNTT sets out = φ_g(a) for a in the NTT domain — a pure index
+// permutation with no sign flips and no transform round-trip, the rotation
+// primitive of the packed-convolution hot path. g must be odd; out must not
+// alias a.
+func (r *Ring) AutomorphismNTT(a Poly, g uint64, out Poly) {
+	ringRotations.Add(1)
+	perm := r.layout().perm(g)
+	for p, src := range perm {
+		out.Coeffs[p] = a.Coeffs[src]
+	}
+}
+
+// AutomorphismNTT applies φ_g limb-wise to an NTT-domain RNS polynomial,
+// fanning limbs out across the worker pool. The permutation is shared
+// across limbs (it depends only on the degree), so each limb pays a single
+// cache lookup plus the copy. out must not alias a.
+func (rr *RNSRing) AutomorphismNTT(a RNSPoly, g uint64, out RNSPoly) {
+	parallelLimbs(rr.K(), func(i int) {
+		rr.Limbs[i].AutomorphismNTT(a.Limbs[i], g, out.Limbs[i])
+	})
+}

@@ -1,0 +1,162 @@
+package ring
+
+import (
+	"testing"
+)
+
+func uniformPoly(t *testing.T, r *Ring, seed uint64) Poly {
+	t.Helper()
+	s := NewSampler(r, NewSeededSource(seed))
+	p := r.NewPoly()
+	s.Uniform(p)
+	return p
+}
+
+// The NTT-domain automorphism must be the transform conjugate of the
+// coefficient-domain one: NTT(φ_g(a)) == AutomorphismNTT(NTT(a), g), across
+// degrees, moduli, and every Galois element in a planned-rotation-sized set.
+func TestAutomorphismNTTMatchesCoefficientDomain(t *testing.T) {
+	for _, n := range []int{16, 64, 2048} {
+		for _, bits := range []int{30, 50} {
+			q, err := GenerateNTTPrime(bits, n)
+			if err != nil {
+				t.Fatalf("GenerateNTTPrime(%d, %d): %v", bits, n, err)
+			}
+			r, err := NewRing(n, q)
+			if err != nil {
+				t.Fatalf("NewRing: %v", err)
+			}
+			a := uniformPoly(t, r, uint64(n*bits))
+			for _, step := range []int{0, 1, 2, 5, n/2 - 1, -1, -3} {
+				g := GaloisElement(step, n)
+				// coefficient-domain reference
+				want := r.NewPoly()
+				r.Automorphism(a, g, want)
+				r.NTT(want)
+				// NTT-domain permutation
+				got := r.NewPoly()
+				aNTT := a.Copy()
+				r.NTT(aNTT)
+				r.AutomorphismNTT(aNTT, g, got)
+				if !got.Equal(want) {
+					t.Fatalf("n=%d bits=%d step=%d g=%d: NTT-domain automorphism != coefficient-domain reference", n, bits, step, g)
+				}
+			}
+		}
+	}
+}
+
+func TestAutomorphismIdentity(t *testing.T) {
+	r := testRing(t)
+	a := uniformPoly(t, r, 7)
+	aNTT := a.Copy()
+	r.NTT(aNTT)
+	out := r.NewPoly()
+	r.AutomorphismNTT(aNTT, GaloisElement(0, r.N), out)
+	if !out.Equal(aNTT) {
+		t.Fatal("φ_1 must be the identity permutation")
+	}
+}
+
+// φ_g ∘ φ_h = φ_{gh mod 2n}: rotating by one step r times equals rotating
+// by r, and a step composed with its inverse is the identity.
+func TestAutomorphismComposition(t *testing.T) {
+	r := testRing(t)
+	n := r.N
+	a := uniformPoly(t, r, 11)
+	r.NTT(a)
+
+	g1 := GaloisElement(1, n)
+	g3 := GaloisElement(3, n)
+	tmp, tmp2, out := r.NewPoly(), r.NewPoly(), r.NewPoly()
+	r.AutomorphismNTT(a, g1, tmp)
+	r.AutomorphismNTT(tmp, g1, tmp2)
+	r.AutomorphismNTT(tmp2, g1, tmp)
+	r.AutomorphismNTT(a, g3, out)
+	if !tmp.Equal(out) {
+		t.Fatal("three single-step rotations must equal one triple-step rotation")
+	}
+
+	inv := GaloisElement(-3, n)
+	r.AutomorphismNTT(out, inv, tmp)
+	if !tmp.Equal(a) {
+		t.Fatal("rotation composed with its inverse must be the identity")
+	}
+}
+
+func TestGaloisElementProperties(t *testing.T) {
+	for _, n := range []int{16, 2048} {
+		m := uint64(2 * n)
+		if g := GaloisElement(0, n); g != 1 {
+			t.Fatalf("n=%d: GaloisElement(0) = %d, want 1", n, g)
+		}
+		if g := GaloisElement(1, n); g != 5 {
+			t.Fatalf("n=%d: GaloisElement(1) = %d, want 5", n, g)
+		}
+		// 5 generates a subgroup of order n/2 in (Z/2n)^*: stepping a full
+		// row length wraps to the identity.
+		if g := GaloisElement(n/2, n); g != 1 {
+			t.Fatalf("n=%d: GaloisElement(n/2) = %d, want 1", n, g)
+		}
+		fwd, back := GaloisElement(7, n), GaloisElement(-7, n)
+		if fwd*back%m != 1 {
+			t.Fatalf("n=%d: 5^7 · 5^-7 = %d mod %d, want 1", n, fwd*back%m, m)
+		}
+	}
+}
+
+func TestAutomorphismRejectsEvenExponent(t *testing.T) {
+	r := testRing(t)
+	a := r.NewPoly()
+	out := r.NewPoly()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("even Galois exponent must panic")
+		}
+	}()
+	r.AutomorphismNTT(a, 2, out)
+}
+
+func TestRotationCountAdvances(t *testing.T) {
+	r := testRing(t)
+	a := uniformPoly(t, r, 13)
+	r.NTT(a)
+	out := r.NewPoly()
+	before := RotationCount()
+	r.AutomorphismNTT(a, GaloisElement(1, r.N), out)
+	r.AutomorphismNTT(a, GaloisElement(2, r.N), out)
+	if got := RotationCount() - before; got != 2 {
+		t.Fatalf("RotationCount advanced by %d, want 2", got)
+	}
+}
+
+// The RNS automorphism must agree with applying the permutation limb by
+// limb — and, because the layout is modulus-independent, every limb uses
+// the same permutation table.
+func TestRNSAutomorphismMatchesPerLimb(t *testing.T) {
+	n := 64
+	chain, err := GenerateChain(50, n, 3)
+	if err != nil {
+		t.Fatalf("GenerateChain: %v", err)
+	}
+	rr, err := NewRNSRing(n, chain)
+	if err != nil {
+		t.Fatalf("NewRNSRing: %v", err)
+	}
+	a := rr.NewRNSPoly()
+	for i, lr := range rr.Limbs {
+		s := NewSampler(lr, NewSeededSource(uint64(100+i)))
+		s.Uniform(a.Limbs[i])
+	}
+	rr.NTT(a)
+	g := GaloisElement(5, n)
+	got := rr.NewRNSPoly()
+	rr.AutomorphismNTT(a, g, got)
+	for i, lr := range rr.Limbs {
+		want := lr.NewPoly()
+		lr.AutomorphismNTT(a.Limbs[i], g, want)
+		if !got.Limbs[i].Equal(want) {
+			t.Fatalf("limb %d: RNS automorphism != per-limb automorphism", i)
+		}
+	}
+}

@@ -24,98 +24,3 @@
 // different in-flight inferences into shared ECALLs, so transitions per
 // inference fall as concurrency rises.
 package serve
-
-import (
-	"context"
-	"log/slog"
-
-	"hesgx/internal/core"
-	"hesgx/internal/stats"
-	"hesgx/internal/trace"
-)
-
-// Config assembles a full serving pipeline.
-//
-// Deprecated: use NewService with Option values (WithSchedulerConfig,
-// WithBatcherConfig, WithoutBatching, WithMetrics, WithTracer, WithLogger).
-// Config remains as a thin shim for one release.
-type Config struct {
-	Scheduler SchedulerConfig
-	Batcher   BatcherConfig
-	// DisableBatching runs the scheduler without the cross-request
-	// batching proxy (the ablation/control configuration).
-	DisableBatching bool
-	// Metrics is the registry shared by every pipeline stage (nil: a new
-	// registry is created).
-	Metrics *stats.Registry
-	// Tracer retains per-request span traces (nil: a tracer with the
-	// default ring-buffer size is created — tracing is always on; its
-	// per-span cost is negligible against HE layer times).
-	Tracer *trace.Tracer
-	// Logger is handed to the scheduler and batcher for shed/expiry/flush
-	// failure records (nil: silent).
-	Logger *slog.Logger
-}
-
-// Pipeline owns the serving stages wired over one engine.
-//
-// Deprecated: use Service, whose Infer(ctx, Request) entrypoint carries
-// deadline and tenant metadata and schedules lane-packed execution.
-// Pipeline remains as a thin shim over a lane-less Service for one release.
-type Pipeline struct {
-	Scheduler *Scheduler
-	Batcher   *Batcher // nil when batching is disabled
-	Metrics   *stats.Registry
-	Tracer    *trace.Tracer
-
-	svc *Service
-}
-
-// NewPipeline wires engine and its enclave service into a serving
-// pipeline: per-layer engine metrics and spans, per-ECALL cost
-// attribution, the batching proxy on the engine's enclave path (unless
-// disabled), and the admission scheduler on top. The engine must not
-// serve traffic through other paths afterwards — the pipeline re-routes
-// its non-linear calls.
-//
-// Deprecated: use NewService, which adds the lane-packing admission stage.
-// NewPipeline builds a lane-less Service, preserving the PR 1 behavior of
-// one engine pass per request.
-func NewPipeline(engine *core.HybridEngine, svc *core.EnclaveService, cfg Config) *Pipeline {
-	opts := []Option{
-		WithSchedulerConfig(cfg.Scheduler),
-		WithBatcherConfig(cfg.Batcher),
-		WithoutLanes(),
-	}
-	if cfg.DisableBatching {
-		opts = append(opts, WithoutBatching())
-	}
-	if cfg.Metrics != nil {
-		opts = append(opts, WithMetrics(cfg.Metrics))
-	}
-	if cfg.Tracer != nil {
-		opts = append(opts, WithTracer(cfg.Tracer))
-	}
-	if cfg.Logger != nil {
-		opts = append(opts, WithLogger(cfg.Logger))
-	}
-	s := NewService(engine, svc, opts...)
-	return &Pipeline{Scheduler: s.sched, Batcher: s.batcher, Metrics: s.Metrics, Tracer: s.Tracer, svc: s}
-}
-
-// Infer submits an inference through the pipeline. If the caller did not
-// attach a request trace (the wire server does), the pipeline starts one
-// so direct users get the same flight-recorder coverage.
-func (p *Pipeline) Infer(ctx context.Context, img *core.CipherImage) (*core.InferenceResult, error) {
-	res, err := p.svc.Infer(ctx, Request{Image: img})
-	if err != nil {
-		return nil, err
-	}
-	return &core.InferenceResult{Logits: res.Logits, OutScale: res.OutScale}, nil
-}
-
-// Close shuts the pipeline down: the scheduler stops admitting and drains,
-// then the batcher flushes any stragglers.
-func (p *Pipeline) Close() {
-	p.svc.Close()
-}

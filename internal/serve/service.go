@@ -12,9 +12,7 @@ import (
 	"hesgx/internal/trace"
 )
 
-// Option customizes Service construction — the functional-options surface
-// that supersedes filling a Config literal (see NewPipeline for the
-// deprecated shim).
+// Option customizes Service construction.
 type Option func(*options)
 
 type options struct {
@@ -116,6 +114,10 @@ const (
 	ModeScalar = "scalar"
 	// ModeLane: the request shared a slot-lane-packed engine pass.
 	ModeLane = "lane"
+	// ModePacked: the request arrived slot-packed (one ciphertext per
+	// feature-map channel, Client.EncryptImagePacked) and ran the engine's
+	// rotation-keyed packed prefix.
+	ModePacked = "packed"
 )
 
 // Result is one inference outcome.
@@ -257,6 +259,18 @@ func (s *Service) Infer(ctx context.Context, req Request) (res *Result, err erro
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithDeadline(ctx, req.Deadline)
 		defer cancel()
+	}
+	if img.Packed {
+		// Slot-packed feature maps are incompatible with lane packing (both
+		// claim the slot dimension): straight to the scheduler, where the
+		// engine's rotation-keyed prefix runs them.
+		bctx, span := trace.StartSpan(ctx, "packed.image", "serve")
+		res, err := s.sched.Infer(bctx, img)
+		span.End()
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Logits: res.Logits, OutScale: res.OutScale, Mode: ModePacked, Lanes: 1}, nil
 	}
 	if img.Lanes > 1 {
 		// The caller packed its own batch (Client.EncryptImages): one engine

@@ -23,8 +23,8 @@ import (
 // server's enclave, receives HE keys over the attested channel, and
 // submits encrypted inference queries. Uploads default to the v2 seeded
 // format (c0 + 32-byte expansion seed per pixel, bit-packed coefficients),
-// roughly half the bytes of the legacy encoding; SetLegacyFormat(true)
-// forces the v1 format for compatibility testing and ablation.
+// roughly half the bytes of the legacy encoding; the WithLegacyFormat dial
+// option forces the v1 format for compatibility testing and ablation.
 type Client struct {
 	conn     net.Conn
 	inner    *core.Client
@@ -44,8 +44,7 @@ type Client struct {
 	lastReport *report.FlightReport
 }
 
-// ClientOption customizes a Client at Dial time — the functional-options
-// surface that supersedes post-construction setters.
+// ClientOption customizes a Client at Dial time.
 type ClientOption func(*Client)
 
 // WithLegacyFormat forces v1 fixed-width public-key uploads instead of the
@@ -212,12 +211,119 @@ func (c *Client) Ready() bool { return c.inner.Ready() }
 // Params returns the HE parameters received during attestation.
 func (c *Client) Params() he.Parameters { return c.inner.Params }
 
-// SetLegacyFormat forces v1 fixed-width public-key uploads instead of the
-// seeded v2 default.
-//
-// Deprecated: pass WithLegacyFormat to Dial instead. SetLegacyFormat
-// remains as a thin shim for one release.
-func (c *Client) SetLegacyFormat(on bool) { c.legacy = on }
+// UploadGaloisKeys generates rotation key-switching keys for the given
+// slot-rotation steps under the client's secret key and installs them on
+// the server for slot-packed inference (InferPacked). baseBits 0 selects
+// the default decomposition. Servers whose engine has no packed plan
+// answer with a bad-request *ServerError.
+func (c *Client) UploadGaloisKeys(steps []int, baseBits int) error {
+	if !c.Ready() {
+		return fmt.Errorf("wire: attest before uploading keys")
+	}
+	gk, err := c.inner.GenerateGaloisKeys(steps, baseBits)
+	if err != nil {
+		return err
+	}
+	payload, err := he.MarshalGaloisKeys(gk)
+	if err != nil {
+		return err
+	}
+	if err := WriteFrame(c.conn, MsgGaloisKeys, payload); err != nil {
+		return err
+	}
+	t, reply, err := ReadFrame(c.conn)
+	if err != nil {
+		return err
+	}
+	if t == MsgError {
+		return DecodeError(reply)
+	}
+	if t != MsgGaloisKeysAck {
+		return fmt.Errorf("wire: expected galois keys ack, got type %d", t)
+	}
+	return nil
+}
+
+// InferPacked slot-packs the image into one ciphertext per channel
+// (Client.EncryptImagePacked's layout: pixel (y, x) at slot y·W + x),
+// submits it, and returns decrypted logits. The server must run an engine
+// planned with packed convolution; uploading Galois keys first
+// (UploadGaloisKeys) saves it an enclave key-generation round trip. The
+// v1 wire format cannot carry the slot-packed layout, so a legacy-format
+// client cannot use this path.
+func (c *Client) InferPacked(img *nn.Tensor, pixelScale uint64) ([]float64, error) {
+	if !c.Ready() {
+		return nil, fmt.Errorf("wire: attest before inferring")
+	}
+	if c.legacy {
+		return nil, fmt.Errorf("wire: slot-packed images need the v2 wire format")
+	}
+	tr := c.tracer.Start("client.infer_packed")
+	defer c.retire(tr)
+	ctx := trace.With(context.Background(), tr)
+	reqType, reqHdr := c.requestFraming(tr, MsgInferRequest)
+
+	_, espan := trace.StartSpan(ctx, "client.encrypt", "client")
+	ci, err := c.inner.EncryptImagePacked(img, pixelScale)
+	if err != nil {
+		espan.End()
+		return nil, err
+	}
+	espan.Arg("cts", float64(len(ci.CTs))).End()
+
+	_, uspan := trace.StartSpan(ctx, "client.upload", "client")
+	size := len(reqHdr) + core.CipherImagePackedSize(ci)
+	err = WriteFrameFunc(c.conn, reqType, size, func(w io.Writer) error {
+		if len(reqHdr) > 0 {
+			if _, werr := w.Write(reqHdr); werr != nil {
+				return werr
+			}
+		}
+		return core.WriteCipherImagePacked(w, ci)
+	})
+	uspan.Arg("bytes", float64(size)).End()
+	if err != nil {
+		var partial *PartialFrameError
+		if errors.As(err, &partial) {
+			_ = c.conn.Close()
+		}
+		return nil, err
+	}
+
+	_, wspan := trace.StartSpan(ctx, "client.wait", "client")
+	t, reply, err := ReadFrameReuse(c.conn, c.readBuf)
+	wspan.End()
+	if err != nil {
+		return nil, err
+	}
+	if cap(reply) > cap(c.readBuf) {
+		c.readBuf = reply[:cap(reply)]
+	}
+	t, reply, err = c.openReply(tr, t, reply)
+	if err != nil {
+		return nil, err
+	}
+	if t == MsgError {
+		return nil, DecodeError(reply)
+	}
+	if t != MsgInferReply {
+		return nil, fmt.Errorf("wire: expected infer reply, got type %d", t)
+	}
+	if len(reply) < 8 {
+		return nil, fmt.Errorf("wire: infer reply too short")
+	}
+	outScale := math.Float64frombits(binary.LittleEndian.Uint64(reply[:8]))
+	if outScale <= 0 || math.IsNaN(outScale) || math.IsInf(outScale, 0) {
+		return nil, fmt.Errorf("wire: invalid output scale %g", outScale)
+	}
+	_, dspan := trace.StartSpan(ctx, "client.decrypt", "client")
+	defer dspan.End()
+	logits, err := core.UnmarshalCiphertextBatchAny(reply[8:], c.inner.Params)
+	if err != nil {
+		return nil, err
+	}
+	return c.inner.DecryptLogits(logits, outScale)
+}
 
 // Infer encrypts the image, submits it, and returns decrypted logits
 // (float, rescaled by the server-reported output scale). The default upload

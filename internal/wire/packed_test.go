@@ -1,0 +1,240 @@
+package wire
+
+import (
+	"context"
+	"errors"
+	"log/slog"
+	mrand "math/rand/v2"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"hesgx/internal/attest"
+	"hesgx/internal/core"
+	"hesgx/internal/nn"
+	"hesgx/internal/ring"
+	"hesgx/internal/serve"
+	"hesgx/internal/sgx"
+	"hesgx/internal/stats"
+)
+
+// testStackPacked spins up an edge server whose engine has an active
+// packed-convolution plan: batching-capable parameters, a conv→act→pool
+// prefix, and WeightScale 8 (inside the key-switched noise budget).
+func testStackPacked(t *testing.T) (addr string, st *pipelineStack, shutdown func()) {
+	t.Helper()
+	params, err := core.DefaultSIMDParameters()
+	if err != nil {
+		t.Fatal(err)
+	}
+	platform, err := sgx.NewPlatform(sgx.ZeroCost(), sgx.WithJitterSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := core.NewEnclaveService(platform, params, core.WithKeySource(ring.NewSeededSource(37)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := mrand.New(mrand.NewPCG(5, 6))
+	model := nn.NewNetwork(
+		nn.NewConv2D(1, 2, 3, 1, r),
+		nn.NewActivation(nn.Sigmoid),
+		nn.NewPool2D(nn.MeanPool, 2),
+		&nn.Flatten{},
+		nn.NewFullyConnected(2*3*3, 4, r),
+	)
+	engine, err := core.NewHybridEngine(svc, model, core.Config{
+		PixelScale: 63, WeightScale: 8, ActScale: 256, Pool: core.PoolAuto,
+		PackedConv: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info := engine.PackedInfo(); !info.Active {
+		t.Fatalf("packed plan inactive: %s", info.Reason)
+	}
+	st = &pipelineStack{svc: svc, engine: engine, model: model, metrics: stats.NewRegistry()}
+	st.service = serve.NewService(engine, svc, serve.WithMetrics(st.metrics), serve.WithoutLanes())
+	srv, err := NewServer(svc, engine, slog.New(slog.NewTextHandler(testWriter{t}, nil)),
+		WithMetrics(st.metrics), WithService(st.service), WithTracer(st.service.Tracer))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if err := srv.Serve(ctx, ln); err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	}()
+	return ln.Addr().String(), st, func() {
+		cancel()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Error("server did not shut down")
+		}
+		st.service.Close()
+	}
+}
+
+// packedRotationSteps is the rotation set a client derives from the model
+// geometry it queries: 3×3 conv taps at slot stride 8 (the 2×2 pool
+// offsets {1, 8, 9} are a subset).
+func packedRotationSteps() []int {
+	steps := []int{}
+	for ky := 0; ky < 3; ky++ {
+		for kx := 0; kx < 3; kx++ {
+			if s := ky*8 + kx; s != 0 {
+				steps = append(steps, s)
+			}
+		}
+	}
+	return steps
+}
+
+// The full network path: attest, upload client-generated Galois keys, run a
+// slot-packed inference, and require answers identical to the scalar-layout
+// path — same integers decrypted at the same scale.
+func TestEndToEndPackedInfer(t *testing.T) {
+	addr, st, shutdown := testStackPacked(t)
+	defer shutdown()
+
+	verifier := attest.NewService()
+	client, err := Dial(addr, verifier, WithClientTracer(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if err := client.FetchTrustBundle(); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Attest(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := client.UploadGaloisKeys(packedRotationSteps(), 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.metrics.Counter("wire.galois_key_uploads").Value(); got != 1 {
+		t.Fatalf("wire.galois_key_uploads = %d, want 1", got)
+	}
+
+	img := testImage(9)
+	packed, err := client.InferPacked(img, 63)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The flight report carried back in the traced reply must attribute the
+	// rotation work to the packed prefix's layers.
+	rep := client.LastReport()
+	if rep == nil {
+		t.Fatal("no flight report after traced packed inference")
+	}
+	ksOps := 0
+	for _, l := range rep.Layers {
+		ksOps += l.KeySwitchOps
+	}
+	if ksOps == 0 {
+		t.Error("flight report attributes no key-switch ops to any layer")
+	}
+	scalar, err := client.Infer(img, 63)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(packed) != 4 || len(scalar) != 4 {
+		t.Fatalf("logit counts: packed %d scalar %d, want 4", len(packed), len(scalar))
+	}
+	for i := range packed {
+		if packed[i] != scalar[i] {
+			t.Fatalf("logit %d: packed %g != scalar %g", i, packed[i], scalar[i])
+		}
+	}
+
+	// The rotation accounting must surface on the shared registry — and the
+	// exposition carrying the new names must stay promlint-clean.
+	for _, name := range []string{"ring.rotations", "he.keyswitch_ops", "he.hoisted_rotations"} {
+		if st.metrics.Gauge(name).Value() == 0 {
+			t.Errorf("gauge %s is zero after a packed inference", name)
+		}
+	}
+	var sb strings.Builder
+	st.metrics.WritePrometheus(&sb)
+	if err := stats.LintPrometheusText(strings.NewReader(sb.String())); err != nil {
+		t.Errorf("metrics exposition fails promlint: %v", err)
+	}
+}
+
+// Without a pre-uploaded key set the server generates rotation keys inside
+// the enclave on first use — the round trip must still succeed.
+func TestPackedInferWithoutKeyUpload(t *testing.T) {
+	addr, _, shutdown := testStackPacked(t)
+	defer shutdown()
+
+	client := dialAttested(t, addr)
+	defer client.Close()
+	img := testImage(13)
+	packed, err := client.InferPacked(img, 63)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scalar, err := client.Infer(img, 63)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range packed {
+		if packed[i] != scalar[i] {
+			t.Fatalf("logit %d: packed %g != scalar %g", i, packed[i], scalar[i])
+		}
+	}
+}
+
+// A server whose engine has no packed plan must reject a key upload as the
+// client's fault (wrong session), not an internal error.
+func TestGaloisKeyUploadRejectedWithoutPackedPlan(t *testing.T) {
+	addr, _, _, shutdown := testStack(t)
+	defer shutdown()
+
+	client := dialAttested(t, addr)
+	defer client.Close()
+	err := client.UploadGaloisKeys(packedRotationSteps(), 0)
+	if err == nil {
+		t.Fatal("key upload accepted by a server without a packed plan")
+	}
+	var se *ServerError
+	if !errors.As(err, &se) || se.Code != CodeBadRequest {
+		t.Fatalf("want bad-request ServerError, got %v", err)
+	}
+}
+
+// Garbage key bytes must come back as a typed bad-request, and the
+// connection must remain usable afterwards.
+func TestGaloisKeyUploadGarbageRejected(t *testing.T) {
+	addr, _, shutdown := testStackPacked(t)
+	defer shutdown()
+
+	client := dialAttested(t, addr)
+	defer client.Close()
+	if err := WriteFrame(client.conn, MsgGaloisKeys, []byte("not a key set")); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, err := ReadFrame(client.conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != MsgError {
+		t.Fatalf("want MsgError, got type %d", typ)
+	}
+	if se := DecodeError(payload); se.Code != CodeBadRequest {
+		t.Fatalf("want bad-request, got %v", se)
+	}
+	if _, err := client.Infer(testImage(17), 63); err != nil {
+		t.Fatalf("connection unusable after rejected upload: %v", err)
+	}
+}

@@ -50,10 +50,10 @@ func (e engineInferrer) Infer(ctx context.Context, img *core.CipherImage) (*core
 type ServerOption func(*Server)
 
 // WithInferrer routes inference requests through inf instead of calling
-// the engine directly — normally a *serve.Pipeline.
+// the engine directly.
 //
 // Deprecated: use WithService with a *serve.Service. WithInferrer remains
-// as a thin shim for one release.
+// as the engine-direct fallback for one release.
 func WithInferrer(inf Inferrer) ServerOption {
 	return func(s *Server) { s.inferrer = inf }
 }
@@ -280,9 +280,31 @@ func (s *Server) dispatch(ctx context.Context, conn net.Conn, t MsgType, payload
 		return s.handleInferBatch(ctx, conn, payload)
 	case MsgTraced:
 		return s.handleTraced(ctx, conn, payload)
+	case MsgGaloisKeys:
+		return s.handleGaloisKeys(conn, payload)
 	default:
 		return &badRequestError{fmt.Errorf("wire: unexpected message type %d", t)}
 	}
+}
+
+// handleGaloisKeys installs a client-generated rotation key set on the
+// engine so its packed-convolution prefix rotates under the client's keys
+// without an enclave key-generation round trip. Decode failures, parameter
+// mismatches, and engines without a packed plan are all client faults: the
+// bytes (or the session) are wrong, and retrying them cannot succeed.
+func (s *Server) handleGaloisKeys(conn net.Conn, payload []byte) error {
+	gk, err := he.UnmarshalGaloisKeys(payload)
+	if err != nil {
+		return &badRequestError{fmt.Errorf("wire: decoding galois keys: %w", err)}
+	}
+	if err := s.engine.InstallGaloisKeys(gk); err != nil {
+		return &badRequestError{fmt.Errorf("wire: installing galois keys: %w", err)}
+	}
+	s.metrics.Counter("wire.galois_key_uploads").Inc()
+	s.logger.Info("galois keys installed",
+		"remote", conn.RemoteAddr(),
+		"rotations", len(gk.Elements()))
+	return s.writeFrame(conn, MsgGaloisKeysAck, nil)
 }
 
 func (s *Server) handleTrust(conn net.Conn) error {
