@@ -89,13 +89,16 @@ bench-regression:
 	$(MAKE) soak SOAK_DURATION=5s
 
 # End-to-end latency under load: drive an in-process reference server with
-# the load generator and fail on any shed or unjoined trace. This is the
-# "does the whole serving stack hold its SLOs" gate, complementing the
-# per-component benchmarks above.
+# the load generator and fail on any shed or unjoined trace. The selftest
+# server runs the full diagnostics loop armed (event bus, flight recorder,
+# capturer), and -require-no-bundles asserts a healthy run triggers zero
+# postmortem bundles. This is the "does the whole serving stack hold its
+# SLOs" gate, complementing the per-component benchmarks above.
 SOAK_DURATION ?= 10s
 soak:
 	$(GO) run ./cmd/hesgx-loadgen -selftest -clients 4 \
-		-duration $(SOAK_DURATION) -max-shed-rate 0 -require-joined
+		-duration $(SOAK_DURATION) -max-shed-rate 0 -require-joined \
+		-require-no-bundles
 
 clean:
 	$(GO) clean ./...

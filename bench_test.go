@@ -519,7 +519,7 @@ func getFig8(b *testing.B) *fig8Fixture {
 			if err != nil {
 				return err
 			}
-			engine, err := core.NewHybridEngine(svc, hybridModel, core.DefaultConfig())
+			engine, err := core.NewEngine(svc, hybridModel)
 			if err != nil {
 				return err
 			}
@@ -537,7 +537,7 @@ func getFig8(b *testing.B) *fig8Fixture {
 			if err := client.InstallProvisionPayload(payload); err != nil {
 				return err
 			}
-			hybridCI, err := client.EncryptImage(img, core.DefaultConfig().PixelScale)
+			hybridCI, err := client.EncryptImages([]*nn.Tensor{img}, core.DefaultConfig().PixelScale)
 			if err != nil {
 				return err
 			}
@@ -752,8 +752,7 @@ func BenchmarkSIMDBatchInference64(b *testing.B) {
 		nn.NewFullyConnected(3*5*5, 10, rng),
 	)
 	cfg := core.DefaultConfig()
-	cfg.SIMD = true
-	engine, err := core.NewHybridEngine(svc, model, cfg)
+	engine, err := core.NewEngine(svc, model, core.WithSIMD(true))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -776,7 +775,7 @@ func BenchmarkSIMDBatchInference64(b *testing.B) {
 		}
 		imgs[i] = im
 	}
-	ci, err := client.EncryptImageBatch(imgs, cfg.PixelScale)
+	ci, err := client.EncryptImages(imgs, cfg.PixelScale)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -824,7 +823,8 @@ func benchmarkConcurrentServing(b *testing.B, clients int, batching bool) {
 	)
 	// SGXDiv pooling keeps both non-linear layers on batchable ops.
 	cfg := core.Config{PixelScale: 63, WeightScale: 16, ActScale: 256, Pool: core.PoolSGXDiv}
-	engine, err := core.NewHybridEngine(svc, model, cfg)
+	engine, err := core.NewEngine(svc, model,
+		core.WithScales(cfg.PixelScale, cfg.WeightScale, cfg.ActScale), core.WithPoolStrategy(cfg.Pool))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -848,7 +848,7 @@ func benchmarkConcurrentServing(b *testing.B, clients int, batching bool) {
 		for j := range img.Data {
 			img.Data[j] = rng.Float64()
 		}
-		if cis[i], err = client.EncryptImage(img, cfg.PixelScale); err != nil {
+		if cis[i], err = client.EncryptImages([]*nn.Tensor{img}, cfg.PixelScale); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -916,7 +916,7 @@ func buildLaneServingStack(b *testing.B, clients int, opts ...serve.Option) (*se
 	cfg := core.DefaultConfig()
 	// SGXDiv pooling keeps both non-linear layers on batchable enclave ops.
 	cfg.Pool = core.PoolSGXDiv
-	engine, err := core.NewHybridEngine(svc, model, cfg)
+	engine, err := core.NewEngine(svc, model, core.WithPoolStrategy(core.PoolSGXDiv))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -940,7 +940,7 @@ func buildLaneServingStack(b *testing.B, clients int, opts ...serve.Option) (*se
 		for j := range img.Data {
 			img.Data[j] = rng.Float64()
 		}
-		if cis[i], err = client.EncryptImage(img, cfg.PixelScale); err != nil {
+		if cis[i], err = client.EncryptImages([]*nn.Tensor{img}, cfg.PixelScale); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -1049,9 +1049,11 @@ func benchmarkLinearLayer(b *testing.B, fcLayer, disableResidency bool) {
 		img.Data[i] = rng.Float64()
 	}
 	cfg := core.DefaultConfig()
-	cfg.TruePlainMul = true
-	cfg.DisableNTTResidency = disableResidency
-	engine, err := core.NewHybridEngine(svc, model, cfg)
+	engineOpts := []core.EngineOption{core.WithTruePlainMul(true)}
+	if disableResidency {
+		engineOpts = append(engineOpts, core.WithoutNTTResidency())
+	}
+	engine, err := core.NewEngine(svc, model, engineOpts...)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -1069,7 +1071,7 @@ func benchmarkLinearLayer(b *testing.B, fcLayer, disableResidency bool) {
 	if err := client.InstallProvisionPayload(payload); err != nil {
 		b.Fatal(err)
 	}
-	ci, err := client.EncryptImage(img, cfg.PixelScale)
+	ci, err := client.EncryptImages([]*nn.Tensor{img}, cfg.PixelScale)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -1337,13 +1339,12 @@ func BenchmarkPackedConvVsGather(b *testing.B) {
 	// n=2048 SIMD tier; both layouts run the same quantization so the
 	// comparison stays apples to apples.
 	cfg := core.Config{PixelScale: 255, WeightScale: 8, ActScale: 256, Pool: core.PoolAuto}
-	gather, err := core.NewHybridEngine(svc, model, cfg)
+	scales := core.WithScales(cfg.PixelScale, cfg.WeightScale, cfg.ActScale)
+	gather, err := core.NewEngine(svc, model, scales)
 	if err != nil {
 		b.Fatal(err)
 	}
-	pcfg := cfg
-	pcfg.PackedConv = true
-	packed, err := core.NewHybridEngine(svc, model, pcfg)
+	packed, err := core.NewEngine(svc, model, scales, core.WithPackedConv(true))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -1369,7 +1370,7 @@ func BenchmarkPackedConvVsGather(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	simg, err := client.EncryptImage(img, cfg.PixelScale)
+	simg, err := client.EncryptImages([]*nn.Tensor{img}, cfg.PixelScale)
 	if err != nil {
 		b.Fatal(err)
 	}

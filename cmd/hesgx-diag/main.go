@@ -1,0 +1,76 @@
+// Command hesgx-diag renders a postmortem bundle captured by the edge
+// server's anomaly-triggered diagnostics loop into a human-readable
+// incident report: the triggering event, the event timeline around it, the
+// metric flight-recorder window bracketing the trigger, the worst flight
+// report in the window, and the runtime state at capture time.
+//
+// Usage:
+//
+//	hesgx-diag bundle.tar.gz            incident report (default)
+//	hesgx-diag -ls bundle.tar.gz        list bundle members
+//	hesgx-diag -cat FILE bundle.tar.gz  dump one member to stdout
+//
+// Bundles are read with hard bounds on member count and decoded bytes, so
+// a bundle from an untrusted mailbox cannot balloon memory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"hesgx/internal/diag"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	ls := flag.Bool("ls", false, "list bundle members instead of rendering the report")
+	cat := flag.String("cat", "", "dump one bundle member to stdout instead of rendering the report")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: hesgx-diag [-ls | -cat FILE] bundle.tar.gz\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		return 2
+	}
+
+	b, err := diag.ReadBundleFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hesgx-diag: %v\n", err)
+		return 1
+	}
+
+	switch {
+	case *ls:
+		names := make([]string, 0, len(b.Files))
+		for name := range b.Files {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Printf("%8d  %s\n", len(b.Files[name]), name)
+		}
+	case *cat != "":
+		data, ok := b.Files[*cat]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "hesgx-diag: no member %q (try -ls)\n", *cat)
+			return 1
+		}
+		if _, err := os.Stdout.Write(data); err != nil {
+			fmt.Fprintf(os.Stderr, "hesgx-diag: %v\n", err)
+			return 1
+		}
+	default:
+		if err := diag.RenderIncident(os.Stdout, b); err != nil {
+			fmt.Fprintf(os.Stderr, "hesgx-diag: %v\n", err)
+			return 1
+		}
+	}
+	return 0
+}

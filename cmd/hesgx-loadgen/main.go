@@ -7,7 +7,7 @@
 //	              [-shapes 1x8x8:1] [-legacy] [-no-trace]
 //	              [-slo-p50 0] [-slo-p99 0] [-max-shed-rate -1]
 //	              [-require-joined] [-status-interval 1s] [-json]
-//	hesgx-loadgen -selftest [flags...]
+//	hesgx-loadgen -selftest [-require-no-bundles] [flags...]
 //
 // Closed loop by default: -clients connections each keep one request in
 // flight. A positive -rate switches to open loop — arrivals at a fixed
@@ -30,6 +30,7 @@ import (
 	"syscall"
 	"time"
 
+	"hesgx/internal/diag"
 	"hesgx/internal/loadgen"
 )
 
@@ -53,6 +54,7 @@ func run() int {
 	sloP99 := flag.Duration("slo-p99", 0, "fail when end-to-end p99 exceeds this (0: unchecked)")
 	maxShed := flag.Float64("max-shed-rate", -1, "fail when shed rate exceeds this; 0 demands shed-free (negative: unchecked)")
 	requireJoined := flag.Bool("require-joined", false, "fail unless every traced request assembled a joined end-to-end trace")
+	requireNoBundles := flag.Bool("require-no-bundles", false, "with -selftest: fail when the run triggers any diagnostic bundle")
 	jsonOut := flag.Bool("json", false, "print the summary as JSON")
 	flag.Parse()
 
@@ -63,8 +65,9 @@ func run() int {
 	}
 
 	target := *addr
+	var srv *loadgen.Selftest
 	if *selftest {
-		srv, err := loadgen.StartSelftest(nil)
+		srv, err = loadgen.StartSelftest(nil)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
@@ -74,6 +77,10 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "selftest server on %s\n", target)
 	} else if target == "" {
 		fmt.Fprintln(os.Stderr, "hesgx-loadgen: -addr or -selftest required")
+		return 1
+	}
+	if *requireNoBundles && srv == nil {
+		fmt.Fprintln(os.Stderr, "hesgx-loadgen: -require-no-bundles needs -selftest")
 		return 1
 	}
 
@@ -122,6 +129,19 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "SLO VIOLATION: %s\n", v)
 		}
 		return 2
+	}
+	if *requireNoBundles {
+		// Let a trigger that landed in the run's final moments clear the
+		// capturer's settle delay before declaring the run bundle-free.
+		time.Sleep(diag.DefaultSettle + 200*time.Millisecond)
+		if n := srv.Captures(); n > 0 {
+			fmt.Fprintf(os.Stderr, "DIAG VIOLATION: healthy run triggered %d postmortem bundle(s) in %s\n", n, srv.DiagDir())
+			for _, e := range srv.Events() {
+				fmt.Fprintf(os.Stderr, "  event %s [%s] %s\n", e.Type, e.Severity, e.Message)
+			}
+			return 2
+		}
+		fmt.Fprintln(os.Stderr, "no diagnostic bundles triggered")
 	}
 	fmt.Fprintln(os.Stderr, "all SLOs met")
 	return 0

@@ -14,6 +14,7 @@
 //	             [-lane-min 2] [-no-lanes]
 //	             [-stats-interval 30s] [-admin :9090]
 //	             [-trace-ring 64] [-report-ring 64] [-slo spec|off]
+//	             [-diag-dir /var/lib/hesgx/diag]
 //
 // With -simd-params the server generates a batching-capable parameter set
 // (prime plaintext modulus t ≡ 1 mod 2n) and the serving stack packs
@@ -34,6 +35,16 @@
 // at /healthz. Unless -slo is "off", a background tracker samples the
 // stage-latency histograms every 10s and grades them against the given
 // (or default) objectives with multi-window burn-rate alerting.
+//
+// The server always runs the black-box diagnostics loop: a 1-second metric
+// flight recorder ring, an anomaly monitor (shed-rate spikes, per-ECALL
+// transition/paging excursions), and an event bus that SLO pages, noise-
+// budget alerts and wire faults publish into. With -diag-dir set, warning-
+// or-worse events additionally trigger debounced, rate-limited postmortem
+// bundles — self-contained tar.gz archives with the trigger, recent
+// events, the metric window, flight reports, traces, profiles and build
+// info — rendered offline by hesgx-diag. An on-demand bundle is always
+// available at the admin endpoint's /debug/bundle.
 package main
 
 import (
@@ -50,11 +61,13 @@ import (
 
 	"hesgx/internal/admin"
 	"hesgx/internal/core"
+	"hesgx/internal/diag"
 	"hesgx/internal/nn"
 	"hesgx/internal/report"
 	"hesgx/internal/serve"
 	"hesgx/internal/sgx"
 	"hesgx/internal/slo"
+	"hesgx/internal/stats"
 	"hesgx/internal/trace"
 	"hesgx/internal/wire"
 )
@@ -87,6 +100,7 @@ func run() int {
 	flag.IntVar(reportRing, "report-buffer", report.DefaultCapacity, "deprecated alias of -report-ring")
 	sloSpec := flag.String("slo", "", "per-stage latency objectives as name:metric:threshold:target,... (empty: defaults; \"off\": disabled)")
 	noiseWarnBits := flag.Float64("noise-warn-bits", core.DefaultNoiseWarnBudgetBits, "warn + count when measured noise budget entering a refresh drops below this many bits (0: off)")
+	diagDir := flag.String("diag-dir", "", "directory receiving anomaly-triggered postmortem bundles (empty: triggered captures off; /debug/bundle still serves on-demand)")
 	flag.Parse()
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 	if bi, ok := debug.ReadBuildInfo(); ok {
@@ -116,16 +130,20 @@ func run() int {
 		logger.Error("parameters", "err", err)
 		return 1
 	}
+	// One registry and one event bus thread through every stage: the
+	// enclave service, the serving pipeline, the wire server, the SLO
+	// tracker and the diagnostics loop all publish into the same pair.
+	reg := stats.NewRegistry()
+	bus := diag.NewBus(diag.DefaultBusCapacity, reg)
 	svc, err := core.NewEnclaveService(platform, params,
 		core.WithServiceLogger(logger),
-		core.WithNoiseWarnThreshold(*noiseWarnBits))
+		core.WithNoiseWarnThreshold(*noiseWarnBits),
+		core.WithEventBus(bus))
 	if err != nil {
 		logger.Error("launching enclave", "err", err)
 		return 1
 	}
-	cfg := core.DefaultConfig()
-	cfg.PackedConv = *packedConv
-	engine, err := core.NewHybridEngine(svc, model, cfg)
+	engine, err := core.NewEngine(svc, model, core.WithPackedConv(*packedConv))
 	if err != nil {
 		logger.Error("planning engine", "err", err)
 		return 1
@@ -169,6 +187,7 @@ func run() int {
 		}),
 		serve.WithTracer(trace.NewTracer(*traceRing)),
 		serve.WithLogger(logger),
+		serve.WithMetrics(reg),
 	}
 	if *noBatching {
 		serviceOpts = append(serviceOpts, serve.WithoutBatching())
@@ -184,6 +203,22 @@ func run() int {
 	reports := report.NewRecorder(*reportRing, service.Metrics)
 	service.Tracer.SetOnFinish(reports.Observe)
 
+	// Black-box diagnostics: the 1s flight recorder samples the registry
+	// into a trailing ring, the monitor turns shed-rate and per-ECALL
+	// transition/paging excursions into bus events, and the capturer turns
+	// warning-or-worse events into debounced postmortem bundles.
+	recorder := diag.NewRecorder(diag.RecorderConfig{Registry: reg})
+	monitor := diag.NewMonitor(diag.MonitorConfig{Bus: bus})
+	recorder.OnSample(monitor.Observe)
+	capturer := diag.NewCapturer(bus, recorder, diag.CaptureConfig{Dir: *diagDir})
+	capturer.AddSource(diag.ReportsSource(reports, 0))
+	capturer.AddSource(diag.TracesSource(service.Tracer, 0))
+	capturer.AddSource(diag.JSONSource("config.json", func() any {
+		cfgDump := map[string]string{}
+		flag.VisitAll(func(f *flag.Flag) { cfgDump[f.Name] = f.Value.String() })
+		return cfgDump
+	}))
+
 	// Per-stage SLO tracking: multi-window burn rates over the serving
 	// latency histograms, surfaced at /slo and as slo_* metric series.
 	var sloTracker *slo.Tracker
@@ -196,7 +231,7 @@ func run() int {
 				return 1
 			}
 		}
-		sloTracker, err = slo.New(slo.Config{Registry: service.Metrics, Objectives: objectives})
+		sloTracker, err = slo.New(slo.Config{Registry: service.Metrics, Objectives: objectives, Events: bus})
 		if err != nil {
 			logger.Error("slo tracker", "err", err)
 			return 1
@@ -205,7 +240,7 @@ func run() int {
 
 	srv, err := wire.NewServer(svc, engine, logger,
 		wire.WithService(service), wire.WithTracer(service.Tracer),
-		wire.WithMetrics(service.Metrics))
+		wire.WithMetrics(service.Metrics), wire.WithEventBus(bus))
 	if err != nil {
 		logger.Error("creating server", "err", err)
 		return 1
@@ -229,6 +264,8 @@ func run() int {
 			QueueCapacity: queueCapacity,
 			Reports:       reports,
 			SLO:           sloTracker,
+			Capturer:      capturer,
+			Events:        bus,
 		})
 		adminSrv, err = admin.Start(*adminAddr, handler)
 		if err != nil {
@@ -252,6 +289,13 @@ func run() int {
 
 	if sloTracker != nil {
 		go sloTracker.Run(ctx)
+		tr := sloTracker
+		capturer.AddSource(diag.JSONSource("slo.json", func() any { return tr.Status() }))
+	}
+	go recorder.Run(ctx)
+	if *diagDir != "" {
+		go capturer.Run(ctx)
+		logger.Info("diagnostics capture armed", "dir", *diagDir)
 	}
 
 	if *statsInterval > 0 {

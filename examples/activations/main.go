@@ -58,7 +58,7 @@ func main() {
 		{"LeakyReLU + MeanPool", nn.LeakyReLU, nn.MeanPool},
 		{"Sigmoid + MaxPool", nn.Sigmoid, nn.MaxPool},
 	}
-	cfg := core.DefaultConfig()
+	pixelScale := core.DefaultConfig().PixelScale
 	for _, v := range variants {
 		model := nn.NewNetwork(
 			nn.NewConv2D(1, 3, 3, 1, rng),
@@ -67,11 +67,11 @@ func main() {
 			&nn.Flatten{},
 			nn.NewFullyConnected(3*5*5, 4, rng),
 		)
-		engine, err := core.NewHybridEngine(svc, model, cfg)
+		engine, err := core.NewEngine(svc, model)
 		if err != nil {
 			log.Fatalf("%s: %v", v.name, err)
 		}
-		ci, err := client.EncryptImage(img, cfg.PixelScale)
+		ci, err := client.EncryptImages([]*nn.Tensor{img}, pixelScale)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -19,6 +19,7 @@ import (
 	"hesgx/internal/dataset"
 	"hesgx/internal/nn"
 	"hesgx/internal/report"
+	"hesgx/internal/serve"
 	"hesgx/internal/sgx"
 	"hesgx/internal/stats"
 	"hesgx/internal/trace"
@@ -54,7 +55,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	engine, err := core.NewHybridEngine(svc, net0, core.DefaultConfig())
+	engine, err := core.NewEngine(svc, net0)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -69,8 +70,11 @@ func main() {
 	tracer := trace.NewTracer(8)
 	reports := report.NewRecorder(8, reg)
 	tracer.SetOnFinish(reports.Observe)
+	service := serve.NewService(engine, svc,
+		serve.WithMetrics(reg), serve.WithTracer(tracer), serve.WithoutLanes())
+	defer service.Close()
 	srv, err := wire.NewServer(svc, engine, logger,
-		wire.WithTracer(tracer), wire.WithMetrics(reg))
+		wire.WithService(service), wire.WithTracer(tracer), wire.WithMetrics(reg))
 	if err != nil {
 		log.Fatal(err)
 	}

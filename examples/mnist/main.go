@@ -52,7 +52,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	engine, err := core.NewHybridEngine(svc, net, core.DefaultConfig())
+	engine, err := core.NewEngine(svc, net)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -75,13 +75,13 @@ func main() {
 	fmt.Println("remote attestation verified; HE keys installed")
 
 	// 4. Classify encrypted digits.
-	cfg := core.DefaultConfig()
+	pixelScale := core.DefaultConfig().PixelScale
 	matches := 0
 	const queries = 3
 	for i := 0; i < queries; i++ {
 		img := test.Images[i]
 		truth := test.Labels[i]
-		ci, err := client.EncryptImage(img, cfg.PixelScale)
+		ci, err := client.EncryptImages([]*nn.Tensor{img}, pixelScale)
 		if err != nil {
 			log.Fatal(err)
 		}

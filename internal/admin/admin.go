@@ -21,6 +21,7 @@ import (
 	"sync"
 	"time"
 
+	"hesgx/internal/diag"
 	"hesgx/internal/report"
 	"hesgx/internal/sgx"
 	"hesgx/internal/slo"
@@ -54,6 +55,13 @@ type Config struct {
 	// rejected since the previous /healthz poll exceeds it (0: default
 	// 0.5).
 	ShedRateLimit float64
+	// Capturer, when set, serves an on-demand postmortem bundle at
+	// /debug/bundle — the same tar.gz a triggered capture writes to disk,
+	// streamed straight to the operator (nil: 404).
+	Capturer *diag.Capturer
+	// Events is the diagnostic event bus; its retained ring is served as
+	// JSON at /debug/events (nil: 404).
+	Events *diag.Bus
 }
 
 // health tracks counter deltas between consecutive readiness polls so the
@@ -135,6 +143,36 @@ func Handler(cfg Config) http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(status)
 		_ = json.NewEncoder(w).Encode(body)
+	})
+	mux.HandleFunc("/debug/bundle", func(w http.ResponseWriter, r *http.Request) {
+		if cfg.Capturer == nil {
+			http.Error(w, "diagnostics capture disabled", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/gzip")
+		w.Header().Set("Content-Disposition",
+			fmt.Sprintf("attachment; filename=%q", "bundle-"+time.Now().UTC().Format("20060102T150405")+".tar.gz"))
+		if err := cfg.Capturer.WriteBundle(w, nil); err != nil {
+			// Headers are gone; the truncated archive is the best signal left.
+			return
+		}
+	})
+	mux.HandleFunc("/debug/events", func(w http.ResponseWriter, r *http.Request) {
+		if cfg.Events == nil {
+			http.Error(w, "diagnostics event bus disabled", http.StatusNotFound)
+			return
+		}
+		n := 0 // all retained
+		if q := r.URL.Query().Get("n"); q != "" {
+			v, err := strconv.Atoi(q)
+			if err != nil || v < 0 {
+				http.Error(w, "bad n", http.StatusBadRequest)
+				return
+			}
+			n = v
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(cfg.Events.Recent(n))
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -453,9 +453,6 @@ func (o Options) RunFig8() error {
 	if err != nil {
 		return err
 	}
-	hybridCfg := core.DefaultConfig()
-	hybridCfg.TruePlainMul = true
-
 	calibrated, err := calibratedPlatform(o.Seed + 50)
 	if err != nil {
 		return err
@@ -464,17 +461,16 @@ func (o Options) RunFig8() error {
 	if err != nil {
 		return err
 	}
-	sgxTime, err := o.runFig8Hybrid(hybridModel, hybridParams, hybridCfg, calibrated, img)
+	sgxTime, err := o.runFig8Hybrid(hybridModel, hybridParams, calibrated, img, core.WithTruePlainMul(true))
 	if err != nil {
 		return err
 	}
-	fakeTime, err := o.runFig8Hybrid(hybridModel, hybridParams, hybridCfg, fake, img)
+	fakeTime, err := o.runFig8Hybrid(hybridModel, hybridParams, fake, img, core.WithTruePlainMul(true))
 	if err != nil {
 		return err
 	}
-	singleCfg := hybridCfg
-	singleCfg.SingleECalls = true
-	singleTime, err := o.runFig8Hybrid(hybridModel, hybridParams, singleCfg, calibrated, img)
+	singleTime, err := o.runFig8Hybrid(hybridModel, hybridParams, calibrated, img,
+		core.WithTruePlainMul(true), core.WithSingleECalls(true))
 	if err != nil {
 		return err
 	}
@@ -519,12 +515,12 @@ func (o Options) runFig8Baseline(model *nn.Network, cfg cryptonets.Config, img *
 	return fig8BaselineTime{perModulus: t, full: t * float64(len(cfg.Moduli))}, nil
 }
 
-func (o Options) runFig8Hybrid(model *nn.Network, params he.Parameters, cfg core.Config, platform *sgx.Platform, img *nn.Tensor) (float64, error) {
+func (o Options) runFig8Hybrid(model *nn.Network, params he.Parameters, platform *sgx.Platform, img *nn.Tensor, opts ...core.EngineOption) (float64, error) {
 	svc, err := core.NewEnclaveService(platform, params, core.WithKeySource(o.source(54)))
 	if err != nil {
 		return 0, err
 	}
-	engine, err := core.NewHybridEngine(svc, model, cfg)
+	engine, err := core.NewEngine(svc, model, opts...)
 	if err != nil {
 		return 0, err
 	}
@@ -543,7 +539,7 @@ func (o Options) runFig8Hybrid(model *nn.Network, params he.Parameters, cfg core
 	if err := client.InstallProvisionPayload(payload); err != nil {
 		return 0, err
 	}
-	ci, err := client.EncryptImage(img, cfg.PixelScale)
+	ci, err := client.EncryptImages([]*nn.Tensor{img}, core.DefaultConfig().PixelScale)
 	if err != nil {
 		return 0, err
 	}

@@ -52,14 +52,12 @@ func (o Options) RunSIMD() error {
 		return err
 	}
 
-	scalarCfg := core.DefaultConfig()
-	scalarEngine, err := core.NewHybridEngine(svc, model, scalarCfg)
+	pixelScale := core.DefaultConfig().PixelScale
+	scalarEngine, err := core.NewEngine(svc, model)
 	if err != nil {
 		return err
 	}
-	simdCfg := core.DefaultConfig()
-	simdCfg.SIMD = true
-	simdEngine, err := core.NewHybridEngine(svc, model, simdCfg)
+	simdEngine, err := core.NewEngine(svc, model, core.WithSIMD(true))
 	if err != nil {
 		return err
 	}
@@ -68,7 +66,7 @@ func (o Options) RunSIMD() error {
 	for i := range img.Data {
 		img.Data[i] = rng.Float64()
 	}
-	ciScalar, err := client.EncryptImage(img, scalarCfg.PixelScale)
+	ciScalar, err := client.EncryptImages([]*nn.Tensor{img}, pixelScale)
 	if err != nil {
 		return err
 	}
@@ -92,7 +90,7 @@ func (o Options) RunSIMD() error {
 			}
 			imgs[i] = im
 		}
-		ci, err := client.EncryptImageBatch(imgs, simdCfg.PixelScale)
+		ci, err := client.EncryptImages(imgs, pixelScale)
 		if err != nil {
 			return err
 		}

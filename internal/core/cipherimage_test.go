@@ -17,7 +17,7 @@ func TestSeededImageDecryptsLikeLegacy(t *testing.T) {
 	client := testClient(t, svc)
 	img := tinyImage(31)
 
-	legacy, err := client.EncryptImage(img, 63)
+	legacy, err := client.encryptImageScalar(img, 63)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +58,7 @@ func TestCipherImageAutoDetectsBothVersions(t *testing.T) {
 	client := testClient(t, svc)
 	img := tinyImage(32)
 
-	legacy, err := client.EncryptImage(img, 63)
+	legacy, err := client.encryptImageScalar(img, 63)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +115,7 @@ func TestPackedCipherImageRoundTrip(t *testing.T) {
 	client := testClient(t, svc)
 	img := tinyImage(33)
 
-	ci, err := client.EncryptImage(img, 63)
+	ci, err := client.encryptImageScalar(img, 63)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +149,7 @@ func TestCiphertextBatchAnyBothFormats(t *testing.T) {
 	svc := testService(t, params)
 	client := testClient(t, svc)
 	img := tinyImage(34)
-	ci, err := client.EncryptImage(img, 63)
+	ci, err := client.encryptImageScalar(img, 63)
 	if err != nil {
 		t.Fatal(err)
 	}

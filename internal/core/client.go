@@ -204,17 +204,8 @@ func (im *CipherImage) At(c, y, x int) *he.Ciphertext {
 	return im.CTs[(c*im.Height+y)*im.Width+x]
 }
 
-// EncryptImage quantizes pixels in [0, 1] at pixelScale and encrypts each
-// as its own ciphertext.
-//
-// Deprecated: use EncryptImages, which selects scalar vs slot encoding
-// from the number of images and the parameters. EncryptImage remains as a
-// thin shim for one release.
-func (c *Client) EncryptImage(img *nn.Tensor, pixelScale uint64) (*CipherImage, error) {
-	return c.encryptImageScalar(img, pixelScale)
-}
-
-// encryptImageScalar is the scalar (pixel-per-ciphertext) encoding path.
+// encryptImageScalar is the scalar (pixel-per-ciphertext) encoding path
+// behind EncryptImages for a single image.
 func (c *Client) encryptImageScalar(img *nn.Tensor, pixelScale uint64) (*CipherImage, error) {
 	if !c.Ready() {
 		return nil, fmt.Errorf("core: client has no keys; complete the key exchange first")

@@ -16,7 +16,7 @@ import (
 func TestConcurrentInferMatchesReference(t *testing.T) {
 	params := testParams(t)
 	svc := testService(t, params)
-	engine, err := NewHybridEngine(svc, tinyCNN(7), testConfig())
+	engine, err := newHybridEngine(svc, tinyCNN(7), testConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -29,7 +29,7 @@ func TestConcurrentInferMatchesReference(t *testing.T) {
 	cis := make([]*CipherImage, workers)
 	for i := range imgs {
 		imgs[i] = tinyImage(uint64(400 + i))
-		ci, err := client.EncryptImage(imgs[i], testConfig().PixelScale)
+		ci, err := client.encryptImageScalar(imgs[i], testConfig().PixelScale)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -90,7 +90,7 @@ func TestConcurrentEnginesDistinctActivations(t *testing.T) {
 
 	engines := make([]*HybridEngine, 2)
 	for i, act := range []nn.ActKind{nn.ReLU, nn.Tanh} {
-		e, err := NewHybridEngine(svc, tinyCNNAct(uint64(11+i), act), testConfig())
+		e, err := newHybridEngine(svc, tinyCNNAct(uint64(11+i), act), testConfig())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -111,7 +111,7 @@ func TestConcurrentEnginesDistinctActivations(t *testing.T) {
 		cis[i] = make([]*CipherImage, rounds)
 		for r := 0; r < rounds; r++ {
 			imgs[i][r] = tinyImage(uint64(500 + 10*i + r))
-			ci, err := client.EncryptImage(imgs[i][r], testConfig().PixelScale)
+			ci, err := client.encryptImageScalar(imgs[i][r], testConfig().PixelScale)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -164,12 +164,12 @@ func TestConcurrentEnginesDistinctActivations(t *testing.T) {
 func TestInferContextCancelledBeforeStart(t *testing.T) {
 	params := testParams(t)
 	svc := testService(t, params)
-	engine, err := NewHybridEngine(svc, tinyCNN(7), testConfig())
+	engine, err := newHybridEngine(svc, tinyCNN(7), testConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
 	client := testClient(t, svc)
-	ci, err := client.EncryptImage(tinyImage(9), testConfig().PixelScale)
+	ci, err := client.encryptImageScalar(tinyImage(9), testConfig().PixelScale)
 	if err != nil {
 		t.Fatal(err)
 	}

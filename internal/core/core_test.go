@@ -97,7 +97,7 @@ func TestKeyExchangeDeliversWorkingKeys(t *testing.T) {
 	// The delivered keys must interoperate with the enclave: encrypt with
 	// the client's key, refresh in the enclave, decrypt with the client's.
 	img := tinyImage(1)
-	ci, err := client.EncryptImage(img, 63)
+	ci, err := client.encryptImageScalar(img, 63)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -379,12 +379,12 @@ func hybridEndToEnd(t *testing.T, cfg Config, seed uint64) {
 	svc := testService(t, params)
 	client := testClient(t, svc)
 	model := tinyCNN(seed)
-	engine, err := NewHybridEngine(svc, model, cfg)
+	engine, err := newHybridEngine(svc, model, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	img := tinyImage(seed)
-	ci, err := client.EncryptImage(img, cfg.PixelScale)
+	ci, err := client.encryptImageScalar(img, cfg.PixelScale)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -457,11 +457,11 @@ func TestHybridStrategiesAgree(t *testing.T) {
 	run := func(strategy PoolStrategy) []int64 {
 		cfg := testConfig()
 		cfg.Pool = strategy
-		engine, err := NewHybridEngine(svc, model, cfg)
+		engine, err := newHybridEngine(svc, model, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
-		ci, err := client.EncryptImage(img, cfg.PixelScale)
+		ci, err := client.encryptImageScalar(img, cfg.PixelScale)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -496,12 +496,12 @@ func TestHybridMaxPool(t *testing.T) {
 	params := testParams(t)
 	svc := testService(t, params)
 	client := testClient(t, svc)
-	engine, err := NewHybridEngine(svc, model, testConfig())
+	engine, err := newHybridEngine(svc, model, testConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
 	img := tinyImage(17)
-	ci, _ := client.EncryptImage(img, 63)
+	ci, _ := client.encryptImageScalar(img, 63)
 	res, err := engine.Infer(ci)
 	if err != nil {
 		t.Fatal(err)
@@ -526,7 +526,7 @@ func TestHybridArgmaxMatchesFloatModel(t *testing.T) {
 	client := testClient(t, svc)
 	model := tinyCNN(19)
 	cfg := testConfig()
-	engine, err := NewHybridEngine(svc, model, cfg)
+	engine, err := newHybridEngine(svc, model, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -538,7 +538,7 @@ func TestHybridArgmaxMatchesFloatModel(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		ci, _ := client.EncryptImage(img, cfg.PixelScale)
+		ci, _ := client.encryptImageScalar(img, cfg.PixelScale)
 		res, err := engine.Infer(ci)
 		if err != nil {
 			t.Fatal(err)
@@ -563,15 +563,15 @@ func TestEngineRejectsBadConfigs(t *testing.T) {
 	params := testParams(t)
 	svc := testService(t, params)
 	model := tinyCNN(20)
-	if _, err := NewHybridEngine(nil, model, testConfig()); err == nil {
+	if _, err := newHybridEngine(nil, model, testConfig()); err == nil {
 		t.Fatal("nil service accepted")
 	}
-	if _, err := NewHybridEngine(svc, model, Config{}); err == nil {
+	if _, err := newHybridEngine(svc, model, Config{}); err == nil {
 		t.Fatal("zero scales accepted")
 	}
 	// Magnitude overflow: absurd scales must be rejected at plan time.
 	big := Config{PixelScale: 1 << 20, WeightScale: 1 << 20, ActScale: 1 << 20}
-	if _, err := NewHybridEngine(svc, model, big); err == nil {
+	if _, err := newHybridEngine(svc, model, big); err == nil {
 		t.Fatal("overflowing scales accepted")
 	}
 	// SumPool belongs to the baseline.
@@ -580,7 +580,7 @@ func TestEngineRejectsBadConfigs(t *testing.T) {
 		nn.NewConv2D(1, 1, 3, 1, r),
 		nn.NewPool2D(nn.SumPool, 2),
 	)
-	if _, err := NewHybridEngine(svc, sumModel, testConfig()); err == nil {
+	if _, err := newHybridEngine(svc, sumModel, testConfig()); err == nil {
 		t.Fatal("SumPool accepted by hybrid engine")
 	}
 }
@@ -589,12 +589,12 @@ func TestEngineRejectsMismatchedImage(t *testing.T) {
 	params := testParams(t)
 	svc := testService(t, params)
 	client := testClient(t, svc)
-	engine, err := NewHybridEngine(svc, tinyCNN(21), testConfig())
+	engine, err := newHybridEngine(svc, tinyCNN(21), testConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
 	img := tinyImage(21)
-	ci, _ := client.EncryptImage(img, 17) // wrong scale
+	ci, _ := client.encryptImageScalar(img, 17) // wrong scale
 	if _, err := engine.Infer(ci); err == nil {
 		t.Fatal("wrong image scale accepted")
 	}
@@ -606,7 +606,7 @@ func TestEngineRejectsMismatchedImage(t *testing.T) {
 func TestEncodedWeightCount(t *testing.T) {
 	params := testParams(t)
 	svc := testService(t, params)
-	engine, err := NewHybridEngine(svc, tinyCNN(22), testConfig())
+	engine, err := newHybridEngine(svc, tinyCNN(22), testConfig())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -14,6 +14,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"hesgx/internal/diag"
 	"hesgx/internal/encoding"
 	"hesgx/internal/he"
 	"hesgx/internal/ring"
@@ -74,6 +75,8 @@ type EnclaveService struct {
 	// noiseWarnBits is the measured-budget floor below which Nonlinear
 	// raises the low-budget alert (<= 0: alerting disabled).
 	noiseWarnBits float64
+	// events, when set, receives a diag event for every low-budget alert.
+	events *diag.Bus
 
 	// trusted state (conceptually inside the enclave)
 	state *enclaveState
@@ -185,6 +188,7 @@ type serviceConfig struct {
 	keySource     ring.Source
 	logger        *slog.Logger
 	noiseWarnBits float64
+	events        *diag.Bus
 }
 
 // WithKeySource overrides the randomness used for FV key generation and
@@ -203,6 +207,13 @@ func WithServiceLogger(l *slog.Logger) ServiceOption {
 // (DefaultNoiseWarnBudgetBits by default; <= 0 disables alerting).
 func WithNoiseWarnThreshold(bits float64) ServiceOption {
 	return func(c *serviceConfig) { c.noiseWarnBits = bits }
+}
+
+// WithEventBus publishes a typed diag event (with the calling request's
+// trace ID and the threshold context) each time the low-budget alert
+// fires, feeding the postmortem capturer.
+func WithEventBus(b *diag.Bus) ServiceOption {
+	return func(c *serviceConfig) { c.events = b }
 }
 
 // NewEnclaveService launches the inference enclave on platform and
@@ -267,6 +278,7 @@ func NewEnclaveService(platform *sgx.Platform, params he.Parameters, opts ...Ser
 		enclave:       enclave,
 		logger:        cfg.logger,
 		noiseWarnBits: cfg.noiseWarnBits,
+		events:        cfg.events,
 		state:         state,
 	}, nil
 }

@@ -184,14 +184,12 @@ type HybridEngine struct {
 	outScale float64
 }
 
-// NewHybridEngine plans the hybrid execution of model. The model's layers
-// must be drawn from {Conv2D, Activation, Pool2D, Flatten, FullyConnected}.
-// Weight quantization happens here; homomorphic weight encoding happens in
-// EncodeWeights (so Fig. 3 can time it separately).
-//
-// Deprecated: prefer NewEngine with EngineOption values; the Config-literal
-// constructor remains as a thin shim for one release.
-func NewHybridEngine(svc *EnclaveService, model *nn.Network, cfg Config) (*HybridEngine, error) {
+// newHybridEngine plans the hybrid execution of model from a filled
+// Config. The model's layers must be drawn from {Conv2D, Activation,
+// Pool2D, Flatten, FullyConnected}. Weight quantization happens here;
+// homomorphic weight encoding happens in EncodeWeights (so Fig. 3 can
+// time it separately). The exported surface is NewEngine.
+func newHybridEngine(svc *EnclaveService, model *nn.Network, cfg Config) (*HybridEngine, error) {
 	if svc == nil {
 		return nil, fmt.Errorf("core: nil enclave service")
 	}

@@ -5,8 +5,7 @@ import (
 )
 
 // EngineOption customizes hybrid engine construction — the functional-
-// options surface that supersedes filling a Config literal. NewHybridEngine
-// and Config remain as thin shims for one release.
+// options surface over the engine Config.
 type EngineOption func(*Config)
 
 // WithScales sets the fixed-point quantization scales for input pixels,
@@ -64,12 +63,11 @@ func WithoutNTTResidency() EngineOption {
 }
 
 // NewEngine plans the hybrid execution of model with DefaultConfig
-// semantics refined by options. It is the options-based successor of
-// NewHybridEngine(svc, model, cfg).
+// semantics refined by options.
 func NewEngine(svc *EnclaveService, model *nn.Network, opts ...EngineOption) (*HybridEngine, error) {
 	cfg := DefaultConfig()
 	for _, o := range opts {
 		o(&cfg)
 	}
-	return NewHybridEngine(svc, model, cfg)
+	return newHybridEngine(svc, model, cfg)
 }

@@ -34,7 +34,7 @@ func TestFullPaperCNNExactness(t *testing.T) {
 	r := mrand.New(mrand.NewPCG(7, 11))
 	model := nn.PaperCNN(r)
 	cfg := DefaultConfig()
-	engine, err := NewHybridEngine(svc, model, cfg)
+	engine, err := newHybridEngine(svc, model, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,7 +42,7 @@ func TestFullPaperCNNExactness(t *testing.T) {
 	for i := range img.Data {
 		img.Data[i] = r.Float64()
 	}
-	ci, err := client.EncryptImage(img, cfg.PixelScale)
+	ci, err := client.encryptImageScalar(img, cfg.PixelScale)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -108,7 +108,7 @@ func TestLanePackDemuxRoundTrip(t *testing.T) {
 	want := make([][]int64, k)
 	for i := range imgs {
 		imgs[i] = tinyImage(uint64(20 + i))
-		ci, err := client.EncryptImage(imgs[i], 63)
+		ci, err := client.encryptImageScalar(imgs[i], 63)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -163,7 +163,7 @@ func TestLanePackRejectsBadShapes(t *testing.T) {
 	params := simdTestParams(t)
 	svc := testService(t, params)
 	client := testClient(t, svc)
-	ci, err := client.EncryptImage(tinyImage(30), 63)
+	ci, err := client.encryptImageScalar(tinyImage(30), 63)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -39,11 +39,11 @@ func TestLowLiftParametersEnableNegativeActivations(t *testing.T) {
 		nn.NewFullyConnected(3*5*5, 4, rng),
 	)
 	cfg := DefaultConfig()
-	engine, err := NewHybridEngine(svc, model, cfg)
+	engine, err := newHybridEngine(svc, model, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ci, err := client.EncryptImage(img, cfg.PixelScale)
+	ci, err := client.encryptImageScalar(img, cfg.PixelScale)
 	if err != nil {
 		t.Fatal(err)
 	}

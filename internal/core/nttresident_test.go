@@ -26,12 +26,12 @@ func residentEngines(t *testing.T, svc *EnclaveService, model *nn.Network, cfg C
 	t.Helper()
 	cfg.TruePlainMul = true
 	cfg.DisableNTTResidency = false
-	resident, err := NewHybridEngine(svc, model, cfg)
+	resident, err := newHybridEngine(svc, model, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	cfg.DisableNTTResidency = true
-	reference, err = NewHybridEngine(svc, model, cfg)
+	reference, err = newHybridEngine(svc, model, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +83,7 @@ func TestNTTResidentConvEquivalence(t *testing.T) {
 		for i := range img.Data {
 			img.Data[i] = rng.Float64()*2 - 1
 		}
-		enc, err := client.EncryptImage(img, cfg.PixelScale)
+		enc, err := client.encryptImageScalar(img, cfg.PixelScale)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -123,7 +123,7 @@ func TestNTTResidentFCEquivalence(t *testing.T) {
 		for i := range img.Data {
 			img.Data[i] = rng.Float64()*2 - 1
 		}
-		enc, err := client.EncryptImage(img, cfg.PixelScale)
+		enc, err := client.encryptImageScalar(img, cfg.PixelScale)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -159,7 +159,7 @@ func TestNTTResidentCutsTransformCount(t *testing.T) {
 	for i := range img.Data {
 		img.Data[i] = rng.Float64()
 	}
-	enc, err := client.EncryptImage(img, cfg.PixelScale)
+	enc, err := client.encryptImageScalar(img, cfg.PixelScale)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,7 +224,7 @@ func TestNTTResidentFullPipelineEquivalence(t *testing.T) {
 		cfg.TruePlainMul = true
 		cfg.DisableNTTResidency = disable
 		cfg.Workers = -1
-		engine, err := NewHybridEngine(svc, model, cfg)
+		engine, err := newHybridEngine(svc, model, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -232,7 +232,7 @@ func TestNTTResidentFullPipelineEquivalence(t *testing.T) {
 		for i := range img.Data {
 			img.Data[i] = rng.Float64()
 		}
-		ci, err := client.EncryptImage(img, cfg.PixelScale)
+		ci, err := client.encryptImageScalar(img, cfg.PixelScale)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -51,7 +51,7 @@ func TestPackedPaperCNNMatchesScalar(t *testing.T) {
 	r := mrand.New(mrand.NewPCG(7, 11))
 	model := nn.PaperCNN(r)
 	cfg := packedTestConfig()
-	engine, err := NewHybridEngine(svc, model, cfg)
+	engine, err := newHybridEngine(svc, model, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +130,7 @@ func TestPackedEngineScalarImageUnchanged(t *testing.T) {
 	r := mrand.New(mrand.NewPCG(17, 19))
 	model := nn.PaperCNN(r)
 	cfg := packedTestConfig()
-	engine, err := NewHybridEngine(svc, model, cfg)
+	engine, err := newHybridEngine(svc, model, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +138,7 @@ func TestPackedEngineScalarImageUnchanged(t *testing.T) {
 	for i := range img.Data {
 		img.Data[i] = r.Float64()
 	}
-	ci, err := client.EncryptImage(img, cfg.PixelScale)
+	ci, err := client.encryptImageScalar(img, cfg.PixelScale)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,7 +183,7 @@ func TestPackedPlannerFallbacks(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		engine, err := NewHybridEngine(svc, nn.PaperCNN(r), packedTestConfig())
+		engine, err := newHybridEngine(svc, nn.PaperCNN(r), packedTestConfig())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -197,7 +197,7 @@ func TestPackedPlannerFallbacks(t *testing.T) {
 		svc := packedTestService(t, 11)
 		cfg := packedTestConfig()
 		cfg.WeightScale = 512
-		engine, err := NewHybridEngine(svc, nn.PaperCNN(r), cfg)
+		engine, err := newHybridEngine(svc, nn.PaperCNN(r), cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -215,7 +215,7 @@ func TestPackedPlannerFallbacks(t *testing.T) {
 			&nn.Flatten{},
 			nn.NewFullyConnected(864, 10, r),
 		)
-		engine, err := NewHybridEngine(svc, model, packedTestConfig())
+		engine, err := newHybridEngine(svc, model, packedTestConfig())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -229,7 +229,7 @@ func TestPackedPlannerFallbacks(t *testing.T) {
 		client := testClient(t, svc)
 		cfg := packedTestConfig()
 		cfg.PackedConv = false
-		engine, err := NewHybridEngine(svc, nn.PaperCNN(r), cfg)
+		engine, err := newHybridEngine(svc, nn.PaperCNN(r), cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -250,7 +250,7 @@ func TestPackedPlannerFallbacks(t *testing.T) {
 func TestPackedRotationSetMinimal(t *testing.T) {
 	svc := packedTestService(t, 21)
 	r := mrand.New(mrand.NewPCG(31, 37))
-	engine, err := NewHybridEngine(svc, nn.PaperCNN(r), packedTestConfig())
+	engine, err := newHybridEngine(svc, nn.PaperCNN(r), packedTestConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -283,7 +283,7 @@ func TestPackedRotationSetMinimal(t *testing.T) {
 func TestInstallGaloisKeys(t *testing.T) {
 	svc := packedTestService(t, 25)
 	r := mrand.New(mrand.NewPCG(41, 43))
-	engine, err := NewHybridEngine(svc, nn.PaperCNN(r), packedTestConfig())
+	engine, err := newHybridEngine(svc, nn.PaperCNN(r), packedTestConfig())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -78,11 +78,11 @@ func TestParallelEngineMatchesSequential(t *testing.T) {
 	run := func(workers int) []int64 {
 		cfg := testConfig()
 		cfg.Workers = workers
-		engine, err := NewHybridEngine(svc, model, cfg)
+		engine, err := newHybridEngine(svc, model, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
-		ci, err := client.EncryptImage(img, cfg.PixelScale)
+		ci, err := client.encryptImageScalar(img, cfg.PixelScale)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -107,7 +107,7 @@ func TestParallelEngineMatchesSequential(t *testing.T) {
 	// And the parallel result still matches the plaintext reference.
 	cfg := testConfig()
 	cfg.Workers = 4
-	engine, err := NewHybridEngine(svc, model, cfg)
+	engine, err := newHybridEngine(svc, model, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

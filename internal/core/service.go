@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"time"
 
+	"hesgx/internal/diag"
 	"hesgx/internal/he"
 	"hesgx/internal/trace"
 )
@@ -95,6 +96,16 @@ func (s *EnclaveService) Nonlinear(ctx context.Context, op NonlinearOp, cts []*h
 				"cts", rep.Measured,
 				"trace_id", trace.ID(ctx))
 		}
+		s.events.Publish(diag.Event{
+			Type:      diag.TypeNoiseLowBudget,
+			Severity:  diag.SeverityWarn,
+			Stage:     op.Kind.String(),
+			TraceID:   trace.ID(ctx),
+			Value:     rep.BudgetMin,
+			Threshold: s.noiseWarnBits,
+			Message: fmt.Sprintf("measured noise budget %.2f bits below the %.2f-bit floor entering %s (%d cts)",
+				rep.BudgetMin, s.noiseWarnBits, op.Kind.String(), rep.Measured),
+		})
 	}
 	res, err := decodeCiphertextBatch(rep.CTs, s.params)
 	// rep.CTs aliases the reply buffer; once decoded into fresh

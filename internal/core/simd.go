@@ -106,18 +106,6 @@ func (c *Client) EncryptImages(imgs []*nn.Tensor, pixelScale uint64) (*CipherIma
 	}, nil
 }
 
-// EncryptImageBatch packs a batch of same-shape images into slot-packed
-// ciphertexts.
-//
-// Deprecated: use EncryptImages, which handles both scalar and slot
-// encodings. EncryptImageBatch remains as a thin shim for one release.
-// (A batch of one now encodes scalar; the two encodings agree on every
-// slot — a constant coefficient evaluates to the same value at every CRT
-// root — so single-lane SIMD callers are unaffected.)
-func (c *Client) EncryptImageBatch(imgs []*nn.Tensor, pixelScale uint64) (*CipherImage, error) {
-	return c.EncryptImages(imgs, pixelScale)
-}
-
 // DecryptValueBatch unpacks slot-packed result ciphertexts:
 // result[image][output] for batchSize images.
 func (c *Client) DecryptValueBatch(cts []*he.Ciphertext, batchSize int) ([][]int64, error) {

@@ -33,7 +33,7 @@ func TestSIMDEngineRequiresBatchingModulus(t *testing.T) {
 	svc := testService(t, params)
 	cfg := testConfig()
 	cfg.SIMD = true
-	if _, err := NewHybridEngine(svc, tinyCNN(1), cfg); err == nil {
+	if _, err := newHybridEngine(svc, tinyCNN(1), cfg); err == nil {
 		t.Fatal("SIMD engine accepted a non-batching modulus")
 	}
 }
@@ -42,20 +42,20 @@ func TestEncryptImageBatchValidation(t *testing.T) {
 	params := simdTestParams(t)
 	svc := testService(t, params)
 	client := testClient(t, svc)
-	if _, err := client.EncryptImageBatch(nil, 63); err == nil {
+	if _, err := client.EncryptImages(nil, 63); err == nil {
 		t.Fatal("empty batch accepted")
 	}
 	a := tinyImage(1)
 	b := tinyImage(2)
 	bad := tinyImage(3)
 	bad.Shape = []int{1, 4, 16} // same data length, different shape
-	if _, err := client.EncryptImageBatch([]*nnTensor{}, 63); err == nil {
+	if _, err := client.EncryptImages([]*nnTensor{}, 63); err == nil {
 		t.Fatal("empty slice accepted")
 	}
-	if _, err := client.EncryptImageBatch(toTensors(a, bad), 63); err == nil {
+	if _, err := client.EncryptImages(toTensors(a, bad), 63); err == nil {
 		t.Fatal("mismatched shapes accepted")
 	}
-	if _, err := client.EncryptImageBatch(toTensors(a, b), 63); err != nil {
+	if _, err := client.EncryptImages(toTensors(a, b), 63); err != nil {
 		t.Fatalf("valid batch rejected: %v", err)
 	}
 }
@@ -67,7 +67,7 @@ func TestSIMDHybridBatchInferenceExact(t *testing.T) {
 	model := tinyCNN(31)
 	cfg := testConfig()
 	cfg.SIMD = true
-	engine, err := NewHybridEngine(svc, model, cfg)
+	engine, err := newHybridEngine(svc, model, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +76,7 @@ func TestSIMDHybridBatchInferenceExact(t *testing.T) {
 	for i := range imgs {
 		imgs[i] = tinyImage(uint64(40 + i))
 	}
-	ci, err := client.EncryptImageBatch(toTensors(imgs...), cfg.PixelScale)
+	ci, err := client.EncryptImages(toTensors(imgs...), cfg.PixelScale)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,12 +111,12 @@ func TestSIMDStrategiesExact(t *testing.T) {
 		cfg := testConfig()
 		cfg.SIMD = true
 		cfg.Pool = strategy
-		engine, err := NewHybridEngine(svc, model, cfg)
+		engine, err := newHybridEngine(svc, model, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
 		imgs := toTensors(tinyImage(52), tinyImage(53))
-		ci, err := client.EncryptImageBatch(imgs, cfg.PixelScale)
+		ci, err := client.EncryptImages(imgs, cfg.PixelScale)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -155,13 +155,13 @@ func TestSIMDThroughputGain(t *testing.T) {
 	model := tinyCNN(61)
 
 	scalarCfg := testConfig()
-	scalarEngine, err := NewHybridEngine(svc, model, scalarCfg)
+	scalarEngine, err := newHybridEngine(svc, model, scalarCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	simdCfg := testConfig()
 	simdCfg.SIMD = true
-	simdEngine, err := NewHybridEngine(svc, model, simdCfg)
+	simdEngine, err := newHybridEngine(svc, model, simdCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,7 +174,7 @@ func TestSIMDThroughputGain(t *testing.T) {
 
 	start := time.Now()
 	for _, img := range imgs {
-		ci, err := client.EncryptImage(img, scalarCfg.PixelScale)
+		ci, err := client.encryptImageScalar(img, scalarCfg.PixelScale)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -185,7 +185,7 @@ func TestSIMDThroughputGain(t *testing.T) {
 	scalarTime := time.Since(start)
 
 	start = time.Now()
-	ci, err := client.EncryptImageBatch(toTensors(imgs...), simdCfg.PixelScale)
+	ci, err := client.EncryptImages(toTensors(imgs...), simdCfg.PixelScale)
 	if err != nil {
 		t.Fatal(err)
 	}

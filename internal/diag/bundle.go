@@ -1,0 +1,162 @@
+package diag
+
+import (
+	"archive/tar"
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path"
+	"strings"
+
+	"hesgx/internal/report"
+)
+
+// Bundle reading. Bundles cross trust boundaries — an operator copies one
+// off a production box and feeds it to hesgx-diag — so the reader treats
+// the archive as untrusted input: member counts and sizes are bounded
+// before any allocation is sized from them, names are confined to the
+// archive root, and the decompressed stream is capped regardless of what
+// the headers claim (a gzip bomb hits the limit, not the heap).
+
+const (
+	// MaxBundleFiles bounds the member count.
+	MaxBundleFiles = 256
+	// MaxBundleFileBytes bounds one decompressed member.
+	MaxBundleFileBytes = 16 << 20
+	// MaxBundleBytes bounds the whole decompressed bundle.
+	MaxBundleBytes = 64 << 20
+)
+
+// Bundle is a decoded postmortem bundle.
+type Bundle struct {
+	Manifest Manifest
+	// Files maps member name to content, manifest included.
+	Files map[string][]byte
+}
+
+// ReadBundleFile opens and decodes a bundle from disk.
+func ReadBundleFile(p string) (*Bundle, error) {
+	f, err := os.Open(p)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadBundle(f)
+}
+
+// ReadBundle decodes a bundle from r with bounded resource usage. It
+// fails on oversized, escaping, or non-regular members, and on a
+// manifest from a future format version; a missing manifest is accepted
+// (Manifest stays zero) so partial artifacts still render.
+func ReadBundle(r io.Reader) (*Bundle, error) {
+	gz, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("diag: bundle gzip: %w", err)
+	}
+	defer gz.Close()
+	tr := tar.NewReader(gz)
+	b := &Bundle{Files: make(map[string][]byte)}
+	var total int64
+	for {
+		hdr, err := tr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("diag: bundle tar: %w", err)
+		}
+		switch hdr.Typeflag {
+		case tar.TypeReg:
+		case tar.TypeDir, tar.TypeXGlobalHeader:
+			continue
+		default:
+			return nil, fmt.Errorf("diag: bundle member %q: unsupported type %q", hdr.Name, hdr.Typeflag)
+		}
+		name := path.Clean(hdr.Name)
+		if name == "." || name == ".." || strings.HasPrefix(name, "../") || path.IsAbs(name) {
+			return nil, fmt.Errorf("diag: bundle member escapes archive root: %q", hdr.Name)
+		}
+		if len(b.Files) >= MaxBundleFiles {
+			return nil, fmt.Errorf("diag: bundle has more than %d members", MaxBundleFiles)
+		}
+		if hdr.Size < 0 || hdr.Size > MaxBundleFileBytes {
+			return nil, fmt.Errorf("diag: bundle member %q: size %d exceeds %d", hdr.Name, hdr.Size, int64(MaxBundleFileBytes))
+		}
+		if total += hdr.Size; total > MaxBundleBytes {
+			return nil, fmt.Errorf("diag: bundle exceeds %d decompressed bytes", int64(MaxBundleBytes))
+		}
+		// The declared size is now within bounds, but read through a limit
+		// anyway: the cap must hold even if the stream disagrees with the
+		// header.
+		data, err := io.ReadAll(io.LimitReader(tr, MaxBundleFileBytes+1))
+		if err != nil {
+			return nil, fmt.Errorf("diag: bundle member %q: %w", hdr.Name, err)
+		}
+		if int64(len(data)) > MaxBundleFileBytes {
+			return nil, fmt.Errorf("diag: bundle member %q overruns its size bound", hdr.Name)
+		}
+		if _, dup := b.Files[name]; dup {
+			return nil, fmt.Errorf("diag: duplicate bundle member %q", hdr.Name)
+		}
+		b.Files[name] = data
+	}
+	if man, ok := b.Files["manifest.json"]; ok {
+		if err := json.Unmarshal(man, &b.Manifest); err != nil {
+			return nil, fmt.Errorf("diag: bundle manifest: %w", err)
+		}
+		if b.Manifest.FormatVersion > BundleFormatVersion {
+			return nil, fmt.Errorf("diag: bundle format version %d is newer than this reader (%d)",
+				b.Manifest.FormatVersion, BundleFormatVersion)
+		}
+	}
+	return b, nil
+}
+
+// Trigger returns the bundle's triggering event, preferring the manifest
+// copy, falling back to event.json. Nil for on-demand bundles.
+func (b *Bundle) Trigger() *Event {
+	if b.Manifest.Trigger != nil {
+		return b.Manifest.Trigger
+	}
+	data, ok := b.Files["event.json"]
+	if !ok {
+		return nil
+	}
+	var e Event
+	if json.Unmarshal(data, &e) != nil {
+		return nil
+	}
+	return &e
+}
+
+// Events returns the bundled recent-event log (nil when absent or
+// malformed).
+func (b *Bundle) Events() []Event {
+	var out []Event
+	if json.Unmarshal(b.Files["events.json"], &out) != nil {
+		return nil
+	}
+	return out
+}
+
+// Metrics returns the bundled recorder window (nil when absent or
+// malformed).
+func (b *Bundle) Metrics() []MetricSample {
+	var out []MetricSample
+	if json.Unmarshal(b.Files["metrics.json"], &out) != nil {
+		return nil
+	}
+	return out
+}
+
+// Reports returns the bundled flight reports (nil when absent or
+// malformed).
+func (b *Bundle) Reports() []*report.FlightReport {
+	var out []*report.FlightReport
+	if json.Unmarshal(b.Files["reports.json"], &out) != nil {
+		return nil
+	}
+	return out
+}

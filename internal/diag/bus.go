@@ -1,0 +1,120 @@
+package diag
+
+import (
+	"sync"
+	"time"
+
+	"hesgx/internal/stats"
+)
+
+// DefaultBusCapacity is the recent-event ring size when NewBus gets a
+// non-positive capacity.
+const DefaultBusCapacity = 256
+
+// Bus is the process-wide diagnostic event fan-out: publishers record
+// anomalies, subscribers (the capturer, tests) consume them, and a
+// bounded ring retains the recent log for bundles. Publish never blocks:
+// a subscriber that falls behind loses events (counted in
+// diag.events_dropped) rather than stalling an alerting hot path. A nil
+// *Bus is safe to publish into — instrumented code needs no nil checks.
+type Bus struct {
+	metrics *stats.Registry
+
+	mu   sync.Mutex
+	seq  uint64
+	ring []Event
+	pos  int
+	n    int
+	subs map[int]chan Event
+	next int
+}
+
+// NewBus returns a bus retaining the last capacity events
+// (DefaultBusCapacity when <= 0). The registry receives the bus's own
+// health counters and may be nil.
+func NewBus(capacity int, reg *stats.Registry) *Bus {
+	if capacity <= 0 {
+		capacity = DefaultBusCapacity
+	}
+	return &Bus{metrics: reg, ring: make([]Event, capacity), subs: make(map[int]chan Event)}
+}
+
+// Publish stamps the event (sequence number; time and severity when the
+// publisher left them zero) and fans it out. Safe on a nil bus.
+func (b *Bus) Publish(e Event) {
+	if b == nil {
+		return
+	}
+	if e.Time.IsZero() {
+		e.Time = time.Now()
+	}
+	if e.Severity == "" {
+		e.Severity = SeverityWarn
+	}
+	b.mu.Lock()
+	b.seq++
+	e.Seq = b.seq
+	b.ring[b.pos] = e
+	b.pos = (b.pos + 1) % len(b.ring)
+	if b.n < len(b.ring) {
+		b.n++
+	}
+	var dropped int
+	// Fan out under the mutex: the sends are non-blocking, and holding the
+	// lock means cancel() can never close a channel mid-send.
+	for _, ch := range b.subs {
+		select {
+		case ch <- e:
+		default:
+			dropped++
+		}
+	}
+	b.mu.Unlock()
+	b.metrics.Counter("diag.events_published").Inc()
+	if dropped > 0 {
+		b.metrics.Counter("diag.events_dropped").Add(int64(dropped))
+	}
+}
+
+// Subscribe registers a buffered event channel. The returned cancel
+// function unregisters it and closes the channel; events published while
+// the buffer is full are dropped for this subscriber only.
+func (b *Bus) Subscribe(buf int) (<-chan Event, func()) {
+	if buf <= 0 {
+		buf = 16
+	}
+	ch := make(chan Event, buf)
+	b.mu.Lock()
+	id := b.next
+	b.next++
+	b.subs[id] = ch
+	b.mu.Unlock()
+	cancel := func() {
+		b.mu.Lock()
+		sub, ok := b.subs[id]
+		delete(b.subs, id)
+		b.mu.Unlock()
+		if ok {
+			close(sub)
+		}
+	}
+	return ch, cancel
+}
+
+// Recent returns up to n retained events, oldest first (all when n <= 0).
+// Safe on a nil bus (returns nil).
+func (b *Bus) Recent(n int) []Event {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if n <= 0 || n > b.n {
+		n = b.n
+	}
+	out := make([]Event, 0, n)
+	for i := b.n - n; i < b.n; i++ {
+		out = append(out, b.ring[(b.pos-b.n+i+len(b.ring))%len(b.ring)])
+	}
+	return out
+}

@@ -1,0 +1,117 @@
+package diag
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"hesgx/internal/stats"
+)
+
+func TestBusPublishStampsAndRetains(t *testing.T) {
+	reg := stats.NewRegistry()
+	b := NewBus(4, reg)
+	for i := 0; i < 6; i++ {
+		b.Publish(Event{Type: TypeManual, Message: "m"})
+	}
+	recent := b.Recent(0)
+	if len(recent) != 4 {
+		t.Fatalf("retained %d events, want ring capacity 4", len(recent))
+	}
+	// Oldest first, sequence numbers contiguous and monotone.
+	for i, e := range recent {
+		if want := uint64(3 + i); e.Seq != want {
+			t.Errorf("recent[%d].Seq = %d, want %d", i, e.Seq, want)
+		}
+		if e.Time.IsZero() {
+			t.Errorf("recent[%d] missing timestamp", i)
+		}
+		if e.Severity != SeverityWarn {
+			t.Errorf("recent[%d].Severity = %q, want default warn", i, e.Severity)
+		}
+	}
+	if got := reg.Counter("diag.events_published").Value(); got != 6 {
+		t.Errorf("diag.events_published = %d, want 6", got)
+	}
+	if got := b.Recent(2); len(got) != 2 || got[1].Seq != 6 {
+		t.Errorf("Recent(2) = %+v, want the two newest", got)
+	}
+}
+
+func TestBusNilSafe(t *testing.T) {
+	var b *Bus
+	b.Publish(Event{Type: TypeManual}) // must not panic
+	if got := b.Recent(0); got != nil {
+		t.Errorf("nil bus Recent = %v, want nil", got)
+	}
+}
+
+func TestBusSubscribeDelivery(t *testing.T) {
+	b := NewBus(8, nil)
+	ch, cancel := b.Subscribe(4)
+	defer cancel()
+	b.Publish(Event{Type: TypeWireFault, Stage: "frame_decode"})
+	select {
+	case e := <-ch:
+		if e.Type != TypeWireFault || e.Stage != "frame_decode" {
+			t.Fatalf("got %+v", e)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("event not delivered")
+	}
+}
+
+func TestBusSlowSubscriberDropsNotBlocks(t *testing.T) {
+	reg := stats.NewRegistry()
+	b := NewBus(8, reg)
+	_, cancel := b.Subscribe(1) // nobody draining, buffer of one
+	defer cancel()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 5; i++ {
+			b.Publish(Event{Type: TypeManual})
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Publish blocked on a full subscriber")
+	}
+	if got := reg.Counter("diag.events_dropped").Value(); got != 4 {
+		t.Errorf("diag.events_dropped = %d, want 4", got)
+	}
+}
+
+func TestBusSubscribeCancelRace(t *testing.T) {
+	// Publishers fanning out while subscribers churn: with the fan-out
+	// under the bus mutex there is no send-on-closed-channel window. Run
+	// with -race.
+	b := NewBus(16, nil)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					b.Publish(Event{Type: TypeManual})
+				}
+			}
+		}()
+	}
+	for i := 0; i < 200; i++ {
+		ch, cancel := b.Subscribe(1)
+		go func() {
+			for range ch {
+			}
+		}()
+		cancel()
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,386 @@
+package diag
+
+import (
+	"archive/tar"
+	"bytes"
+	"compress/gzip"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/debug"
+	"runtime/pprof"
+	"sync"
+	"time"
+)
+
+// Capturer turns bus events into postmortem bundles: a tar.gz with the
+// triggering event, the recent event log, the recorder's metric window,
+// goroutine and heap profiles, build info, and whatever extra sources the
+// server registers (flight reports, trace trees, SLO state, config).
+// Captures are debounced and rate-limited so an alert storm produces one
+// artifact, not a disk full of them.
+
+// BundleFormatVersion is written into every manifest; readers reject
+// newer-than-known versions.
+const BundleFormatVersion = 1
+
+const (
+	// DefaultDebounce is the minimum gap between triggered captures.
+	DefaultDebounce = time.Minute
+	// DefaultMaxPerHour caps triggered captures over a trailing hour.
+	DefaultMaxPerHour = 6
+	// DefaultSettle is how long a triggered capture waits before writing,
+	// so the request that raised the alert can finish and its flight
+	// report and trace land in the recorders.
+	DefaultSettle = 500 * time.Millisecond
+)
+
+// Manifest indexes a bundle.
+type Manifest struct {
+	FormatVersion int       `json:"format_version"`
+	Created       time.Time `json:"created"`
+	// Trigger is the event that caused the capture; nil for on-demand
+	// bundles.
+	Trigger *Event `json:"trigger,omitempty"`
+	// Files lists the member names written after the manifest.
+	Files []string `json:"files"`
+}
+
+// Source is one pluggable bundle member: Fn renders the current state of
+// some subsystem. A failing source contributes <name>.err.txt instead of
+// aborting the bundle.
+type Source struct {
+	Name string
+	Fn   func() ([]byte, error)
+}
+
+// JSONSource adapts a state-returning function into a Source by
+// marshaling its value as indented JSON.
+func JSONSource(name string, fn func() any) Source {
+	return Source{Name: name, Fn: func() ([]byte, error) {
+		return json.MarshalIndent(fn(), "", "  ")
+	}}
+}
+
+// CaptureConfig assembles a Capturer.
+type CaptureConfig struct {
+	// Dir receives bundle files. Required for triggered captures; a
+	// capturer with an empty Dir can still stream on-demand bundles.
+	Dir string
+	// Debounce is the minimum gap between triggered captures
+	// (DefaultDebounce when zero; negative disables debouncing).
+	Debounce time.Duration
+	// MaxPerHour caps triggered captures over a trailing hour
+	// (DefaultMaxPerHour when zero; negative removes the cap).
+	MaxPerHour int
+	// Settle delays a triggered capture so in-flight state lands
+	// (DefaultSettle when zero; negative captures immediately).
+	Settle time.Duration
+	// Trigger decides which events capture. Default: severity warn or
+	// worse.
+	Trigger func(Event) bool
+	// Now overrides the clock (tests); time.Now when nil.
+	Now func() time.Time
+}
+
+// Capturer subscribes to a Bus and writes bundles. Safe for concurrent
+// use.
+type Capturer struct {
+	bus *Bus
+	rec *Recorder
+	cfg CaptureConfig
+
+	mu       sync.Mutex
+	sources  []Source
+	last     time.Time
+	recent   []time.Time // capture times within the trailing hour
+	captures int
+	lastPath string
+}
+
+// NewCapturer wires a capturer to its bus and recorder (either may be
+// nil: a nil bus means only on-demand captures, a nil recorder omits the
+// metric window).
+func NewCapturer(bus *Bus, rec *Recorder, cfg CaptureConfig) *Capturer {
+	if cfg.Debounce == 0 {
+		cfg.Debounce = DefaultDebounce
+	}
+	if cfg.MaxPerHour == 0 {
+		cfg.MaxPerHour = DefaultMaxPerHour
+	}
+	if cfg.Settle == 0 {
+		cfg.Settle = DefaultSettle
+	}
+	if cfg.Trigger == nil {
+		cfg.Trigger = func(e Event) bool { return e.Severity.AtLeast(SeverityWarn) }
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Capturer{bus: bus, rec: rec, cfg: cfg}
+}
+
+// AddSource registers an extra bundle member.
+func (c *Capturer) AddSource(s Source) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sources = append(c.sources, s)
+}
+
+// Captures returns how many triggered bundles have been written.
+func (c *Capturer) Captures() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.captures
+}
+
+// LastPath returns the most recently written bundle path ("" when none).
+func (c *Capturer) LastPath() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastPath
+}
+
+// Run consumes bus events until ctx is done, capturing on each one that
+// passes the trigger, debounce and rate-limit gates.
+func (c *Capturer) Run(ctx context.Context) {
+	if c.bus == nil {
+		return
+	}
+	ch, cancel := c.bus.Subscribe(32)
+	defer cancel()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case e, ok := <-ch:
+			if !ok {
+				return
+			}
+			if !c.cfg.Trigger(e) || !c.admit() {
+				continue
+			}
+			if c.cfg.Settle > 0 {
+				select {
+				case <-ctx.Done():
+					return
+				case <-time.After(c.cfg.Settle):
+				}
+			}
+			if _, err := c.CaptureNow(&e); err != nil {
+				c.bus.metrics.Counter("diag.capture_errors").Inc()
+			}
+		}
+	}
+}
+
+// admit applies the debounce and rate-limit gates, reserving a capture
+// slot when both pass.
+func (c *Capturer) admit() bool {
+	now := c.cfg.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cfg.Debounce > 0 && !c.last.IsZero() && now.Sub(c.last) < c.cfg.Debounce {
+		return false
+	}
+	if c.cfg.MaxPerHour > 0 {
+		keep := c.recent[:0]
+		for _, t := range c.recent {
+			if now.Sub(t) < time.Hour {
+				keep = append(keep, t)
+			}
+		}
+		c.recent = keep
+		if len(c.recent) >= c.cfg.MaxPerHour {
+			return false
+		}
+		c.recent = append(c.recent, now)
+	}
+	c.last = now
+	return true
+}
+
+// CaptureNow writes one bundle to Dir, named by capture time and the
+// trigger's sequence number. It does not consult the debounce gates — Run
+// applies those before calling it; direct callers (tests, signal
+// handlers) capture unconditionally.
+func (c *Capturer) CaptureNow(trigger *Event) (string, error) {
+	c.mu.Lock()
+	dir := c.cfg.Dir
+	c.mu.Unlock()
+	if dir == "" {
+		return "", fmt.Errorf("diag: no capture directory configured")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	var seq uint64
+	if trigger != nil {
+		seq = trigger.Seq
+	}
+	name := fmt.Sprintf("bundle-%s-%d.tar.gz", c.cfg.Now().UTC().Format("20060102T150405"), seq)
+	path := filepath.Join(dir, name)
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return "", err
+	}
+	err = c.WriteBundle(f, trigger)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return "", err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return "", err
+	}
+	c.mu.Lock()
+	c.captures++
+	c.lastPath = path
+	c.mu.Unlock()
+	if c.bus != nil {
+		c.bus.metrics.Counter("diag.bundles_written").Inc()
+	}
+	return path, nil
+}
+
+// WriteBundle streams one bundle to w (the /debug/bundle handler's path).
+// A nil trigger marks an on-demand capture.
+func (c *Capturer) WriteBundle(w io.Writer, trigger *Event) error {
+	type member struct {
+		name string
+		data []byte
+	}
+	var members []member
+	add := func(name string, data []byte, err error) {
+		if err != nil {
+			name += ".err.txt"
+			data = []byte(err.Error())
+		}
+		members = append(members, member{name: name, data: data})
+	}
+
+	if trigger != nil {
+		data, err := json.MarshalIndent(trigger, "", "  ")
+		add("event.json", data, err)
+	}
+	if c.bus != nil {
+		data, err := json.MarshalIndent(c.bus.Recent(0), "", "  ")
+		add("events.json", data, err)
+	}
+	if c.rec != nil {
+		data, err := json.MarshalIndent(c.rec.Samples(0), "", "  ")
+		add("metrics.json", data, err)
+	}
+	gor, gerr := goroutineDump()
+	add("goroutines.txt", gor, gerr)
+	heap, herr := heapProfile()
+	add("heap.pprof", heap, herr)
+	data, err := json.MarshalIndent(buildInfo(), "", "  ")
+	add("buildinfo.json", data, err)
+
+	c.mu.Lock()
+	sources := append([]Source(nil), c.sources...)
+	c.mu.Unlock()
+	for _, s := range sources {
+		data, err := s.Fn()
+		add(s.Name, data, err)
+	}
+
+	man := Manifest{FormatVersion: BundleFormatVersion, Created: c.cfg.Now().UTC(), Trigger: trigger}
+	for _, m := range members {
+		man.Files = append(man.Files, m.name)
+	}
+	manData, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		return err
+	}
+
+	gz := gzip.NewWriter(w)
+	tw := tar.NewWriter(gz)
+	writeMember := func(name string, data []byte) error {
+		hdr := &tar.Header{
+			Name:    name,
+			Mode:    0o644,
+			Size:    int64(len(data)),
+			ModTime: man.Created,
+		}
+		if err := tw.WriteHeader(hdr); err != nil {
+			return err
+		}
+		_, err := tw.Write(data)
+		return err
+	}
+	if err := writeMember("manifest.json", manData); err != nil {
+		return err
+	}
+	for _, m := range members {
+		if err := writeMember(m.name, m.data); err != nil {
+			return err
+		}
+	}
+	if err := tw.Close(); err != nil {
+		return err
+	}
+	return gz.Close()
+}
+
+func goroutineDump() ([]byte, error) {
+	p := pprof.Lookup("goroutine")
+	if p == nil {
+		return nil, fmt.Errorf("goroutine profile unavailable")
+	}
+	var buf bytes.Buffer
+	if err := p.WriteTo(&buf, 2); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func heapProfile() ([]byte, error) {
+	var buf bytes.Buffer
+	runtime.GC() // fresh allocation accounting, as /debug/pprof/heap?gc=1 would
+	if err := pprof.WriteHeapProfile(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// buildInfoRecord is the buildinfo.json schema.
+type buildInfoRecord struct {
+	GoVersion string `json:"go_version"`
+	Path      string `json:"path,omitempty"`
+	Version   string `json:"version,omitempty"`
+	Revision  string `json:"revision,omitempty"`
+	OS        string `json:"os"`
+	Arch      string `json:"arch"`
+	NumCPU    int    `json:"num_cpu"`
+	PID       int    `json:"pid"`
+}
+
+func buildInfo() buildInfoRecord {
+	rec := buildInfoRecord{
+		GoVersion: runtime.Version(),
+		OS:        runtime.GOOS,
+		Arch:      runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		PID:       os.Getpid(),
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		rec.Path = bi.Main.Path
+		rec.Version = bi.Main.Version
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" {
+				rec.Revision = s.Value
+			}
+		}
+	}
+	return rec
+}

@@ -1,0 +1,143 @@
+package diag
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Monitor derives bus events from recorder ticks for the signals that
+// exist only as metric deltas: admission shed-rate spikes and anomalous
+// per-ECALL transition/paging costs. Both detectors are edge-triggered —
+// an excursion publishes once when it starts, not once per tick it
+// persists — and judge only ticks with enough events to be meaningful.
+
+// MonitorConfig tunes the detectors. Zero values select the defaults.
+type MonitorConfig struct {
+	// Bus receives the events. Required (a nil bus makes the monitor a
+	// no-op).
+	Bus *Bus
+	// ShedRate is the shed fraction (rejected / offered) within one tick
+	// that counts as a spike. Default 0.10.
+	ShedRate float64
+	// MinEvents is the minimum offered jobs (for shed) or ECALLs (for SGX
+	// anomalies) in a tick before the detector judges it. Default 10.
+	MinEvents float64
+	// Factor is how far above its smoothed baseline a per-ECALL cost must
+	// move to be anomalous. Default 3.
+	Factor float64
+	// Alpha is the EWMA smoothing weight for the baselines. Default 0.2.
+	Alpha float64
+	// WarmupTicks is how many qualifying ticks a baseline must absorb
+	// before its detector can fire. Default 5.
+	WarmupTicks int
+}
+
+type ewmaState struct {
+	mean   float64
+	ticks  int
+	firing bool
+}
+
+// Monitor consumes MetricSamples; register its Observe with
+// Recorder.OnSample.
+type Monitor struct {
+	cfg      MonitorConfig
+	shedHigh bool
+	sgx      map[string]*ewmaState
+}
+
+// NewMonitor builds a monitor with defaults filled in.
+func NewMonitor(cfg MonitorConfig) *Monitor {
+	if cfg.ShedRate <= 0 {
+		cfg.ShedRate = 0.10
+	}
+	if cfg.MinEvents <= 0 {
+		cfg.MinEvents = 10
+	}
+	if cfg.Factor <= 1 {
+		cfg.Factor = 3
+	}
+	if cfg.Alpha <= 0 || cfg.Alpha > 1 {
+		cfg.Alpha = 0.2
+	}
+	if cfg.WarmupTicks <= 0 {
+		cfg.WarmupTicks = 5
+	}
+	return &Monitor{cfg: cfg, sgx: map[string]*ewmaState{
+		"transitions": {},
+		"page_faults": {},
+	}}
+}
+
+// Observe judges one recorder tick. Runs on the recorder's goroutine.
+func (m *Monitor) Observe(s MetricSample) {
+	if m.cfg.Bus == nil || s.DtSeconds <= 0 {
+		return
+	}
+	m.observeShed(s)
+	m.observeSGX(s)
+}
+
+func (m *Monitor) observeShed(s MetricSample) {
+	dt := s.DtSeconds
+	rejected := s.Rates["serve.jobs.rejected"] * dt
+	offered := s.Rates["serve.jobs.submitted"]*dt + rejected
+	if offered < m.cfg.MinEvents {
+		return
+	}
+	rate := rejected / offered
+	high := rate >= m.cfg.ShedRate
+	if high && !m.shedHigh {
+		m.cfg.Bus.Publish(Event{
+			Type:      TypeShedSpike,
+			Severity:  SeverityWarn,
+			Stage:     "scheduler",
+			Time:      s.T,
+			Value:     rate,
+			Threshold: m.cfg.ShedRate,
+			Message: fmt.Sprintf("admission shed rate %.1f%% over one tick (%.0f of %.0f offered)",
+				rate*100, rejected, offered),
+		})
+	}
+	m.shedHigh = high
+}
+
+func (m *Monitor) observeSGX(s MetricSample) {
+	// ECALL volume this tick: every per-kind ecall.<kind>_ms histogram
+	// counts one observation per ECALL.
+	var ecalls float64
+	for k, v := range s.Rates {
+		if strings.HasPrefix(k, "ecall.") && strings.HasSuffix(k, "_ms.count") {
+			ecalls += v * s.DtSeconds
+		}
+	}
+	if ecalls < m.cfg.MinEvents {
+		return
+	}
+	for metric, st := range m.sgx {
+		cost := s.Rates["ecall."+metric] * s.DtSeconds / ecalls
+		if st.ticks >= m.cfg.WarmupTicks && st.mean > 0 {
+			anomalous := cost >= m.cfg.Factor*st.mean
+			if anomalous && !st.firing {
+				m.cfg.Bus.Publish(Event{
+					Type:      TypeSGXAnomaly,
+					Severity:  SeverityWarn,
+					Stage:     metric,
+					Time:      s.T,
+					Value:     cost,
+					Threshold: m.cfg.Factor * st.mean,
+					Message: fmt.Sprintf("per-ECALL %s %.2f is %.1fx the smoothed baseline %.2f",
+						metric, cost, cost/st.mean, st.mean),
+				})
+			}
+			st.firing = anomalous
+			if anomalous {
+				// Keep the excursion out of the baseline so a sustained
+				// plateau still reads as anomalous until it resolves.
+				continue
+			}
+		}
+		st.mean = (1-m.cfg.Alpha)*st.mean + m.cfg.Alpha*cost
+		st.ticks++
+	}
+}

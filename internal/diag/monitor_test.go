@@ -1,0 +1,117 @@
+package diag
+
+import (
+	"testing"
+	"time"
+)
+
+func shedSample(t time.Time, submitted, rejected float64) MetricSample {
+	return MetricSample{
+		T:         t,
+		DtSeconds: 1,
+		Rates: map[string]float64{
+			"serve.jobs.submitted": submitted,
+			"serve.jobs.rejected":  rejected,
+		},
+	}
+}
+
+func TestMonitorShedSpikeEdgeTriggered(t *testing.T) {
+	bus := NewBus(32, nil)
+	m := NewMonitor(MonitorConfig{Bus: bus, ShedRate: 0.10, MinEvents: 10})
+	now := time.Unix(1_700_000_000, 0)
+
+	// Healthy ticks: nothing published.
+	for i := 0; i < 3; i++ {
+		m.Observe(shedSample(now, 100, 0))
+	}
+	// Spike sustained over three ticks: exactly one event.
+	for i := 0; i < 3; i++ {
+		m.Observe(shedSample(now, 80, 20))
+	}
+	events := bus.Recent(0)
+	if len(events) != 1 {
+		t.Fatalf("sustained spike published %d events, want 1", len(events))
+	}
+	e := events[0]
+	if e.Type != TypeShedSpike || e.Severity != SeverityWarn || e.Stage != "scheduler" {
+		t.Fatalf("unexpected event %+v", e)
+	}
+	if e.Value != 0.20 || e.Threshold != 0.10 {
+		t.Errorf("event value/threshold = %g/%g, want 0.2/0.1", e.Value, e.Threshold)
+	}
+
+	// Recovery, then a second spike: a second edge.
+	m.Observe(shedSample(now, 100, 0))
+	m.Observe(shedSample(now, 50, 50))
+	if got := len(bus.Recent(0)); got != 2 {
+		t.Fatalf("second spike: %d events total, want 2", got)
+	}
+}
+
+func TestMonitorShedIgnoresQuietTicks(t *testing.T) {
+	bus := NewBus(32, nil)
+	m := NewMonitor(MonitorConfig{Bus: bus, ShedRate: 0.10, MinEvents: 10})
+	// 100% shed of 3 offered jobs: below MinEvents, not judged.
+	m.Observe(shedSample(time.Unix(0, 0), 0, 3))
+	if got := len(bus.Recent(0)); got != 0 {
+		t.Fatalf("quiet tick published %d events, want 0", got)
+	}
+}
+
+func sgxSample(t time.Time, ecalls, transitions float64) MetricSample {
+	return MetricSample{
+		T:         t,
+		DtSeconds: 1,
+		Rates: map[string]float64{
+			"ecall.sigmoid_ms.count": ecalls,
+			"ecall.transitions":      transitions,
+			"ecall.page_faults":      0,
+		},
+	}
+}
+
+func TestMonitorSGXAnomalyEdgeTriggered(t *testing.T) {
+	bus := NewBus(32, nil)
+	m := NewMonitor(MonitorConfig{Bus: bus, Factor: 3, Alpha: 0.2, WarmupTicks: 5, MinEvents: 10})
+	now := time.Unix(1_700_000_000, 0)
+
+	// Warmup: 2 transitions per ECALL, steady.
+	for i := 0; i < 8; i++ {
+		m.Observe(sgxSample(now, 100, 200))
+	}
+	if got := len(bus.Recent(0)); got != 0 {
+		t.Fatalf("steady baseline published %d events, want 0", got)
+	}
+
+	// Excursion: 10 transitions per ECALL, 5x the baseline, held for three
+	// ticks — one event, and the baseline must not absorb the excursion.
+	for i := 0; i < 3; i++ {
+		m.Observe(sgxSample(now, 100, 1000))
+	}
+	events := bus.Recent(0)
+	if len(events) != 1 {
+		t.Fatalf("sustained excursion published %d events, want 1", len(events))
+	}
+	e := events[0]
+	if e.Type != TypeSGXAnomaly || e.Stage != "transitions" {
+		t.Fatalf("unexpected event %+v", e)
+	}
+	if e.Value != 10 {
+		t.Errorf("per-ECALL cost %g, want 10", e.Value)
+	}
+
+	// Back to baseline, then a second excursion: a second edge.
+	for i := 0; i < 2; i++ {
+		m.Observe(sgxSample(now, 100, 200))
+	}
+	m.Observe(sgxSample(now, 100, 900))
+	if got := len(bus.Recent(0)); got != 2 {
+		t.Fatalf("second excursion: %d events total, want 2", got)
+	}
+}
+
+func TestMonitorNilBusIsNoop(t *testing.T) {
+	m := NewMonitor(MonitorConfig{})
+	m.Observe(shedSample(time.Unix(0, 0), 0, 1000)) // must not panic
+}

@@ -1,0 +1,27 @@
+package diag
+
+import (
+	"encoding/json"
+
+	"hesgx/internal/report"
+	"hesgx/internal/trace"
+)
+
+// Canned bundle sources for the recorders every server already runs.
+
+// ReportsSource bundles the recorder's last n flight reports as
+// reports.json (all retained when n <= 0).
+func ReportsSource(rec *report.Recorder, n int) Source {
+	return Source{Name: "reports.json", Fn: func() ([]byte, error) {
+		return json.MarshalIndent(rec.Last(n), "", "  ")
+	}}
+}
+
+// TracesSource bundles the tracer's retained traces as traces.json in
+// Chrome trace-event format — loadable in chrome://tracing or Perfetto
+// straight out of the archive.
+func TracesSource(tr *trace.Tracer, n int) Source {
+	return Source{Name: "traces.json", Fn: func() ([]byte, error) {
+		return trace.ChromeTrace(tr.Last(n))
+	}}
+}

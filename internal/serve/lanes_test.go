@@ -41,7 +41,8 @@ func newBatchStack(t testing.TB, seed uint64) *stack {
 		t.Fatal(err)
 	}
 	model := laneModel(seed)
-	engine, err := core.NewHybridEngine(svc, model, serveConfig())
+	engine, err := core.NewEngine(svc, model,
+		core.WithScales(63, 16, 256), core.WithPoolStrategy(core.PoolSGXDiv))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +112,7 @@ func TestServiceLanePackedMatchesScalar(t *testing.T) {
 	cis := make([]*core.CipherImage, k)
 	for i := range imgs {
 		imgs[i] = testImage(uint64(500 + i))
-		ci, err := st.client.EncryptImage(imgs[i], serveConfig().PixelScale)
+		ci, err := st.client.EncryptImages([]*nn.Tensor{imgs[i]}, serveConfig().PixelScale)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -169,7 +170,7 @@ func TestServiceLowLoadFallsBackToScalar(t *testing.T) {
 	defer s.Close()
 
 	img := testImage(600)
-	ci, err := st.client.EncryptImage(img, serveConfig().PixelScale)
+	ci, err := st.client.EncryptImages([]*nn.Tensor{img}, serveConfig().PixelScale)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -213,7 +214,7 @@ func TestServiceLanesDisabledOnNonBatchingModulus(t *testing.T) {
 		t.Fatal("serve.lanes.enabled gauge not zeroed")
 	}
 	img := testImage(700)
-	ci, err := st.client.EncryptImage(img, serveConfig().PixelScale)
+	ci, err := st.client.EncryptImages([]*nn.Tensor{img}, serveConfig().PixelScale)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -287,7 +288,7 @@ func TestLaneSchedulerConcurrent64(t *testing.T) {
 	cis := make([]*core.CipherImage, n)
 	for i := range imgs {
 		imgs[i] = testImage(uint64(900 + i))
-		ci, err := st.client.EncryptImage(imgs[i], serveConfig().PixelScale)
+		ci, err := st.client.EncryptImages([]*nn.Tensor{imgs[i]}, serveConfig().PixelScale)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -363,7 +363,8 @@ func newStack(t testing.TB, seed uint64) *stack {
 		&nn.Flatten{},
 		nn.NewFullyConnected(2*3*3, 4, r),
 	)
-	engine, err := core.NewHybridEngine(svc, model, serveConfig())
+	engine, err := core.NewEngine(svc, model,
+		core.WithScales(63, 16, 256), core.WithPoolStrategy(core.PoolSGXDiv))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -398,7 +399,7 @@ func runConcurrent(t *testing.T, st *stack, s *Service, n int) uint64 {
 	cis := make([]*core.CipherImage, n)
 	for i := range imgs {
 		imgs[i] = testImage(uint64(100 + i))
-		ci, err := st.client.EncryptImage(imgs[i], serveConfig().PixelScale)
+		ci, err := st.client.EncryptImages([]*nn.Tensor{imgs[i]}, serveConfig().PixelScale)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -498,7 +499,7 @@ func TestPipelineSequentialStillCorrect(t *testing.T) {
 	// One at a time: every batch flushes on the window with occupancy 1.
 	for i := 0; i < 3; i++ {
 		img := testImage(uint64(200 + i))
-		ci, err := st.client.EncryptImage(img, serveConfig().PixelScale)
+		ci, err := st.client.EncryptImages([]*nn.Tensor{img}, serveConfig().PixelScale)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -529,7 +530,7 @@ func TestPipelineCancelledJobSkipsEnclave(t *testing.T) {
 		WithoutLanes(),
 	)
 	defer p.Close()
-	ci, err := st.client.EncryptImage(testImage(300), serveConfig().PixelScale)
+	ci, err := st.client.EncryptImages([]*nn.Tensor{testImage(300)}, serveConfig().PixelScale)
 	if err != nil {
 		t.Fatal(err)
 	}

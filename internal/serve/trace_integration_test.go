@@ -4,6 +4,7 @@ import (
 	"context"
 	"testing"
 
+	"hesgx/internal/nn"
 	"hesgx/internal/trace"
 )
 
@@ -24,7 +25,7 @@ func TestTraceSpanTreeMatchesTransitions(t *testing.T) {
 	defer p.Close()
 
 	img := testImage(7)
-	ci, err := st.client.EncryptImage(img, serveConfig().PixelScale)
+	ci, err := st.client.EncryptImages([]*nn.Tensor{img}, serveConfig().PixelScale)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +123,7 @@ func TestPipelineTraceCoversWallClock(t *testing.T) {
 	)
 	defer p.Close()
 
-	ci, err := st.client.EncryptImage(testImage(9), serveConfig().PixelScale)
+	ci, err := st.client.EncryptImages([]*nn.Tensor{testImage(9)}, serveConfig().PixelScale)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -26,6 +26,7 @@ import (
 	"sync"
 	"time"
 
+	"hesgx/internal/diag"
 	"hesgx/internal/stats"
 )
 
@@ -125,6 +126,11 @@ type Config struct {
 	Interval time.Duration
 	// Now overrides the clock (tests); time.Now when nil.
 	Now func() time.Time
+	// Events optionally receives an edge-triggered diag event whenever an
+	// objective's alert severity starts or stops firing — exactly one
+	// event per transition, however long the level holds, unlike the
+	// Firing levels /slo polls. Nil disables publication.
+	Events *diag.Bus
 }
 
 // sample is one cumulative good/total reading.
@@ -181,9 +187,13 @@ type Tracker struct {
 	windows  []BurnWindow
 	interval time.Duration
 	now      func() time.Time
+	events   *diag.Bus
 
 	mu     sync.Mutex
 	states []*objectiveState
+	// firing is the per-(objective, severity) alert level as of the last
+	// Tick — the state the edge detector diffs against.
+	firing map[string]bool
 }
 
 // New builds a Tracker. The sample ring per objective is sized to cover the
@@ -228,7 +238,8 @@ func New(cfg Config) (*Tracker, error) {
 		now = time.Now
 	}
 	ringLen := int(longest/interval) + 2
-	t := &Tracker{reg: cfg.Registry, windows: windows, interval: interval, now: now}
+	t := &Tracker{reg: cfg.Registry, windows: windows, interval: interval, now: now,
+		events: cfg.Events, firing: make(map[string]bool)}
 	for _, o := range objs {
 		t.states = append(t.states, &objectiveState{obj: o, ring: make([]sample, ringLen)})
 	}
@@ -239,14 +250,99 @@ func New(cfg Config) (*Tracker, error) {
 // Interval returns the sampling cadence (what Run sleeps between ticks).
 func (t *Tracker) Interval() time.Duration { return t.interval }
 
-// Tick takes one compliance sample per objective.
+// Tick takes one compliance sample per objective, then runs the alert
+// edge detector: every (objective, severity) whose burn-window condition
+// flipped since the previous tick publishes exactly one diag event — a
+// page/ticket on the rising edge, a resolution on the falling edge.
+// Severities with several burn windows fold into one level (firing when
+// any window is), matching the slo_alert_active series.
 func (t *Tracker) Tick() {
 	now := t.now()
 	t.mu.Lock()
-	defer t.mu.Unlock()
+	var events []diag.Event
 	for _, st := range t.states {
 		snap := t.reg.Histogram(st.obj.Metric).Snapshot()
-		st.push(sample{t: now, good: snap.CountAtMost(st.obj.ThresholdMS()), total: snap.Count})
+		cur := sample{t: now, good: snap.CountAtMost(st.obj.ThresholdMS()), total: snap.Count}
+		st.push(cur)
+		budget := 1 - st.obj.Target
+
+		// Fold this objective's windows by severity, keeping the hottest
+		// firing window's readings for the event's threshold context.
+		type sevReading struct {
+			firing bool
+			burn   float64
+			factor float64
+			short  time.Duration
+			long   time.Duration
+		}
+		order := make([]string, 0, len(t.windows))
+		bySev := make(map[string]*sevReading, len(t.windows))
+		for _, w := range t.windows {
+			shortBurn := burnBetween(st.at(now, w.Short), cur, budget)
+			longBurn := burnBetween(st.at(now, w.Long), cur, budget)
+			firing := shortBurn >= w.Factor && longBurn >= w.Factor
+			r, ok := bySev[w.Severity]
+			if !ok {
+				r = &sevReading{factor: w.Factor, short: w.Short, long: w.Long}
+				bySev[w.Severity] = r
+				order = append(order, w.Severity)
+			}
+			burn := shortBurn
+			if longBurn < burn {
+				burn = longBurn // the binding constraint of the AND
+			}
+			if firing && (!r.firing || burn > r.burn) {
+				r.firing = true
+				r.burn = burn
+				r.factor = w.Factor
+				r.short = w.Short
+				r.long = w.Long
+			} else if !r.firing && burn > r.burn {
+				r.burn = burn
+			}
+		}
+		for _, sev := range order {
+			r := bySev[sev]
+			key := st.obj.Name + "/" + sev
+			if r.firing == t.firing[key] {
+				continue
+			}
+			t.firing[key] = r.firing
+			e := diag.Event{
+				Time:      now,
+				Stage:     st.obj.Name,
+				TraceID:   snap.ExemplarAbove(st.obj.ThresholdMS()),
+				Value:     r.burn,
+				Threshold: r.factor,
+				Attrs: map[string]string{
+					"metric":   st.obj.Metric,
+					"severity": sev,
+					"short":    windowLabel(r.short),
+					"long":     windowLabel(r.long),
+				},
+			}
+			if r.firing {
+				switch sev {
+				case "page":
+					e.Type, e.Severity = diag.TypeSLOPage, diag.SeverityPage
+				case "ticket":
+					e.Type, e.Severity = diag.TypeSLOTicket, diag.SeverityWarn
+				default:
+					e.Type, e.Severity = diag.Type("slo."+sev), diag.SeverityWarn
+				}
+				e.Message = fmt.Sprintf("%s objective burning %.1fx budget over %s/%s (factor %g)",
+					st.obj.Name, r.burn, windowLabel(r.short), windowLabel(r.long), r.factor)
+			} else {
+				e.Type, e.Severity = diag.TypeSLOResolved, diag.SeverityInfo
+				e.Message = fmt.Sprintf("%s objective %s alert resolved (burn %.1fx)",
+					st.obj.Name, sev, r.burn)
+			}
+			events = append(events, e)
+		}
+	}
+	t.mu.Unlock()
+	for _, e := range events {
+		t.events.Publish(e)
 	}
 }
 

@@ -1,0 +1,152 @@
+package slo
+
+import (
+	"testing"
+	"time"
+
+	"hesgx/internal/diag"
+	"hesgx/internal/stats"
+)
+
+// eventsOf filters the bus log by type.
+func eventsOf(bus *diag.Bus, typ diag.Type) []diag.Event {
+	var out []diag.Event
+	for _, e := range bus.Recent(0) {
+		if e.Type == typ {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// TestTrackerPublishesOncePerTransition is the edge-trigger contract: a
+// burn alert that stays firing across many ticks publishes exactly one
+// page event when it starts and exactly one resolution when it stops —
+// never one per tick.
+func TestTrackerPublishesOncePerTransition(t *testing.T) {
+	reg := stats.NewRegistry()
+	bus := diag.NewBus(64, nil)
+	clock := &fakeClock{t: time.Unix(1000000, 0)}
+	tk, err := New(Config{
+		Registry:   reg,
+		Objectives: []Objective{{Name: "req", Metric: "lat_ms", Threshold: 100 * time.Millisecond, Target: 0.9}},
+		Windows:    []BurnWindow{{Short: time.Minute, Long: 5 * time.Minute, Factor: 2, Severity: "page"}},
+		Interval:   10 * time.Second,
+		Now:        clock.now,
+		Events:     bus,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Minute 1: healthy — no events at all.
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 10; j++ {
+			reg.ObserveHistogram("lat_ms", 1.0)
+		}
+		clock.advance(10 * time.Second)
+		tk.Tick()
+	}
+	if got := bus.Recent(0); len(got) != 0 {
+		t.Fatalf("healthy tracker published %d events: %+v", len(got), got)
+	}
+
+	// Minutes 2-3: sustained outage. The alert fires on some tick and
+	// stays firing; exactly one page event must come out.
+	for i := 0; i < 12; i++ {
+		for j := 0; j < 10; j++ {
+			reg.ObserveHistogramExemplar("lat_ms", 5000.0, 0xBEEF)
+		}
+		clock.advance(10 * time.Second)
+		tk.Tick()
+	}
+	pages := eventsOf(bus, diag.TypeSLOPage)
+	if len(pages) != 1 {
+		t.Fatalf("sustained outage published %d page events, want exactly 1", len(pages))
+	}
+	e := pages[0]
+	if e.Severity != diag.SeverityPage || e.Stage != "req" {
+		t.Errorf("page event %+v", e)
+	}
+	if e.TraceID != 0xBEEF {
+		t.Errorf("page event trace %#x, want the slow exemplar 0xBEEF", e.TraceID)
+	}
+	if e.Value < 2 {
+		t.Errorf("page event burn %.2f, want >= the factor", e.Value)
+	}
+	if e.Attrs["metric"] != "lat_ms" || e.Attrs["severity"] != "page" {
+		t.Errorf("page event attrs %+v", e.Attrs)
+	}
+	if got := eventsOf(bus, diag.TypeSLOResolved); len(got) != 0 {
+		t.Fatalf("resolution published while still firing: %+v", got)
+	}
+
+	// Minutes 4-9: recovery. One resolution event, and the page count must
+	// not grow.
+	for i := 0; i < 36; i++ {
+		for j := 0; j < 10; j++ {
+			reg.ObserveHistogram("lat_ms", 1.0)
+		}
+		clock.advance(10 * time.Second)
+		tk.Tick()
+	}
+	resolved := eventsOf(bus, diag.TypeSLOResolved)
+	if len(resolved) != 1 {
+		t.Fatalf("recovery published %d resolution events, want exactly 1", len(resolved))
+	}
+	if resolved[0].Severity != diag.SeverityInfo || resolved[0].Attrs["severity"] != "page" {
+		t.Errorf("resolution event %+v", resolved[0])
+	}
+	if got := eventsOf(bus, diag.TypeSLOPage); len(got) != 1 {
+		t.Fatalf("page events grew to %d during recovery", len(got))
+	}
+
+	// A second outage is a new edge: a second page event, no more.
+	for i := 0; i < 12; i++ {
+		for j := 0; j < 10; j++ {
+			reg.ObserveHistogram("lat_ms", 5000.0)
+		}
+		clock.advance(10 * time.Second)
+		tk.Tick()
+	}
+	if got := eventsOf(bus, diag.TypeSLOPage); len(got) != 2 {
+		t.Fatalf("second outage: %d page events total, want 2", len(got))
+	}
+}
+
+// TestTrackerFoldsWindowsBySeverity checks that two burn windows sharing a
+// severity produce one folded event stream, and distinct severities are
+// tracked independently (a ticket and a page can each fire once).
+func TestTrackerFoldsWindowsBySeverity(t *testing.T) {
+	reg := stats.NewRegistry()
+	bus := diag.NewBus(64, nil)
+	clock := &fakeClock{t: time.Unix(1000000, 0)}
+	tk, err := New(Config{
+		Registry:   reg,
+		Objectives: []Objective{{Name: "req", Metric: "lat_ms", Threshold: 100 * time.Millisecond, Target: 0.9}},
+		Windows: []BurnWindow{
+			{Short: time.Minute, Long: 2 * time.Minute, Factor: 2, Severity: "page"},
+			{Short: time.Minute, Long: 4 * time.Minute, Factor: 2, Severity: "page"},
+			{Short: 2 * time.Minute, Long: 6 * time.Minute, Factor: 1.5, Severity: "ticket"},
+		},
+		Interval: 10 * time.Second,
+		Now:      clock.now,
+		Events:   bus,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 36; i++ {
+		for j := 0; j < 10; j++ {
+			reg.ObserveHistogram("lat_ms", 5000.0)
+		}
+		clock.advance(10 * time.Second)
+		tk.Tick()
+	}
+	if got := eventsOf(bus, diag.TypeSLOPage); len(got) != 1 {
+		t.Fatalf("two page windows folded into %d events, want 1", len(got))
+	}
+	if got := eventsOf(bus, diag.TypeSLOTicket); len(got) != 1 {
+		t.Fatalf("ticket severity fired %d events, want 1", len(got))
+	}
+}

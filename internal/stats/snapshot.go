@@ -1,0 +1,112 @@
+package stats
+
+// Typed registry snapshots for the diagnostics layer: where Snapshot()
+// flattens everything to floats for logs, TypedSnapshot keeps the metric
+// kinds apart so a consumer can compute deltas correctly — counters as
+// rates, histograms as windowed bucket subtractions (and from those,
+// quantiles of just the window).
+
+// RegistrySnapshot is a point-in-time typed copy of every metric in a
+// Registry.
+type RegistrySnapshot struct {
+	Counters   map[string]int64
+	Gauges     map[string]int64
+	Samples    map[string]SampleSnapshot
+	Histograms map[string]HistogramSnapshot
+}
+
+// TypedSnapshot copies every metric, keyed by registered name and split by
+// kind. Nil-safe: a nil registry yields empty maps.
+func (r *Registry) TypedSnapshot() RegistrySnapshot {
+	snap := RegistrySnapshot{
+		Counters:   make(map[string]int64),
+		Gauges:     make(map[string]int64),
+		Samples:    make(map[string]SampleSnapshot),
+		Histograms: make(map[string]HistogramSnapshot),
+	}
+	if r == nil {
+		return snap
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	samples := make(map[string]*Sample, len(r.samples))
+	for k, v := range r.samples {
+		samples[k] = v
+	}
+	histograms := make(map[string]*Histogram, len(r.histograms))
+	for k, v := range r.histograms {
+		histograms[k] = v
+	}
+	r.mu.Unlock()
+	for k, c := range counters {
+		snap.Counters[k] = c.Value()
+	}
+	for k, g := range gauges {
+		snap.Gauges[k] = g.Value()
+	}
+	for k, s := range samples {
+		snap.Samples[k] = s.Snapshot()
+	}
+	for k, h := range histograms {
+		snap.Histograms[k] = h.Snapshot()
+	}
+	return snap
+}
+
+// DeltaFrom returns a histogram snapshot covering only the observations
+// that arrived after prev was taken: per-bucket count subtraction, so
+// Quantile on the result answers "what was the p99 of this window" rather
+// than of the whole process lifetime. A prev that does not look like an
+// earlier reading of the same histogram (more observations than cur, or a
+// different bucket layout) is treated as a restart and ignored. The
+// window's Min/Max are bounded by the edge buckets' bounds (the exact
+// extremes of a window are not recoverable from cumulative counters);
+// Quantile stays within them. An empty window yields an Empty() snapshot
+// whose Quantile is 0.
+func (s HistogramSnapshot) DeltaFrom(prev HistogramSnapshot) HistogramSnapshot {
+	if len(prev.Counts) != len(s.Counts) || prev.Count > s.Count {
+		prev = HistogramSnapshot{}
+	}
+	d := HistogramSnapshot{
+		Counts:    make([]uint64, len(s.Counts)),
+		Exemplars: append([]uint64(nil), s.Exemplars...),
+	}
+	lo, hi := -1, -1
+	for i := range s.Counts {
+		var p uint64
+		if i < len(prev.Counts) {
+			p = prev.Counts[i]
+		}
+		if s.Counts[i] <= p {
+			continue
+		}
+		d.Counts[i] = s.Counts[i] - p
+		d.Count += d.Counts[i]
+		if lo < 0 {
+			lo = i
+		}
+		hi = i
+	}
+	if d.Count == 0 {
+		return HistogramSnapshot{Counts: d.Counts, Exemplars: d.Exemplars}
+	}
+	if ds := s.Sum - prev.Sum; ds > 0 {
+		d.Sum = ds
+	}
+	if lo > 0 {
+		d.Min = histBounds[lo-1]
+	}
+	if hi < len(histBounds) {
+		d.Max = histBounds[hi]
+	} else {
+		d.Max = s.Max
+	}
+	return d
+}

@@ -1,0 +1,136 @@
+package stats
+
+import (
+	"testing"
+)
+
+func TestTypedSnapshotSplitsKinds(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("c").Add(7)
+	reg.Gauge("g").Set(42)
+	reg.Observe("s", 1.5)
+	reg.Observe("s", 2.5)
+	reg.ObserveHistogram("h_ms", 3.0)
+
+	snap := reg.TypedSnapshot()
+	if snap.Counters["c"] != 7 {
+		t.Errorf("counter c = %d, want 7", snap.Counters["c"])
+	}
+	if snap.Gauges["g"] != 42 {
+		t.Errorf("gauge g = %d, want 42", snap.Gauges["g"])
+	}
+	if sm := snap.Samples["s"]; sm.N != 2 || sm.Sum != 4.0 {
+		t.Errorf("sample s = %+v, want N=2 Sum=4", sm)
+	}
+	if h := snap.Histograms["h_ms"]; h.Count != 1 || h.Sum != 3.0 {
+		t.Errorf("histogram h_ms = %+v, want Count=1 Sum=3", h)
+	}
+
+	// The snapshot is a copy: later observations must not leak in.
+	reg.Counter("c").Inc()
+	reg.ObserveHistogram("h_ms", 9.0)
+	if snap.Counters["c"] != 7 || snap.Histograms["h_ms"].Count != 1 {
+		t.Error("snapshot mutated by later observations")
+	}
+}
+
+func TestTypedSnapshotNilRegistry(t *testing.T) {
+	var reg *Registry
+	snap := reg.TypedSnapshot()
+	if snap.Counters == nil || snap.Gauges == nil || snap.Samples == nil || snap.Histograms == nil {
+		t.Fatal("nil registry snapshot must still carry empty maps")
+	}
+	if len(snap.Counters)+len(snap.Gauges)+len(snap.Samples)+len(snap.Histograms) != 0 {
+		t.Fatal("nil registry snapshot not empty")
+	}
+}
+
+func TestHistogramDeltaWindowQuantiles(t *testing.T) {
+	reg := NewRegistry()
+	// Epoch 1: a hundred fast observations.
+	for i := 0; i < 100; i++ {
+		reg.ObserveHistogram("h_ms", 1.0)
+	}
+	prev := reg.Histogram("h_ms").Snapshot()
+
+	// Epoch 2: fifty slow observations — the window must see only these.
+	for i := 0; i < 50; i++ {
+		reg.ObserveHistogram("h_ms", 500.0)
+	}
+	cur := reg.Histogram("h_ms").Snapshot()
+	d := cur.DeltaFrom(prev)
+	if d.Count != 50 {
+		t.Fatalf("window count %d, want 50", d.Count)
+	}
+	if d.Sum != 50*500.0 {
+		t.Errorf("window sum %g, want %g", d.Sum, 50*500.0)
+	}
+	// Every windowed observation was 500ms; the p50 must land in that
+	// bucket's range, far from the cumulative p50 (which is 1ms-dominated).
+	if p50 := d.Quantile(0.5); p50 < 250 || p50 > 1000 {
+		t.Errorf("window p50 %g, want within the 500ms bucket", p50)
+	}
+	if cum := cur.Quantile(0.5); cum > 10 {
+		t.Errorf("cumulative p50 %g, expected to stay fast (sanity)", cum)
+	}
+	if d.Min <= 0 || d.Min > 500 {
+		t.Errorf("window min %g, want a positive bound at or under 500", d.Min)
+	}
+	if d.Max < 500 {
+		t.Errorf("window max %g, want >= 500", d.Max)
+	}
+}
+
+func TestHistogramDeltaEmptyWindow(t *testing.T) {
+	reg := NewRegistry()
+	for i := 0; i < 10; i++ {
+		reg.ObserveHistogram("h_ms", 2.0)
+	}
+	snap := reg.Histogram("h_ms").Snapshot()
+	d := snap.DeltaFrom(snap)
+	if !d.Empty() {
+		t.Fatalf("delta of identical snapshots not empty: %+v", d)
+	}
+	if q := d.Quantile(0.99); q != 0 {
+		t.Errorf("empty-window p99 = %g, want 0", q)
+	}
+	if m := d.Mean(); m != 0 {
+		t.Errorf("empty-window mean = %g, want 0", m)
+	}
+}
+
+func TestHistogramDeltaTreatsRegressionAsRestart(t *testing.T) {
+	reg := NewRegistry()
+	for i := 0; i < 30; i++ {
+		reg.ObserveHistogram("h_ms", 4.0)
+	}
+	big := reg.Histogram("h_ms").Snapshot()
+
+	fresh := NewRegistry()
+	for i := 0; i < 5; i++ {
+		fresh.ObserveHistogram("h_ms", 4.0)
+	}
+	cur := fresh.Histogram("h_ms").Snapshot()
+
+	// prev has more observations than cur: a restarted process. The delta
+	// must cover all of cur, not go negative or wrap.
+	d := cur.DeltaFrom(big)
+	if d.Count != 5 {
+		t.Fatalf("restart delta count %d, want 5", d.Count)
+	}
+	if d.Sum != 20.0 {
+		t.Errorf("restart delta sum %g, want 20", d.Sum)
+	}
+}
+
+func TestHistogramDeltaLayoutMismatch(t *testing.T) {
+	reg := NewRegistry()
+	reg.ObserveHistogram("h_ms", 1.0)
+	cur := reg.Histogram("h_ms").Snapshot()
+	// A prev with a foreign bucket layout must be ignored, not indexed.
+	prev := HistogramSnapshot{Counts: []uint64{1, 2, 3}, Count: 6}
+	d := cur.DeltaFrom(prev)
+	if d.Count != cur.Count {
+		t.Fatalf("mismatched-layout delta count %d, want %d", d.Count, cur.Count)
+	}
+}

@@ -347,7 +347,7 @@ func (c *Client) Infer(img *nn.Tensor, pixelScale uint64) ([]float64, error) {
 	_, espan := trace.StartSpan(ctx, "client.encrypt", "client")
 	var upload func() (int, error)
 	if c.legacy {
-		ci, err := c.inner.EncryptImage(img, pixelScale)
+		ci, err := c.inner.EncryptImages([]*nn.Tensor{img}, pixelScale)
 		if err != nil {
 			espan.End()
 			return nil, err

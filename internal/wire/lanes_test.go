@@ -50,9 +50,8 @@ func testStackLanes(t *testing.T) (addr string, st *pipelineStack, service *serv
 		&nn.Flatten{},
 		nn.NewFullyConnected(2*3*3, 4, r),
 	)
-	engine, err := core.NewHybridEngine(svc, model, core.Config{
-		PixelScale: 63, WeightScale: 16, ActScale: 256, Pool: core.PoolSGXDiv,
-	})
+	engine, err := core.NewEngine(svc, model,
+		core.WithScales(63, 16, 256), core.WithPoolStrategy(core.PoolSGXDiv))
 	if err != nil {
 		t.Fatal(err)
 	}

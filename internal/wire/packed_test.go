@@ -44,10 +44,8 @@ func testStackPacked(t *testing.T) (addr string, st *pipelineStack, shutdown fun
 		&nn.Flatten{},
 		nn.NewFullyConnected(2*3*3, 4, r),
 	)
-	engine, err := core.NewHybridEngine(svc, model, core.Config{
-		PixelScale: 63, WeightScale: 8, ActScale: 256, Pool: core.PoolAuto,
-		PackedConv: true,
-	})
+	engine, err := core.NewEngine(svc, model,
+		core.WithScales(63, 8, 256), core.WithPackedConv(true))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -13,6 +13,7 @@ import (
 
 	"hesgx/internal/attest"
 	"hesgx/internal/core"
+	"hesgx/internal/diag"
 	"hesgx/internal/he"
 	"hesgx/internal/report"
 	"hesgx/internal/serve"
@@ -20,47 +21,20 @@ import (
 	"hesgx/internal/trace"
 )
 
-// Inferrer executes one inference under a context.
-//
-// Deprecated: implement ServiceInferrer (normally *serve.Service) and pass
-// it via WithService; the Service entrypoint carries lane scheduling and
-// request metadata. Inferrer remains as the engine-direct fallback for one
-// release.
-type Inferrer interface {
-	Infer(ctx context.Context, img *core.CipherImage) (*core.InferenceResult, error)
-}
-
-// ServiceInferrer is the redesigned serving surface: one entrypoint whose
-// Request carries the image plus serving metadata, with lane-packed vs
-// scalar execution decided inside. *serve.Service is the production
+// ServiceInferrer is the serving surface: one entrypoint whose Request
+// carries the image plus serving metadata, with lane-packed vs scalar
+// execution decided inside. *serve.Service is the production
 // implementation.
 type ServiceInferrer interface {
 	Infer(ctx context.Context, req serve.Request) (*serve.Result, error)
 }
 
-// engineInferrer runs inferences straight on the engine, serializing
-// nothing — the pre-scheduler behaviour.
-type engineInferrer struct{ engine *core.HybridEngine }
-
-func (e engineInferrer) Infer(ctx context.Context, img *core.CipherImage) (*core.InferenceResult, error) {
-	return e.engine.InferContext(ctx, img)
-}
-
 // ServerOption configures a Server.
 type ServerOption func(*Server)
 
-// WithInferrer routes inference requests through inf instead of calling
-// the engine directly.
-//
-// Deprecated: use WithService with a *serve.Service. WithInferrer remains
-// as the engine-direct fallback for one release.
-func WithInferrer(inf Inferrer) ServerOption {
-	return func(s *Server) { s.inferrer = inf }
-}
-
 // WithService routes inference requests through the serving stack —
 // normally a *serve.Service, which adds lane-packed execution of
-// concurrent requests. Takes precedence over WithInferrer.
+// concurrent requests. Required: NewServer fails without it.
 func WithService(svc ServiceInferrer) ServerOption {
 	return func(s *Server) { s.service = svc }
 }
@@ -82,22 +56,30 @@ func WithMetrics(reg *stats.Registry) ServerOption {
 	return func(s *Server) { s.metrics = reg }
 }
 
+// WithEventBus publishes a diag event for every connection-level fault —
+// unreadable frames, partial reply frames, transport errors — feeding the
+// postmortem capturer.
+func WithEventBus(b *diag.Bus) ServerOption {
+	return func(s *Server) { s.events = b }
+}
+
 // Server is the edge-server endpoint: it owns the enclave service and the
 // hybrid engine and answers attestation and inference requests over TCP.
 type Server struct {
-	svc      *core.EnclaveService
-	engine   *core.HybridEngine
-	inferrer Inferrer
-	service  ServiceInferrer // preferred serving path when set
-	tracer   *trace.Tracer   // nil: request tracing disabled at the wire
-	metrics  *stats.Registry // nil-safe: a nil registry no-ops
-	logger   *slog.Logger
+	svc     *core.EnclaveService
+	engine  *core.HybridEngine
+	service ServiceInferrer // the serving path (required)
+	tracer  *trace.Tracer   // nil: request tracing disabled at the wire
+	metrics *stats.Registry // nil-safe: a nil registry no-ops
+	events  *diag.Bus       // nil-safe: a nil bus drops publishes
+	logger  *slog.Logger
 
 	wg sync.WaitGroup
 }
 
 // NewServer wires an enclave service and a planned engine into a network
-// endpoint.
+// endpoint. A serving Service (WithService) is required: the wire layer
+// never calls the engine directly.
 func NewServer(svc *core.EnclaveService, engine *core.HybridEngine, logger *slog.Logger, opts ...ServerOption) (*Server, error) {
 	if svc == nil || engine == nil {
 		return nil, fmt.Errorf("wire: server needs an enclave service and an engine")
@@ -109,8 +91,8 @@ func NewServer(svc *core.EnclaveService, engine *core.HybridEngine, logger *slog
 	for _, opt := range opts {
 		opt(s)
 	}
-	if s.inferrer == nil {
-		s.inferrer = engineInferrer{engine: engine}
+	if s.service == nil {
+		return nil, fmt.Errorf("wire: server needs a serving Service (WithService)")
 	}
 	return s, nil
 }
@@ -146,6 +128,13 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 					"remote", conn.RemoteAddr(),
 					"trace_id", traceIDOf(err),
 					"err", err)
+				s.events.Publish(diag.Event{
+					Type:     diag.TypeWireFault,
+					Severity: diag.SeverityWarn,
+					Stage:    "connection",
+					TraceID:  traceIDOf(err),
+					Message:  fmt.Sprintf("connection to %s failed: %v", conn.RemoteAddr(), err),
+				})
 			}
 		}()
 	}
@@ -178,6 +167,12 @@ func (s *Server) handle(ctx context.Context, conn net.Conn) error {
 				"remote", conn.RemoteAddr(),
 				"trace_id", uint64(0),
 				"err", err)
+			s.events.Publish(diag.Event{
+				Type:     diag.TypeWireFault,
+				Severity: diag.SeverityWarn,
+				Stage:    "frame_decode",
+				Message:  fmt.Sprintf("dropping connection to %s on unreadable frame: %v", conn.RemoteAddr(), err),
+			})
 			return nil
 		}
 		if cap(payload) > cap(payloadBuf) {
@@ -194,6 +189,13 @@ func (s *Server) handle(ctx context.Context, conn net.Conn) error {
 					"remote", conn.RemoteAddr(),
 					"trace_id", traceIDOf(err),
 					"err", err)
+				s.events.Publish(diag.Event{
+					Type:     diag.TypeWireFault,
+					Severity: diag.SeverityWarn,
+					Stage:    "partial_frame",
+					TraceID:  traceIDOf(err),
+					Message:  fmt.Sprintf("closing connection to %s after partial reply frame: %v", conn.RemoteAddr(), err),
+				})
 				return err
 			}
 			// Protocol-level errors go back to the client as typed error
@@ -493,17 +495,9 @@ func (s *Server) serveInfer(ctx context.Context, conn net.Conn, payload []byte, 
 	return nil
 }
 
-// runInfer executes one decoded request on the configured serving path:
-// the Service when present, the deprecated Inferrer otherwise.
+// runInfer executes one decoded request on the serving stack.
 func (s *Server) runInfer(ctx context.Context, img *core.CipherImage) ([]*he.Ciphertext, float64, error) {
-	if s.service != nil {
-		res, err := s.service.Infer(ctx, serve.Request{Image: img})
-		if err != nil {
-			return nil, 0, err
-		}
-		return res.Logits, res.OutScale, nil
-	}
-	res, err := s.inferrer.Infer(ctx, img)
+	res, err := s.service.Infer(ctx, serve.Request{Image: img})
 	if err != nil {
 		return nil, 0, err
 	}

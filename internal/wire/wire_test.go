@@ -78,13 +78,13 @@ type pipelineStack struct {
 	svc     *core.EnclaveService
 	engine  *core.HybridEngine
 	model   *nn.Network
-	service *serve.Service // nil when the server calls the engine directly
+	service *serve.Service
 	metrics *stats.Registry
 }
 
-// testStackPipeline spins up an edge server; with non-nil serve options
-// the inference path runs through the serving stack (bounded queue +
-// cross-request ECALL batching), otherwise straight through the engine.
+// testStackPipeline spins up an edge server. The inference path always
+// runs through the serving stack (the engine-direct server path was
+// retired with the legacy constructor); svcOpts refine the stack.
 func testStackPipeline(t *testing.T, svcOpts []serve.Option) (addr string, st *pipelineStack, shutdown func()) {
 	t.Helper()
 	q, err := ring.GenerateNTTPrime(46, 1024)
@@ -111,18 +111,13 @@ func testStackPipeline(t *testing.T, svcOpts []serve.Option) (addr string, st *p
 		&nn.Flatten{},
 		nn.NewFullyConnected(2*3*3, 4, r),
 	)
-	engine, err := core.NewHybridEngine(svc, model, core.Config{
-		PixelScale: 63, WeightScale: 16, ActScale: 256, Pool: core.PoolAuto,
-	})
+	engine, err := core.NewEngine(svc, model, core.WithScales(63, 16, 256))
 	if err != nil {
 		t.Fatal(err)
 	}
 	st = &pipelineStack{svc: svc, engine: engine, model: model, metrics: stats.NewRegistry()}
-	opts := []ServerOption{WithMetrics(st.metrics)}
-	if svcOpts != nil {
-		st.service = serve.NewService(engine, svc, append(svcOpts, serve.WithoutLanes())...)
-		opts = append(opts, WithService(st.service))
-	}
+	st.service = serve.NewService(engine, svc, append(svcOpts, serve.WithoutLanes())...)
+	opts := []ServerOption{WithMetrics(st.metrics), WithService(st.service)}
 	srv, err := NewServer(svc, engine, slog.New(slog.NewTextHandler(testWriter{t}, nil)), opts...)
 	if err != nil {
 		t.Fatal(err)
